@@ -1,0 +1,58 @@
+//! Convolution microbenches: the direct-vs-FFT crossover the solver's
+//! auto-selection relies on, and the planned-Convolver amortization.
+//!
+//! This substantiates the paper's `O(M²) → O(M log M)` remark
+//! (Sec. II) with measured numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrd_fft::{convolve_direct, convolve_fft, Convolver, Fft};
+use std::hint::black_box;
+
+fn probability_vector(n: usize, phase: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (0..n)
+        .map(|i| ((i as f64 * phase).sin() + 1.1).max(0.0))
+        .collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|v| v / total).collect()
+}
+
+fn bench_conv_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv_crossover");
+    for m in [64usize, 256, 1024, 4096] {
+        // Solver-shaped problem: kernel 2M+1, signal M+1.
+        let kernel = probability_vector(2 * m + 1, 0.37);
+        let signal = probability_vector(m + 1, 0.73);
+        g.bench_with_input(BenchmarkId::new("direct", m), &m, |b, _| {
+            b.iter(|| black_box(convolve_direct(&kernel, &signal)))
+        });
+        g.bench_with_input(BenchmarkId::new("fft", m), &m, |b, _| {
+            b.iter(|| black_box(convolve_fft(&kernel, &signal)))
+        });
+        g.bench_with_input(BenchmarkId::new("planned", m), &m, |b, _| {
+            let mut cv = Convolver::new(&kernel, signal.len());
+            b.iter(|| black_box(cv.conv(&signal)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_raw_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_transform");
+    for n in [1024usize, 8192, 65536] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let plan = Fft::new(n);
+            let data: Vec<lrd_fft::Complex> = (0..n)
+                .map(|i| lrd_fft::Complex::new((i as f64).sin(), 0.0))
+                .collect();
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf);
+                black_box(buf)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_conv_crossover, bench_raw_fft);
+criterion_main!(benches);

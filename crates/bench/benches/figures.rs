@@ -1,0 +1,63 @@
+//! One benchmark per paper figure: each bench regenerates the figure's
+//! data at quick-profile resolution, so `cargo bench` doubles as an
+//! end-to-end regression run over the whole evaluation section.
+//!
+//! (Fig. 6 is the shuffling procedure itself — benched in `traffic.rs`
+//! as `external_shuffle`; Fig. 1 is a proof illustration with no data.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrd_bench::corpus;
+use lrd_experiments::figures::{
+    fig02, fig03, fig04_05, fig07_08, fig09, fig10_11, fig12_13, fig14, markov_baseline, Profile,
+};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig02_bounds_convergence", |b| {
+        b.iter(|| black_box(fig02::run(corpus, Profile::Quick)))
+    });
+    g.bench_function("fig03_marginals", |b| {
+        b.iter(|| black_box(fig03::run(corpus)))
+    });
+    g.bench_function("fig04_mtv_model_surface", |b| {
+        b.iter(|| black_box(fig04_05::fig04(corpus, Profile::Quick)))
+    });
+    g.bench_function("fig05_bc_model_surface", |b| {
+        b.iter(|| black_box(fig04_05::fig05(corpus, Profile::Quick)))
+    });
+    g.bench_function("fig07_mtv_shuffle_surface", |b| {
+        b.iter(|| black_box(fig07_08::fig07(corpus, Profile::Quick)))
+    });
+    g.bench_function("fig08_bc_shuffle_surface", |b| {
+        b.iter(|| black_box(fig07_08::fig08(corpus, Profile::Quick)))
+    });
+    g.bench_function("fig09_marginal_compare", |b| {
+        b.iter(|| black_box(fig09::run(corpus, Profile::Quick)))
+    });
+    g.bench_function("fig10_hurst_vs_scaling", |b| {
+        b.iter(|| black_box(fig10_11::fig10(corpus, Profile::Quick)))
+    });
+    g.bench_function("fig11_hurst_vs_multiplex", |b| {
+        b.iter(|| black_box(fig10_11::fig11(corpus, Profile::Quick)))
+    });
+    g.bench_function("fig12_mtv_buffer_scaling", |b| {
+        b.iter(|| black_box(fig12_13::fig12(corpus, Profile::Quick)))
+    });
+    g.bench_function("fig13_bc_buffer_scaling", |b| {
+        b.iter(|| black_box(fig12_13::fig13(corpus, Profile::Quick)))
+    });
+    g.bench_function("fig14_ch_scaling", |b| {
+        b.iter(|| black_box(fig14::run(corpus, Profile::Quick)))
+    });
+    g.bench_function("markov_baseline_extension", |b| {
+        b.iter(|| black_box(markov_baseline::run(corpus, Profile::Quick)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Microbenches of the loss solver: per-iteration cost across grid
+//! resolutions, full solves, and the ablations called out in
+//! DESIGN.md (warm-restart refinement vs cold start).
+//!
+//! The paper reports "typical runtime was less than a second on a
+//! workstation" — the `solve_*` benches are the modern equivalent of
+//! that claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrd_bench::reference_model;
+use lrd_fluidq::{solve, BoundSolver, LossKernel, SolverOptions, WorkDistribution};
+use std::hint::black_box;
+
+fn bench_step_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver_step");
+    for bins in [128usize, 512, 2048, 8192] {
+        g.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, &bins| {
+            let mut solver = BoundSolver::new(reference_model(), bins);
+            b.iter(|| {
+                solver.step();
+                black_box(solver.loss_bounds())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver_solve");
+    g.sample_size(10);
+    let model = reference_model();
+    g.bench_function("paper_protocol", |b| {
+        b.iter(|| black_box(solve(&model, &SolverOptions::default())))
+    });
+    // Deep-loss configuration (forces refinement).
+    let deep = model.with_buffer(model.service_rate() * 1.0);
+    g.bench_function("deep_loss_with_refinement", |b| {
+        b.iter(|| black_box(solve(&deep, &SolverOptions::default())))
+    });
+    g.finish();
+}
+
+fn bench_refinement_ablation(c: &mut Criterion) {
+    // Warm restart (footnote 3) vs solving directly at the fine grid
+    // from cold: the warm start should reach stationarity at the fine
+    // grid with fewer fine-grid iterations.
+    let mut g = c.benchmark_group("solver_refinement_ablation");
+    g.sample_size(10);
+    let model = reference_model();
+    let fine = 1024usize;
+    g.bench_function("warm_restart", |b| {
+        b.iter(|| {
+            let mut s = BoundSolver::new(model.clone(), fine / 8);
+            for _ in 0..100 {
+                s.step();
+            }
+            while s.bins() < fine {
+                s.refine();
+                for _ in 0..25 {
+                    s.step();
+                }
+            }
+            black_box(s.loss_bounds())
+        })
+    });
+    g.bench_function("cold_start", |b| {
+        b.iter(|| {
+            let mut s = BoundSolver::new(model.clone(), fine);
+            for _ in 0..175 {
+                s.step();
+            }
+            black_box(s.loss_bounds())
+        })
+    });
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver_setup");
+    let model = reference_model();
+    for bins in [512usize, 4096] {
+        g.bench_with_input(
+            BenchmarkId::new("work_distribution", bins),
+            &bins,
+            |b, &bins| b.iter(|| black_box(WorkDistribution::build(&model, bins))),
+        );
+        g.bench_with_input(BenchmarkId::new("loss_kernel", bins), &bins, |b, &bins| {
+            b.iter(|| black_box(LossKernel::build(&model, bins)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step_cost,
+    bench_full_solve,
+    bench_refinement_ablation,
+    bench_construction
+);
+criterion_main!(benches);

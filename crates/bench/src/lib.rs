@@ -1,0 +1,24 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! The benches (one per paper figure, plus microbenches of the hot
+//! kernels) all consume the same cached quick-profile corpus so that
+//! `cargo bench` measures computation, not trace synthesis.
+
+use lrd_experiments::Corpus;
+use std::sync::OnceLock;
+
+/// The cached quick-profile corpus shared by all benches.
+pub fn corpus() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(Corpus::quick)
+}
+
+/// A small reference queue model used by the solver microbenches.
+pub fn reference_model() -> lrd_fluidq::QueueModel<lrd_traffic::TruncatedPareto> {
+    lrd_fluidq::QueueModel::from_utilization(
+        lrd_traffic::Marginal::new(&[2.0, 14.0], &[0.5, 0.5]),
+        lrd_traffic::TruncatedPareto::new(0.05, 1.4, 1.0),
+        0.8,
+        0.2,
+    )
+}

@@ -1,0 +1,23 @@
+//! Regenerates Fig. 13: model loss vs (buffer, marginal scaling), Bellcore at utilization 0.4.
+
+use lrd_experiments::figures::{fig12_13, Profile};
+use lrd_experiments::{output, Corpus};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = if quick { Profile::Quick } else { Profile::Full };
+    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
+    let grid = fig12_13::fig13(&corpus, profile);
+    eprintln!("{}", grid.to_table());
+    let csv = grid.to_csv();
+    print!("{csv}");
+    match output::write_results_file("fig13_bc_buffer_scaling.csv", &csv) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+    let gp = lrd_experiments::gnuplot::grid_to_gnuplot(&grid, "fig13_bc_buffer_scaling", "fig13_bc_buffer_scaling");
+    match output::write_results_file("fig13_bc_buffer_scaling.gp", &gp) {
+        Ok(p) => eprintln!("wrote {} (render with gnuplot)", p.display()),
+        Err(e) => eprintln!("could not write gnuplot script: {e}"),
+    }
+}

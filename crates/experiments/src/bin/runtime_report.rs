@@ -1,0 +1,53 @@
+//! Solver runtime survey (the paper's footnote 1: "the typical runtime
+//! was less than a second on a workstation; however, when the expected
+//! interarrival time is very small, B is very large, and the
+//! utilization close to one, the runtime can be considerably longer").
+//!
+//! Times one solve per parameter corner and prints a CSV of
+//! `(utilization, buffer_s, cutoff_s, loss, iterations, bins,
+//! converged, millis)` so the footnote's easy/hard regimes can be seen
+//! directly.
+
+use lrd_experiments::{output, Corpus};
+use lrd_fluidq::solve;
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
+    let opts = lrd_experiments::figures::solver_options();
+
+    let mut csv =
+        String::from("utilization,buffer_s,cutoff_s,loss,iterations,bins,converged,millis\n");
+    let utils = [0.5, 0.8, 0.95];
+    let buffers = [0.05, 0.5, 5.0];
+    let cutoffs = [0.1, 10.0, f64::INFINITY];
+    for &u in &utils {
+        for &b in &buffers {
+            for &tc in &cutoffs {
+                let model = corpus.mtv.model(u, b, tc);
+                let t0 = Instant::now();
+                let sol = solve(&model, &opts);
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                csv.push_str(&format!(
+                    "{u},{b},{tc},{:.6e},{},{},{},{:.2}\n",
+                    sol.loss(),
+                    sol.iterations,
+                    sol.bins,
+                    sol.converged,
+                    ms
+                ));
+            }
+        }
+    }
+    print!("{csv}");
+    match output::write_results_file("runtime_report.csv", &csv) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+    eprintln!(
+        "The easy corners solve in milliseconds; the hard corner \
+         (high load, large buffer, long correlation) is where the \
+         paper's footnote 1 warns the runtime grows."
+    );
+}

@@ -1,0 +1,166 @@
+//! The deterministic trace corpus and the calibrated models built on
+//! it.
+//!
+//! This mirrors the paper's Sec. III setup: extract the 50-bin
+//! marginal from each trace, measure the mean epoch duration (mean
+//! same-bin run length × sample interval), and calibrate the truncated
+//! Pareto's `θ` so that `E[T]` matches the measured epoch for
+//! `T_c = ∞` (Eq. 25).
+
+use lrd_fluidq::QueueModel;
+use lrd_traffic::{synth, Marginal, Trace, TruncatedPareto};
+
+/// The number of marginal histogram bins, fixed at the paper's 50.
+pub const MARGINAL_BINS: usize = 50;
+
+/// Utilization used throughout the paper's MTV experiments.
+pub const MTV_UTILIZATION: f64 = 0.8;
+/// Utilization used throughout the paper's Bellcore experiments.
+pub const BC_UTILIZATION: f64 = 0.4;
+
+/// One trace plus everything the experiments derive from it.
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    /// Human-readable name ("MTV" / "Bellcore").
+    pub name: &'static str,
+    /// The synthetic trace.
+    pub trace: Trace,
+    /// Its 50-bin marginal `(Π, Λ)`.
+    pub marginal: Marginal,
+    /// Mean epoch duration (seconds), the paper's θ-calibration input.
+    pub mean_epoch: f64,
+    /// Nominal Hurst parameter (published value for the real trace).
+    pub hurst: f64,
+    /// Calibrated Pareto scale θ at the nominal Hurst parameter.
+    pub theta: f64,
+}
+
+impl TraceBundle {
+    fn build(name: &'static str, trace: Trace, hurst: f64) -> Self {
+        let marginal = trace.marginal(MARGINAL_BINS);
+        let mean_epoch = trace.mean_epoch(MARGINAL_BINS);
+        let alpha = lrd_traffic::alpha_from_hurst(hurst);
+        let theta = TruncatedPareto::calibrate_theta(mean_epoch, alpha);
+        TraceBundle {
+            name,
+            trace,
+            marginal,
+            mean_epoch,
+            hurst,
+            theta,
+        }
+    }
+
+    /// The truncated-Pareto interval distribution at the nominal Hurst
+    /// parameter and the calibrated θ, with the given cutoff lag.
+    pub fn intervals(&self, cutoff: f64) -> TruncatedPareto {
+        TruncatedPareto::new(self.theta, lrd_traffic::alpha_from_hurst(self.hurst), cutoff)
+    }
+
+    /// Interval distribution at an arbitrary Hurst parameter but the
+    /// *nominal* θ — the paper's Fig. 10/11 protocol ("we use the same
+    /// θ in the entire experiment, by matching the average interval
+    /// length for the nominal Hurst parameter").
+    pub fn intervals_at_hurst(&self, hurst: f64, cutoff: f64) -> TruncatedPareto {
+        TruncatedPareto::new(self.theta, lrd_traffic::alpha_from_hurst(hurst), cutoff)
+    }
+
+    /// A queue model at the given utilization, normalized buffer
+    /// (seconds) and cutoff lag.
+    pub fn model(
+        &self,
+        utilization: f64,
+        buffer_seconds: f64,
+        cutoff: f64,
+    ) -> QueueModel<TruncatedPareto> {
+        QueueModel::from_utilization(
+            self.marginal.clone(),
+            self.intervals(cutoff),
+            utilization,
+            buffer_seconds,
+        )
+    }
+}
+
+/// The two-trace corpus all experiments run on.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// MTV-like JPEG video trace bundle.
+    pub mtv: TraceBundle,
+    /// Bellcore-like Ethernet trace bundle.
+    pub bellcore: TraceBundle,
+}
+
+impl Corpus {
+    /// The full-length corpus (the published trace lengths); takes a
+    /// few seconds to synthesize.
+    pub fn full() -> Self {
+        Corpus::with_lengths(synth::MTV_LEN, synth::BELLCORE_LEN)
+    }
+
+    /// A short corpus for tests and quick runs.
+    pub fn quick() -> Self {
+        Corpus::with_lengths(1 << 14, 1 << 14)
+    }
+
+    /// A corpus with explicit trace lengths (always the default seed,
+    /// so results are reproducible at any length).
+    pub fn with_lengths(mtv_len: usize, bc_len: usize) -> Self {
+        let seed = synth::DEFAULT_SEED;
+        Corpus {
+            mtv: TraceBundle::build(
+                "MTV",
+                synth::mtv_like_with_len(seed, mtv_len),
+                synth::MTV_HURST,
+            ),
+            bellcore: TraceBundle::build(
+                "Bellcore",
+                synth::bellcore_like_with_len(seed.wrapping_add(1), bc_len),
+                synth::BELLCORE_HURST,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_traffic::Interarrival;
+
+    #[test]
+    fn corpus_builds_and_calibrates() {
+        let c = Corpus::quick();
+        assert!(c.mtv.marginal.len() <= MARGINAL_BINS);
+        assert!(c.mtv.mean_epoch > 0.0);
+        assert!(c.bellcore.mean_epoch > 0.0);
+        // Calibration: E[T] at T_c = ∞ equals the measured epoch.
+        let iv = c.mtv.intervals(f64::INFINITY);
+        assert!((iv.mean() - c.mtv.mean_epoch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn models_have_requested_load() {
+        let c = Corpus::quick();
+        let m = c.mtv.model(MTV_UTILIZATION, 1.0, 10.0);
+        assert!((m.utilization() - 0.8).abs() < 1e-12);
+        assert!((m.normalized_buffer() - 1.0).abs() < 1e-12);
+        assert_eq!(m.intervals().cutoff(), 10.0);
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = Corpus::quick();
+        let b = Corpus::quick();
+        assert_eq!(a.mtv.trace, b.mtv.trace);
+        assert_eq!(a.bellcore.theta, b.bellcore.theta);
+    }
+
+    #[test]
+    fn hurst_override_changes_alpha_not_theta() {
+        let c = Corpus::quick();
+        let a = c.mtv.intervals_at_hurst(0.55, 5.0);
+        let b = c.mtv.intervals_at_hurst(0.95, 5.0);
+        assert_eq!(a.theta(), b.theta());
+        assert!(a.alpha() > b.alpha());
+    }
+}

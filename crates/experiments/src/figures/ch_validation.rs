@@ -1,0 +1,109 @@
+//! Eq. 26 validation (extension of Fig. 14): correlation horizons
+//! extracted from **solver** loss-vs-cutoff curves, across buffer
+//! sizes, against the closed-form `T_CH`.
+//!
+//! Fig. 14 does this with trace shuffling; this experiment does it
+//! with the numerical solver, which is free of Monte-Carlo noise and
+//! therefore gives a cleaner scaling exponent.
+
+use crate::corpus::{Corpus, MTV_UTILIZATION};
+use crate::figures::{log_space, solver_options, Profile};
+use lrd_fluidq::{empirical_horizon, solve};
+use lrd_stats::{linear_fit, LinearFit};
+use lrd_traffic::Interarrival;
+
+/// The result of the validation sweep.
+#[derive(Debug, Clone)]
+pub struct ChValidation {
+    /// `(buffer_s, empirical CH from the solver)`.
+    pub empirical: Vec<(f64, f64)>,
+    /// `(buffer_s, Eq. 26 T_CH with p = 0.99)`.
+    pub predicted: Vec<(f64, f64)>,
+    /// Log-log fit of the empirical horizons (slope ≈ 1 ⇒ linear).
+    pub fit: LinearFit,
+}
+
+/// Relative flatness tolerance used for the empirical horizon.
+pub const FLATNESS_TOL: f64 = 0.15;
+
+/// Runs the sweep on the MTV bundle at utilization 0.8.
+pub fn run(corpus: &Corpus, profile: Profile) -> ChValidation {
+    let buffers = profile.pick(log_space(0.02, 0.16, 3), log_space(0.01, 0.64, 7));
+    let cutoffs = profile.pick(log_space(0.02, 20.0, 8), log_space(0.01, 100.0, 13));
+    let opts = solver_options();
+    let bundle = &corpus.mtv;
+
+    let mut empirical = Vec::new();
+    let mut predicted = Vec::new();
+    for &b in &buffers {
+        let curve: Vec<(f64, f64)> = cutoffs
+            .iter()
+            .map(|&tc| {
+                let model = bundle.model(MTV_UTILIZATION, b, tc);
+                (tc, solve(&model, &opts).loss())
+            })
+            .collect();
+        if curve.iter().all(|&(_, l)| l < 1e-12) {
+            continue;
+        }
+        if let Some(h) = empirical_horizon(&curve, FLATNESS_TOL) {
+            empirical.push((b, h));
+        }
+        // Eq. 26 with interval moments at a 1-second reference cutoff.
+        let iv = bundle.intervals(1.0);
+        let c = bundle.marginal.service_rate_for_utilization(MTV_UTILIZATION);
+        predicted.push((
+            b,
+            lrd_fluidq::correlation_horizon(
+                c * b,
+                iv.mean(),
+                iv.variance().sqrt(),
+                bundle.marginal.std_dev(),
+                0.99,
+            ),
+        ));
+    }
+
+    let fit = if empirical.len() >= 3 {
+        let xs: Vec<f64> = empirical.iter().map(|p| p.0.ln()).collect();
+        let ys: Vec<f64> = empirical.iter().map(|p| p.1.ln()).collect();
+        linear_fit(&xs, &ys)
+    } else {
+        LinearFit {
+            slope: f64::NAN,
+            intercept: f64::NAN,
+            r_squared: 0.0,
+        }
+    };
+    ChValidation {
+        empirical,
+        predicted,
+        fit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizons_scale_with_buffer() {
+        let corpus = Corpus::quick();
+        let v = run(&corpus, Profile::Quick);
+        assert!(!v.predicted.is_empty());
+        // Eq. 26 column is exactly linear in B.
+        for w in v.predicted.windows(2) {
+            let rb = w[1].0 / w[0].0;
+            let rt = w[1].1 / w[0].1;
+            assert!((rb - rt).abs() < 1e-9);
+        }
+        // Empirical horizons are non-decreasing in the buffer (the
+        // cutoff grid quantizes them, so allow equality).
+        for w in v.empirical.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1e-12,
+                "empirical horizon decreased: {w:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Fig. 2 — convergence of the discrete occupancy bounds
+//! `Q_{L,H}^M(n)` for `n = 5, 10, 30` iterations at `M = 100`.
+//!
+//! The lower chain starts empty, the upper chain starts full; as `n`
+//! grows the two cumulative distributions squeeze toward the
+//! stationary occupancy law from opposite sides.
+
+use crate::corpus::Corpus;
+use crate::figures::Profile;
+use lrd_fluidq::BoundSolver;
+
+/// The bound distributions after a given iteration count.
+#[derive(Debug, Clone)]
+pub struct BoundsSnapshot {
+    /// Iteration count `n` of this snapshot.
+    pub n: usize,
+    /// `Pr{Q_L^M(n) = j·d}`, `j = 0..=M`.
+    pub lower: Vec<f64>,
+    /// `Pr{Q_H^M(n) = j·d}`.
+    pub upper: Vec<f64>,
+}
+
+/// Fig. 2 data: the occupancy grid plus snapshots at the paper's
+/// iteration counts.
+#[derive(Debug, Clone)]
+pub struct Fig02 {
+    /// Occupancy grid values `j·d` in Mb, `j = 0..=M`.
+    pub occupancy: Vec<f64>,
+    /// Snapshots at `n = 5, 10, 30`.
+    pub snapshots: Vec<BoundsSnapshot>,
+}
+
+/// Runs Fig. 2 on the MTV bundle (utilization 0.8, normalized buffer
+/// 1 s, untruncated intervals) with the paper's `M = 100`.
+pub fn run(corpus: &Corpus, _profile: Profile) -> Fig02 {
+    let model = corpus.mtv.model(crate::corpus::MTV_UTILIZATION, 1.0, f64::INFINITY);
+    let bins = 100;
+    let d = model.buffer() / bins as f64;
+    let mut solver = BoundSolver::new(model, bins);
+    let mut snapshots = Vec::new();
+    for n in 1..=30usize {
+        solver.step();
+        if matches!(n, 5 | 10 | 30) {
+            snapshots.push(BoundsSnapshot {
+                n,
+                lower: solver.occupancy_lower().to_vec(),
+                upper: solver.occupancy_upper().to_vec(),
+            });
+        }
+    }
+    Fig02 {
+        occupancy: (0..=bins).map(|j| j as f64 * d).collect(),
+        snapshots,
+    }
+}
+
+/// CSV rendering: columns `q, qL5, qH5, qL10, qH10, qL30, qH30` of
+/// **cumulative** probabilities (the paper plots CDFs).
+pub fn to_csv(fig: &Fig02) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("occupancy");
+    for s in &fig.snapshots {
+        let _ = write!(out, ",qL{n},qH{n}", n = s.n);
+    }
+    out.push('\n');
+    let cumulate = |v: &[f64]| {
+        let mut acc = 0.0;
+        v.iter()
+            .map(|&p| {
+                acc += p;
+                acc
+            })
+            .collect::<Vec<_>>()
+    };
+    let cdfs: Vec<(Vec<f64>, Vec<f64>)> = fig
+        .snapshots
+        .iter()
+        .map(|s| (cumulate(&s.lower), cumulate(&s.upper)))
+        .collect();
+    for (j, &q) in fig.occupancy.iter().enumerate() {
+        let _ = write!(out, "{q:.6}");
+        for (lo, hi) in &cdfs {
+            let _ = write!(out, ",{:.6},{:.6}", lo[j], hi[j]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_squeeze_monotonically() {
+        let corpus = Corpus::quick();
+        let fig = run(&corpus, Profile::Quick);
+        assert_eq!(fig.snapshots.len(), 3);
+        assert_eq!(fig.occupancy.len(), 101);
+
+        // Stochastic order within every snapshot: the lower chain's CDF
+        // dominates the upper chain's CDF pointwise.
+        for s in &fig.snapshots {
+            let mut cl = 0.0;
+            let mut ch = 0.0;
+            for j in 0..s.lower.len() {
+                cl += s.lower[j];
+                ch += s.upper[j];
+                assert!(cl >= ch - 1e-9, "order violated at n={}, j={j}", s.n);
+            }
+        }
+        // Squeeze across n: the n=30 gap is no wider than the n=5 gap
+        // at the median of the grid.
+        let gap_at = |s: &BoundsSnapshot, j: usize| {
+            let cl: f64 = s.lower[..=j].iter().sum();
+            let ch: f64 = s.upper[..=j].iter().sum();
+            cl - ch
+        };
+        let mid = fig.occupancy.len() / 2;
+        assert!(gap_at(&fig.snapshots[2], mid) <= gap_at(&fig.snapshots[0], mid) + 1e-9);
+    }
+
+    #[test]
+    fn csv_has_expected_shape() {
+        let corpus = Corpus::quick();
+        let fig = run(&corpus, Profile::Quick);
+        let csv = to_csv(&fig);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "occupancy,qL5,qH5,qL10,qH10,qL30,qH30"
+        );
+        assert_eq!(lines.count(), 101);
+    }
+}

@@ -1,0 +1,86 @@
+//! Fig. 3 — the marginal rate distributions of the MTV and Bellcore
+//! traces (50-bin histograms).
+
+use crate::corpus::Corpus;
+use crate::output::Series;
+
+/// Returns the two marginal-distribution series (`rate → probability`).
+pub fn run(corpus: &Corpus) -> Vec<Series> {
+    [&corpus.mtv, &corpus.bellcore]
+        .into_iter()
+        .map(|b| {
+            Series::new(
+                b.name,
+                b.marginal
+                    .rates()
+                    .iter()
+                    .copied()
+                    .zip(b.marginal.probs().iter().copied())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// CSV rendering: each series separately (the rate grids differ), as
+/// `trace,rate,probability` long format.
+pub fn to_csv(series: &[Series]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("trace,rate_mbps,probability\n");
+    for s in series {
+        for &(r, p) in &s.points {
+            let _ = writeln!(out, "{},{r:.6},{p:.8}", s.name);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_normalized_marginals() {
+        let series = run(&Corpus::quick());
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            let total: f64 = s.points.iter().map(|p| p.1).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{} sums to {total}", s.name);
+            assert!(s.points.len() <= 50);
+        }
+    }
+
+    #[test]
+    fn shapes_match_the_paper_qualitatively() {
+        // MTV: concentrated unimodal around ~9.5 Mb/s.
+        // Bellcore: mass piled near zero with a long tail.
+        let series = run(&Corpus::quick());
+        let mode = |s: &Series| {
+            s.points
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let mtv_mode = mode(&series[0]);
+        assert!(
+            (mtv_mode - 9.5).abs() < 3.0,
+            "MTV mode at {mtv_mode} Mb/s, expected near 9.5"
+        );
+        let bc_mode = mode(&series[1]);
+        let bc_max = series[1].points.last().unwrap().0;
+        assert!(
+            bc_mode < 0.3 * bc_max,
+            "Bellcore mode {bc_mode} should sit in the low-rate region (max {bc_max})"
+        );
+    }
+
+    #[test]
+    fn csv_format() {
+        let csv = to_csv(&run(&Corpus::quick()));
+        assert!(csv.starts_with("trace,rate_mbps,probability\n"));
+        assert!(csv.contains("MTV,"));
+        assert!(csv.contains("Bellcore,"));
+    }
+}

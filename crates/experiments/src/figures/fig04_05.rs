@@ -1,0 +1,114 @@
+//! Figs. 4 and 5 — the loss rate predicted by the **model** as a
+//! function of normalized buffer size and cutoff lag (MTV at
+//! utilization 0.8, Bellcore at 0.4).
+//!
+//! These are the surfaces that exhibit the paper's two headline
+//! phenomena: the **correlation horizon** (for each buffer, loss stops
+//! changing once `T_c` exceeds a buffer-dependent value) and **buffer
+//! ineffectiveness** (for large `T_c`, growing the buffer barely
+//! reduces loss).
+
+use crate::corpus::{Corpus, TraceBundle, BC_UTILIZATION, MTV_UTILIZATION};
+use crate::figures::{log_space, solver_options, Profile};
+use crate::output::Grid;
+use lrd_fluidq::solve;
+
+/// Loss-rate grid over `(normalized buffer, cutoff lag)` for one
+/// bundle, solved with the paper's convergence protocol at every
+/// point.
+pub fn loss_grid(bundle: &TraceBundle, utilization: f64, profile: Profile) -> Grid {
+    let buffers = profile.pick(
+        log_space(0.05, 2.0, 3),
+        log_space(0.01, 5.0, 7),
+    );
+    let mut cutoffs = profile.pick(
+        log_space(0.05, 5.0, 3),
+        log_space(0.01, 100.0, 7),
+    );
+    cutoffs.push(f64::INFINITY);
+
+    let opts = solver_options();
+    let values = buffers
+        .iter()
+        .map(|&b| {
+            cutoffs
+                .iter()
+                .map(|&tc| solve(&bundle.model(utilization, b, tc), &opts).loss())
+                .collect()
+        })
+        .collect();
+    Grid {
+        x_label: "cutoff_s".into(),
+        y_label: "buffer_s".into(),
+        value_label: "loss_rate".into(),
+        xs: cutoffs,
+        ys: buffers,
+        values,
+    }
+}
+
+/// Fig. 4: the MTV surface at utilization 0.8.
+pub fn fig04(corpus: &Corpus, profile: Profile) -> Grid {
+    loss_grid(&corpus.mtv, MTV_UTILIZATION, profile)
+}
+
+/// Fig. 5: the Bellcore surface at utilization 0.4.
+pub fn fig05(corpus: &Corpus, profile: Profile) -> Grid {
+    loss_grid(&corpus.bellcore, BC_UTILIZATION, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtv_surface_shape() {
+        let corpus = Corpus::quick();
+        let g = fig04(&corpus, Profile::Quick);
+        g.validate();
+        // Loss is non-increasing in buffer (rows, at fixed cutoff) and
+        // non-decreasing in cutoff (columns, at fixed buffer).
+        for j in 0..g.xs.len() {
+            for i in 1..g.ys.len() {
+                assert!(
+                    g.values[i][j] <= g.values[i - 1][j] * 1.05 + 1e-12,
+                    "loss increased with buffer at cutoff {}",
+                    g.xs[j]
+                );
+            }
+        }
+        for i in 0..g.ys.len() {
+            for j in 1..g.xs.len() {
+                assert!(
+                    g.values[i][j] >= g.values[i][j - 1] * 0.95 - 1e-12,
+                    "loss decreased with cutoff at buffer {}",
+                    g.ys[i]
+                );
+            }
+        }
+        // All values are valid loss rates.
+        assert!(g
+            .values
+            .iter()
+            .flatten()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn correlation_horizon_exists() {
+        // For the smallest buffer, the loss at a moderate cutoff is
+        // already close to the infinite-cutoff loss — correlation
+        // beyond the horizon is irrelevant.
+        let corpus = Corpus::quick();
+        let g = fig04(&corpus, Profile::Quick);
+        let row = &g.values[0]; // smallest buffer
+        let last = *row.last().unwrap(); // T_c = ∞
+        let mid = row[row.len() - 2]; // largest finite cutoff
+        if last > 0.0 {
+            assert!(
+                ((mid - last) / last).abs() < 0.5,
+                "moderate-cutoff loss {mid} far from infinite-cutoff loss {last}"
+            );
+        }
+    }
+}

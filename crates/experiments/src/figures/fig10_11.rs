@@ -1,0 +1,142 @@
+//! Figs. 10 and 11 — the Hurst parameter vs. the marginal
+//! distribution, MTV at utilization 0.8, normalized buffer 1 s,
+//! `T_c = ∞`.
+//!
+//! * Fig. 10 sweeps the **marginal scaling factor** `a`
+//!   (`λ' = λ̄ + a(λ − λ̄)`) against `H`;
+//! * Fig. 11 sweeps the **number of superposed streams** `n`
+//!   (the `n`-fold convolution renormalized to the original mean)
+//!   against `H`.
+//!
+//! The paper's point: over the practically relevant ranges, changing
+//! the marginal moves the loss rate by more than an order of magnitude
+//! while changing `H` moves it far less. Following the paper, θ is
+//! held at the value calibrated for the *nominal* Hurst parameter so
+//! the sweep isolates the tail exponent from the short-range structure.
+
+use crate::corpus::{Corpus, MTV_UTILIZATION};
+use crate::figures::{lin_space, solver_options, Profile};
+use crate::output::Grid;
+use lrd_fluidq::{solve, QueueModel};
+
+/// Normalized buffer for both figures (seconds).
+pub const BUFFER_S: f64 = 1.0;
+
+/// Fig. 10: loss over `(H, scaling factor a)`.
+pub fn fig10(corpus: &Corpus, profile: Profile) -> Grid {
+    let hursts = profile.pick(lin_space(0.55, 0.95, 3), lin_space(0.55, 0.95, 5));
+    let scales = profile.pick(lin_space(0.5, 1.5, 3), lin_space(0.5, 1.5, 5));
+    let opts = solver_options();
+    let bundle = &corpus.mtv;
+    let values = hursts
+        .iter()
+        .map(|&h| {
+            scales
+                .iter()
+                .map(|&a| {
+                    let model = QueueModel::from_utilization(
+                        bundle.marginal.scaled(a),
+                        bundle.intervals_at_hurst(h, f64::INFINITY),
+                        MTV_UTILIZATION,
+                        BUFFER_S,
+                    );
+                    solve(&model, &opts).loss()
+                })
+                .collect()
+        })
+        .collect();
+    Grid {
+        x_label: "scaling_a".into(),
+        y_label: "hurst".into(),
+        value_label: "loss_rate".into(),
+        xs: scales,
+        ys: hursts,
+        values,
+    }
+}
+
+/// Fig. 11: loss over `(H, number of superposed streams n)`.
+pub fn fig11(corpus: &Corpus, profile: Profile) -> Grid {
+    let hursts = profile.pick(lin_space(0.55, 0.95, 3), lin_space(0.55, 0.95, 5));
+    let streams: Vec<f64> = profile.pick(vec![1.0, 3.0, 10.0], (1..=10).map(f64::from).collect());
+    let opts = solver_options();
+    let bundle = &corpus.mtv;
+    let values = hursts
+        .iter()
+        .map(|&h| {
+            streams
+                .iter()
+                .map(|&n| {
+                    let marginal = bundle.marginal.superpose(n as usize, 200);
+                    let model = QueueModel::from_utilization(
+                        marginal,
+                        bundle.intervals_at_hurst(h, f64::INFINITY),
+                        MTV_UTILIZATION,
+                        BUFFER_S,
+                    );
+                    solve(&model, &opts).loss()
+                })
+                .collect()
+        })
+        .collect();
+    Grid {
+        x_label: "streams_n".into(),
+        y_label: "hurst".into(),
+        value_label: "loss_rate".into(),
+        xs: streams,
+        ys: hursts,
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_dominates_hurst() {
+        let corpus = Corpus::quick();
+        let g = fig10(&corpus, Profile::Quick);
+        g.validate();
+        // Effect of scaling a: 1.5 → 0.5 at the middle H.
+        let mid = g.ys.len() / 2;
+        let scale_hi = g.values[mid].last().unwrap();
+        let scale_lo = g.values[mid][0];
+        // Effect of H: 0.95 vs 0.55 at nominal scaling a = 1.
+        let a_mid = g.xs.len() / 2;
+        let h_hi = g.values[g.ys.len() - 1][a_mid];
+        let h_lo = g.values[0][a_mid];
+        let scale_effect = scale_hi / scale_lo.max(1e-300);
+        let h_effect = (h_hi / h_lo.max(1e-300)).max(h_lo / h_hi.max(1e-300));
+        // Paper headline: the marginal transformation moves loss by
+        // more than an order of magnitude. The *relative* dominance of
+        // scaling over H depends on the marginal width and is recorded
+        // quantitatively for the full profile in EXPERIMENTS.md; here
+        // we require the scaling effect to be at least of the same
+        // order as the Hurst effect.
+        assert!(
+            scale_effect > 10.0,
+            "scaling 0.5→1.5 should move loss by >10×, got {scale_effect:.2e}"
+        );
+        assert!(
+            scale_effect > 0.2 * h_effect,
+            "scaling effect {scale_effect:.2e} vanishingly small next to Hurst effect {h_effect:.2e}"
+        );
+    }
+
+    #[test]
+    fn multiplexing_reduces_loss() {
+        let corpus = Corpus::quick();
+        let g = fig11(&corpus, Profile::Quick);
+        g.validate();
+        for (i, row) in g.values.iter().enumerate() {
+            let single = row[0];
+            let many = *row.last().unwrap();
+            assert!(
+                many < single || single == 0.0,
+                "H={}: n=10 loss {many:.2e} not below n=1 loss {single:.2e}",
+                g.ys[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Figs. 12 and 13 — normalized buffer size vs. marginal scaling
+//! factor (MTV at utilization 0.8, Bellcore at 0.4, `T_c = ∞`).
+//!
+//! The paper's punchline: halving the marginal's width (`a: 1 → 0.5`)
+//! reduces loss more than growing the buffer to 5 s — "controlling the
+//! loss rate by increasing the buffer size is much less efficient than
+//! controlling the loss rate by adjusting the marginal distribution".
+
+use crate::corpus::{Corpus, TraceBundle, BC_UTILIZATION, MTV_UTILIZATION};
+use crate::figures::{lin_space, log_space, solver_options, Profile};
+use crate::output::Grid;
+use lrd_fluidq::{solve, QueueModel};
+
+/// Loss grid over `(normalized buffer, scaling factor)` at `T_c = ∞`.
+pub fn buffer_scaling_grid(bundle: &TraceBundle, utilization: f64, profile: Profile) -> Grid {
+    let buffers = profile.pick(log_space(0.05, 2.0, 3), log_space(0.01, 5.0, 7));
+    let scales = profile.pick(lin_space(0.5, 1.5, 3), lin_space(0.5, 1.5, 5));
+    let opts = solver_options();
+    let values = buffers
+        .iter()
+        .map(|&b| {
+            scales
+                .iter()
+                .map(|&a| {
+                    let model = QueueModel::from_utilization(
+                        bundle.marginal.scaled(a),
+                        bundle.intervals(f64::INFINITY),
+                        utilization,
+                        b,
+                    );
+                    solve(&model, &opts).loss()
+                })
+                .collect()
+        })
+        .collect();
+    Grid {
+        x_label: "scaling_a".into(),
+        y_label: "buffer_s".into(),
+        value_label: "loss_rate".into(),
+        xs: scales,
+        ys: buffers,
+        values,
+    }
+}
+
+/// Fig. 12: MTV at utilization 0.8.
+pub fn fig12(corpus: &Corpus, profile: Profile) -> Grid {
+    buffer_scaling_grid(&corpus.mtv, MTV_UTILIZATION, profile)
+}
+
+/// Fig. 13: Bellcore at utilization 0.4.
+pub fn fig13(corpus: &Corpus, profile: Profile) -> Grid {
+    buffer_scaling_grid(&corpus.bellcore, BC_UTILIZATION, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrowing_the_marginal_beats_buffering() {
+        let corpus = Corpus::quick();
+        let g = fig12(&corpus, Profile::Quick);
+        g.validate();
+        // Loss at (smallest buffer, a = 0.5) vs (largest buffer, a = 1).
+        let narrow_small_buf = g.values[0][0];
+        let wide_big_buf = g.values[g.ys.len() - 1][g.xs.len() / 2];
+        assert!(
+            narrow_small_buf <= wide_big_buf * 2.0 + 1e-12,
+            "narrowed marginal with tiny buffer ({narrow_small_buf:.2e}) should rival \
+             the widest buffer at nominal scaling ({wide_big_buf:.2e})"
+        );
+    }
+
+    #[test]
+    fn loss_monotone_in_both_axes() {
+        let corpus = Corpus::quick();
+        for g in [fig12(&corpus, Profile::Quick), fig13(&corpus, Profile::Quick)] {
+            for i in 0..g.ys.len() {
+                for j in 1..g.xs.len() {
+                    assert!(
+                        g.values[i][j] >= g.values[i][j - 1] * 0.9 - 1e-12,
+                        "loss not increasing in scaling at buffer {}",
+                        g.ys[i]
+                    );
+                }
+            }
+            for j in 0..g.xs.len() {
+                for i in 1..g.ys.len() {
+                    assert!(
+                        g.values[i][j] <= g.values[i - 1][j] * 1.1 + 1e-12,
+                        "loss not decreasing in buffer at scaling {}",
+                        g.xs[j]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! One module per paper figure (Fig. 6 is a procedure illustration —
+//! the shuffling itself — exercised by figs. 7/8/14 and the
+//! `lrd-traffic` tests rather than regenerated as data).
+
+pub mod fig02;
+pub mod fig03;
+pub mod fig04_05;
+pub mod fig07_08;
+pub mod fig09;
+pub mod fig10_11;
+pub mod fig12_13;
+pub mod fig14;
+pub mod ch_validation;
+pub mod markov_baseline;
+
+use lrd_fluidq::SolverOptions;
+
+/// Grid-size profile: `Quick` keeps every experiment under a couple of
+/// seconds for tests; `Full` reproduces the published resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Reduced grids, short traces; used by the test suite.
+    Quick,
+    /// Publication-resolution grids.
+    Full,
+}
+
+impl Profile {
+    /// Picks one of two values by profile.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Profile::Quick => quick,
+            Profile::Full => full,
+        }
+    }
+}
+
+/// Solver options shared by all experiments: the paper's convergence
+/// protocol with a refinement ceiling that keeps worst-case points
+/// bounded on a laptop.
+pub fn solver_options() -> SolverOptions {
+    SolverOptions {
+        initial_bins: 128,
+        max_bins: 1 << 14,
+        // Sweeps contain many deep-loss points whose bounds converge
+        // slowly; cap per-point work so a full figure stays in the
+        // minutes range on one core. Capped points still return valid
+        // (just looser) bounds.
+        max_total_cost: 1e7,
+        ..SolverOptions::default()
+    }
+}
+
+/// Logarithmically spaced values from `lo` to `hi` inclusive.
+pub fn log_space(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && count >= 2);
+    let (a, b) = (lo.ln(), hi.ln());
+    (0..count)
+        .map(|i| (a + (b - a) * i as f64 / (count - 1) as f64).exp())
+        .collect()
+}
+
+/// Linearly spaced values from `lo` to `hi` inclusive.
+pub fn lin_space(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(hi > lo && count >= 2);
+    (0..count)
+        .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spacings() {
+        let l = log_space(0.01, 100.0, 5);
+        assert_eq!(l.len(), 5);
+        assert!((l[0] - 0.01).abs() < 1e-12);
+        assert!((l[4] - 100.0).abs() < 1e-9);
+        // Constant ratio.
+        let r = l[1] / l[0];
+        for w in l.windows(2) {
+            assert!((w[1] / w[0] - r).abs() < 1e-9);
+        }
+        let s = lin_space(0.0, 1.0, 3);
+        assert_eq!(s, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn profile_pick() {
+        assert_eq!(Profile::Quick.pick(1, 2), 1);
+        assert_eq!(Profile::Full.pick(1, 2), 2);
+    }
+}

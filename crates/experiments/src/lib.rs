@@ -1,0 +1,27 @@
+//! Experiment harness: one module per figure of the paper's evaluation.
+//!
+//! Every figure in Grossglauser & Bolot's evaluation (there are no
+//! tables) has a `run` function here and a binary target
+//! (`cargo run --release -p lrd-experiments --bin figNN`) that prints
+//! the regenerated series as CSV and a human-readable summary. The
+//! `EXPERIMENTS.md` file at the workspace root records the
+//! paper-vs-measured comparison for each.
+//!
+//! All experiments consume the deterministic synthetic trace corpus of
+//! [`corpus::Corpus`] (seeded stand-ins for the paper's MTV and
+//! Bellcore recordings — see `DESIGN.md` for the substitution
+//! rationale), so every number is bit-for-bit reproducible.
+//!
+//! Each experiment supports a `quick` profile with a reduced grid so
+//! the integration test suite can exercise every figure end-to-end in
+//! seconds; the binaries default to the full profile.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod figures;
+pub mod gnuplot;
+pub mod output;
+
+pub use corpus::Corpus;
+pub use output::{Grid, Series};

@@ -1,0 +1,258 @@
+//! Result containers and plain-text/CSV rendering.
+//!
+//! The experiment binaries print CSV so the paper's figures can be
+//! re-plotted with any tool, plus a coarse ASCII rendering for eyeball
+//! checks in the terminal. No serialization crates are needed — the
+//! data are small numeric tables.
+
+use std::fmt::Write as _;
+
+/// A named 1-D series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Display name (becomes the CSV column header).
+    pub name: String,
+    /// The points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// A labelled 2-D grid of values, `values[i][j]` at `(ys[i], xs[j])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Label of the x axis (columns).
+    pub x_label: String,
+    /// Label of the y axis (rows).
+    pub y_label: String,
+    /// Label of the cell values.
+    pub value_label: String,
+    /// Column coordinates.
+    pub xs: Vec<f64>,
+    /// Row coordinates.
+    pub ys: Vec<f64>,
+    /// Row-major values; `values.len() == ys.len()`, each row
+    /// `xs.len()` long.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl Grid {
+    /// Validates shape invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value matrix does not match the axes.
+    pub fn validate(&self) {
+        assert_eq!(self.values.len(), self.ys.len(), "row count mismatch");
+        for row in &self.values {
+            assert_eq!(row.len(), self.xs.len(), "column count mismatch");
+        }
+    }
+
+    /// One row as a [`Series`] over the x axis.
+    pub fn row_series(&self, i: usize) -> Series {
+        Series::new(
+            format!("{}={}", self.y_label, self.ys[i]),
+            self.xs.iter().copied().zip(self.values[i].iter().copied()).collect(),
+        )
+    }
+
+    /// Renders the grid as long-format CSV (`y,x,value` rows).
+    pub fn to_csv(&self) -> String {
+        self.validate();
+        let mut out = String::new();
+        let _ = writeln!(out, "{},{},{}", self.y_label, self.x_label, self.value_label);
+        for (i, &y) in self.ys.iter().enumerate() {
+            for (j, &x) in self.xs.iter().enumerate() {
+                let _ = writeln!(out, "{},{},{}", fmt_num(y), fmt_num(x), fmt_num(self.values[i][j]));
+            }
+        }
+        out
+    }
+
+    /// Renders a compact fixed-width table (rows = y, columns = x),
+    /// values in scientific notation.
+    pub fn to_table(&self) -> String {
+        self.validate();
+        let mut out = String::new();
+        let _ = write!(out, "{:>12} |", format!("{}\\{}", self.y_label, self.x_label));
+        for &x in &self.xs {
+            let _ = write!(out, " {:>10}", trim_sig(x));
+        }
+        let _ = writeln!(out);
+        let width = 14 + 11 * self.xs.len();
+        let _ = writeln!(out, "{}", "-".repeat(width));
+        for (i, &y) in self.ys.iter().enumerate() {
+            let _ = write!(out, "{:>12} |", trim_sig(y));
+            for v in &self.values[i] {
+                let _ = write!(out, " {:>10}", format_loss(*v));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Renders multiple series as wide-format CSV on a shared x column.
+///
+/// All series must have identical x coordinates.
+///
+/// # Panics
+///
+/// Panics if the series' x grids differ.
+pub fn series_to_csv(x_label: &str, series: &[Series]) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let xs: Vec<f64> = series[0].points.iter().map(|p| p.0).collect();
+    for s in series {
+        let this: Vec<f64> = s.points.iter().map(|p| p.0).collect();
+        assert_eq!(this, xs, "series '{}' has a different x grid", s.name);
+    }
+    let mut out = String::new();
+    let _ = write!(out, "{x_label}");
+    for s in series {
+        let _ = write!(out, ",{}", s.name);
+    }
+    let _ = writeln!(out);
+    for (i, &x) in xs.iter().enumerate() {
+        let _ = write!(out, "{}", fmt_num(x));
+        for s in series {
+            let _ = write!(out, ",{}", fmt_num(s.points[i].1));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes a string to `results/<name>` under the workspace root,
+/// creating the directory if needed. Returns the path written.
+pub fn write_results_file(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == f64::INFINITY {
+        "inf".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e-3 && v.abs() < 1e6 {
+        let s = format!("{v:.6}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        format!("{v:.6e}")
+    }
+}
+
+fn trim_sig(v: f64) -> String {
+    if v == f64::INFINITY {
+        "inf".to_string()
+    } else {
+        let s = format!("{v:.3}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// Formats a loss rate for tables: `0` or scientific with two digits.
+fn format_loss(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_csv_long_format() {
+        let g = Grid {
+            x_label: "tc".into(),
+            y_label: "b".into(),
+            value_label: "loss".into(),
+            xs: vec![1.0, 2.0],
+            ys: vec![0.5],
+            values: vec![vec![0.1, 0.0]],
+        };
+        let csv = g.to_csv();
+        assert!(csv.starts_with("b,tc,loss\n"));
+        assert!(csv.contains("0.5,1,0.1"));
+        assert!(csv.contains("0.5,2,0"));
+    }
+
+    #[test]
+    fn grid_table_renders() {
+        let g = Grid {
+            x_label: "tc".into(),
+            y_label: "b".into(),
+            value_label: "loss".into(),
+            xs: vec![1.0, f64::INFINITY],
+            ys: vec![0.5, 5.0],
+            values: vec![vec![0.1, 0.2], vec![0.0, 1e-9]],
+        };
+        let t = g.to_table();
+        assert!(t.contains("inf"));
+        assert!(t.contains("1.00e-9"));
+    }
+
+    #[test]
+    fn series_csv_wide_format() {
+        let s1 = Series::new("mtv", vec![(1.0, 0.1), (2.0, 0.2)]);
+        let s2 = Series::new("bc", vec![(1.0, 0.3), (2.0, 0.4)]);
+        let csv = series_to_csv("tc", &[s1, s2]);
+        assert!(csv.starts_with("tc,mtv,bc\n"));
+        assert!(csv.contains("1,0.1,0.3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different x grid")]
+    fn mismatched_series_rejected() {
+        let s1 = Series::new("a", vec![(1.0, 0.1)]);
+        let s2 = Series::new("b", vec![(2.0, 0.3)]);
+        series_to_csv("x", &[s1, s2]);
+    }
+
+    #[test]
+    fn row_series_extraction() {
+        let g = Grid {
+            x_label: "x".into(),
+            y_label: "y".into(),
+            value_label: "v".into(),
+            xs: vec![1.0, 2.0],
+            ys: vec![10.0],
+            values: vec![vec![0.5, 0.6]],
+        };
+        let s = g.row_series(0);
+        assert_eq!(s.points, vec![(1.0, 0.5), (2.0, 0.6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn grid_validation() {
+        Grid {
+            x_label: "x".into(),
+            y_label: "y".into(),
+            value_label: "v".into(),
+            xs: vec![1.0],
+            ys: vec![1.0, 2.0],
+            values: vec![vec![0.0]],
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,248 @@
+//! Linear convolution of real sequences.
+//!
+//! Three entry points:
+//!
+//! * [`convolve_direct`] — the `O(nm)` schoolbook algorithm,
+//! * [`convolve_fft`] — zero-padded FFT convolution, `O(N log N)`,
+//! * [`convolve`] — picks whichever is cheaper for the given sizes.
+//!
+//! The loss solver convolves the *same* work-increment kernel against
+//! an evolving occupancy vector on every iteration; [`Convolver`] caches
+//! the kernel's spectrum and the FFT plan so each iteration costs two
+//! transforms instead of three.
+
+use crate::complex::Complex;
+use crate::transform::{next_pow2, Fft};
+
+/// Size product above which the FFT path wins over the direct path.
+/// Chosen empirically (see `lrd-bench`'s `conv_crossover` bench); the
+/// exact value is not critical because both paths are exact.
+const DIRECT_THRESHOLD: usize = 64 * 1024;
+
+/// Schoolbook linear convolution. Output length is `a.len() + b.len() - 1`
+/// (empty if either input is empty).
+pub fn convolve_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let n = a.len() + b.len() - 1;
+    let mut out = vec![0.0; n];
+    // Iterate the shorter sequence in the outer loop for better locality.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    for (i, &s) in short.iter().enumerate() {
+        if s == 0.0 {
+            continue;
+        }
+        for (j, &l) in long.iter().enumerate() {
+            out[i + j] += s * l;
+        }
+    }
+    out
+}
+
+/// FFT-based linear convolution with zero padding to the next power of
+/// two `>= a.len() + b.len() - 1`.
+pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = next_pow2(out_len);
+    let plan = Fft::new(n);
+    let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fa.resize(n, Complex::ZERO);
+    let mut fb: Vec<Complex> = b.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fb.resize(n, Complex::ZERO);
+    plan.forward(&mut fa);
+    plan.forward(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    plan.inverse(&mut fa);
+    fa.truncate(out_len);
+    fa.into_iter().map(|z| z.re).collect()
+}
+
+/// Linear convolution choosing the direct or FFT path by size.
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.len().saturating_mul(b.len()) <= DIRECT_THRESHOLD {
+        convolve_direct(a, b)
+    } else {
+        convolve_fft(a, b)
+    }
+}
+
+/// A convolution plan for repeatedly convolving different signals of a
+/// fixed length against a fixed kernel.
+#[derive(Debug, Clone)]
+pub struct Convolver {
+    kernel_len: usize,
+    signal_len: usize,
+    /// `None` when the direct path is cheaper; then `kernel` holds the
+    /// time-domain kernel instead.
+    plan: Option<(Fft, Vec<Complex>)>,
+    kernel: Vec<f64>,
+    /// Scratch buffer reused across calls (FFT path only).
+    scratch: Vec<Complex>,
+}
+
+impl Convolver {
+    /// Plans convolution of signals of length `signal_len` against
+    /// `kernel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is empty or `signal_len` is zero.
+    pub fn new(kernel: &[f64], signal_len: usize) -> Self {
+        assert!(!kernel.is_empty(), "Convolver kernel must be non-empty");
+        assert!(signal_len > 0, "Convolver signal length must be positive");
+        let use_fft = kernel.len().saturating_mul(signal_len) > DIRECT_THRESHOLD;
+        let plan = if use_fft {
+            let out_len = kernel.len() + signal_len - 1;
+            let n = next_pow2(out_len);
+            let plan = Fft::new(n);
+            let mut fk: Vec<Complex> = kernel.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            fk.resize(n, Complex::ZERO);
+            plan.forward(&mut fk);
+            Some((plan, fk))
+        } else {
+            None
+        };
+        Convolver {
+            kernel_len: kernel.len(),
+            signal_len,
+            plan,
+            kernel: kernel.to_vec(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Output length of each convolution.
+    pub fn output_len(&self) -> usize {
+        self.kernel_len + self.signal_len - 1
+    }
+
+    /// Convolves `signal` (which must have the planned length) against
+    /// the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len()` differs from the planned signal length.
+    pub fn conv(&mut self, signal: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            signal.len(),
+            self.signal_len,
+            "Convolver signal length mismatch"
+        );
+        match &self.plan {
+            None => convolve_direct(&self.kernel, signal),
+            Some((plan, fk)) => {
+                let n = plan.len();
+                self.scratch.clear();
+                self.scratch
+                    .extend(signal.iter().map(|&x| Complex::new(x, 0.0)));
+                self.scratch.resize(n, Complex::ZERO);
+                plan.forward(&mut self.scratch);
+                for (x, k) in self.scratch.iter_mut().zip(fk) {
+                    *x *= *k;
+                }
+                plan.inverse(&mut self.scratch);
+                self.scratch[..self.output_len()]
+                    .iter()
+                    .map(|z| z.re)
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn direct_known_values() {
+        // [1,2,3] * [4,5] = [4, 13, 22, 15]
+        let c = convolve_direct(&[1.0, 2.0, 3.0], &[4.0, 5.0]);
+        assert_close(&c, &[4.0, 13.0, 22.0, 15.0], 1e-12);
+    }
+
+    #[test]
+    fn identity_kernel() {
+        let x = [3.0, -1.0, 2.5, 0.0, 7.0];
+        let c = convolve_direct(&x, &[1.0]);
+        assert_close(&c, &x, 1e-12);
+    }
+
+    #[test]
+    fn fft_matches_direct() {
+        for (la, lb) in [(1, 1), (3, 7), (17, 5), (100, 201), (64, 64), (1000, 2001)] {
+            let a: Vec<f64> = (0..la).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+            let b: Vec<f64> = (0..lb).map(|i| ((i * 5) % 11) as f64 * 0.25).collect();
+            let want = convolve_direct(&a, &b);
+            let got = convolve_fft(&a, &b);
+            assert_close(&got, &want, 1e-8);
+        }
+    }
+
+    #[test]
+    fn auto_path_matches() {
+        let a: Vec<f64> = (0..500).map(|i| (i as f64 * 0.01).sin()).collect();
+        let b: Vec<f64> = (0..999).map(|i| (i as f64 * 0.02).cos()).collect();
+        assert_close(&convolve(&a, &b), &convolve_direct(&a, &b), 1e-8);
+    }
+
+    #[test]
+    fn convolver_matches_free_function() {
+        for &(lk, ls) in &[(5usize, 9usize), (101, 257), (513, 1024)] {
+            let k: Vec<f64> = (0..lk).map(|i| (i as f64).sqrt()).collect();
+            let s: Vec<f64> = (0..ls).map(|i| 1.0 / (1.0 + i as f64)).collect();
+            let mut cv = Convolver::new(&k, ls);
+            assert_close(&cv.conv(&s), &convolve_direct(&k, &s), 1e-8);
+            // Call again to verify the scratch buffer is reusable.
+            assert_close(&cv.conv(&s), &convolve_direct(&k, &s), 1e-8);
+        }
+    }
+
+    #[test]
+    fn convolver_forced_fft_path() {
+        // Sizes above the threshold: product 512*512 = 262144 > 65536.
+        let k: Vec<f64> = (0..512).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let s: Vec<f64> = (0..512).map(|i| ((i % 5) as f64) * 0.5).collect();
+        let mut cv = Convolver::new(&k, s.len());
+        assert!(cv.plan.is_some(), "expected FFT path");
+        assert_close(&cv.conv(&s), &convolve_direct(&k, &s), 1e-7);
+    }
+
+    #[test]
+    fn probability_mass_preserved() {
+        // Convolving two probability vectors yields a probability vector.
+        let p = [0.2, 0.5, 0.3];
+        let q = [0.1, 0.4, 0.4, 0.1];
+        for c in [convolve_direct(&p, &q), convolve_fft(&p, &q)] {
+            let total: f64 = c.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            assert!(c.iter().all(|&x| x >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn commutativity() {
+        let a = [1.0, -2.0, 3.0, 0.5];
+        let b = [0.25, 4.0];
+        assert_close(&convolve_direct(&a, &b), &convolve_direct(&b, &a), 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(convolve_direct(&[], &[1.0]).is_empty());
+        assert!(convolve_fft(&[1.0], &[]).is_empty());
+    }
+}

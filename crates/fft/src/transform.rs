@@ -1,0 +1,251 @@
+//! Iterative radix-2 decimation-in-time FFT.
+//!
+//! [`Fft`] precomputes the bit-reversal permutation and twiddle factors
+//! for a fixed power-of-two size so that repeated transforms (the loss
+//! solver transforms the same-size vectors hundreds of times per solve)
+//! pay the trigonometry cost once.
+
+use crate::complex::Complex;
+
+/// Returns the smallest power of two `>= n` (and `>= 1`).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// A planned FFT of fixed power-of-two length.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    /// Twiddle factors `e^{-2πik/n}` for `k in 0..n/2`.
+    twiddles: Vec<Complex>,
+    /// Bit-reversal permutation of `0..n`.
+    rev: Vec<u32>,
+}
+
+impl Fft {
+    /// Plans a transform of length `n`, which must be a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        assert!(n <= u32::MAX as usize, "FFT length too large");
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::from_polar_unit(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        Fft { n, twiddles, rev }
+    }
+
+    /// The planned transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the planned length is zero (it never is; kept
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward transform: `X[k] = Σ_j x[j] e^{-2πijk/n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "FFT buffer length mismatch");
+        self.permute(data);
+        self.butterflies(data);
+    }
+
+    /// In-place inverse transform, including the `1/n` normalization:
+    /// `x[j] = (1/n) Σ_k X[k] e^{+2πijk/n}`.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "FFT buffer length mismatch");
+        // ifft(x) = conj(fft(conj(x))) / n
+        for z in data.iter_mut() {
+            *z = z.conj();
+        }
+        self.permute(data);
+        self.butterflies(data);
+        let inv_n = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.conj().scale(inv_n);
+        }
+    }
+
+    fn permute(&self, data: &mut [Complex]) {
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, data: &mut [Complex]) {
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * step];
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// One-shot forward FFT of a power-of-two-length buffer.
+pub fn fft(data: &mut [Complex]) {
+    Fft::new(data.len()).forward(data);
+}
+
+/// One-shot inverse FFT (normalized) of a power-of-two-length buffer.
+pub fn ifft(data: &mut [Complex]) {
+    Fft::new(data.len()).inverse(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n²) DFT used as the reference implementation.
+    fn dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let theta = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                    acc += v * Complex::from_polar_unit(theta);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch at {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 256] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let want = dft(&x);
+            let mut got = x.clone();
+            fft(&mut got);
+            assert_close(&got, &want, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for &n in &[1usize, 2, 8, 128, 1024] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+                .collect();
+            let mut y = x.clone();
+            fft(&mut y);
+            ifft(&mut y);
+            assert_close(&y, &x, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        fft(&mut x);
+        for z in &x {
+            assert!((z.re - 1.0).abs() < 1e-12);
+            assert!(z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_has_dc_only() {
+        let mut x = vec![Complex::ONE; 32];
+        fft(&mut x);
+        assert!((x[0].re - 32.0).abs() < 1e-10);
+        for z in &x[1..] {
+            assert!(z.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let n = 256;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.1).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x.clone();
+        fft(&mut y);
+        let freq_energy: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (i * i) as f64)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+
+        let plan = Fft::new(n);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        plan.forward(&mut fs);
+        for i in 0..n {
+            assert!((fs[i] - (fa[i] + fb[i])).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        Fft::new(12);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1023), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+}

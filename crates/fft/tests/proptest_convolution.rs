@@ -1,0 +1,86 @@
+//! Property-based tests of the FFT and convolution kernels.
+
+use lrd_fft::{convolve, convolve_direct, convolve_fft, fft, ifft, Complex, Convolver};
+use proptest::prelude::*;
+
+fn small_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, 1..80)
+}
+
+proptest! {
+    #[test]
+    fn fft_roundtrip_is_identity(re in proptest::collection::vec(-1e3f64..1e3, 1..64)) {
+        let n = re.len().next_power_of_two();
+        let mut buf: Vec<Complex> = re.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        buf.resize(n, Complex::ZERO);
+        let original = buf.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (a, b) in buf.iter().zip(&original) {
+            prop_assert!((*a - *b).abs() < 1e-8, "roundtrip error");
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct_convolution(a in small_vec(), b in small_vec()) {
+        let want = convolve_direct(&a, &b);
+        let got = convolve_fft(&a, &b);
+        prop_assert_eq!(want.len(), got.len());
+        let scale: f64 = want.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (x, y) in want.iter().zip(&got) {
+            prop_assert!((x - y).abs() < 1e-9 * scale, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn convolution_is_commutative(a in small_vec(), b in small_vec()) {
+        let ab = convolve(&a, &b);
+        let ba = convolve(&b, &a);
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convolution_is_linear_in_first_argument(
+        a in small_vec(), b in small_vec(), k in -10.0f64..10.0
+    ) {
+        let scaled: Vec<f64> = a.iter().map(|&x| k * x).collect();
+        let left = convolve(&scaled, &b);
+        let right: Vec<f64> = convolve(&a, &b).iter().map(|&x| k * x).collect();
+        let scale: f64 = right.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (x, y) in left.iter().zip(&right) {
+            prop_assert!((x - y).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved_for_probability_vectors(
+        raw_a in proptest::collection::vec(0.0f64..1.0, 1..50),
+        raw_b in proptest::collection::vec(0.0f64..1.0, 1..50),
+    ) {
+        let norm = |v: &[f64]| -> Option<Vec<f64>> {
+            let s: f64 = v.iter().sum();
+            if s <= 0.0 { None } else { Some(v.iter().map(|&x| x / s).collect()) }
+        };
+        if let (Some(a), Some(b)) = (norm(&raw_a), (norm(&raw_b))) {
+            let c = convolve(&a, &b);
+            let total: f64 = c.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "mass {}", total);
+            prop_assert!(c.iter().all(|&x| x >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn planned_convolver_is_consistent(a in small_vec(), b in small_vec()) {
+        let mut cv = Convolver::new(&a, b.len());
+        let once = cv.conv(&b);
+        let twice = cv.conv(&b);
+        prop_assert_eq!(&once, &twice, "Convolver not reusable");
+        let reference = convolve_direct(&a, &b);
+        let scale: f64 = reference.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (x, y) in once.iter().zip(&reference) {
+            prop_assert!((x - y).abs() < 1e-9 * scale);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Timing probe for the solver's convergence protocol on three marginal
+//! transformations (the paper's footnote 1 reports sub-second solves on
+//! a 1996 workstation; this shows where a modern machine stands).
+//!
+//! ```sh
+//! cargo run --release -p lrd-fluidq --example budget_probe
+//! ```
+
+use lrd_fluidq::{solve, QueueModel, SolverOptions};
+use lrd_traffic::{Marginal, TruncatedPareto};
+
+fn main() {
+    let marginal = Marginal::new(&[1.0, 4.0, 9.0, 15.0], &[0.3, 0.35, 0.25, 0.1]);
+    let iv = TruncatedPareto::new(0.05, 1.4, 2.0);
+    let base = QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.3);
+    for (name, m) in [
+        ("base", base.clone()),
+        ("narrow", base.with_marginal(marginal.scaled(0.6))),
+        ("muxed4", base.with_marginal(marginal.superpose(4, 200))),
+    ] {
+        let t0 = std::time::Instant::now();
+        let sol = solve(&m, &SolverOptions::default());
+        println!("{name:8} loss={:.3e} [{:.2e},{:.2e}] M={} iters={} conv={} t={:?}",
+            sol.loss(), sol.lower, sol.upper, sol.bins, sol.iterations, sol.converged, t0.elapsed());
+    }
+}

@@ -1,0 +1,181 @@
+//! The correlation horizon (paper Sec. IV, Eq. 26).
+//!
+//! The finite buffer "forgets" its past whenever it empties or fills
+//! (the *resetting effect*), so correlation in the arrival process at
+//! lags beyond the typical reset time cannot influence the loss rate.
+//! The paper estimates that horizon by a central-limit argument: the
+//! net work drift over `n` intervals is approximately normal, and the
+//! probability that the buffer avoids both boundaries for `n` intervals
+//! is at most `erf(B / (2√2·√n·σ_T·σ_λ))`. Requiring that no-reset
+//! probability to be a small `p` and converting interval counts to time
+//! gives Eq. 26:
+//!
+//! ```text
+//! T_CH = B·μ / (2√2 · σ_T · σ_λ · erfinv(p))
+//! ```
+//!
+//! which scales **linearly in the buffer size** — the paper's Fig. 14
+//! confirms this on trace-driven simulations, and our reproduction does
+//! the same.
+
+use crate::model::QueueModel;
+use lrd_specfun::erfinv;
+use lrd_traffic::Interarrival;
+
+/// Evaluates Eq. 26 from raw moments: buffer `B` (Mb), mean interval
+/// `mu` (s), interval standard deviation `sigma_t` (s), marginal rate
+/// standard deviation `sigma_lambda` (Mb/s), and no-reset probability
+/// `p ∈ (0, 1)`.
+///
+/// # Panics
+///
+/// Panics if any moment is non-positive or `p` is outside `(0, 1)`.
+pub fn correlation_horizon(b: f64, mu: f64, sigma_t: f64, sigma_lambda: f64, p: f64) -> f64 {
+    assert!(b > 0.0, "buffer must be positive");
+    assert!(mu > 0.0, "mean interval must be positive");
+    assert!(sigma_t > 0.0, "interval std-dev must be positive");
+    assert!(sigma_lambda > 0.0, "rate std-dev must be positive");
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+    b * mu / (2.0 * std::f64::consts::SQRT_2 * sigma_t * sigma_lambda * erfinv(p))
+}
+
+/// Evaluates Eq. 26 for a queue model, pulling the moments from its
+/// marginal and interval distribution.
+///
+/// Returns `None` when the interval variance is infinite (untruncated
+/// Pareto): the central-limit argument does not apply there.
+pub fn model_horizon<D: Interarrival>(model: &QueueModel<D>, p: f64) -> Option<f64> {
+    let var_t = model.intervals().variance();
+    if !var_t.is_finite() {
+        return None;
+    }
+    Some(correlation_horizon(
+        model.buffer(),
+        model.intervals().mean(),
+        var_t.sqrt(),
+        model.marginal().std_dev(),
+        p,
+    ))
+}
+
+/// Extracts the **empirical** correlation horizon from a measured
+/// `loss(T_c)` curve: the smallest cutoff lag beyond which the loss
+/// rate stays within a relative `tolerance` of its final (largest-`T_c`)
+/// value.
+///
+/// `points` must be sorted by cutoff; returns `None` if even the last
+/// point alone cannot satisfy the criterion (it always can) or the
+/// input is empty.
+pub fn empirical_horizon(points: &[(f64, f64)], tolerance: f64) -> Option<f64> {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    if points.is_empty() {
+        return None;
+    }
+    assert!(
+        points.windows(2).all(|w| w[0].0 <= w[1].0),
+        "points must be sorted by cutoff lag"
+    );
+    let final_loss = points.last().unwrap().1;
+    let within = |loss: f64| {
+        if final_loss == 0.0 {
+            loss == 0.0
+        } else {
+            ((loss - final_loss) / final_loss).abs() <= tolerance
+        }
+    };
+    // Find the earliest index from which *every* subsequent point is
+    // within tolerance.
+    let mut horizon_idx = points.len() - 1;
+    for i in (0..points.len()).rev() {
+        if within(points[i].1) {
+            horizon_idx = i;
+        } else {
+            break;
+        }
+    }
+    Some(points[horizon_idx].0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_traffic::{Marginal, TruncatedPareto};
+
+    #[test]
+    fn eq26_linear_in_buffer() {
+        let t1 = correlation_horizon(1.0, 0.08, 0.1, 2.0, 0.99);
+        let t2 = correlation_horizon(2.0, 0.08, 0.1, 2.0, 0.99);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq26_decreases_with_variability() {
+        // More variable rates (larger σ_λ) reset the buffer sooner.
+        let a = correlation_horizon(1.0, 0.08, 0.1, 1.0, 0.99);
+        let b = correlation_horizon(1.0, 0.08, 0.1, 4.0, 0.99);
+        assert!(b < a);
+        assert!((a / b - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq26_known_value() {
+        // Hand-computed: erfinv(0.99) ≈ 1.8213863677.
+        let t = correlation_horizon(10.0, 0.1, 0.2, 5.0, 0.99);
+        let want = 10.0 * 0.1 / (2.0 * std::f64::consts::SQRT_2 * 0.2 * 5.0 * 1.821_386_367_718_449_7);
+        assert!((t - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_horizon_finite_and_infinite() {
+        let marg = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+        let finite = QueueModel::new(
+            marg.clone(),
+            TruncatedPareto::new(0.05, 1.4, 1.0),
+            10.0,
+            2.0,
+        );
+        assert!(model_horizon(&finite, 0.99).unwrap() > 0.0);
+        let infinite = QueueModel::new(
+            marg,
+            TruncatedPareto::new(0.05, 1.4, f64::INFINITY),
+            10.0,
+            2.0,
+        );
+        assert!(model_horizon(&infinite, 0.99).is_none());
+    }
+
+    #[test]
+    fn empirical_horizon_flat_tail() {
+        // Loss grows with T_c then saturates at 0.1 from T_c = 4 on.
+        let pts = [
+            (1.0, 0.01),
+            (2.0, 0.05),
+            (4.0, 0.099),
+            (8.0, 0.1),
+            (16.0, 0.1),
+        ];
+        let h = empirical_horizon(&pts, 0.05).unwrap();
+        assert_eq!(h, 4.0);
+    }
+
+    #[test]
+    fn empirical_horizon_never_saturating() {
+        // Only the final point is within tolerance of itself.
+        let pts = [(1.0, 0.01), (2.0, 0.02), (4.0, 0.04), (8.0, 0.08)];
+        let h = empirical_horizon(&pts, 0.05).unwrap();
+        assert_eq!(h, 8.0);
+    }
+
+    #[test]
+    fn empirical_horizon_zero_loss() {
+        let pts = [(1.0, 0.0), (2.0, 0.0)];
+        assert_eq!(empirical_horizon(&pts, 0.1), Some(1.0));
+        assert_eq!(empirical_horizon(&[], 0.1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_points_rejected() {
+        empirical_horizon(&[(2.0, 0.1), (1.0, 0.2)], 0.1);
+    }
+}

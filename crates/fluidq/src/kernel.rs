@@ -1,0 +1,258 @@
+//! The analytic expected-loss kernel `E[W_l | Q = x]` (paper Eq. 15).
+//!
+//! Conditional on occupancy `x` at an arrival epoch, the work lost in
+//! the next interval is `W_l = (W − (B − x))⁺`. Only overload rates
+//! (`λ_i > c`) can lose work, and integrating the tail of `W` gives
+//!
+//! ```text
+//! E[W_l | Q = x] = Σ_{i: λ_i > c} π_i (λ_i − c) · I((B − x)/(λ_i − c))
+//! ```
+//!
+//! where `I(t) = ∫_t^∞ Pr{T > u} du` is the integrated interarrival
+//! tail ([`lrd_traffic::Interarrival::int_ccdf`]). For the truncated
+//! Pareto this reproduces the paper's closed form verbatim; the trait
+//! indirection makes the same kernel work for the exponential
+//! (Markovian) baseline.
+
+use crate::model::QueueModel;
+use lrd_traffic::Interarrival;
+
+/// Precomputed loss kernel on a grid of `M + 1` occupancy levels.
+#[derive(Debug, Clone)]
+pub struct LossKernel {
+    /// `E[W_l | Q = j·d]` for `j = 0..=M`.
+    values: Vec<f64>,
+    /// Normalizer `λ̄ · E[T]` (mean work per interval).
+    mean_work: f64,
+}
+
+impl LossKernel {
+    /// Evaluates `E[W_l | Q = x]` exactly.
+    pub fn expected_loss_at<D: Interarrival>(model: &QueueModel<D>, x: f64) -> f64 {
+        assert!(
+            (0.0..=model.buffer() + 1e-9).contains(&x),
+            "occupancy {x} outside [0, B]"
+        );
+        let c = model.service_rate();
+        let b = model.buffer();
+        model
+            .marginal()
+            .rates()
+            .iter()
+            .zip(model.marginal().probs())
+            .filter(|&(&r, _)| r > c)
+            .map(|(&r, &p)| {
+                let drift = r - c;
+                p * drift * model.intervals().int_ccdf((b - x) / drift)
+            })
+            .sum()
+    }
+
+    /// Precomputes the kernel on the `M + 1`-point grid `x = j·B/M`.
+    pub fn build<D: Interarrival>(model: &QueueModel<D>, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        let d = model.buffer() / bins as f64;
+        let values = (0..=bins)
+            .map(|j| Self::expected_loss_at(model, (j as f64 * d).min(model.buffer())))
+            .collect();
+        LossKernel {
+            values,
+            mean_work: model.mean_work_per_interval(),
+        }
+    }
+
+    /// The grid values `E[W_l | Q = j·d]`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Loss rate `l = Σ_j q(j)·E[W_l | Q = j·d] / (λ̄ E[T])` (Eq. 13 and
+    /// 23–24) for an occupancy distribution `q` on the same grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` has the wrong length.
+    pub fn loss_rate(&self, q: &[f64]) -> f64 {
+        assert_eq!(q.len(), self.values.len(), "grid size mismatch");
+        let num: f64 = q.iter().zip(&self.values).map(|(&p, &k)| p * k).sum();
+        num / self.mean_work
+    }
+
+    /// Splits the loss rate by the rate class active during the lossy
+    /// interval: entry `i` is the contribution of marginal rate `λ_i`
+    /// to the overall loss rate (their sum equals
+    /// [`LossKernel::loss_rate`] recomputed from the model). Underload
+    /// classes contribute exactly zero — in the fluid model only
+    /// intervals with `λ_i > c` can overflow, so loss is carried
+    /// entirely by the overload states.
+    ///
+    /// Useful for class-based control: it quantifies how much of the
+    /// loss each burst level is responsible for, the information a
+    /// rate-control mechanism acting on the marginal (paper Sec. III,
+    /// third consequence) would target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` has the wrong grid length.
+    pub fn per_class_loss<D: Interarrival>(
+        model: &QueueModel<D>,
+        q: &[f64],
+    ) -> Vec<f64> {
+        let bins = q.len().checked_sub(1).expect("non-empty occupancy grid");
+        let d = model.buffer() / bins as f64;
+        let c = model.service_rate();
+        let b = model.buffer();
+        let mean_work = model.mean_work_per_interval();
+        model
+            .marginal()
+            .rates()
+            .iter()
+            .zip(model.marginal().probs())
+            .map(|(&r, &p)| {
+                if r <= c {
+                    return 0.0;
+                }
+                let drift = r - c;
+                let num: f64 = q
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &mass)| {
+                        let x = (j as f64 * d).min(b);
+                        mass * p * drift * model.intervals().int_ccdf((b - x) / drift)
+                    })
+                    .sum();
+                num / mean_work
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_traffic::{Exponential, Marginal, TruncatedPareto};
+
+    fn model() -> QueueModel<TruncatedPareto> {
+        QueueModel::new(
+            Marginal::new(&[2.0, 14.0], &[0.5, 0.5]),
+            TruncatedPareto::new(0.05, 1.4, 1.0),
+            10.0,
+            2.0,
+        )
+    }
+
+    #[test]
+    fn kernel_is_monotone_in_occupancy() {
+        let m = model();
+        let k = LossKernel::build(&m, 200);
+        for w in k.values().windows(2) {
+            assert!(w[1] >= w[0] - 1e-15, "kernel must increase with Q");
+        }
+    }
+
+    #[test]
+    fn full_buffer_value() {
+        // At x = B the expected loss is Σ π_i (λ_i−c)·E[T] over
+        // overload rates (int_ccdf(0) = E[T]).
+        let m = model();
+        let want = 0.5 * 4.0 * m.intervals().mean();
+        let got = LossKernel::expected_loss_at(&m, 2.0);
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn empty_buffer_can_still_lose() {
+        // With T_c (λ_max − c) = 1·4 = 4 > B = 2, even an empty queue
+        // can overflow within one interval.
+        let m = model();
+        assert!(LossKernel::expected_loss_at(&m, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn no_loss_when_interval_cannot_fill_buffer() {
+        // With a big buffer, T_c(λ_max−c) = 4 < B − x for x small:
+        // the kernel vanishes at occupancies below B − 4.
+        let m = model().with_buffer(10.0);
+        assert_eq!(LossKernel::expected_loss_at(&m, 0.0), 0.0);
+        assert_eq!(LossKernel::expected_loss_at(&m, 5.9), 0.0);
+        assert!(LossKernel::expected_loss_at(&m, 6.1) > 0.0);
+    }
+
+    #[test]
+    fn kernel_matches_monte_carlo() {
+        use lrd_traffic::Interarrival;
+        use rand::SeedableRng;
+        let m = model();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+        for &x in &[0.0, 0.5, 1.0, 1.9] {
+            let mut acc = 0.0;
+            let n = 400_000;
+            for _ in 0..n {
+                let t = m.intervals().sample(&mut rng);
+                let r = m.marginal().sample(&mut rng);
+                let w = t * (r - m.service_rate());
+                acc += (w - (m.buffer() - x)).max(0.0);
+            }
+            let mc = acc / n as f64;
+            let exact = LossKernel::expected_loss_at(&m, x);
+            assert!(
+                (mc - exact).abs() < 0.01 * exact.max(0.01),
+                "x={x}: MC {mc} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_rate_of_point_mass_at_full() {
+        let m = model();
+        let bins = 100;
+        let k = LossKernel::build(&m, bins);
+        let mut q = vec![0.0; bins + 1];
+        q[bins] = 1.0;
+        let l = k.loss_rate(&q);
+        let want = LossKernel::expected_loss_at(&m, 2.0) / m.mean_work_per_interval();
+        assert!((l - want).abs() < 1e-12);
+        assert!(l > 0.0 && l < 1.0);
+    }
+
+    #[test]
+    fn per_class_loss_sums_to_total() {
+        let m = model();
+        let bins = 100;
+        let k = LossKernel::build(&m, bins);
+        // A spread-out occupancy distribution.
+        let q: Vec<f64> = (0..=bins).map(|_| 1.0 / (bins + 1) as f64).collect();
+        let per_class = LossKernel::per_class_loss(&m, &q);
+        assert_eq!(per_class.len(), m.marginal().len());
+        // Underload class (rate 2 < c = 10) contributes nothing.
+        assert_eq!(per_class[0], 0.0);
+        // Classes sum to the aggregate loss rate.
+        let total: f64 = per_class.iter().sum();
+        let want = k.loss_rate(&q);
+        assert!(
+            (total - want).abs() < 1e-12 * want.max(1.0),
+            "per-class sum {total} vs total {want}"
+        );
+        assert!(per_class[1] > 0.0);
+    }
+
+    #[test]
+    fn exponential_kernel_positive() {
+        let m = QueueModel::new(
+            Marginal::new(&[2.0, 14.0], &[0.5, 0.5]),
+            Exponential::new(0.1),
+            10.0,
+            2.0,
+        );
+        // Exponential support is unbounded: any occupancy can lose.
+        assert!(LossKernel::expected_loss_at(&m, 0.0) > 0.0);
+        let k = LossKernel::build(&m, 50);
+        assert!(k.values().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn occupancy_out_of_range() {
+        LossKernel::expected_loss_at(&model(), 3.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The queue-plus-traffic description shared by the solver, the
+//! analytic kernels, and the simulator cross-checks.
+
+use lrd_traffic::{Interarrival, Marginal};
+
+/// A finite-buffer fluid queue fed by the modulated fluid source.
+///
+/// Units are consistent throughout the workspace: rates in Mb/s, time
+/// in seconds, work (and the buffer) in Mb. The paper reports
+/// *normalized* buffer sizes `B/c` in seconds; use
+/// [`QueueModel::with_normalized_buffer`] to construct from that
+/// convention.
+#[derive(Debug, Clone)]
+pub struct QueueModel<D> {
+    marginal: Marginal,
+    intervals: D,
+    service_rate: f64,
+    buffer: f64,
+}
+
+impl<D: Interarrival> QueueModel<D> {
+    /// Creates a model with the buffer given in **Mb**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service rate or buffer is not positive and
+    /// finite, or if any marginal rate coincides with the service rate
+    /// (the paper excludes this trivial case: such a state leaves the
+    /// occupancy unchanged, and the increment `W` would have an atom at
+    /// zero that the bound construction does not model).
+    pub fn new(marginal: Marginal, intervals: D, service_rate: f64, buffer: f64) -> Self {
+        assert!(
+            service_rate > 0.0 && service_rate.is_finite(),
+            "service rate must be positive and finite"
+        );
+        assert!(
+            buffer > 0.0 && buffer.is_finite(),
+            "buffer must be positive and finite"
+        );
+        for &r in marginal.rates() {
+            assert!(
+                r != service_rate,
+                "marginal rate {r} equals the service rate; perturb it slightly"
+            );
+        }
+        QueueModel {
+            marginal,
+            intervals,
+            service_rate,
+            buffer,
+        }
+    }
+
+    /// Creates a model from a *normalized* buffer size in seconds
+    /// (`B = c · seconds`), the convention of the paper's figures.
+    pub fn with_normalized_buffer(
+        marginal: Marginal,
+        intervals: D,
+        service_rate: f64,
+        buffer_seconds: f64,
+    ) -> Self {
+        QueueModel::new(marginal, intervals, service_rate, service_rate * buffer_seconds)
+    }
+
+    /// Creates a model by choosing the service rate for a target
+    /// utilization `ρ = λ̄/c` and the buffer from its normalized size
+    /// in seconds — the exact parameterization of the paper's
+    /// experiments.
+    pub fn from_utilization(
+        marginal: Marginal,
+        intervals: D,
+        utilization: f64,
+        buffer_seconds: f64,
+    ) -> Self {
+        let c = marginal.service_rate_for_utilization(utilization);
+        QueueModel::with_normalized_buffer(marginal, intervals, c, buffer_seconds)
+    }
+
+    /// The fluid-rate marginal `(Π, Λ)`.
+    pub fn marginal(&self) -> &Marginal {
+        &self.marginal
+    }
+
+    /// The interval-length distribution.
+    pub fn intervals(&self) -> &D {
+        &self.intervals
+    }
+
+    /// The service rate `c` (Mb/s).
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// The buffer size `B` (Mb).
+    pub fn buffer(&self) -> f64 {
+        self.buffer
+    }
+
+    /// The normalized buffer size `B/c` (seconds).
+    pub fn normalized_buffer(&self) -> f64 {
+        self.buffer / self.service_rate
+    }
+
+    /// Offered load `ρ = λ̄/c`.
+    pub fn utilization(&self) -> f64 {
+        self.marginal.mean() / self.service_rate
+    }
+
+    /// Mean work arriving per renewal interval, `λ̄ · E[T]` (Mb) — the
+    /// denominator of the loss-rate definition (Eq. 13).
+    pub fn mean_work_per_interval(&self) -> f64 {
+        self.marginal.mean() * self.intervals.mean()
+    }
+
+    /// Returns a copy with a different interval distribution (the
+    /// experiments sweep `T_c` holding everything else fixed).
+    pub fn with_intervals<E: Interarrival>(&self, intervals: E) -> QueueModel<E> {
+        QueueModel::new(
+            self.marginal.clone(),
+            intervals,
+            self.service_rate,
+            self.buffer,
+        )
+    }
+
+    /// Returns a copy with a different buffer size in Mb.
+    pub fn with_buffer(&self, buffer: f64) -> QueueModel<D>
+    where
+        D: Clone,
+    {
+        QueueModel::new(
+            self.marginal.clone(),
+            self.intervals.clone(),
+            self.service_rate,
+            buffer,
+        )
+    }
+
+    /// Returns a copy with a different marginal (the experiments sweep
+    /// the scaling factor and the superposition count).
+    pub fn with_marginal(&self, marginal: Marginal) -> QueueModel<D>
+    where
+        D: Clone,
+    {
+        QueueModel::new(
+            marginal,
+            self.intervals.clone(),
+            self.service_rate,
+            self.buffer,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_traffic::TruncatedPareto;
+
+    fn marg() -> Marginal {
+        Marginal::new(&[2.0, 5.0, 11.0, 14.0], &[0.1, 0.4, 0.4, 0.1])
+    }
+
+    fn pareto() -> TruncatedPareto {
+        TruncatedPareto::new(0.05, 1.4, 10.0)
+    }
+
+    #[test]
+    fn normalized_buffer_roundtrip() {
+        let m = QueueModel::with_normalized_buffer(marg(), pareto(), 10.0, 1.5);
+        assert!((m.buffer() - 15.0).abs() < 1e-12);
+        assert!((m.normalized_buffer() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_utilization() {
+        let m = QueueModel::from_utilization(marg(), pareto(), 0.8, 1.0);
+        assert!((m.utilization() - 0.8).abs() < 1e-12);
+        assert!((m.service_rate() - 10.0).abs() < 1e-12);
+        assert!((m.buffer() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equals the service rate")]
+    fn rate_equal_to_service_rejected() {
+        QueueModel::new(marg(), pareto(), 5.0, 1.0);
+    }
+
+    #[test]
+    fn sweeping_helpers() {
+        let m = QueueModel::from_utilization(marg(), pareto(), 0.8, 1.0);
+        let m2 = m.with_buffer(20.0);
+        assert!((m2.normalized_buffer() - 2.0).abs() < 1e-12);
+        let m3 = m.with_intervals(pareto().with_cutoff(1.0));
+        assert_eq!(m3.intervals().cutoff(), 1.0);
+        let m4 = m.with_marginal(marg().scaled(0.5));
+        assert!((m4.marginal().std_dev() - 0.5 * marg().std_dev()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_work_per_interval() {
+        let m = QueueModel::new(marg(), pareto(), 10.0, 1.0);
+        let want = marg().mean() * pareto().mean();
+        assert!((m.mean_work_per_interval() - want).abs() < 1e-12);
+    }
+}

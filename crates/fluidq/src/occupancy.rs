@@ -1,0 +1,176 @@
+//! Occupancy-distribution queries on the solved bounds.
+//!
+//! The paper's footnote 2 connects the two classical metrics: "the
+//! overflow probability, i.e., the probability that the queue
+//! occupancy exceeds some amount, in an infinite buffer queue is an
+//! upper bound to the loss rate in the corresponding finite buffer
+//! queue". Most of the prior LRD literature reports tail
+//! probabilities; this module exposes them from the bound chains so
+//! the solver's results can be compared against that literature
+//! (Norros' Weibull tails, hyperbolic on/off tails, etc.).
+
+use crate::solver::BoundSolver;
+use lrd_traffic::Interarrival;
+
+/// A two-sided estimate of a probability, from the lower/upper bound
+/// chains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bracket {
+    /// Value computed from the lower-bound chain `Q_L`.
+    pub from_lower_chain: f64,
+    /// Value computed from the upper-bound chain `Q_H`.
+    pub from_upper_chain: f64,
+}
+
+impl Bracket {
+    /// Midpoint of the bracket.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.from_lower_chain + self.from_upper_chain)
+    }
+
+    /// Width of the bracket (an accuracy indicator).
+    pub fn width(&self) -> f64 {
+        (self.from_upper_chain - self.from_lower_chain).abs()
+    }
+}
+
+impl<D: Interarrival + Clone> BoundSolver<D> {
+    /// Tail probability `Pr{Q > x}` bracketed by the two chains.
+    ///
+    /// Because `Q_L ⪯ Q ⪯ Q_H` (stochastic order), the true tail lies
+    /// between `Pr{Q_L > x}` and `Pr{Q_H > x}` once both chains have
+    /// reached stationarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative.
+    pub fn tail_probability(&self, x: f64) -> Bracket {
+        assert!(x >= 0.0, "occupancy threshold must be non-negative");
+        let d = self.step_size();
+        let tail = |q: &[f64]| -> f64 {
+            q.iter()
+                .enumerate()
+                .filter(|&(j, _)| j as f64 * d > x)
+                .map(|(_, &p)| p)
+                .sum()
+        };
+        Bracket {
+            from_lower_chain: tail(self.occupancy_lower()),
+            from_upper_chain: tail(self.occupancy_upper()),
+        }
+    }
+
+    /// Mean occupancy bracketed by the two chains.
+    pub fn mean_occupancy(&self) -> Bracket {
+        let d = self.step_size();
+        let mean = |q: &[f64]| -> f64 {
+            q.iter()
+                .enumerate()
+                .map(|(j, &p)| j as f64 * d * p)
+                .sum()
+        };
+        Bracket {
+            from_lower_chain: mean(self.occupancy_lower()),
+            from_upper_chain: mean(self.occupancy_upper()),
+        }
+    }
+
+    /// Occupancy quantile: the smallest grid point `x` with
+    /// `Pr{Q <= x} >= p`, per chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1]`.
+    pub fn occupancy_quantile(&self, p: f64) -> Bracket {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        let d = self.step_size();
+        let quant = |q: &[f64]| -> f64 {
+            let mut acc = 0.0;
+            for (j, &m) in q.iter().enumerate() {
+                acc += m;
+                if acc >= p {
+                    return j as f64 * d;
+                }
+            }
+            (q.len() - 1) as f64 * d
+        };
+        Bracket {
+            from_lower_chain: quant(self.occupancy_lower()),
+            from_upper_chain: quant(self.occupancy_upper()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QueueModel;
+    use lrd_traffic::{Marginal, TruncatedPareto};
+
+    fn solver() -> BoundSolver<TruncatedPareto> {
+        let model = QueueModel::new(
+            Marginal::new(&[2.0, 14.0], &[0.5, 0.5]),
+            TruncatedPareto::new(0.05, 1.4, 1.0),
+            10.0,
+            2.0,
+        );
+        let mut s = BoundSolver::new(model, 200);
+        for _ in 0..2000 {
+            s.step();
+        }
+        s
+    }
+
+    #[test]
+    fn tail_is_bracketed_and_monotone() {
+        let s = solver();
+        let mut prev = Bracket {
+            from_lower_chain: 1.0,
+            from_upper_chain: 1.0,
+        };
+        for i in 0..=10 {
+            let x = i as f64 * 0.2;
+            let b = s.tail_probability(x);
+            // Q_L ⪯ Q_H ⇒ Pr{Q_L > x} <= Pr{Q_H > x}.
+            assert!(
+                b.from_lower_chain <= b.from_upper_chain + 1e-9,
+                "bracket inverted at {x}"
+            );
+            // Tails decrease in x.
+            assert!(b.from_lower_chain <= prev.from_lower_chain + 1e-12);
+            assert!(b.from_upper_chain <= prev.from_upper_chain + 1e-12);
+            prev = b;
+        }
+        // Beyond the buffer the tail is zero.
+        let at_b = s.tail_probability(2.0);
+        assert_eq!(at_b.from_lower_chain, 0.0);
+        assert_eq!(at_b.from_upper_chain, 0.0);
+    }
+
+    #[test]
+    fn mean_occupancy_bracket() {
+        let s = solver();
+        let m = s.mean_occupancy();
+        assert!(m.from_lower_chain <= m.from_upper_chain + 1e-9);
+        assert!(m.mid() > 0.0 && m.mid() < 2.0);
+        assert!(m.width() < 0.5, "bracket too wide: {}", m.width());
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let s = solver();
+        let q50 = s.occupancy_quantile(0.5);
+        let q99 = s.occupancy_quantile(0.99);
+        // Higher p ⇒ larger quantile (per chain).
+        assert!(q99.from_lower_chain >= q50.from_lower_chain);
+        assert!(q99.from_upper_chain >= q50.from_upper_chain);
+        // CDF_L dominates ⇒ the lower chain's quantiles are smaller.
+        assert!(q50.from_lower_chain <= q50.from_upper_chain + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_threshold_rejected() {
+        solver().tail_probability(-1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the work-increment discretization and the
+//! loss kernel over randomized, well-posed models.
+
+use lrd_fluidq::{LossKernel, QueueModel, WorkDistribution};
+use lrd_traffic::{Interarrival, Marginal, TruncatedPareto};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = QueueModel<TruncatedPareto>> {
+    (
+        proptest::collection::vec((0.1f64..20.0, 0.05f64..1.0), 2..6),
+        1.05f64..1.95,
+        0.005f64..0.2,
+        prop_oneof![(0.05f64..20.0).boxed(), Just(f64::INFINITY).boxed()],
+        0.3f64..0.95,
+        0.02f64..1.0,
+    )
+        .prop_filter_map(
+            "rates must differ from the service rate",
+            |(pairs, alpha, theta, cutoff, util, buf_s)| {
+                let rates: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+                let probs: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+                let marginal = Marginal::new(&rates, &probs);
+                if marginal.mean() <= 0.0 {
+                    return None;
+                }
+                let c = marginal.mean() / util;
+                if marginal.rates().iter().any(|&r| (r - c).abs() < 1e-6) {
+                    return None;
+                }
+                let iv = TruncatedPareto::new(theta, alpha, cutoff);
+                Some(QueueModel::new(marginal, iv, c, c * buf_s))
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn work_distributions_are_probability_vectors(model in arb_model(), bins in 2usize..200) {
+        let w = WorkDistribution::build(&model, bins);
+        for (name, v) in [("lower", w.lower()), ("upper", w.upper())] {
+            let total: f64 = v.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "{} sums to {}", name, total);
+            prop_assert!(v.iter().all(|&p| p >= 0.0), "{} has negative mass", name);
+            prop_assert_eq!(v.len(), 2 * bins + 1);
+        }
+    }
+
+    #[test]
+    fn lower_discretization_stochastically_below_upper(model in arb_model(), bins in 2usize..200) {
+        let w = WorkDistribution::build(&model, bins);
+        let mut cl = 0.0;
+        let mut ch = 0.0;
+        for i in 0..w.lower().len() {
+            cl += w.lower()[i];
+            ch += w.upper()[i];
+            prop_assert!(cl >= ch - 1e-9, "order violated at bin {}", i);
+        }
+    }
+
+    #[test]
+    fn kernel_monotone_and_bounded(model in arb_model(), bins in 2usize..200) {
+        let k = LossKernel::build(&model, bins);
+        // Monotone in occupancy.
+        for w in k.values().windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        // The full-buffer value is the analytic maximum:
+        // Σ_{λ>c} π (λ−c) E[T].
+        let cap: f64 = model
+            .marginal()
+            .rates()
+            .iter()
+            .zip(model.marginal().probs())
+            .filter(|&(&r, _)| r > model.service_rate())
+            .map(|(&r, &p)| p * (r - model.service_rate()) * model.intervals().mean())
+            .sum();
+        let last = *k.values().last().unwrap();
+        prop_assert!((last - cap).abs() < 1e-9 * cap.max(1e-12), "{} vs {}", last, cap);
+    }
+
+    #[test]
+    fn loss_rate_of_any_distribution_is_bounded(model in arb_model(), bins in 2usize..64) {
+        // For any occupancy distribution, the implied loss rate lies in
+        // [0, overload_fraction].
+        let k = LossKernel::build(&model, bins);
+        let mut q = vec![0.0; bins + 1];
+        q[bins] = 1.0; // worst case: always full
+        let l = k.loss_rate(&q);
+        let overload: f64 = model
+            .marginal()
+            .rates()
+            .iter()
+            .zip(model.marginal().probs())
+            .map(|(&r, &p)| p * (r - model.service_rate()).max(0.0))
+            .sum::<f64>()
+            / model.marginal().mean();
+        prop_assert!(l >= 0.0);
+        prop_assert!(l <= overload + 1e-9, "loss {} above overload cap {}", l, overload);
+    }
+}

@@ -1,0 +1,215 @@
+//! ARQ vs FEC under correlated losses — the paper's concluding
+//! example (Sec. V).
+//!
+//! The paper closes by arguing that the *relevant* time scales depend
+//! on the performance question: comparing closed-loop (ARQ) and
+//! open-loop (FEC) error control, "extending the time-scale of the
+//! correlation structure ... amounts to increasing the advantage of
+//! ARQ over FEC", so that problem needs correlation modeled over all
+//! time scales. This module makes that argument executable:
+//!
+//! * a packet-loss process is derived from the fluid queue by slicing
+//!   a trace into packet slots and marking a packet lost in proportion
+//!   to the fluid lost in its slot;
+//! * [`arq_overhead`] counts retransmissions until delivery (selective
+//!   repeat, loss-burst aware);
+//! * [`fec_residual_loss`] measures the post-recovery loss of an
+//!   `(n, k)` block code that can repair up to `n − k` losses per
+//!   block.
+//!
+//! Correlation (burstiness) barely affects ARQ — a burst costs one
+//! retransmission round per lost packet regardless of clustering —
+//! but it destroys FEC, which relies on losses being spread out.
+
+use crate::queue::FluidQueue;
+use lrd_traffic::Trace;
+
+/// A packet-level loss indicator sequence derived from fluid loss.
+#[derive(Debug, Clone)]
+pub struct LossProcess {
+    /// `true` at position `i` iff packet `i` was lost.
+    pub lost: Vec<bool>,
+}
+
+impl LossProcess {
+    /// Derives the loss sequence by replaying `trace` through a fluid
+    /// queue and marking the packet of each trace slot as lost iff any
+    /// fluid was dropped during that slot — at packet granularity, a
+    /// clipped slot is a lost packet.
+    pub fn from_trace(trace: &Trace, service_rate: f64, buffer: f64) -> Self {
+        let mut q = FluidQueue::new(service_rate, buffer);
+        let mut lost = Vec::with_capacity(trace.len());
+        let mut prev_lost = 0.0;
+        for &rate in trace.rates() {
+            q.offer(rate, trace.dt());
+            lost.push(q.lost() > prev_lost);
+            prev_lost = q.lost();
+        }
+        LossProcess { lost }
+    }
+
+    /// Overall packet loss probability.
+    pub fn loss_probability(&self) -> f64 {
+        if self.lost.is_empty() {
+            return 0.0;
+        }
+        self.lost.iter().filter(|&&l| l).count() as f64 / self.lost.len() as f64
+    }
+
+    /// Mean length of maximal loss bursts (consecutive losses);
+    /// `None` when nothing was lost.
+    pub fn mean_burst_length(&self) -> Option<f64> {
+        let mut bursts = 0u64;
+        let mut lost_total = 0u64;
+        let mut in_burst = false;
+        for &l in &self.lost {
+            if l {
+                lost_total += 1;
+                if !in_burst {
+                    bursts += 1;
+                    in_burst = true;
+                }
+            } else {
+                in_burst = false;
+            }
+        }
+        if bursts == 0 {
+            None
+        } else {
+            Some(lost_total as f64 / bursts as f64)
+        }
+    }
+
+    /// Destroys the correlation structure by spreading the same number
+    /// of losses uniformly (deterministic stride), keeping the loss
+    /// probability while removing bursts — the "independent losses"
+    /// comparison point.
+    pub fn decorrelated(&self) -> LossProcess {
+        let n = self.lost.len();
+        let k = self.lost.iter().filter(|&&l| l).count();
+        let mut lost = vec![false; n];
+        for i in 0..k {
+            lost[(i * n) / k] = true;
+        }
+        LossProcess { lost }
+    }
+}
+
+/// ARQ (selective repeat) transmission overhead: expected total
+/// transmissions per delivered packet, assuming every retransmission
+/// round independently re-experiences the *stationary* loss
+/// probability. Returns `1/(1 − p)` computed from the sequence — the
+/// clustering of losses does not change it, which is exactly the
+/// paper's point about ARQ accumulating burst losses into one
+/// retransmission request.
+pub fn arq_overhead(process: &LossProcess) -> f64 {
+    let p = process.loss_probability();
+    assert!(p < 1.0, "cannot deliver through a fully lossy channel");
+    1.0 / (1.0 - p)
+}
+
+/// FEC residual loss for an `(n, k)` block code: the fraction of data
+/// packets still lost after decoding, where a block of `n` packets
+/// (carrying `k` data packets) recovers iff at most `n − k` of its
+/// packets were lost.
+///
+/// # Panics
+///
+/// Panics unless `0 < k <= n`.
+pub fn fec_residual_loss(process: &LossProcess, n: usize, k: usize) -> f64 {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    let mut data_lost = 0usize;
+    let mut data_total = 0usize;
+    for block in process.lost.chunks(n) {
+        let losses = block.iter().filter(|&&l| l).count();
+        // Count data packets in this (possibly partial) block.
+        let data_here = block.len().min(k);
+        data_total += data_here;
+        if losses > n - k {
+            // Decoding fails: data packets that were lost stay lost.
+            let lost_data = losses.min(data_here);
+            data_lost += lost_data;
+        }
+    }
+    if data_total == 0 {
+        0.0
+    } else {
+        data_lost as f64 / data_total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bursty() -> LossProcess {
+        // 100 packets, 10 lost in one burst.
+        let mut lost = vec![false; 100];
+        lost[40..50].fill(true);
+        LossProcess { lost }
+    }
+
+    #[test]
+    fn loss_probability_and_bursts() {
+        let p = bursty();
+        assert!((p.loss_probability() - 0.1).abs() < 1e-12);
+        assert_eq!(p.mean_burst_length(), Some(10.0));
+        assert_eq!(LossProcess { lost: vec![false; 5] }.mean_burst_length(), None);
+    }
+
+    #[test]
+    fn decorrelation_preserves_rate_kills_bursts() {
+        let p = bursty();
+        let d = p.decorrelated();
+        assert_eq!(
+            d.lost.iter().filter(|&&l| l).count(),
+            p.lost.iter().filter(|&&l| l).count()
+        );
+        assert_eq!(d.mean_burst_length(), Some(1.0));
+    }
+
+    #[test]
+    fn arq_indifferent_to_burstiness() {
+        let p = bursty();
+        let d = p.decorrelated();
+        assert!((arq_overhead(&p) - arq_overhead(&d)).abs() < 1e-12);
+        assert!((arq_overhead(&p) - 1.0 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fec_hurt_by_burstiness() {
+        // (10, 8) code: repairs up to 2 losses per 10-packet block.
+        let p = bursty();
+        let d = p.decorrelated();
+        let bursty_residual = fec_residual_loss(&p, 10, 8);
+        let spread_residual = fec_residual_loss(&d, 10, 8);
+        // Spread: exactly one loss per block of 10 → fully repaired.
+        assert_eq!(spread_residual, 0.0);
+        // Bursty: the burst overwhelms its block(s).
+        assert!(bursty_residual > 0.05, "residual {bursty_residual}");
+    }
+
+    #[test]
+    fn fec_perfect_code_recovers_everything() {
+        let p = bursty();
+        // k = 1 in blocks of 20: tolerates 19 losses.
+        assert_eq!(fec_residual_loss(&p, 20, 1), 0.0);
+    }
+
+    #[test]
+    fn loss_process_from_trace() {
+        // Constant overload: every slot after the buffer fills drops
+        // fluid → packets marked lost.
+        let t = Trace::new(1.0, vec![2.0; 10]);
+        let p = LossProcess::from_trace(&t, 1.0, 1.5);
+        assert!(!p.lost[0], "first slot only fills the buffer");
+        assert!(p.lost[5..].iter().all(|&l| l), "steady overload loses");
+        assert!(p.loss_probability() > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn fec_validates_code() {
+        fec_residual_loss(&bursty(), 4, 5);
+    }
+}

@@ -1,0 +1,206 @@
+//! Error function family.
+//!
+//! `erf` and `erfc` are evaluated through the regularized incomplete
+//! gamma functions (`erf(x) = P(1/2, x²)` for `x >= 0`), which keeps a
+//! single, well-tested numerical core for the whole crate. The inverses
+//! start from a rational approximation of the normal quantile and are
+//! polished with Halley iterations on the forward function, yielding
+//! near machine-precision round-trips.
+
+use crate::gamma::{gamma_p, gamma_q};
+
+const TWO_OVER_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
+
+/// The error function `erf(x) = (2/√π) ∫₀ˣ e^{-t²} dt`.
+///
+/// Odd in `x`; `erf(±∞) = ±1`. Relative accuracy ~1e-13.
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    let v = gamma_p(0.5, x * x);
+    if x > 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Evaluated via `Q(1/2, x²)` for positive `x` so that the tail is
+/// computed without cancellation: `erfc(10)` is accurate to full
+/// precision even though it is ~2e-45.
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x >= 0.0 {
+        gamma_q(0.5, x * x)
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+/// Inverse error function: returns `x` such that `erf(x) = y` for
+/// `y ∈ (-1, 1)`; returns `±∞` at the endpoints.
+///
+/// This is what the correlation-horizon formula (paper Eq. 26) needs:
+/// `T_CH = B μ / (2√2 σ_T σ_λ erfinv(p))`.
+pub fn erfinv(y: f64) -> f64 {
+    assert!(
+        (-1.0..=1.0).contains(&y),
+        "erfinv requires y in [-1, 1], got {y}"
+    );
+    if y == 1.0 {
+        return f64::INFINITY;
+    }
+    if y == -1.0 {
+        return f64::NEG_INFINITY;
+    }
+    if y == 0.0 {
+        return 0.0;
+    }
+    // erfinv(y) = Φ⁻¹((y+1)/2) / √2.
+    let mut x = crate::normal::norm_quantile((y + 1.0) / 2.0) / std::f64::consts::SQRT_2;
+    // Halley refinement on f(x) = erf(x) - y.
+    // f'(x) = 2/√π e^{-x²}; f''/f' = -2x.
+    for _ in 0..4 {
+        let f = erf(x) - y;
+        let df = TWO_OVER_SQRT_PI * (-x * x).exp();
+        if df == 0.0 {
+            break;
+        }
+        let u = f / df;
+        x -= u / (1.0 + u * x);
+    }
+    x
+}
+
+/// Inverse complementary error function: `x` such that `erfc(x) = y`
+/// for `y ∈ (0, 2)`.
+pub fn erfcinv(y: f64) -> f64 {
+    assert!(
+        (0.0..=2.0).contains(&y),
+        "erfcinv requires y in [0, 2], got {y}"
+    );
+    if y == 0.0 {
+        return f64::INFINITY;
+    }
+    if y == 2.0 {
+        return f64::NEG_INFINITY;
+    }
+    // For central y this is fine; for tiny y, refine in erfc directly to
+    // avoid the cancellation in 1 - y.
+    if y >= 0.25 {
+        return erfinv(1.0 - y);
+    }
+    // Tail: initial guess from asymptotics of erfc: erfc(x) ≈
+    // e^{-x²}/(x√π)  =>  x ≈ sqrt(ln(1/(y²π ln(1/y)))) roughly; use the
+    // normal-quantile route instead which stays accurate in the tail.
+    let mut x = -crate::normal::norm_quantile(y / 2.0) / std::f64::consts::SQRT_2;
+    for _ in 0..4 {
+        let f = erfc(x) - y;
+        let df = -TWO_OVER_SQRT_PI * (-x * x).exp();
+        if df == 0.0 {
+            break;
+        }
+        let u = f / df;
+        x -= u / (1.0 - u * x);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(a: f64, b: f64) -> f64 {
+        if b == 0.0 {
+            a.abs()
+        } else {
+            ((a - b) / b).abs()
+        }
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values computed with mpmath to 20 digits.
+        let cases = [
+            (0.1, 0.112_462_916_018_284_89),
+            (0.5, 0.520_499_877_813_046_5),
+            (1.0, 0.842_700_792_949_714_9),
+            (1.5, 0.966_105_146_475_310_7),
+            (2.0, 0.995_322_265_018_952_7),
+            (3.0, 0.999_977_909_503_001_4),
+        ];
+        for &(x, want) in &cases {
+            assert!(rel(erf(x), want) < 1e-12, "erf({x})");
+            assert!(rel(erf(-x), -want) < 1e-12, "erf(-{x})");
+        }
+    }
+
+    #[test]
+    fn erfc_tail_accuracy() {
+        // erfc(5) = 1.5374597944280348e-12 (mpmath).
+        assert!(rel(erfc(5.0), 1.537_459_794_428_034_8e-12) < 1e-10);
+        // erfc(10) = 2.0884875837625448e-45.
+        assert!(rel(erfc(10.0), 2.088_487_583_762_545e-45) < 1e-9);
+    }
+
+    #[test]
+    fn erf_plus_erfc() {
+        for &x in &[-3.0, -1.0, -0.1, 0.0, 0.2, 1.7, 4.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn erfinv_roundtrip() {
+        for i in 1..100 {
+            let y = -0.99 + 0.02 * i as f64;
+            if y.abs() >= 1.0 {
+                continue;
+            }
+            let x = erfinv(y);
+            assert!(rel(erf(x), y) < 1e-12, "erfinv roundtrip at y={y}");
+        }
+        // Very close to 1: erfinv(0.999999).
+        let x = erfinv(0.999_999);
+        assert!(rel(erf(x), 0.999_999) < 1e-12);
+    }
+
+    #[test]
+    fn erfinv_known_value() {
+        // erfinv(0.5) = 0.47693627620446982 (mpmath).
+        assert!(rel(erfinv(0.5), 0.476_936_276_204_469_9) < 1e-12);
+        // erfinv(0.99) = 1.8213863677184497.
+        assert!(rel(erfinv(0.99), 1.821_386_367_718_449_7) < 1e-12);
+    }
+
+    #[test]
+    fn erfcinv_roundtrip_including_tail() {
+        for &y in &[1.9, 1.0, 0.5, 0.1, 1e-3, 1e-8, 1e-14] {
+            let x = erfcinv(y);
+            assert!(rel(erfc(x), y) < 1e-10, "erfcinv roundtrip at y={y}");
+        }
+    }
+
+    #[test]
+    fn erfinv_endpoints() {
+        assert!(erfinv(1.0).is_infinite());
+        assert!(erfinv(-1.0).is_infinite());
+        assert_eq!(erfinv(0.0), 0.0);
+    }
+
+    #[test]
+    fn erf_odd_symmetry() {
+        for i in 0..50 {
+            let x = i as f64 * 0.1;
+            assert_eq!(erf(x), -erf(-x));
+        }
+    }
+}

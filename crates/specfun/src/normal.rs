@@ -1,0 +1,178 @@
+//! Standard normal distribution: density, CDF, and quantile.
+//!
+//! The quantile uses Acklam's rational approximation (relative error
+//! ~1.15e-9) refined by one Halley step against [`norm_cdf`], giving
+//! near machine precision across the whole open interval.
+
+use crate::erf::erfc;
+
+const SQRT_2: f64 = std::f64::consts::SQRT_2;
+const SQRT_2PI: f64 = 2.506_628_274_631_000_7;
+
+/// Standard normal probability density `φ(x) = e^{-x²/2} / √(2π)`.
+pub fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / SQRT_2PI
+}
+
+/// Standard normal cumulative distribution `Φ(x)`.
+///
+/// Evaluated via `erfc` so both tails retain full relative accuracy.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` for `p ∈ (0, 1)`; `±∞` at the
+/// endpoints.
+pub fn norm_quantile(p: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "norm_quantile requires p in [0, 1], got {p}"
+    );
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    let mut x = acklam(p);
+    // One Halley step on f(x) = Φ(x) - p: f' = φ(x), f''/f' = -x.
+    let f = norm_cdf(x) - p;
+    let df = norm_pdf(x);
+    if df > 0.0 {
+        let u = f / df;
+        x -= u / (1.0 + u * x / 2.0);
+    }
+    x
+}
+
+/// Acklam's rational approximation to the normal quantile.
+fn acklam(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(a: f64, b: f64) -> f64 {
+        if b == 0.0 {
+            a.abs()
+        } else {
+            ((a - b) / b).abs()
+        }
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        // mpmath references.
+        let cases = [
+            (-3.0, 1.349_898_031_630_094_6e-3),
+            (-1.0, 0.158_655_253_931_457_05),
+            (0.0, 0.5),
+            (1.0, 0.841_344_746_068_543),
+            (1.959_963_984_540_054, 0.975),
+            (3.0, 0.998_650_101_968_369_9),
+        ];
+        for &(x, want) in &cases {
+            assert!(rel(norm_cdf(x), want) < 1e-12, "cdf({x})");
+        }
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        for i in 1..999 {
+            let p = i as f64 / 1000.0;
+            let x = norm_quantile(p);
+            assert!(rel(norm_cdf(x), p) < 1e-11, "quantile roundtrip p={p}");
+        }
+        for &p in &[1e-10, 1e-6, 1.0 - 1e-6, 1.0 - 1e-10] {
+            let x = norm_quantile(p);
+            assert!(
+                (norm_cdf(x) - p).abs() / p.min(1.0 - p) < 1e-8,
+                "tail roundtrip p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert!(rel(norm_quantile(0.975), 1.959_963_984_540_054) < 1e-12);
+        assert!(rel(norm_quantile(0.5), 0.0) < 1e-15 || norm_quantile(0.5).abs() < 1e-15);
+        // Φ⁻¹(0.84134474606854293) = 1.
+        assert!(rel(norm_quantile(0.841_344_746_068_543), 1.0) < 1e-11);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Simple trapezoid check over [-8, 8].
+        let n = 16_000;
+        let h = 16.0 / n as f64;
+        let mut s = 0.0;
+        for i in 0..=n {
+            let x = -8.0 + i as f64 * h;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            s += w * norm_pdf(x);
+        }
+        assert!((s * h - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        assert!(norm_quantile(0.0).is_infinite());
+        assert!(norm_quantile(1.0).is_infinite());
+    }
+
+    #[test]
+    fn quantile_symmetry() {
+        for &p in &[0.01, 0.1, 0.3, 0.45] {
+            let a = norm_quantile(p);
+            let b = norm_quantile(1.0 - p);
+            assert!((a + b).abs() < 1e-10, "asymmetry at p={p}: {a} vs {b}");
+        }
+    }
+}

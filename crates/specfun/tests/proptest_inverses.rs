@@ -1,0 +1,77 @@
+//! Property-based round-trip and identity tests for the special
+//! functions.
+
+use lrd_specfun::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn erf_erfinv_roundtrip(y in -0.999_999f64..0.999_999) {
+        let x = erfinv(y);
+        prop_assert!((erf(x) - y).abs() < 1e-10, "erf(erfinv({y})) = {}", erf(x));
+    }
+
+    #[test]
+    fn erfc_erfcinv_roundtrip(y in 1e-12f64..1.999_999) {
+        let x = erfcinv(y);
+        let back = erfc(x);
+        prop_assert!(
+            ((back - y) / y).abs() < 1e-8,
+            "erfc(erfcinv({y})) = {back}"
+        );
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-14);
+        prop_assert!(erf(x).abs() <= 1.0);
+    }
+
+    #[test]
+    fn erf_plus_erfc_is_one(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_cdf_quantile_roundtrip(p in 1e-9f64..1.0) {
+        prop_assume!(p < 1.0 - 1e-9);
+        let x = norm_quantile(p);
+        let back = norm_cdf(x);
+        prop_assert!(
+            (back - p).abs() < 1e-9 * p.max(1.0 - p).max(1e-3),
+            "cdf(quantile({p})) = {back}"
+        );
+    }
+
+    #[test]
+    fn norm_cdf_is_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn gamma_recurrence(x in 0.1f64..30.0) {
+        // Γ(x+1) = x·Γ(x), verified in log space.
+        let lhs = lgamma(x + 1.0);
+        let rhs = x.ln() + lgamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn gamma_p_q_partition(a in 0.05f64..50.0, x in 0.0f64..100.0) {
+        let s = gamma_p(a, x) + gamma_q(a, x);
+        prop_assert!((s - 1.0).abs() < 1e-10, "P+Q = {s} at a={a}, x={x}");
+    }
+
+    #[test]
+    fn inv_gamma_p_roundtrip(a in 0.2f64..50.0, p in 1e-6f64..0.999_999) {
+        let x = inv_gamma_p(a, p);
+        let back = gamma_p(a, x);
+        prop_assert!((back - p).abs() < 1e-7, "P(a, invP({p})) = {back} at a={a}");
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x(a in 0.2f64..20.0, x in 0.0f64..50.0, dx in 0.0f64..5.0) {
+        prop_assert!(gamma_p(a, x + dx) >= gamma_p(a, x) - 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Descriptive statistics and serial-correlation estimators.
+
+/// Arithmetic mean of a slice. Returns `NaN` for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population variance (denominator `n`). Returns `NaN` for an empty
+/// slice.
+///
+/// Uses a two-pass algorithm for numerical stability; traces in this
+/// workspace comfortably fit in memory, so the second pass is cheap.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// A one-pass summary accumulator (Welford) for streaming use, e.g. the
+/// fluid-queue simulator's occupancy statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Running population variance (`NaN` when empty).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Biased sample autocovariance `γ̂(k) = (1/n) Σ_{t} (x_t - x̄)(x_{t+k} - x̄)`
+/// for `k = 0..max_lag` (inclusive), computed with one FFT-based
+/// correlation, `O(n log n)`.
+///
+/// The biased (divide-by-`n`) normalization is standard for spectral
+/// work: it guarantees a positive semi-definite sequence.
+///
+/// # Panics
+///
+/// Panics if `max_lag >= x.len()`.
+pub fn autocovariance(x: &[f64], max_lag: usize) -> Vec<f64> {
+    assert!(
+        max_lag < x.len(),
+        "max_lag {} must be < series length {}",
+        max_lag,
+        x.len()
+    );
+    let n = x.len();
+    let m = mean(x);
+    let centered: Vec<f64> = x.iter().map(|&v| v - m).collect();
+
+    // Autocorrelation via convolution with the time-reversed sequence:
+    // (x ⋆ x)(k) = Σ_t x_t x_{t+k} appears at output index n-1+k.
+    let reversed: Vec<f64> = centered.iter().rev().copied().collect();
+    let conv = lrd_fft::convolve(&centered, &reversed);
+    (0..=max_lag)
+        .map(|k| conv[n - 1 + k] / n as f64)
+        .collect()
+}
+
+/// Sample autocorrelation `ρ̂(k) = γ̂(k) / γ̂(0)` for `k = 0..=max_lag`.
+///
+/// Returns all-`NaN` if the series has zero variance.
+pub fn autocorrelation(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let acov = autocovariance(x, max_lag);
+    let g0 = acov[0];
+    acov.iter().map(|&g| g / g0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&x) - 5.0).abs() < 1e-12);
+        assert!((variance(&x) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&x) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+    }
+
+    #[test]
+    fn summary_matches_two_pass() {
+        let x: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.13).collect();
+        let mut s = Summary::new();
+        for &v in &x {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 1000);
+        assert!((s.mean() - mean(&x)).abs() < 1e-10);
+        assert!((s.variance() - variance(&x)).abs() < 1e-8);
+        assert_eq!(s.min(), x.iter().cloned().fold(f64::INFINITY, f64::min));
+        assert_eq!(s.max(), x.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Direct O(n·k) reference autocovariance.
+    fn acov_naive(x: &[f64], max_lag: usize) -> Vec<f64> {
+        let n = x.len();
+        let m = mean(x);
+        (0..=max_lag)
+            .map(|k| {
+                (0..n - k)
+                    .map(|t| (x[t] - m) * (x[t + k] - m))
+                    .sum::<f64>()
+                    / n as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn autocovariance_matches_naive() {
+        let x: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.1).sin() + ((i * 7) % 13) as f64 * 0.05)
+            .collect();
+        let want = acov_naive(&x, 40);
+        let got = autocovariance(&x, 40);
+        for (k, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-9, "lag {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_lag0_is_one() {
+        let x: Vec<f64> = (0..100).map(|i| (i % 17) as f64).collect();
+        let rho = autocorrelation(&x, 10);
+        assert!((rho[0] - 1.0).abs() < 1e-12);
+        assert!(rho.iter().all(|&r| r.abs() <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn iid_series_has_small_correlation() {
+
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let x: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let rho = autocorrelation(&x, 20);
+        for (k, &r) in rho.iter().enumerate().skip(1) {
+            assert!(r.abs() < 0.05, "unexpected correlation {r} at lag {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_lag")]
+    fn autocovariance_rejects_large_lag() {
+        autocovariance(&[1.0, 2.0], 5);
+    }
+}

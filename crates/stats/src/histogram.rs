@@ -1,0 +1,260 @@
+//! Constant-bin-size histograms.
+//!
+//! The paper extracts the marginal distribution vector `Π` and the rate
+//! matrix `Λ` "simply ... from a constant bin-size histogram of the
+//! traces", with the number of bins "set to 50 in all experiments"
+//! (Sec. III). [`Histogram`] is that object: fixed equal-width bins over
+//! `[min, max]`, counts, normalized probabilities, and bin centers.
+
+/// A fixed-range, equal-width histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    total: u64,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[min, max]` with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, if the range is empty, or if either bound
+    /// is not finite.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(min.is_finite() && max.is_finite(), "bounds must be finite");
+        assert!(max > min, "histogram range must be non-empty: [{min}, {max}]");
+        Histogram {
+            min,
+            max,
+            counts: vec![0; bins],
+            total: 0,
+            below: 0,
+            above: 0,
+        }
+    }
+
+    /// Builds a histogram spanning exactly the data range of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains non-finite values, or if
+    /// all values are identical (the range would be empty).
+    pub fn from_data(data: &[f64], bins: usize) -> Self {
+        assert!(!data.is_empty(), "cannot build a histogram from no data");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in data {
+            assert!(v.is_finite(), "histogram data must be finite, got {v}");
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi == lo {
+            // Degenerate data: widen the range symmetrically so the
+            // single value lands in the middle bin.
+            let pad = lo.abs().max(1.0) * 1e-9;
+            lo -= pad;
+            hi += pad;
+        }
+        let mut h = Histogram::new(lo, hi, bins);
+        for &v in data {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Lower bound of the histogram range.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the histogram range.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.max - self.min) / self.bins() as f64
+    }
+
+    /// Index of the bin containing `x`, or `None` if `x` lies outside
+    /// the range. The top edge belongs to the last bin.
+    pub fn bin_index(&self, x: f64) -> Option<usize> {
+        if x < self.min || x > self.max || x.is_nan() {
+            return None;
+        }
+        let idx = ((x - self.min) / self.bin_width()) as usize;
+        Some(idx.min(self.bins() - 1))
+    }
+
+    /// Adds an observation; out-of-range values are tallied separately
+    /// and excluded from [`Histogram::probabilities`].
+    pub fn add(&mut self, x: f64) {
+        match self.bin_index(x) {
+            Some(i) => {
+                self.counts[i] += 1;
+                self.total += 1;
+            }
+            None if x < self.min => self.below += 1,
+            None => self.above += 1,
+        }
+    }
+
+    /// Raw in-range counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations that fell below/above the range.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Normalized bin probabilities (sum to 1 over in-range mass).
+    ///
+    /// Returns all zeros if the histogram is empty.
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.bins()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Center value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.bins(), "bin index out of range");
+        self.min + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// All bin centers.
+    pub fn bin_centers(&self) -> Vec<f64> {
+        (0..self.bins()).map(|i| self.bin_center(i)).collect()
+    }
+
+    /// Mean of the binned distribution (mass at bin centers).
+    pub fn binned_mean(&self) -> f64 {
+        let p = self.probabilities();
+        (0..self.bins()).map(|i| p[i] * self.bin_center(i)).sum()
+    }
+
+    /// Assigns each data point to its bin index; values outside the
+    /// range clamp to the nearest bin. Used for epoch (same-bin run)
+    /// analysis.
+    pub fn quantize(&self, data: &[f64]) -> Vec<usize> {
+        data.iter()
+            .map(|&x| match self.bin_index(x) {
+                Some(i) => i,
+                None if x < self.min => 0,
+                None => self.bins() - 1,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.6, 9.99, 10.0] {
+            h.add(x);
+        }
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 2); // 9.99 and the top edge 10.0
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-0.1);
+        h.add(2.0);
+        h.add(0.5);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let data: Vec<f64> = (0..1000).map(|i| (i % 97) as f64).collect();
+        let h = Histogram::from_data(&data, 50);
+        let p = h.probabilities();
+        assert_eq!(p.len(), 50);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_data_spans_range() {
+        let data = [3.0, 7.0, 5.0];
+        let h = Histogram::from_data(&data, 4);
+        assert_eq!(h.min(), 3.0);
+        assert_eq!(h.max(), 7.0);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn degenerate_constant_data() {
+        let h = Histogram::from_data(&[5.0; 10], 3);
+        assert_eq!(h.total(), 10);
+        let p = h.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_centers(), vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn binned_mean_close_to_true_mean() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64).collect();
+        let h = Histogram::from_data(&data, 50);
+        let true_mean = crate::descriptive::mean(&data);
+        assert!(
+            (h.binned_mean() - true_mean).abs() < 1.0,
+            "binned mean {} vs true {}",
+            h.binned_mean(),
+            true_mean
+        );
+    }
+
+    #[test]
+    fn quantize_clamps() {
+        let h = Histogram::new(0.0, 10.0, 10);
+        assert_eq!(h.quantize(&[-5.0, 0.1, 9.9, 20.0]), vec![0, 0, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_rejected() {
+        Histogram::new(1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Variance–time estimator.
+//!
+//! For an exactly or asymptotically second-order self-similar process,
+//! the variance of the aggregated series
+//! `X^{(m)}_k = (X_{km+1} + … + X_{(k+1)m}) / m`
+//! decays as `Var[X^{(m)}] ~ σ² m^{2H-2}` (Leland et al., the paper's
+//! ref. [23]). The slope `β` of the variance–time log-log plot
+//! therefore gives `H = 1 + β/2`.
+
+use super::{log_spaced_sizes, HurstEstimate};
+use crate::descriptive::variance;
+use crate::regression::linear_fit;
+
+/// Estimates the Hurst parameter from the variance of aggregated
+/// series at log-spaced aggregation levels.
+///
+/// # Panics
+///
+/// Panics if the series has fewer than 64 samples or zero variance.
+pub fn variance_time_estimate(x: &[f64]) -> HurstEstimate {
+    assert!(x.len() >= 64, "variance-time needs at least 64 samples");
+    assert!(
+        variance(x) > 0.0,
+        "variance-time is undefined for a constant series"
+    );
+    // Keep at least ~8 aggregated points per level so the variance
+    // estimate is meaningful.
+    let sizes = log_spaced_sizes(1, x.len() / 8, 16);
+    let mut points = Vec::with_capacity(sizes.len());
+    for &m in &sizes {
+        let agg = aggregate(x, m);
+        if agg.len() < 2 {
+            continue;
+        }
+        let v = variance(&agg);
+        if v > 0.0 {
+            points.push(((m as f64).ln(), v.ln()));
+        }
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let fit = linear_fit(&xs, &ys);
+    HurstEstimate {
+        h: 1.0 + fit.slope / 2.0,
+        fit,
+        points,
+    }
+}
+
+/// Non-overlapping block means at aggregation level `m`.
+pub fn aggregate(x: &[f64], m: usize) -> Vec<f64> {
+    assert!(m >= 1);
+    x.chunks_exact(m)
+        .map(|c| c.iter().sum::<f64>() / m as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_means() {
+        let x = [1.0, 3.0, 5.0, 7.0, 9.0];
+        assert_eq!(aggregate(&x, 2), vec![2.0, 6.0]);
+        assert_eq!(aggregate(&x, 1), x.to_vec());
+        assert_eq!(aggregate(&x, 5), vec![5.0]);
+    }
+
+    #[test]
+    fn iid_like_series_near_half() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let x: Vec<f64> = (0..65_536).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let e = variance_time_estimate(&x);
+        assert!(
+            (e.h - 0.5).abs() < 0.1,
+            "expected H near 0.5 for iid-like input, got {}",
+            e.h
+        );
+    }
+
+    #[test]
+    fn strong_positive_dependence_raises_h() {
+        // A slowly varying series (random walk increments smoothed) has
+        // aggregated variance decaying slower than 1/m => H > 0.5.
+        let mut x = Vec::with_capacity(32_768);
+        let mut level = 0.0;
+        for i in 0..32_768 {
+            // Long deterministic cycles emulate slowly-decaying
+            // correlations.
+            level = 0.999 * level + ((i as f64 * 0.618_033_988_75) % 1.0 - 0.5);
+            x.push(level);
+        }
+        let e = variance_time_estimate(&x);
+        assert!(e.h > 0.7, "expected high H for smooth series, got {}", e.h);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant series")]
+    fn constant_rejected() {
+        variance_time_estimate(&[1.0; 128]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Statistics for traffic-trace analysis.
+//!
+//! The paper characterizes its two input traces (the "MTV" JPEG video
+//! trace and the Bellcore Ethernet trace) by
+//!
+//! * their marginal rate distribution, extracted as a constant-bin-size
+//!   **histogram** with 50 bins (Sec. III, Fig. 3),
+//! * their **Hurst parameter**, estimated with "a Whittle or wavelet
+//!   based estimator" (`H ≈ 0.83` for MTV, `H ≈ 0.9` for Bellcore),
+//! * the **mean epoch duration** — the average number of consecutive
+//!   samples falling in the same histogram bin — used to calibrate the
+//!   truncated-Pareto scale parameter `θ` via Eq. 25.
+//!
+//! This crate provides all of those building blocks plus the generic
+//! machinery they rest on: descriptive statistics, FFT-accelerated
+//! autocovariance, ordinary least squares on log-log plots, and four
+//! independent Hurst estimators (rescaled-range, variance–time,
+//! log-periodogram/GPH, and Haar-wavelet energy slopes) that can be
+//! cross-checked against each other.
+
+#![warn(missing_docs)]
+
+pub mod descriptive;
+pub mod histogram;
+pub mod hurst;
+pub mod regression;
+pub mod runs;
+
+pub use descriptive::{autocorrelation, autocovariance, mean, std_dev, variance, Summary};
+pub use histogram::Histogram;
+pub use hurst::{
+    gph_estimate, gph_std_error, rs_estimate, variance_time_estimate, wavelet_estimate,
+    whittle_estimate, whittle_std_error, HurstEstimate,
+};
+pub use regression::{linear_fit, LinearFit};
+pub use runs::mean_run_length;

@@ -1,0 +1,98 @@
+//! Ordinary least squares on `(x, y)` pairs.
+//!
+//! All four Hurst estimators reduce to fitting a slope on a log-log or
+//! log-linear plot; this module is that shared fitting step.
+
+/// Result of a simple linear regression `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+/// Fits `y = intercept + slope·x` by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, contain fewer than two
+/// points, or if all `x` are identical.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(x.len() >= 2, "need at least two points to fit a line");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "x values are all identical; slope undefined");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0]; // y = 1 + 2x
+        let f = linear_fit(&x, &y);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        // Deterministic "noise" with zero empirical trend.
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| 5.0 - 0.5 * xi + 0.3 * (xi * 12.9898).sin())
+            .collect();
+        let f = linear_fit(&x, &y);
+        assert!((f.slope + 0.5).abs() < 0.01, "slope {}", f.slope);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn horizontal_line() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [4.0, 4.0, 4.0];
+        let f = linear_fit(&x, &y);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 4.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths() {
+        linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn vertical_line_rejected() {
+        linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the statistics crate.
+
+use lrd_stats::*;
+use proptest::prelude::*;
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, 2..400)
+}
+
+proptest! {
+    #[test]
+    fn variance_is_nonnegative_and_shift_invariant(x in series(), shift in -1e3f64..1e3) {
+        let v = variance(&x);
+        prop_assert!(v >= -1e-9);
+        let shifted: Vec<f64> = x.iter().map(|&a| a + shift).collect();
+        let vs = variance(&shifted);
+        let scale = v.abs().max(1.0);
+        prop_assert!((v - vs).abs() < 1e-6 * scale, "{} vs {}", v, vs);
+    }
+
+    #[test]
+    fn summary_agrees_with_two_pass(x in series()) {
+        let mut s = Summary::new();
+        for &v in &x {
+            s.push(v);
+        }
+        prop_assert!((s.mean() - mean(&x)).abs() < 1e-8 * mean(&x).abs().max(1.0));
+        prop_assert!((s.variance() - variance(&x)).abs() < 1e-6 * variance(&x).max(1.0));
+    }
+
+    #[test]
+    fn autocorrelation_bounded(x in series()) {
+        prop_assume!(variance(&x) > 1e-9);
+        let max_lag = (x.len() - 1).min(20);
+        let rho = autocorrelation(&x, max_lag);
+        prop_assert!((rho[0] - 1.0).abs() < 1e-9);
+        for &r in &rho {
+            prop_assert!(r.abs() <= 1.0 + 1e-6, "autocorrelation {r} out of range");
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_counts(x in proptest::collection::vec(-100.0f64..100.0, 1..500), bins in 1usize..60) {
+        let h = Histogram::from_data(&x, bins);
+        prop_assert_eq!(h.total() as usize, x.len());
+        let p = h.probabilities();
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantize_is_total(x in proptest::collection::vec(-100.0f64..100.0, 1..200), bins in 1usize..30) {
+        let h = Histogram::from_data(&x, bins);
+        let q = h.quantize(&x);
+        prop_assert_eq!(q.len(), x.len());
+        prop_assert!(q.iter().all(|&i| i < bins));
+    }
+
+    #[test]
+    fn mean_run_length_bounds(labels in proptest::collection::vec(0usize..5, 1..300)) {
+        let m = mean_run_length(&labels);
+        prop_assert!(m >= 1.0 - 1e-12);
+        prop_assert!(m <= labels.len() as f64 + 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        xs in proptest::collection::vec(-50.0f64..50.0, 2..50),
+    ) {
+        // Need at least two distinct x.
+        let mut distinct = xs.clone();
+        distinct.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        prop_assume!(distinct.len() >= 2);
+        let mut xs = xs;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assume!((xs[0] - xs[xs.len() - 1]).abs() > 1e-6);
+        let ys: Vec<f64> = xs.iter().map(|&x| intercept + slope * x).collect();
+        let f = linear_fit(&xs, &ys);
+        prop_assert!((f.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
+        prop_assert!((f.intercept - intercept).abs() < 1e-5 * intercept.abs().max(1.0));
+    }
+
+    #[test]
+    fn aggregation_preserves_grand_mean(x in proptest::collection::vec(-100.0f64..100.0, 8..256), m in 1usize..8) {
+        let agg = lrd_stats::hurst::aggregate(&x, m);
+        prop_assume!(!agg.is_empty());
+        // Means agree on the truncated prefix.
+        let used = agg.len() * m;
+        let prefix_mean = mean(&x[..used]);
+        prop_assert!((mean(&agg) - prefix_mean).abs() < 1e-9 * prefix_mean.abs().max(1.0));
+    }
+}

@@ -1,0 +1,115 @@
+//! The autocovariance structure of the modulated fluid model.
+//!
+//! Paper Eq. 3 shows `φ(t) = σ² Pr{τ_res >= t}`: because rates in
+//! distinct renewal intervals are independent, the only correlation
+//! between `X_0` and `X_t` comes from the event that *no* renewal
+//! occurred in `[0, t]`, whose stationary probability is the residual-
+//! life tail of the interarrival distribution (Eq. 5). For the
+//! truncated Pareto this yields Eq. 8, which decays hyperbolically like
+//! `t^{1-α}` below the cutoff and is identically zero beyond it.
+
+use crate::interarrival::Interarrival;
+use crate::marginal::Marginal;
+use crate::pareto::TruncatedPareto;
+
+/// The Hurst parameter implied by a Pareto shape: `H = (3 − α)/2`.
+pub fn hurst_from_alpha(alpha: f64) -> f64 {
+    assert!(alpha > 1.0 && alpha < 2.0, "alpha must lie in (1, 2)");
+    (3.0 - alpha) / 2.0
+}
+
+/// The Pareto shape implied by a Hurst parameter: `α = 3 − 2H`.
+pub fn alpha_from_hurst(hurst: f64) -> f64 {
+    assert!(hurst > 0.5 && hurst < 1.0, "H must lie in (1/2, 1)");
+    3.0 - 2.0 * hurst
+}
+
+/// Autocovariance `φ(t)` of the fluid rate process at lag `t`
+/// (paper Eq. 8): `σ²` times the residual-life tail of the truncated
+/// Pareto.
+pub fn autocovariance_at(marginal: &Marginal, intervals: &TruncatedPareto, t: f64) -> f64 {
+    marginal.variance() * intervals.residual_ccdf(t)
+}
+
+/// Autocovariance of the modulated fluid model for a *generic*
+/// interarrival distribution, using Eq. 5 directly:
+/// `φ(t) = σ² ∫_t^∞ Pr{T > u} du / E[T]`.
+pub fn autocovariance_generic<D: Interarrival>(marginal: &Marginal, intervals: &D, t: f64) -> f64 {
+    if t <= 0.0 {
+        return marginal.variance();
+    }
+    marginal.variance() * intervals.int_ccdf(t) / intervals.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::Exponential;
+
+    fn marg() -> Marginal {
+        Marginal::new(&[1.0, 3.0], &[0.5, 0.5])
+    }
+
+    #[test]
+    fn lag_zero_is_variance() {
+        let d = TruncatedPareto::new(0.05, 1.4, 2.0);
+        let m = marg();
+        assert!((autocovariance_at(&m, &d, 0.0) - m.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vanishes_beyond_cutoff() {
+        let d = TruncatedPareto::new(0.05, 1.4, 2.0);
+        let m = marg();
+        assert_eq!(autocovariance_at(&m, &d, 2.0), 0.0);
+        assert_eq!(autocovariance_at(&m, &d, 5.0), 0.0);
+        assert!(autocovariance_at(&m, &d, 1.99) > 0.0);
+    }
+
+    #[test]
+    fn generic_matches_specialized_for_pareto() {
+        let d = TruncatedPareto::new(0.05, 1.4, 2.0);
+        let m = marg();
+        for &t in &[0.01, 0.1, 0.5, 1.0, 1.9] {
+            let a = autocovariance_at(&m, &d, t);
+            let b = autocovariance_generic(&m, &d, t);
+            assert!((a - b).abs() < 1e-12, "mismatch at t={t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn untruncated_decay_is_hyperbolic() {
+        // φ(t) ~ t^{1-α} for large t when T_c = ∞: the log-log slope
+        // between two large lags approaches 1 − α.
+        let alpha = 1.4;
+        let d = TruncatedPareto::new(0.05, alpha, f64::INFINITY);
+        let m = marg();
+        let (t1, t2) = (100.0, 1000.0);
+        let slope = (autocovariance_at(&m, &d, t2) / autocovariance_at(&m, &d, t1)).ln()
+            / (t2 / t1).ln();
+        assert!(
+            (slope - (1.0 - alpha)).abs() < 0.01,
+            "asymptotic slope {slope} vs {}",
+            1.0 - alpha
+        );
+    }
+
+    #[test]
+    fn exponential_decay_for_markovian_intervals() {
+        let d = Exponential::new(0.1);
+        let m = marg();
+        // φ(t)/σ² = e^{-t/mean} for exponential intervals.
+        for &t in &[0.05, 0.1, 0.3] {
+            let want = m.variance() * (-t / 0.1f64).exp();
+            let got = autocovariance_generic(&m, &d, t);
+            assert!((want - got).abs() < 1e-12, "at t={t}");
+        }
+    }
+
+    #[test]
+    fn hurst_alpha_roundtrip() {
+        for &h in &[0.55, 0.7, 0.83, 0.9, 0.95] {
+            assert!((hurst_from_alpha(alpha_from_hurst(h)) - h).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Fractional Gaussian noise (fGn) generation.
+//!
+//! fGn is *the* canonical exactly self-similar Gaussian process; the
+//! paper's synthetic stand-ins for its proprietary traces are built by
+//! generating fGn with the published Hurst parameters and mapping it
+//! through the target marginal (see [`crate::synth`]).
+//!
+//! Two generators are provided:
+//!
+//! * [`davies_harte`] — exact O(n log n) sampling via circulant
+//!   embedding of the covariance matrix (the standard method for long
+//!   traces; the embedding is known to be non-negative definite for
+//!   fGn at any length),
+//! * [`hosking`] — the exact O(n²) Durbin–Levinson recursion, used as
+//!   an independent reference implementation in tests.
+
+use lrd_fft::{Complex, Fft};
+use rand::Rng;
+
+/// Autocovariance of standard (unit-variance) fGn at integer lag `k`:
+///
+/// `γ(k) = ½ (|k+1|^{2H} − 2|k|^{2H} + |k−1|^{2H})`.
+pub fn fgn_autocovariance(hurst: f64, k: usize) -> f64 {
+    assert!(hurst > 0.0 && hurst < 1.0, "H must lie in (0, 1)");
+    let h2 = 2.0 * hurst;
+    let k = k as f64;
+    0.5 * ((k + 1.0).powf(h2) - 2.0 * k.powf(h2) + (k - 1.0).abs().powf(h2))
+}
+
+/// Draws one standard normal variate (polar Box–Muller; the spare is
+/// discarded for simplicity — generation cost is dominated by the FFT).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Exact fGn sampling by circulant embedding (Davies & Harte, 1987).
+///
+/// Returns `n` samples of zero-mean, unit-variance fGn with Hurst
+/// parameter `hurst`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `hurst ∉ (0, 1)`, or (theoretically
+/// impossible for fGn) if the circulant embedding produces a
+/// significantly negative eigenvalue.
+pub fn davies_harte<R: Rng + ?Sized>(rng: &mut R, hurst: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "need at least one sample");
+    assert!(hurst > 0.0 && hurst < 1.0, "H must lie in (0, 1)");
+    if n == 1 {
+        return vec![standard_normal(rng)];
+    }
+    // Embed the (n x n) Toeplitz covariance into a circulant of size
+    // 2m with m = next power of two >= n, first row:
+    //   [γ(0), γ(1), …, γ(m), γ(m−1), …, γ(1)].
+    let m = n.next_power_of_two();
+    let size = 2 * m;
+    let mut row = Vec::with_capacity(size);
+    for k in 0..=m {
+        row.push(fgn_autocovariance(hurst, k));
+    }
+    for k in (1..m).rev() {
+        row.push(fgn_autocovariance(hurst, k));
+    }
+    debug_assert_eq!(row.len(), size);
+
+    // Eigenvalues of the circulant = FFT of its first row (real).
+    let plan = Fft::new(size);
+    let mut eig: Vec<Complex> = row.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    plan.forward(&mut eig);
+    let mut lambda = Vec::with_capacity(size);
+    for z in &eig {
+        let v = z.re;
+        // The embedding is provably nonnegative-definite for fGn;
+        // tolerate tiny negative round-off only.
+        assert!(
+            v > -1e-8 * size as f64,
+            "circulant embedding produced negative eigenvalue {v}"
+        );
+        lambda.push(v.max(0.0));
+    }
+
+    // Build the frequency-domain Gaussian vector with the required
+    // Hermitian symmetry so the inverse transform is real.
+    let mut freq = vec![Complex::ZERO; size];
+    let scale = |l: f64| (l / (2.0 * size as f64)).sqrt();
+    freq[0] = Complex::new(standard_normal(rng) * (lambda[0] / size as f64).sqrt(), 0.0);
+    freq[m] = Complex::new(standard_normal(rng) * (lambda[m] / size as f64).sqrt(), 0.0);
+    for k in 1..m {
+        let a = standard_normal(rng);
+        let b = standard_normal(rng);
+        let s = scale(lambda[k]);
+        freq[k] = Complex::new(a * s, b * s);
+        freq[size - k] = freq[k].conj();
+    }
+
+    // X = FFT(freq); the real parts are the Gaussian sample with the
+    // embedded covariance.
+    plan.forward(&mut freq);
+    freq.truncate(n);
+    freq.into_iter().map(|z| z.re).collect()
+}
+
+/// Exact fGn sampling by the Hosking (Durbin–Levinson) recursion,
+/// O(n²). Kept as the independent reference implementation.
+pub fn hosking<R: Rng + ?Sized>(rng: &mut R, hurst: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "need at least one sample");
+    assert!(hurst > 0.0 && hurst < 1.0, "H must lie in (0, 1)");
+    let gamma: Vec<f64> = (0..n).map(|k| fgn_autocovariance(hurst, k)).collect();
+
+    let mut out = Vec::with_capacity(n);
+    let mut phi = vec![0.0f64; n];
+    let mut phi_prev = vec![0.0f64; n];
+    let mut v = gamma[0];
+    out.push(standard_normal(rng) * v.sqrt());
+
+    for t in 1..n {
+        // Durbin–Levinson update of the partial regression
+        // coefficients phi[0..t].
+        let mut acc = gamma[t];
+        for j in 0..t - 1 {
+            acc -= phi_prev[j] * gamma[t - 1 - j];
+        }
+        let kappa = acc / v;
+        phi[t - 1] = kappa;
+        for j in 0..t - 1 {
+            phi[j] = phi_prev[j] - kappa * phi_prev[t - 2 - j];
+        }
+        v *= 1.0 - kappa * kappa;
+
+        let mut mean = 0.0;
+        for j in 0..t {
+            mean += phi[j] * out[t - 1 - j];
+        }
+        out.push(mean + standard_normal(rng) * v.max(0.0).sqrt());
+        phi_prev[..t].copy_from_slice(&phi[..t]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_stats::{autocovariance, mean, variance};
+    use rand::SeedableRng;
+
+    #[test]
+    fn autocovariance_lag0_is_one() {
+        for &h in &[0.5, 0.7, 0.9] {
+            assert!((fgn_autocovariance(h, 0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn autocovariance_h_half_is_white() {
+        // H = 1/2 is ordinary white noise: γ(k) = 0 for k >= 1.
+        for k in 1..10 {
+            assert!(fgn_autocovariance(0.5, k).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn autocovariance_positive_for_lrd() {
+        // H > 1/2 gives positive, slowly decaying correlations.
+        for k in 1..100 {
+            assert!(fgn_autocovariance(0.8, k) > 0.0);
+        }
+        // Hyperbolic tail: γ(k) ~ H(2H−1) k^{2H−2}.
+        let h = 0.8f64;
+        let k = 10_000f64;
+        let want = h * (2.0 * h - 1.0) * k.powf(2.0 * h - 2.0);
+        let got = fgn_autocovariance(0.8, 10_000);
+        assert!(
+            ((got - want) / want).abs() < 1e-3,
+            "tail {got} vs asymptotic {want}"
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let x: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(mean(&x).abs() < 0.01);
+        assert!((variance(&x) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn davies_harte_matches_theory() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(12);
+        let h = 0.8;
+        let n = 1 << 16;
+        let x = davies_harte(&mut rng, h, n);
+        assert_eq!(x.len(), n);
+        assert!(mean(&x).abs() < 0.05, "mean {}", mean(&x));
+        assert!((variance(&x) - 1.0).abs() < 0.05, "var {}", variance(&x));
+        let acov = autocovariance(&x, 20);
+        for (k, &got) in acov.iter().enumerate().take(11).skip(1) {
+            let want = fgn_autocovariance(h, k);
+            assert!((got - want).abs() < 0.05, "lag {k}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn davies_harte_recovers_hurst() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+        for &h in &[0.7, 0.83, 0.9] {
+            let x = davies_harte(&mut rng, h, 1 << 16);
+            let est = lrd_stats::wavelet_estimate(&x);
+            assert!(
+                (est.h - h).abs() < 0.05,
+                "wavelet estimate {} for true H={h}",
+                est.h
+            );
+            let est2 = lrd_stats::variance_time_estimate(&x);
+            assert!(
+                (est2.h - h).abs() < 0.1,
+                "variance-time estimate {} for true H={h}",
+                est2.h
+            );
+        }
+    }
+
+    #[test]
+    fn hosking_matches_theory() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(14);
+        let h = 0.75;
+        let n = 4096;
+        let x = hosking(&mut rng, h, n);
+        assert_eq!(x.len(), n);
+        assert!((variance(&x) - 1.0).abs() < 0.1, "var {}", variance(&x));
+        let acov = autocovariance(&x, 5);
+        for (k, &got) in acov.iter().enumerate().take(4).skip(1) {
+            let want = fgn_autocovariance(h, k);
+            assert!((got - want).abs() < 0.1, "lag {k}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn generators_agree_statistically() {
+        // Same H, different algorithms: lag-1 autocorrelations agree.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(15);
+        let h = 0.85;
+        let a = davies_harte(&mut rng, h, 8192);
+        let b = hosking(&mut rng, h, 8192);
+        let ra = autocovariance(&a, 1)[1] / variance(&a);
+        let rb = autocovariance(&b, 1)[1] / variance(&b);
+        assert!((ra - rb).abs() < 0.08, "lag-1 autocorr {ra} vs {rb}");
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(16);
+        assert_eq!(davies_harte(&mut rng, 0.8, 1).len(), 1);
+        assert_eq!(hosking(&mut rng, 0.8, 1).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "H must lie in (0, 1)")]
+    fn bad_hurst_rejected() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        davies_harte(&mut rng, 1.2, 16);
+    }
+}

@@ -1,0 +1,86 @@
+//! The interface between interval-length distributions and the rest of
+//! the workspace.
+//!
+//! The paper's model fixes the interarrival distribution to a truncated
+//! Pareto (its Eq. 6), but explicitly notes that "the numerical
+//! procedure developed in Section II can be used independent of the
+//! particular model" (Sec. IV) — e.g. with Markovian interval lengths.
+//! This trait is that independence boundary: the loss solver and the
+//! simulator consume any [`Interarrival`], and the workspace ships two
+//! implementations, [`crate::TruncatedPareto`] and
+//! [`crate::Exponential`].
+
+use rand::Rng;
+
+/// A positive interarrival-time distribution, possibly with an atom at
+/// the top of its support (the truncated Pareto has one at `T_c`).
+pub trait Interarrival {
+    /// Complementary CDF `Pr{T > t}`. Must be right-continuous,
+    /// non-increasing, with `ccdf(t) = 1` for `t < 0`.
+    fn ccdf(&self, t: f64) -> f64;
+
+    /// `Pr{T >= t}`, which differs from [`Interarrival::ccdf`] exactly
+    /// at atoms. Needed to discretize `W = T(λ - c)` without losing the
+    /// atom mass on either side of a grid point.
+    fn prob_ge(&self, t: f64) -> f64;
+
+    /// Mean interval length `E[T]`.
+    fn mean(&self) -> f64;
+
+    /// Variance of the interval length; may be `+∞` (untruncated Pareto
+    /// with `α < 2`).
+    fn variance(&self) -> f64;
+
+    /// The integrated tail `∫_t^∞ Pr{T > u} du`.
+    ///
+    /// This is the kernel of the expected-overflow formula (paper
+    /// Eq. 15): conditioned on occupancy `x`, the expected lost work is
+    /// `Σ_{i: λ_i > c} π_i (λ_i − c) · int_ccdf((B − x)/(λ_i − c))`.
+    ///
+    /// Note `int_ccdf(0) = E[T]`.
+    fn int_ccdf(&self, t: f64) -> f64;
+
+    /// Upper end of the support (`T_c` for the truncated Pareto,
+    /// `+∞` for the exponential).
+    fn sup(&self) -> f64;
+
+    /// Draws an interval length.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+/// Shared sanity checks for any `Interarrival` implementation; used by
+/// the test suites of both shipped distributions and available to
+/// downstream implementations.
+#[doc(hidden)]
+pub fn check_distribution_invariants<D: Interarrival>(d: &D, probe_points: &[f64]) {
+    // ccdf is within [0,1], non-increasing, and dominated by prob_ge.
+    let mut prev = 1.0_f64 + 1e-12;
+    for &t in probe_points {
+        let c = d.ccdf(t);
+        let ge = d.prob_ge(t);
+        assert!((0.0..=1.0).contains(&c), "ccdf({t}) = {c} out of range");
+        assert!(ge >= c - 1e-12, "prob_ge({t}) = {ge} < ccdf = {c}");
+        assert!(c <= prev + 1e-12, "ccdf not non-increasing at {t}");
+        prev = c;
+    }
+    // int_ccdf(0) == mean.
+    let m = d.mean();
+    assert!(
+        (d.int_ccdf(0.0) - m).abs() <= 1e-9 * m.max(1.0),
+        "int_ccdf(0) = {} != mean = {}",
+        d.int_ccdf(0.0),
+        m
+    );
+    // int_ccdf is non-increasing and vanishes beyond the support.
+    let mut prev = f64::INFINITY;
+    for &t in probe_points {
+        let v = d.int_ccdf(t);
+        assert!(v >= -1e-12, "int_ccdf({t}) negative: {v}");
+        assert!(v <= prev + 1e-12, "int_ccdf not non-increasing at {t}");
+        prev = v;
+    }
+    if d.sup().is_finite() {
+        assert_eq!(d.ccdf(d.sup()), 0.0, "ccdf must vanish at sup");
+        assert!(d.int_ccdf(d.sup()) <= 1e-15);
+    }
+}

@@ -1,0 +1,52 @@
+//! Traffic models for the Grossglauser–Bolot study.
+//!
+//! The centerpiece is the **cutoff-correlated modulated fluid model**
+//! of Sec. II of the paper: a piecewise-constant rate process whose
+//! rate is redrawn i.i.d. from a finite marginal distribution
+//! ([`Marginal`]) at the epochs of a renewal process with
+//! **truncated-Pareto** interarrival times ([`TruncatedPareto`]). Its
+//! autocovariance matches an asymptotically second-order self-similar
+//! process with Hurst parameter `H = (3 − α)/2` up to the cutoff lag
+//! `T_c`, and is exactly zero beyond it (Eq. 8).
+//!
+//! Around that model the crate provides everything the paper's
+//! experiments need:
+//!
+//! * [`fgn`] — exact fractional Gaussian noise generators
+//!   (Davies–Harte circulant embedding and the Hosking recursion),
+//! * [`synth`] — deterministic synthetic stand-ins for the paper's two
+//!   proprietary traces (MTV JPEG video and Bellcore Ethernet),
+//! * [`Trace`] — binned rate traces with marginal extraction and epoch
+//!   (same-bin run) analysis,
+//! * [`shuffle`] — the external/internal block shuffling of Fig. 6,
+//! * [`onoff`] — heavy-tailed on/off sources whose superposition is the
+//!   physical explanation the paper gives for LRD in network traffic,
+//! * [`mginf`] — the M/G/∞ busy-server model (Poisson sessions with
+//!   heavy-tailed durations), the paper's cited alternative generator,
+//! * an [`Exponential`] interarrival alternative, giving the Markovian
+//!   (SRD) baseline the paper argues is equivalent below the
+//!   correlation horizon.
+
+#![warn(missing_docs)]
+
+pub mod covariance;
+pub mod fgn;
+pub mod interarrival;
+pub mod marginal;
+pub mod markov;
+pub mod mginf;
+pub mod onoff;
+pub mod pareto;
+pub mod shuffle;
+pub mod source;
+pub mod synth;
+pub mod trace;
+pub mod video;
+
+pub use covariance::{autocovariance_at, hurst_from_alpha, alpha_from_hurst};
+pub use interarrival::Interarrival;
+pub use marginal::Marginal;
+pub use markov::{fit_to_pareto, HyperExponential};
+pub use pareto::{Exponential, TruncatedPareto};
+pub use source::FluidSource;
+pub use trace::Trace;

@@ -1,0 +1,442 @@
+//! The finite marginal distribution `(Π, Λ)` of the fluid rate.
+//!
+//! Sec. III of the paper obtains `Π` and `Λ` "from a constant bin-size
+//! histogram of the traces" with 50 bins, and studies two
+//! transformations of the marginal (Figs. 10–13):
+//!
+//! * **scaling** — `λ'_i = λ̄ + a(λ_i − λ̄)` stretches the distribution
+//!   about its mean by a factor `a` while keeping the mean fixed
+//!   ([`Marginal::scaled`]);
+//! * **superposition** — the `n`-fold convolution renormalized to the
+//!   original mean models `n` multiplexed copies of the stream with
+//!   per-stream service and buffer held constant
+//!   ([`Marginal::superpose`]).
+
+use lrd_stats::Histogram;
+use rand::Rng;
+
+/// A discrete fluid-rate distribution: rates `λ_1 < … < λ_M` with
+/// probabilities `π_i` summing to one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Marginal {
+    rates: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl Marginal {
+    /// Creates a marginal from `(rate, probability)` support points.
+    ///
+    /// ```
+    /// use lrd_traffic::Marginal;
+    ///
+    /// let m = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    /// assert_eq!(m.mean(), 8.0);
+    /// // The paper's two transformations:
+    /// let narrowed = m.scaled(0.5);          // same mean, half the σ
+    /// assert_eq!(narrowed.mean(), 8.0);
+    /// let muxed = m.superpose(4, 100);       // 4 multiplexed streams
+    /// assert!(muxed.std_dev() < m.std_dev());
+    /// ```
+    ///
+    /// Entries are sorted by rate; duplicate rates are merged;
+    /// zero-probability entries are dropped; probabilities are
+    /// renormalized to sum to exactly one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, are empty, contain
+    /// non-finite rates, or contain negative probabilities summing to
+    /// zero.
+    pub fn new(rates: &[f64], probs: &[f64]) -> Self {
+        assert_eq!(rates.len(), probs.len(), "rates/probs length mismatch");
+        assert!(!rates.is_empty(), "marginal needs at least one support point");
+        let mut pairs: Vec<(f64, f64)> = rates
+            .iter()
+            .zip(probs)
+            .map(|(&r, &p)| {
+                assert!(r.is_finite(), "rate must be finite, got {r}");
+                assert!(p >= 0.0 && p.is_finite(), "probability must be in [0, ∞), got {p}");
+                (r, p)
+            })
+            .filter(|&(_, p)| p > 0.0)
+            .collect();
+        assert!(!pairs.is_empty(), "marginal has no positive-probability support");
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // Merge duplicates.
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(pairs.len());
+        for (r, p) in pairs {
+            match merged.last_mut() {
+                Some(last) if last.0 == r => last.1 += p,
+                _ => merged.push((r, p)),
+            }
+        }
+        let total: f64 = merged.iter().map(|&(_, p)| p).sum();
+        assert!(total > 0.0, "total probability mass must be positive");
+        Marginal {
+            rates: merged.iter().map(|&(r, _)| r).collect(),
+            probs: merged.iter().map(|&(_, p)| p / total).collect(),
+        }
+    }
+
+    /// A single deterministic rate.
+    pub fn constant(rate: f64) -> Self {
+        Marginal::new(&[rate], &[1.0])
+    }
+
+    /// The classical two-state on/off marginal: rate `peak` with
+    /// probability `p_on`, rate `0` otherwise.
+    pub fn on_off(peak: f64, p_on: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_on), "p_on must be in [0, 1]");
+        Marginal::new(&[0.0, peak], &[1.0 - p_on, p_on])
+    }
+
+    /// Extracts the marginal from a binned histogram: bin centers
+    /// become the rates, normalized counts the probabilities (the
+    /// paper's procedure with 50 bins).
+    pub fn from_histogram(h: &Histogram) -> Self {
+        Marginal::new(&h.bin_centers(), &h.probabilities())
+    }
+
+    /// The support rates, ascending.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// The probabilities, aligned with [`Marginal::rates`].
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of support points (`M` in the paper).
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Mean rate `λ̄ = Π Λ 1ᵀ` (paper Eq. 2).
+    pub fn mean(&self) -> f64 {
+        self.rates
+            .iter()
+            .zip(&self.probs)
+            .map(|(&r, &p)| r * p)
+            .sum()
+    }
+
+    /// Variance `σ² = Π Λ² 1ᵀ − (Π Λ 1ᵀ)²` (paper Eq. 4).
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        let m2: f64 = self
+            .rates
+            .iter()
+            .zip(&self.probs)
+            .map(|(&r, &p)| r * r * p)
+            .sum();
+        (m2 - m * m).max(0.0)
+    }
+
+    /// Standard deviation `σ_λ`, as used in the correlation-horizon
+    /// formula (paper Eq. 26).
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest support rate.
+    pub fn min_rate(&self) -> f64 {
+        self.rates[0]
+    }
+
+    /// Largest support rate.
+    pub fn max_rate(&self) -> f64 {
+        *self.rates.last().unwrap()
+    }
+
+    /// The service rate that loads this marginal to the target
+    /// utilization: `c = λ̄ / ρ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < utilization <= 1` and the mean rate is
+    /// positive.
+    pub fn service_rate_for_utilization(&self, utilization: f64) -> f64 {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1], got {utilization}"
+        );
+        let m = self.mean();
+        assert!(m > 0.0, "mean rate must be positive to set a utilization");
+        m / utilization
+    }
+
+    /// The paper's scaling transformation: replaces each rate with
+    /// `λ̄ + factor (λ_i − λ̄)`, stretching the marginal about its mean.
+    /// The mean is invariant; the standard deviation scales by
+    /// `|factor|`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite(), "scaling factor must be finite");
+        let m = self.mean();
+        let rates: Vec<f64> = self.rates.iter().map(|&r| m + factor * (r - m)).collect();
+        Marginal::new(&rates, &self.probs)
+    }
+
+    /// The paper's multiplexing transformation: the distribution of
+    /// `(X₁ + … + Xₙ)/n` for i.i.d. copies — `n` multiplexed streams
+    /// with service rate and buffer *per stream* held constant. The
+    /// mean is invariant; the variance drops by a factor `n`.
+    ///
+    /// The exact `n`-fold convolution support grows like `Mⁿ`, so after
+    /// each convolution the distribution is re-binned onto `bins`
+    /// equal-width bins using probability-weighted bin representatives,
+    /// which preserves the mean exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `bins < 2`.
+    pub fn superpose(&self, n: usize, bins: usize) -> Self {
+        assert!(n >= 1, "cannot superpose zero streams");
+        assert!(bins >= 2, "need at least two bins");
+        let mut acc = self.clone();
+        for _ in 1..n {
+            acc = acc.convolve(self).rebinned(bins);
+        }
+        let rates: Vec<f64> = acc.rates.iter().map(|&r| r / n as f64).collect();
+        Marginal::new(&rates, &acc.probs)
+    }
+
+    /// Exact convolution: the distribution of the sum of independent
+    /// draws from `self` and `other`. Support size is the product of
+    /// the inputs' support sizes (duplicates merged).
+    pub fn convolve(&self, other: &Marginal) -> Self {
+        let mut rates = Vec::with_capacity(self.len() * other.len());
+        let mut probs = Vec::with_capacity(self.len() * other.len());
+        for (&r1, &p1) in self.rates.iter().zip(&self.probs) {
+            for (&r2, &p2) in other.rates.iter().zip(&other.probs) {
+                rates.push(r1 + r2);
+                probs.push(p1 * p2);
+            }
+        }
+        Marginal::new(&rates, &probs)
+    }
+
+    /// Re-bins the support onto at most `bins` equal-width bins over
+    /// `[min_rate, max_rate]`. Each occupied bin is represented by its
+    /// probability-weighted mean rate, so the distribution mean is
+    /// preserved exactly; higher moments are approximated.
+    pub fn rebinned(&self, bins: usize) -> Self {
+        assert!(bins >= 1, "need at least one bin");
+        if self.len() <= bins {
+            return self.clone();
+        }
+        let lo = self.min_rate();
+        let hi = self.max_rate();
+        let width = (hi - lo) / bins as f64;
+        let mut mass = vec![0.0f64; bins];
+        let mut weighted = vec![0.0f64; bins];
+        for (&r, &p) in self.rates.iter().zip(&self.probs) {
+            let idx = (((r - lo) / width) as usize).min(bins - 1);
+            mass[idx] += p;
+            weighted[idx] += p * r;
+        }
+        let mut rates = Vec::new();
+        let mut probs = Vec::new();
+        for i in 0..bins {
+            if mass[i] > 0.0 {
+                rates.push(weighted[i] / mass[i]);
+                probs.push(mass[i]);
+            }
+        }
+        Marginal::new(&rates, &probs)
+    }
+
+    /// CDF `Pr{λ <= x}`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.rates
+            .iter()
+            .zip(&self.probs)
+            .take_while(|&(&r, _)| r <= x)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// Generalized inverse CDF: the smallest rate whose CDF reaches `u`.
+    pub fn quantile(&self, u: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&u), "u must be in [0, 1], got {u}");
+        let mut acc = 0.0;
+        for (&r, &p) in self.rates.iter().zip(&self.probs) {
+            acc += p;
+            if acc >= u {
+                return r;
+            }
+        }
+        self.max_rate()
+    }
+
+    /// Draws a rate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.quantile(rng.gen::<f64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mtvish() -> Marginal {
+        Marginal::new(&[2.0, 6.0, 10.0, 14.0], &[0.1, 0.4, 0.4, 0.1])
+    }
+
+    #[test]
+    fn construction_sorts_and_normalizes() {
+        let m = Marginal::new(&[3.0, 1.0, 2.0], &[2.0, 1.0, 1.0]);
+        assert_eq!(m.rates(), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.probs(), &[0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn duplicates_merged_and_zeros_dropped() {
+        let m = Marginal::new(&[1.0, 1.0, 2.0, 3.0], &[0.25, 0.25, 0.5, 0.0]);
+        assert_eq!(m.rates(), &[1.0, 2.0]);
+        assert_eq!(m.probs(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let m = mtvish();
+        assert!((m.mean() - 8.0).abs() < 1e-12);
+        // E[λ²] = 0.1·4 + 0.4·36 + 0.4·100 + 0.1·196 = 74.4 → var 10.4
+        assert!((m.variance() - 10.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_preserves_mean_scales_sigma() {
+        let m = mtvish();
+        for &a in &[0.5, 1.0, 1.5, 2.0] {
+            let s = m.scaled(a);
+            assert!((s.mean() - m.mean()).abs() < 1e-12, "mean at a={a}");
+            assert!(
+                (s.std_dev() - a * m.std_dev()).abs() < 1e-12,
+                "sigma at a={a}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_to_zero_collapses() {
+        let s = mtvish().scaled(0.0);
+        assert_eq!(s.len(), 1);
+        assert!((s.mean() - 8.0).abs() < 1e-12);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn superpose_preserves_mean_divides_variance() {
+        let m = mtvish();
+        for n in [1usize, 2, 5, 10] {
+            let s = m.superpose(n, 200);
+            assert!(
+                (s.mean() - m.mean()).abs() < 1e-9,
+                "mean for n={n}: {}",
+                s.mean()
+            );
+            let want_var = m.variance() / n as f64;
+            assert!(
+                ((s.variance() - want_var) / want_var).abs() < 0.05,
+                "variance for n={n}: {} vs {}",
+                s.variance(),
+                want_var
+            );
+        }
+    }
+
+    #[test]
+    fn convolution_of_two_point_masses() {
+        let a = Marginal::constant(2.0);
+        let b = Marginal::constant(3.0);
+        let c = a.convolve(&b);
+        assert_eq!(c.rates(), &[5.0]);
+        assert_eq!(c.probs(), &[1.0]);
+    }
+
+    #[test]
+    fn convolution_mean_adds() {
+        let a = mtvish();
+        let b = Marginal::new(&[0.0, 1.0], &[0.5, 0.5]);
+        let c = a.convolve(&b);
+        assert!((c.mean() - (a.mean() + b.mean())).abs() < 1e-12);
+        let total: f64 = c.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebinning_preserves_mean() {
+        let m = mtvish().convolve(&mtvish()).convolve(&mtvish());
+        let r = m.rebinned(10);
+        assert!(r.len() <= 10);
+        assert!((r.mean() - m.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_service_rate() {
+        let m = mtvish();
+        assert!((m.service_rate_for_utilization(0.8) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_quantile_consistency() {
+        let m = mtvish();
+        assert_eq!(m.quantile(0.05), 2.0);
+        assert_eq!(m.quantile(0.1), 2.0);
+        assert_eq!(m.quantile(0.11), 6.0);
+        assert_eq!(m.quantile(1.0), 14.0);
+        assert!((m.cdf(6.0) - 0.5).abs() < 1e-12);
+        assert_eq!(m.cdf(1.0), 0.0);
+        assert_eq!(m.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let m = mtvish();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(m.sample(&mut rng) as i64).or_insert(0usize) += 1;
+        }
+        for (r, p) in m.rates().iter().zip(m.probs()) {
+            let emp = counts[&(*r as i64)] as f64 / n as f64;
+            assert!((emp - p).abs() < 0.01, "rate {r}: emp {emp} vs {p}");
+        }
+    }
+
+    #[test]
+    fn on_off_marginal() {
+        let m = Marginal::on_off(10.0, 0.3);
+        assert!((m.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn from_histogram_roundtrip() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i % 50) as f64).collect();
+        let h = Histogram::from_data(&data, 50);
+        let m = Marginal::from_histogram(&h);
+        assert_eq!(m.len(), 50);
+        assert!((m.mean() - h.binned_mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths() {
+        Marginal::new(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization() {
+        mtvish().service_rate_for_utilization(1.5);
+    }
+}

@@ -1,0 +1,518 @@
+//! Interval-length distributions: the paper's truncated Pareto and an
+//! exponential (Markovian) baseline.
+
+use crate::interarrival::Interarrival;
+use rand::Rng;
+
+/// The truncated Pareto distribution of paper Eq. 6:
+///
+/// ```text
+/// Pr{T > t} = ((t + θ)/θ)^(-α)   for 0 <= t < T_c
+///           = 0                  for t >= T_c
+/// ```
+///
+/// with `θ > 0`, `1 < α < 2`, and cutoff `T_c ∈ (0, ∞]`. Because the
+/// ccdf jumps to zero at `T_c`, the distribution carries an **atom** of
+/// mass `((T_c + θ)/θ)^(-α)` at `T_c` itself — sampling clamps the
+/// untruncated Pareto draw to `T_c`, which reproduces exactly this law.
+///
+/// With `T_c = ∞` the modulated fluid process built on this
+/// distribution is asymptotically second-order self-similar with Hurst
+/// parameter `H = (3 − α)/2` (paper Sec. II); with finite `T_c` its
+/// autocovariance is *identically zero* beyond lag `T_c`, which is the
+/// paper's knob for truncating long-range dependence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedPareto {
+    theta: f64,
+    alpha: f64,
+    cutoff: f64,
+}
+
+impl TruncatedPareto {
+    /// Creates a truncated Pareto with scale `theta`, shape `alpha`,
+    /// and cutoff lag `cutoff` (use `f64::INFINITY` for the
+    /// untruncated, long-range-dependent case).
+    ///
+    /// ```
+    /// use lrd_traffic::{Interarrival, TruncatedPareto};
+    ///
+    /// // θ = 50 ms, α = 1.4 (H = 0.8), correlation cut at 2 s.
+    /// let t = TruncatedPareto::new(0.05, 1.4, 2.0);
+    /// assert!((t.hurst() - 0.8).abs() < 1e-12);
+    /// assert_eq!(t.ccdf(2.0), 0.0);          // nothing beyond the cutoff
+    /// assert!(t.atom_mass() > 0.0);          // ... except the atom at it
+    /// assert!((t.int_ccdf(0.0) - t.mean()).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `theta > 0`, `1 < alpha < 2` and `cutoff > 0`.
+    pub fn new(theta: f64, alpha: f64, cutoff: f64) -> Self {
+        assert!(theta > 0.0 && theta.is_finite(), "theta must be positive and finite, got {theta}");
+        assert!(
+            alpha > 1.0 && alpha < 2.0,
+            "alpha must lie in (1, 2) for the self-similar regime, got {alpha}"
+        );
+        assert!(cutoff > 0.0, "cutoff must be positive, got {cutoff}");
+        TruncatedPareto {
+            theta,
+            alpha,
+            cutoff,
+        }
+    }
+
+    /// Creates the distribution from a target Hurst parameter
+    /// `H ∈ (1/2, 1)` via the paper's mapping `α = 3 − 2H`.
+    pub fn from_hurst(hurst: f64, theta: f64, cutoff: f64) -> Self {
+        assert!(
+            hurst > 0.5 && hurst < 1.0,
+            "Hurst parameter must lie in (1/2, 1), got {hurst}"
+        );
+        TruncatedPareto::new(theta, 3.0 - 2.0 * hurst, cutoff)
+    }
+
+    /// The scale parameter `θ`.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The shape parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The cutoff lag `T_c` (possibly `+∞`).
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// The Hurst parameter `H = (3 − α)/2` of the *untruncated* model
+    /// with this shape.
+    pub fn hurst(&self) -> f64 {
+        (3.0 - self.alpha) / 2.0
+    }
+
+    /// Mass of the atom at `T_c`; zero for the untruncated case.
+    pub fn atom_mass(&self) -> f64 {
+        if self.cutoff.is_finite() {
+            ((self.cutoff + self.theta) / self.theta).powf(-self.alpha)
+        } else {
+            0.0
+        }
+    }
+
+    /// Returns a copy with a different cutoff lag — the experiments
+    /// sweep `T_c` while holding `θ` and `α` fixed.
+    pub fn with_cutoff(&self, cutoff: f64) -> Self {
+        TruncatedPareto::new(self.theta, self.alpha, cutoff)
+    }
+
+    /// Residual-life ccdf `Pr{τ_res >= t}` of paper Eq. 7: the
+    /// probability that the age-stationary residual interval exceeds
+    /// `t`. This equals the normalized autocorrelation `φ(t)/σ²` of the
+    /// fluid rate process (Eq. 3).
+    pub fn residual_ccdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 1.0;
+        }
+        if t >= self.cutoff {
+            return 0.0;
+        }
+        let e = 1.0 - self.alpha; // negative
+        if self.cutoff.is_finite() {
+            let a = ((t + self.theta) / self.theta).powf(e);
+            let b = ((self.cutoff + self.theta) / self.theta).powf(e);
+            (a - b) / (1.0 - b)
+        } else {
+            ((t + self.theta) / self.theta).powf(e)
+        }
+    }
+
+    /// Solves paper Eq. 25 for `θ` so that `E[T]` matches
+    /// `mean_interval` **with the cutoff taken at infinity** — exactly
+    /// the calibration the paper performs against its traces ("We then
+    /// set θ such that the mean interval duration ... matches this
+    /// empirical mean for T_c = ∞").
+    pub fn calibrate_theta(mean_interval: f64, alpha: f64) -> f64 {
+        assert!(mean_interval > 0.0, "mean interval must be positive");
+        assert!(alpha > 1.0 && alpha < 2.0, "alpha must lie in (1, 2)");
+        mean_interval * (alpha - 1.0)
+    }
+
+    /// Solves Eq. 25 for `θ` with a *finite* cutoff by bisection.
+    /// `E[T]` is strictly increasing in `θ` and bounded by `T_c`, so a
+    /// solution exists iff `mean_interval < cutoff`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interval >= cutoff`.
+    pub fn calibrate_theta_finite(mean_interval: f64, alpha: f64, cutoff: f64) -> f64 {
+        assert!(mean_interval > 0.0 && alpha > 1.0 && alpha < 2.0);
+        assert!(
+            mean_interval < cutoff,
+            "mean interval {mean_interval} must be below the cutoff {cutoff}"
+        );
+        let mean_of = |theta: f64| TruncatedPareto::new(theta, alpha, cutoff).mean();
+        let mut lo = mean_interval * (alpha - 1.0) * 1e-6;
+        let mut hi = mean_interval * (alpha - 1.0);
+        // Truncation lowers the mean, so the infinite-cutoff θ may be
+        // too small for the finite-cutoff target; grow the upper
+        // bracket until it covers the requirement.
+        while mean_of(hi) < mean_interval {
+            hi *= 2.0;
+            assert!(hi.is_finite(), "failed to bracket theta");
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if mean_of(mid) < mean_interval {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) <= 1e-14 * hi {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+impl Interarrival for TruncatedPareto {
+    fn ccdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            1.0
+        } else if t >= self.cutoff {
+            0.0
+        } else {
+            ((t + self.theta) / self.theta).powf(-self.alpha)
+        }
+    }
+
+    fn prob_ge(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else if t > self.cutoff {
+            0.0
+        } else {
+            // Includes the atom at T_c when t == T_c.
+            ((t + self.theta) / self.theta).powf(-self.alpha)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        // Eq. 25.
+        let base = self.theta / (self.alpha - 1.0);
+        if self.cutoff.is_finite() {
+            base * (1.0 - (self.cutoff / self.theta + 1.0).powf(1.0 - self.alpha))
+        } else {
+            base
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if !self.cutoff.is_finite() {
+            // E[T²] diverges for α < 2.
+            return f64::INFINITY;
+        }
+        // E[T²] = 2 ∫₀^{T_c} t Pr{T ≥ t} dt, via s = (t+θ)/θ:
+        //       = 2θ² [ (S^{2-α} − 1)/(2−α) − (S^{1-α} − 1)/(1−α) ],
+        // where S = (T_c + θ)/θ.
+        let s = (self.cutoff + self.theta) / self.theta;
+        let a = self.alpha;
+        let m2 = 2.0
+            * self.theta
+            * self.theta
+            * ((s.powf(2.0 - a) - 1.0) / (2.0 - a) - (s.powf(1.0 - a) - 1.0) / (1.0 - a));
+        let m = self.mean();
+        (m2 - m * m).max(0.0)
+    }
+
+    fn int_ccdf(&self, t: f64) -> f64 {
+        if t >= self.cutoff {
+            return 0.0;
+        }
+        if t < 0.0 {
+            return -t + self.int_ccdf(0.0);
+        }
+        // ∫_t^{T_c} ((u+θ)/θ)^{-α} du
+        //   = θ/(α−1) [ ((t+θ)/θ)^{1-α} − ((T_c+θ)/θ)^{1-α} ].
+        let e = 1.0 - self.alpha;
+        let head = ((t + self.theta) / self.theta).powf(e);
+        let tail = if self.cutoff.is_finite() {
+            ((self.cutoff + self.theta) / self.theta).powf(e)
+        } else {
+            0.0
+        };
+        self.theta / (self.alpha - 1.0) * (head - tail)
+    }
+
+    fn sup(&self) -> f64 {
+        self.cutoff
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform for the untruncated Pareto, clamped to the
+        // cutoff; the clamp accumulates exactly the atom mass at T_c.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let t = self.theta * (u.powf(-1.0 / self.alpha) - 1.0);
+        t.min(self.cutoff)
+    }
+}
+
+/// Exponential interval lengths: the memoryless (Markovian) baseline.
+///
+/// Feeding the same marginal through exponentially distributed
+/// intervals produces a short-range-dependent modulated fluid whose
+/// autocovariance decays as `e^{-t/mean}`; the paper's Sec. IV argues
+/// any such model predicts loss accurately as long as its correlation
+/// matches the LRD model up to the correlation horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is positive and finite.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive and finite");
+        Exponential { mean }
+    }
+}
+
+impl Interarrival for Exponential {
+    fn ccdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            1.0
+        } else {
+            (-t / self.mean).exp()
+        }
+    }
+
+    fn prob_ge(&self, t: f64) -> f64 {
+        self.ccdf(t)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.mean * self.mean
+    }
+
+    fn int_ccdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            -t + self.mean
+        } else {
+            self.mean * (-t / self.mean).exp()
+        }
+    }
+
+    fn sup(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -self.mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interarrival::check_distribution_invariants;
+    use rand::SeedableRng;
+
+    fn probes() -> Vec<f64> {
+        vec![0.0, 0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 100.0, 1e4]
+    }
+
+    #[test]
+    fn pareto_invariants_finite_cutoff() {
+        let d = TruncatedPareto::new(0.02, 1.4, 10.0);
+        check_distribution_invariants(&d, &probes());
+    }
+
+    #[test]
+    fn pareto_invariants_infinite_cutoff() {
+        let d = TruncatedPareto::new(0.02, 1.4, f64::INFINITY);
+        check_distribution_invariants(&d, &probes());
+    }
+
+    #[test]
+    fn exponential_invariants() {
+        let d = Exponential::new(0.08);
+        check_distribution_invariants(&d, &probes());
+    }
+
+    #[test]
+    fn pareto_mean_matches_eq25() {
+        // Untruncated: E[T] = θ/(α−1).
+        let d = TruncatedPareto::new(0.06, 1.5, f64::INFINITY);
+        assert!((d.mean() - 0.12).abs() < 1e-12);
+        // Finite cutoff lowers the mean.
+        let df = d.with_cutoff(1.0);
+        assert!(df.mean() < d.mean());
+        // Numerical quadrature cross-check of E[T] = ∫ ccdf.
+        let n = 2_000_000;
+        let h = 1.0 / n as f64;
+        let mut s = 0.0;
+        for i in 0..n {
+            s += df.ccdf((i as f64 + 0.5) * h) * h;
+        }
+        assert!(
+            (s - df.mean()).abs() < 1e-6,
+            "quadrature {s} vs closed form {}",
+            df.mean()
+        );
+    }
+
+    #[test]
+    fn pareto_atom_mass() {
+        let d = TruncatedPareto::new(0.05, 1.6, 2.0);
+        let atom = d.atom_mass();
+        assert!(atom > 0.0);
+        // prob_ge at the cutoff equals the atom; ccdf is already 0.
+        assert!((d.prob_ge(2.0) - atom).abs() < 1e-15);
+        assert_eq!(d.ccdf(2.0), 0.0);
+        assert_eq!(TruncatedPareto::new(0.05, 1.6, f64::INFINITY).atom_mass(), 0.0);
+    }
+
+    #[test]
+    fn pareto_variance_quadrature() {
+        let d = TruncatedPareto::new(0.04, 1.3, 5.0);
+        // E[T²] by quadrature of 2 t Pr{T ≥ t}.
+        let n = 2_000_000;
+        let h = 5.0 / n as f64;
+        let mut m2 = 0.0;
+        for i in 0..n {
+            let t = (i as f64 + 0.5) * h;
+            m2 += 2.0 * t * d.prob_ge(t) * h;
+        }
+        let want = m2 - d.mean() * d.mean();
+        assert!(
+            ((d.variance() - want) / want).abs() < 1e-4,
+            "variance {} vs quadrature {}",
+            d.variance(),
+            want
+        );
+    }
+
+    #[test]
+    fn pareto_infinite_cutoff_variance_diverges() {
+        let d = TruncatedPareto::new(0.04, 1.3, f64::INFINITY);
+        assert!(d.variance().is_infinite());
+    }
+
+    #[test]
+    fn hurst_round_trip() {
+        let d = TruncatedPareto::from_hurst(0.83, 0.02, f64::INFINITY);
+        assert!((d.hurst() - 0.83).abs() < 1e-12);
+        assert!((d.alpha() - 1.34).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_ccdf_endpoints() {
+        let d = TruncatedPareto::new(0.02, 1.4, 3.0);
+        assert_eq!(d.residual_ccdf(0.0), 1.0);
+        assert_eq!(d.residual_ccdf(3.0), 0.0);
+        assert_eq!(d.residual_ccdf(10.0), 0.0);
+        let mid = d.residual_ccdf(1.0);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn residual_ccdf_matches_integral_of_ccdf() {
+        // Pr{τ_res >= t} = ∫_t^∞ ccdf / E[T] (Eq. 5).
+        let d = TruncatedPareto::new(0.03, 1.5, 4.0);
+        for &t in &[0.1, 0.5, 1.0, 2.0, 3.9] {
+            let want = d.int_ccdf(t) / d.mean();
+            let got = d.residual_ccdf(t);
+            assert!(
+                (want - got).abs() < 1e-12,
+                "residual mismatch at {t}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrate_theta_infinite() {
+        let theta = TruncatedPareto::calibrate_theta(0.08, 1.34);
+        let d = TruncatedPareto::new(theta, 1.34, f64::INFINITY);
+        assert!((d.mean() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibrate_theta_finite() {
+        let theta = TruncatedPareto::calibrate_theta_finite(0.08, 1.34, 1.0);
+        let d = TruncatedPareto::new(theta, 1.34, 1.0);
+        assert!(
+            (d.mean() - 0.08).abs() < 1e-9,
+            "calibrated mean {}",
+            d.mean()
+        );
+        // With a finite cutoff more θ is needed than the infinite-case
+        // closed form.
+        assert!(theta > TruncatedPareto::calibrate_theta(0.08, 1.34));
+    }
+
+    #[test]
+    #[should_panic(expected = "below the cutoff")]
+    fn calibrate_theta_impossible() {
+        TruncatedPareto::calibrate_theta_finite(2.0, 1.5, 1.0);
+    }
+
+    #[test]
+    fn pareto_sampling_matches_ccdf() {
+        let d = TruncatedPareto::new(0.05, 1.5, 1.0);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&t| t > 0.0 && t <= 1.0));
+        // Empirical ccdf at a few probe points.
+        for &t in &[0.01, 0.05, 0.2, 0.5, 0.99] {
+            let emp = samples.iter().filter(|&&s| s > t).count() as f64 / n as f64;
+            let want = d.ccdf(t);
+            assert!(
+                (emp - want).abs() < 0.01,
+                "ccdf mismatch at {t}: emp {emp} vs {want}"
+            );
+        }
+        // Atom at the cutoff.
+        let at_cut = samples.iter().filter(|&&s| s == 1.0).count() as f64 / n as f64;
+        assert!(
+            (at_cut - d.atom_mass()).abs() < 0.01,
+            "atom mass: emp {at_cut} vs {}",
+            d.atom_mass()
+        );
+        // Sample mean.
+        let m = samples.iter().sum::<f64>() / n as f64;
+        assert!((m - d.mean()).abs() / d.mean() < 0.05);
+    }
+
+    #[test]
+    fn exponential_sampling_matches_mean() {
+        let d = Exponential::new(0.25);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let n = 200_000;
+        let m = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - 0.25).abs() < 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie in (1, 2)")]
+    fn alpha_out_of_range() {
+        TruncatedPareto::new(1.0, 2.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be positive")]
+    fn theta_out_of_range() {
+        TruncatedPareto::new(0.0, 1.5, 1.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Binned rate traces.
+//!
+//! The paper's traces are sequences of rates averaged over fixed
+//! intervals (33 ms frames for the MTV video trace, 10 ms bins for the
+//! Bellcore Ethernet trace). [`Trace`] is that representation, together
+//! with the two reductions the paper applies to it: the 50-bin marginal
+//! histogram (Fig. 3) and the mean epoch duration used to calibrate
+//! `θ` (Sec. III).
+
+use crate::marginal::Marginal;
+use lrd_stats::{mean_run_length, Histogram};
+
+/// A rate trace sampled on a fixed interval: `rates[k]` is the average
+/// fluid rate over `[k·dt, (k+1)·dt)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    dt: f64,
+    rates: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates a trace from its sampling interval (seconds) and rate
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive/finite, the trace is empty, or
+    /// any rate is negative or non-finite.
+    pub fn new(dt: f64, rates: Vec<f64>) -> Self {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive and finite");
+        assert!(!rates.is_empty(), "trace must be non-empty");
+        for &r in &rates {
+            assert!(r.is_finite() && r >= 0.0, "rates must be finite and non-negative, got {r}");
+        }
+        Trace { dt, rates }
+    }
+
+    /// Sampling interval in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The rate samples.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the trace is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Total duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.dt * self.len() as f64
+    }
+
+    /// Mean rate.
+    pub fn mean_rate(&self) -> f64 {
+        lrd_stats::mean(&self.rates)
+    }
+
+    /// Total work carried by the trace (rate × time summed).
+    pub fn total_work(&self) -> f64 {
+        self.rates.iter().sum::<f64>() * self.dt
+    }
+
+    /// Constant-bin-size histogram of the rate samples.
+    pub fn histogram(&self, bins: usize) -> Histogram {
+        Histogram::from_data(&self.rates, bins)
+    }
+
+    /// The paper's marginal extraction: 50-bin histogram → `(Π, Λ)`.
+    pub fn marginal(&self, bins: usize) -> Marginal {
+        Marginal::from_histogram(&self.histogram(bins))
+    }
+
+    /// Mean epoch duration in **seconds**: the average length of
+    /// maximal runs of consecutive samples falling in the same
+    /// histogram bin, times `dt`. This is the quantity the paper
+    /// matches to the model's `E[T]` (Eq. 25) to calibrate `θ`.
+    pub fn mean_epoch(&self, bins: usize) -> f64 {
+        let h = self.histogram(bins);
+        mean_run_length(&h.quantize(&self.rates)) * self.dt
+    }
+
+    /// Aggregated trace at level `m`: non-overlapping means of `m`
+    /// consecutive samples, with `dt` scaled accordingly. Used for
+    /// variance–time analysis and for matching traces recorded at
+    /// different granularities.
+    pub fn aggregate(&self, m: usize) -> Trace {
+        assert!(m >= 1, "aggregation level must be at least 1");
+        assert!(self.len() >= m, "trace shorter than aggregation level");
+        let rates: Vec<f64> = self
+            .rates
+            .chunks_exact(m)
+            .map(|c| c.iter().sum::<f64>() / m as f64)
+            .collect();
+        Trace::new(self.dt * m as f64, rates)
+    }
+
+    /// A sub-trace of the first `n` samples.
+    pub fn truncated(&self, n: usize) -> Trace {
+        assert!(n >= 1 && n <= self.len());
+        Trace::new(self.dt, self.rates[..n].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Trace {
+        Trace::new(0.01, vec![1.0, 1.0, 3.0, 3.0, 3.0, 5.0])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = toy();
+        assert_eq!(t.len(), 6);
+        assert!((t.duration() - 0.06).abs() < 1e-12);
+        assert!((t.mean_rate() - 16.0 / 6.0).abs() < 1e-12);
+        assert!((t.total_work() - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_matches_histogram() {
+        let t = toy();
+        let m = t.marginal(4);
+        assert!((m.mean() - t.histogram(4).binned_mean()).abs() < 1e-12);
+        let total: f64 = m.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_epoch_of_runs() {
+        // With 4 bins over [1,5] (width 1): values 1,1 → bin 0;
+        // 3,3,3 → bin 2; 5 → bin 3. Runs: 2,3,1 → mean 2 samples
+        // → 0.02 s.
+        let t = toy();
+        assert!((t.mean_epoch(4) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation() {
+        let t = toy();
+        let a = t.aggregate(2);
+        assert_eq!(a.rates(), &[1.0, 3.0, 4.0]);
+        assert!((a.dt() - 0.02).abs() < 1e-12);
+        // Aggregation preserves total work up to truncation.
+        assert!((a.total_work() - t.total_work()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation() {
+        let t = toy().truncated(2);
+        assert_eq!(t.rates(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_rejected() {
+        Trace::new(0.01, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_rejected() {
+        Trace::new(0.01, vec![]);
+    }
+}

@@ -1,0 +1,190 @@
+//! A GOP-structured VBR video source.
+//!
+//! Sec. II of the paper notes that its renewal model "is not
+//! well-suited for sources with separate structures for the short term
+//! and long term correlation, for example VBR video sources typically
+//! characterized by an exponential decrease in the short term followed
+//! by an hyperbolic decrease in the long term" (citing Garrett &
+//! Willinger). This module provides such a source as a *generator*, so
+//! the limitation can be studied empirically: scene lengths are
+//! heavy-tailed (hyperbolic long-term correlation), the per-scene base
+//! rate is redrawn per scene, and a periodic group-of-pictures (GOP)
+//! modulation plus AR(1) frame noise supplies the exponential
+//! short-term structure.
+
+use crate::trace::Trace;
+use rand::Rng;
+
+/// Configuration of the synthetic VBR video source.
+#[derive(Debug, Clone, Copy)]
+pub struct VbrVideoConfig {
+    /// Frame interval in seconds (e.g. 1/30 for NTSC).
+    pub frame_interval: f64,
+    /// Mean rate across scenes, Mb/s.
+    pub mean_rate: f64,
+    /// Standard deviation of the per-scene base rate, Mb/s.
+    pub scene_sigma: f64,
+    /// Pareto shape of the scene-length distribution (`1 < α < 2`
+    /// gives LRD at scene time scales).
+    pub scene_alpha: f64,
+    /// Minimum scene length in frames.
+    pub scene_min_frames: usize,
+    /// GOP length in frames (I-frame period).
+    pub gop: usize,
+    /// Ratio of I-frame size to the scene base rate (> 1).
+    pub i_frame_boost: f64,
+    /// AR(1) coefficient of the frame-to-frame noise (exponential
+    /// short-term correlation).
+    pub ar1: f64,
+    /// Standard deviation of the frame noise, Mb/s.
+    pub noise_sigma: f64,
+}
+
+impl Default for VbrVideoConfig {
+    fn default() -> Self {
+        VbrVideoConfig {
+            frame_interval: 1.0 / 30.0,
+            mean_rate: 4.0,
+            scene_sigma: 1.2,
+            scene_alpha: 1.5,
+            scene_min_frames: 12,
+            gop: 12,
+            i_frame_boost: 2.5,
+            ar1: 0.6,
+            noise_sigma: 0.3,
+        }
+    }
+}
+
+/// Generates a frame-rate trace of `frames` frames.
+///
+/// # Panics
+///
+/// Panics on non-positive rates/intervals, `scene_alpha` outside
+/// `(1, 2)`, `ar1` outside `[0, 1)`, or a zero GOP.
+pub fn vbr_video_trace<R: Rng + ?Sized>(
+    cfg: &VbrVideoConfig,
+    frames: usize,
+    rng: &mut R,
+) -> Trace {
+    assert!(frames > 0, "need at least one frame");
+    assert!(cfg.frame_interval > 0.0 && cfg.mean_rate > 0.0);
+    assert!(
+        cfg.scene_alpha > 1.0 && cfg.scene_alpha < 2.0,
+        "scene_alpha must lie in (1, 2)"
+    );
+    assert!((0.0..1.0).contains(&cfg.ar1), "ar1 must lie in [0, 1)");
+    assert!(cfg.gop > 0, "GOP length must be positive");
+    assert!(cfg.i_frame_boost >= 1.0, "I frames cannot be smaller than P frames");
+
+    // The GOP modulation multiplies the base rate by `i_frame_boost`
+    // on I frames; normalize so the long-run mean is `mean_rate`.
+    let gop_mean = (cfg.i_frame_boost + (cfg.gop as f64 - 1.0)) / cfg.gop as f64;
+
+    let mut rates = Vec::with_capacity(frames);
+    let mut noise = 0.0f64;
+    let mut frame_in_scene = usize::MAX; // force a new scene at start
+    let mut scene_len = 0usize;
+    let mut base = cfg.mean_rate;
+    for f in 0..frames {
+        if frame_in_scene >= scene_len {
+            // New scene: heavy-tailed length, fresh base rate.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            scene_len = ((cfg.scene_min_frames as f64) * u.powf(-1.0 / cfg.scene_alpha)) as usize;
+            scene_len = scene_len.max(cfg.scene_min_frames);
+            base = (cfg.mean_rate + cfg.scene_sigma * crate::fgn::standard_normal(rng)).max(0.1);
+            frame_in_scene = 0;
+        }
+        let gop_factor = if f % cfg.gop == 0 {
+            cfg.i_frame_boost
+        } else {
+            1.0
+        };
+        noise = cfg.ar1 * noise
+            + (1.0 - cfg.ar1 * cfg.ar1).sqrt() * cfg.noise_sigma * crate::fgn::standard_normal(rng);
+        let rate = (base * gop_factor / gop_mean + noise).max(0.0);
+        rates.push(rate);
+        frame_in_scene += 1;
+    }
+    Trace::new(cfg.frame_interval, rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_rate_is_respected() {
+        let cfg = VbrVideoConfig::default();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(41);
+        let t = vbr_video_trace(&cfg, 60_000, &mut rng);
+        assert!(
+            (t.mean_rate() - cfg.mean_rate).abs() / cfg.mean_rate < 0.15,
+            "mean rate {}",
+            t.mean_rate()
+        );
+        assert!(t.rates().iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn gop_period_is_visible_in_autocorrelation() {
+        let cfg = VbrVideoConfig {
+            i_frame_boost: 4.0,
+            noise_sigma: 0.05,
+            ..VbrVideoConfig::default()
+        };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let t = vbr_video_trace(&cfg, 1 << 14, &mut rng);
+        let rho = lrd_stats::autocorrelation(t.rates(), 2 * cfg.gop);
+        // Correlation at one GOP period exceeds the adjacent off-period
+        // lags (the periodic I-frame spike).
+        assert!(
+            rho[cfg.gop] > rho[cfg.gop - 2] && rho[cfg.gop] > rho[cfg.gop + 2],
+            "no GOP peak: {:.3} vs {:.3}/{:.3}",
+            rho[cfg.gop],
+            rho[cfg.gop - 2],
+            rho[cfg.gop + 2]
+        );
+    }
+
+    #[test]
+    fn heavy_tailed_scenes_produce_lrd() {
+        let cfg = VbrVideoConfig {
+            scene_alpha: 1.3,
+            noise_sigma: 0.1,
+            i_frame_boost: 1.0, // isolate the scene process
+            ..VbrVideoConfig::default()
+        };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(43);
+        let t = vbr_video_trace(&cfg, 1 << 16, &mut rng);
+        let est = lrd_stats::variance_time_estimate(t.rates());
+        assert!(
+            est.h > 0.65,
+            "expected LRD from heavy-tailed scenes, got H = {}",
+            est.h
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = VbrVideoConfig::default();
+        let mut a = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut b = rand::rngs::SmallRng::seed_from_u64(7);
+        assert_eq!(
+            vbr_video_trace(&cfg, 1000, &mut a),
+            vbr_video_trace(&cfg, 1000, &mut b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ar1 must lie in [0, 1)")]
+    fn invalid_ar1_rejected() {
+        let cfg = VbrVideoConfig {
+            ar1: 1.0,
+            ..VbrVideoConfig::default()
+        };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        vbr_video_trace(&cfg, 10, &mut rng);
+    }
+}

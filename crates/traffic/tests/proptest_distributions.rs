@@ -1,0 +1,119 @@
+//! Property-based tests of the traffic distributions and marginal
+//! transformations.
+
+use lrd_traffic::{
+    interarrival::check_distribution_invariants, Exponential, HyperExponential, Interarrival,
+    Marginal, TruncatedPareto,
+};
+use proptest::prelude::*;
+
+fn probes() -> Vec<f64> {
+    vec![0.0, 1e-4, 0.01, 0.1, 0.5, 1.0, 3.0, 10.0, 50.0, 1e3]
+}
+
+fn arb_pareto() -> impl Strategy<Value = TruncatedPareto> {
+    (
+        0.001f64..1.0,
+        1.05f64..1.95,
+        prop_oneof![(0.05f64..100.0).boxed(), Just(f64::INFINITY).boxed()],
+    )
+        .prop_map(|(theta, alpha, cutoff)| TruncatedPareto::new(theta, alpha, cutoff))
+}
+
+fn arb_marginal() -> impl Strategy<Value = Marginal> {
+    proptest::collection::vec((0.0f64..50.0, 0.01f64..1.0), 1..12)
+        .prop_map(|pairs| {
+            let rates: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let probs: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            Marginal::new(&rates, &probs)
+        })
+}
+
+proptest! {
+    #[test]
+    fn pareto_satisfies_interarrival_contract(d in arb_pareto()) {
+        check_distribution_invariants(&d, &probes());
+    }
+
+    #[test]
+    fn exponential_satisfies_interarrival_contract(mean in 0.001f64..100.0) {
+        check_distribution_invariants(&Exponential::new(mean), &probes());
+    }
+
+    #[test]
+    fn hyperexponential_satisfies_interarrival_contract(
+        branches in proptest::collection::vec((0.01f64..1.0, 0.001f64..10.0), 1..6)
+    ) {
+        check_distribution_invariants(&HyperExponential::new(&branches), &probes());
+    }
+
+    #[test]
+    fn pareto_mean_consistent_with_int_ccdf(d in arb_pareto()) {
+        // E[T] = ∫₀^∞ ccdf — the closed forms must agree.
+        prop_assert!((d.int_ccdf(0.0) - d.mean()).abs() < 1e-9 * d.mean());
+    }
+
+    #[test]
+    fn pareto_residual_ccdf_is_valid(d in arb_pareto(), t in 0.0f64..10.0) {
+        let r = d.residual_ccdf(t);
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Residual tail of a positive variable is dominated by 1 and
+        // decreasing in t.
+        prop_assert!(d.residual_ccdf(t + 1.0) <= r + 1e-12);
+    }
+
+    #[test]
+    fn theta_calibration_roundtrip(mean in 0.001f64..10.0, alpha in 1.05f64..1.95) {
+        let theta = TruncatedPareto::calibrate_theta(mean, alpha);
+        let d = TruncatedPareto::new(theta, alpha, f64::INFINITY);
+        prop_assert!((d.mean() - mean).abs() < 1e-10 * mean);
+    }
+
+    #[test]
+    fn marginal_probs_normalized(m in arb_marginal()) {
+        let total: f64 = m.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(m.rates().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scaling_preserves_mean_scales_std(m in arb_marginal(), a in 0.0f64..3.0) {
+        let s = m.scaled(a);
+        prop_assert!((s.mean() - m.mean()).abs() < 1e-9 * m.mean().max(1.0));
+        prop_assert!((s.std_dev() - a * m.std_dev()).abs() < 1e-9 * m.std_dev().max(1.0));
+    }
+
+    #[test]
+    fn superposition_preserves_mean_shrinks_variance(m in arb_marginal(), n in 1usize..6) {
+        let s = m.superpose(n, 150);
+        prop_assert!((s.mean() - m.mean()).abs() < 1e-8 * m.mean().max(1.0));
+        // Re-binning approximates: allow 10% slack on the 1/n law and
+        // never an increase beyond the original variance.
+        let want = m.variance() / n as f64;
+        prop_assert!(s.variance() <= m.variance() + 1e-9);
+        if m.variance() > 1e-9 {
+            prop_assert!(
+                (s.variance() - want).abs() <= 0.15 * m.variance(),
+                "var {} vs {}", s.variance(), want
+            );
+        }
+    }
+
+    #[test]
+    fn convolution_adds_means_and_variances(a in arb_marginal(), b in arb_marginal()) {
+        let c = a.convolve(&b);
+        prop_assert!((c.mean() - a.mean() - b.mean()).abs() < 1e-8);
+        prop_assert!(
+            (c.variance() - a.variance() - b.variance()).abs()
+                < 1e-7 * (1.0 + a.variance() + b.variance())
+        );
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(m in arb_marginal(), u in 0.0f64..1.0) {
+        let q = m.quantile(u);
+        // CDF at the quantile covers u.
+        prop_assert!(m.cdf(q) >= u - 1e-12);
+        prop_assert!(m.rates().contains(&q));
+    }
+}

@@ -1,0 +1,68 @@
+//! Capacity planning with certified loss bounds: buffer sizing,
+//! admission control, and multiplexing — the three operator questions
+//! the paper's findings bear on.
+//!
+//! ```sh
+//! cargo run --release --example buffer_sizing
+//! ```
+
+use lrd::fluidq::{max_utilization_for_loss, min_buffer_for_loss, min_streams_for_loss};
+use lrd::prelude::*;
+
+fn main() {
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let opts = SolverOptions::default();
+    let target = 1e-4;
+    println!("traffic: 2/14 Mb/s bursty source, H = 0.8; loss target {target:.0e}\n");
+
+    // Question 1: how much buffer do I need — and how does the answer
+    // explode with the correlation cutoff?
+    println!("Q1: minimal buffer meeting the target, by correlation cutoff");
+    println!("    T_c [s] | min buffer [ms of service]");
+    for tc in [0.1, 0.5, 2.0] {
+        let model = QueueModel::from_utilization(
+            marginal.clone(),
+            TruncatedPareto::from_hurst(0.8, 0.05, tc),
+            0.8,
+            0.1,
+        );
+        match min_buffer_for_loss(&model, target, model.service_rate() * 60.0, 0.02, &opts) {
+            Some(d) => println!(
+                "    {tc:>7} | {:>10.0}",
+                d.value / model.service_rate() * 1e3
+            ),
+            None => println!("    {tc:>7} | infeasible within 60 s of buffering"),
+        }
+    }
+    println!("    (longer correlation ⇒ disproportionately more buffer — the\n     buffer-ineffectiveness phenomenon)\n");
+
+    // Question 2: with a fixed 100 ms buffer, how much load can I admit?
+    println!("Q2: maximal admissible utilization with a 100 ms buffer");
+    for tc in [0.1, 0.5, 2.0] {
+        let iv = TruncatedPareto::from_hurst(0.8, 0.05, tc);
+        match max_utilization_for_loss(&marginal, &iv, 0.1, target, (0.2, 0.99), 0.005, &opts) {
+            Some(d) => println!("    T_c = {tc:>4} s  →  ρ ≤ {:.2}", d.value),
+            None => println!("    T_c = {tc:>4} s  →  below 20% load"),
+        }
+    }
+    println!();
+
+    // Question 3: or keep the load and multiplex — how many streams?
+    println!("Q3: streams to multiplex at ρ = 0.8 with 100 ms per-stream buffer");
+    for tc in [0.5, 2.0] {
+        let model = QueueModel::from_utilization(
+            marginal.clone(),
+            TruncatedPareto::from_hurst(0.8, 0.05, tc),
+            0.8,
+            0.1,
+        );
+        match min_streams_for_loss(&model, target, 30, 200, &opts) {
+            Some(d) => println!("    T_c = {tc:>4} s  →  {} streams", d.value as usize),
+            None => println!("    T_c = {tc:>4} s  →  more than 30 streams"),
+        }
+    }
+    println!(
+        "\nAll answers carry the solver's *upper* bound, so the designs are\n\
+         conservative by construction."
+    );
+}

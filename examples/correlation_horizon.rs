@@ -1,0 +1,73 @@
+//! The correlation horizon, measured and predicted.
+//!
+//! For each buffer size we sweep the cutoff lag, find where the loss
+//! curve flattens (the **empirical** correlation horizon), and compare
+//! with the paper's closed-form estimate (Eq. 26). We also demonstrate
+//! the paper's modeling consequence: a memoryless exponential-interval
+//! model matched up to the horizon predicts essentially the same loss
+//! as the LRD model for sub-horizon buffers.
+//!
+//! ```sh
+//! cargo run --release --example correlation_horizon
+//! ```
+
+use lrd::prelude::*;
+
+fn main() {
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let theta = 0.05;
+    let hurst = 0.8;
+    let utilization = 0.8;
+    let opts = SolverOptions::default();
+
+    println!("buffer [s] | empirical CH [s] | Eq. 26 T_CH [s] (p = 0.99)");
+    println!("{}", "-".repeat(62));
+    let cutoffs: Vec<f64> = (0..12).map(|i| 0.05 * 2f64.powi(i)).collect();
+    for buffer_s in [0.1, 0.2, 0.4, 0.8] {
+        let mut curve = Vec::new();
+        for &tc in &cutoffs {
+            let iv = TruncatedPareto::from_hurst(hurst, theta, tc);
+            let model =
+                QueueModel::from_utilization(marginal.clone(), iv, utilization, buffer_s);
+            curve.push((tc, solve(&model, &opts).loss()));
+        }
+        let ch = empirical_horizon(&curve, 0.1).unwrap();
+
+        // Eq. 26 with the interval moments evaluated at the horizon-
+        // scale cutoff (σ_T is infinite for the untruncated Pareto).
+        let iv = TruncatedPareto::from_hurst(hurst, theta, 1.0);
+        let model = QueueModel::from_utilization(marginal.clone(), iv, utilization, buffer_s);
+        let t_ch = correlation_horizon(
+            model.buffer(),
+            iv.mean(),
+            iv.variance().sqrt(),
+            marginal.std_dev(),
+            0.99,
+        );
+        println!("{buffer_s:>10.1} | {ch:>16.2} | {t_ch:>10.2}");
+    }
+
+    println!(
+        "\nBoth columns grow proportionally with the buffer — the linear\n\
+         scaling the paper reads off Fig. 14.\n"
+    );
+
+    // Modeling consequence: below the horizon, a Markovian model is as
+    // good as the LRD one.
+    println!("Model equivalence below the horizon (buffer 0.1 s):");
+    let buffer_s = 0.1;
+    let pareto = TruncatedPareto::from_hurst(hurst, theta, f64::INFINITY);
+    let expo = Exponential::new(pareto.mean());
+    let lrd_model =
+        QueueModel::from_utilization(marginal.clone(), pareto, utilization, buffer_s);
+    let srd_model = QueueModel::from_utilization(marginal.clone(), expo, utilization, buffer_s);
+    let l_lrd = solve(&lrd_model, &opts).loss();
+    let l_srd = solve(&srd_model, &opts).loss();
+    println!("  LRD (truncated-Pareto, T_c = ∞): {l_lrd:.3e}");
+    println!("  SRD (exponential, same mean):    {l_srd:.3e}");
+    println!(
+        "  ratio {:.2} — for this small buffer the Markov model is an adequate\n\
+         stand-in, exactly as the paper argues in Sec. IV.",
+        (l_lrd / l_srd).max(l_srd / l_lrd)
+    );
+}

@@ -1,0 +1,76 @@
+//! Ethernet gateway buffer sizing: model prediction vs trace-driven
+//! simulation with external shuffling.
+//!
+//! A Bellcore-like LAN aggregate (heavy-tailed marginal, H ≈ 0.9)
+//! feeds a gateway at utilization 0.4. We (i) predict loss with the
+//! cutoff-correlated fluid model, (ii) replay the trace through the
+//! exact fluid-queue simulator — unshuffled and block-shuffled — and
+//! compare, reproducing the paper's Figs. 5 vs 8 methodology on one
+//! scenario.
+//!
+//! ```sh
+//! cargo run --release --example ethernet_gateway
+//! ```
+
+use lrd::prelude::*;
+use lrd::traffic::synth;
+use rand::SeedableRng;
+
+fn main() {
+    let trace = synth::bellcore_like_with_len(synth::DEFAULT_SEED + 1, 1 << 16);
+    let marginal = trace.marginal(50);
+    let mean_epoch = trace.mean_epoch(50);
+    let alpha = lrd::traffic::alpha_from_hurst(synth::BELLCORE_HURST);
+    let theta = TruncatedPareto::calibrate_theta(mean_epoch, alpha);
+    println!(
+        "Bellcore-like aggregate: mean {:.2} Mb/s, σ {:.2} Mb/s, H≈{}, mean epoch {:.0} ms",
+        marginal.mean(),
+        marginal.std_dev(),
+        synth::BELLCORE_HURST,
+        mean_epoch * 1e3,
+    );
+
+    let utilization = 0.4;
+    let c = marginal.service_rate_for_utilization(utilization);
+    println!("gateway: service {c:.2} Mb/s (utilization {utilization})\n");
+
+    let opts = SolverOptions::default();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+
+    println!("buffer [s] |  model (T_c=1s) | sim, shuffled @1s |  sim, unshuffled");
+    println!("{}", "-".repeat(72));
+    for buffer_s in [0.05, 0.2, 0.5, 1.0, 2.0] {
+        let b = c * buffer_s;
+        let model = QueueModel::new(
+            marginal.clone(),
+            TruncatedPareto::new(theta, alpha, 1.0),
+            c,
+            b,
+        );
+        let predicted = solve(&model, &opts).loss();
+        let shuffled = external_shuffle_seconds(&trace, 1.0, &mut rng);
+        let sim_shuffled = simulate_trace(&shuffled, c, b).loss_rate;
+        let sim_raw = simulate_trace(&trace, c, b).loss_rate;
+        println!(
+            "{:>10.2} | {:>15} | {:>17} | {:>16}",
+            buffer_s,
+            fmt(predicted),
+            fmt(sim_shuffled),
+            fmt(sim_raw)
+        );
+    }
+
+    println!(
+        "\nReadings: the model tracks the shuffled-trace simulation (both kill\n\
+         correlation beyond 1 s); the unshuffled trace keeps its long-range\n\
+         dependence and loses more at large buffers — buffer ineffectiveness."
+    );
+}
+
+fn fmt(l: f64) -> String {
+    if l == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{l:.3e}")
+    }
+}

@@ -1,0 +1,73 @@
+//! Hurst-parameter estimation on three kinds of traffic.
+//!
+//! Generates (i) exact fractional Gaussian noise, (ii) the aggregate
+//! of heavy-tailed on/off sources (the physical explanation the paper
+//! cites for LRD in networks), and (iii) a sample path of the paper's
+//! own cutoff-correlated fluid model — then runs all four estimators
+//! on each and prints the comparison, including the effect of the
+//! cutoff on the measured H.
+//!
+//! ```sh
+//! cargo run --release --example hurst_analysis
+//! ```
+
+use lrd::prelude::*;
+use lrd::stats::HurstEstimate;
+use lrd::traffic::{fgn, onoff};
+use rand::SeedableRng;
+
+fn report(name: &str, truth: &str, series: &[f64]) {
+    let ests: [(&str, HurstEstimate); 4] = [
+        ("R/S", rs_estimate(series)),
+        ("var-time", variance_time_estimate(series)),
+        ("GPH", gph_estimate(series)),
+        ("wavelet", wavelet_estimate(series)),
+    ];
+    print!("{name:<28} (true {truth:>5}):");
+    for (label, e) in &ests {
+        print!("  {label} {:.2}", e.h);
+    }
+    println!();
+}
+
+fn main() {
+    let n = 1 << 16;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2024);
+
+    // (i) Exact fGn at three Hurst parameters.
+    for h in [0.6, 0.75, 0.9] {
+        let x = fgn::davies_harte(&mut rng, h, n);
+        report(&format!("fGn (Davies–Harte) H={h}"), &format!("{h}"), &x);
+    }
+
+    // (ii) Superposed heavy-tailed on/off sources: α = 1.4 sojourns
+    // imply an aggregate H = (3 − 1.4)/2 = 0.8.
+    let src = onoff::OnOffSource::new(1.0, 1.4, 0.05, 1.4, 0.15);
+    let agg = onoff::aggregate_trace(&src, 40, 0.1, n, &mut rng);
+    report(
+        "on/off aggregate (α=1.4)",
+        &format!("{}", src.aggregate_hurst()),
+        agg.rates(),
+    );
+
+    // (iii) The paper's fluid model, with and without cutoff. The
+    // untruncated model is asymptotically self-similar with
+    // H = (3 − α)/2; truncation at a short lag destroys the long-range
+    // structure and the estimators should read ≈ 0.5 at long lags.
+    let marginal = Marginal::new(&[1.0, 5.0], &[0.5, 0.5]);
+    for (label, cutoff, truth) in [
+        ("fluid model, T_c = ∞", f64::INFINITY, "0.8"),
+        ("fluid model, T_c = 0.2 s", 0.2, "→0.5"),
+    ] {
+        let iv = TruncatedPareto::from_hurst(0.8, 0.02, cutoff);
+        let source = FluidSource::new(marginal.clone(), iv);
+        let trace = source.sample_trace(&mut rng, 0.05, n);
+        report(label, truth, trace.rates());
+    }
+
+    println!(
+        "\nEstimators agree within their usual biases on genuinely LRD input;\n\
+         the truncated model reads as short-range dependent once block sizes\n\
+         exceed the cutoff — LRD is a property of the tail you keep."
+    );
+}

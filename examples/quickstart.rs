@@ -1,0 +1,81 @@
+//! Quickstart: compute provable loss-rate bounds for a bursty fluid
+//! source feeding a finite buffer, and see the correlation cutoff at
+//! work.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lrd::prelude::*;
+
+fn main() {
+    // A two-rate bursty source: 2 Mb/s or 14 Mb/s with equal
+    // probability, re-drawn at renewal epochs whose lengths follow a
+    // truncated Pareto. With Hurst parameter 0.8 the source is
+    // (asymptotically) self-similar below the cutoff lag.
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    println!(
+        "source: mean {:.1} Mb/s, σ {:.1} Mb/s",
+        marginal.mean(),
+        marginal.std_dev()
+    );
+
+    // Serve at 10 Mb/s (utilization 0.8) with a 200 ms buffer.
+    let utilization = 0.8;
+    let buffer_seconds = 0.2;
+
+    println!("\n   cutoff T_c |  loss lower |  loss upper | iterations | grid M");
+    println!("{}", "-".repeat(68));
+    for cutoff in [0.1, 0.5, 2.0, 10.0, f64::INFINITY] {
+        let intervals = TruncatedPareto::from_hurst(0.8, 0.05, cutoff);
+        let model = QueueModel::from_utilization(
+            marginal.clone(),
+            intervals,
+            utilization,
+            buffer_seconds,
+        );
+        let sol = solve(&model, &SolverOptions::default());
+        assert!(sol.converged, "solver failed to converge");
+        println!(
+            "{:>13} | {:>11.4e} | {:>11.4e} | {:>10} | {:>6}",
+            if cutoff.is_finite() {
+                format!("{cutoff:.1} s")
+            } else {
+                "infinite".to_string()
+            },
+            sol.lower,
+            sol.upper,
+            sol.iterations,
+            sol.bins
+        );
+    }
+
+    println!(
+        "\nNote how the loss rate saturates once the cutoff exceeds the\n\
+         correlation horizon of this queue: correlation at longer lags no\n\
+         longer matters for loss — the paper's central observation."
+    );
+
+    // Cross-check the solver against a Monte-Carlo simulation at one
+    // cutoff.
+    use rand::SeedableRng;
+    let intervals = TruncatedPareto::from_hurst(0.8, 0.05, 2.0);
+    let model = QueueModel::from_utilization(marginal.clone(), intervals, utilization, buffer_seconds);
+    let sol = solve(&model, &SolverOptions::default());
+    let source = FluidSource::new(marginal, intervals);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let (report, _) = simulate_source(
+        &source,
+        model.service_rate(),
+        model.buffer(),
+        1_000_000,
+        &mut rng,
+    );
+    println!(
+        "\nMonte-Carlo cross-check at T_c = 2 s: simulated loss {:.4e} vs \
+         solver bounds [{:.4e}, {:.4e}]",
+        report.loss_rate, sol.lower, sol.upper
+    );
+}

@@ -1,0 +1,73 @@
+//! The paper's Sec. III trace-preparation pipeline, end to end:
+//! synthesize the two traces, extract the 50-bin marginals, measure
+//! the mean epoch durations, estimate Hurst parameters with all five
+//! estimators, and calibrate the truncated-Pareto θ via Eq. 25.
+//!
+//! ```sh
+//! cargo run --release --example trace_analysis
+//! ```
+
+use lrd::prelude::*;
+use lrd::stats::whittle_estimate;
+use lrd::traffic::synth;
+
+fn analyze(name: &str, trace: &Trace, published_h: f64) {
+    let marginal = trace.marginal(50);
+    let epoch = trace.mean_epoch(50);
+    let alpha = lrd::traffic::alpha_from_hurst(published_h);
+    let theta = TruncatedPareto::calibrate_theta(epoch, alpha);
+
+    println!("── {name} ──");
+    println!(
+        "  {} samples at {:.0} ms   mean {:.3} Mb/s   σ {:.3} Mb/s",
+        trace.len(),
+        trace.dt() * 1e3,
+        trace.mean_rate(),
+        lrd::stats::std_dev(trace.rates()),
+    );
+    println!(
+        "  marginal: {} occupied bins, mode at {:.2} Mb/s",
+        marginal.len(),
+        marginal
+            .rates()
+            .iter()
+            .zip(marginal.probs())
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(&r, _)| r)
+            .unwrap()
+    );
+    println!(
+        "  Hurst: published {:.2} | R/S {:.2} | var-time {:.2} | GPH {:.2} | wavelet {:.2} | Whittle {:.2}",
+        published_h,
+        rs_estimate(trace.rates()).h,
+        variance_time_estimate(trace.rates()).h,
+        gph_estimate(trace.rates()).h,
+        wavelet_estimate(trace.rates()).h,
+        whittle_estimate(trace.rates()).h,
+    );
+    println!(
+        "  mean epoch {:.1} ms  →  θ = {:.2} ms (Eq. 25 with T_c = ∞, α = {:.2})\n",
+        epoch * 1e3,
+        theta * 1e3,
+        alpha
+    );
+}
+
+fn main() {
+    let n = 1 << 16;
+    analyze(
+        "MTV-like JPEG video",
+        &synth::mtv_like_with_len(synth::DEFAULT_SEED, n),
+        synth::MTV_HURST,
+    );
+    analyze(
+        "Bellcore-like Ethernet",
+        &synth::bellcore_like_with_len(synth::DEFAULT_SEED + 1, n),
+        synth::BELLCORE_HURST,
+    );
+    println!(
+        "These are exactly the inputs the loss solver consumes: the marginal\n\
+         (Π, Λ), and θ calibrated so the model's mean interval matches the\n\
+         measured epoch duration."
+    );
+}

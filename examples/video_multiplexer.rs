@@ -1,0 +1,94 @@
+//! Video multiplexer sizing: how much does statistical multiplexing
+//! buy compared with buffering?
+//!
+//! The scenario is the paper's motivating one: JPEG video streams
+//! (MTV-like marginal, LRD with H ≈ 0.83) share a link. An operator
+//! can fight loss in two ways — grow the buffer, or multiplex more
+//! streams (each with its own fair share of capacity). The paper shows
+//! multiplexing wins decisively for LRD traffic; this example
+//! quantifies it.
+//!
+//! ```sh
+//! cargo run --release --example video_multiplexer
+//! ```
+
+use lrd::prelude::*;
+use lrd::traffic::synth;
+
+fn main() {
+    // Synthesize the MTV-like trace and extract the paper's inputs:
+    // 50-bin marginal + epoch-calibrated θ.
+    let trace = synth::mtv_like_with_len(synth::DEFAULT_SEED, 1 << 15);
+    let marginal = trace.marginal(50);
+    let mean_epoch = trace.mean_epoch(50);
+    let alpha = lrd::traffic::alpha_from_hurst(synth::MTV_HURST);
+    let theta = TruncatedPareto::calibrate_theta(mean_epoch, alpha);
+    let intervals = TruncatedPareto::new(theta, alpha, f64::INFINITY);
+    println!(
+        "MTV-like video: mean {:.2} Mb/s, σ {:.2} Mb/s, mean epoch {:.0} ms",
+        marginal.mean(),
+        marginal.std_dev(),
+        mean_epoch * 1e3
+    );
+
+    let utilization = 0.8;
+    let opts = SolverOptions::default();
+
+    // Option A: a single stream, ever-larger buffers.
+    println!("\nOption A — buy buffer (single stream, utilization 0.8):");
+    println!("  buffer [s] | loss rate");
+    for buffer_s in [0.1, 0.5, 1.0, 2.0, 5.0] {
+        let model = QueueModel::from_utilization(
+            marginal.clone(),
+            intervals,
+            utilization,
+            buffer_s,
+        );
+        let sol = solve(&model, &opts);
+        println!("  {:>10.1} | {}", buffer_s, fmt_loss(sol.loss()));
+    }
+
+    // Option B: multiplex n streams, buffer and service *per stream*
+    // fixed at modest values.
+    println!("\nOption B — multiplex streams (0.5 s of buffering per stream):");
+    println!("  streams n | loss rate");
+    for n in [1usize, 2, 4, 6, 10] {
+        let muxed = marginal.superpose(n, 200);
+        let model = QueueModel::from_utilization(muxed, intervals, utilization, 0.5);
+        let sol = solve(&model, &opts);
+        println!("  {:>9} | {}", n, fmt_loss(sol.loss()));
+    }
+
+    println!(
+        "\nMultiplexing a handful of streams beats even a 5-second buffer:\n\
+         with LRD input, buffers are ineffective but the marginal narrows\n\
+         as 1/√n — exactly the paper's Sec. III conclusion."
+    );
+
+    // Option C: measure the multiplexing gain directly by simulation —
+    // independent streams through private queues vs their aggregate
+    // through a pooled queue.
+    println!("\nOption C — simulated segregated vs shared queueing (trace-driven):");
+    println!("  streams n | segregated loss | shared loss | gain");
+    for n in [2usize, 4, 8] {
+        let traces: Vec<_> = (0..n)
+            .map(|i| synth::mtv_like_with_len(synth::DEFAULT_SEED + 10 + i as u64, 1 << 14))
+            .collect();
+        let c = traces[0].mean_rate() / utilization;
+        let cmp = lrd::sim::compare_multiplexing(&traces, c, c * 0.05);
+        println!(
+            "  {n:>9} | {:>15} | {:>11} | {:>5.1}x",
+            fmt_loss(cmp.segregated_loss),
+            fmt_loss(cmp.shared_loss),
+            cmp.gain()
+        );
+    }
+}
+
+fn fmt_loss(l: f64) -> String {
+    if l == 0.0 {
+        "< 1e-10 (reported 0)".to_string()
+    } else {
+        format!("{l:.3e}")
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every figure at full resolution into results/.
+# Usage: scripts/run_all_experiments.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+MODE="${1:-}"
+BINS="fig02_bounds fig03_marginals fig04_mtv_model fig05_bc_model fig06_shuffle_demo \
+      fig07_mtv_shuffle fig08_bc_shuffle fig09_marginal_compare \
+      fig10_hurst_vs_scaling fig11_hurst_vs_multiplex \
+      fig12_mtv_buffer_scaling fig13_bc_buffer_scaling fig14_ch_scaling corpus_report \
+      ch_validation markov_baseline runtime_report"
+for b in $BINS; do
+  echo "=== $b ==="
+  cargo run --release -p lrd-experiments --bin "$b" -- $MODE >/dev/null
+done
+echo "all figures regenerated into results/"

@@ -1,0 +1,68 @@
+//! # `lrd` — On the Relevance of Long-Range Dependence in Network Traffic
+//!
+//! A from-scratch Rust reproduction of Grossglauser & Bolot's SIGCOMM
+//! '96 study of when long-range dependence (LRD) actually matters for
+//! network performance.
+//!
+//! The paper's thesis: for a **finite-buffer** queue, only the
+//! correlation in the arrival process up to a system-dependent
+//! **correlation horizon** affects the loss rate — and the **marginal
+//! distribution** of the arrival rate matters far more than the Hurst
+//! parameter. This workspace implements:
+//!
+//! * the cutoff-correlated modulated fluid traffic model
+//!   ([`traffic`]): truncated-Pareto renewal intervals with i.i.d.
+//!   rates, self-similar (Hurst `H = (3−α)/2`) up to a cutoff lag
+//!   `T_c`, plus fGn generators, synthetic traces, heavy-tailed on/off
+//!   sources and block shuffling;
+//! * the provable-bound loss solver ([`fluidq`]): the discretized
+//!   Lindley recursion with lower/upper bounding chains, FFT
+//!   convolution and adaptive grid refinement (paper Sec. II);
+//! * an exact trace/model-driven fluid-queue simulator ([`sim`]);
+//! * Hurst estimators, histograms and regression ([`stats`]);
+//! * supporting numerics ([`fft`], [`specfun`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lrd::prelude::*;
+//!
+//! // A bursty two-rate source: 2 or 14 Mb/s, redrawn at truncated-
+//! // Pareto renewal epochs (H = 0.8 below the 1-second cutoff).
+//! let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+//! let intervals = TruncatedPareto::from_hurst(0.8, 0.05, 1.0);
+//!
+//! // Serve it at 10 Mb/s (utilization 0.8) with a 0.2-second buffer.
+//! let model = QueueModel::from_utilization(marginal, intervals, 0.8, 0.2);
+//!
+//! // Provable loss-rate bounds.
+//! let solution = solve(&model, &SolverOptions::default());
+//! assert!(solution.converged);
+//! assert!(solution.lower <= solution.upper);
+//! println!("loss rate in [{:.3e}, {:.3e}]", solution.lower, solution.upper);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lrd_fft as fft;
+pub use lrd_fluidq as fluidq;
+pub use lrd_sim as sim;
+pub use lrd_specfun as specfun;
+pub use lrd_stats as stats;
+pub use lrd_traffic as traffic;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use lrd_fluidq::{
+        correlation_horizon, empirical_horizon, solve, BoundSolver, LossKernel, LossSolution,
+        QueueModel, SolverOptions,
+    };
+    pub use lrd_sim::{simulate_source, simulate_trace, FluidQueue, SimReport};
+    pub use lrd_stats::{
+        gph_estimate, rs_estimate, variance_time_estimate, wavelet_estimate, Histogram,
+    };
+    pub use lrd_traffic::{
+        shuffle::external_shuffle_seconds, synth, Exponential, FluidSource, Interarrival,
+        Marginal, Trace, TruncatedPareto,
+    };
+}

@@ -1,0 +1,118 @@
+//! Integration tests of the capacity-planning searches and the
+//! occupancy-tail API against the simulator.
+
+use lrd::fluidq::{min_buffer_for_loss, min_streams_for_loss};
+use lrd::prelude::*;
+use rand::SeedableRng;
+
+fn opts() -> SolverOptions {
+    SolverOptions {
+        max_bins: 1 << 12,
+        ..SolverOptions::default()
+    }
+}
+
+#[test]
+fn sized_buffer_validates_in_simulation() {
+    // Size a buffer with the solver, then check by Monte Carlo that
+    // the simulated loss indeed meets the target.
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let iv = TruncatedPareto::new(0.05, 1.4, 0.5);
+    let model = QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.1);
+    let target = 2e-3;
+    let d = min_buffer_for_loss(&model, target, model.service_rate() * 30.0, 0.05, &opts())
+        .expect("feasible design");
+
+    let source = FluidSource::new(marginal, iv);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(71);
+    let (rep, _) = simulate_source(&source, model.service_rate(), d.value, 2_000_000, &mut rng);
+    assert!(
+        rep.loss_rate <= target * 1.15,
+        "simulated loss {:.3e} violates designed target {target:.1e}",
+        rep.loss_rate
+    );
+}
+
+#[test]
+fn multiplexing_design_is_consistent_with_figures() {
+    // The stream count needed at a tight target must be larger than at
+    // a loose one, and both must satisfy their own targets.
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let iv = TruncatedPareto::new(0.05, 1.4, 0.5);
+    let model = QueueModel::from_utilization(marginal, iv, 0.8, 0.1);
+    let loose = min_streams_for_loss(&model, 1e-2, 20, 200, &opts());
+    let tight = min_streams_for_loss(&model, 1e-5, 20, 200, &opts());
+    if let (Some(a), Some(b)) = (&loose, &tight) {
+        assert!(b.value >= a.value, "tighter target needs fewer streams?");
+        assert!(a.loss_upper_bound <= 1e-2 && b.loss_upper_bound <= 1e-5);
+    } else {
+        assert!(loose.is_some(), "loose target should be feasible");
+    }
+}
+
+#[test]
+fn occupancy_tail_matches_simulation() {
+    // Tail probabilities from the bound chains bracket the empirical
+    // arrival-epoch occupancy tail.
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let iv = TruncatedPareto::new(0.05, 1.4, 1.0);
+    let model = QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.2);
+    let mut solver = BoundSolver::new(model.clone(), 256);
+    for _ in 0..4000 {
+        solver.step();
+    }
+
+    let source = FluidSource::new(marginal, iv);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(72);
+    let (_, samples) = simulate_source(
+        &source,
+        model.service_rate(),
+        model.buffer(),
+        600_000,
+        &mut rng,
+    );
+    let stationary = &samples[100_000..];
+    for frac in [0.25, 0.5, 0.75, 0.9] {
+        let x = model.buffer() * frac;
+        let bracket = solver.tail_probability(x);
+        let emp = stationary.iter().filter(|s| s.occupancy > x).count() as f64
+            / stationary.len() as f64;
+        assert!(
+            emp >= bracket.from_lower_chain - 0.02 && emp <= bracket.from_upper_chain + 0.02,
+            "tail at {frac} B: empirical {emp:.4} outside [{:.4}, {:.4}]",
+            bracket.from_lower_chain,
+            bracket.from_upper_chain
+        );
+    }
+}
+
+#[test]
+fn mean_occupancy_brackets_simulation() {
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let iv = TruncatedPareto::new(0.05, 1.4, 1.0);
+    let model = QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.2);
+    let mut solver = BoundSolver::new(model.clone(), 256);
+    for _ in 0..4000 {
+        solver.step();
+    }
+    let bracket = solver.mean_occupancy();
+
+    let source = FluidSource::new(marginal, iv);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(73);
+    let (_, samples) = simulate_source(
+        &source,
+        model.service_rate(),
+        model.buffer(),
+        600_000,
+        &mut rng,
+    );
+    let stationary = &samples[100_000..];
+    let emp = stationary.iter().map(|s| s.occupancy).sum::<f64>() / stationary.len() as f64;
+    let slack = 0.05 * model.buffer();
+    assert!(
+        emp >= bracket.from_lower_chain - slack && emp <= bracket.from_upper_chain + slack,
+        "mean occupancy {emp:.4} outside [{:.4}, {:.4}]",
+        bracket.from_lower_chain,
+        bracket.from_upper_chain
+    );
+}

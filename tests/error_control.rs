@@ -1,0 +1,84 @@
+//! Integration test of the Sec. V concluding example: the relevant
+//! correlation time scales depend on the performance metric. The loss
+//! *rate* saturates at the correlation horizon, but the ARQ-vs-FEC
+//! comparison keeps changing as longer correlation is preserved.
+
+use lrd::prelude::*;
+use lrd::sim::{arq_overhead, fec_residual_loss, LossProcess};
+use lrd::traffic::synth;
+use rand::SeedableRng;
+
+fn loss_process_for(block_s: Option<f64>, trace: &Trace, c: f64, b: f64, seed: u64) -> LossProcess {
+    match block_s {
+        Some(s) => {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let shuffled = external_shuffle_seconds(trace, s, &mut rng);
+            LossProcess::from_trace(&shuffled, c, b)
+        }
+        None => LossProcess::from_trace(trace, c, b),
+    }
+}
+
+#[test]
+fn fec_degrades_with_correlation_while_arq_does_not() {
+    let trace = synth::bellcore_like_with_len(synth::DEFAULT_SEED + 1, 1 << 15);
+    let marginal = trace.marginal(50);
+    let c = marginal.service_rate_for_utilization(0.75);
+    let b = c * 0.05;
+
+    let short = loss_process_for(Some(0.05), &trace, c, b, 1);
+    let long = loss_process_for(None, &trace, c, b, 2);
+
+    // Loss probabilities are comparable (same marginal, same queue)...
+    let p_short = short.loss_probability();
+    let p_long = long.loss_probability();
+    assert!(p_short > 0.0 && p_long > 0.0, "need lossy scenarios");
+    // ...so ARQ overheads are comparable...
+    let arq_ratio = arq_overhead(&long) / arq_overhead(&short);
+    assert!(
+        (arq_ratio - 1.0).abs() < 0.15,
+        "ARQ should be near-indifferent, ratio {arq_ratio}"
+    );
+    // ...but FEC residual loss grows markedly with preserved
+    // correlation.
+    let fec_short = fec_residual_loss(&short, 10, 8);
+    let fec_long = fec_residual_loss(&long, 10, 8);
+    assert!(
+        fec_long > 1.5 * fec_short.max(1e-6),
+        "FEC should degrade with correlation: short {fec_short:.3e}, long {fec_long:.3e}"
+    );
+}
+
+#[test]
+fn decorrelated_process_is_fec_friendly() {
+    let trace = synth::bellcore_like_with_len(synth::DEFAULT_SEED + 1, 1 << 15);
+    let marginal = trace.marginal(50);
+    let c = marginal.service_rate_for_utilization(0.75);
+    let p = LossProcess::from_trace(&trace, c, c * 0.05);
+    let d = p.decorrelated();
+    assert!((p.loss_probability() - d.loss_probability()).abs() < 0.01);
+    assert!(
+        fec_residual_loss(&d, 10, 8) <= fec_residual_loss(&p, 10, 8),
+        "spreading losses must not hurt FEC"
+    );
+    // Bursts collapse to length ~1.
+    assert!(d.mean_burst_length().unwrap_or(1.0) <= 1.5);
+}
+
+#[test]
+fn mean_burst_length_tracks_correlation() {
+    let trace = synth::bellcore_like_with_len(synth::DEFAULT_SEED + 1, 1 << 15);
+    let marginal = trace.marginal(50);
+    let c = marginal.service_rate_for_utilization(0.75);
+    let b = c * 0.05;
+    let short = loss_process_for(Some(0.05), &trace, c, b, 3)
+        .mean_burst_length()
+        .unwrap_or(0.0);
+    let long = loss_process_for(None, &trace, c, b, 4)
+        .mean_burst_length()
+        .unwrap_or(0.0);
+    assert!(
+        long >= short,
+        "bursts should lengthen with preserved correlation: {short} vs {long}"
+    );
+}

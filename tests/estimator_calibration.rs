@@ -1,0 +1,82 @@
+//! Statistical calibration of the Hurst estimators on exact fGn: every
+//! estimator must land within a few standard errors of the true value
+//! across the Hurst range the paper's traces occupy.
+
+use lrd::prelude::*;
+use lrd::stats::hurst::{gph_std_error, whittle_std_error};
+use lrd::stats::whittle_estimate;
+use lrd::traffic::fgn;
+use rand::SeedableRng;
+
+const N: usize = 1 << 16;
+
+fn sample(h: f64, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    fgn::davies_harte(&mut rng, h, N)
+}
+
+#[test]
+fn gph_within_confidence_band() {
+    // GPH bandwidth m = ⌊√n⌋ = 256 → s.e. ≈ 0.04; allow 3 s.e. plus a
+    // small bias allowance.
+    let m = (N as f64).sqrt() as usize;
+    let band = 3.0 * gph_std_error(m) + 0.02;
+    for (i, &h) in [0.6, 0.75, 0.9].iter().enumerate() {
+        let est = gph_estimate(&sample(h, 900 + i as u64));
+        assert!(
+            (est.h - h).abs() < band,
+            "GPH at H={h}: estimate {:.3} outside ±{band:.3}",
+            est.h
+        );
+    }
+}
+
+#[test]
+fn whittle_within_confidence_band() {
+    // Local Whittle bandwidth m = ⌊n^0.65⌋ ≈ 1351 → s.e. ≈ 0.014; the
+    // n^0.65 bandwidth trades variance for bias, so allow 3 s.e. plus a
+    // larger bias allowance.
+    let m = (N as f64).powf(0.65) as usize;
+    let band = 3.0 * whittle_std_error(m) + 0.04;
+    for (i, &h) in [0.6, 0.75, 0.9].iter().enumerate() {
+        let est = whittle_estimate(&sample(h, 910 + i as u64));
+        assert!(
+            (est.h - h).abs() < band,
+            "Whittle at H={h}: estimate {:.3} outside ±{band:.3}",
+            est.h
+        );
+    }
+}
+
+#[test]
+fn estimators_rank_hurst_correctly() {
+    // Even where absolute calibration is biased, every estimator must
+    // order clearly separated Hurst values correctly.
+    let lo = sample(0.6, 920);
+    let hi = sample(0.9, 921);
+    let pairs: [(&str, fn(&[f64]) -> lrd::stats::HurstEstimate); 4] = [
+        ("rs", rs_estimate),
+        ("vt", variance_time_estimate),
+        ("gph", gph_estimate),
+        ("wavelet", wavelet_estimate),
+    ];
+    for (name, est) in pairs {
+        let a = est(&lo).h;
+        let b = est(&hi).h;
+        assert!(b > a + 0.1, "{name} failed to separate H=0.6 from H=0.9: {a:.3} vs {b:.3}");
+    }
+}
+
+#[test]
+fn estimates_are_stable_across_seeds() {
+    // Dispersion across independent sample paths stays modest for the
+    // wavelet estimator (the one the experiments report).
+    let h = 0.83;
+    let estimates: Vec<f64> = (0..5)
+        .map(|i| wavelet_estimate(&sample(h, 930 + i)).h)
+        .collect();
+    let mean = lrd::stats::mean(&estimates);
+    let sd = lrd::stats::std_dev(&estimates);
+    assert!((mean - h).abs() < 0.05, "wavelet mean bias {mean:.3} vs {h}");
+    assert!(sd < 0.04, "wavelet dispersion too high: {sd:.3}");
+}

@@ -1,0 +1,135 @@
+//! Cross-module identities tying the analytic formulas of Sec. II to
+//! sample-path behaviour: the covariance law (Eq. 3/8), the mean
+//! interval (Eq. 25), and the self-similarity mapping `H = (3 − α)/2`.
+
+use lrd::prelude::*;
+use lrd::traffic::{covariance, fgn};
+use rand::SeedableRng;
+
+#[test]
+fn sampled_paths_match_analytic_autocovariance() {
+    // φ(t) = σ² Pr{τ_res >= t} (Eq. 3): estimate the autocovariance of
+    // a binned sample path and compare with the closed form at bin
+    // multiples.
+    let marginal = Marginal::new(&[1.0, 9.0], &[0.5, 0.5]);
+    let iv = TruncatedPareto::new(0.1, 1.5, 2.0);
+    let source = FluidSource::new(marginal.clone(), iv);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+    let dt = 0.05;
+    let trace = source.sample_trace(&mut rng, dt, 400_000);
+
+    let emp = lrd::stats::autocovariance(trace.rates(), 60);
+    for k in [2usize, 5, 10, 20, 40] {
+        let want = covariance::autocovariance_at(&marginal, &iv, k as f64 * dt);
+        // Binned sampling smooths the process slightly; compare with a
+        // generous relative tolerance plus an absolute floor.
+        assert!(
+            (emp[k] - want).abs() < 0.15 * want.max(0.5),
+            "lag {k}: empirical {} vs analytic {}",
+            emp[k],
+            want
+        );
+    }
+    // Beyond the cutoff the analytic covariance is exactly zero and
+    // the empirical one should be statistically indistinguishable from
+    // zero.
+    let beyond = (2.2 / dt) as usize;
+    let emp_long = lrd::stats::autocovariance(trace.rates(), beyond + 4);
+    assert!(
+        emp_long[beyond].abs() < 0.3,
+        "covariance beyond the cutoff should vanish, got {}",
+        emp_long[beyond]
+    );
+}
+
+#[test]
+fn mean_interval_matches_eq25_empirically() {
+    let iv = TruncatedPareto::new(0.04, 1.3, 0.8);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(12);
+    use lrd::traffic::Interarrival;
+    let n = 500_000;
+    let sum: f64 = (0..n).map(|_| iv.sample(&mut rng)).sum();
+    let emp = sum / n as f64;
+    assert!(
+        (emp - iv.mean()).abs() / iv.mean() < 0.01,
+        "empirical mean {emp} vs Eq. 25 {}",
+        iv.mean()
+    );
+}
+
+#[test]
+fn untruncated_model_is_asymptotically_self_similar() {
+    // Sample the fluid model with T_c = ∞ and check that variance-time
+    // analysis of the path recovers H ≈ (3 − α)/2.
+    let alpha = 1.4; // H = 0.8
+    let marginal = Marginal::new(&[0.0, 4.0], &[0.5, 0.5]);
+    let source = FluidSource::new(marginal, TruncatedPareto::new(0.02, alpha, f64::INFINITY));
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+    let trace = source.sample_trace(&mut rng, 0.05, 1 << 17);
+    let est = variance_time_estimate(trace.rates());
+    let want = (3.0 - alpha) / 2.0;
+    assert!(
+        (est.h - want).abs() < 0.12,
+        "variance-time H {} vs theoretical {}",
+        est.h,
+        want
+    );
+}
+
+#[test]
+fn truncation_removes_long_range_dependence() {
+    // Same model with a short cutoff: aggregated beyond the cutoff the
+    // process must look short-range dependent (H near 1/2).
+    let marginal = Marginal::new(&[0.0, 4.0], &[0.5, 0.5]);
+    let source = FluidSource::new(marginal, TruncatedPareto::new(0.02, 1.4, 0.25));
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(14);
+    let trace = source.sample_trace(&mut rng, 0.05, 1 << 17);
+    // Aggregate to 0.5 s bins (well above the 0.25 s cutoff) before
+    // estimating: all remaining correlation is sub-bin.
+    let agg = trace.aggregate(10);
+    let est = variance_time_estimate(agg.rates());
+    assert!(
+        est.h < 0.62,
+        "truncated model should read as SRD at long lags, got H = {}",
+        est.h
+    );
+}
+
+#[test]
+fn fgn_copula_traces_keep_their_hurst() {
+    // The synthetic-trace pipeline end to end: fGn → copula → marginal
+    // map → Hurst estimate.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(15);
+    let g = fgn::davies_harte(&mut rng, 0.85, 1 << 16);
+    let est = wavelet_estimate(&g);
+    assert!((est.h - 0.85).abs() < 0.06, "wavelet H {} vs 0.85", est.h);
+
+    let t = synth::mtv_like_with_len(99, 1 << 16);
+    let est2 = wavelet_estimate(t.rates());
+    assert!(
+        (est2.h - synth::MTV_HURST).abs() < 0.08,
+        "MTV-like trace wavelet H {} vs {}",
+        est2.h,
+        synth::MTV_HURST
+    );
+}
+
+#[test]
+fn marginal_transformations_compose_with_queueing() {
+    // Scaling by a < 1 or superposing streams must reduce the solved
+    // loss; scaling by a > 1 must raise it (monotonicity of loss in
+    // marginal spread, the engine behind Figs. 10–13).
+    let marginal = Marginal::new(&[1.0, 4.0, 9.0, 15.0], &[0.3, 0.35, 0.25, 0.1]);
+    let iv = TruncatedPareto::new(0.05, 1.4, 2.0);
+    let opts = SolverOptions::default();
+    let base = QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.3);
+    let l_base = solve(&base, &opts).loss();
+
+    let l_narrow = solve(&base.with_marginal(marginal.scaled(0.6)), &opts).loss();
+    let l_wide = solve(&base.with_marginal(marginal.scaled(1.4)), &opts).loss();
+    let l_muxed = solve(&base.with_marginal(marginal.superpose(4, 200)), &opts).loss();
+
+    assert!(l_narrow < l_base, "narrowing must reduce loss: {l_narrow} vs {l_base}");
+    assert!(l_wide > l_base, "widening must raise loss: {l_wide} vs {l_base}");
+    assert!(l_muxed < l_base, "multiplexing must reduce loss: {l_muxed} vs {l_base}");
+}

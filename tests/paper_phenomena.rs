@@ -1,0 +1,152 @@
+//! End-to-end checks of the paper's four headline findings (the
+//! Sec. IV summary list), on the synthetic corpus at test resolution.
+
+use lrd::prelude::*;
+use lrd::traffic::synth;
+
+fn mtv_setup() -> (Marginal, f64) {
+    let trace = synth::mtv_like_with_len(synth::DEFAULT_SEED, 1 << 14);
+    let marginal = trace.marginal(50);
+    let theta = TruncatedPareto::calibrate_theta(
+        trace.mean_epoch(50),
+        lrd::traffic::alpha_from_hurst(synth::MTV_HURST),
+    );
+    (marginal, theta)
+}
+
+#[test]
+fn finding_1_correlation_horizon_exists() {
+    // "There exists a correlation horizon CH such that the loss rate
+    // is not affected if the cutoff lag increases beyond CH."
+    let (marginal, theta) = mtv_setup();
+    let alpha = lrd::traffic::alpha_from_hurst(synth::MTV_HURST);
+    let opts = SolverOptions::default();
+    let buffer_s = 0.05;
+    let cutoffs = [0.05, 0.2, 1.0, 5.0, 25.0, 100.0];
+    let losses: Vec<(f64, f64)> = cutoffs
+        .iter()
+        .map(|&tc| {
+            let model = QueueModel::from_utilization(
+                marginal.clone(),
+                TruncatedPareto::new(theta, alpha, tc),
+                0.8,
+                buffer_s,
+            );
+            (tc, solve(&model, &opts).loss())
+        })
+        .collect();
+    let horizon = empirical_horizon(&losses, 0.15).expect("horizon");
+    assert!(
+        horizon < *cutoffs.last().unwrap(),
+        "loss never saturated: {losses:?}"
+    );
+    // And loss must genuinely vary below the horizon.
+    assert!(
+        losses[0].1 < 0.5 * losses.last().unwrap().1,
+        "no cutoff dependence at all: {losses:?}"
+    );
+}
+
+#[test]
+fn finding_2_buffers_ineffective_for_lrd() {
+    // "Large buffers significantly reduce loss only for SRD traffic;
+    // for LRD traffic, increasing the buffer has little impact."
+    let (marginal, theta) = mtv_setup();
+    let alpha = lrd::traffic::alpha_from_hurst(synth::MTV_HURST);
+    let opts = SolverOptions::default();
+    let loss_at = |tc: f64, b: f64| {
+        let model = QueueModel::from_utilization(
+            marginal.clone(),
+            TruncatedPareto::new(theta, alpha, tc),
+            0.8,
+            b,
+        );
+        solve(&model, &opts).loss()
+    };
+    // SRD (short cutoff): buffer growth is very effective.
+    let srd_gain = loss_at(0.05, 0.02) / loss_at(0.05, 0.5).max(1e-12);
+    // LRD (long cutoff): much less so.
+    let lrd_gain = loss_at(50.0, 0.02) / loss_at(50.0, 0.5).max(1e-12);
+    assert!(
+        srd_gain > 10.0 * lrd_gain,
+        "buffer gain SRD {srd_gain:.1e} should dwarf LRD {lrd_gain:.1e}"
+    );
+}
+
+#[test]
+fn finding_3_marginal_scaling_has_considerable_impact() {
+    let (marginal, theta) = mtv_setup();
+    let alpha = lrd::traffic::alpha_from_hurst(synth::MTV_HURST);
+    let opts = SolverOptions::default();
+    let loss_for = |a: f64| {
+        let model = QueueModel::from_utilization(
+            marginal.scaled(a),
+            TruncatedPareto::new(theta, alpha, f64::INFINITY),
+            0.8,
+            1.0,
+        );
+        solve(&model, &opts).loss()
+    };
+    let wide = loss_for(1.5);
+    let narrow = loss_for(0.5);
+    assert!(
+        wide > 10.0 * narrow.max(1e-12),
+        "scaling 0.5→1.5 should span >10×: {narrow:.2e} → {wide:.2e}"
+    );
+}
+
+#[test]
+fn finding_4_multiplexing_beats_buffering() {
+    let (marginal, theta) = mtv_setup();
+    let alpha = lrd::traffic::alpha_from_hurst(synth::MTV_HURST);
+    let opts = SolverOptions::default();
+    let iv = TruncatedPareto::new(theta, alpha, f64::INFINITY);
+
+    // Baseline: one stream, 0.2 s buffer.
+    let one = solve(
+        &QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.2),
+        &opts,
+    )
+    .loss();
+    // Buffering: same stream, 10× the buffer.
+    let big_buffer = solve(
+        &QueueModel::from_utilization(marginal.clone(), iv, 0.8, 2.0),
+        &opts,
+    )
+    .loss();
+    // Multiplexing: five streams, same per-stream buffer.
+    let muxed = solve(
+        &QueueModel::from_utilization(marginal.superpose(5, 200), iv, 0.8, 0.2),
+        &opts,
+    )
+    .loss();
+
+    assert!(muxed < one, "multiplexing failed to help: {muxed:.2e} vs {one:.2e}");
+    assert!(
+        muxed < big_buffer,
+        "5-way multiplexing ({muxed:.2e}) should beat 10× buffering ({big_buffer:.2e})"
+    );
+}
+
+#[test]
+fn shuffling_and_model_tell_the_same_story() {
+    // The cutoff in the model and external shuffling of the trace are
+    // the same operation in different guises (paper Sec. III): both
+    // loss curves must increase with the cutoff/block length.
+    use rand::SeedableRng;
+    let trace = synth::mtv_like_with_len(synth::DEFAULT_SEED, 1 << 14);
+    let marginal = trace.marginal(50);
+    let c = marginal.service_rate_for_utilization(0.8);
+    let b = c * 0.2;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    let mut prev = -1.0;
+    for block_s in [0.1, 1.0, 10.0] {
+        let shuffled = external_shuffle_seconds(&trace, block_s, &mut rng);
+        let loss = simulate_trace(&shuffled, c, b).loss_rate;
+        assert!(
+            loss >= prev * 0.7,
+            "shuffle loss fell sharply with block length: {loss} after {prev}"
+        );
+        prev = loss;
+    }
+}

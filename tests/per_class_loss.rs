@@ -1,0 +1,74 @@
+//! Cross-validation of the per-rate-class loss attribution: the
+//! solver's analytic split ([`LossKernel::per_class_loss`]) against a
+//! Monte-Carlo attribution from the simulator's per-interval loss
+//! records.
+
+use lrd::fluidq::LossKernel;
+use lrd::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn analytic_split_matches_simulation() {
+    let marginal = Marginal::new(&[2.0, 11.0, 14.0], &[0.5, 0.25, 0.25]);
+    let iv = TruncatedPareto::new(0.05, 1.4, 1.0);
+    let model = QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.2);
+
+    // Stationary occupancy from the solver (midpoint of the chains).
+    let bins = 256;
+    let mut solver = BoundSolver::new(model.clone(), bins);
+    for _ in 0..4000 {
+        solver.step();
+    }
+    let q_mid: Vec<f64> = solver
+        .occupancy_lower()
+        .iter()
+        .zip(solver.occupancy_upper())
+        .map(|(&a, &b)| 0.5 * (a + b))
+        .collect();
+    let analytic = LossKernel::per_class_loss(&model, &q_mid);
+
+    // Monte-Carlo attribution: lost work per active rate class.
+    let source = FluidSource::new(marginal.clone(), iv);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(404);
+    let (_, samples) = simulate_source(
+        &source,
+        model.service_rate(),
+        model.buffer(),
+        2_000_000,
+        &mut rng,
+    );
+    let total_work: f64 = samples
+        .iter()
+        .map(|s| s.rate * (s.increment / (s.rate - model.service_rate())))
+        .sum();
+    let mut empirical = vec![0.0f64; marginal.len()];
+    for s in &samples {
+        let class = marginal
+            .rates()
+            .iter()
+            .position(|&r| (r - s.rate).abs() < 1e-9)
+            .expect("sampled rate must be in the marginal support");
+        empirical[class] += s.lost;
+    }
+    for v in &mut empirical {
+        *v /= total_work;
+    }
+
+    // The underload class never loses.
+    assert_eq!(analytic[0], 0.0);
+    assert!(empirical[0] == 0.0);
+    // Overload classes agree within Monte-Carlo tolerance.
+    for i in 1..marginal.len() {
+        let a = analytic[i];
+        let e = empirical[i];
+        assert!(
+            (a - e).abs() < 0.15 * a.max(1e-5),
+            "class {i} (rate {}): analytic {a:.4e} vs simulated {e:.4e}",
+            marginal.rates()[i]
+        );
+    }
+    // And both split the same total.
+    let ta: f64 = analytic.iter().sum();
+    let te: f64 = empirical.iter().sum();
+    assert!((ta - te).abs() < 0.1 * ta.max(1e-5), "totals {ta:.3e} vs {te:.3e}");
+}

@@ -1,0 +1,149 @@
+//! Cross-validation of the numerical solver against Monte-Carlo
+//! simulation — the strongest end-to-end correctness check in the
+//! workspace: the two implementations share no code beyond the traffic
+//! model itself.
+
+use lrd::prelude::*;
+use rand::SeedableRng;
+
+/// Asserts that the simulated loss rate falls inside (a slightly
+/// widened copy of) the solver's provable bounds.
+fn check(model: &QueueModel<TruncatedPareto>, seed: u64, intervals: usize) {
+    let sol = solve(model, &SolverOptions::default());
+    assert!(sol.converged, "solver did not converge for {model:?}");
+    let source = FluidSource::new(model.marginal().clone(), *model.intervals());
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let (rep, _) = simulate_source(
+        &source,
+        model.service_rate(),
+        model.buffer(),
+        intervals,
+        &mut rng,
+    );
+    // Monte-Carlo noise: allow the simulated value to stray a little
+    // beyond the bounds relative to the midpoint.
+    let slack = 0.15 * sol.loss().max(1e-6);
+    assert!(
+        rep.loss_rate >= sol.lower - slack && rep.loss_rate <= sol.upper + slack,
+        "simulated loss {:.4e} outside bounds [{:.4e}, {:.4e}] (model {model:?})",
+        rep.loss_rate,
+        sol.lower,
+        sol.upper,
+    );
+}
+
+#[test]
+fn two_rate_source_across_cutoffs() {
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    for (i, tc) in [0.2, 1.0, 5.0, f64::INFINITY].into_iter().enumerate() {
+        let model = QueueModel::from_utilization(
+            marginal.clone(),
+            TruncatedPareto::new(0.05, 1.4, tc),
+            0.8,
+            0.2,
+        );
+        check(&model, 100 + i as u64, 1_500_000);
+    }
+}
+
+#[test]
+fn two_rate_source_across_buffers() {
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    for (i, b) in [0.05, 0.2, 0.8].into_iter().enumerate() {
+        let model = QueueModel::from_utilization(
+            marginal.clone(),
+            TruncatedPareto::new(0.05, 1.4, 1.0),
+            0.8,
+            b,
+        );
+        check(&model, 200 + i as u64, 1_500_000);
+    }
+}
+
+#[test]
+fn multi_rate_marginal_and_low_utilization() {
+    let marginal = Marginal::new(
+        &[0.5, 3.0, 7.0, 12.0, 20.0],
+        &[0.3, 0.3, 0.2, 0.15, 0.05],
+    );
+    for (i, util) in [0.4, 0.7].into_iter().enumerate() {
+        let model = QueueModel::from_utilization(
+            marginal.clone(),
+            TruncatedPareto::new(0.03, 1.6, 2.0),
+            util,
+            0.3,
+        );
+        check(&model, 300 + i as u64, 1_500_000);
+    }
+}
+
+#[test]
+fn exponential_intervals_agree_too() {
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let model = QueueModel::from_utilization(marginal.clone(), Exponential::new(0.08), 0.8, 0.2);
+    let sol = solve(&model, &SolverOptions::default());
+    assert!(sol.converged);
+    let source = FluidSource::new(marginal, Exponential::new(0.08));
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+    let (rep, _) = simulate_source(
+        &source,
+        model.service_rate(),
+        model.buffer(),
+        1_500_000,
+        &mut rng,
+    );
+    let slack = 0.15 * sol.loss().max(1e-6);
+    assert!(
+        rep.loss_rate >= sol.lower - slack && rep.loss_rate <= sol.upper + slack,
+        "simulated {:.4e} vs [{:.4e}, {:.4e}]",
+        rep.loss_rate,
+        sol.lower,
+        sol.upper
+    );
+}
+
+#[test]
+fn occupancy_distribution_matches_solver_bounds() {
+    // Distribution-level check: the empirical CDF of the occupancy at
+    // arrival epochs must lie between the solver's bound CDFs.
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let iv = TruncatedPareto::new(0.05, 1.4, 1.0);
+    let model = QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.2);
+
+    let bins = 200;
+    let mut solver = BoundSolver::new(model.clone(), bins);
+    for _ in 0..3_000 {
+        solver.step();
+    }
+
+    let source = FluidSource::new(marginal, iv);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let (_, samples) = simulate_source(
+        &source,
+        model.service_rate(),
+        model.buffer(),
+        400_000,
+        &mut rng,
+    );
+    // Discard a warm-up prefix so the empirical law is stationary.
+    let stationary = &samples[50_000..];
+
+    let d = model.buffer() / bins as f64;
+    let lower = solver.occupancy_lower();
+    let upper = solver.occupancy_upper();
+    let mut cdf_l = 0.0;
+    let mut cdf_h = 0.0;
+    for j in (0..=bins).step_by(20) {
+        cdf_l = lower[..=j].iter().sum::<f64>();
+        cdf_h = upper[..=j].iter().sum::<f64>();
+        let x = j as f64 * d;
+        let emp = stationary.iter().filter(|s| s.occupancy <= x + 1e-12).count() as f64
+            / stationary.len() as f64;
+        // Q_L ⪯ Q ⪯ Q_H means CDF_L >= CDF(Q) >= CDF_H; allow MC slack.
+        assert!(
+            emp <= cdf_l + 0.02 && emp >= cdf_h - 0.02,
+            "empirical CDF {emp:.4} at x={x:.3} outside [{cdf_h:.4}, {cdf_l:.4}]"
+        );
+    }
+    let _ = (cdf_l, cdf_h);
+}

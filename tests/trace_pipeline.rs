@@ -1,0 +1,111 @@
+//! End-to-end exercises of the trace-analysis pipeline: synthesis →
+//! marginal/epoch extraction → shuffling → simulation, plus Hurst
+//! estimation on every generator the workspace ships.
+
+use lrd::prelude::*;
+use lrd::traffic::{fgn, onoff, shuffle};
+use rand::SeedableRng;
+
+#[test]
+fn synthetic_traces_reproduce_published_statistics() {
+    let mtv = synth::mtv_like_with_len(synth::DEFAULT_SEED, 1 << 15);
+    assert_eq!(mtv.dt(), synth::MTV_DT);
+    assert!((mtv.mean_rate() - synth::MTV_MEAN_RATE).abs() / synth::MTV_MEAN_RATE < 0.05);
+
+    let bc = synth::bellcore_like_with_len(synth::DEFAULT_SEED, 1 << 15);
+    assert_eq!(bc.dt(), synth::BELLCORE_DT);
+    assert!(bc.rates().iter().all(|&r| r >= 0.0));
+
+    // The headline statistics the solver consumes: a 50-bin marginal
+    // that sums to one and a positive mean epoch.
+    for t in [&mtv, &bc] {
+        let m = t.marginal(50);
+        assert!((m.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(t.mean_epoch(50) > t.dt() * 0.99);
+    }
+}
+
+#[test]
+fn all_estimators_agree_on_strong_lrd() {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let x = fgn::davies_harte(&mut rng, 0.9, 1 << 16);
+    let estimates = [
+        ("rs", rs_estimate(&x).h),
+        ("vt", variance_time_estimate(&x).h),
+        ("gph", gph_estimate(&x).h),
+        ("wav", wavelet_estimate(&x).h),
+    ];
+    for (name, h) in estimates {
+        assert!(
+            (h - 0.9).abs() < 0.15,
+            "{name} estimate {h} too far from true 0.9"
+        );
+    }
+}
+
+#[test]
+fn onoff_aggregate_feeds_the_queue_sensibly() {
+    // The paper's physical LRD generator, run through the simulator:
+    // higher aggregate load ⇒ higher loss; loss always in [0, 1].
+    let src = onoff::OnOffSource::new(1.0, 1.4, 0.05, 1.4, 0.15);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+    let trace = onoff::aggregate_trace(&src, 30, 0.1, 40_000, &mut rng);
+    let mean = trace.mean_rate();
+    let mut prev = -1.0;
+    for util in [0.5, 0.7, 0.9] {
+        let c = mean / util;
+        let rep = simulate_trace(&trace, c, c * 0.5);
+        assert!((0.0..=1.0).contains(&rep.loss_rate));
+        assert!(
+            rep.loss_rate >= prev,
+            "loss should rise with utilization: {} after {prev} at ρ={util}",
+            rep.loss_rate
+        );
+        prev = rep.loss_rate;
+    }
+}
+
+#[test]
+fn shuffling_preserves_marginal_exactly() {
+    let trace = synth::mtv_like_with_len(7, 4096);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+    let shuffled = shuffle::external_shuffle(&trace, 37, &mut rng);
+    let a = trace.marginal(50);
+    let b = shuffled.marginal(50);
+    assert_eq!(a.rates(), b.rates());
+    for (pa, pb) in a.probs().iter().zip(b.probs()) {
+        assert!((pa - pb).abs() < 1e-12);
+    }
+    // And the simulated mean work is identical.
+    assert!((trace.total_work() - shuffled.total_work()).abs() < 1e-6);
+}
+
+#[test]
+fn internal_shuffle_preserves_long_range_structure() {
+    // Internal shuffling (the dual of Fig. 6) keeps block means, so
+    // an aggregated Hurst estimate is unchanged while the fine-scale
+    // correlation collapses.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+    let g = fgn::davies_harte(&mut rng, 0.9, 1 << 15);
+    let trace = Trace::new(0.01, g.iter().map(|v| v.abs() + 0.1).collect());
+    let block = 64;
+    let shuffled = shuffle::internal_shuffle(&trace, block, &mut rng);
+    let agg_orig = variance_time_estimate(trace.aggregate(block).rates()).h;
+    let agg_shuf = variance_time_estimate(shuffled.aggregate(block).rates()).h;
+    assert!(
+        (agg_orig - agg_shuf).abs() < 0.05,
+        "block-level H changed: {agg_orig} vs {agg_shuf}"
+    );
+}
+
+#[test]
+fn corpus_experiments_are_deterministic_end_to_end() {
+    use lrd_experiments::figures::{fig09, Profile};
+    use lrd_experiments::Corpus;
+    let a = fig09::run(&Corpus::quick(), Profile::Quick);
+    let b = fig09::run(&Corpus::quick(), Profile::Quick);
+    assert_eq!(a.len(), b.len());
+    for (sa, sb) in a.iter().zip(&b) {
+        assert_eq!(sa.points, sb.points, "nondeterminism in {}", sa.name);
+    }
+}

@@ -4,7 +4,7 @@
 //! This substantiates the paper's `O(M²) → O(M log M)` remark
 //! (Sec. II) with measured numbers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrd_bench::Harness;
 use lrd_fft::{convolve_direct, convolve_fft, Convolver, Fft};
 use std::hint::black_box;
 
@@ -16,19 +16,19 @@ fn probability_vector(n: usize, phase: f64) -> Vec<f64> {
     raw.into_iter().map(|v| v / total).collect()
 }
 
-fn bench_conv_crossover(c: &mut Criterion) {
-    let mut g = c.benchmark_group("conv_crossover");
+fn bench_conv_crossover(c: &mut Harness) {
+    let mut g = c.group("conv_crossover");
     for m in [64usize, 256, 1024, 4096] {
         // Solver-shaped problem: kernel 2M+1, signal M+1.
         let kernel = probability_vector(2 * m + 1, 0.37);
         let signal = probability_vector(m + 1, 0.73);
-        g.bench_with_input(BenchmarkId::new("direct", m), &m, |b, _| {
+        g.bench_function(format!("direct/{m}"), |b| {
             b.iter(|| black_box(convolve_direct(&kernel, &signal)))
         });
-        g.bench_with_input(BenchmarkId::new("fft", m), &m, |b, _| {
+        g.bench_function(format!("fft/{m}"), |b| {
             b.iter(|| black_box(convolve_fft(&kernel, &signal)))
         });
-        g.bench_with_input(BenchmarkId::new("planned", m), &m, |b, _| {
+        g.bench_function(format!("planned/{m}"), |b| {
             let mut cv = Convolver::new(&kernel, signal.len());
             b.iter(|| black_box(cv.conv(&signal)))
         });
@@ -36,10 +36,10 @@ fn bench_conv_crossover(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_raw_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft_transform");
+fn bench_raw_fft(c: &mut Harness) {
+    let mut g = c.group("fft_transform");
     for n in [1024usize, 8192, 65536] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+        g.bench_with_input(n, &n, |b, &n| {
             let plan = Fft::new(n);
             let data: Vec<lrd_fft::Complex> = (0..n)
                 .map(|i| lrd_fft::Complex::new((i as f64).sin(), 0.0))
@@ -54,5 +54,9 @@ fn bench_raw_fft(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_conv_crossover, bench_raw_fft);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_conv_crossover(&mut h);
+    bench_raw_fft(&mut h);
+    h.finish();
+}

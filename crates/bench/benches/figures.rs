@@ -5,16 +5,15 @@
 //! (Fig. 6 is the shuffling procedure itself — benched in `traffic.rs`
 //! as `external_shuffle`; Fig. 1 is a proof illustration with no data.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use lrd_bench::corpus;
+use lrd_bench::{corpus, Harness};
 use lrd_experiments::figures::{
     fig02, fig03, fig04_05, fig07_08, fig09, fig10_11, fig12_13, fig14, markov_baseline, Profile,
 };
 use std::hint::black_box;
 
-fn bench_figures(c: &mut Criterion) {
+fn bench_figures(c: &mut Harness) {
     let corpus = corpus();
-    let mut g = c.benchmark_group("figures");
+    let mut g = c.group("figures");
     g.sample_size(10);
 
     g.bench_function("fig02_bounds_convergence", |b| {
@@ -59,5 +58,8 @@ fn bench_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_figures(&mut h);
+    h.finish();
+}

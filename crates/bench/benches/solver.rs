@@ -6,15 +6,14 @@
 //! workstation" — the `solve_*` benches are the modern equivalent of
 //! that claim.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lrd_bench::reference_model;
+use lrd_bench::{reference_model, Harness};
 use lrd_fluidq::{solve, BoundSolver, LossKernel, SolverOptions, WorkDistribution};
 use std::hint::black_box;
 
-fn bench_step_cost(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solver_step");
+fn bench_step_cost(c: &mut Harness) {
+    let mut g = c.group("solver_step");
     for bins in [128usize, 512, 2048, 8192] {
-        g.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, &bins| {
+        g.bench_with_input(bins, &bins, |b, &bins| {
             let mut solver = BoundSolver::new(reference_model(), bins);
             b.iter(|| {
                 solver.step();
@@ -25,8 +24,8 @@ fn bench_step_cost(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_full_solve(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solver_solve");
+fn bench_full_solve(c: &mut Harness) {
+    let mut g = c.group("solver_solve");
     g.sample_size(10);
     let model = reference_model();
     g.bench_function("paper_protocol", |b| {
@@ -40,11 +39,11 @@ fn bench_full_solve(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_refinement_ablation(c: &mut Criterion) {
+fn bench_refinement_ablation(c: &mut Harness) {
     // Warm restart (footnote 3) vs solving directly at the fine grid
     // from cold: the warm start should reach stationarity at the fine
     // grid with fewer fine-grid iterations.
-    let mut g = c.benchmark_group("solver_refinement_ablation");
+    let mut g = c.group("solver_refinement_ablation");
     g.sample_size(10);
     let model = reference_model();
     let fine = 1024usize;
@@ -75,27 +74,25 @@ fn bench_refinement_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_construction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solver_setup");
+fn bench_construction(c: &mut Harness) {
+    let mut g = c.group("solver_setup");
     let model = reference_model();
     for bins in [512usize, 4096] {
-        g.bench_with_input(
-            BenchmarkId::new("work_distribution", bins),
-            &bins,
-            |b, &bins| b.iter(|| black_box(WorkDistribution::build(&model, bins))),
-        );
-        g.bench_with_input(BenchmarkId::new("loss_kernel", bins), &bins, |b, &bins| {
+        g.bench_with_input(format!("work_distribution/{bins}"), &bins, |b, &bins| {
+            b.iter(|| black_box(WorkDistribution::build(&model, bins)))
+        });
+        g.bench_with_input(format!("loss_kernel/{bins}"), &bins, |b, &bins| {
             b.iter(|| black_box(LossKernel::build(&model, bins)))
         });
     }
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_step_cost,
-    bench_full_solve,
-    bench_refinement_ablation,
-    bench_construction
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_step_cost(&mut h);
+    bench_full_solve(&mut h);
+    bench_refinement_ablation(&mut h);
+    bench_construction(&mut h);
+    h.finish();
+}

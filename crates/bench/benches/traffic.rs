@@ -2,19 +2,19 @@
 //! Hosking), the external shuffle of Fig. 6, trace simulation
 //! throughput, and marginal superposition.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrd_bench::Harness;
+use lrd_rng::rngs::SmallRng;
+use lrd_rng::SeedableRng;
 use lrd_sim::simulate_trace;
 use lrd_traffic::shuffle::external_shuffle;
 use lrd_traffic::{fgn, synth, Marginal};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_fgn(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fgn_generation");
+fn bench_fgn(c: &mut Harness) {
+    let mut g = c.group("fgn_generation");
     g.sample_size(10);
     for n in [1usize << 12, 1 << 16] {
-        g.bench_with_input(BenchmarkId::new("davies_harte", n), &n, |b, &n| {
+        g.bench_with_input(format!("davies_harte/{n}"), &n, |b, &n| {
             let mut rng = SmallRng::seed_from_u64(1);
             b.iter(|| black_box(fgn::davies_harte(&mut rng, 0.85, n)))
         });
@@ -27,8 +27,8 @@ fn bench_fgn(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_synthesis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_synthesis");
+fn bench_synthesis(c: &mut Harness) {
+    let mut g = c.group("trace_synthesis");
     g.sample_size(10);
     g.bench_function("mtv_like_16k", |b| {
         b.iter(|| black_box(synth::mtv_like_with_len(3, 1 << 14)))
@@ -39,12 +39,12 @@ fn bench_synthesis(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_shuffle_and_sim(c: &mut Criterion) {
+fn bench_shuffle_and_sim(c: &mut Harness) {
     let trace = synth::mtv_like_with_len(5, 1 << 15);
     let marginal = trace.marginal(50);
     let service = marginal.service_rate_for_utilization(0.8);
 
-    let mut g = c.benchmark_group("trace_pipeline");
+    let mut g = c.group("trace_pipeline");
     g.bench_function("external_shuffle_32k", |b| {
         let mut rng = SmallRng::seed_from_u64(6);
         b.iter(|| black_box(external_shuffle(&trace, 64, &mut rng)))
@@ -55,12 +55,12 @@ fn bench_shuffle_and_sim(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_marginal_ops(c: &mut Criterion) {
+fn bench_marginal_ops(c: &mut Harness) {
     let m = Marginal::new(
         &(0..50).map(|i| i as f64 * 0.4 + 0.1).collect::<Vec<_>>(),
         &vec![0.02; 50],
     );
-    let mut g = c.benchmark_group("marginal_ops");
+    let mut g = c.group("marginal_ops");
     g.bench_function("superpose_5_of_50", |b| {
         b.iter(|| black_box(m.superpose(5, 200)))
     });
@@ -68,11 +68,11 @@ fn bench_marginal_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fgn,
-    bench_synthesis,
-    bench_shuffle_and_sim,
-    bench_marginal_ops
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_fgn(&mut h);
+    bench_synthesis(&mut h);
+    bench_shuffle_and_sim(&mut h);
+    bench_marginal_ops(&mut h);
+    h.finish();
+}

@@ -1,0 +1,215 @@
+//! A minimal wall-clock benchmark harness on `std::time::Instant`.
+//!
+//! The build environment is offline, so the workspace carries no
+//! external benchmark framework. This module provides the small slice
+//! of the familiar group/function/iter API the benches use: each
+//! benchmark is warmed up, then measured over a fixed number of
+//! samples, and the median/min/max per-iteration times are printed in
+//! a stable one-line-per-benchmark format.
+//!
+//! Usage from a `harness = false` bench target:
+//!
+//! ```ignore
+//! fn main() {
+//!     let mut h = Harness::from_args();
+//!     let mut g = h.group("solver_step");
+//!     g.bench_function("128", |b| b.iter(|| work()));
+//!     g.finish();
+//! }
+//! ```
+//!
+//! A positional command-line argument acts as a substring filter on
+//! `group/name`; flags passed by `cargo bench` (e.g. `--bench`) are
+//! ignored.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(30);
+/// Warm-up budget per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(60);
+
+/// Top-level harness: parses CLI args, owns the report.
+pub struct Harness {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args`, ignoring flags and
+    /// treating the first positional argument as a name filter.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Harness { filter, ran: 0 }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Prints the closing summary. Call once at the end of `main`.
+    pub fn finish(&self) {
+        println!("{} benchmark(s) run", self.ran);
+    }
+}
+
+/// A named group of related benchmarks sharing a sample size.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Sets the number of measurement samples (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark; `id` is appended to the group name.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&full);
+        self.harness.ran += 1;
+        self
+    }
+
+    /// Criterion-style alias: `bench_with_input(id, &input, |b, &input| ...)`.
+    pub fn bench_with_input<I: Copy>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let input = *input;
+        self.bench_function(id, move |b| f(b, &input))
+    }
+
+    /// Ends the group (spacing line in the report).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the measuring.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, keeping its result alive via `black_box` so the
+    /// optimizer cannot delete the work.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Batch iterations so each sample lasts ~SAMPLE_TARGET.
+        let batch = (SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-12)).ceil().max(1.0) as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<48} (no measurement — closure never called iter)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = s[s.len() / 2];
+        let min = s[0];
+        let max = s[s.len() - 1];
+        println!(
+            "{name:<48} median {:>12}  min {:>12}  max {:>12}",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} s", seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s > 0.0 && s.is_finite()));
+    }
+
+    #[test]
+    fn groups_filter_by_substring() {
+        let mut h = Harness {
+            filter: Some("match_me".into()),
+            ran: 0,
+        };
+        let mut g = h.group("g");
+        let mut hits = 0;
+        g.bench_function("match_me", |b| {
+            b.iter(|| 1 + 1);
+        });
+        g.bench_function("skipped", |_b| {
+            hits += 1;
+        });
+        g.finish();
+        assert_eq!(hits, 0, "filtered bench must not run");
+        assert_eq!(h.ran, 1);
+    }
+
+    #[test]
+    fn time_formatting_covers_ranges() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

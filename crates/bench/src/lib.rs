@@ -4,6 +4,10 @@
 //! kernels) all consume the same cached quick-profile corpus so that
 //! `cargo bench` measures computation, not trace synthesis.
 
+pub mod harness;
+
+pub use harness::{Bencher, Group, Harness};
+
 use lrd_experiments::Corpus;
 use std::sync::OnceLock;
 

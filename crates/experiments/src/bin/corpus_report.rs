@@ -6,7 +6,7 @@ use lrd_experiments::{output, Corpus};
 use lrd_stats::{wavelet_estimate, whittle_estimate};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = lrd_experiments::cli::run_config().quick;
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let mut out = String::from(
         "trace,samples,dt_s,mean_rate_mbps,std_mbps,target_h,wavelet_h,whittle_h,mean_epoch_s,theta_s\n",

@@ -4,7 +4,7 @@ use lrd_experiments::figures::fig03;
 use lrd_experiments::{output, Corpus};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = lrd_experiments::cli::run_config().quick;
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let series = fig03::run(&corpus);
     let csv = fig03::to_csv(&series);

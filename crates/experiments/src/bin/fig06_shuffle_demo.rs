@@ -5,11 +5,11 @@
 
 use lrd_experiments::{output, Corpus};
 use lrd_traffic::shuffle::external_shuffle;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use lrd_rng::rngs::SmallRng;
+use lrd_rng::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = lrd_experiments::cli::run_config().quick;
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let trace = &corpus.mtv.trace;
     let block = 64usize; // samples per shuffle block

@@ -4,7 +4,7 @@ use lrd_experiments::figures::{fig10_11, Profile};
 use lrd_experiments::{output, Corpus};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = lrd_experiments::cli::run_config().quick;
     let profile = if quick { Profile::Quick } else { Profile::Full };
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let grid = fig10_11::fig10(&corpus, profile);

@@ -13,7 +13,7 @@ use lrd_fluidq::solve;
 use std::time::Instant;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = lrd_experiments::cli::run_config().quick;
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let opts = lrd_experiments::figures::solver_options();
 

@@ -1,0 +1,107 @@
+//! Shared command-line handling for the figure binaries.
+//!
+//! Every binary accepts the same arguments (`--quick` and `--help`),
+//! so parsing lives here. Invalid invocations produce a typed
+//! [`CliError`] — the binaries print it to stderr and exit with status
+//! 1 instead of silently ignoring unknown flags (the degradation
+//! contract in DESIGN.md: bad configuration is an error, not a guess).
+
+use std::fmt;
+
+/// How a figure binary should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunConfig {
+    /// Use the reduced quick-profile grids (`--quick`).
+    pub quick: bool,
+}
+
+/// Why the command line was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// An argument no figure binary understands.
+    UnknownArgument(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownArgument(arg) => {
+                write!(f, "unknown argument `{arg}` (expected --quick or --help)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses an argument list (without the program name).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliError> {
+    let mut config = RunConfig::default();
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => config.quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: <figure binary> [--quick]\n\
+                     \n\
+                     --quick   reduced grids (seconds instead of minutes)\n\
+                     --help    this message\n\
+                     \n\
+                     Output: CSV on stdout, progress on stderr, results\n\
+                     file under results/."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(CliError::UnknownArgument(other.to_string())),
+        }
+    }
+    Ok(config)
+}
+
+/// Parses `std::env::args()`, printing a typed error and exiting with
+/// status 1 on an invalid command line — the shared entry point of all
+/// figure binaries.
+pub fn run_config() -> RunConfig {
+    match parse(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_full_profile() {
+        assert_eq!(parse(strings(&[])), Ok(RunConfig { quick: false }));
+    }
+
+    #[test]
+    fn quick_flag() {
+        assert_eq!(parse(strings(&["--quick"])), Ok(RunConfig { quick: true }));
+    }
+
+    #[test]
+    fn unknown_arguments_are_typed_errors() {
+        for bad in ["--fast", "quick", "-q", "--buffer=2", "extra"] {
+            match parse(strings(&[bad])) {
+                Err(CliError::UnknownArgument(a)) => assert_eq!(a, bad),
+                other => panic!("expected UnknownArgument for {bad}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_message_names_the_argument() {
+        let e = parse(strings(&["--bogus"])).unwrap_err();
+        assert!(e.to_string().contains("--bogus"));
+    }
+}

@@ -13,8 +13,8 @@ use crate::figures::{log_space, Profile};
 use crate::output::Grid;
 use lrd_sim::simulate_trace;
 use lrd_traffic::shuffle::external_shuffle_seconds;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use lrd_rng::rngs::SmallRng;
+use lrd_rng::SeedableRng;
 
 /// Shuffle-and-simulate loss grid over `(normalized buffer, cutoff)`.
 ///

@@ -18,10 +18,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod corpus;
 pub mod figures;
 pub mod gnuplot;
 pub mod output;
 
+pub use cli::RunConfig;
 pub use corpus::Corpus;
 pub use output::{Grid, Series};

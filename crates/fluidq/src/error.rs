@@ -1,0 +1,136 @@
+//! Typed errors and degradation reporting for the loss solver.
+//!
+//! The solver distinguishes two failure classes:
+//!
+//! * **Errors** ([`SolverError`]) — the *question* was malformed
+//!   (invalid [`SolverOptions`](crate::SolverOptions) or grid size).
+//!   [`try_solve`](crate::try_solve) returns `Err` and computes
+//!   nothing.
+//! * **Degradation** ([`DegradationReason`]) — the question was fine
+//!   but the answer is weaker than requested. The solver still returns
+//!   the best *provable* bounds it reached, with
+//!   [`LossSolution::converged`](crate::LossSolution::converged) set to
+//!   `false` (or, for [`DegradationReason::MassLeak`], possibly `true`
+//!   with a caveat) and the machine-readable reason attached. Callers
+//!   that only need bounds can ignore it; callers that need the target
+//!   gap can branch on it.
+
+use std::fmt;
+
+/// Why the solver rejected its configuration outright.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverError {
+    /// A [`SolverOptions`](crate::SolverOptions) field (or an explicit
+    /// grid size) was outside its domain. The `Display` form is the
+    /// exact panic message of the corresponding infallible entry
+    /// point.
+    InvalidOption {
+        /// Which option was invalid.
+        option: &'static str,
+        /// The offending value (integer options are widened to `f64`).
+        value: f64,
+        /// Human-readable statement of the domain, phrased as
+        /// "must ..." so it composes into the panic message.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SolverError::InvalidOption {
+                option,
+                value,
+                constraint,
+            } => write!(f, "{option} {constraint}, got {value}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Why a returned [`LossSolution`](crate::LossSolution) is weaker than
+/// the requested gap — graceful-degradation diagnostics, not errors.
+///
+/// Whatever the reason, the returned bounds still satisfy
+/// `0 <= lower <= upper` and are finite: they remain *provable* bounds
+/// for the discretization reached, just not as tight as asked for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradationReason {
+    /// Refinement would exceed
+    /// [`SolverOptions::max_bins`](crate::SolverOptions::max_bins); the
+    /// bounds are discretization-limited at this ceiling.
+    GridCeiling {
+        /// The configured refinement ceiling.
+        max_bins: usize,
+    },
+    /// The `iterations × bins` work budget
+    /// ([`SolverOptions::max_total_cost`](crate::SolverOptions::max_total_cost))
+    /// ran out before the gap criterion was met.
+    BudgetExhausted {
+        /// Work spent when the solver stopped.
+        spent: f64,
+        /// The configured budget.
+        budget: f64,
+    },
+    /// Probability mass drifted off the occupancy chains by more than
+    /// the conservation tolerance before renormalization — the bounds
+    /// are still ordered but carry extra numerical error of this
+    /// magnitude.
+    MassLeak {
+        /// Worst observed `|Σq − 1|` across all iterations.
+        deficit: f64,
+    },
+    /// A loss bound became non-finite; the solver stopped and returned
+    /// the last finite bounds.
+    NumericalBreakdown,
+}
+
+impl fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DegradationReason::GridCeiling { max_bins } => {
+                write!(f, "grid refinement ceiling reached (max_bins = {max_bins})")
+            }
+            DegradationReason::BudgetExhausted { spent, budget } => {
+                write!(f, "work budget exhausted ({spent:.3e} of {budget:.3e})")
+            }
+            DegradationReason::MassLeak { deficit } => {
+                write!(f, "probability mass drifted by {deficit:.3e} before renormalization")
+            }
+            DegradationReason::NumericalBreakdown => {
+                write!(f, "loss bounds became non-finite; returning last finite bounds")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_panics() {
+        let e = SolverError::InvalidOption {
+            option: "rel_gap",
+            value: 0.0,
+            constraint: "must be positive",
+        };
+        assert_eq!(e.to_string(), "rel_gap must be positive, got 0");
+    }
+
+    #[test]
+    fn degradation_reasons_render() {
+        for r in [
+            DegradationReason::GridCeiling { max_bins: 8 },
+            DegradationReason::BudgetExhausted {
+                spent: 1e3,
+                budget: 5e2,
+            },
+            DegradationReason::MassLeak { deficit: 1e-4 },
+            DegradationReason::NumericalBreakdown,
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

@@ -181,9 +181,9 @@ mod tests {
     #[test]
     fn kernel_matches_monte_carlo() {
         use lrd_traffic::Interarrival;
-        use rand::SeedableRng;
+        use lrd_rng::SeedableRng;
         let m = model();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(77);
         for &x in &[0.0, 0.5, 1.0, 1.9] {
             let mut acc = 0.0;
             let n = 400_000;

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod design;
+pub mod error;
 pub mod horizon;
 pub mod kernel;
 pub mod model;
@@ -51,9 +52,10 @@ pub mod solver;
 pub mod wdist;
 
 pub use design::{max_utilization_for_loss, min_buffer_for_loss, min_streams_for_loss, Design};
+pub use error::{DegradationReason, SolverError};
 pub use horizon::{correlation_horizon, empirical_horizon};
 pub use kernel::LossKernel;
 pub use model::QueueModel;
 pub use occupancy::Bracket;
-pub use solver::{solve, BoundSolver, LossSolution, SolverOptions};
+pub use solver::{solve, try_solve, BoundSolver, LossSolution, SolverOptions, MASS_TOLERANCE};
 pub use wdist::WorkDistribution;

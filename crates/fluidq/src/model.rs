@@ -1,7 +1,7 @@
 //! The queue-plus-traffic description shared by the solver, the
 //! analytic kernels, and the simulator cross-checks.
 
-use lrd_traffic::{Interarrival, Marginal};
+use lrd_traffic::{Interarrival, Marginal, ModelError};
 
 /// A finite-buffer fluid queue fed by the modulated fluid source.
 ///
@@ -27,28 +27,62 @@ impl<D: Interarrival> QueueModel<D> {
     /// finite, or if any marginal rate coincides with the service rate
     /// (the paper excludes this trivial case: such a state leaves the
     /// occupancy unchanged, and the increment `W` would have an atom at
-    /// zero that the bound construction does not model).
+    /// zero that the bound construction does not model). Use
+    /// [`QueueModel::try_new`] for a fallible variant.
     pub fn new(marginal: Marginal, intervals: D, service_rate: f64, buffer: f64) -> Self {
-        assert!(
-            service_rate > 0.0 && service_rate.is_finite(),
-            "service rate must be positive and finite"
-        );
-        assert!(
-            buffer > 0.0 && buffer.is_finite(),
-            "buffer must be positive and finite"
-        );
-        for &r in marginal.rates() {
-            assert!(
-                r != service_rate,
-                "marginal rate {r} equals the service rate; perturb it slightly"
-            );
+        QueueModel::try_new(marginal, intervals, service_rate, buffer)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns a typed [`ModelError`] instead of
+    /// panicking on an ill-posed queue description.
+    pub fn try_new(
+        marginal: Marginal,
+        intervals: D,
+        service_rate: f64,
+        buffer: f64,
+    ) -> Result<Self, ModelError> {
+        if !service_rate.is_finite() {
+            return Err(ModelError::NonFiniteInput {
+                param: "service rate",
+                value: service_rate,
+            });
         }
-        QueueModel {
+        if service_rate <= 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "service rate",
+                value: service_rate,
+                constraint: "must be positive and finite",
+            });
+        }
+        if !buffer.is_finite() {
+            return Err(ModelError::NonFiniteInput {
+                param: "buffer",
+                value: buffer,
+            });
+        }
+        if buffer <= 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "buffer",
+                value: buffer,
+                constraint: "must be positive and finite",
+            });
+        }
+        for &r in marginal.rates() {
+            if r == service_rate {
+                return Err(ModelError::ParamOutOfDomain {
+                    param: "marginal rate",
+                    value: r,
+                    constraint: "equals the service rate; perturb it slightly",
+                });
+            }
+        }
+        Ok(QueueModel {
             marginal,
             intervals,
             service_rate,
             buffer,
-        }
+        })
     }
 
     /// Creates a model from a *normalized* buffer size in seconds
@@ -62,6 +96,22 @@ impl<D: Interarrival> QueueModel<D> {
         QueueModel::new(marginal, intervals, service_rate, service_rate * buffer_seconds)
     }
 
+    /// Fallible variant of [`QueueModel::with_normalized_buffer`].
+    pub fn try_with_normalized_buffer(
+        marginal: Marginal,
+        intervals: D,
+        service_rate: f64,
+        buffer_seconds: f64,
+    ) -> Result<Self, ModelError> {
+        if !buffer_seconds.is_finite() {
+            return Err(ModelError::NonFiniteInput {
+                param: "normalized buffer",
+                value: buffer_seconds,
+            });
+        }
+        QueueModel::try_new(marginal, intervals, service_rate, service_rate * buffer_seconds)
+    }
+
     /// Creates a model by choosing the service rate for a target
     /// utilization `ρ = λ̄/c` and the buffer from its normalized size
     /// in seconds — the exact parameterization of the paper's
@@ -72,8 +122,44 @@ impl<D: Interarrival> QueueModel<D> {
         utilization: f64,
         buffer_seconds: f64,
     ) -> Self {
-        let c = marginal.service_rate_for_utilization(utilization);
-        QueueModel::with_normalized_buffer(marginal, intervals, c, buffer_seconds)
+        QueueModel::try_from_utilization(marginal, intervals, utilization, buffer_seconds)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`QueueModel::from_utilization`].
+    pub fn try_from_utilization(
+        marginal: Marginal,
+        intervals: D,
+        utilization: f64,
+        buffer_seconds: f64,
+    ) -> Result<Self, ModelError> {
+        if !utilization.is_finite() {
+            return Err(ModelError::NonFiniteInput {
+                param: "utilization",
+                value: utilization,
+            });
+        }
+        if utilization <= 0.0 || utilization > 1.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "utilization",
+                value: utilization,
+                constraint: "must be in (0, 1]",
+            });
+        }
+        let mean = marginal.mean();
+        if mean <= 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "mean rate",
+                value: mean,
+                constraint: "must be positive to set a utilization",
+            });
+        }
+        QueueModel::try_with_normalized_buffer(
+            marginal,
+            intervals,
+            mean / utilization,
+            buffer_seconds,
+        )
     }
 
     /// The fluid-rate marginal `(Π, Λ)`.

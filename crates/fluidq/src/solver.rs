@@ -8,11 +8,17 @@
 //! bounds stall at a discretization-limited gap, double `M` and
 //! warm-restart from the re-binned coarse solution (footnote 3).
 
+use crate::error::{DegradationReason, SolverError};
 use crate::kernel::LossKernel;
 use crate::model::QueueModel;
 use crate::wdist::WorkDistribution;
 use lrd_fft::Convolver;
 use lrd_traffic::Interarrival;
+
+/// Mass-conservation tolerance: drift beyond this (before the
+/// per-step renormalization) is reported as
+/// [`DegradationReason::MassLeak`].
+pub const MASS_TOLERANCE: f64 = 1e-6;
 
 /// Options controlling the convergence protocol. The defaults are the
 /// paper's published settings.
@@ -74,6 +80,11 @@ pub struct LossSolution {
     pub bins: usize,
     /// Whether the gap criterion (or the zero floor) was met.
     pub converged: bool,
+    /// Why the solution is weaker than requested, when it is: the
+    /// machine-readable degradation reason, `None` for a clean solve.
+    /// The bounds are valid (finite, ordered, provable for the grid
+    /// reached) regardless.
+    pub degradation: Option<DegradationReason>,
 }
 
 impl LossSolution {
@@ -86,6 +97,12 @@ impl LossSolution {
     /// Whether the solution was clamped to zero by the floor rule.
     pub fn is_zero(&self) -> bool {
         self.upper == 0.0
+    }
+
+    /// Whether the solver had to degrade (budget, grid ceiling, mass
+    /// leak, or numerical breakdown) to produce this answer.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation.is_some()
     }
 }
 
@@ -101,14 +118,32 @@ pub struct BoundSolver<D> {
     conv_upper: Convolver,
     kernel: LossKernel,
     iterations: usize,
+    worst_mass_drift: f64,
 }
 
 impl<D: Interarrival + Clone> BoundSolver<D> {
     /// Creates the solver at resolution `bins`, with the lower chain
     /// starting empty (`q_L = δ_0`) and the upper chain starting full
     /// (`q_H = δ_B`), per paper Eq. 17.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins < 2`. Use [`BoundSolver::try_new`] for a
+    /// fallible variant.
     pub fn new(model: QueueModel<D>, bins: usize) -> Self {
-        assert!(bins >= 2, "need at least two bins");
+        BoundSolver::try_new(model, bins).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns a typed [`SolverError`] instead of
+    /// panicking on a degenerate grid.
+    pub fn try_new(model: QueueModel<D>, bins: usize) -> Result<Self, SolverError> {
+        if bins < 2 {
+            return Err(SolverError::InvalidOption {
+                option: "bins",
+                value: bins as f64,
+                constraint: "must be at least 2 (the chains need at least two bins)",
+            });
+        }
         let wdist = WorkDistribution::build(&model, bins);
         let kernel = LossKernel::build(&model, bins);
         let mut q_lower = vec![0.0; bins + 1];
@@ -117,7 +152,7 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
         q_upper[bins] = 1.0;
         let conv_lower = Convolver::new(wdist.lower(), bins + 1);
         let conv_upper = Convolver::new(wdist.upper(), bins + 1);
-        BoundSolver {
+        Ok(BoundSolver {
             model,
             bins,
             q_lower,
@@ -126,7 +161,8 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
             conv_upper,
             kernel,
             iterations: 0,
-        }
+            worst_mass_drift: 0.0,
+        })
     }
 
     /// Grid resolution `M`.
@@ -169,12 +205,23 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
     /// out-of-range mass onto the boundary atoms at `0` and `B`
     /// (Eq. 19–20).
     pub fn step(&mut self) {
-        Self::step_chain(&mut self.q_lower, &mut self.conv_lower, self.bins);
-        Self::step_chain(&mut self.q_upper, &mut self.conv_upper, self.bins);
+        let drift_lower = Self::step_chain(&mut self.q_lower, &mut self.conv_lower, self.bins);
+        let drift_upper = Self::step_chain(&mut self.q_upper, &mut self.conv_upper, self.bins);
+        self.worst_mass_drift = self.worst_mass_drift.max(drift_lower).max(drift_upper);
         self.iterations += 1;
     }
 
-    fn step_chain(q: &mut Vec<f64>, conv: &mut Convolver, bins: usize) {
+    /// Worst observed `|Σq − 1|` across all steps so far, measured
+    /// before the per-step renormalization. Values above
+    /// [`MASS_TOLERANCE`] indicate the convolution is leaking mass and
+    /// surface as [`DegradationReason::MassLeak`] in [`try_solve`].
+    pub fn mass_drift(&self) -> f64 {
+        self.worst_mass_drift
+    }
+
+    /// Advances one chain and returns the pre-renormalization mass
+    /// deviation `|Σq − 1|` of that step.
+    fn step_chain(q: &mut Vec<f64>, conv: &mut Convolver, bins: usize) -> f64 {
         // u has length 3M+1; output index k corresponds to occupancy
         // index i = k − M in −M..=2M.
         let u = conv.conv(q);
@@ -189,7 +236,9 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
         // i >= M  ⇔  k >= 2M → atom at B.
         next[bins] = u[2 * bins..].iter().sum::<f64>();
         // FFT round-off control: clamp and renormalize (mass is
-        // conserved analytically).
+        // conserved analytically). The deviation is returned rather
+        // than asserted so release builds surface it as a
+        // MassLeak degradation instead of silently renormalizing.
         let mut total = 0.0;
         for v in next.iter_mut() {
             if *v < 0.0 {
@@ -197,11 +246,13 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
             }
             total += *v;
         }
-        debug_assert!((total - 1.0).abs() < 1e-6, "mass drifted to {total}");
-        for v in next.iter_mut() {
-            *v /= total;
+        if total > 0.0 {
+            for v in next.iter_mut() {
+                *v /= total;
+            }
         }
         *q = next;
+        (total - 1.0).abs()
     }
 
     /// Doubles the grid resolution, transplanting the current bound
@@ -229,45 +280,154 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
     }
 }
 
+/// Validates a [`SolverOptions`], returning the typed reason for the
+/// first field found outside its domain.
+fn validate_options(opts: &SolverOptions) -> Result<(), SolverError> {
+    if opts.initial_bins < 2 {
+        return Err(SolverError::InvalidOption {
+            option: "initial_bins",
+            value: opts.initial_bins as f64,
+            constraint: "must be at least 2",
+        });
+    }
+    if opts.max_bins < 2 {
+        return Err(SolverError::InvalidOption {
+            option: "max_bins",
+            value: opts.max_bins as f64,
+            constraint: "must be at least 2",
+        });
+    }
+    if opts.rel_gap <= 0.0 || !opts.rel_gap.is_finite() {
+        return Err(SolverError::InvalidOption {
+            option: "rel_gap",
+            value: opts.rel_gap,
+            constraint: "must be positive",
+        });
+    }
+    if opts.zero_floor < 0.0 || !opts.zero_floor.is_finite() {
+        return Err(SolverError::InvalidOption {
+            option: "zero_floor",
+            value: opts.zero_floor,
+            constraint: "must be non-negative and finite",
+        });
+    }
+    if opts.max_iterations_per_level == 0 {
+        return Err(SolverError::InvalidOption {
+            option: "max_iterations_per_level",
+            value: 0.0,
+            constraint: "must be at least 1",
+        });
+    }
+    if !(opts.stall_tolerance >= 0.0 && opts.stall_tolerance < 1.0) {
+        return Err(SolverError::InvalidOption {
+            option: "stall_tolerance",
+            value: opts.stall_tolerance,
+            constraint: "must lie in [0, 1)",
+        });
+    }
+    if opts.stall_window == 0 {
+        return Err(SolverError::InvalidOption {
+            option: "stall_window",
+            value: 0.0,
+            constraint: "must be at least 1",
+        });
+    }
+    if opts.max_total_cost <= 0.0 || opts.max_total_cost.is_nan() {
+        return Err(SolverError::InvalidOption {
+            option: "max_total_cost",
+            value: opts.max_total_cost,
+            constraint: "must be positive",
+        });
+    }
+    Ok(())
+}
+
 /// Runs the full convergence protocol and returns the loss bounds.
+///
+/// # Panics
+///
+/// Panics on options [`try_solve`] rejects; degraded-but-valid
+/// outcomes (budget or grid exhaustion, mass leak, numerical
+/// breakdown) never panic in either variant.
 pub fn solve<D: Interarrival + Clone>(model: &QueueModel<D>, opts: &SolverOptions) -> LossSolution {
-    assert!(opts.rel_gap > 0.0, "rel_gap must be positive");
-    assert!(opts.initial_bins >= 2, "initial_bins must be at least 2");
-    let mut solver = BoundSolver::new(model.clone(), opts.initial_bins.min(opts.max_bins));
+    try_solve(model, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`solve`].
+///
+/// `Err` is returned **only** for a malformed [`SolverOptions`] — a
+/// question the solver cannot even start on. Every outcome of the
+/// iteration itself, including running out of budget or grid
+/// resolution, yields `Ok` with the best provable bounds reached and a
+/// [`DegradationReason`] explaining what was given up; such solutions
+/// always satisfy `0 <= lower <= upper < ∞`.
+pub fn try_solve<D: Interarrival + Clone>(
+    model: &QueueModel<D>,
+    opts: &SolverOptions,
+) -> Result<LossSolution, SolverError> {
+    validate_options(opts)?;
+    let mut solver = BoundSolver::try_new(model.clone(), opts.initial_bins.min(opts.max_bins))?;
     let mut total_iterations = 0usize;
     let mut total_cost = 0.0f64;
+
+    // Attaches the mass-conservation diagnostic to a finished
+    // solution, unless a more fundamental reason is already recorded.
+    let finish = |mut sol: LossSolution, drift: f64| {
+        if sol.degradation.is_none() && drift > MASS_TOLERANCE {
+            sol.degradation = Some(DegradationReason::MassLeak { deficit: drift });
+        }
+        sol
+    };
 
     loop {
         let mut prev_gap = f64::INFINITY;
         let mut slow_iters = 0usize;
 
         let mut out_of_budget = false;
+        let mut last_finite = solver.loss_bounds();
+        let mut breakdown = false;
         for _ in 0..opts.max_iterations_per_level {
             solver.step();
             total_iterations += 1;
             total_cost += solver.bins() as f64;
             let (lower, upper) = solver.loss_bounds();
 
+            if !(lower.is_finite() && upper.is_finite()) {
+                // Numerical breakdown: stop immediately and fall back
+                // to the last bounds that were still finite.
+                breakdown = true;
+                break;
+            }
+            last_finite = (lower, upper);
+
             if upper < opts.zero_floor {
                 // The paper's floor rule: below practical importance.
-                return LossSolution {
-                    lower: 0.0,
-                    upper: 0.0,
-                    iterations: total_iterations,
-                    bins: solver.bins(),
-                    converged: true,
-                };
+                return Ok(finish(
+                    LossSolution {
+                        lower: 0.0,
+                        upper: 0.0,
+                        iterations: total_iterations,
+                        bins: solver.bins(),
+                        converged: true,
+                        degradation: None,
+                    },
+                    solver.mass_drift(),
+                ));
             }
             let gap = upper - lower;
             let mid = 0.5 * (upper + lower);
             if gap <= opts.rel_gap * mid {
-                return LossSolution {
-                    lower,
-                    upper,
-                    iterations: total_iterations,
-                    bins: solver.bins(),
-                    converged: true,
-                };
+                return Ok(finish(
+                    LossSolution {
+                        lower,
+                        upper,
+                        iterations: total_iterations,
+                        bins: solver.bins(),
+                        converged: true,
+                        degradation: None,
+                    },
+                    solver.mass_drift(),
+                ));
             }
             // Stall detection: the gap is monotone non-increasing; if
             // it stops shrinking the remaining gap is discretization
@@ -287,15 +447,47 @@ pub fn solve<D: Interarrival + Clone>(model: &QueueModel<D>, opts: &SolverOption
             }
         }
 
-        if out_of_budget || solver.bins() * 2 > opts.max_bins {
-            let (lower, upper) = solver.loss_bounds();
-            return LossSolution {
+        if breakdown {
+            // Loss rates live in [0, 1], so (0, 1) is always a valid
+            // (if vacuous) bound pair should even the initial bounds
+            // have been non-finite.
+            let (lower, upper) = if last_finite.0.is_finite() && last_finite.1.is_finite() {
+                last_finite
+            } else {
+                (0.0, 1.0)
+            };
+            return Ok(LossSolution {
                 lower,
                 upper,
                 iterations: total_iterations,
                 bins: solver.bins(),
                 converged: false,
+                degradation: Some(DegradationReason::NumericalBreakdown),
+            });
+        }
+        if out_of_budget || solver.bins() * 2 > opts.max_bins {
+            let (lower, upper) = solver.loss_bounds();
+            let reason = if out_of_budget {
+                DegradationReason::BudgetExhausted {
+                    spent: total_cost,
+                    budget: opts.max_total_cost,
+                }
+            } else {
+                DegradationReason::GridCeiling {
+                    max_bins: opts.max_bins,
+                }
             };
+            return Ok(finish(
+                LossSolution {
+                    lower,
+                    upper,
+                    iterations: total_iterations,
+                    bins: solver.bins(),
+                    converged: false,
+                    degradation: Some(reason),
+                },
+                solver.mass_drift(),
+            ));
         }
         solver.refine();
     }

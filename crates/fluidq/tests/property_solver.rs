@@ -1,0 +1,128 @@
+//! Property-based tests of the work-increment discretization and the
+//! loss kernel over randomized, well-posed models, run as seeded
+//! hand-rolled case loops.
+
+use lrd_fluidq::{LossKernel, QueueModel, WorkDistribution};
+use lrd_rng::{rngs::SmallRng, Rng, SeedableRng};
+use lrd_traffic::{Interarrival, Marginal, TruncatedPareto};
+
+const CASES: u64 = 48;
+
+/// Draws a random but well-posed queue model: 2–5 rates straddling
+/// the service rate, Pareto shape in (1.05, 1.95), various cutoffs.
+/// Retries until the filter conditions hold (positive mean, no rate
+/// equal to the service rate) — the same admissibility filter the
+/// constructors enforce.
+fn arb_model(rng: &mut SmallRng) -> QueueModel<TruncatedPareto> {
+    loop {
+        let n = rng.gen_range(2usize..6);
+        let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1f64..20.0)).collect();
+        let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05f64..1.0)).collect();
+        let marginal = Marginal::new(&rates, &probs);
+        if marginal.mean() <= 0.0 {
+            continue;
+        }
+        let util = rng.gen_range(0.3f64..0.95);
+        let c = marginal.mean() / util;
+        if marginal.rates().iter().any(|&r| (r - c).abs() < 1e-6) {
+            continue;
+        }
+        let theta = rng.gen_range(0.005f64..0.2);
+        let alpha = rng.gen_range(1.05f64..1.95);
+        let cutoff = if rng.gen_bool(0.5) {
+            rng.gen_range(0.05f64..20.0)
+        } else {
+            f64::INFINITY
+        };
+        let buf_s = rng.gen_range(0.02f64..1.0);
+        let iv = TruncatedPareto::new(theta, alpha, cutoff);
+        return QueueModel::new(marginal, iv, c, c * buf_s);
+    }
+}
+
+#[test]
+fn work_distributions_are_probability_vectors() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF1_0000 + case);
+        let model = arb_model(&mut rng);
+        let bins = rng.gen_range(2usize..200);
+        let w = WorkDistribution::build(&model, bins);
+        for (name, v) in [("lower", w.lower()), ("upper", w.upper())] {
+            let total: f64 = v.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "case {case}: {name} sums to {total}");
+            assert!(v.iter().all(|&p| p >= 0.0), "case {case}: {name} has negative mass");
+            assert_eq!(v.len(), 2 * bins + 1, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn lower_discretization_stochastically_below_upper() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF2_0000 + case);
+        let model = arb_model(&mut rng);
+        let bins = rng.gen_range(2usize..200);
+        let w = WorkDistribution::build(&model, bins);
+        let mut cl = 0.0;
+        let mut ch = 0.0;
+        for i in 0..w.lower().len() {
+            cl += w.lower()[i];
+            ch += w.upper()[i];
+            assert!(cl >= ch - 1e-9, "case {case}: order violated at bin {i}");
+        }
+    }
+}
+
+#[test]
+fn kernel_monotone_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF3_0000 + case);
+        let model = arb_model(&mut rng);
+        let bins = rng.gen_range(2usize..200);
+        let k = LossKernel::build(&model, bins);
+        // Monotone in occupancy.
+        for w in k.values().windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "case {case}");
+        }
+        // The full-buffer value is the analytic maximum:
+        // Σ_{λ>c} π (λ−c) E[T].
+        let cap: f64 = model
+            .marginal()
+            .rates()
+            .iter()
+            .zip(model.marginal().probs())
+            .filter(|&(&r, _)| r > model.service_rate())
+            .map(|(&r, &p)| p * (r - model.service_rate()) * model.intervals().mean())
+            .sum();
+        let last = *k.values().last().unwrap();
+        assert!(
+            (last - cap).abs() < 1e-9 * cap.max(1e-12),
+            "case {case}: {last} vs {cap}"
+        );
+    }
+}
+
+#[test]
+fn loss_rate_of_any_distribution_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF4_0000 + case);
+        let model = arb_model(&mut rng);
+        let bins = rng.gen_range(2usize..64);
+        // For any occupancy distribution, the implied loss rate lies in
+        // [0, overload_fraction].
+        let k = LossKernel::build(&model, bins);
+        let mut q = vec![0.0; bins + 1];
+        q[bins] = 1.0; // worst case: always full
+        let l = k.loss_rate(&q);
+        let overload: f64 = model
+            .marginal()
+            .rates()
+            .iter()
+            .zip(model.marginal().probs())
+            .map(|(&r, &p)| p * (r - model.service_rate()).max(0.0))
+            .sum::<f64>()
+            / model.marginal().mean();
+        assert!(l >= 0.0, "case {case}");
+        assert!(l <= overload + 1e-9, "case {case}: loss {l} above overload cap {overload}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Elementary distribution samplers built on [`RngCore`].
+//!
+//! These are the building blocks the traffic models assemble: uniform,
+//! exponential (Poisson interarrivals, on/off sojourns), normal (fGn
+//! innovations), and Pareto (heavy tails, `1 < α < 2` giving the
+//! paper's LRD regime).
+
+use crate::{Rng, RngCore};
+
+/// Uniform draw on `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics on an empty or non-finite range.
+pub fn uniform<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    rng.gen_range(lo..hi)
+}
+
+/// A uniform draw on the open interval `(0, 1)` — safe to feed through
+/// `ln` or negative powers without producing infinities.
+pub fn open_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    rng.gen_range(f64::MIN_POSITIVE..1.0)
+}
+
+/// Exponential with the given mean (inverse-transform).
+///
+/// # Panics
+///
+/// Panics unless `mean` is positive and finite.
+pub fn exponential<R: RngCore + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive");
+    -mean * open_unit(rng).ln()
+}
+
+/// Standard normal via the polar (Marsaglia) Box–Muller method.
+pub fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = rng.gen_range(-1.0..1.0);
+        let v = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or non-finite.
+pub fn normal<R: RngCore + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+    mu + sigma * standard_normal(rng)
+}
+
+/// Pareto with scale `x_m` and shape `alpha`: density `∝ x^{−α−1}` on
+/// `[x_m, ∞)`. Shapes in `(1, 2)` have finite mean and infinite
+/// variance — the paper's LRD regime.
+///
+/// # Panics
+///
+/// Panics unless both parameters are positive and finite.
+pub fn pareto<R: RngCore + ?Sized>(rng: &mut R, x_m: f64, alpha: f64) -> f64 {
+    assert!(x_m > 0.0 && x_m.is_finite(), "pareto scale must be positive");
+    assert!(alpha > 0.0 && alpha.is_finite(), "pareto shape must be positive");
+    x_m * open_unit(rng).powf(-1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    fn sample_mean(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = sample_mean(200_000, || exponential(&mut rng, 2.5));
+        assert!((m - 2.5).abs() < 0.03, "mean = {m}");
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.06, "var = {var}");
+    }
+
+    #[test]
+    fn pareto_obeys_power_law_tail() {
+        // Pr{X > t} = (x_m / t)^α exactly for the plain Pareto.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (x_m, alpha, t) = (1.0, 1.5, 4.0);
+        let n = 200_000;
+        let tail = (0..n).filter(|_| pareto(&mut rng, x_m, alpha) > t).count() as f64 / n as f64;
+        let want = (x_m / t).powf(alpha);
+        assert!((tail - want).abs() < 0.005, "tail = {tail}, want {want}");
+    }
+
+    #[test]
+    fn samples_are_finite_and_in_support() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(exponential(&mut rng, 0.01) >= 0.0);
+            assert!(pareto(&mut rng, 0.5, 1.2) >= 0.5);
+            assert!(standard_normal(&mut rng).is_finite());
+            let u = open_unit(&mut rng);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Concrete generators.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's default small, fast, seedable generator:
+/// xoshiro256++ (Blackman & Vigna, 2019). 256 bits of state, period
+/// 2²⁵⁶ − 1, passes BigCrush; named `SmallRng` so call sites ported
+/// from `rand` keep their spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Builds the generator from raw state words (must not be all
+    /// zero). Exposed for reference-vector tests; normal construction
+    /// goes through [`SeedableRng::seed_from_u64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if all four words are zero (the one forbidden state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+        SmallRng { s }
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as the xoshiro authors recommend: it
+        // decorrelates nearby seeds and cannot produce the all-zero
+        // state.
+        let mut st = seed;
+        let s = [
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+        ];
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Alias kept for call sites that spelled out the std generator; the
+/// workspace has exactly one generator.
+pub type StdRng = SmallRng;

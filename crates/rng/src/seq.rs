@@ -1,0 +1,66 @@
+//! Sequence randomization (`shuffle`) for the trace experiments.
+
+use crate::{gen_index, RngCore};
+
+/// Shuffling for slices, as used by the trace-shuffling experiments
+/// (paper Sec. III.B).
+pub trait SliceRandom {
+    /// Uniformly permutes the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = gen_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "identity shuffle");
+    }
+
+    #[test]
+    fn shuffle_is_roughly_uniform() {
+        // Position of element 0 after shuffling [0, 1, 2] must hit
+        // each slot about a third of the time.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            let mut v = [0usize, 1, 2];
+            v.shuffle(&mut rng);
+            let pos = v.iter().position(|&x| x == 0).unwrap();
+            counts[pos] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "frac = {frac}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shuffles_are_noops() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut empty: [u8; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [9u8];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [9]);
+    }
+}

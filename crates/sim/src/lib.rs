@@ -33,4 +33,6 @@ pub use errorcontrol::{arq_overhead, fec_residual_loss, LossProcess};
 pub use mux::{compare_multiplexing, MuxComparison};
 pub use queue::FluidQueue;
 pub use report::SimReport;
-pub use run::{simulate_source, simulate_trace, ArrivalEpochSample};
+pub use run::{
+    simulate_source, simulate_trace, try_simulate_source, try_simulate_trace, ArrivalEpochSample,
+};

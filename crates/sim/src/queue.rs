@@ -1,5 +1,7 @@
 //! The exact fluid queue.
 
+use lrd_traffic::ModelError;
+
 /// A single-server fluid queue with constant service rate and a finite
 /// buffer, advanced segment by segment.
 ///
@@ -45,17 +47,41 @@ impl FluidQueue {
     /// # Panics
     ///
     /// Panics unless `service_rate` and `buffer` are positive and
-    /// finite.
+    /// finite. Use [`FluidQueue::try_new`] for a fallible variant.
     pub fn new(service_rate: f64, buffer: f64) -> Self {
-        assert!(
-            service_rate > 0.0 && service_rate.is_finite(),
-            "service rate must be positive and finite"
-        );
-        assert!(
-            buffer > 0.0 && buffer.is_finite(),
-            "buffer must be positive and finite"
-        );
-        FluidQueue {
+        FluidQueue::try_new(service_rate, buffer).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns a typed [`ModelError`] instead of
+    /// panicking on invalid queue parameters.
+    pub fn try_new(service_rate: f64, buffer: f64) -> Result<Self, ModelError> {
+        if !service_rate.is_finite() {
+            return Err(ModelError::NonFiniteInput {
+                param: "service rate",
+                value: service_rate,
+            });
+        }
+        if service_rate <= 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "service rate",
+                value: service_rate,
+                constraint: "must be positive and finite",
+            });
+        }
+        if !buffer.is_finite() {
+            return Err(ModelError::NonFiniteInput {
+                param: "buffer",
+                value: buffer,
+            });
+        }
+        if buffer <= 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "buffer",
+                value: buffer,
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(FluidQueue {
             service_rate,
             buffer,
             occupancy: 0.0,
@@ -69,7 +95,7 @@ impl FluidQueue {
             busy_count: 0,
             busy_total: 0.0,
             busy_max: 0.0,
-        }
+        })
     }
 
     /// The service rate `c`.
@@ -91,13 +117,23 @@ impl FluidQueue {
     ///
     /// # Panics
     ///
-    /// Panics if outside `[0, B]`.
+    /// Panics if outside `[0, B]`. Use [`FluidQueue::try_set_occupancy`]
+    /// for a fallible variant.
     pub fn set_occupancy(&mut self, q: f64) {
-        assert!(
-            (0.0..=self.buffer).contains(&q),
-            "occupancy must lie in [0, B]"
-        );
+        self.try_set_occupancy(q).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`FluidQueue::set_occupancy`].
+    pub fn try_set_occupancy(&mut self, q: f64) -> Result<(), ModelError> {
+        if !(0.0..=self.buffer).contains(&q) {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "occupancy",
+                value: q,
+                constraint: "must lie in [0, B]",
+            });
+        }
         self.occupancy = q;
+        Ok(())
     }
 
     /// Total work offered so far (Mb).
@@ -180,12 +216,42 @@ impl FluidQueue {
     /// # Panics
     ///
     /// Panics on negative rate or non-positive/non-finite duration.
+    /// Use [`FluidQueue::try_offer`] for a fallible variant.
     pub fn offer(&mut self, rate: f64, duration: f64) {
-        assert!(rate >= 0.0 && rate.is_finite(), "rate must be non-negative");
-        assert!(
-            duration > 0.0 && duration.is_finite(),
-            "duration must be positive and finite"
-        );
+        self.try_offer(rate, duration).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`FluidQueue::offer`]: rejects NaN/infinite
+    /// or negative rates and non-positive durations with a typed error
+    /// *before* touching the queue state, so a failed offer leaves the
+    /// queue exactly as it was.
+    pub fn try_offer(&mut self, rate: f64, duration: f64) -> Result<(), ModelError> {
+        if !rate.is_finite() {
+            return Err(ModelError::NonFiniteInput {
+                param: "rate",
+                value: rate,
+            });
+        }
+        if rate < 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "rate",
+                value: rate,
+                constraint: "must be non-negative",
+            });
+        }
+        if !duration.is_finite() {
+            return Err(ModelError::NonFiniteInput {
+                param: "duration",
+                value: duration,
+            });
+        }
+        if duration <= 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "duration",
+                value: duration,
+                constraint: "must be positive and finite",
+            });
+        }
         let seg_start = self.elapsed;
         self.arrived += rate * duration;
         self.elapsed += duration;
@@ -237,6 +303,7 @@ impl FluidQueue {
             // rate == c: occupancy frozen.
             self.occupancy_integral += q0 * duration;
         }
+        Ok(())
     }
 }
 

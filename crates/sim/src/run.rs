@@ -3,8 +3,8 @@
 use crate::queue::FluidQueue;
 use crate::report::SimReport;
 use lrd_stats::Summary;
-use lrd_traffic::{FluidSource, Interarrival, Trace};
-use rand::Rng;
+use lrd_traffic::{FluidSource, Interarrival, ModelError, Trace};
+use lrd_rng::Rng;
 
 /// Drives a fluid queue from a binned rate trace (each sample offered
 /// for `trace.dt()` seconds) and returns the run report.
@@ -12,14 +12,30 @@ use rand::Rng;
 /// This is exactly the paper's trace-driven setup for the shuffling
 /// experiments (Figs. 7, 8, 14): "the results ... have been obtained
 /// directly with the shuffled data used as input to a simulated queue".
+///
+/// # Panics
+///
+/// Panics on parameters [`try_simulate_trace`] rejects.
 pub fn simulate_trace(trace: &Trace, service_rate: f64, buffer: f64) -> SimReport {
-    let mut q = FluidQueue::new(service_rate, buffer);
+    try_simulate_trace(trace, service_rate, buffer).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`simulate_trace`]: returns a typed
+/// [`ModelError`] for invalid queue parameters instead of panicking.
+/// (The trace itself is valid by construction: [`Trace`] guarantees
+/// finite, non-negative rates and a positive sampling interval.)
+pub fn try_simulate_trace(
+    trace: &Trace,
+    service_rate: f64,
+    buffer: f64,
+) -> Result<SimReport, ModelError> {
+    let mut q = FluidQueue::try_new(service_rate, buffer)?;
     let mut occ = Summary::new();
     for &rate in trace.rates() {
         q.offer(rate, trace.dt());
         occ.push(q.occupancy());
     }
-    report(&q, occ)
+    Ok(report(&q, occ))
 }
 
 /// One observation of the queue at an arrival epoch, comparable with
@@ -51,8 +67,28 @@ pub fn simulate_source<D: Interarrival, R: Rng + ?Sized>(
     intervals: usize,
     rng: &mut R,
 ) -> (SimReport, Vec<ArrivalEpochSample>) {
-    assert!(intervals > 0, "need at least one interval");
-    let mut q = FluidQueue::new(service_rate, buffer);
+    try_simulate_source(source, service_rate, buffer, intervals, rng)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`simulate_source`]: returns a typed
+/// [`ModelError`] for invalid queue parameters or a zero interval
+/// count instead of panicking.
+pub fn try_simulate_source<D: Interarrival, R: Rng + ?Sized>(
+    source: &FluidSource<D>,
+    service_rate: f64,
+    buffer: f64,
+    intervals: usize,
+    rng: &mut R,
+) -> Result<(SimReport, Vec<ArrivalEpochSample>), ModelError> {
+    if intervals == 0 {
+        return Err(ModelError::ParamOutOfDomain {
+            param: "interval count",
+            value: 0.0,
+            constraint: "must be at least one renewal interval",
+        });
+    }
+    let mut q = FluidQueue::try_new(service_rate, buffer)?;
     let mut occ = Summary::new();
     let mut samples = Vec::with_capacity(intervals);
     for _ in 0..intervals {
@@ -68,7 +104,7 @@ pub fn simulate_source<D: Interarrival, R: Rng + ?Sized>(
         });
         occ.push(q.occupancy());
     }
-    (report(&q, occ), samples)
+    Ok((report(&q, occ), samples))
 }
 
 fn report(q: &FluidQueue, occupancy_summary: Summary) -> SimReport {
@@ -88,7 +124,7 @@ fn report(q: &FluidQueue, occupancy_summary: Summary) -> SimReport {
 mod tests {
     use super::*;
     use lrd_traffic::{Marginal, TruncatedPareto};
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
 
     #[test]
     fn trace_sim_constant_overload() {
@@ -117,7 +153,7 @@ mod tests {
             Marginal::new(&[2.0, 14.0], &[0.5, 0.5]),
             TruncatedPareto::new(0.05, 1.4, 1.0),
         );
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(31);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(31);
         let (rep, samples) = simulate_source(&source, 10.0, 2.0, 10_000, &mut rng);
         assert_eq!(samples.len(), 10_000);
         assert!(samples
@@ -137,7 +173,7 @@ mod tests {
         );
         let mut loss = Vec::new();
         for &b in &[0.5, 2.0, 8.0] {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(32);
+            let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(32);
             let (rep, _) = simulate_source(&source, 10.0, b, 200_000, &mut rng);
             loss.push(rep.loss_rate);
         }

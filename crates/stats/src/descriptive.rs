@@ -201,8 +201,8 @@ mod tests {
     #[test]
     fn iid_series_has_small_correlation() {
 
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        use lrd_rng::{Rng, SeedableRng};
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(42);
         let x: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>() - 0.5).collect();
         let rho = autocorrelation(&x, 20);
         for (k, &r) in rho.iter().enumerate().skip(1) {

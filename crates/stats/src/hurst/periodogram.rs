@@ -102,8 +102,8 @@ mod tests {
 
     #[test]
     fn iid_like_series_near_half() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        use lrd_rng::{Rng, SeedableRng};
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(42);
         let x: Vec<f64> = (0..32_768).map(|_| rng.gen::<f64>() - 0.5).collect();
         let e = gph_estimate(&x);
         assert!(

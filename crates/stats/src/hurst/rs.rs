@@ -84,8 +84,8 @@ mod tests {
     fn iid_like_series_near_half() {
 
 
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        use lrd_rng::{Rng, SeedableRng};
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(42);
         let x: Vec<f64> = (0..65_536).map(|_| rng.gen::<f64>() - 0.5).collect();
         let e = rs_estimate(&x);
         assert!(

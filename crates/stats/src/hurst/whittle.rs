@@ -110,11 +110,11 @@ pub fn whittle_estimate_with_bandwidth(x: &[f64], bandwidth_exp: f64) -> HurstEs
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use lrd_rng::{Rng, SeedableRng};
 
     #[test]
     fn white_noise_reads_half() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(71);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(71);
         let x: Vec<f64> = (0..32_768).map(|_| rng.gen::<f64>() - 0.5).collect();
         let e = whittle_estimate(&x);
         assert!((e.h - 0.5).abs() < 0.08, "whittle H {} for white noise", e.h);
@@ -124,7 +124,7 @@ mod tests {
     fn ar1_is_not_mistaken_for_strong_lrd() {
         // An AR(1) with moderate coefficient has only short memory; the
         // local Whittle estimate should stay well below 0.9.
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(72);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(72);
         let mut x = Vec::with_capacity(32_768);
         let mut prev = 0.0;
         for _ in 0..32_768 {

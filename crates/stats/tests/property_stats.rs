@@ -1,0 +1,154 @@
+//! Property-based tests of the statistics crate, run as seeded
+//! hand-rolled case loops; each case's seed offset appears in the
+//! assertion message so failures replay deterministically.
+
+use lrd_rng::{rngs::SmallRng, Rng, SeedableRng};
+use lrd_stats::*;
+
+const CASES: u64 = 64;
+
+fn series(rng: &mut SmallRng) -> Vec<f64> {
+    let len = rng.gen_range(2usize..400);
+    (0..len).map(|_| rng.gen_range(-1e3..1e3)).collect()
+}
+
+#[test]
+fn variance_is_nonnegative_and_shift_invariant() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x57_0000 + case);
+        let x = series(&mut rng);
+        let shift = rng.gen_range(-1e3..1e3);
+        let v = variance(&x);
+        assert!(v >= -1e-9, "case {case}");
+        let shifted: Vec<f64> = x.iter().map(|&a| a + shift).collect();
+        let vs = variance(&shifted);
+        let scale = v.abs().max(1.0);
+        assert!((v - vs).abs() < 1e-6 * scale, "case {case}: {v} vs {vs}");
+    }
+}
+
+#[test]
+fn summary_agrees_with_two_pass() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x57_1000 + case);
+        let x = series(&mut rng);
+        let mut s = Summary::new();
+        for &v in &x {
+            s.push(v);
+        }
+        assert!(
+            (s.mean() - mean(&x)).abs() < 1e-8 * mean(&x).abs().max(1.0),
+            "case {case}"
+        );
+        assert!(
+            (s.variance() - variance(&x)).abs() < 1e-6 * variance(&x).max(1.0),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn autocorrelation_bounded() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x57_2000 + case);
+        let x = series(&mut rng);
+        if variance(&x) <= 1e-9 {
+            continue;
+        }
+        let max_lag = (x.len() - 1).min(20);
+        let rho = autocorrelation(&x, max_lag);
+        assert!((rho[0] - 1.0).abs() < 1e-9, "case {case}");
+        for &r in &rho {
+            assert!(r.abs() <= 1.0 + 1e-6, "case {case}: autocorrelation {r} out of range");
+        }
+    }
+}
+
+#[test]
+fn histogram_conserves_counts() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x57_3000 + case);
+        let len = rng.gen_range(1usize..500);
+        let x: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let bins = rng.gen_range(1usize..60);
+        let h = Histogram::from_data(&x, bins);
+        assert_eq!(h.total() as usize, x.len(), "case {case}");
+        let p = h.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "case {case}");
+    }
+}
+
+#[test]
+fn histogram_quantize_is_total() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x57_4000 + case);
+        let len = rng.gen_range(1usize..200);
+        let x: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let bins = rng.gen_range(1usize..30);
+        let h = Histogram::from_data(&x, bins);
+        let q = h.quantize(&x);
+        assert_eq!(q.len(), x.len(), "case {case}");
+        assert!(q.iter().all(|&i| i < bins), "case {case}");
+    }
+}
+
+#[test]
+fn mean_run_length_bounds() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x57_5000 + case);
+        let len = rng.gen_range(1usize..300);
+        let labels: Vec<usize> = (0..len).map(|_| rng.gen_range(0usize..5)).collect();
+        let m = mean_run_length(&labels);
+        assert!(m >= 1.0 - 1e-12, "case {case}");
+        assert!(m <= labels.len() as f64 + 1e-12, "case {case}");
+    }
+}
+
+#[test]
+fn linear_fit_recovers_exact_lines() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x57_6000 + case);
+        let slope = rng.gen_range(-100.0..100.0);
+        let intercept = rng.gen_range(-100.0..100.0);
+        let len = rng.gen_range(2usize..50);
+        let mut xs: Vec<f64> = (0..len).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Need at least two well-separated abscissae.
+        if (xs[0] - xs[xs.len() - 1]).abs() <= 1e-6 {
+            continue;
+        }
+        let ys: Vec<f64> = xs.iter().map(|&x| intercept + slope * x).collect();
+        let f = linear_fit(&xs, &ys);
+        assert!(
+            (f.slope - slope).abs() < 1e-6 * slope.abs().max(1.0),
+            "case {case}: slope {} vs {slope}",
+            f.slope
+        );
+        assert!(
+            (f.intercept - intercept).abs() < 1e-5 * intercept.abs().max(1.0),
+            "case {case}: intercept {} vs {intercept}",
+            f.intercept
+        );
+    }
+}
+
+#[test]
+fn aggregation_preserves_grand_mean() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x57_7000 + case);
+        let len = rng.gen_range(8usize..256);
+        let x: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let m = rng.gen_range(1usize..8);
+        let agg = lrd_stats::hurst::aggregate(&x, m);
+        if agg.is_empty() {
+            continue;
+        }
+        // Means agree on the truncated prefix.
+        let used = agg.len() * m;
+        let prefix_mean = mean(&x[..used]);
+        assert!(
+            (mean(&agg) - prefix_mean).abs() < 1e-9 * prefix_mean.abs().max(1.0),
+            "case {case}"
+        );
+    }
+}

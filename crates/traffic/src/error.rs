@@ -1,0 +1,124 @@
+//! Typed construction errors for the traffic models.
+//!
+//! Every public constructor in this crate has a fallible `try_*`
+//! variant returning [`ModelError`]; the panicking variants are thin
+//! wrappers that panic with the error's `Display` message, so legacy
+//! call sites (and `#[should_panic]` tests) keep working unchanged.
+
+use std::fmt;
+
+/// Why a traffic-model constructor rejected its input.
+///
+/// The `Display` form is the exact panic message of the corresponding
+/// infallible constructor, so matching on the variant and printing the
+/// error are equally informative.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter was NaN or infinite where a finite value is
+    /// required. Checked before any domain test, so `NaN` never
+    /// reaches a range comparison.
+    NonFiniteInput {
+        /// Which parameter was non-finite.
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A finite parameter fell outside its mathematical domain.
+    ParamOutOfDomain {
+        /// Which parameter was out of domain.
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable statement of the domain, phrased as
+        /// "must ..." so it composes into the panic message.
+        constraint: &'static str,
+    },
+    /// A probability vector does not carry positive, finite total mass.
+    NonNormalized {
+        /// The observed total mass.
+        total: f64,
+    },
+    /// A collection that must be non-empty was empty.
+    EmptySupport {
+        /// What was empty ("trace", "marginal support", ...).
+        what: &'static str,
+    },
+    /// Two parallel slices differ in length.
+    LengthMismatch {
+        /// What pair of slices disagreed ("rates/probs", ...).
+        what: &'static str,
+        /// Length of the first slice.
+        left: usize,
+        /// Length of the second slice.
+        right: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ModelError::NonFiniteInput { param, value } => {
+                write!(f, "{param} must be finite, got {value}")
+            }
+            ModelError::ParamOutOfDomain {
+                param,
+                value,
+                constraint,
+            } => write!(f, "{param} {constraint}, got {value}"),
+            ModelError::NonNormalized { total } => {
+                write!(f, "total probability mass must be positive, got {total}")
+            }
+            ModelError::EmptySupport { what } => write!(f, "{what} must be non-empty"),
+            ModelError::LengthMismatch { what, left, right } => {
+                write!(f, "{what} length mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Checks that `value` is finite, naming `param` in the error.
+pub(crate) fn require_finite(param: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ModelError::NonFiniteInput { param, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_panic_messages() {
+        let e = ModelError::ParamOutOfDomain {
+            param: "theta",
+            value: 0.0,
+            constraint: "must be positive and finite",
+        };
+        assert_eq!(e.to_string(), "theta must be positive and finite, got 0");
+        let e = ModelError::LengthMismatch {
+            what: "rates/probs",
+            left: 1,
+            right: 2,
+        };
+        assert!(e.to_string().contains("length mismatch"));
+        let e = ModelError::EmptySupport { what: "trace" };
+        assert_eq!(e.to_string(), "trace must be non-empty");
+        let e = ModelError::NonNormalized { total: 0.0 };
+        assert!(e.to_string().contains("total probability mass must be positive"));
+    }
+
+    #[test]
+    fn non_finite_reports_value() {
+        let e = ModelError::NonFiniteInput {
+            param: "dt",
+            value: f64::NAN,
+        };
+        assert_eq!(e.to_string(), "dt must be finite, got NaN");
+        assert!(require_finite("x", f64::INFINITY).is_err());
+        assert_eq!(require_finite("x", 1.5), Ok(1.5));
+    }
+}

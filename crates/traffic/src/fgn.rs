@@ -15,7 +15,7 @@
 //!   an independent reference implementation in tests.
 
 use lrd_fft::{Complex, Fft};
-use rand::Rng;
+use lrd_rng::Rng;
 
 /// Autocovariance of standard (unit-variance) fGn at integer lag `k`:
 ///
@@ -148,7 +148,7 @@ pub fn hosking<R: Rng + ?Sized>(rng: &mut R, hurst: f64, n: usize) -> Vec<f64> {
 mod tests {
     use super::*;
     use lrd_stats::{autocovariance, mean, variance};
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
 
     #[test]
     fn autocovariance_lag0_is_one() {
@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn standard_normal_moments() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(11);
         let x: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
         assert!(mean(&x).abs() < 0.01);
         assert!((variance(&x) - 1.0).abs() < 0.02);
@@ -192,12 +192,14 @@ mod tests {
 
     #[test]
     fn davies_harte_matches_theory() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(12);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(12);
         let h = 0.8;
         let n = 1 << 16;
         let x = davies_harte(&mut rng, h, n);
         assert_eq!(x.len(), n);
-        assert!(mean(&x).abs() < 0.05, "mean {}", mean(&x));
+        // The sample mean of fGn converges as n^{H−1}: its standard
+        // deviation is 65536^{-0.2} ≈ 0.11 here, so allow ~2σ.
+        assert!(mean(&x).abs() < 0.25, "mean {}", mean(&x));
         assert!((variance(&x) - 1.0).abs() < 0.05, "var {}", variance(&x));
         let acov = autocovariance(&x, 20);
         for (k, &got) in acov.iter().enumerate().take(11).skip(1) {
@@ -208,7 +210,7 @@ mod tests {
 
     #[test]
     fn davies_harte_recovers_hurst() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(13);
         for &h in &[0.7, 0.83, 0.9] {
             let x = davies_harte(&mut rng, h, 1 << 16);
             let est = lrd_stats::wavelet_estimate(&x);
@@ -228,7 +230,7 @@ mod tests {
 
     #[test]
     fn hosking_matches_theory() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(14);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(14);
         let h = 0.75;
         let n = 4096;
         let x = hosking(&mut rng, h, n);
@@ -244,7 +246,7 @@ mod tests {
     #[test]
     fn generators_agree_statistically() {
         // Same H, different algorithms: lag-1 autocorrelations agree.
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(15);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(15);
         let h = 0.85;
         let a = davies_harte(&mut rng, h, 8192);
         let b = hosking(&mut rng, h, 8192);
@@ -255,7 +257,7 @@ mod tests {
 
     #[test]
     fn single_sample() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(16);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(16);
         assert_eq!(davies_harte(&mut rng, 0.8, 1).len(), 1);
         assert_eq!(hosking(&mut rng, 0.8, 1).len(), 1);
     }
@@ -263,7 +265,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "H must lie in (0, 1)")]
     fn bad_hurst_rejected() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(17);
         davies_harte(&mut rng, 1.2, 16);
     }
 }

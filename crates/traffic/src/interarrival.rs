@@ -10,7 +10,7 @@
 //! implementations, [`crate::TruncatedPareto`] and
 //! [`crate::Exponential`].
 
-use rand::Rng;
+use lrd_rng::Rng;
 
 /// A positive interarrival-time distribution, possibly with an atom at
 /// the top of its support (the truncated Pareto has one at `T_c`).

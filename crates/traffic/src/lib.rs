@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod covariance;
+pub mod error;
 pub mod fgn;
 pub mod interarrival;
 pub mod marginal;
@@ -44,6 +45,7 @@ pub mod trace;
 pub mod video;
 
 pub use covariance::{autocovariance_at, hurst_from_alpha, alpha_from_hurst};
+pub use error::ModelError;
 pub use interarrival::Interarrival;
 pub use marginal::Marginal;
 pub use markov::{fit_to_pareto, HyperExponential};

@@ -12,8 +12,9 @@
 //!   per-stream service and buffer held constant
 //!   ([`Marginal::superpose`]).
 
+use crate::error::ModelError;
 use lrd_stats::Histogram;
-use rand::Rng;
+use lrd_rng::Rng;
 
 /// A discrete fluid-rate distribution: rates `λ_1 < … < λ_M` with
 /// probabilities `π_i` summing to one.
@@ -46,21 +47,53 @@ impl Marginal {
     ///
     /// Panics if the slices differ in length, are empty, contain
     /// non-finite rates, or contain negative probabilities summing to
-    /// zero.
+    /// zero. Use [`Marginal::try_new`] for a fallible variant.
     pub fn new(rates: &[f64], probs: &[f64]) -> Self {
-        assert_eq!(rates.len(), probs.len(), "rates/probs length mismatch");
-        assert!(!rates.is_empty(), "marginal needs at least one support point");
+        Marginal::try_new(rates, probs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns a typed [`ModelError`] instead of
+    /// panicking on invalid support points.
+    pub fn try_new(rates: &[f64], probs: &[f64]) -> Result<Self, ModelError> {
+        if rates.len() != probs.len() {
+            return Err(ModelError::LengthMismatch {
+                what: "rates/probs",
+                left: rates.len(),
+                right: probs.len(),
+            });
+        }
+        if rates.is_empty() {
+            return Err(ModelError::EmptySupport {
+                what: "marginal support",
+            });
+        }
+        for (&r, &p) in rates.iter().zip(probs) {
+            if !r.is_finite() {
+                return Err(ModelError::NonFiniteInput {
+                    param: "rate",
+                    value: r,
+                });
+            }
+            if !p.is_finite() {
+                return Err(ModelError::NonFiniteInput {
+                    param: "probability",
+                    value: p,
+                });
+            }
+            if p < 0.0 {
+                return Err(ModelError::ParamOutOfDomain {
+                    param: "probability",
+                    value: p,
+                    constraint: "must be in [0, ∞)",
+                });
+            }
+        }
         let mut pairs: Vec<(f64, f64)> = rates
             .iter()
             .zip(probs)
-            .map(|(&r, &p)| {
-                assert!(r.is_finite(), "rate must be finite, got {r}");
-                assert!(p >= 0.0 && p.is_finite(), "probability must be in [0, ∞), got {p}");
-                (r, p)
-            })
+            .map(|(&r, &p)| (r, p))
             .filter(|&(_, p)| p > 0.0)
             .collect();
-        assert!(!pairs.is_empty(), "marginal has no positive-probability support");
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         // Merge duplicates.
         let mut merged: Vec<(f64, f64)> = Vec::with_capacity(pairs.len());
@@ -71,11 +104,13 @@ impl Marginal {
             }
         }
         let total: f64 = merged.iter().map(|&(_, p)| p).sum();
-        assert!(total > 0.0, "total probability mass must be positive");
-        Marginal {
+        if !(total > 0.0 && total.is_finite()) {
+            return Err(ModelError::NonNormalized { total });
+        }
+        Ok(Marginal {
             rates: merged.iter().map(|&(r, _)| r).collect(),
             probs: merged.iter().map(|&(_, p)| p / total).collect(),
-        }
+        })
     }
 
     /// A single deterministic rate.
@@ -283,7 +318,7 @@ impl Marginal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
 
     fn mtvish() -> Marginal {
         Marginal::new(&[2.0, 6.0, 10.0, 14.0], &[0.1, 0.4, 0.4, 0.1])
@@ -400,7 +435,7 @@ mod tests {
     #[test]
     fn sampling_matches_probabilities() {
         let m = mtvish();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(3);
         let n = 100_000;
         let mut counts = std::collections::HashMap::new();
         for _ in 0..n {

@@ -25,7 +25,7 @@
 
 use crate::interarrival::Interarrival;
 use crate::pareto::TruncatedPareto;
-use rand::Rng;
+use lrd_rng::Rng;
 
 /// A mixture of exponential interval lengths: with probability `w_i`
 /// the interval is `Exp(rate_i)`.
@@ -250,7 +250,7 @@ pub fn fit_to_pareto(pareto: &TruncatedPareto, horizon: f64, states: usize) -> H
 mod tests {
     use super::*;
     use crate::interarrival::check_distribution_invariants;
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
 
     fn mix() -> HyperExponential {
         HyperExponential::new(&[(0.6, 0.05), (0.3, 0.5), (0.1, 5.0)])
@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn sampling_matches_distribution() {
         let m = mix();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(5);
         let n = 300_000;
         let samples: Vec<f64> = (0..n).map(|_| m.sample(&mut rng)).collect();
         let emp_mean = samples.iter().sum::<f64>() / n as f64;

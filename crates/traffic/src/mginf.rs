@@ -12,7 +12,7 @@
 //! (many short flows instead of few heavy ones).
 
 use crate::trace::Trace;
-use rand::Rng;
+use lrd_rng::Rng;
 
 /// An M/G/∞ traffic source: Poisson session arrivals, Pareto holding
 /// times, unit rate per active session.
@@ -165,7 +165,7 @@ fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
 
     fn src() -> MGInfSource {
         MGInfSource::new(20.0, 1.5, 0.1, 1.0)
@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn trace_mean_matches_littles_law() {
         let s = src();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(81);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(81);
         let t = s.sample_trace(&mut rng, 0.1, 40_000);
         assert!(
             (t.mean_rate() - s.mean_rate()).abs() / s.mean_rate() < 0.1,
@@ -199,7 +199,7 @@ mod tests {
         // zero; with it, the first 5% of the trace has (roughly) the
         // same mean as the rest.
         let s = src();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(82);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(82);
         let t = s.sample_trace(&mut rng, 0.1, 20_000);
         let head = lrd_stats::mean(&t.rates()[..1000]);
         let tail = lrd_stats::mean(&t.rates()[1000..]);
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn heavy_tails_give_lrd() {
         let s = MGInfSource::new(30.0, 1.4, 0.1, 1.0);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(83);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(83);
         let t = s.sample_trace(&mut rng, 0.1, 1 << 15);
         let est = lrd_stats::variance_time_estimate(t.rates());
         assert!(
@@ -227,7 +227,7 @@ mod tests {
         // α close to 2 and modest horizon: much weaker dependence.
         let heavy = MGInfSource::new(30.0, 1.2, 0.1, 1.0);
         let light = MGInfSource::new(30.0, 1.95, 0.1, 1.0);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(84);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(84);
         let th = heavy.sample_trace(&mut rng, 0.1, 1 << 15);
         let tl = light.sample_trace(&mut rng, 0.1, 1 << 15);
         let hh = lrd_stats::variance_time_estimate(th.rates()).h;
@@ -237,7 +237,7 @@ mod tests {
 
     #[test]
     fn poisson_sampler_mean() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(85);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(85);
         for &mean in &[0.5f64, 5.0, 50.0, 800.0] {
             let n = 20_000;
             let s: usize = (0..n).map(|_| poisson(&mut rng, mean)).sum();

@@ -11,7 +11,7 @@
 //! the fGn-based synthesizer.
 
 use crate::trace::Trace;
-use rand::Rng;
+use lrd_rng::Rng;
 
 /// A single on/off source with Pareto-distributed sojourn times.
 #[derive(Debug, Clone, Copy)]
@@ -148,7 +148,7 @@ pub fn aggregate_trace<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
 
     fn src() -> OnOffSource {
         OnOffSource::new(1.0, 1.4, 0.05, 1.4, 0.15)
@@ -172,7 +172,7 @@ mod tests {
     fn aggregate_mean_rate() {
         let s = src();
         let n = 20;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(21);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(21);
         let t = aggregate_trace(&s, n, 0.1, 20_000, &mut rng);
         let want = n as f64 * s.mean_rate();
         let got = t.mean_rate();
@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn aggregate_is_long_range_dependent() {
         let s = src();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(22);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(22);
         let t = aggregate_trace(&s, 50, 0.1, 1 << 15, &mut rng);
         let est = lrd_stats::variance_time_estimate(t.rates());
         assert!(
@@ -198,7 +198,7 @@ mod tests {
     #[test]
     fn rates_bounded_by_peak_sum() {
         let s = src();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(23);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(23);
         let n = 5;
         let t = aggregate_trace(&s, n, 0.1, 1000, &mut rng);
         assert!(t

@@ -1,8 +1,9 @@
 //! Interval-length distributions: the paper's truncated Pareto and an
 //! exponential (Markovian) baseline.
 
+use crate::error::{require_finite, ModelError};
 use crate::interarrival::Interarrival;
-use rand::Rng;
+use lrd_rng::Rng;
 
 /// The truncated Pareto distribution of paper Eq. 6:
 ///
@@ -47,28 +48,71 @@ impl TruncatedPareto {
     /// # Panics
     ///
     /// Panics unless `theta > 0`, `1 < alpha < 2` and `cutoff > 0`.
+    /// Use [`TruncatedPareto::try_new`] for a fallible variant.
     pub fn new(theta: f64, alpha: f64, cutoff: f64) -> Self {
-        assert!(theta > 0.0 && theta.is_finite(), "theta must be positive and finite, got {theta}");
-        assert!(
-            alpha > 1.0 && alpha < 2.0,
-            "alpha must lie in (1, 2) for the self-similar regime, got {alpha}"
-        );
-        assert!(cutoff > 0.0, "cutoff must be positive, got {cutoff}");
-        TruncatedPareto {
+        TruncatedPareto::try_new(theta, alpha, cutoff).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns a typed [`ModelError`] instead of
+    /// panicking on invalid parameters.
+    pub fn try_new(theta: f64, alpha: f64, cutoff: f64) -> Result<Self, ModelError> {
+        require_finite("theta", theta)?;
+        require_finite("alpha", alpha)?;
+        if cutoff.is_nan() {
+            return Err(ModelError::NonFiniteInput {
+                param: "cutoff",
+                value: cutoff,
+            });
+        }
+        if theta <= 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "theta",
+                value: theta,
+                constraint: "must be positive and finite",
+            });
+        }
+        if alpha <= 1.0 || alpha >= 2.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "alpha",
+                value: alpha,
+                constraint: "must lie in (1, 2) for the self-similar regime",
+            });
+        }
+        if cutoff <= 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "cutoff",
+                value: cutoff,
+                constraint: "must be positive",
+            });
+        }
+        Ok(TruncatedPareto {
             theta,
             alpha,
             cutoff,
-        }
+        })
     }
 
     /// Creates the distribution from a target Hurst parameter
     /// `H ∈ (1/2, 1)` via the paper's mapping `α = 3 − 2H`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameters [`TruncatedPareto::try_from_hurst`] rejects.
     pub fn from_hurst(hurst: f64, theta: f64, cutoff: f64) -> Self {
-        assert!(
-            hurst > 0.5 && hurst < 1.0,
-            "Hurst parameter must lie in (1/2, 1), got {hurst}"
-        );
-        TruncatedPareto::new(theta, 3.0 - 2.0 * hurst, cutoff)
+        TruncatedPareto::try_from_hurst(hurst, theta, cutoff).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`TruncatedPareto::from_hurst`].
+    pub fn try_from_hurst(hurst: f64, theta: f64, cutoff: f64) -> Result<Self, ModelError> {
+        require_finite("Hurst parameter", hurst)?;
+        if hurst <= 0.5 || hurst >= 1.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "Hurst parameter",
+                value: hurst,
+                constraint: "must lie in (1/2, 1)",
+            });
+        }
+        TruncatedPareto::try_new(theta, 3.0 - 2.0 * hurst, cutoff)
     }
 
     /// The scale parameter `θ`.
@@ -276,10 +320,24 @@ impl Exponential {
     ///
     /// # Panics
     ///
-    /// Panics unless `mean` is positive and finite.
+    /// Panics unless `mean` is positive and finite. Use
+    /// [`Exponential::try_new`] for a fallible variant.
     pub fn new(mean: f64) -> Self {
-        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive and finite");
-        Exponential { mean }
+        Exponential::try_new(mean).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns a typed [`ModelError`] instead of
+    /// panicking on invalid parameters.
+    pub fn try_new(mean: f64) -> Result<Self, ModelError> {
+        require_finite("mean", mean)?;
+        if mean <= 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "mean",
+                value: mean,
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(Exponential { mean })
     }
 }
 
@@ -326,7 +384,7 @@ impl Interarrival for Exponential {
 mod tests {
     use super::*;
     use crate::interarrival::check_distribution_invariants;
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
 
     fn probes() -> Vec<f64> {
         vec![0.0, 0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 100.0, 1e4]
@@ -470,7 +528,7 @@ mod tests {
     #[test]
     fn pareto_sampling_matches_ccdf() {
         let d = TruncatedPareto::new(0.05, 1.5, 1.0);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(7);
         let n = 200_000;
         let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&t| t > 0.0 && t <= 1.0));
@@ -498,7 +556,7 @@ mod tests {
     #[test]
     fn exponential_sampling_matches_mean() {
         let d = Exponential::new(0.25);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(9);
         let n = 200_000;
         let m = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
         assert!((m - 0.25).abs() < 0.005);

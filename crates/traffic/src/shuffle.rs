@@ -15,8 +15,8 @@
 //! extension for ablation experiments.
 
 use crate::trace::Trace;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use lrd_rng::seq::SliceRandom;
+use lrd_rng::Rng;
 
 /// Externally shuffles `trace` with blocks of `block_len` samples.
 ///
@@ -66,7 +66,7 @@ pub fn internal_shuffle<R: Rng + ?Sized>(trace: &Trace, block_len: usize, rng: &
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
 
     fn ramp(n: usize) -> Trace {
         Trace::new(0.01, (0..n).map(|i| i as f64).collect())
@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn external_preserves_population() {
         let t = ramp(1000);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(1);
         let s = external_shuffle(&t, 32, &mut rng);
         let mut a = t.rates().to_vec();
         let mut b = s.rates().to_vec();
@@ -87,7 +87,7 @@ mod tests {
     #[test]
     fn external_preserves_block_interiors() {
         let t = ramp(100);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(2);
         let s = external_shuffle(&t, 10, &mut rng);
         // Every full block of the output must be a contiguous run of
         // the input (ramps of step 1).
@@ -110,7 +110,7 @@ mod tests {
                 .map(|i| 5.0 + (i as f64 * 2.0 * std::f64::consts::PI / 2048.0).sin())
                 .collect(),
         );
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(3);
         let block = 64;
         let s = external_shuffle(&t, block, &mut rng);
         let rho_orig = lrd_stats::autocorrelation(t.rates(), 512);
@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn internal_preserves_block_sums() {
         let t = ramp(100);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(4);
         let s = internal_shuffle(&t, 10, &mut rng);
         for (a, b) in t.rates().chunks(10).zip(s.rates().chunks(10)) {
             let sa: f64 = a.iter().sum();
@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn seconds_variant_rounds_to_samples() {
         let t = ramp(100);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(5);
         // 0.095 s at dt = 0.01 -> 10-sample blocks.
         let s = external_shuffle_seconds(&t, 0.095, &mut rng);
         assert_eq!(s.len(), 100);
@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn block_longer_than_trace_is_identity() {
         let t = ramp(50);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(6);
         let s = external_shuffle(&t, 1000, &mut rng);
         assert_eq!(s.rates(), t.rates());
     }

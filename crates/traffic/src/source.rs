@@ -6,10 +6,11 @@
 //! (paper Sec. II). Monte-Carlo validation of the numerical solver and
 //! the model-driven simulator both consume these paths.
 
+use crate::error::ModelError;
 use crate::interarrival::Interarrival;
 use crate::marginal::Marginal;
 use crate::trace::Trace;
-use rand::Rng;
+use lrd_rng::Rng;
 
 /// One piecewise-constant segment of a fluid sample path.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,11 +31,37 @@ pub struct FluidSource<D> {
 impl<D: Interarrival> FluidSource<D> {
     /// Creates a source from a marginal rate distribution and an
     /// interval-length distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval distribution reports a non-positive or
+    /// non-finite mean (a renewal process needs `0 < E[T] < ∞`). Use
+    /// [`FluidSource::try_new`] for a fallible variant.
     pub fn new(marginal: Marginal, intervals: D) -> Self {
-        FluidSource {
+        FluidSource::try_new(marginal, intervals).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns a typed [`ModelError`] instead of
+    /// panicking when the interval distribution is degenerate.
+    pub fn try_new(marginal: Marginal, intervals: D) -> Result<Self, ModelError> {
+        let mean = intervals.mean();
+        if !mean.is_finite() {
+            return Err(ModelError::NonFiniteInput {
+                param: "mean interval duration",
+                value: mean,
+            });
+        }
+        if mean <= 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "mean interval duration",
+                value: mean,
+                constraint: "must be positive",
+            });
+        }
+        Ok(FluidSource {
             marginal,
             intervals,
-        }
+        })
     }
 
     /// The marginal rate distribution `(Π, Λ)`.
@@ -85,7 +112,11 @@ impl<D: Interarrival> FluidSource<D> {
     /// `dt`, integrating the piecewise-constant path so each trace
     /// sample is the true average rate over its bin.
     pub fn sample_trace<R: Rng + ?Sized>(&self, rng: &mut R, dt: f64, samples: usize) -> Trace {
-        assert!(dt > 0.0 && samples > 0);
+        assert!(
+            dt > 0.0 && dt.is_finite(),
+            "sampling interval must be positive and finite, got {dt}"
+        );
+        assert!(samples > 0, "trace must be non-empty: need samples > 0");
         let mut rates = vec![0.0f64; samples];
         let total = dt * samples as f64;
         let mut t = 0.0;
@@ -116,7 +147,7 @@ impl<D: Interarrival> FluidSource<D> {
 mod tests {
     use super::*;
     use crate::pareto::{Exponential, TruncatedPareto};
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
 
     fn source() -> FluidSource<TruncatedPareto> {
         FluidSource::new(
@@ -128,7 +159,7 @@ mod tests {
     #[test]
     fn path_duration_is_exact() {
         let s = source();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(1);
         let path = s.sample_path(&mut rng, 10.0);
         let total: f64 = path.iter().map(|seg| seg.duration).sum();
         assert!((total - 10.0).abs() < 1e-9);
@@ -138,7 +169,7 @@ mod tests {
     #[test]
     fn path_rates_come_from_support() {
         let s = source();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(2);
         let path = s.sample_path(&mut rng, 5.0);
         assert!(path.iter().all(|seg| seg.rate == 1.0 || seg.rate == 5.0));
     }
@@ -146,7 +177,7 @@ mod tests {
     #[test]
     fn long_run_mean_rate() {
         let s = source();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(3);
         let path = s.sample_path(&mut rng, 2000.0);
         let work: f64 = path.iter().map(|seg| seg.duration * seg.rate).sum();
         let mean = work / 2000.0;
@@ -160,7 +191,7 @@ mod tests {
     #[test]
     fn trace_preserves_work() {
         let s = source();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(4);
         let trace = s.sample_trace(&mut rng, 0.01, 10_000);
         assert_eq!(trace.len(), 10_000);
         let mean = trace.mean_rate();
@@ -174,7 +205,7 @@ mod tests {
     #[test]
     fn trace_bins_average_within_support_hull() {
         let s = source();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(5);
         let trace = s.sample_trace(&mut rng, 0.5, 100);
         for &r in trace.rates() {
             assert!((1.0..=5.0).contains(&r), "binned rate {r} outside hull");
@@ -187,7 +218,7 @@ mod tests {
             Marginal::new(&[0.0, 2.0], &[0.5, 0.5]),
             Exponential::new(0.1),
         );
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(6);
         let path = s.sample_path(&mut rng, 100.0);
         let work: f64 = path.iter().map(|seg| seg.duration * seg.rate).sum();
         assert!((work / 100.0 - 1.0).abs() < 0.15);

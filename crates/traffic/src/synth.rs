@@ -22,8 +22,8 @@
 use crate::fgn::davies_harte;
 use crate::trace::Trace;
 use lrd_specfun::{inv_gamma_p, norm_cdf};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use lrd_rng::rngs::SmallRng;
+use lrd_rng::SeedableRng;
 
 /// Published mean rate of the MTV trace, Mb/s.
 pub const MTV_MEAN_RATE: f64 = 9.5222;

@@ -7,6 +7,7 @@
 //! histogram (Fig. 3) and the mean epoch duration used to calibrate
 //! `θ` (Sec. III).
 
+use crate::error::ModelError;
 use crate::marginal::Marginal;
 use lrd_stats::{mean_run_length, Histogram};
 
@@ -25,14 +26,47 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if `dt` is not positive/finite, the trace is empty, or
-    /// any rate is negative or non-finite.
+    /// any rate is negative or non-finite. Use [`Trace::try_new`] for
+    /// a fallible variant.
     pub fn new(dt: f64, rates: Vec<f64>) -> Self {
-        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive and finite");
-        assert!(!rates.is_empty(), "trace must be non-empty");
-        for &r in &rates {
-            assert!(r.is_finite() && r >= 0.0, "rates must be finite and non-negative, got {r}");
+        Trace::try_new(dt, rates).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns a typed [`ModelError`] instead of
+    /// panicking on a degenerate trace.
+    pub fn try_new(dt: f64, rates: Vec<f64>) -> Result<Self, ModelError> {
+        if !dt.is_finite() {
+            return Err(ModelError::NonFiniteInput {
+                param: "dt",
+                value: dt,
+            });
         }
-        Trace { dt, rates }
+        if dt <= 0.0 {
+            return Err(ModelError::ParamOutOfDomain {
+                param: "dt",
+                value: dt,
+                constraint: "must be positive and finite",
+            });
+        }
+        if rates.is_empty() {
+            return Err(ModelError::EmptySupport { what: "trace" });
+        }
+        for &r in &rates {
+            if !r.is_finite() {
+                return Err(ModelError::NonFiniteInput {
+                    param: "rate",
+                    value: r,
+                });
+            }
+            if r < 0.0 {
+                return Err(ModelError::ParamOutOfDomain {
+                    param: "rate",
+                    value: r,
+                    constraint: "must be finite and non-negative",
+                });
+            }
+        }
+        Ok(Trace { dt, rates })
     }
 
     /// Sampling interval in seconds.

@@ -13,7 +13,7 @@
 //! short-term structure.
 
 use crate::trace::Trace;
-use rand::Rng;
+use lrd_rng::Rng;
 
 /// Configuration of the synthetic VBR video source.
 #[derive(Debug, Clone, Copy)]
@@ -112,12 +112,12 @@ pub fn vbr_video_trace<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
 
     #[test]
     fn mean_rate_is_respected() {
         let cfg = VbrVideoConfig::default();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(41);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(41);
         let t = vbr_video_trace(&cfg, 60_000, &mut rng);
         assert!(
             (t.mean_rate() - cfg.mean_rate).abs() / cfg.mean_rate < 0.15,
@@ -134,7 +134,7 @@ mod tests {
             noise_sigma: 0.05,
             ..VbrVideoConfig::default()
         };
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(42);
         let t = vbr_video_trace(&cfg, 1 << 14, &mut rng);
         let rho = lrd_stats::autocorrelation(t.rates(), 2 * cfg.gop);
         // Correlation at one GOP period exceeds the adjacent off-period
@@ -156,7 +156,7 @@ mod tests {
             i_frame_boost: 1.0, // isolate the scene process
             ..VbrVideoConfig::default()
         };
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(43);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(43);
         let t = vbr_video_trace(&cfg, 1 << 16, &mut rng);
         let est = lrd_stats::variance_time_estimate(t.rates());
         assert!(
@@ -169,8 +169,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let cfg = VbrVideoConfig::default();
-        let mut a = rand::rngs::SmallRng::seed_from_u64(7);
-        let mut b = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut a = lrd_rng::rngs::SmallRng::seed_from_u64(7);
+        let mut b = lrd_rng::rngs::SmallRng::seed_from_u64(7);
         assert_eq!(
             vbr_video_trace(&cfg, 1000, &mut a),
             vbr_video_trace(&cfg, 1000, &mut b)
@@ -184,7 +184,7 @@ mod tests {
             ar1: 1.0,
             ..VbrVideoConfig::default()
         };
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(1);
         vbr_video_trace(&cfg, 10, &mut rng);
     }
 }

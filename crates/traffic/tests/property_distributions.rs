@@ -1,0 +1,183 @@
+//! Property-based tests of the traffic distributions and marginal
+//! transformations, run as seeded hand-rolled case loops.
+
+use lrd_rng::{rngs::SmallRng, Rng, SeedableRng};
+use lrd_traffic::{
+    interarrival::check_distribution_invariants, Exponential, HyperExponential, Interarrival,
+    Marginal, TruncatedPareto,
+};
+
+const CASES: u64 = 96;
+
+fn probes() -> Vec<f64> {
+    vec![0.0, 1e-4, 0.01, 0.1, 0.5, 1.0, 3.0, 10.0, 50.0, 1e3]
+}
+
+fn arb_pareto(rng: &mut SmallRng) -> TruncatedPareto {
+    let theta = rng.gen_range(0.001f64..1.0);
+    let alpha = rng.gen_range(1.05f64..1.95);
+    let cutoff = if rng.gen_bool(0.5) {
+        rng.gen_range(0.05f64..100.0)
+    } else {
+        f64::INFINITY
+    };
+    TruncatedPareto::new(theta, alpha, cutoff)
+}
+
+fn arb_marginal(rng: &mut SmallRng) -> Marginal {
+    let len = rng.gen_range(1usize..12);
+    let rates: Vec<f64> = (0..len).map(|_| rng.gen_range(0.0f64..50.0)).collect();
+    let probs: Vec<f64> = (0..len).map(|_| rng.gen_range(0.01f64..1.0)).collect();
+    Marginal::new(&rates, &probs)
+}
+
+#[test]
+fn pareto_satisfies_interarrival_contract() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A_0000 + case);
+        check_distribution_invariants(&arb_pareto(&mut rng), &probes());
+    }
+}
+
+#[test]
+fn exponential_satisfies_interarrival_contract() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A_1000 + case);
+        let mean = rng.gen_range(0.001f64..100.0);
+        check_distribution_invariants(&Exponential::new(mean), &probes());
+    }
+}
+
+#[test]
+fn hyperexponential_satisfies_interarrival_contract() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A_2000 + case);
+        let n = rng.gen_range(1usize..6);
+        let branches: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.01f64..1.0), rng.gen_range(0.001f64..10.0)))
+            .collect();
+        check_distribution_invariants(&HyperExponential::new(&branches), &probes());
+    }
+}
+
+#[test]
+fn pareto_mean_consistent_with_int_ccdf() {
+    // E[T] = ∫₀^∞ ccdf — the closed forms must agree.
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A_3000 + case);
+        let d = arb_pareto(&mut rng);
+        assert!(
+            (d.int_ccdf(0.0) - d.mean()).abs() < 1e-9 * d.mean(),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn pareto_residual_ccdf_is_valid() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A_4000 + case);
+        let d = arb_pareto(&mut rng);
+        let t = rng.gen_range(0.0f64..10.0);
+        let r = d.residual_ccdf(t);
+        assert!((0.0..=1.0).contains(&r), "case {case}: r = {r}");
+        // Residual tail of a positive variable is dominated by 1 and
+        // decreasing in t.
+        assert!(d.residual_ccdf(t + 1.0) <= r + 1e-12, "case {case}");
+    }
+}
+
+#[test]
+fn theta_calibration_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A_5000 + case);
+        let mean = rng.gen_range(0.001f64..10.0);
+        let alpha = rng.gen_range(1.05f64..1.95);
+        let theta = TruncatedPareto::calibrate_theta(mean, alpha);
+        let d = TruncatedPareto::new(theta, alpha, f64::INFINITY);
+        assert!((d.mean() - mean).abs() < 1e-10 * mean, "case {case}");
+    }
+}
+
+#[test]
+fn marginal_probs_normalized() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A_6000 + case);
+        let m = arb_marginal(&mut rng);
+        let total: f64 = m.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "case {case}: total {total}");
+        assert!(m.rates().windows(2).all(|w| w[0] < w[1]), "case {case}");
+    }
+}
+
+#[test]
+fn scaling_preserves_mean_scales_std() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A_7000 + case);
+        let m = arb_marginal(&mut rng);
+        let a = rng.gen_range(0.0f64..3.0);
+        let s = m.scaled(a);
+        assert!(
+            (s.mean() - m.mean()).abs() < 1e-9 * m.mean().max(1.0),
+            "case {case}"
+        );
+        assert!(
+            (s.std_dev() - a * m.std_dev()).abs() < 1e-9 * m.std_dev().max(1.0),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn superposition_preserves_mean_shrinks_variance() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A_8000 + case);
+        let m = arb_marginal(&mut rng);
+        let n = rng.gen_range(1usize..6);
+        let s = m.superpose(n, 150);
+        assert!(
+            (s.mean() - m.mean()).abs() < 1e-8 * m.mean().max(1.0),
+            "case {case}"
+        );
+        // Re-binning approximates: allow slack on the 1/n law and
+        // never an increase beyond the original variance.
+        let want = m.variance() / n as f64;
+        assert!(s.variance() <= m.variance() + 1e-9, "case {case}");
+        if m.variance() > 1e-9 {
+            assert!(
+                (s.variance() - want).abs() <= 0.15 * m.variance(),
+                "case {case}: var {} vs {want}",
+                s.variance()
+            );
+        }
+    }
+}
+
+#[test]
+fn convolution_adds_means_and_variances() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A_9000 + case);
+        let a = arb_marginal(&mut rng);
+        let b = arb_marginal(&mut rng);
+        let c = a.convolve(&b);
+        assert!((c.mean() - a.mean() - b.mean()).abs() < 1e-8, "case {case}");
+        assert!(
+            (c.variance() - a.variance() - b.variance()).abs()
+                < 1e-7 * (1.0 + a.variance() + b.variance()),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn quantile_inverts_cdf() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7A_A000 + case);
+        let m = arb_marginal(&mut rng);
+        let u = rng.gen_range(0.0f64..1.0);
+        let q = m.quantile(u);
+        // CDF at the quantile covers u.
+        assert!(m.cdf(q) >= u - 1e-12, "case {case}");
+        assert!(m.rates().contains(&q), "case {case}");
+    }
+}

@@ -17,7 +17,7 @@
 use lrd::prelude::*;
 use lrd::sim::{arq_overhead, fec_residual_loss, LossProcess};
 use lrd::traffic::synth;
-use rand::SeedableRng;
+use lrd_rng::SeedableRng;
 
 fn main() {
     // An LRD Ethernet-like trace into a modest queue: utilization
@@ -54,7 +54,7 @@ fn main() {
     // kept), FEC degrades while ARQ stays flat.
     println!("\nshuffle block [s] | ARQ overhead | FEC(10,8) residual | mean burst");
     println!("{}", "-".repeat(68));
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(17);
     for block_s in [0.05, 0.5, 5.0, f64::INFINITY] {
         let input = if block_s.is_finite() {
             external_shuffle_seconds(&trace, block_s, &mut rng)

@@ -1,0 +1,67 @@
+//! The fault-tolerance contract in action: typed errors for invalid
+//! input, graceful degradation (best provable bounds plus a
+//! machine-readable reason) when the solver is starved of resources.
+//!
+//! ```sh
+//! cargo run --release --example degradation
+//! ```
+
+use lrd::prelude::*;
+
+fn main() {
+    // 1. Invalid input is a typed error, not a panic.
+    match TruncatedPareto::try_new(-0.05, 1.4, 1.0) {
+        Ok(_) => unreachable!(),
+        Err(e) => println!("typed error      : {e}"),
+    }
+    match Marginal::try_new(&[2.0, 14.0], &[0.5]) {
+        Ok(_) => unreachable!(),
+        Err(e) => println!("typed error      : {e}"),
+    }
+
+    // 2. Malformed solver options are a typed error too.
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let intervals = TruncatedPareto::from_hurst(0.8, 0.05, 1.0);
+    let model = QueueModel::from_utilization(marginal, intervals, 0.8, 0.2);
+    let bad = SolverOptions {
+        rel_gap: -1.0,
+        ..SolverOptions::default()
+    };
+    match try_solve(&model, &bad) {
+        Ok(_) => unreachable!(),
+        Err(e) => println!("typed error      : {e}"),
+    }
+
+    // 3. A starved work budget degrades gracefully: the result is
+    //    still a provable bracket, with the reason attached.
+    let starved = SolverOptions {
+        rel_gap: 1e-9,
+        max_total_cost: 300.0,
+        ..SolverOptions::default()
+    };
+    let sol = try_solve(&model, &starved).expect("options are valid");
+    println!(
+        "degraded bracket : [{:.3e}, {:.3e}] converged={}",
+        sol.lower, sol.upper, sol.converged
+    );
+    match sol.degradation {
+        Some(DegradationReason::BudgetExhausted { spent, budget }) => {
+            println!("reason           : budget exhausted ({spent:.0} of {budget:.0})")
+        }
+        other => println!("reason           : {other:?}"),
+    }
+
+    // 4. A grid ceiling does the same with a different reason.
+    let capped = SolverOptions {
+        rel_gap: 1e-9,
+        initial_bins: 8,
+        max_bins: 8,
+        ..SolverOptions::default()
+    };
+    let sol = try_solve(&model, &capped).expect("options are valid");
+    println!(
+        "degraded bracket : [{:.3e}, {:.3e}] converged={}",
+        sol.lower, sol.upper, sol.converged
+    );
+    println!("reason           : {:?}", sol.degradation);
+}

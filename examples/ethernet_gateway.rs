@@ -14,7 +14,7 @@
 
 use lrd::prelude::*;
 use lrd::traffic::synth;
-use rand::SeedableRng;
+use lrd_rng::SeedableRng;
 
 fn main() {
     let trace = synth::bellcore_like_with_len(synth::DEFAULT_SEED + 1, 1 << 16);
@@ -35,7 +35,7 @@ fn main() {
     println!("gateway: service {c:.2} Mb/s (utilization {utilization})\n");
 
     let opts = SolverOptions::default();
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(99);
 
     println!("buffer [s] |  model (T_c=1s) | sim, shuffled @1s |  sim, unshuffled");
     println!("{}", "-".repeat(72));

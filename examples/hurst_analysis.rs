@@ -14,7 +14,7 @@
 use lrd::prelude::*;
 use lrd::stats::HurstEstimate;
 use lrd::traffic::{fgn, onoff};
-use rand::SeedableRng;
+use lrd_rng::SeedableRng;
 
 fn report(name: &str, truth: &str, series: &[f64]) {
     let ests: [(&str, HurstEstimate); 4] = [
@@ -32,7 +32,7 @@ fn report(name: &str, truth: &str, series: &[f64]) {
 
 fn main() {
     let n = 1 << 16;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(2024);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(2024);
 
     // (i) Exact fGn at three Hurst parameters.
     for h in [0.6, 0.75, 0.9] {

@@ -60,12 +60,12 @@ fn main() {
 
     // Cross-check the solver against a Monte-Carlo simulation at one
     // cutoff.
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
     let intervals = TruncatedPareto::from_hurst(0.8, 0.05, 2.0);
     let model = QueueModel::from_utilization(marginal.clone(), intervals, utilization, buffer_seconds);
     let sol = solve(&model, &SolverOptions::default());
     let source = FluidSource::new(marginal, intervals);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(7);
     let (report, _) = simulate_source(
         &source,
         model.service_rate(),

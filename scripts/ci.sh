@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The canonical offline gate: everything a change must pass before it
+# lands. Runs entirely from the committed Cargo.lock with no network
+# access — the workspace has zero crates-io dependencies, so a plain
+# toolchain install is enough.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "=== build (release, all targets) ==="
+cargo build --release --workspace --locked
+
+echo "=== test (release) ==="
+cargo test -q --release --workspace --locked
+
+echo "=== clippy (-D warnings) ==="
+cargo clippy --workspace --all-targets --locked -- -D warnings
+
+echo "ci: all gates passed"

@@ -112,7 +112,7 @@ fn build_marginal(opts: &Flags) -> Result<Marginal, String> {
     if rates.len() != probs.len() {
         return Err("--rates and --probs must have the same length".into());
     }
-    Ok(Marginal::new(&rates, &probs))
+    Marginal::try_new(&rates, &probs).map_err(|e| e.to_string())
 }
 
 fn build_intervals(opts: &Flags) -> Result<TruncatedPareto, String> {
@@ -122,12 +122,12 @@ fn build_intervals(opts: &Flags) -> Result<TruncatedPareto, String> {
         None => f64::INFINITY,
     };
     match (opts.get("hurst"), opts.get("alpha")) {
-        (Some(h), None) => Ok(TruncatedPareto::from_hurst(
-            parse_f64(h, "hurst")?,
-            theta,
-            cutoff,
-        )),
-        (None, Some(a)) => Ok(TruncatedPareto::new(theta, parse_f64(a, "alpha")?, cutoff)),
+        (Some(h), None) => {
+            TruncatedPareto::try_from_hurst(parse_f64(h, "hurst")?, theta, cutoff)
+                .map_err(|e| e.to_string())
+        }
+        (None, Some(a)) => TruncatedPareto::try_new(theta, parse_f64(a, "alpha")?, cutoff)
+            .map_err(|e| e.to_string()),
         _ => Err("provide exactly one of --hurst or --alpha".into()),
     }
 }
@@ -135,7 +135,14 @@ fn build_intervals(opts: &Flags) -> Result<TruncatedPareto, String> {
 fn service_rate(opts: &Flags, marginal: &Marginal) -> Result<f64, String> {
     match (opts.get("utilization"), opts.get("service")) {
         (Some(u), None) => {
-            Ok(marginal.service_rate_for_utilization(parse_f64(u, "utilization")?))
+            let u = parse_f64(u, "utilization")?;
+            if !(u > 0.0 && u <= 1.0) {
+                return Err(format!("utilization must be in (0, 1], got {u}"));
+            }
+            if marginal.mean() <= 0.0 {
+                return Err("mean rate must be positive to set a utilization".into());
+            }
+            Ok(marginal.service_rate_for_utilization(u))
         }
         (None, Some(c)) => parse_f64(c, "service rate"),
         _ => Err("provide exactly one of --utilization or --service".into()),
@@ -155,7 +162,7 @@ fn cmd_solve(opts: &Flags) -> Result<(), String> {
     let intervals = build_intervals(opts)?;
     let c = service_rate(opts, &marginal)?;
     let b = buffer_mb(opts, c)?;
-    let model = QueueModel::new(marginal, intervals, c, b);
+    let model = QueueModel::try_new(marginal, intervals, c, b).map_err(|e| e.to_string())?;
     let sol = solve(&model, &SolverOptions::default());
     println!("service rate : {c:.4} Mb/s");
     println!("buffer       : {b:.4} Mb ({:.4} s)", model.normalized_buffer());
@@ -249,11 +256,11 @@ fn cmd_hurst(opts: &Flags) -> Result<(), String> {
 fn cmd_simulate(opts: &Flags) -> Result<(), String> {
     let rates = read_trace(opts)?;
     let dt = parse_f64(req(opts, "dt")?, "dt")?;
-    let trace = Trace::new(dt, rates);
+    let trace = Trace::try_new(dt, rates).map_err(|e| e.to_string())?;
     let marginal = trace.marginal(50);
     let c = service_rate(opts, &marginal)?;
     let b = buffer_mb(opts, c)?;
-    let rep = simulate_trace(&trace, c, b);
+    let rep = try_simulate_trace(&trace, c, b).map_err(|e| e.to_string())?;
     println!("duration     : {:.2} s ({} samples)", trace.duration(), trace.len());
     println!("service rate : {c:.4} Mb/s (utilization {:.3})", trace.mean_rate() / c);
     println!("buffer       : {b:.4} Mb ({:.4} s)", b / c);
@@ -313,6 +320,19 @@ mod tests {
         let c = service_rate(&f, &m).unwrap();
         assert!((c - 10.0).abs() < 1e-12);
         assert!((buffer_mb(&f, c).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_model_parameters_become_errors_not_panics() {
+        let f = flags(&[("theta", "-1"), ("alpha", "1.4")]);
+        assert!(build_intervals(&f).unwrap_err().contains("theta"));
+        let f = flags(&[("theta", "0.05"), ("alpha", "2.5")]);
+        assert!(build_intervals(&f).unwrap_err().contains("alpha"));
+        let f = flags(&[("rates", "2,14"), ("probs", "-0.5,0.5")]);
+        assert!(build_marginal(&f).is_err());
+        let m = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+        let f = flags(&[("utilization", "1.5")]);
+        assert!(service_rate(&f, &m).unwrap_err().contains("utilization"));
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub use lrd_fft as fft;
 pub use lrd_fluidq as fluidq;
+pub use lrd_rng as rng;
 pub use lrd_sim as sim;
 pub use lrd_specfun as specfun;
 pub use lrd_stats as stats;
@@ -54,15 +55,18 @@ pub use lrd_traffic as traffic;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use lrd_fluidq::{
-        correlation_horizon, empirical_horizon, solve, BoundSolver, LossKernel, LossSolution,
-        QueueModel, SolverOptions,
+        correlation_horizon, empirical_horizon, solve, try_solve, BoundSolver, DegradationReason,
+        LossKernel, LossSolution, QueueModel, SolverError, SolverOptions,
     };
-    pub use lrd_sim::{simulate_source, simulate_trace, FluidQueue, SimReport};
+    pub use lrd_sim::{
+        simulate_source, simulate_trace, try_simulate_source, try_simulate_trace, FluidQueue,
+        SimReport,
+    };
     pub use lrd_stats::{
         gph_estimate, rs_estimate, variance_time_estimate, wavelet_estimate, Histogram,
     };
     pub use lrd_traffic::{
         shuffle::external_shuffle_seconds, synth, Exponential, FluidSource, Interarrival,
-        Marginal, Trace, TruncatedPareto,
+        Marginal, ModelError, Trace, TruncatedPareto,
     };
 }

@@ -3,7 +3,7 @@
 
 use lrd::fluidq::{min_buffer_for_loss, min_streams_for_loss};
 use lrd::prelude::*;
-use rand::SeedableRng;
+use lrd_rng::SeedableRng;
 
 fn opts() -> SolverOptions {
     SolverOptions {
@@ -24,7 +24,7 @@ fn sized_buffer_validates_in_simulation() {
         .expect("feasible design");
 
     let source = FluidSource::new(marginal, iv);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(71);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(71);
     let (rep, _) = simulate_source(&source, model.service_rate(), d.value, 2_000_000, &mut rng);
     assert!(
         rep.loss_rate <= target * 1.15,
@@ -63,7 +63,7 @@ fn occupancy_tail_matches_simulation() {
     }
 
     let source = FluidSource::new(marginal, iv);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(72);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(72);
     let (_, samples) = simulate_source(
         &source,
         model.service_rate(),
@@ -98,7 +98,7 @@ fn mean_occupancy_brackets_simulation() {
     let bracket = solver.mean_occupancy();
 
     let source = FluidSource::new(marginal, iv);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(73);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(73);
     let (_, samples) = simulate_source(
         &source,
         model.service_rate(),

@@ -6,12 +6,12 @@
 use lrd::prelude::*;
 use lrd::sim::{arq_overhead, fec_residual_loss, LossProcess};
 use lrd::traffic::synth;
-use rand::SeedableRng;
+use lrd_rng::SeedableRng;
 
 fn loss_process_for(block_s: Option<f64>, trace: &Trace, c: f64, b: f64, seed: u64) -> LossProcess {
     match block_s {
         Some(s) => {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(seed);
             let shuffled = external_shuffle_seconds(trace, s, &mut rng);
             LossProcess::from_trace(&shuffled, c, b)
         }

@@ -6,12 +6,12 @@ use lrd::prelude::*;
 use lrd::stats::hurst::{gph_std_error, whittle_std_error};
 use lrd::stats::whittle_estimate;
 use lrd::traffic::fgn;
-use rand::SeedableRng;
+use lrd_rng::SeedableRng;
 
 const N: usize = 1 << 16;
 
 fn sample(h: f64, seed: u64) -> Vec<f64> {
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(seed);
     fgn::davies_harte(&mut rng, h, N)
 }
 
@@ -54,7 +54,8 @@ fn estimators_rank_hurst_correctly() {
     // order clearly separated Hurst values correctly.
     let lo = sample(0.6, 920);
     let hi = sample(0.9, 921);
-    let pairs: [(&str, fn(&[f64]) -> lrd::stats::HurstEstimate); 4] = [
+    type Estimator = fn(&[f64]) -> lrd::stats::HurstEstimate;
+    let pairs: [(&str, Estimator); 4] = [
         ("rs", rs_estimate),
         ("vt", variance_time_estimate),
         ("gph", gph_estimate),

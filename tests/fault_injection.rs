@@ -1,0 +1,426 @@
+//! Fault-injection suite for the hermetic fault-tolerance layer.
+//!
+//! Every degenerate input below must produce either a typed error or a
+//! degraded-but-valid solution — **never** a panic and never a hang.
+//! The cases mirror the error-handling contract in DESIGN.md: NaN/±inf
+//! parameters, empty and zero-mass marginals, shape parameters at and
+//! beyond the (1, 2) boundary, zero-length traces, and budget-starved
+//! solver configurations.
+
+use lrd::prelude::*;
+use lrd::rng::{rngs::SmallRng, SeedableRng};
+use lrd::traffic::Interarrival;
+
+fn model_err<T>(r: Result<T, ModelError>) -> ModelError {
+    r.err().expect("expected a ModelError")
+}
+
+// ---------------------------------------------------------------- pareto
+
+#[test]
+fn pareto_nan_and_inf_parameters_are_typed_errors() {
+    for (theta, alpha, cutoff) in [
+        (f64::NAN, 1.4, 1.0),
+        (f64::INFINITY, 1.4, 1.0),
+        (0.05, f64::NAN, 1.0),
+        (0.05, f64::NEG_INFINITY, 1.0),
+        (0.05, 1.4, f64::NAN),
+    ] {
+        match model_err(TruncatedPareto::try_new(theta, alpha, cutoff)) {
+            ModelError::NonFiniteInput { .. } => {}
+            other => panic!("expected NonFiniteInput, got {other:?}"),
+        }
+    }
+    // An infinite cutoff is the legitimate untruncated (LRD) case.
+    assert!(TruncatedPareto::try_new(0.05, 1.4, f64::INFINITY).is_ok());
+}
+
+#[test]
+fn pareto_alpha_at_and_beyond_the_open_interval_boundary() {
+    // The self-similar regime is the *open* interval (1, 2): both
+    // endpoints and everything outside must be rejected.
+    for alpha in [1.0, 2.0, 0.9, 2.5, -1.4, 0.0] {
+        match model_err(TruncatedPareto::try_new(0.05, alpha, 1.0)) {
+            ModelError::ParamOutOfDomain { param, value, .. } => {
+                assert_eq!(param, "alpha");
+                assert_eq!(value, alpha);
+            }
+            other => panic!("alpha {alpha}: expected ParamOutOfDomain, got {other:?}"),
+        }
+    }
+    // Just inside the boundary is fine.
+    assert!(TruncatedPareto::try_new(0.05, 1.0 + 1e-9, 1.0).is_ok());
+    assert!(TruncatedPareto::try_new(0.05, 2.0 - 1e-9, 1.0).is_ok());
+}
+
+#[test]
+fn pareto_nonpositive_scale_and_cutoff_rejected() {
+    assert!(TruncatedPareto::try_new(0.0, 1.4, 1.0).is_err());
+    assert!(TruncatedPareto::try_new(-0.05, 1.4, 1.0).is_err());
+    assert!(TruncatedPareto::try_new(0.05, 1.4, 0.0).is_err());
+    assert!(TruncatedPareto::try_new(0.05, 1.4, -2.0).is_err());
+}
+
+#[test]
+fn hurst_mapping_boundaries_rejected() {
+    for hurst in [0.5, 1.0, 0.2, 1.3, f64::NAN] {
+        assert!(
+            TruncatedPareto::try_from_hurst(hurst, 0.05, 1.0).is_err(),
+            "H = {hurst} should be rejected"
+        );
+    }
+    assert!(TruncatedPareto::try_from_hurst(0.8, 0.05, 1.0).is_ok());
+}
+
+#[test]
+fn exponential_degenerate_means_rejected() {
+    for mean in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        assert!(Exponential::try_new(mean).is_err(), "mean = {mean}");
+    }
+}
+
+// -------------------------------------------------------------- marginal
+
+#[test]
+fn marginal_length_mismatch_is_typed() {
+    match model_err(Marginal::try_new(&[1.0], &[0.5, 0.5])) {
+        ModelError::LengthMismatch { left, right, .. } => {
+            assert_eq!((left, right), (1, 2));
+        }
+        other => panic!("expected LengthMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_marginal_is_typed() {
+    match model_err(Marginal::try_new(&[], &[])) {
+        ModelError::EmptySupport { .. } => {}
+        other => panic!("expected EmptySupport, got {other:?}"),
+    }
+}
+
+#[test]
+fn marginal_non_finite_entries_are_typed() {
+    assert!(matches!(
+        model_err(Marginal::try_new(&[f64::NAN], &[1.0])),
+        ModelError::NonFiniteInput { .. }
+    ));
+    assert!(matches!(
+        model_err(Marginal::try_new(&[f64::INFINITY, 1.0], &[0.5, 0.5])),
+        ModelError::NonFiniteInput { .. }
+    ));
+    assert!(matches!(
+        model_err(Marginal::try_new(&[1.0], &[f64::NAN])),
+        ModelError::NonFiniteInput { .. }
+    ));
+}
+
+#[test]
+fn marginal_negative_probability_is_typed() {
+    assert!(matches!(
+        model_err(Marginal::try_new(&[1.0, 2.0], &[0.5, -0.5])),
+        ModelError::ParamOutOfDomain { param: "probability", .. }
+    ));
+}
+
+#[test]
+fn zero_mass_marginal_is_typed() {
+    match model_err(Marginal::try_new(&[1.0, 2.0], &[0.0, 0.0])) {
+        ModelError::NonNormalized { total } => assert_eq!(total, 0.0),
+        other => panic!("expected NonNormalized, got {other:?}"),
+    }
+}
+
+// ----------------------------------------------------------------- trace
+
+#[test]
+fn zero_length_trace_is_typed() {
+    match model_err(Trace::try_new(0.01, vec![])) {
+        ModelError::EmptySupport { what } => assert_eq!(what, "trace"),
+        other => panic!("expected EmptySupport, got {other:?}"),
+    }
+}
+
+#[test]
+fn trace_bad_dt_and_rates_are_typed() {
+    assert!(Trace::try_new(0.0, vec![1.0]).is_err());
+    assert!(Trace::try_new(-0.1, vec![1.0]).is_err());
+    assert!(Trace::try_new(f64::NAN, vec![1.0]).is_err());
+    assert!(Trace::try_new(f64::INFINITY, vec![1.0]).is_err());
+    assert!(matches!(
+        model_err(Trace::try_new(0.01, vec![1.0, f64::NAN])),
+        ModelError::NonFiniteInput { .. }
+    ));
+    assert!(matches!(
+        model_err(Trace::try_new(0.01, vec![1.0, -1.0])),
+        ModelError::ParamOutOfDomain { .. }
+    ));
+}
+
+// ---------------------------------------------------------------- source
+
+/// An interval distribution reporting a non-finite mean, standing in
+/// for a buggy downstream `Interarrival` implementation.
+struct BrokenIntervals;
+
+impl Interarrival for BrokenIntervals {
+    fn ccdf(&self, _t: f64) -> f64 {
+        1.0
+    }
+    fn prob_ge(&self, _t: f64) -> f64 {
+        1.0
+    }
+    fn mean(&self) -> f64 {
+        f64::NAN
+    }
+    fn variance(&self) -> f64 {
+        f64::NAN
+    }
+    fn int_ccdf(&self, _t: f64) -> f64 {
+        f64::NAN
+    }
+    fn sup(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn sample<R: lrd::rng::Rng + ?Sized>(&self, _rng: &mut R) -> f64 {
+        f64::NAN
+    }
+}
+
+#[test]
+fn fluid_source_rejects_degenerate_interval_distribution() {
+    let m = Marginal::new(&[1.0, 5.0], &[0.5, 0.5]);
+    assert!(matches!(
+        model_err(FluidSource::try_new(m, BrokenIntervals)),
+        ModelError::NonFiniteInput { .. }
+    ));
+}
+
+// ----------------------------------------------------------- queue model
+
+#[test]
+fn queue_model_degenerate_parameters_are_typed() {
+    let m = || Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let d = || TruncatedPareto::new(0.05, 1.4, 1.0);
+    for (c, b) in [
+        (f64::NAN, 1.0),
+        (f64::INFINITY, 1.0),
+        (0.0, 1.0),
+        (-1.0, 1.0),
+        (10.0, f64::NAN),
+        (10.0, f64::INFINITY),
+        (10.0, 0.0),
+        (10.0, -1.0),
+    ] {
+        assert!(
+            QueueModel::try_new(m(), d(), c, b).is_err(),
+            "c = {c}, B = {b} should be rejected"
+        );
+    }
+    // A marginal rate exactly at the service rate is the excluded
+    // degenerate case.
+    assert!(matches!(
+        model_err(QueueModel::try_new(m(), d(), 14.0, 1.0)),
+        ModelError::ParamOutOfDomain { param: "marginal rate", .. }
+    ));
+}
+
+#[test]
+fn queue_model_bad_utilization_is_typed() {
+    let m = || Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let d = || TruncatedPareto::new(0.05, 1.4, 1.0);
+    for rho in [0.0, -0.5, 1.5, f64::NAN] {
+        assert!(
+            QueueModel::try_from_utilization(m(), d(), rho, 1.0).is_err(),
+            "utilization {rho} should be rejected"
+        );
+    }
+    // A zero-mean marginal cannot be loaded to any utilization.
+    assert!(QueueModel::try_from_utilization(
+        Marginal::constant(0.0),
+        d(),
+        0.8,
+        1.0
+    )
+    .is_err());
+}
+
+// ------------------------------------------------------------- simulator
+
+#[test]
+fn fluid_queue_degenerate_parameters_are_typed() {
+    for (c, b) in [(0.0, 1.0), (f64::NAN, 1.0), (1.0, 0.0), (1.0, f64::NAN)] {
+        assert!(FluidQueue::try_new(c, b).is_err(), "c = {c}, B = {b}");
+    }
+}
+
+#[test]
+fn bad_offers_are_typed_and_leave_the_queue_untouched() {
+    let mut q = FluidQueue::new(1.0, 2.0);
+    q.offer(2.0, 1.0);
+    let (occ, arrived, elapsed) = (q.occupancy(), q.arrived(), q.elapsed());
+    for (rate, dur) in [
+        (f64::NAN, 1.0),
+        (f64::INFINITY, 1.0),
+        (-1.0, 1.0),
+        (1.0, f64::NAN),
+        (1.0, f64::INFINITY),
+        (1.0, 0.0),
+        (1.0, -1.0),
+    ] {
+        assert!(q.try_offer(rate, dur).is_err(), "rate {rate}, dur {dur}");
+        assert_eq!(q.occupancy(), occ, "occupancy changed on failed offer");
+        assert_eq!(q.arrived(), arrived, "arrivals changed on failed offer");
+        assert_eq!(q.elapsed(), elapsed, "clock changed on failed offer");
+    }
+}
+
+#[test]
+fn simulate_source_zero_intervals_is_typed() {
+    let source = FluidSource::new(
+        Marginal::new(&[2.0, 14.0], &[0.5, 0.5]),
+        TruncatedPareto::new(0.05, 1.4, 1.0),
+    );
+    let mut rng = SmallRng::seed_from_u64(1);
+    assert!(try_simulate_source(&source, 10.0, 2.0, 0, &mut rng).is_err());
+    // And bad queue parameters travel through the same typed path.
+    assert!(try_simulate_source(&source, f64::NAN, 2.0, 10, &mut rng).is_err());
+}
+
+#[test]
+fn simulate_trace_bad_queue_is_typed() {
+    let trace = Trace::new(0.01, vec![1.0, 2.0, 3.0]);
+    assert!(try_simulate_trace(&trace, 0.0, 1.0).is_err());
+    assert!(try_simulate_trace(&trace, 1.0, f64::NEG_INFINITY).is_err());
+    assert!(try_simulate_trace(&trace, 1.0, 1.0).is_ok());
+}
+
+// ---------------------------------------------------------------- solver
+
+fn lossy_model() -> QueueModel<TruncatedPareto> {
+    QueueModel::new(
+        Marginal::new(&[2.0, 14.0], &[0.5, 0.5]),
+        TruncatedPareto::new(0.05, 1.4, 1.0),
+        10.0,
+        2.0,
+    )
+}
+
+#[test]
+fn invalid_solver_options_are_typed_errors() {
+    let bad: Vec<SolverOptions> = vec![
+        SolverOptions { rel_gap: 0.0, ..SolverOptions::default() },
+        SolverOptions { rel_gap: -0.1, ..SolverOptions::default() },
+        SolverOptions { rel_gap: f64::NAN, ..SolverOptions::default() },
+        SolverOptions { rel_gap: f64::INFINITY, ..SolverOptions::default() },
+        SolverOptions { initial_bins: 1, ..SolverOptions::default() },
+        SolverOptions { max_bins: 1, ..SolverOptions::default() },
+        SolverOptions { zero_floor: f64::NAN, ..SolverOptions::default() },
+        SolverOptions { zero_floor: -1.0, ..SolverOptions::default() },
+        SolverOptions { max_iterations_per_level: 0, ..SolverOptions::default() },
+        SolverOptions { stall_tolerance: f64::NAN, ..SolverOptions::default() },
+        SolverOptions { stall_tolerance: 1.0, ..SolverOptions::default() },
+        SolverOptions { stall_window: 0, ..SolverOptions::default() },
+        SolverOptions { max_total_cost: 0.0, ..SolverOptions::default() },
+        SolverOptions { max_total_cost: f64::NAN, ..SolverOptions::default() },
+    ];
+    let model = lossy_model();
+    for opts in &bad {
+        match try_solve(&model, opts) {
+            Err(SolverError::InvalidOption { .. }) => {}
+            other => panic!("expected InvalidOption for {opts:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn budget_starved_solver_degrades_instead_of_failing() {
+    let opts = SolverOptions {
+        max_total_cost: 300.0,
+        rel_gap: 1e-9, // unreachable: forces the budget path
+        ..SolverOptions::default()
+    };
+    let sol = try_solve(&lossy_model(), &opts).expect("valid options");
+    assert!(!sol.converged);
+    assert!(sol.is_degraded());
+    assert!(matches!(
+        sol.degradation,
+        Some(DegradationReason::BudgetExhausted { spent, budget })
+            if spent > budget && budget == 300.0
+    ));
+    assert!(sol.lower.is_finite() && sol.upper.is_finite());
+    assert!(0.0 <= sol.lower && sol.lower <= sol.upper);
+}
+
+#[test]
+fn grid_ceiling_degrades_instead_of_failing() {
+    let opts = SolverOptions {
+        initial_bins: 8,
+        max_bins: 8, // no refinement allowed
+        rel_gap: 1e-9,
+        ..SolverOptions::default()
+    };
+    let sol = try_solve(&lossy_model(), &opts).expect("valid options");
+    assert!(!sol.converged);
+    assert_eq!(sol.bins, 8);
+    assert!(matches!(
+        sol.degradation,
+        Some(DegradationReason::GridCeiling { max_bins: 8 })
+    ));
+    assert!(sol.lower.is_finite() && sol.upper.is_finite());
+    assert!(sol.lower <= sol.upper);
+}
+
+#[test]
+fn stall_triggers_refinement_before_hitting_the_ceiling() {
+    // With an unreachable gap target the coarse grid must stall, the
+    // stall must trigger one refinement (8 → 16 bins), and the ceiling
+    // must then stop the solve with valid non-converged bounds.
+    let opts = SolverOptions {
+        initial_bins: 8,
+        max_bins: 16,
+        rel_gap: 1e-9,
+        ..SolverOptions::default()
+    };
+    let sol = try_solve(&lossy_model(), &opts).expect("valid options");
+    assert!(!sol.converged);
+    assert_eq!(sol.bins, 16, "stall did not trigger refinement");
+    assert!(matches!(
+        sol.degradation,
+        Some(DegradationReason::GridCeiling { max_bins: 16 })
+    ));
+    assert!(sol.lower.is_finite() && sol.upper.is_finite());
+    assert!(sol.lower <= sol.upper);
+}
+
+#[test]
+fn bound_solver_rejects_degenerate_grids() {
+    assert!(BoundSolver::try_new(lossy_model(), 0).is_err());
+    assert!(BoundSolver::try_new(lossy_model(), 1).is_err());
+    assert!(BoundSolver::try_new(lossy_model(), 2).is_ok());
+}
+
+#[test]
+fn clean_solve_reports_no_degradation() {
+    let sol = try_solve(&lossy_model(), &SolverOptions::default()).expect("valid options");
+    assert!(sol.converged);
+    assert!(!sol.is_degraded());
+    assert_eq!(sol.degradation, None);
+}
+
+#[test]
+fn error_messages_are_informative() {
+    // The Display strings are the public degradation contract: they
+    // must name the parameter and the violated constraint.
+    let e = TruncatedPareto::try_new(0.05, 2.5, 1.0).unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("alpha") && msg.contains("(1, 2)") && msg.contains("2.5"), "{msg}");
+
+    let e = try_solve(
+        &lossy_model(),
+        &SolverOptions { rel_gap: -1.0, ..SolverOptions::default() },
+    )
+    .unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("rel_gap") && msg.contains("-1"), "{msg}");
+}

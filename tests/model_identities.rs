@@ -4,7 +4,7 @@
 
 use lrd::prelude::*;
 use lrd::traffic::{covariance, fgn};
-use rand::SeedableRng;
+use lrd_rng::SeedableRng;
 
 #[test]
 fn sampled_paths_match_analytic_autocovariance() {
@@ -14,7 +14,7 @@ fn sampled_paths_match_analytic_autocovariance() {
     let marginal = Marginal::new(&[1.0, 9.0], &[0.5, 0.5]);
     let iv = TruncatedPareto::new(0.1, 1.5, 2.0);
     let source = FluidSource::new(marginal.clone(), iv);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(11);
     let dt = 0.05;
     let trace = source.sample_trace(&mut rng, dt, 400_000);
 
@@ -45,7 +45,7 @@ fn sampled_paths_match_analytic_autocovariance() {
 #[test]
 fn mean_interval_matches_eq25_empirically() {
     let iv = TruncatedPareto::new(0.04, 1.3, 0.8);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(12);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(12);
     use lrd::traffic::Interarrival;
     let n = 500_000;
     let sum: f64 = (0..n).map(|_| iv.sample(&mut rng)).sum();
@@ -64,7 +64,7 @@ fn untruncated_model_is_asymptotically_self_similar() {
     let alpha = 1.4; // H = 0.8
     let marginal = Marginal::new(&[0.0, 4.0], &[0.5, 0.5]);
     let source = FluidSource::new(marginal, TruncatedPareto::new(0.02, alpha, f64::INFINITY));
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(13);
     let trace = source.sample_trace(&mut rng, 0.05, 1 << 17);
     let est = variance_time_estimate(trace.rates());
     let want = (3.0 - alpha) / 2.0;
@@ -82,7 +82,7 @@ fn truncation_removes_long_range_dependence() {
     // process must look short-range dependent (H near 1/2).
     let marginal = Marginal::new(&[0.0, 4.0], &[0.5, 0.5]);
     let source = FluidSource::new(marginal, TruncatedPareto::new(0.02, 1.4, 0.25));
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(14);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(14);
     let trace = source.sample_trace(&mut rng, 0.05, 1 << 17);
     // Aggregate to 0.5 s bins (well above the 0.25 s cutoff) before
     // estimating: all remaining correlation is sub-bin.
@@ -99,7 +99,7 @@ fn truncation_removes_long_range_dependence() {
 fn fgn_copula_traces_keep_their_hurst() {
     // The synthetic-trace pipeline end to end: fGn → copula → marginal
     // map → Hurst estimate.
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(15);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(15);
     let g = fgn::davies_harte(&mut rng, 0.85, 1 << 16);
     let est = wavelet_estimate(&g);
     assert!((est.h - 0.85).abs() < 0.06, "wavelet H {} vs 0.85", est.h);

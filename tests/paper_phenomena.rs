@@ -133,12 +133,12 @@ fn shuffling_and_model_tell_the_same_story() {
     // The cutoff in the model and external shuffling of the trace are
     // the same operation in different guises (paper Sec. III): both
     // loss curves must increase with the cutoff/block length.
-    use rand::SeedableRng;
+    use lrd_rng::SeedableRng;
     let trace = synth::mtv_like_with_len(synth::DEFAULT_SEED, 1 << 14);
     let marginal = trace.marginal(50);
     let c = marginal.service_rate_for_utilization(0.8);
     let b = c * 0.2;
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(5);
     let mut prev = -1.0;
     for block_s in [0.1, 1.0, 10.0] {
         let shuffled = external_shuffle_seconds(&trace, block_s, &mut rng);

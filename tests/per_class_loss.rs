@@ -5,7 +5,7 @@
 
 use lrd::fluidq::LossKernel;
 use lrd::prelude::*;
-use rand::SeedableRng;
+use lrd_rng::SeedableRng;
 
 #[test]
 fn analytic_split_matches_simulation() {
@@ -29,7 +29,7 @@ fn analytic_split_matches_simulation() {
 
     // Monte-Carlo attribution: lost work per active rate class.
     let source = FluidSource::new(marginal.clone(), iv);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(404);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(404);
     let (_, samples) = simulate_source(
         &source,
         model.service_rate(),

@@ -1,113 +1,150 @@
 //! Property-based verification of Proposition II.1 — the heart of the
-//! paper's numerical method — over randomized model instances:
+//! paper's numerical method — over randomized model instances, run as
+//! seeded hand-rolled case loops:
 //!
 //! * `l(Q_L^M(n))` is non-decreasing in `n` and in `M`,
 //! * `l(Q_H^M(n))` is non-increasing in `n` and in `M`,
 //! * `l(Q_L^M(n)) <= l(Q_H^M(n))` always.
 
 use lrd::prelude::*;
-use proptest::prelude::*;
+use lrd::rng::{rngs::SmallRng, Rng, SeedableRng};
+
+const CASES: u64 = 24;
 
 /// A random but well-posed queue model: 2–5 rates straddling the
 /// service rate, Pareto shape in (1.05, 1.95), various cutoffs.
-fn arb_model() -> impl Strategy<Value = QueueModel<TruncatedPareto>> {
-    (
-        proptest::collection::vec((0.1f64..20.0, 0.05f64..1.0), 2..6),
-        1.05f64..1.95,
-        0.005f64..0.2,
-        prop_oneof![(0.05f64..20.0).boxed(), Just(f64::INFINITY).boxed()],
-        0.3f64..0.95,
-        0.02f64..1.0,
-    )
-        .prop_filter_map(
-            "need overload and underload rates distinct from c",
-            |(pairs, alpha, theta, cutoff, util, buf_s)| {
-                let rates: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-                let probs: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-                let marginal = Marginal::new(&rates, &probs);
-                if marginal.len() < 2 || marginal.mean() <= 0.0 {
-                    return None;
-                }
-                let c = marginal.mean() / util;
-                if marginal.rates().iter().any(|&r| (r - c).abs() < 1e-6) {
-                    return None;
-                }
-                let iv = TruncatedPareto::new(theta, alpha, cutoff);
-                Some(QueueModel::new(marginal, iv, c, c * buf_s))
-            },
-        )
+/// Retries until overload and underload rates exist distinct from `c`.
+fn arb_model(rng: &mut SmallRng) -> QueueModel<TruncatedPareto> {
+    loop {
+        let n = rng.gen_range(2usize..6);
+        let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1f64..20.0)).collect();
+        let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05f64..1.0)).collect();
+        let marginal = Marginal::new(&rates, &probs);
+        if marginal.len() < 2 || marginal.mean() <= 0.0 {
+            continue;
+        }
+        let util = rng.gen_range(0.3f64..0.95);
+        let c = marginal.mean() / util;
+        if marginal.rates().iter().any(|&r| (r - c).abs() < 1e-6) {
+            continue;
+        }
+        let theta = rng.gen_range(0.005f64..0.2);
+        let alpha = rng.gen_range(1.05f64..1.95);
+        let cutoff = if rng.gen_bool(0.5) {
+            rng.gen_range(0.05f64..20.0)
+        } else {
+            f64::INFINITY
+        };
+        let buf_s = rng.gen_range(0.02f64..1.0);
+        let iv = TruncatedPareto::new(theta, alpha, cutoff);
+        return QueueModel::new(marginal, iv, c, c * buf_s);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn bounds_are_ordered_and_monotone_in_n(model in arb_model()) {
+#[test]
+fn bounds_are_ordered_and_monotone_in_n() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x21_0000 + case);
+        let model = arb_model(&mut rng);
         let mut solver = BoundSolver::new(model, 48);
         let mut prev = (0.0f64, f64::INFINITY);
         for _ in 0..40 {
             solver.step();
             let (l, h) = solver.loss_bounds();
-            prop_assert!(l <= h + 1e-10, "lower {l} above upper {h}");
-            prop_assert!(l >= prev.0 - 1e-9, "lower decreased: {l} < {}", prev.0);
-            prop_assert!(h <= prev.1 + 1e-9, "upper increased: {h} > {}", prev.1);
+            assert!(l <= h + 1e-10, "case {case}: lower {l} above upper {h}");
+            assert!(l >= prev.0 - 1e-9, "case {case}: lower decreased: {l} < {}", prev.0);
+            assert!(h <= prev.1 + 1e-9, "case {case}: upper increased: {h} > {}", prev.1);
             prev = (l, h);
         }
     }
+}
 
-    #[test]
-    fn bounds_tighten_with_resolution(model in arb_model()) {
-        // Run coarse and fine grids to near-stationarity; the fine
-        // bounds must bracket at least as tightly.
+#[test]
+fn bounds_tighten_with_resolution() {
+    // Run coarse and fine grids to near-stationarity; the fine
+    // bounds must bracket at least as tightly.
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x22_0000 + case);
+        let model = arb_model(&mut rng);
         let run = |bins: usize| {
             let mut s = BoundSolver::new(model.clone(), bins);
-            for _ in 0..600 { s.step(); }
+            for _ in 0..600 {
+                s.step();
+            }
             s.loss_bounds()
         };
         let (lc, hc) = run(32);
         let (lf, hf) = run(128);
-        prop_assert!(lf >= lc - 1e-9, "finer lower bound fell: {lf} < {lc}");
-        prop_assert!(hf <= hc + 1e-9, "finer upper bound rose: {hf} > {hc}");
+        assert!(lf >= lc - 1e-9, "case {case}: finer lower bound fell: {lf} < {lc}");
+        assert!(hf <= hc + 1e-9, "case {case}: finer upper bound rose: {hf} > {hc}");
     }
+}
 
-    #[test]
-    fn occupancy_chains_remain_distributions(model in arb_model()) {
+#[test]
+fn occupancy_chains_remain_distributions() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x23_0000 + case);
+        let model = arb_model(&mut rng);
         let mut solver = BoundSolver::new(model, 64);
-        for _ in 0..60 { solver.step(); }
+        for _ in 0..60 {
+            solver.step();
+        }
         for q in [solver.occupancy_lower(), solver.occupancy_upper()] {
             let total: f64 = q.iter().sum();
-            prop_assert!((total - 1.0).abs() < 1e-8, "mass {total}");
-            prop_assert!(q.iter().all(|&p| p >= 0.0));
+            assert!((total - 1.0).abs() < 1e-8, "case {case}: mass {total}");
+            assert!(q.iter().all(|&p| p >= 0.0), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn warm_restart_refinement_preserves_bounds(model in arb_model()) {
-        // Footnote 3: refining mid-run must keep the bound property —
-        // bounds stay ordered and keep their monotone direction after
-        // the transplant.
+#[test]
+fn warm_restart_refinement_preserves_bounds() {
+    // Footnote 3: refining mid-run must keep the bound property —
+    // bounds stay ordered and keep their monotone direction after
+    // the transplant.
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x24_0000 + case);
+        let model = arb_model(&mut rng);
         let mut solver = BoundSolver::new(model, 32);
-        for _ in 0..30 { solver.step(); }
+        for _ in 0..30 {
+            solver.step();
+        }
         let (l_before, h_before) = solver.loss_bounds();
         solver.refine();
         // The transplanted distributions are re-expressed on the finer
         // grid; the loss functional may only move within the old
         // bracket direction after more iterations.
-        for _ in 0..60 { solver.step(); }
+        for _ in 0..60 {
+            solver.step();
+        }
         let (l_after, h_after) = solver.loss_bounds();
-        prop_assert!(l_after <= h_after + 1e-10);
-        prop_assert!(l_after >= l_before - 1e-9,
-            "lower bound regressed after refinement: {l_after} < {l_before}");
-        prop_assert!(h_after <= h_before + 1e-9,
-            "upper bound regressed after refinement: {h_after} > {h_before}");
+        assert!(l_after <= h_after + 1e-10, "case {case}");
+        assert!(
+            l_after >= l_before - 1e-9,
+            "case {case}: lower bound regressed after refinement: {l_after} < {l_before}"
+        );
+        assert!(
+            h_after <= h_before + 1e-9,
+            "case {case}: upper bound regressed after refinement: {h_after} > {h_before}"
+        );
     }
+}
 
-    #[test]
-    fn solve_midpoint_within_bounds(model in arb_model()) {
-        let opts = SolverOptions { max_bins: 1 << 12, ..SolverOptions::default() };
+#[test]
+fn solve_midpoint_within_bounds() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x25_0000 + case);
+        let model = arb_model(&mut rng);
+        let opts = SolverOptions {
+            max_bins: 1 << 12,
+            ..SolverOptions::default()
+        };
         let sol = solve(&model, &opts);
-        prop_assert!(sol.lower >= 0.0);
-        prop_assert!(sol.upper <= 1.0 + 1e-9, "loss rate above 1: {}", sol.upper);
-        prop_assert!(sol.lower <= sol.loss() && sol.loss() <= sol.upper);
+        assert!(sol.lower >= 0.0, "case {case}");
+        assert!(sol.upper <= 1.0 + 1e-9, "case {case}: loss rate above 1: {}", sol.upper);
+        assert!(
+            sol.lower <= sol.loss() && sol.loss() <= sol.upper,
+            "case {case}"
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! model itself.
 
 use lrd::prelude::*;
-use rand::SeedableRng;
+use lrd_rng::SeedableRng;
 
 /// Asserts that the simulated loss rate falls inside (a slightly
 /// widened copy of) the solver's provable bounds.
@@ -12,7 +12,7 @@ fn check(model: &QueueModel<TruncatedPareto>, seed: u64, intervals: usize) {
     let sol = solve(model, &SolverOptions::default());
     assert!(sol.converged, "solver did not converge for {model:?}");
     let source = FluidSource::new(model.marginal().clone(), *model.intervals());
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(seed);
     let (rep, _) = simulate_source(
         &source,
         model.service_rate(),
@@ -84,7 +84,7 @@ fn exponential_intervals_agree_too() {
     let sol = solve(&model, &SolverOptions::default());
     assert!(sol.converged);
     let source = FluidSource::new(marginal, Exponential::new(0.08));
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(42);
     let (rep, _) = simulate_source(
         &source,
         model.service_rate(),
@@ -117,7 +117,7 @@ fn occupancy_distribution_matches_solver_bounds() {
     }
 
     let source = FluidSource::new(marginal, iv);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(7);
     let (_, samples) = simulate_source(
         &source,
         model.service_rate(),

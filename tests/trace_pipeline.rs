@@ -4,7 +4,7 @@
 
 use lrd::prelude::*;
 use lrd::traffic::{fgn, onoff, shuffle};
-use rand::SeedableRng;
+use lrd_rng::SeedableRng;
 
 #[test]
 fn synthetic_traces_reproduce_published_statistics() {
@@ -27,7 +27,7 @@ fn synthetic_traces_reproduce_published_statistics() {
 
 #[test]
 fn all_estimators_agree_on_strong_lrd() {
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(1);
     let x = fgn::davies_harte(&mut rng, 0.9, 1 << 16);
     let estimates = [
         ("rs", rs_estimate(&x).h),
@@ -48,7 +48,7 @@ fn onoff_aggregate_feeds_the_queue_sensibly() {
     // The paper's physical LRD generator, run through the simulator:
     // higher aggregate load ⇒ higher loss; loss always in [0, 1].
     let src = onoff::OnOffSource::new(1.0, 1.4, 0.05, 1.4, 0.15);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(2);
     let trace = onoff::aggregate_trace(&src, 30, 0.1, 40_000, &mut rng);
     let mean = trace.mean_rate();
     let mut prev = -1.0;
@@ -68,7 +68,7 @@ fn onoff_aggregate_feeds_the_queue_sensibly() {
 #[test]
 fn shuffling_preserves_marginal_exactly() {
     let trace = synth::mtv_like_with_len(7, 4096);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(3);
     let shuffled = shuffle::external_shuffle(&trace, 37, &mut rng);
     let a = trace.marginal(50);
     let b = shuffled.marginal(50);
@@ -85,7 +85,7 @@ fn internal_shuffle_preserves_long_range_structure() {
     // Internal shuffling (the dual of Fig. 6) keeps block means, so
     // an aggregated Hurst estimate is unchanged while the fine-scale
     // correlation collapses.
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+    let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(4);
     let g = fgn::davies_harte(&mut rng, 0.9, 1 << 15);
     let trace = Trace::new(0.01, g.iter().map(|v| v.abs() + 0.1).collect());
     let block = 64;

@@ -86,6 +86,7 @@ impl Group<'_> {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            metrics: None,
         };
         f(&mut b);
         b.report(&full);
@@ -114,6 +115,7 @@ impl Group<'_> {
 pub struct Bencher {
     samples: Vec<f64>,
     sample_size: usize,
+    metrics: Option<lrd_obs::MetricsRegistry>,
 }
 
 impl Bencher {
@@ -138,6 +140,18 @@ impl Bencher {
             }
             self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
         }
+        // One final *unmeasured* iteration with telemetry collecting,
+        // so the report can say what the benchmarked code actually did
+        // (solver iterations, refinements, convolutions, …). Runs after
+        // the timing samples; the wall-clock numbers never include
+        // subscriber overhead.
+        let collector = std::sync::Arc::new(lrd_obs::CollectingSubscriber::new());
+        {
+            let _guard = lrd_obs::install(collector.clone());
+            black_box(f());
+        }
+        let snapshot = collector.snapshot();
+        self.metrics = (!snapshot.is_empty()).then_some(snapshot);
     }
 
     fn report(&self, name: &str) {
@@ -156,6 +170,9 @@ impl Bencher {
             fmt_time(min),
             fmt_time(max)
         );
+        if let Some(metrics) = &self.metrics {
+            println!("{:<48} {}", "", metrics.render_compact());
+        }
     }
 }
 
@@ -180,10 +197,13 @@ mod tests {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: 3,
+            metrics: None,
         };
         b.iter(|| (0..100u64).sum::<u64>());
         assert_eq!(b.samples.len(), 3);
         assert!(b.samples.iter().all(|&s| s > 0.0 && s.is_finite()));
+        // A closure emitting no telemetry yields no metrics snapshot.
+        assert!(b.metrics.is_none());
     }
 
     #[test]

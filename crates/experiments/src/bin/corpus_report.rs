@@ -6,7 +6,9 @@ use lrd_experiments::{output, Corpus};
 use lrd_stats::{wavelet_estimate, whittle_estimate};
 
 fn main() {
-    let quick = lrd_experiments::cli::run_config().quick;
+    let config = lrd_experiments::cli::run_config();
+    let _telemetry = config.install_telemetry();
+    let quick = config.quick;
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let mut out = String::from(
         "trace,samples,dt_s,mean_rate_mbps,std_mbps,target_h,wavelet_h,whittle_h,mean_epoch_s,theta_s\n",

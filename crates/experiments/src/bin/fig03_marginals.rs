@@ -4,7 +4,9 @@ use lrd_experiments::figures::fig03;
 use lrd_experiments::{output, Corpus};
 
 fn main() {
-    let quick = lrd_experiments::cli::run_config().quick;
+    let config = lrd_experiments::cli::run_config();
+    let _telemetry = config.install_telemetry();
+    let quick = config.quick;
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let series = fig03::run(&corpus);
     let csv = fig03::to_csv(&series);

@@ -9,7 +9,9 @@ use lrd_rng::rngs::SmallRng;
 use lrd_rng::SeedableRng;
 
 fn main() {
-    let quick = lrd_experiments::cli::run_config().quick;
+    let config = lrd_experiments::cli::run_config();
+    let _telemetry = config.install_telemetry();
+    let quick = config.quick;
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let trace = &corpus.mtv.trace;
     let block = 64usize; // samples per shuffle block

@@ -4,7 +4,9 @@ use lrd_experiments::figures::{fig07_08, Profile};
 use lrd_experiments::{output, Corpus};
 
 fn main() {
-    let quick = lrd_experiments::cli::run_config().quick;
+    let config = lrd_experiments::cli::run_config();
+    let _telemetry = config.install_telemetry();
+    let quick = config.quick;
     let profile = if quick { Profile::Quick } else { Profile::Full };
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let grid = fig07_08::fig08(&corpus, profile);

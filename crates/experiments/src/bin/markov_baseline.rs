@@ -5,7 +5,9 @@ use lrd_experiments::figures::{markov_baseline, Profile};
 use lrd_experiments::{output, Corpus};
 
 fn main() {
-    let quick = lrd_experiments::cli::run_config().quick;
+    let config = lrd_experiments::cli::run_config();
+    let _telemetry = config.install_telemetry();
+    let quick = config.quick;
     let profile = if quick { Profile::Quick } else { Profile::Full };
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let series = markov_baseline::run(&corpus, profile);

@@ -6,14 +6,30 @@
 //! Times one solve per parameter corner and prints a CSV of
 //! `(utilization, buffer_s, cutoff_s, loss, iterations, bins,
 //! converged, millis)` so the footnote's easy/hard regimes can be seen
-//! directly.
+//! directly. The timing comes from the solver's own `solver.solve`
+//! telemetry span — the same clock every figure binary reports through
+//! `--telemetry-summary` — rather than an ad-hoc stopwatch around the
+//! call.
 
 use lrd_experiments::{output, Corpus};
 use lrd_fluidq::solve;
-use std::time::Instant;
+use std::sync::Arc;
 
 fn main() {
-    let quick = lrd_experiments::cli::run_config().quick;
+    let config = lrd_experiments::cli::run_config();
+    // Observe the runs through a collector fanned in alongside any
+    // sinks the command line asked for.
+    let collector = Arc::new(lrd_obs::CollectingSubscriber::new());
+    let mut sinks = match config.build_subscribers() {
+        Ok(sinks) => sinks,
+        Err(e) => {
+            eprintln!("error: cannot open telemetry file: {e}");
+            std::process::exit(1);
+        }
+    };
+    sinks.push(collector.clone());
+    let _telemetry = lrd_obs::install_fanout(sinks);
+    let quick = config.quick;
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let opts = lrd_experiments::figures::solver_options();
 
@@ -26,9 +42,12 @@ fn main() {
         for &b in &buffers {
             for &tc in &cutoffs {
                 let model = corpus.mtv.model(u, b, tc);
-                let t0 = Instant::now();
                 let sol = solve(&model, &opts);
-                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                let ms = collector
+                    .spans("solver.solve")
+                    .last()
+                    .and_then(|s| s.dur_us())
+                    .map_or(f64::NAN, |us| us / 1e3);
                 csv.push_str(&format!(
                     "{u},{b},{tc},{:.6e},{},{},{},{:.2}\n",
                     sol.loss(),

@@ -1,18 +1,65 @@
 //! Shared command-line handling for the figure binaries.
 //!
-//! Every binary accepts the same arguments (`--quick` and `--help`),
-//! so parsing lives here. Invalid invocations produce a typed
-//! [`CliError`] — the binaries print it to stderr and exit with status
-//! 1 instead of silently ignoring unknown flags (the degradation
-//! contract in DESIGN.md: bad configuration is an error, not a guess).
+//! Every binary accepts the same arguments (`--quick`, `--telemetry`,
+//! `--telemetry-summary` and `--help`), so parsing lives here. Invalid
+//! invocations produce a typed [`CliError`] — the binaries print it to
+//! stderr and exit with status 1 instead of silently ignoring unknown
+//! flags (the degradation contract in DESIGN.md: bad configuration is
+//! an error, not a guess).
 
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// How a figure binary should run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RunConfig {
     /// Use the reduced quick-profile grids (`--quick`).
     pub quick: bool,
+    /// Write structured JSONL telemetry to this path
+    /// (`--telemetry <path>`).
+    pub telemetry: Option<PathBuf>,
+    /// Print the aggregated telemetry table to stderr on exit
+    /// (`--telemetry-summary`).
+    pub telemetry_summary: bool,
+}
+
+impl RunConfig {
+    /// The telemetry sinks this configuration asks for: a JSONL writer
+    /// when `--telemetry` was given, a stderr summary table when
+    /// `--telemetry-summary` was. Empty (telemetry stays disabled) with
+    /// neither flag. Harnesses that want to observe the run themselves
+    /// can append their own sink before installing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the JSONL file cannot be created.
+    pub fn build_subscribers(&self) -> std::io::Result<Vec<Arc<dyn lrd_obs::Subscriber>>> {
+        let mut sinks: Vec<Arc<dyn lrd_obs::Subscriber>> = Vec::new();
+        if let Some(path) = &self.telemetry {
+            sinks.push(Arc::new(lrd_obs::JsonlSubscriber::create(path)?));
+        }
+        if self.telemetry_summary {
+            sinks.push(Arc::new(lrd_obs::SummarySubscriber::stderr()));
+        }
+        Ok(sinks)
+    }
+
+    /// Installs the configured telemetry sinks for the lifetime of the
+    /// returned guard — the one-liner every figure binary calls right
+    /// after parsing. A no-op guard when no telemetry was requested; on
+    /// an unwritable `--telemetry` path the error is printed and the
+    /// process exits with status 1 (same contract as a bad flag).
+    pub fn install_telemetry(&self) -> lrd_obs::InstallGuard {
+        match self.build_subscribers() {
+            Ok(sinks) => lrd_obs::install_fanout(sinks),
+            Err(e) => {
+                let path = self.telemetry.as_deref().unwrap_or_else(|| "?".as_ref());
+                eprintln!("error: cannot open telemetry file {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Why the command line was rejected.
@@ -20,13 +67,22 @@ pub struct RunConfig {
 pub enum CliError {
     /// An argument no figure binary understands.
     UnknownArgument(String),
+    /// A flag that needs a value was given without one.
+    MissingValue(&'static str),
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::UnknownArgument(arg) => {
-                write!(f, "unknown argument `{arg}` (expected --quick or --help)")
+                write!(
+                    f,
+                    "unknown argument `{arg}` (expected --quick, --telemetry <path>, \
+                     --telemetry-summary or --help)"
+                )
+            }
+            CliError::MissingValue(flag) => {
+                write!(f, "{flag} requires a value")
             }
         }
     }
@@ -37,20 +93,39 @@ impl std::error::Error for CliError {}
 /// Parses an argument list (without the program name).
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliError> {
     let mut config = RunConfig::default();
-    for arg in args {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => config.quick = true,
+            "--telemetry" => {
+                let path = args.next().ok_or(CliError::MissingValue("--telemetry"))?;
+                config.telemetry = Some(PathBuf::from(path));
+            }
+            "--telemetry-summary" => config.telemetry_summary = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: <figure binary> [--quick]\n\
+                    "usage: <figure binary> [--quick] [--telemetry <path.jsonl>] \
+                     [--telemetry-summary]\n\
                      \n\
-                     --quick   reduced grids (seconds instead of minutes)\n\
-                     --help    this message\n\
+                     --quick              reduced grids (seconds instead of minutes)\n\
+                     --telemetry <path>   write structured JSONL telemetry (solver\n\
+                     \u{20}                    spans, per-iteration gaps, refinements,\n\
+                     \u{20}                    metrics) to <path>\n\
+                     --telemetry-summary  print an aggregated timing/metrics table\n\
+                     \u{20}                    to stderr on exit\n\
+                     --help               this message\n\
                      \n\
                      Output: CSV on stdout, progress on stderr, results\n\
                      file under results/."
                 );
                 std::process::exit(0);
+            }
+            other if other.starts_with("--telemetry=") => {
+                let path = &other["--telemetry=".len()..];
+                if path.is_empty() {
+                    return Err(CliError::MissingValue("--telemetry"));
+                }
+                config.telemetry = Some(PathBuf::from(path));
             }
             other => return Err(CliError::UnknownArgument(other.to_string())),
         }
@@ -81,12 +156,37 @@ mod tests {
 
     #[test]
     fn empty_is_full_profile() {
-        assert_eq!(parse(strings(&[])), Ok(RunConfig { quick: false }));
+        assert_eq!(parse(strings(&[])), Ok(RunConfig::default()));
     }
 
     #[test]
     fn quick_flag() {
-        assert_eq!(parse(strings(&["--quick"])), Ok(RunConfig { quick: true }));
+        let config = parse(strings(&["--quick"])).unwrap();
+        assert!(config.quick);
+        assert!(config.telemetry.is_none());
+        assert!(!config.telemetry_summary);
+    }
+
+    #[test]
+    fn telemetry_flags() {
+        let config =
+            parse(strings(&["--telemetry", "out.jsonl", "--telemetry-summary"])).unwrap();
+        assert_eq!(config.telemetry, Some(PathBuf::from("out.jsonl")));
+        assert!(config.telemetry_summary);
+        let config = parse(strings(&["--telemetry=t.jsonl"])).unwrap();
+        assert_eq!(config.telemetry, Some(PathBuf::from("t.jsonl")));
+    }
+
+    #[test]
+    fn telemetry_without_path_is_a_typed_error() {
+        assert_eq!(
+            parse(strings(&["--telemetry"])),
+            Err(CliError::MissingValue("--telemetry"))
+        );
+        assert_eq!(
+            parse(strings(&["--telemetry="])),
+            Err(CliError::MissingValue("--telemetry"))
+        );
     }
 
     #[test]
@@ -103,5 +203,24 @@ mod tests {
     fn error_message_names_the_argument() {
         let e = parse(strings(&["--bogus"])).unwrap_err();
         assert!(e.to_string().contains("--bogus"));
+        assert!(parse(strings(&["--telemetry"]))
+            .unwrap_err()
+            .to_string()
+            .contains("--telemetry"));
+    }
+
+    #[test]
+    fn no_flags_build_no_subscribers() {
+        let sinks = RunConfig::default().build_subscribers().unwrap();
+        assert!(sinks.is_empty());
+    }
+
+    #[test]
+    fn summary_flag_builds_one_subscriber() {
+        let config = RunConfig {
+            telemetry_summary: true,
+            ..RunConfig::default()
+        };
+        assert_eq!(config.build_subscribers().unwrap().len(), 1);
     }
 }

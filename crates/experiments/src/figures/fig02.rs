@@ -7,7 +7,7 @@
 
 use crate::corpus::Corpus;
 use crate::figures::Profile;
-use lrd_fluidq::BoundSolver;
+use lrd_fluidq::{solve, BoundSolver, LossSolution, SolverOptions};
 
 /// The bound distributions after a given iteration count.
 #[derive(Debug, Clone)]
@@ -52,6 +52,25 @@ pub fn run(corpus: &Corpus, _profile: Profile) -> Fig02 {
         occupancy: (0..=bins).map(|j| j as f64 * d).collect(),
         snapshots,
     }
+}
+
+/// Solves the Fig. 2 system to stationarity with a deliberately coarse
+/// starting grid and a tight per-level iteration cap, so the full
+/// convergence protocol — per-iteration gap narrowing, at least one
+/// footnote-3 grid refinement, and the final mass-conservation check —
+/// runs end to end. The figure's snapshots show the transient; this
+/// companion solve shows (and, under `--telemetry`, records) the
+/// endgame.
+pub fn stationary_bounds(corpus: &Corpus) -> LossSolution {
+    let model = corpus.mtv.model(crate::corpus::MTV_UTILIZATION, 1.0, f64::INFINITY);
+    let opts = SolverOptions {
+        initial_bins: 64,
+        max_bins: 1 << 10,
+        max_iterations_per_level: 64,
+        rel_gap: 0.05,
+        ..SolverOptions::default()
+    };
+    solve(&model, &opts)
 }
 
 /// CSV rendering: columns `q, qL5, qH5, qL10, qH10, qL30, qH30` of
@@ -118,6 +137,18 @@ mod tests {
         };
         let mid = fig.occupancy.len() / 2;
         assert!(gap_at(&fig.snapshots[2], mid) <= gap_at(&fig.snapshots[0], mid) + 1e-9);
+    }
+
+    #[test]
+    fn stationary_solve_refines_at_least_once() {
+        let corpus = Corpus::quick();
+        let sol = stationary_bounds(&corpus);
+        assert!(sol.lower <= sol.upper);
+        assert!(
+            !sol.refinement_epochs.is_empty(),
+            "the tight per-level cap must force a refinement: {sol:?}"
+        );
+        assert!(!sol.gap_history.is_empty());
     }
 
     #[test]

@@ -134,11 +134,17 @@ pub fn series_to_csv(x_label: &str, series: &[Series]) -> String {
 /// Writes a string to `results/<name>` under the workspace root,
 /// creating the directory if needed. Returns the path written.
 pub fn write_results_file(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root")
-        .join("results");
+    // `LRD_RESULTS_DIR` redirects the output (the CI smoke step uses a
+    // temp dir so a `--quick` run never clobbers the checked-in
+    // full-profile CSVs).
+    let dir = match std::env::var_os("LRD_RESULTS_DIR") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .join("results"),
+    };
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(name);
     std::fs::write(&path, contents)?;

@@ -97,6 +97,12 @@ impl Convolver {
         assert!(!kernel.is_empty(), "Convolver kernel must be non-empty");
         assert!(signal_len > 0, "Convolver signal length must be positive");
         let use_fft = kernel.len().saturating_mul(signal_len) > DIRECT_THRESHOLD;
+        let mut plan_span = lrd_obs::span!(
+            "fft.plan",
+            kernel_len = kernel.len(),
+            signal_len = signal_len,
+        );
+        plan_span.record("fft", use_fft);
         let plan = if use_fft {
             let out_len = kernel.len() + signal_len - 1;
             let n = next_pow2(out_len);
@@ -134,7 +140,15 @@ impl Convolver {
             self.signal_len,
             "Convolver signal length mismatch"
         );
-        match &self.plan {
+        // Per-call timing goes to a histogram rather than a span: the
+        // solver calls this hundreds of thousands of times and a
+        // span record per call would swamp any JSONL sink.
+        let start = if lrd_obs::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let out = match &self.plan {
             None => convolve_direct(&self.kernel, signal),
             Some((plan, fk)) => {
                 let n = plan.len();
@@ -152,7 +166,12 @@ impl Convolver {
                     .map(|z| z.re)
                     .collect()
             }
+        };
+        if let Some(start) = start {
+            lrd_obs::histogram("fft.conv_us", start.elapsed().as_secs_f64() * 1e6);
+            lrd_obs::counter("fft.convs", 1);
         }
+        out
     }
 }
 

@@ -2,14 +2,23 @@
 //! transformations (the paper's footnote 1 reports sub-second solves on
 //! a 1996 workstation; this shows where a modern machine stands).
 //!
+//! The timing is read from the solver's own `solver.solve` telemetry
+//! span via a [`lrd_obs::CollectingSubscriber`] — no ad-hoc stopwatch —
+//! and the run closes with the aggregated telemetry table.
+//!
 //! ```sh
 //! cargo run --release -p lrd-fluidq --example budget_probe
 //! ```
 
 use lrd_fluidq::{solve, QueueModel, SolverOptions};
 use lrd_traffic::{Marginal, TruncatedPareto};
+use std::sync::Arc;
 
 fn main() {
+    let collector = Arc::new(lrd_obs::CollectingSubscriber::new());
+    let summary: Arc<dyn lrd_obs::Subscriber> = Arc::new(lrd_obs::SummarySubscriber::stderr());
+    let _telemetry = lrd_obs::install_fanout(vec![collector.clone(), summary]);
+
     let marginal = Marginal::new(&[1.0, 4.0, 9.0, 15.0], &[0.3, 0.35, 0.25, 0.1]);
     let iv = TruncatedPareto::new(0.05, 1.4, 2.0);
     let base = QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.3);
@@ -18,9 +27,20 @@ fn main() {
         ("narrow", base.with_marginal(marginal.scaled(0.6))),
         ("muxed4", base.with_marginal(marginal.superpose(4, 200))),
     ] {
-        let t0 = std::time::Instant::now();
         let sol = solve(&m, &SolverOptions::default());
-        println!("{name:8} loss={:.3e} [{:.2e},{:.2e}] M={} iters={} conv={} t={:?}",
-            sol.loss(), sol.lower, sol.upper, sol.bins, sol.iterations, sol.converged, t0.elapsed());
+        let t = collector
+            .spans("solver.solve")
+            .last()
+            .and_then(|s| s.dur_us())
+            .map_or_else(|| "?".to_string(), lrd_obs::fmt_us);
+        println!(
+            "{name:8} loss={:.3e} [{:.2e},{:.2e}] M={} iters={} conv={} t={t}",
+            sol.loss(),
+            sol.lower,
+            sol.upper,
+            sol.bins,
+            sol.iterations,
+            sol.converged
+        );
     }
 }

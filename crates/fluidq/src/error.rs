@@ -86,6 +86,46 @@ pub enum DegradationReason {
     NumericalBreakdown,
 }
 
+impl DegradationReason {
+    /// Stable machine-readable tag for the variant — the `reason`
+    /// field of the `solver.degraded` telemetry event and a convenient
+    /// key for callers bucketing degradations.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DegradationReason::GridCeiling { .. } => "grid_ceiling",
+            DegradationReason::BudgetExhausted { .. } => "budget_exhausted",
+            DegradationReason::MassLeak { .. } => "mass_leak",
+            DegradationReason::NumericalBreakdown => "numerical_breakdown",
+        }
+    }
+
+    /// Emits this degradation as a typed `solver.degraded` telemetry
+    /// event (no-op unless a subscriber is installed). Each variant
+    /// carries its payload as typed fields alongside the
+    /// [`kind`](Self::kind) tag.
+    pub fn emit(&self) {
+        match *self {
+            DegradationReason::GridCeiling { max_bins } => {
+                lrd_obs::event!("solver.degraded", reason = self.kind(), max_bins = max_bins);
+            }
+            DegradationReason::BudgetExhausted { spent, budget } => {
+                lrd_obs::event!(
+                    "solver.degraded",
+                    reason = self.kind(),
+                    spent = spent,
+                    budget = budget
+                );
+            }
+            DegradationReason::MassLeak { deficit } => {
+                lrd_obs::event!("solver.degraded", reason = self.kind(), deficit = deficit);
+            }
+            DegradationReason::NumericalBreakdown => {
+                lrd_obs::event!("solver.degraded", reason = self.kind());
+            }
+        }
+    }
+}
+
 impl fmt::Display for DegradationReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {

@@ -1,0 +1,145 @@
+//! Bounded convergence-trajectory diagnostics carried by
+//! [`LossSolution`](crate::LossSolution).
+//!
+//! The solver's final scalars (`lower`, `upper`, `iterations`, `bins`)
+//! say nothing about *how* it got there. The trajectory matters for
+//! diagnosing stalls and for tuning
+//! [`SolverOptions`](crate::SolverOptions), but an unbounded
+//! per-iteration log would make every solution allocation-heavy. The
+//! compromise here: a fixed-capacity ring of the **last**
+//! [`GAP_HISTORY_CAPACITY`] bound samples (the endgame is where
+//! convergence analysis happens) plus the full — and in practice tiny —
+//! list of grid-refinement epochs.
+
+/// One `(iteration, lower, upper)` bound sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapSample {
+    /// Global iteration count (across all grid levels) when the sample
+    /// was taken; 1-based, matching
+    /// [`LossSolution::iterations`](crate::LossSolution::iterations).
+    pub iteration: usize,
+    /// Lower loss bound `l(Q_L)` at that iteration.
+    pub lower: f64,
+    /// Upper loss bound `l(Q_H)` at that iteration.
+    pub upper: f64,
+}
+
+impl GapSample {
+    /// The bound gap `upper − lower`.
+    pub fn gap(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Capacity of [`GapHistory`]: the solver keeps this many trailing
+/// samples, regardless of how many iterations it runs.
+pub const GAP_HISTORY_CAPACITY: usize = 64;
+
+/// A fixed-capacity ring buffer holding the most recent
+/// [`GAP_HISTORY_CAPACITY`] gap samples, oldest first.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GapHistory {
+    samples: Vec<GapSample>,
+    /// Index of the oldest sample once the ring has wrapped.
+    head: usize,
+}
+
+impl GapHistory {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample, evicting the oldest once
+    /// [`GAP_HISTORY_CAPACITY`] is reached.
+    pub fn push(&mut self, sample: GapSample) {
+        if self.samples.len() < GAP_HISTORY_CAPACITY {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.head] = sample;
+            self.head = (self.head + 1) % GAP_HISTORY_CAPACITY;
+        }
+    }
+
+    /// Number of retained samples (at most
+    /// [`GAP_HISTORY_CAPACITY`]).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The retained samples in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &GapSample> + '_ {
+        let (wrapped, recent) = self.samples.split_at(self.head);
+        recent.iter().chain(wrapped.iter())
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> Option<&GapSample> {
+        if self.samples.is_empty() {
+            None
+        } else if self.head == 0 {
+            self.samples.last()
+        } else {
+            Some(&self.samples[self.head - 1])
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a GapHistory {
+    type Item = &'a GapSample;
+    type IntoIter = Box<dyn Iterator<Item = &'a GapSample> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: usize) -> GapSample {
+        GapSample {
+            iteration: i,
+            lower: i as f64,
+            upper: 2.0 * i as f64,
+        }
+    }
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut h = GapHistory::new();
+        assert!(h.is_empty());
+        assert!(h.latest().is_none());
+        for i in 1..=10 {
+            h.push(sample(i));
+        }
+        assert_eq!(h.len(), 10);
+        let iters: Vec<usize> = h.iter().map(|s| s.iteration).collect();
+        assert_eq!(iters, (1..=10).collect::<Vec<_>>());
+        assert_eq!(h.latest().unwrap().iteration, 10);
+    }
+
+    #[test]
+    fn wraps_keeping_the_most_recent_in_order() {
+        let mut h = GapHistory::new();
+        let n = GAP_HISTORY_CAPACITY + 17;
+        for i in 1..=n {
+            h.push(sample(i));
+        }
+        assert_eq!(h.len(), GAP_HISTORY_CAPACITY);
+        let iters: Vec<usize> = h.iter().map(|s| s.iteration).collect();
+        let expected: Vec<usize> = (n - GAP_HISTORY_CAPACITY + 1..=n).collect();
+        assert_eq!(iters, expected, "chronological order after wrap");
+        assert_eq!(h.latest().unwrap().iteration, n);
+    }
+
+    #[test]
+    fn gap_accessor() {
+        assert_eq!(sample(3).gap(), 3.0);
+    }
+}

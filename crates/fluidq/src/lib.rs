@@ -44,6 +44,7 @@
 
 pub mod design;
 pub mod error;
+pub mod history;
 pub mod horizon;
 pub mod kernel;
 pub mod model;
@@ -53,6 +54,7 @@ pub mod wdist;
 
 pub use design::{max_utilization_for_loss, min_buffer_for_loss, min_streams_for_loss, Design};
 pub use error::{DegradationReason, SolverError};
+pub use history::{GapHistory, GapSample, GAP_HISTORY_CAPACITY};
 pub use horizon::{correlation_horizon, empirical_horizon};
 pub use kernel::LossKernel;
 pub use model::QueueModel;

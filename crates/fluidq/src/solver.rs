@@ -9,6 +9,7 @@
 //! warm-restart from the re-binned coarse solution (footnote 3).
 
 use crate::error::{DegradationReason, SolverError};
+use crate::history::{GapHistory, GapSample};
 use crate::kernel::LossKernel;
 use crate::model::QueueModel;
 use crate::wdist::WorkDistribution;
@@ -68,7 +69,7 @@ impl Default for SolverOptions {
 }
 
 /// The solver's verdict: provable loss bounds plus diagnostics.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LossSolution {
     /// Lower bound `l(Q_L^M(n))`.
     pub lower: f64,
@@ -85,6 +86,14 @@ pub struct LossSolution {
     /// The bounds are valid (finite, ordered, provable for the grid
     /// reached) regardless.
     pub degradation: Option<DegradationReason>,
+    /// The trailing `(iteration, lower, upper)` bound samples — the
+    /// convergence endgame, capped at
+    /// [`GAP_HISTORY_CAPACITY`](crate::history::GAP_HISTORY_CAPACITY)
+    /// entries.
+    pub gap_history: GapHistory,
+    /// Every grid refinement as `(iteration, bins_after)`, in order.
+    /// Empty when the initial grid sufficed.
+    pub refinement_epochs: Vec<(usize, usize)>,
 }
 
 impl LossSolution {
@@ -366,22 +375,23 @@ pub fn try_solve<D: Interarrival + Clone>(
     opts: &SolverOptions,
 ) -> Result<LossSolution, SolverError> {
     validate_options(opts)?;
+    let mut solve_span = lrd_obs::span!(
+        "solver.solve",
+        initial_bins = opts.initial_bins.min(opts.max_bins),
+        max_bins = opts.max_bins,
+        rel_gap = opts.rel_gap,
+    );
     let mut solver = BoundSolver::try_new(model.clone(), opts.initial_bins.min(opts.max_bins))?;
     let mut total_iterations = 0usize;
     let mut total_cost = 0.0f64;
-
-    // Attaches the mass-conservation diagnostic to a finished
-    // solution, unless a more fundamental reason is already recorded.
-    let finish = |mut sol: LossSolution, drift: f64| {
-        if sol.degradation.is_none() && drift > MASS_TOLERANCE {
-            sol.degradation = Some(DegradationReason::MassLeak { deficit: drift });
-        }
-        sol
-    };
+    let mut gap_history = GapHistory::new();
+    let mut refinement_epochs: Vec<(usize, usize)> = Vec::new();
 
     loop {
         let mut prev_gap = f64::INFINITY;
         let mut slow_iters = 0usize;
+        let mut level_span = lrd_obs::span!("solver.level", bins = solver.bins());
+        let level_start = total_iterations;
 
         let mut out_of_budget = false;
         let mut last_finite = solver.loss_bounds();
@@ -390,7 +400,15 @@ pub fn try_solve<D: Interarrival + Clone>(
             solver.step();
             total_iterations += 1;
             total_cost += solver.bins() as f64;
+            lrd_obs::counter("solver.iterations", 1);
             let (lower, upper) = solver.loss_bounds();
+            lrd_obs::event!(
+                "solver.gap",
+                iteration = total_iterations,
+                lower = lower,
+                upper = upper,
+                bins = solver.bins(),
+            );
 
             if !(lower.is_finite() && upper.is_finite()) {
                 // Numerical breakdown: stop immediately and fall back
@@ -399,10 +417,16 @@ pub fn try_solve<D: Interarrival + Clone>(
                 break;
             }
             last_finite = (lower, upper);
+            gap_history.push(GapSample {
+                iteration: total_iterations,
+                lower,
+                upper,
+            });
 
             if upper < opts.zero_floor {
                 // The paper's floor rule: below practical importance.
-                return Ok(finish(
+                level_span.record("iterations", total_iterations - level_start);
+                return Ok(seal(
                     LossSolution {
                         lower: 0.0,
                         upper: 0.0,
@@ -410,14 +434,18 @@ pub fn try_solve<D: Interarrival + Clone>(
                         bins: solver.bins(),
                         converged: true,
                         degradation: None,
+                        gap_history,
+                        refinement_epochs,
                     },
                     solver.mass_drift(),
+                    &mut solve_span,
                 ));
             }
             let gap = upper - lower;
             let mid = 0.5 * (upper + lower);
             if gap <= opts.rel_gap * mid {
-                return Ok(finish(
+                level_span.record("iterations", total_iterations - level_start);
+                return Ok(seal(
                     LossSolution {
                         lower,
                         upper,
@@ -425,8 +453,11 @@ pub fn try_solve<D: Interarrival + Clone>(
                         bins: solver.bins(),
                         converged: true,
                         degradation: None,
+                        gap_history,
+                        refinement_epochs,
                     },
                     solver.mass_drift(),
+                    &mut solve_span,
                 ));
             }
             // Stall detection: the gap is monotone non-increasing; if
@@ -446,6 +477,8 @@ pub fn try_solve<D: Interarrival + Clone>(
                 break;
             }
         }
+        level_span.record("iterations", total_iterations - level_start);
+        drop(level_span);
 
         if breakdown {
             // Loss rates live in [0, 1], so (0, 1) is always a valid
@@ -456,14 +489,20 @@ pub fn try_solve<D: Interarrival + Clone>(
             } else {
                 (0.0, 1.0)
             };
-            return Ok(LossSolution {
-                lower,
-                upper,
-                iterations: total_iterations,
-                bins: solver.bins(),
-                converged: false,
-                degradation: Some(DegradationReason::NumericalBreakdown),
-            });
+            return Ok(seal(
+                LossSolution {
+                    lower,
+                    upper,
+                    iterations: total_iterations,
+                    bins: solver.bins(),
+                    converged: false,
+                    degradation: Some(DegradationReason::NumericalBreakdown),
+                    gap_history,
+                    refinement_epochs,
+                },
+                solver.mass_drift(),
+                &mut solve_span,
+            ));
         }
         if out_of_budget || solver.bins() * 2 > opts.max_bins {
             let (lower, upper) = solver.loss_bounds();
@@ -477,7 +516,7 @@ pub fn try_solve<D: Interarrival + Clone>(
                     max_bins: opts.max_bins,
                 }
             };
-            return Ok(finish(
+            return Ok(seal(
                 LossSolution {
                     lower,
                     upper,
@@ -485,12 +524,43 @@ pub fn try_solve<D: Interarrival + Clone>(
                     bins: solver.bins(),
                     converged: false,
                     degradation: Some(reason),
+                    gap_history,
+                    refinement_epochs,
                 },
                 solver.mass_drift(),
+                &mut solve_span,
             ));
         }
+        let old_bins = solver.bins();
         solver.refine();
+        refinement_epochs.push((total_iterations, solver.bins()));
+        lrd_obs::event!(
+            "solver.refine",
+            iteration = total_iterations,
+            old_bins = old_bins,
+            new_bins = solver.bins(),
+        );
+        lrd_obs::counter("solver.refines", 1);
     }
+}
+
+/// Closes out a solution: attaches the mass-conservation diagnostic
+/// (unless a more fundamental reason is already recorded), publishes
+/// the mass-drift gauge and any degradation event, and stamps the
+/// `solver.solve` span with the final verdict.
+fn seal(mut sol: LossSolution, drift: f64, span: &mut lrd_obs::Span) -> LossSolution {
+    if sol.degradation.is_none() && drift > MASS_TOLERANCE {
+        sol.degradation = Some(DegradationReason::MassLeak { deficit: drift });
+    }
+    lrd_obs::gauge("solver.mass_drift", drift);
+    if let Some(reason) = &sol.degradation {
+        reason.emit();
+    }
+    span.record("iterations", sol.iterations);
+    span.record("bins", sol.bins);
+    span.record("converged", sol.converged);
+    span.record("loss", sol.loss());
+    sol
 }
 
 #[cfg(test)]

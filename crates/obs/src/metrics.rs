@@ -1,0 +1,332 @@
+//! The metrics side of the telemetry layer: counters, gauges and
+//! log-bucketed histograms, aggregated into a [`MetricsRegistry`].
+//!
+//! The registry is a plain data structure (no global state, no
+//! interior mutability) — sinks own one behind their own lock, and
+//! the bench harness captures cloned snapshots of it alongside
+//! wall-clock results.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of histogram buckets.
+const BUCKETS: usize = 64;
+/// Bucket `i` covers `[2^(i - OFFSET), 2^(i + 1 - OFFSET))`; with 64
+/// buckets this spans `2^-32 ≈ 2.3e-10` to `2^32 ≈ 4.3e9` — ample for
+/// microsecond durations, gaps and iteration counts. Values at or
+/// below zero (or under the first bound) land in bucket 0; values
+/// beyond the last bound land in the last bucket.
+const OFFSET: i32 = 32;
+
+/// A fixed-size histogram with log-spaced (powers-of-two) buckets.
+///
+/// Constant memory, O(1) record, and exact `count`/`sum`/`min`/`max`
+/// alongside the bucketed shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value <= 0.0 || !value.is_finite() {
+            return 0;
+        }
+        let exp = value.log2().floor() as i64 + OFFSET as i64;
+        exp.clamp(0, BUCKETS as i64 - 1) as usize
+    }
+
+    /// The `[lo, hi)` bounds of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
+        let lo = 2f64.powi(i as i32 - OFFSET);
+        let hi = 2f64.powi(i as i32 + 1 - OFFSET);
+        (lo, hi)
+    }
+
+    /// Records one observation. Non-finite values are counted (in
+    /// `count`/`sum`) but land in bucket 0.
+    pub fn record(&mut self, value: f64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The non-empty buckets as `(lo, hi, count)` triples.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Aggregated counters, gauges and histograms, keyed by metric name.
+///
+/// Cloning yields an independent snapshot — the type the bench
+/// harness reports alongside wall-clock samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge (last value wins).
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn record_histogram(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// The named counter's total, if it was ever incremented.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The named gauge's last value, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if it ever recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &LogHistogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Drops all recorded data.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
+    /// One-line rendering `name=value …` (histograms as
+    /// `name[n=…, mean=…]`), for compact reports such as the bench
+    /// harness output. Empty string when nothing was recorded.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters() {
+            let _ = write!(out, "{}{name}={value}", sep(&out));
+        }
+        for (name, value) in self.gauges() {
+            let _ = write!(out, "{}{name}={value:.3e}", sep(&out));
+        }
+        for (name, h) in self.histograms() {
+            let _ = write!(
+                out,
+                "{}{name}[n={}, mean={:.3e}]",
+                sep(&out),
+                h.count(),
+                h.mean()
+            );
+        }
+        out
+    }
+}
+
+fn sep(out: &str) -> &'static str {
+    if out.is_empty() {
+        ""
+    } else {
+        " "
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log_spaced() {
+        let mut h = LogHistogram::new();
+        h.record(1.0);
+        h.record(1.5);
+        h.record(3.0);
+        h.record(1e-20); // below range → bucket 0
+        h.record(1e20); // above range → last bucket
+        assert_eq!(h.count(), 5);
+        let buckets = h.nonzero_buckets();
+        // 1.0 and 1.5 share [1, 2); 3.0 is in [2, 4).
+        let one_two = buckets.iter().find(|&&(lo, _, _)| lo == 1.0).unwrap();
+        assert_eq!(one_two.2, 2);
+        let two_four = buckets.iter().find(|&&(lo, _, _)| lo == 2.0).unwrap();
+        assert_eq!(two_four.2, 1);
+        // Every recorded value is inside [lo, hi) of its bucket.
+        for &(lo, hi, _) in &buckets {
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = LogHistogram::new();
+        assert!(h.mean().is_nan());
+        for v in [2.0, 4.0, 6.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 12.0);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.min(), 2.0);
+        assert_eq!(h.max(), 6.0);
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_values() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 3);
+        // All landed in bucket 0 rather than panicking.
+        assert_eq!(h.nonzero_buckets().len(), 1);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LogHistogram::new();
+        a.record(1.0);
+        let mut b = LogHistogram::new();
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 100.0);
+        assert_eq!(a.min(), 1.0);
+    }
+
+    #[test]
+    fn registry_aggregates_and_snapshots() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        r.add_counter("c", 1);
+        r.add_counter("c", 4);
+        r.set_gauge("g", 1.0);
+        r.set_gauge("g", -2.0);
+        r.record_histogram("h", 7.0);
+        assert_eq!(r.counter("c"), Some(5));
+        assert_eq!(r.gauge("g"), Some(-2.0));
+        assert_eq!(r.histogram("h").unwrap().count(), 1);
+        let snap = r.clone();
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(snap.counter("c"), Some(5), "snapshot is independent");
+    }
+
+    #[test]
+    fn compact_rendering_is_stable() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.render_compact(), "");
+        r.add_counter("b.count", 2);
+        r.add_counter("a.count", 1);
+        r.set_gauge("drift", 1e-9);
+        r.record_histogram("t_us", 10.0);
+        let s = r.render_compact();
+        // BTreeMap ordering: counters sorted, then gauges, then
+        // histograms.
+        assert!(s.starts_with("a.count=1 b.count=2"), "{s}");
+        assert!(s.contains("drift=1.000e-9"), "{s}");
+        assert!(s.contains("t_us[n=1, mean=1.000e1]"), "{s}");
+    }
+}

@@ -29,12 +29,25 @@ pub fn try_simulate_trace(
     service_rate: f64,
     buffer: f64,
 ) -> Result<SimReport, ModelError> {
+    let mut span = lrd_obs::span!("sim.trace", samples = trace.len(), buffer = buffer);
     let mut q = FluidQueue::try_new(service_rate, buffer)?;
     let mut occ = Summary::new();
-    for &rate in trace.rates() {
+    // Progress events roughly every tenth of the run, so long
+    // trace-driven simulations are observable while they execute.
+    let stride = (trace.len() / 10).max(1);
+    for (i, &rate) in trace.rates().iter().enumerate() {
         q.offer(rate, trace.dt());
         occ.push(q.occupancy());
+        if (i + 1) % stride == 0 && i + 1 < trace.len() {
+            lrd_obs::event!(
+                "sim.progress",
+                done = i + 1,
+                total = trace.len(),
+                lost = q.lost(),
+            );
+        }
     }
+    span.record("loss_rate", q.loss_rate());
     Ok(report(&q, occ))
 }
 
@@ -88,10 +101,15 @@ pub fn try_simulate_source<D: Interarrival, R: Rng + ?Sized>(
             constraint: "must be at least one renewal interval",
         });
     }
+    let mut span = lrd_obs::span!("sim.source", intervals = intervals, buffer = buffer);
     let mut q = FluidQueue::try_new(service_rate, buffer)?;
     let mut occ = Summary::new();
     let mut samples = Vec::with_capacity(intervals);
-    for _ in 0..intervals {
+    let stride = (intervals / 10).max(1);
+    for n in 0..intervals {
+        if n > 0 && n % stride == 0 {
+            lrd_obs::event!("sim.progress", done = n, total = intervals, lost = q.lost());
+        }
         let seg = source.sample_segment(rng);
         let occupancy = q.occupancy();
         let lost_before = q.lost();
@@ -104,6 +122,7 @@ pub fn try_simulate_source<D: Interarrival, R: Rng + ?Sized>(
         });
         occ.push(q.occupancy());
     }
+    span.record("loss_rate", q.loss_rate());
     Ok((report(&q, occ), samples))
 }
 

@@ -53,6 +53,7 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 pub fn davies_harte<R: Rng + ?Sized>(rng: &mut R, hurst: f64, n: usize) -> Vec<f64> {
     assert!(n > 0, "need at least one sample");
     assert!(hurst > 0.0 && hurst < 1.0, "H must lie in (0, 1)");
+    let _span = lrd_obs::span!("traffic.davies_harte", hurst = hurst, n = n);
     if n == 1 {
         return vec![standard_normal(rng)];
     }
@@ -112,6 +113,7 @@ pub fn davies_harte<R: Rng + ?Sized>(rng: &mut R, hurst: f64, n: usize) -> Vec<f
 pub fn hosking<R: Rng + ?Sized>(rng: &mut R, hurst: f64, n: usize) -> Vec<f64> {
     assert!(n > 0, "need at least one sample");
     assert!(hurst > 0.0 && hurst < 1.0, "H must lie in (0, 1)");
+    let _span = lrd_obs::span!("traffic.hosking", hurst = hurst, n = n);
     let gamma: Vec<f64> = (0..n).map(|k| fgn_autocovariance(hurst, k)).collect();
 
     let mut out = Vec::with_capacity(n);

@@ -88,6 +88,7 @@ impl MGInfSource {
     /// zero over the (heavy-tailed, slowly converging) warm-up period.
     pub fn sample_trace<R: Rng + ?Sized>(&self, rng: &mut R, dt: f64, samples: usize) -> Trace {
         assert!(dt > 0.0 && samples > 0);
+        let _span = lrd_obs::span!("traffic.mginf", samples = samples, hurst = self.hurst());
         let total = dt * samples as f64;
         let mut bins = vec![0.0f64; samples];
 

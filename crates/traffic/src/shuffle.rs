@@ -29,6 +29,11 @@ use lrd_rng::Rng;
 /// Panics if `block_len == 0`.
 pub fn external_shuffle<R: Rng + ?Sized>(trace: &Trace, block_len: usize, rng: &mut R) -> Trace {
     assert!(block_len > 0, "block length must be positive");
+    let _span = lrd_obs::span!(
+        "traffic.external_shuffle",
+        block_len = block_len,
+        len = trace.len(),
+    );
     let rates = trace.rates();
     let mut blocks: Vec<&[f64]> = rates.chunks(block_len).collect();
     blocks.shuffle(rng);
@@ -56,6 +61,11 @@ pub fn external_shuffle_seconds<R: Rng + ?Sized>(
 /// length and destroying it below.
 pub fn internal_shuffle<R: Rng + ?Sized>(trace: &Trace, block_len: usize, rng: &mut R) -> Trace {
     assert!(block_len > 0, "block length must be positive");
+    let _span = lrd_obs::span!(
+        "traffic.internal_shuffle",
+        block_len = block_len,
+        len = trace.len(),
+    );
     let mut rates = trace.rates().to_vec();
     for chunk in rates.chunks_mut(block_len) {
         chunk.shuffle(rng);

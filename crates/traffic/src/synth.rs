@@ -99,6 +99,7 @@ pub fn gaussian_copula_trace(
     quantile: impl Fn(f64) -> f64,
 ) -> Trace {
     assert!(len > 0, "trace length must be positive");
+    let _span = lrd_obs::span!("traffic.synth", hurst = hurst, len = len);
     let mut rng = SmallRng::seed_from_u64(seed);
     let g = davies_harte(&mut rng, hurst, len);
     let rates: Vec<f64> = g

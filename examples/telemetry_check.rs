@@ -1,0 +1,77 @@
+//! Validates a `--telemetry` JSONL capture: every line must parse with
+//! the in-tree JSON parser, and a capture that covers a full solve must
+//! contain the solver's span / gap / refine / mass-drift records.
+//!
+//! Used by `scripts/ci.sh` as the telemetry smoke check:
+//!
+//! ```sh
+//! cargo run --release -p lrd-experiments --bin fig02_bounds -- --quick --telemetry /tmp/t.jsonl
+//! cargo run --release --example telemetry_check -- /tmp/t.jsonl
+//! ```
+//!
+//! Exits non-zero (with one line per violated requirement) when the
+//! capture is malformed or incomplete.
+
+use lrd::obs::{parse_json, Json};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: telemetry_check <capture.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("telemetry_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match parse_json(line) {
+            Ok(json) => records.push(json),
+            Err(e) => {
+                eprintln!("telemetry_check: line {} is not valid JSON: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let count = |kind: &str, name: &str| {
+        records
+            .iter()
+            .filter(|j| {
+                j.get("kind").and_then(Json::as_str) == Some(kind)
+                    && j.get("name").and_then(Json::as_str) == Some(name)
+            })
+            .count()
+    };
+    let requirements = [
+        ("span", "solver.solve", "the solve's root span"),
+        ("event", "solver.gap", "per-iteration bound samples"),
+        ("event", "solver.refine", "a grid-refinement record"),
+        ("gauge", "solver.mass_drift", "the final conservation check"),
+        ("counter", "solver.iterations", "the flushed iteration total"),
+    ];
+    let mut ok = true;
+    for (kind, name, why) in requirements {
+        if count(kind, name) == 0 {
+            eprintln!("telemetry_check: no {kind} named {name:?} ({why})");
+            ok = false;
+        }
+    }
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "telemetry_check: {} lines ok ({} solve span(s), {} gap event(s), \
+         {} refine event(s))",
+        records.len(),
+        count("span", "solver.solve"),
+        count("event", "solver.gap"),
+        count("event", "solver.refine"),
+    );
+    ExitCode::SUCCESS
+}

@@ -19,4 +19,13 @@ cargo test -q --release --workspace --locked
 echo "=== clippy (-D warnings) ==="
 cargo clippy --workspace --all-targets --locked -- -D warnings
 
+echo "=== telemetry smoke (--telemetry JSONL capture) ==="
+smokedir="$(mktemp -d -t lrd-telemetry.XXXXXX)"
+trap 'rm -rf "$smokedir"' EXIT
+capture="$smokedir/fig02.jsonl"
+LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
+    -p lrd-experiments --bin fig02_bounds -- \
+    --quick --telemetry "$capture" > /dev/null
+cargo run -q --release --locked --example telemetry_check -- "$capture"
+
 echo "ci: all gates passed"

@@ -20,7 +20,17 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Telemetry flags are shared by every subcommand and include a
+    // boolean (--telemetry-summary) the `--key value` parser below
+    // cannot express, so they are extracted before flag parsing.
+    let _telemetry = match extract_telemetry(&mut args) {
+        Ok(guard) => guard,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -67,7 +77,48 @@ USAGE:
   lrd-cli simulate --trace FILE --dt S (--utilization R | --service MBPS)
                    (--buffer-seconds S | --buffer-mb MB)
 
+Every command also accepts --telemetry FILE (structured JSONL
+telemetry) and --telemetry-summary (aggregated table on stderr).
+
 Traces are text files with one rate (Mb/s) per line.";
+
+/// Pulls `--telemetry <path>` / `--telemetry=path` /
+/// `--telemetry-summary` out of `args` and installs the corresponding
+/// sinks, returning the guard that keeps them alive for the run.
+fn extract_telemetry(args: &mut Vec<String>) -> Result<lrd::obs::InstallGuard, String> {
+    let mut sinks: Vec<std::sync::Arc<dyn lrd::obs::Subscriber>> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--telemetry" => {
+                if i + 1 >= args.len() {
+                    return Err("flag --telemetry needs a value".into());
+                }
+                let path = args.remove(i + 1);
+                args.remove(i);
+                let sub = lrd::obs::JsonlSubscriber::create(path.as_ref())
+                    .map_err(|e| format!("cannot open telemetry file {path}: {e}"))?;
+                sinks.push(std::sync::Arc::new(sub));
+            }
+            "--telemetry-summary" => {
+                args.remove(i);
+                sinks.push(std::sync::Arc::new(lrd::obs::SummarySubscriber::stderr()));
+            }
+            other if other.starts_with("--telemetry=") => {
+                let path = other["--telemetry=".len()..].to_string();
+                args.remove(i);
+                if path.is_empty() {
+                    return Err("flag --telemetry needs a value".into());
+                }
+                let sub = lrd::obs::JsonlSubscriber::create(path.as_ref())
+                    .map_err(|e| format!("cannot open telemetry file {path}: {e}"))?;
+                sinks.push(std::sync::Arc::new(sub));
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(lrd::obs::install_fanout(sinks))
+}
 
 type Flags = HashMap<String, String>;
 

@@ -46,6 +46,7 @@
 
 pub use lrd_fft as fft;
 pub use lrd_fluidq as fluidq;
+pub use lrd_obs as obs;
 pub use lrd_rng as rng;
 pub use lrd_sim as sim;
 pub use lrd_specfun as specfun;
@@ -56,7 +57,7 @@ pub use lrd_traffic as traffic;
 pub mod prelude {
     pub use lrd_fluidq::{
         correlation_horizon, empirical_horizon, solve, try_solve, BoundSolver, DegradationReason,
-        LossKernel, LossSolution, QueueModel, SolverError, SolverOptions,
+        GapHistory, GapSample, LossKernel, LossSolution, QueueModel, SolverError, SolverOptions,
     };
     pub use lrd_sim::{
         simulate_source, simulate_trace, try_simulate_source, try_simulate_trace, FluidQueue,

@@ -424,3 +424,98 @@ fn error_messages_are_informative() {
     let msg = e.to_string();
     assert!(msg.contains("rel_gap") && msg.contains("-1"), "{msg}");
 }
+
+// ------------------------------------------------- degradation telemetry
+
+/// Tests below install a process-global telemetry subscriber, so they
+/// must not overlap with each other; they serialize on this lock. Other
+/// tests in this binary may still emit telemetry concurrently, so every
+/// assertion filters on option values unique to the locked test
+/// (budget = 123.0, max_bins = 4).
+static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn telemetry_lock() -> std::sync::MutexGuard<'static, ()> {
+    TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn degraded_solves_emit_typed_telemetry_events() {
+    let _serial = telemetry_lock();
+    let collector = std::sync::Arc::new(lrd::obs::CollectingSubscriber::new());
+    {
+        let _guard = lrd::obs::install(collector.clone());
+        let budget_starved = SolverOptions {
+            max_total_cost: 123.0,
+            rel_gap: 1e-9,
+            ..SolverOptions::default()
+        };
+        let sol = try_solve(&lossy_model(), &budget_starved).expect("valid options");
+        assert!(matches!(sol.degradation, Some(DegradationReason::BudgetExhausted { .. })));
+
+        let ceiling_bound = SolverOptions {
+            max_bins: 4,
+            rel_gap: 1e-9,
+            ..SolverOptions::default()
+        };
+        let sol = try_solve(&lossy_model(), &ceiling_bound).expect("valid options");
+        assert!(matches!(sol.degradation, Some(DegradationReason::GridCeiling { max_bins: 4 })));
+    }
+    let degraded = collector.events("solver.degraded");
+    assert!(
+        degraded.iter().any(|e| {
+            e.field("reason").and_then(|v| v.as_str()) == Some("budget_exhausted")
+                && e.field("budget").and_then(|v| v.as_f64()) == Some(123.0)
+        }),
+        "no budget_exhausted event with budget = 123: {degraded:?}"
+    );
+    assert!(
+        degraded.iter().any(|e| {
+            e.field("reason").and_then(|v| v.as_str()) == Some("grid_ceiling")
+                && e.field("max_bins").and_then(|v| v.as_u64()) == Some(4)
+        }),
+        "no grid_ceiling event with max_bins = 4: {degraded:?}"
+    );
+}
+
+#[test]
+fn every_degradation_reason_variant_has_a_typed_event() {
+    // MassLeak and NumericalBreakdown are hard to force through a real
+    // solve, so the event-shape contract is checked on emit() directly:
+    // each variant must produce a "solver.degraded" event whose
+    // `reason` field round-trips kind(), with the variant payload
+    // attached as typed fields.
+    let _serial = telemetry_lock();
+    let variants = [
+        DegradationReason::GridCeiling { max_bins: 97 },
+        DegradationReason::BudgetExhausted { spent: 456.0, budget: 123.0 },
+        DegradationReason::MassLeak { deficit: 3e-7 },
+        DegradationReason::NumericalBreakdown,
+    ];
+    let collector = std::sync::Arc::new(lrd::obs::CollectingSubscriber::new());
+    {
+        let _guard = lrd::obs::install(collector.clone());
+        for reason in &variants {
+            reason.emit();
+        }
+    }
+    for reason in &variants {
+        let hit = collector
+            .events("solver.degraded")
+            .into_iter()
+            .find(|e| e.field("reason").and_then(|v| v.as_str()) == Some(reason.kind()))
+            .unwrap_or_else(|| panic!("no solver.degraded event for {:?}", reason.kind()));
+        match *reason {
+            DegradationReason::GridCeiling { max_bins } => {
+                assert_eq!(hit.field("max_bins").and_then(|v| v.as_u64()), Some(max_bins as u64));
+            }
+            DegradationReason::BudgetExhausted { spent, budget } => {
+                assert_eq!(hit.field("spent").and_then(|v| v.as_f64()), Some(spent));
+                assert_eq!(hit.field("budget").and_then(|v| v.as_f64()), Some(budget));
+            }
+            DegradationReason::MassLeak { deficit } => {
+                assert_eq!(hit.field("deficit").and_then(|v| v.as_f64()), Some(deficit));
+            }
+            DegradationReason::NumericalBreakdown => {}
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end telemetry contract: the JSONL stream written by
+//! [`lrd::obs::JsonlSubscriber`] during a real solve must round-trip
+//! through the in-tree JSON parser, and the solver's recorded gap
+//! series must narrow across refinement epochs.
+
+use lrd::fluidq::GAP_HISTORY_CAPACITY;
+use lrd::obs::{self, Json};
+use lrd::prelude::*;
+use std::io::Write;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The global subscriber is process-wide; tests that install one (or
+/// merely emit telemetry that an installed sink would capture) must not
+/// overlap.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An in-memory `Write` sink that stays readable after the subscriber
+/// takes ownership of its clone.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .expect("telemetry stream must be UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn bursty_model() -> QueueModel<TruncatedPareto> {
+    QueueModel::new(
+        Marginal::new(&[2.0, 14.0], &[0.5, 0.5]),
+        TruncatedPareto::new(0.05, 1.4, 1.0),
+        10.0,
+        2.0,
+    )
+}
+
+/// Forces exactly two refinements (8 → 16 → 32 bins): the gap target
+/// is unreachable, each level exhausts its iteration allowance, and the
+/// ceiling stops the solve at 32 bins. Total iterations (3 × 16 = 48)
+/// stay under `GAP_HISTORY_CAPACITY`, so the ring buffer keeps the
+/// whole series.
+fn refining_options() -> SolverOptions {
+    SolverOptions {
+        initial_bins: 8,
+        max_bins: 32,
+        max_iterations_per_level: 16,
+        rel_gap: 1e-9,
+        ..SolverOptions::default()
+    }
+}
+
+#[test]
+fn jsonl_stream_round_trips_through_the_in_tree_parser() {
+    let _serial = telemetry_lock();
+    let buf = SharedBuf::default();
+    let sol = {
+        let _guard = obs::install(Arc::new(obs::JsonlSubscriber::new(Box::new(buf.clone()))));
+        try_solve(&bursty_model(), &refining_options()).expect("valid options")
+    };
+    // Dropping the guard flushed the sink, draining aggregated
+    // counters; every line must now parse with the in-tree parser.
+    let text = buf.contents();
+    let lines: Vec<Json> = text
+        .lines()
+        .map(|line| obs::parse_json(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}")))
+        .collect();
+    assert!(!lines.is_empty(), "solve produced no telemetry");
+
+    let kind = |j: &Json| j.get("kind").and_then(Json::as_str).map(str::to_owned);
+    let name = |j: &Json| j.get("name").and_then(Json::as_str).map(str::to_owned);
+    let of = |k: &str, n: &str| {
+        lines
+            .iter()
+            .filter(|j| kind(j).as_deref() == Some(k) && name(j).as_deref() == Some(n))
+            .collect::<Vec<_>>()
+    };
+
+    let solves = of("span", "solver.solve");
+    assert_eq!(solves.len(), 1, "expected exactly one solver.solve span");
+    let solve = solves[0];
+    assert!(solve.get("dur_us").and_then(Json::as_f64).is_some_and(|d| d >= 0.0));
+    let fields = solve.get("fields").expect("span carries fields");
+    assert_eq!(fields.get("bins").and_then(Json::as_u64), Some(sol.bins as u64));
+    assert_eq!(fields.get("converged").and_then(Json::as_bool), Some(sol.converged));
+
+    assert_eq!(of("span", "solver.level").len(), 3, "one span per grid level");
+
+    let gaps = of("event", "solver.gap");
+    assert_eq!(gaps.len(), sol.iterations, "one gap event per iteration");
+    for gap in &gaps {
+        let fields = gap.get("fields").expect("event carries fields");
+        let lower = fields.get("lower").and_then(Json::as_f64).expect("lower");
+        let upper = fields.get("upper").and_then(Json::as_f64).expect("upper");
+        assert!(lower <= upper, "bounds out of order in {gap:?}");
+        assert!(fields.get("iteration").and_then(Json::as_u64).is_some());
+        assert!(fields.get("bins").and_then(Json::as_u64).is_some());
+    }
+
+    let refines = of("event", "solver.refine");
+    assert_eq!(refines.len(), sol.refinement_epochs.len());
+    assert_eq!(refines.len(), 2);
+
+    let drift = of("gauge", "solver.mass_drift");
+    assert_eq!(drift.len(), 1, "seal() records the final mass drift once");
+    assert!(drift[0].get("value").and_then(Json::as_f64).is_some());
+
+    let iterations = of("counter", "solver.iterations");
+    assert_eq!(iterations.len(), 1, "flush drains each counter exactly once");
+    assert_eq!(
+        iterations[0].get("value").and_then(Json::as_u64),
+        Some(sol.iterations as u64)
+    );
+}
+
+#[test]
+fn gap_series_narrows_across_refinement_epochs() {
+    // The solver still emits telemetry while another test's sink is
+    // installed, so hold the lock even though none is installed here.
+    let _serial = telemetry_lock();
+    let sol = try_solve(&bursty_model(), &refining_options()).expect("valid options");
+
+    assert_eq!(sol.refinement_epochs.len(), 2);
+    assert_eq!(sol.refinement_epochs[0], (16, 16), "(iteration, new bins)");
+    assert_eq!(sol.refinement_epochs[1], (32, 32));
+    assert_eq!(sol.gap_history.len(), sol.iterations, "ring kept the whole series");
+
+    // Segment the recorded samples by the refinement boundaries and
+    // check the paper's monotonicity property: within a level the gap
+    // never widens, and each refinement lets the stalled gap shrink
+    // further — the per-epoch final gaps are strictly ordered.
+    let samples: Vec<GapSample> = sol.gap_history.iter().copied().collect();
+    let mut epoch_final_gaps = Vec::new();
+    let mut start = 0usize;
+    for boundary in sol
+        .refinement_epochs
+        .iter()
+        .map(|&(iteration, _)| iteration)
+        .chain([sol.iterations])
+    {
+        let epoch: Vec<&GapSample> =
+            samples.iter().filter(|s| s.iteration > start && s.iteration <= boundary).collect();
+        assert!(!epoch.is_empty(), "epoch ({start}, {boundary}] has no samples");
+        for pair in epoch.windows(2) {
+            assert!(
+                pair[1].gap() <= pair[0].gap() * (1.0 + 1e-12),
+                "gap widened within a level: {pair:?}"
+            );
+        }
+        epoch_final_gaps.push(epoch.last().expect("non-empty").gap());
+        start = boundary;
+    }
+    assert_eq!(epoch_final_gaps.len(), 3);
+    assert!(
+        epoch_final_gaps.windows(2).all(|w| w[1] < w[0]),
+        "refinement did not narrow the stalled gap: {epoch_final_gaps:?}"
+    );
+}
+
+#[test]
+fn converged_solve_records_history_without_refining() {
+    let _serial = telemetry_lock();
+    let sol = try_solve(&bursty_model(), &SolverOptions::default()).expect("valid options");
+    assert!(sol.converged);
+    assert!(sol.refinement_epochs.is_empty(), "default solve converges on one grid");
+    let last = sol.gap_history.latest().expect("history recorded");
+    assert_eq!(last.lower, sol.lower);
+    assert_eq!(last.upper, sol.upper);
+    assert!(sol.gap_history.len() <= GAP_HISTORY_CAPACITY);
+}

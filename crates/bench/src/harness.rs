@@ -20,30 +20,70 @@
 //!
 //! A positional command-line argument acts as a substring filter on
 //! `group/name`; flags passed by `cargo bench` (e.g. `--bench`) are
-//! ignored.
+//! ignored — except `--bless`, which rewrites the iteration-count
+//! baseline (see below).
+//!
+//! # Iteration-count regression guard
+//!
+//! Wall-clock numbers on a shared CI box are noise; the *algorithmic*
+//! cost of a benchmark is not. Every benchmark that emits the solver's
+//! telemetry counters (`solver.iterations`, `solver.refines`) is
+//! checked against `results/bench_baseline.json`: if a benchmark now
+//! needs **more** iterations or refinements than the recorded baseline,
+//! [`Harness::finish`] prints the regression and exits with status 1.
+//! Improvements and newly added benchmarks are reported but do not
+//! fail. After an intentional algorithm change, re-record with
+//!
+//! ```text
+//! cargo bench --bench solver -- --bless   # or any other bench target
+//! ```
+//!
+//! which merges the observed counts for the benchmarks that ran into
+//! the baseline file (benchmarks filtered out keep their old entries).
 
+use std::collections::BTreeMap;
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Counter names pinned by the baseline. Order is the order they are
+/// written in `bench_baseline.json`.
+const BASELINE_COUNTERS: [&str; 2] = ["solver.iterations", "solver.refines"];
 
 /// Target wall-clock time for one measurement sample.
 const SAMPLE_TARGET: Duration = Duration::from_millis(30);
 /// Warm-up budget per benchmark.
 const WARMUP_TARGET: Duration = Duration::from_millis(60);
 
-/// Top-level harness: parses CLI args, owns the report.
+/// Top-level harness: parses CLI args, owns the report and the
+/// iteration-count baseline.
 pub struct Harness {
     filter: Option<String>,
     ran: usize,
+    bless: bool,
+    baseline_path: PathBuf,
+    /// `benchmark name -> counter name -> value` observed this run.
+    observed: BTreeMap<String, BTreeMap<String, u64>>,
 }
 
 impl Harness {
     /// Builds a harness from `std::env::args`, ignoring flags and
     /// treating the first positional argument as a name filter.
+    /// `--bless` re-records the iteration-count baseline instead of
+    /// checking against it.
     pub fn from_args() -> Self {
         let filter = std::env::args()
             .skip(1)
+            .filter(|a| a != "--bless")
             .find(|a| !a.starts_with('-'));
-        Harness { filter, ran: 0 }
+        let bless = std::env::args().any(|a| a == "--bless");
+        Harness {
+            filter,
+            ran: 0,
+            bless,
+            baseline_path: default_baseline_path(),
+            observed: BTreeMap::new(),
+        }
     }
 
     /// Starts a named benchmark group.
@@ -55,10 +95,132 @@ impl Harness {
         }
     }
 
-    /// Prints the closing summary. Call once at the end of `main`.
+    /// Prints the closing summary, then checks (or with `--bless`,
+    /// rewrites) the iteration-count baseline. Call once at the end of
+    /// `main`; exits with status 1 if any benchmark regressed.
     pub fn finish(&self) {
         println!("{} benchmark(s) run", self.ran);
+        if self.bless {
+            match bless_baseline(&self.baseline_path, &self.observed) {
+                Ok(n) => println!(
+                    "baseline blessed: {n} benchmark(s) recorded in {}",
+                    self.baseline_path.display()
+                ),
+                Err(e) => {
+                    eprintln!(
+                        "error: cannot write baseline {}: {e}",
+                        self.baseline_path.display()
+                    );
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
+        let baseline = match load_baseline(&self.baseline_path) {
+            Some(b) => b,
+            None => {
+                if !self.observed.is_empty() {
+                    println!(
+                        "no baseline at {} — run with --bless to record one",
+                        self.baseline_path.display()
+                    );
+                }
+                return;
+            }
+        };
+        let mut regressions = Vec::new();
+        for (bench, counters) in &self.observed {
+            let Some(base) = baseline.get(bench) else {
+                println!("baseline: `{bench}` is new — run --bless to record it");
+                continue;
+            };
+            for (counter, &now) in counters {
+                match base.get(counter) {
+                    Some(&then) if now > then => regressions.push(format!(
+                        "{bench}: {counter} regressed {then} -> {now}"
+                    )),
+                    Some(&then) if now < then => println!(
+                        "baseline: {bench}: {counter} improved {then} -> {now} \
+                         (run --bless to lock in)"
+                    ),
+                    Some(_) => {}
+                    None => println!(
+                        "baseline: `{bench}` has no recorded {counter} — run --bless"
+                    ),
+                }
+            }
+        }
+        if !regressions.is_empty() {
+            eprintln!("iteration-count regression vs {}:", self.baseline_path.display());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            eprintln!("(if intentional, re-record with `-- --bless`)");
+            std::process::exit(1);
+        }
+        if !self.observed.is_empty() {
+            println!("baseline: {} benchmark(s) checked, no regressions", self.observed.len());
+        }
     }
+}
+
+/// `results/bench_baseline.json` at the workspace root, resolved
+/// relative to this crate so `cargo bench` works from any directory.
+fn default_baseline_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/bench_baseline.json"
+    ))
+}
+
+fn load_baseline(path: &PathBuf) -> Option<BTreeMap<String, BTreeMap<String, u64>>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = match lrd_obs::parse_json(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("warning: unreadable baseline {}: {e}", path.display());
+            return None;
+        }
+    };
+    let mut out = BTreeMap::new();
+    for (bench, counters) in json.as_object()? {
+        let mut map = BTreeMap::new();
+        for (counter, value) in counters.as_object()? {
+            map.insert(counter.clone(), value.as_u64()?);
+        }
+        out.insert(bench.clone(), map);
+    }
+    Some(out)
+}
+
+/// Merges `observed` over the existing baseline (benchmarks that did
+/// not run keep their entries) and writes the result with sorted keys,
+/// so re-blessing is a minimal diff.
+fn bless_baseline(
+    path: &PathBuf,
+    observed: &BTreeMap<String, BTreeMap<String, u64>>,
+) -> std::io::Result<usize> {
+    let mut merged = load_baseline(path).unwrap_or_default();
+    for (bench, counters) in observed {
+        merged.insert(bench.clone(), counters.clone());
+    }
+    let mut text = String::from("{\n");
+    for (i, (bench, counters)) in merged.iter().enumerate() {
+        text.push_str(&format!("  {:?}: {{", bench));
+        for (j, (counter, value)) in counters.iter().enumerate() {
+            if j > 0 {
+                text.push_str(", ");
+            }
+            text.push_str(&format!("{:?}: {}", counter, value));
+        }
+        text.push_str(if i + 1 < merged.len() { "},\n" } else { "}\n" });
+    }
+    text.push_str("}\n");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, text)?;
+    Ok(observed.len())
 }
 
 /// A named group of related benchmarks sharing a sample size.
@@ -90,6 +252,15 @@ impl Group<'_> {
         };
         f(&mut b);
         b.report(&full);
+        if let Some(metrics) = &b.metrics {
+            let counters: BTreeMap<String, u64> = BASELINE_COUNTERS
+                .iter()
+                .filter_map(|&name| metrics.counter(name).map(|v| (name.to_string(), v)))
+                .collect();
+            if !counters.is_empty() {
+                self.harness.observed.insert(full.clone(), counters);
+            }
+        }
         self.harness.ran += 1;
         self
     }
@@ -211,6 +382,9 @@ mod tests {
         let mut h = Harness {
             filter: Some("match_me".into()),
             ran: 0,
+            bless: false,
+            baseline_path: default_baseline_path(),
+            observed: BTreeMap::new(),
         };
         let mut g = h.group("g");
         let mut hits = 0;
@@ -223,6 +397,42 @@ mod tests {
         g.finish();
         assert_eq!(hits, 0, "filtered bench must not run");
         assert_eq!(h.ran, 1);
+    }
+
+    #[test]
+    fn baseline_round_trips_and_merges() {
+        let path = std::env::temp_dir().join(format!(
+            "lrd_bench_baseline_test_{}.json",
+            std::process::id()
+        ));
+        let mut observed = BTreeMap::new();
+        observed.insert(
+            "g/a".to_string(),
+            BTreeMap::from([
+                ("solver.iterations".to_string(), 100u64),
+                ("solver.refines".to_string(), 3u64),
+            ]),
+        );
+        bless_baseline(&path, &observed).unwrap();
+        assert_eq!(load_baseline(&path).unwrap(), observed);
+        // A second bless with a different benchmark merges, keeping
+        // the entries that did not run this time.
+        let mut second = BTreeMap::new();
+        second.insert(
+            "g/b".to_string(),
+            BTreeMap::from([("solver.iterations".to_string(), 7u64)]),
+        );
+        bless_baseline(&path, &second).unwrap();
+        let loaded = load_baseline(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded["g/a"]["solver.refines"], 3);
+        assert_eq!(loaded["g/b"]["solver.iterations"], 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_baseline_loads_as_none() {
+        assert!(load_baseline(&PathBuf::from("/nonexistent/nope.json")).is_none());
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct RunConfig {
     /// Print the aggregated telemetry table to stderr on exit
     /// (`--telemetry-summary`).
     pub telemetry_summary: bool,
+    /// Size the global worker pool to this many threads (`--threads N`).
+    /// `None` defers to `LRD_THREADS` or the detected parallelism;
+    /// `Some(1)` forces the bit-for-bit-identical serial path.
+    pub threads: Option<usize>,
 }
 
 impl RunConfig {
@@ -69,6 +73,8 @@ pub enum CliError {
     UnknownArgument(String),
     /// A flag that needs a value was given without one.
     MissingValue(&'static str),
+    /// A flag value that does not parse (e.g. `--threads zero`).
+    InvalidValue(&'static str, String),
 }
 
 impl fmt::Display for CliError {
@@ -77,12 +83,15 @@ impl fmt::Display for CliError {
             CliError::UnknownArgument(arg) => {
                 write!(
                     f,
-                    "unknown argument `{arg}` (expected --quick, --telemetry <path>, \
-                     --telemetry-summary or --help)"
+                    "unknown argument `{arg}` (expected --quick, --threads <n>, \
+                     --telemetry <path>, --telemetry-summary or --help)"
                 )
             }
             CliError::MissingValue(flag) => {
                 write!(f, "{flag} requires a value")
+            }
+            CliError::InvalidValue(flag, value) => {
+                write!(f, "{flag} requires a positive integer, got `{value}`")
             }
         }
     }
@@ -102,12 +111,19 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
                 config.telemetry = Some(PathBuf::from(path));
             }
             "--telemetry-summary" => config.telemetry_summary = true,
+            "--threads" => {
+                let n = args.next().ok_or(CliError::MissingValue("--threads"))?;
+                config.threads = Some(parse_threads(&n)?);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: <figure binary> [--quick] [--telemetry <path.jsonl>] \
-                     [--telemetry-summary]\n\
+                    "usage: <figure binary> [--quick] [--threads <n>] \
+                     [--telemetry <path.jsonl>] [--telemetry-summary]\n\
                      \n\
                      --quick              reduced grids (seconds instead of minutes)\n\
+                     --threads <n>        size the worker pool (default: LRD_THREADS\n\
+                     \u{20}                    env var, else detected parallelism;\n\
+                     \u{20}                    1 = serial, bit-for-bit reproducible)\n\
                      --telemetry <path>   write structured JSONL telemetry (solver\n\
                      \u{20}                    spans, per-iteration gaps, refinements,\n\
                      \u{20}                    metrics) to <path>\n\
@@ -119,6 +135,13 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
                      file under results/."
                 );
                 std::process::exit(0);
+            }
+            other if other.starts_with("--threads=") => {
+                let n = &other["--threads=".len()..];
+                if n.is_empty() {
+                    return Err(CliError::MissingValue("--threads"));
+                }
+                config.threads = Some(parse_threads(n)?);
             }
             other if other.starts_with("--telemetry=") => {
                 let path = &other["--telemetry=".len()..];
@@ -133,12 +156,29 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
     Ok(config)
 }
 
+fn parse_threads(value: &str) -> Result<usize, CliError> {
+    match value.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(CliError::InvalidValue("--threads", value.to_string())),
+    }
+}
+
 /// Parses `std::env::args()`, printing a typed error and exiting with
 /// status 1 on an invalid command line — the shared entry point of all
-/// figure binaries.
+/// figure binaries. A `--threads` request is applied to the global
+/// worker pool here, before any solver work can touch it.
 pub fn run_config() -> RunConfig {
     match parse(std::env::args().skip(1)) {
-        Ok(config) => config,
+        Ok(config) => {
+            if let Some(n) = config.threads {
+                if !lrd_pool::set_global_threads(n) {
+                    eprintln!(
+                        "warning: worker pool already started; --threads {n} ignored"
+                    );
+                }
+            }
+            config
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -187,6 +227,37 @@ mod tests {
             parse(strings(&["--telemetry="])),
             Err(CliError::MissingValue("--telemetry"))
         );
+    }
+
+    #[test]
+    fn threads_flag_both_spellings() {
+        let config = parse(strings(&["--threads", "4"])).unwrap();
+        assert_eq!(config.threads, Some(4));
+        let config = parse(strings(&["--threads=2", "--quick"])).unwrap();
+        assert_eq!(config.threads, Some(2));
+        assert!(config.quick);
+    }
+
+    #[test]
+    fn threads_value_is_validated() {
+        assert_eq!(
+            parse(strings(&["--threads"])),
+            Err(CliError::MissingValue("--threads"))
+        );
+        assert_eq!(
+            parse(strings(&["--threads="])),
+            Err(CliError::MissingValue("--threads"))
+        );
+        for bad in ["0", "-1", "two", "1.5"] {
+            assert_eq!(
+                parse(strings(&["--threads", bad])),
+                Err(CliError::InvalidValue("--threads", bad.to_string())),
+                "--threads {bad} should be rejected"
+            );
+        }
+        let e = parse(strings(&["--threads", "0"])).unwrap_err();
+        assert!(e.to_string().contains("--threads"));
+        assert!(e.to_string().contains('0'));
     }
 
     #[test]

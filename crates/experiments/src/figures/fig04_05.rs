@@ -28,14 +28,20 @@ pub fn loss_grid(bundle: &TraceBundle, utilization: f64, profile: Profile) -> Gr
     cutoffs.push(f64::INFINITY);
 
     let opts = solver_options();
-    let values = buffers
+    // Every (buffer, cutoff) point is an independent solve, so the
+    // flattened cross product goes through the worker pool; each solve
+    // is internally deterministic, so the surface is identical for any
+    // thread count.
+    let points: Vec<(f64, f64)> = buffers
         .iter()
-        .map(|&b| {
-            cutoffs
-                .iter()
-                .map(|&tc| solve(&bundle.model(utilization, b, tc), &opts).loss())
-                .collect()
-        })
+        .flat_map(|&b| cutoffs.iter().map(move |&tc| (b, tc)))
+        .collect();
+    let flat = lrd_pool::par_map(&points, |&(b, tc)| {
+        solve(&bundle.model(utilization, b, tc), &opts).loss()
+    });
+    let values = flat
+        .chunks(cutoffs.len())
+        .map(|row| row.to_vec())
         .collect();
     Grid {
         x_label: "cutoff_s".into(),

@@ -27,6 +27,10 @@ pub fn shuffle_grid(bundle: &TraceBundle, utilization: f64, profile: Profile) ->
     cutoffs.push(f64::INFINITY);
 
     let c = bundle.marginal.service_rate_for_utilization(utilization);
+    // The shuffles stay serial: each draws from one shared RNG stream,
+    // so reordering them would change every figure. Only the per-buffer
+    // simulations fan out — they are pure functions of the (already
+    // shuffled) trace, so thread count cannot change the surface.
     let mut rng = SmallRng::seed_from_u64(0xf1_95);
     let values_by_cutoff: Vec<Vec<f64>> = cutoffs
         .iter()
@@ -36,10 +40,7 @@ pub fn shuffle_grid(bundle: &TraceBundle, utilization: f64, profile: Profile) ->
             } else {
                 bundle.trace.clone()
             };
-            buffers
-                .iter()
-                .map(|&b| simulate_trace(&input, c, c * b).loss_rate)
-                .collect()
+            lrd_pool::par_map(&buffers, |&b| simulate_trace(&input, c, c * b).loss_rate)
         })
         .collect();
 

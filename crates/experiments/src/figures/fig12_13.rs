@@ -16,23 +16,22 @@ pub fn buffer_scaling_grid(bundle: &TraceBundle, utilization: f64, profile: Prof
     let buffers = profile.pick(log_space(0.05, 2.0, 3), log_space(0.01, 5.0, 7));
     let scales = profile.pick(lin_space(0.5, 1.5, 3), lin_space(0.5, 1.5, 5));
     let opts = solver_options();
-    let values = buffers
+    // Independent solves over the (buffer, scale) cross product — same
+    // pool-backed fan-out as the Fig. 4/5 surfaces.
+    let points: Vec<(f64, f64)> = buffers
         .iter()
-        .map(|&b| {
-            scales
-                .iter()
-                .map(|&a| {
-                    let model = QueueModel::from_utilization(
-                        bundle.marginal.scaled(a),
-                        bundle.intervals(f64::INFINITY),
-                        utilization,
-                        b,
-                    );
-                    solve(&model, &opts).loss()
-                })
-                .collect()
-        })
+        .flat_map(|&b| scales.iter().map(move |&a| (b, a)))
         .collect();
+    let flat = lrd_pool::par_map(&points, |&(b, a)| {
+        let model = QueueModel::from_utilization(
+            bundle.marginal.scaled(a),
+            bundle.intervals(f64::INFINITY),
+            utilization,
+            b,
+        );
+        solve(&model, &opts).loss()
+    });
+    let values = flat.chunks(scales.len()).map(|row| row.to_vec()).collect();
     Grid {
         x_label: "scaling_a".into(),
         y_label: "buffer_s".into(),

@@ -3,21 +3,54 @@
 //! Three entry points:
 //!
 //! * [`convolve_direct`] — the `O(nm)` schoolbook algorithm,
-//! * [`convolve_fft`] — zero-padded FFT convolution, `O(N log N)`,
+//! * [`convolve_fft`] — zero-padded real-FFT convolution, `O(N log N)`,
 //! * [`convolve`] — picks whichever is cheaper for the given sizes.
 //!
 //! The loss solver convolves the *same* work-increment kernel against
-//! an evolving occupancy vector on every iteration; [`Convolver`] caches
-//! the kernel's spectrum and the FFT plan so each iteration costs two
-//! transforms instead of three.
+//! an evolving occupancy vector on every iteration; [`Convolver`]
+//! caches the kernel's spectrum, shares the FFT plan through a
+//! process-wide plan cache, and keeps every intermediate buffer alive
+//! across calls, so the steady-state per-iteration cost is two
+//! half-size real transforms and **zero heap allocations**
+//! (`tests/telemetry_overhead.rs` pins the allocation count).
 
 use crate::complex::Complex;
-use crate::transform::{next_pow2, Fft};
+use crate::transform::{next_pow2, RealFft};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// Size product above which the FFT path wins over the direct path.
 /// Chosen empirically (see `lrd-bench`'s `conv_crossover` bench); the
 /// exact value is not critical because both paths are exact.
+///
+/// Re-measured 2026-08 after the real-FFT fast path landed: at the
+/// solver's shapes (kernel `2M+1`, signal `M+1`) the planned real-FFT
+/// path breaks even between `M = 128` and `M = 256` (direct 27.0 µs
+/// vs planned 22.1 µs at `M = 256`, product ≈ 132k) and is ~8× faster
+/// by `M = 1024`. The threshold is kept at 64k — near the measured
+/// crossover and slightly conservative in favour of the
+/// allocation-free direct path, whose small-size cache behaviour is
+/// better than the midpoint suggests.
 const DIRECT_THRESHOLD: usize = 64 * 1024;
+
+/// Process-wide cache of real-FFT plans, keyed by transform length.
+///
+/// The solver builds two [`Convolver`]s per grid level (one per
+/// bounding chain) with identical padded lengths, and doubles the
+/// length on every refinement; sweeps repeat those lengths across
+/// hundreds of `(model, buffer)` points. Sharing the plans means the
+/// twiddle/bit-reversal tables are computed once per distinct size per
+/// process. Lengths are powers of two, so the cache stays tiny (at
+/// most ~60 entries on a 64-bit machine) and is never evicted.
+fn cached_plan(n: usize) -> Arc<RealFft> {
+    static PLANS: Mutex<BTreeMap<usize, Arc<RealFft>>> = Mutex::new(BTreeMap::new());
+    let mut plans = PLANS.lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(
+        plans
+            .entry(n)
+            .or_insert_with(|| Arc::new(RealFft::new(n))),
+    )
+}
 
 /// Schoolbook linear convolution. Output length is `a.len() + b.len() - 1`
 /// (empty if either input is empty).
@@ -25,8 +58,16 @@ pub fn convolve_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
-    let n = a.len() + b.len() - 1;
-    let mut out = vec![0.0; n];
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    convolve_direct_into(a, b, &mut out);
+    out
+}
+
+/// [`convolve_direct`] into a caller-owned output buffer of length
+/// `a.len() + b.len() - 1` (allocation-free for warm buffers).
+fn convolve_direct_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(out.len(), a.len() + b.len() - 1);
+    out.fill(0.0);
     // Iterate the shorter sequence in the outer loop for better locality.
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     for (i, &s) in short.iter().enumerate() {
@@ -37,30 +78,34 @@ pub fn convolve_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
             out[i + j] += s * l;
         }
     }
-    out
 }
 
 /// FFT-based linear convolution with zero padding to the next power of
-/// two `>= a.len() + b.len() - 1`.
+/// two `>= a.len() + b.len() - 1`, computed with two half-size real
+/// transforms through the shared plan cache.
 pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
     let out_len = a.len() + b.len() - 1;
-    let n = next_pow2(out_len);
-    let plan = Fft::new(n);
-    let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::new(x, 0.0)).collect();
-    fa.resize(n, Complex::ZERO);
-    let mut fb: Vec<Complex> = b.iter().map(|&x| Complex::new(x, 0.0)).collect();
-    fb.resize(n, Complex::ZERO);
-    plan.forward(&mut fa);
-    plan.forward(&mut fb);
+    if out_len == 1 {
+        // Padded length 1 is below the real transform's minimum; the
+        // product is a single multiply anyway.
+        return vec![a[0] * b[0]];
+    }
+    let plan = cached_plan(next_pow2(out_len));
+    let mut work = Vec::new();
+    let mut fa = Vec::new();
+    let mut fb = Vec::new();
+    plan.forward(a, &mut work, &mut fa);
+    plan.forward(b, &mut work, &mut fb);
     for (x, y) in fa.iter_mut().zip(&fb) {
         *x *= *y;
     }
-    plan.inverse(&mut fa);
-    fa.truncate(out_len);
-    fa.into_iter().map(|z| z.re).collect()
+    let mut out = Vec::new();
+    plan.inverse(&fa, &mut work, &mut out);
+    out.truncate(out_len);
+    out
 }
 
 /// Linear convolution choosing the direct or FFT path by size.
@@ -74,16 +119,33 @@ pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
 
 /// A convolution plan for repeatedly convolving different signals of a
 /// fixed length against a fixed kernel.
+///
+/// On the FFT path the kernel spectrum is computed once and every
+/// scratch buffer (packed transform input, signal spectrum, real
+/// output) lives in the struct, so steady-state calls to
+/// [`Convolver::conv`] perform two half-size real transforms, one
+/// pointwise product, and **no heap allocation**.
 #[derive(Debug, Clone)]
 pub struct Convolver {
     kernel_len: usize,
     signal_len: usize,
     /// `None` when the direct path is cheaper; then `kernel` holds the
     /// time-domain kernel instead.
-    plan: Option<(Fft, Vec<Complex>)>,
+    plan: Option<FftPath>,
     kernel: Vec<f64>,
-    /// Scratch buffer reused across calls (FFT path only).
-    scratch: Vec<Complex>,
+    /// Real output buffer reused across calls (both paths).
+    out: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct FftPath {
+    plan: Arc<RealFft>,
+    /// Kernel spectrum, `n/2 + 1` unpacked hermitian bins.
+    kernel_spectrum: Vec<Complex>,
+    /// Half-size packed transform scratch.
+    work: Vec<Complex>,
+    /// Signal spectrum, overwritten by the pointwise product.
+    signal_spectrum: Vec<Complex>,
 }
 
 impl Convolver {
@@ -96,30 +158,32 @@ impl Convolver {
     pub fn new(kernel: &[f64], signal_len: usize) -> Self {
         assert!(!kernel.is_empty(), "Convolver kernel must be non-empty");
         assert!(signal_len > 0, "Convolver signal length must be positive");
-        let use_fft = kernel.len().saturating_mul(signal_len) > DIRECT_THRESHOLD;
+        let out_len = kernel.len() + signal_len - 1;
+        let use_fft = kernel.len().saturating_mul(signal_len) > DIRECT_THRESHOLD && out_len >= 2;
         let mut plan_span = lrd_obs::span!(
             "fft.plan",
             kernel_len = kernel.len(),
             signal_len = signal_len,
         );
         plan_span.record("fft", use_fft);
-        let plan = if use_fft {
-            let out_len = kernel.len() + signal_len - 1;
-            let n = next_pow2(out_len);
-            let plan = Fft::new(n);
-            let mut fk: Vec<Complex> = kernel.iter().map(|&x| Complex::new(x, 0.0)).collect();
-            fk.resize(n, Complex::ZERO);
-            plan.forward(&mut fk);
-            Some((plan, fk))
-        } else {
-            None
-        };
+        let plan = use_fft.then(|| {
+            let plan = cached_plan(next_pow2(out_len));
+            let mut work = Vec::new();
+            let mut kernel_spectrum = Vec::new();
+            plan.forward(kernel, &mut work, &mut kernel_spectrum);
+            FftPath {
+                plan,
+                kernel_spectrum,
+                work,
+                signal_spectrum: Vec::new(),
+            }
+        });
         Convolver {
             kernel_len: kernel.len(),
             signal_len,
             plan,
             kernel: kernel.to_vec(),
-            scratch: Vec::new(),
+            out: Vec::new(),
         }
     }
 
@@ -129,12 +193,14 @@ impl Convolver {
     }
 
     /// Convolves `signal` (which must have the planned length) against
-    /// the kernel.
+    /// the kernel. The result slice, of length
+    /// [`Convolver::output_len`], borrows an internal buffer that is
+    /// overwritten by the next call.
     ///
     /// # Panics
     ///
     /// Panics if `signal.len()` differs from the planned signal length.
-    pub fn conv(&mut self, signal: &[f64]) -> Vec<f64> {
+    pub fn conv(&mut self, signal: &[f64]) -> &[f64] {
         assert_eq!(
             signal.len(),
             self.signal_len,
@@ -148,30 +214,27 @@ impl Convolver {
         } else {
             None
         };
-        let out = match &self.plan {
-            None => convolve_direct(&self.kernel, signal),
-            Some((plan, fk)) => {
-                let n = plan.len();
-                self.scratch.clear();
-                self.scratch
-                    .extend(signal.iter().map(|&x| Complex::new(x, 0.0)));
-                self.scratch.resize(n, Complex::ZERO);
-                plan.forward(&mut self.scratch);
-                for (x, k) in self.scratch.iter_mut().zip(fk) {
+        let out_len = self.output_len();
+        match &mut self.plan {
+            None => {
+                self.out.resize(out_len, 0.0);
+                convolve_direct_into(&self.kernel, signal, &mut self.out);
+            }
+            Some(path) => {
+                path.plan
+                    .forward(signal, &mut path.work, &mut path.signal_spectrum);
+                for (x, k) in path.signal_spectrum.iter_mut().zip(&path.kernel_spectrum) {
                     *x *= *k;
                 }
-                plan.inverse(&mut self.scratch);
-                self.scratch[..self.output_len()]
-                    .iter()
-                    .map(|z| z.re)
-                    .collect()
+                path.plan
+                    .inverse(&path.signal_spectrum, &mut path.work, &mut self.out);
             }
-        };
+        }
         if let Some(start) = start {
             lrd_obs::histogram("fft.conv_us", start.elapsed().as_secs_f64() * 1e6);
             lrd_obs::counter("fft.convs", 1);
         }
-        out
+        &self.out[..out_len]
     }
 }
 
@@ -224,9 +287,9 @@ mod tests {
             let k: Vec<f64> = (0..lk).map(|i| (i as f64).sqrt()).collect();
             let s: Vec<f64> = (0..ls).map(|i| 1.0 / (1.0 + i as f64)).collect();
             let mut cv = Convolver::new(&k, ls);
-            assert_close(&cv.conv(&s), &convolve_direct(&k, &s), 1e-8);
-            // Call again to verify the scratch buffer is reusable.
-            assert_close(&cv.conv(&s), &convolve_direct(&k, &s), 1e-8);
+            assert_close(cv.conv(&s), &convolve_direct(&k, &s), 1e-8);
+            // Call again to verify the scratch buffers are reusable.
+            assert_close(cv.conv(&s), &convolve_direct(&k, &s), 1e-8);
         }
     }
 
@@ -237,7 +300,47 @@ mod tests {
         let s: Vec<f64> = (0..512).map(|i| ((i % 5) as f64) * 0.5).collect();
         let mut cv = Convolver::new(&k, s.len());
         assert!(cv.plan.is_some(), "expected FFT path");
-        assert_close(&cv.conv(&s), &convolve_direct(&k, &s), 1e-7);
+        assert_close(cv.conv(&s), &convolve_direct(&k, &s), 1e-7);
+    }
+
+    #[test]
+    fn convolver_fft_path_steady_state_does_not_grow_buffers() {
+        let k: Vec<f64> = (0..700).map(|i| (i as f64 * 0.013).sin() + 1.1).collect();
+        let s: Vec<f64> = (0..300).map(|i| (i as f64 * 0.07).cos() + 1.1).collect();
+        let mut cv = Convolver::new(&k, s.len());
+        assert!(cv.plan.is_some(), "expected FFT path");
+        let _ = cv.conv(&s);
+        let path = cv.plan.as_ref().unwrap();
+        let caps = (
+            cv.out.capacity(),
+            path.work.capacity(),
+            path.signal_spectrum.capacity(),
+        );
+        for _ in 0..20 {
+            let _ = cv.conv(&s);
+        }
+        let path = cv.plan.as_ref().unwrap();
+        assert_eq!(
+            caps,
+            (
+                cv.out.capacity(),
+                path.work.capacity(),
+                path.signal_spectrum.capacity(),
+            ),
+            "steady-state conv must not grow any buffer"
+        );
+    }
+
+    #[test]
+    fn plan_cache_shares_plans_between_convolvers() {
+        let k: Vec<f64> = vec![0.25; 600];
+        let a = Convolver::new(&k, 600);
+        let b = Convolver::new(&k, 600);
+        let (pa, pb) = (a.plan.as_ref().unwrap(), b.plan.as_ref().unwrap());
+        assert!(
+            Arc::ptr_eq(&pa.plan, &pb.plan),
+            "same padded length must reuse the cached plan"
+        );
     }
 
     #[test]
@@ -263,5 +366,10 @@ mod tests {
     fn empty_inputs() {
         assert!(convolve_direct(&[], &[1.0]).is_empty());
         assert!(convolve_fft(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn single_sample_inputs() {
+        assert_close(&convolve_fft(&[3.0], &[0.5]), &[1.5], 1e-12);
     }
 }

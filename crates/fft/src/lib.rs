@@ -22,7 +22,7 @@ mod transform;
 
 pub use complex::Complex;
 pub use convolve::{convolve, convolve_direct, convolve_fft, Convolver};
-pub use transform::{fft, ifft, next_pow2, Fft};
+pub use transform::{fft, ifft, next_pow2, Fft, RealFft};
 
 #[cfg(test)]
 mod tests {

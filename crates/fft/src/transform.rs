@@ -114,6 +114,138 @@ impl Fft {
     }
 }
 
+/// A planned FFT of real input of fixed power-of-two length `n >= 2`,
+/// computed with the classic N/2 trick: the even/odd samples are
+/// packed into one complex vector of length `n/2`, transformed with a
+/// half-size complex FFT, and the spectrum is untangled from the
+/// hermitian symmetry. Compared to a full complex transform of the
+/// zero-padded real input this halves the butterfly work — the
+/// dominant per-iteration cost of the loss solver's convolutions.
+///
+/// The spectrum is produced **unpacked** as `n/2 + 1` complex bins
+/// (`X[0]` and `X[n/2]` real), so that pointwise products of two
+/// spectra — the convolution theorem — are plain complex multiplies
+/// with no special-cased Nyquist bin.
+///
+/// Both directions take caller-owned scratch and output buffers and
+/// perform no allocation once those have reached capacity; the
+/// [`Convolver`](crate::Convolver) holds them persistently.
+#[derive(Debug, Clone)]
+pub struct RealFft {
+    n: usize,
+    half: Fft,
+    /// Untangling twiddles `e^{-2πik/n}` for `k in 0..=n/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl RealFft {
+    /// Plans a real transform of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "real FFT length must be at least 2, got {n}");
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        let half = Fft::new(n / 2);
+        let twiddles = (0..=n / 2)
+            .map(|k| Complex::from_polar_unit(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        RealFft { n, half, twiddles }
+    }
+
+    /// The planned real input length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the planned length is zero (it never is; kept
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of spectrum bins produced: `n/2 + 1`.
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward transform of `input`, implicitly zero-padded to the
+    /// planned length; the first `spectrum_len()` bins of the full
+    /// hermitian spectrum land in `spectrum`. `work` is scratch; both
+    /// output buffers are resized as needed (no allocation once warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is longer than the planned length.
+    pub fn forward(&self, input: &[f64], work: &mut Vec<Complex>, spectrum: &mut Vec<Complex>) {
+        assert!(
+            input.len() <= self.n,
+            "real FFT input length {} exceeds planned length {}",
+            input.len(),
+            self.n
+        );
+        let h = self.n / 2;
+        // Pack z[j] = x[2j] + i·x[2j+1] (absent samples are zero).
+        work.clear();
+        work.resize(h, Complex::ZERO);
+        for (j, z) in work.iter_mut().enumerate() {
+            let re = input.get(2 * j).copied().unwrap_or(0.0);
+            let im = input.get(2 * j + 1).copied().unwrap_or(0.0);
+            *z = Complex::new(re, im);
+        }
+        self.half.forward(work);
+        // Untangle: with Z = fft(z) and Z[h] := Z[0],
+        //   Xe[k] = (Z[k] + conj(Z[h−k]))/2        (spectrum of evens)
+        //   Xo[k] = −i·(Z[k] − conj(Z[h−k]))/2     (spectrum of odds)
+        //   X[k]  = Xe[k] + e^{−2πik/n}·Xo[k],  k = 0..=h.
+        spectrum.clear();
+        spectrum.resize(h + 1, Complex::ZERO);
+        for k in 0..=h {
+            let zk = work[k % h];
+            let zr = work[(h - k) % h].conj();
+            let even = (zk + zr).scale(0.5);
+            let odd = Complex::new(0.0, -0.5) * (zk - zr);
+            spectrum[k] = even + self.twiddles[k] * odd;
+        }
+    }
+
+    /// Inverse transform: reconstructs the `n` real samples from the
+    /// `spectrum_len()` hermitian spectrum bins into `output`. `work`
+    /// is scratch; both output buffers are resized as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len()` differs from [`RealFft::spectrum_len`].
+    pub fn inverse(&self, spectrum: &[Complex], work: &mut Vec<Complex>, output: &mut Vec<f64>) {
+        assert_eq!(
+            spectrum.len(),
+            self.spectrum_len(),
+            "real FFT spectrum length mismatch"
+        );
+        let h = self.n / 2;
+        // Re-tangle: Z[k] = Xe[k] + i·Xo[k] with
+        //   Xe[k] = (X[k] + conj(X[h−k]))/2
+        //   Xo[k] = e^{+2πik/n}·(X[k] − conj(X[h−k]))/2,  k = 0..h−1.
+        work.clear();
+        work.resize(h, Complex::ZERO);
+        for (k, z) in work.iter_mut().enumerate() {
+            let xk = spectrum[k];
+            let xr = spectrum[h - k].conj();
+            let even = (xk + xr).scale(0.5);
+            let odd = self.twiddles[k].conj() * (xk - xr).scale(0.5);
+            *z = even + Complex::new(0.0, 1.0) * odd;
+        }
+        self.half.inverse(work);
+        output.clear();
+        output.resize(self.n, 0.0);
+        for (j, z) in work.iter().enumerate() {
+            output[2 * j] = z.re;
+            output[2 * j + 1] = z.im;
+        }
+    }
+}
+
 /// One-shot forward FFT of a power-of-two-length buffer.
 pub fn fft(data: &mut [Complex]) {
     Fft::new(data.len()).forward(data);
@@ -236,6 +368,70 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_pow2() {
         Fft::new(12);
+    }
+
+    #[test]
+    fn real_fft_matches_complex_fft() {
+        for &n in &[2usize, 4, 8, 16, 64, 256, 1024] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).sin() + 0.3).collect();
+            // Reference: full complex transform, first n/2+1 bins.
+            let mut full: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            fft(&mut full);
+            let plan = RealFft::new(n);
+            let (mut work, mut spectrum) = (Vec::new(), Vec::new());
+            plan.forward(&x, &mut work, &mut spectrum);
+            assert_eq!(spectrum.len(), n / 2 + 1);
+            assert_close(&spectrum, &full[..=n / 2], 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn real_fft_zero_pads_short_input() {
+        let n = 32;
+        let x: Vec<f64> = (0..13).map(|i| i as f64 - 6.0).collect();
+        let mut padded: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        padded.resize(n, Complex::ZERO);
+        fft(&mut padded);
+        let plan = RealFft::new(n);
+        let (mut work, mut spectrum) = (Vec::new(), Vec::new());
+        plan.forward(&x, &mut work, &mut spectrum);
+        assert_close(&spectrum, &padded[..=n / 2], 1e-10);
+    }
+
+    #[test]
+    fn real_fft_roundtrip() {
+        for &n in &[2usize, 8, 128, 2048] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 1.7).cos() * (i % 5) as f64).collect();
+            let plan = RealFft::new(n);
+            let (mut work, mut spectrum, mut out) = (Vec::new(), Vec::new(), Vec::new());
+            plan.forward(&x, &mut work, &mut spectrum);
+            plan.inverse(&spectrum, &mut work, &mut out);
+            assert_eq!(out.len(), n);
+            for (i, (a, b)) in x.iter().zip(&out).enumerate() {
+                assert!((a - b).abs() < 1e-9 * n as f64, "mismatch at {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_fft_buffers_do_not_grow_on_reuse() {
+        let plan = RealFft::new(64);
+        let x = vec![1.0; 64];
+        let (mut work, mut spectrum, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        plan.forward(&x, &mut work, &mut spectrum);
+        plan.inverse(&spectrum, &mut work, &mut out);
+        let caps = (work.capacity(), spectrum.capacity(), out.capacity());
+        for _ in 0..10 {
+            plan.forward(&x, &mut work, &mut spectrum);
+            plan.inverse(&spectrum, &mut work, &mut out);
+        }
+        assert_eq!(caps, (work.capacity(), spectrum.capacity(), out.capacity()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn real_fft_rejects_length_one() {
+        RealFft::new(1);
     }
 
     #[test]

@@ -117,6 +117,13 @@ impl LossSolution {
 
 /// The pair of discretized bounding chains at a fixed grid resolution,
 /// steppable one arrival at a time.
+///
+/// The two chains are data-independent, so [`BoundSolver::step`]
+/// advances them concurrently on the [`lrd_pool::current`] pool
+/// (serially, in the historical order, when the pool has one thread).
+/// Each chain's floating-point work is identical for every thread
+/// count, so the bounds are bit-for-bit reproducible regardless of
+/// parallelism.
 #[derive(Debug)]
 pub struct BoundSolver<D> {
     model: QueueModel<D>,
@@ -125,6 +132,10 @@ pub struct BoundSolver<D> {
     q_upper: Vec<f64>,
     conv_lower: Convolver,
     conv_upper: Convolver,
+    /// Per-chain next-distribution scratch, reused every step so the
+    /// steady-state iteration performs no heap allocation.
+    scratch_lower: Vec<f64>,
+    scratch_upper: Vec<f64>,
     kernel: LossKernel,
     iterations: usize,
     worst_mass_drift: f64,
@@ -168,6 +179,8 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
             q_upper,
             conv_lower,
             conv_upper,
+            scratch_lower: Vec::new(),
+            scratch_upper: Vec::new(),
             kernel,
             iterations: 0,
             worst_mass_drift: 0.0,
@@ -212,10 +225,19 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
     /// Advances both chains by one arrival epoch: convolve with the
     /// respective work-increment discretization, then fold the
     /// out-of-range mass onto the boundary atoms at `0` and `B`
-    /// (Eq. 19–20).
+    /// (Eq. 19–20). The two chains run concurrently on the current
+    /// pool; with one thread the lower chain steps first, exactly as
+    /// the historical serial path did.
     pub fn step(&mut self) {
-        let drift_lower = Self::step_chain(&mut self.q_lower, &mut self.conv_lower, self.bins);
-        let drift_upper = Self::step_chain(&mut self.q_upper, &mut self.conv_upper, self.bins);
+        let bins = self.bins;
+        let (q_lower, conv_lower, scratch_lower) =
+            (&mut self.q_lower, &mut self.conv_lower, &mut self.scratch_lower);
+        let (q_upper, conv_upper, scratch_upper) =
+            (&mut self.q_upper, &mut self.conv_upper, &mut self.scratch_upper);
+        let (drift_lower, drift_upper) = lrd_pool::current().join(
+            || Self::step_chain(q_lower, conv_lower, bins, scratch_lower),
+            || Self::step_chain(q_upper, conv_upper, bins, scratch_upper),
+        );
         self.worst_mass_drift = self.worst_mass_drift.max(drift_lower).max(drift_upper);
         self.iterations += 1;
     }
@@ -229,13 +251,16 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
     }
 
     /// Advances one chain and returns the pre-renormalization mass
-    /// deviation `|Σq − 1|` of that step.
-    fn step_chain(q: &mut Vec<f64>, conv: &mut Convolver, bins: usize) -> f64 {
+    /// deviation `|Σq − 1|` of that step. `next` is the chain's
+    /// persistent scratch: the new distribution is built there and
+    /// swapped into `q`, so warm steps allocate nothing.
+    fn step_chain(q: &mut Vec<f64>, conv: &mut Convolver, bins: usize, next: &mut Vec<f64>) -> f64 {
         // u has length 3M+1; output index k corresponds to occupancy
         // index i = k − M in −M..=2M.
         let u = conv.conv(q);
         debug_assert_eq!(u.len(), 3 * bins + 1);
-        let mut next = vec![0.0f64; bins + 1];
+        next.clear();
+        next.resize(bins + 1, 0.0);
         // i <= 0  ⇔  k <= M → atom at 0.
         next[0] = u[..=bins].iter().sum::<f64>();
         // 0 < i < M.
@@ -260,7 +285,7 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
                 *v /= total;
             }
         }
-        *q = next;
+        std::mem::swap(q, next);
         (total - 1.0).abs()
     }
 
@@ -272,19 +297,42 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
     /// point and `φ_L^{2M} >= φ_L^{M}` pointwise (Prop. II.1, step v).
     pub fn refine(&mut self) {
         let new_bins = self.bins * 2;
-        let wdist = WorkDistribution::build(&self.model, new_bins);
-        self.kernel = LossKernel::build(&self.model, new_bins);
-        let transplant = |q: &[f64]| {
+        let pool = lrd_pool::current();
+        // The work-increment discretization and the loss kernel are
+        // independent constructions over the same model; so are the
+        // two chains' transplants and convolution plans. Each branch
+        // is deterministic on its own, so the refined solver is
+        // identical for any thread count.
+        let (wdist, kernel) = pool.join(
+            || WorkDistribution::build(&self.model, new_bins),
+            || LossKernel::build(&self.model, new_bins),
+        );
+        self.kernel = kernel;
+        fn transplant(q: &[f64], new_bins: usize) -> Vec<f64> {
             let mut out = vec![0.0; new_bins + 1];
             for (j, &p) in q.iter().enumerate() {
                 out[2 * j] = p;
             }
             out
-        };
-        self.q_lower = transplant(&self.q_lower);
-        self.q_upper = transplant(&self.q_upper);
-        self.conv_lower = Convolver::new(wdist.lower(), new_bins + 1);
-        self.conv_upper = Convolver::new(wdist.upper(), new_bins + 1);
+        }
+        let ((q_lower, conv_lower), (q_upper, conv_upper)) = pool.join(
+            || {
+                (
+                    transplant(&self.q_lower, new_bins),
+                    Convolver::new(wdist.lower(), new_bins + 1),
+                )
+            },
+            || {
+                (
+                    transplant(&self.q_upper, new_bins),
+                    Convolver::new(wdist.upper(), new_bins + 1),
+                )
+            },
+        );
+        self.q_lower = q_lower;
+        self.q_upper = q_upper;
+        self.conv_lower = conv_lower;
+        self.conv_upper = conv_upper;
         self.bins = new_bins;
     }
 }

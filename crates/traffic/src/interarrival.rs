@@ -14,7 +14,12 @@ use lrd_rng::Rng;
 
 /// A positive interarrival-time distribution, possibly with an atom at
 /// the top of its support (the truncated Pareto has one at `T_c`).
-pub trait Interarrival {
+///
+/// `Send + Sync` is a supertrait so the loss solver can evaluate the
+/// two bounding chains (and the grid-refinement rebuild) on worker
+/// threads; every distribution here is a plain bag of parameters, so
+/// the bound costs implementors nothing.
+pub trait Interarrival: Send + Sync {
     /// Complementary CDF `Pr{T > t}`. Must be right-continuous,
     /// non-increasing, with `ccdf(t) = 1` for `t < 0`.
     fn ccdf(&self, t: f64) -> f64;

@@ -28,4 +28,14 @@ LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
     --quick --telemetry "$capture" > /dev/null
 cargo run -q --release --locked --example telemetry_check -- "$capture"
 
+echo "=== parallel smoke (--threads 2 figure run + telemetry check) ==="
+# The same figure surface through the worker pool: two threads must
+# produce a valid run and well-formed telemetry (determinism itself is
+# pinned bit-for-bit by tests/parallel_determinism.rs).
+par_capture="$smokedir/fig04_threads2.jsonl"
+LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
+    -p lrd-experiments --bin fig04_mtv_model -- \
+    --quick --threads 2 --telemetry "$par_capture" > /dev/null
+cargo run -q --release --locked --example telemetry_check -- "$par_capture"
+
 echo "ci: all gates passed"

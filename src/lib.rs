@@ -47,6 +47,7 @@
 pub use lrd_fft as fft;
 pub use lrd_fluidq as fluidq;
 pub use lrd_obs as obs;
+pub use lrd_pool as pool;
 pub use lrd_rng as rng;
 pub use lrd_sim as sim;
 pub use lrd_specfun as specfun;

@@ -1,0 +1,143 @@
+//! The worker pool changes *where* the solver's floating-point work
+//! runs, never *what* it computes: the two bounding chains are data-
+//! independent within a step, every convolution is a pure function of
+//! its inputs, and reductions happen in a fixed order on the caller.
+//! These tests pin that contract — `--threads 4` must reproduce the
+//! `--threads 1` serial path **bit for bit**, not merely within
+//! tolerance. Any reordering of FP operations would show up here as a
+//! `to_bits` mismatch long before it grew into a visible numerical
+//! difference.
+
+use lrd::pool::with_threads;
+use lrd::prelude::*;
+
+/// Solves `model` under a private pool of `threads` workers.
+fn solve_with<D: Interarrival + Clone>(
+    model: &QueueModel<D>,
+    opts: &SolverOptions,
+    threads: usize,
+) -> LossSolution {
+    with_threads(threads, || try_solve(model, opts).expect("solve failed"))
+}
+
+/// Asserts two solutions are byte-identical, comparing floats through
+/// `to_bits` so `-0.0 != 0.0` and NaN payloads would be caught too.
+fn assert_bitwise_equal(serial: &LossSolution, parallel: &LossSolution) {
+    assert_eq!(serial.lower.to_bits(), parallel.lower.to_bits(), "lower bound");
+    assert_eq!(serial.upper.to_bits(), parallel.upper.to_bits(), "upper bound");
+    assert_eq!(serial.iterations, parallel.iterations, "iteration count");
+    assert_eq!(serial.bins, parallel.bins, "final grid resolution");
+    assert_eq!(serial.converged, parallel.converged, "convergence flag");
+    assert_eq!(
+        serial.refinement_epochs, parallel.refinement_epochs,
+        "refinement epochs"
+    );
+    assert_eq!(
+        serial.gap_history.len(),
+        parallel.gap_history.len(),
+        "gap history length"
+    );
+    for (s, p) in serial.gap_history.iter().zip(parallel.gap_history.iter()) {
+        assert_eq!(s.iteration, p.iteration, "gap sample iteration");
+        assert_eq!(s.lower.to_bits(), p.lower.to_bits(), "gap sample lower");
+        assert_eq!(s.upper.to_bits(), p.upper.to_bits(), "gap sample upper");
+    }
+}
+
+/// The paper's bursty two-rate MTV-like model with a finite cutoff —
+/// heavy enough that the solver refines its grid at least once, so the
+/// parallel transplant path is exercised, not just the step path.
+fn pareto_model() -> QueueModel<TruncatedPareto> {
+    let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+    let intervals = TruncatedPareto::from_hurst(0.8, 0.05, 1.0);
+    let model = QueueModel::from_utilization(marginal, intervals, 0.8, 0.2);
+    // Deep-loss variant: buffer of one service-rate-second.
+    model.with_buffer(model.service_rate())
+}
+
+fn exponential_model() -> QueueModel<Exponential> {
+    let marginal = Marginal::new(&[1.0, 5.0, 9.0], &[0.3, 0.4, 0.3]);
+    QueueModel::from_utilization(marginal, Exponential::new(0.25), 0.7, 0.3)
+}
+
+#[test]
+fn pareto_solution_is_bitwise_identical_across_thread_counts() {
+    let model = pareto_model();
+    let opts = SolverOptions::default();
+    let serial = solve_with(&model, &opts, 1);
+    let parallel = solve_with(&model, &opts, 4);
+    assert!(
+        !serial.refinement_epochs.is_empty(),
+        "model must refine so the parallel transplant path is covered"
+    );
+    assert_bitwise_equal(&serial, &parallel);
+}
+
+#[test]
+fn exponential_solution_is_bitwise_identical_across_thread_counts() {
+    let model = exponential_model();
+    let opts = SolverOptions::default();
+    let serial = solve_with(&model, &opts, 1);
+    let parallel = solve_with(&model, &opts, 4);
+    assert_bitwise_equal(&serial, &parallel);
+}
+
+#[test]
+fn two_workers_match_four_workers() {
+    // Thread-count invariance is not just 1-vs-N: any two pool sizes
+    // must agree, since task placement is the only thing that varies.
+    let model = exponential_model();
+    let opts = SolverOptions::default();
+    let two = solve_with(&model, &opts, 2);
+    let four = solve_with(&model, &opts, 4);
+    assert_bitwise_equal(&two, &four);
+}
+
+#[test]
+fn figure_grid_fanout_is_thread_count_invariant() {
+    // The sweep-level `par_map` fan-out used by the figure binaries
+    // must preserve output order and values exactly.
+    let buffers = [0.05f64, 0.2, 1.0];
+    let cutoffs = [0.1f64, 1.0, f64::INFINITY];
+    let solve_grid = || {
+        let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
+        let points: Vec<(f64, f64)> = buffers
+            .iter()
+            .flat_map(|&b| cutoffs.iter().map(move |&tc| (b, tc)))
+            .collect();
+        lrd::pool::par_map(&points, |&(b, tc)| {
+            let intervals = TruncatedPareto::from_hurst(0.8, 0.05, tc);
+            let model =
+                QueueModel::from_utilization(marginal.clone(), intervals, 0.8, b);
+            solve(&model, &SolverOptions::default()).loss()
+        })
+    };
+    let serial: Vec<u64> = with_threads(1, solve_grid).iter().map(|v| v.to_bits()).collect();
+    let parallel: Vec<u64> = with_threads(4, solve_grid).iter().map(|v| v.to_bits()).collect();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn panic_in_pool_task_propagates_to_the_caller() {
+    // A worker panic must surface at the spawning scope (so tests and
+    // binaries fail loudly), not hang the pool or kill the process.
+    let caught = std::panic::catch_unwind(|| {
+        with_threads(4, || {
+            let pool = lrd::pool::current();
+            pool.scope(|s| {
+                s.spawn(|| panic!("solver task exploded"));
+            });
+        })
+    });
+    let payload = caught.expect_err("panic must propagate");
+    let message = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(String::from)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(
+        message.contains("solver task exploded"),
+        "panic payload should survive the hop across threads, got {message:?}"
+    );
+}

@@ -1,26 +1,5 @@
 //! Extension: Eq. 26 correlation-horizon validation via the solver.
 
-use lrd_experiments::figures::{ch_validation, Profile};
-use lrd_experiments::{output, Corpus};
-
-fn main() {
-    let config = lrd_experiments::cli::run_config();
-    let _telemetry = config.install_telemetry();
-    let quick = config.quick;
-    let profile = if quick { Profile::Quick } else { Profile::Full };
-    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let v = ch_validation::run(&corpus, profile);
-    let mut csv = String::from("buffer_s,empirical_ch_s,eq26_tch_s\n");
-    for (e, p) in v.empirical.iter().zip(&v.predicted) {
-        csv.push_str(&format!("{},{},{}\n", e.0, e.1, p.1));
-    }
-    print!("{csv}");
-    match output::write_results_file("ch_validation.csv", &csv) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write results file: {e}"),
-    }
-    eprintln!(
-        "empirical CH vs buffer: log-log slope {:.2} (r² {:.2}); Eq. 26 is exactly linear.",
-        v.fit.slope, v.fit.r_squared
-    );
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("ch_validation")
 }

@@ -1,38 +1,5 @@
-//! Prints the corpus statistics table used at the top of
-//! `EXPERIMENTS.md`: trace lengths, means, measured Hurst parameters
-//! (wavelet and local Whittle), and the calibrated θ per bundle.
+//! Prints the corpus statistics table used at the top of EXPERIMENTS.md.
 
-use lrd_experiments::{output, Corpus};
-use lrd_stats::{wavelet_estimate, whittle_estimate};
-
-fn main() {
-    let config = lrd_experiments::cli::run_config();
-    let _telemetry = config.install_telemetry();
-    let quick = config.quick;
-    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let mut out = String::from(
-        "trace,samples,dt_s,mean_rate_mbps,std_mbps,target_h,wavelet_h,whittle_h,mean_epoch_s,theta_s\n",
-    );
-    for b in [&corpus.mtv, &corpus.bellcore] {
-        let wavelet = wavelet_estimate(b.trace.rates()).h;
-        let whittle = whittle_estimate(b.trace.rates()).h;
-        out.push_str(&format!(
-            "{},{},{},{:.4},{:.4},{},{:.3},{:.3},{:.4},{:.5}\n",
-            b.name,
-            b.trace.len(),
-            b.trace.dt(),
-            b.trace.mean_rate(),
-            lrd_stats::std_dev(b.trace.rates()),
-            b.hurst,
-            wavelet,
-            whittle,
-            b.mean_epoch,
-            b.theta,
-        ));
-    }
-    print!("{out}");
-    match output::write_results_file("corpus.csv", &out) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write results file: {e}"),
-    }
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("corpus_report")
 }

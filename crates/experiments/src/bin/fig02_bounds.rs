@@ -1,37 +1,5 @@
 //! Regenerates Fig. 2: convergence of the discrete occupancy bounds.
 
-use lrd_experiments::figures::{fig02, Profile};
-use lrd_experiments::{output, Corpus};
-
-fn main() {
-    let config = lrd_experiments::cli::run_config();
-    let _telemetry = config.install_telemetry();
-    let quick = config.quick;
-    let profile = if quick { Profile::Quick } else { Profile::Full };
-    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let fig = fig02::run(&corpus, profile);
-    let csv = fig02::to_csv(&fig);
-    print!("{csv}");
-    match output::write_results_file("fig02_bounds.csv", &csv) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write results file: {e}"),
-    }
-    // Companion solve to stationarity: exercises the full convergence
-    // protocol (gap narrowing, grid refinement, mass check), so a
-    // `--telemetry` run of this binary records the solver end to end.
-    let sol = fig02::stationary_bounds(&corpus);
-    eprintln!(
-        "stationary bounds: loss in [{:.3e}, {:.3e}] after {} iterations \
-         ({} refinement{}, final M = {})",
-        sol.lower,
-        sol.upper,
-        sol.iterations,
-        sol.refinement_epochs.len(),
-        if sol.refinement_epochs.len() == 1 { "" } else { "s" },
-        sol.bins
-    );
-    eprintln!(
-        "Fig. 2 reproduced: occupancy-bound CDFs at n = 5, 10, 30 (M = 100); \
-         the lower/upper pairs squeeze toward the stationary law."
-    );
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("fig02_bounds")
 }

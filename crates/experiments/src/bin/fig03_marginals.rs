@@ -1,22 +1,5 @@
 //! Regenerates Fig. 3: the marginal rate distributions of both traces.
 
-use lrd_experiments::figures::fig03;
-use lrd_experiments::{output, Corpus};
-
-fn main() {
-    let config = lrd_experiments::cli::run_config();
-    let _telemetry = config.install_telemetry();
-    let quick = config.quick;
-    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let series = fig03::run(&corpus);
-    let csv = fig03::to_csv(&series);
-    print!("{csv}");
-    match output::write_results_file("fig03_marginals.csv", &csv) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write results file: {e}"),
-    }
-    eprintln!(
-        "Fig. 3 reproduced: MTV marginal is unimodal near its mean; \
-         Bellcore marginal piles mass near idle with a heavy tail."
-    );
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("fig03_marginals")
 }

@@ -1,42 +1,5 @@
-//! Fig. 6 is the paper's illustration of the external-shuffling
-//! procedure. This binary demonstrates it on data: the autocorrelation
-//! of the MTV-like trace before and after block shuffling, showing
-//! correlation surviving below the block length and vanishing above.
+//! Demonstrates Fig. 6: external block shuffling kills long-lag correlation.
 
-use lrd_experiments::{output, Corpus};
-use lrd_traffic::shuffle::external_shuffle;
-use lrd_rng::rngs::SmallRng;
-use lrd_rng::SeedableRng;
-
-fn main() {
-    let config = lrd_experiments::cli::run_config();
-    let _telemetry = config.install_telemetry();
-    let quick = config.quick;
-    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let trace = &corpus.mtv.trace;
-    let block = 64usize; // samples per shuffle block
-    let mut rng = SmallRng::seed_from_u64(6);
-    let shuffled = external_shuffle(trace, block, &mut rng);
-
-    let max_lag = 4 * block;
-    let before = lrd_stats::autocorrelation(trace.rates(), max_lag);
-    let after = lrd_stats::autocorrelation(shuffled.rates(), max_lag);
-
-    let mut csv = String::from("lag_samples,acf_original,acf_shuffled\n");
-    for k in 0..=max_lag {
-        csv.push_str(&format!("{k},{:.6},{:.6}\n", before[k], after[k]));
-    }
-    print!("{csv}");
-    match output::write_results_file("fig06_shuffle_demo.csv", &csv) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write results file: {e}"),
-    }
-    eprintln!(
-        "Fig. 6 demonstrated: at lag {} (¼ block) the shuffled ACF retains {:.0}% \
-         of the original; at lag {} (2 blocks) it retains {:.0}%.",
-        block / 4,
-        100.0 * after[block / 4] / before[block / 4].max(1e-12),
-        2 * block,
-        100.0 * after[2 * block] / before[2 * block].max(1e-12),
-    );
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("fig06_shuffle_demo")
 }

@@ -1,25 +1,5 @@
-//! Regenerates Fig. 7: shuffle-simulation loss vs (buffer, cutoff), MTV at utilization 0.8.
+//! Regenerates Fig. 7: shuffle-simulation loss vs (buffer, cutoff), MTV.
 
-use lrd_experiments::figures::{fig07_08, Profile};
-use lrd_experiments::{output, Corpus};
-
-fn main() {
-    let config = lrd_experiments::cli::run_config();
-    let _telemetry = config.install_telemetry();
-    let quick = config.quick;
-    let profile = if quick { Profile::Quick } else { Profile::Full };
-    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let grid = fig07_08::fig07(&corpus, profile);
-    eprintln!("{}", grid.to_table());
-    let csv = grid.to_csv();
-    print!("{csv}");
-    match output::write_results_file("fig07_mtv_shuffle.csv", &csv) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write results file: {e}"),
-    }
-    let gp = lrd_experiments::gnuplot::grid_to_gnuplot(&grid, "fig07_mtv_shuffle", "fig07_mtv_shuffle");
-    match output::write_results_file("fig07_mtv_shuffle.gp", &gp) {
-        Ok(p) => eprintln!("wrote {} (render with gnuplot)", p.display()),
-        Err(e) => eprintln!("could not write gnuplot script: {e}"),
-    }
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("fig07_mtv_shuffle")
 }

@@ -1,27 +1,5 @@
-//! Regenerates Fig. 9: loss vs cutoff lag for the MTV and Bellcore
-//! marginals with identical queue and interval parameters.
+//! Regenerates Fig. 9: loss vs cutoff lag for the MTV and Bellcore marginals with identical queue and interval parameters.
 
-use lrd_experiments::figures::{fig09, Profile};
-use lrd_experiments::{output, Corpus};
-
-fn main() {
-    let config = lrd_experiments::cli::run_config();
-    let _telemetry = config.install_telemetry();
-    let quick = config.quick;
-    let profile = if quick { Profile::Quick } else { Profile::Full };
-    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let series = fig09::run(&corpus, profile);
-    let csv = output::series_to_csv("cutoff_s", &series);
-    print!("{csv}");
-    match output::write_results_file("fig09_marginal_compare.csv", &csv) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write results file: {e}"),
-    }
-    let last = |s: &lrd_experiments::Series| s.points.last().unwrap().1;
-    eprintln!(
-        "Fig. 9 reproduced: at the largest cutoff, loss(MTV) = {:.3e}, loss(BC) = {:.3e} \
-         — the marginal alone changes loss by orders of magnitude.",
-        last(&series[0]),
-        last(&series[1])
-    );
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("fig09_marginal_compare")
 }

@@ -1,25 +1,5 @@
-//! Regenerates Fig. 11: model loss vs (Hurst parameter, superposed streams), MTV at utilization 0.8.
+//! Regenerates Fig. 11: loss vs (Hurst, superposed streams), MTV.
 
-use lrd_experiments::figures::{fig10_11, Profile};
-use lrd_experiments::{output, Corpus};
-
-fn main() {
-    let config = lrd_experiments::cli::run_config();
-    let _telemetry = config.install_telemetry();
-    let quick = config.quick;
-    let profile = if quick { Profile::Quick } else { Profile::Full };
-    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let grid = fig10_11::fig11(&corpus, profile);
-    eprintln!("{}", grid.to_table());
-    let csv = grid.to_csv();
-    print!("{csv}");
-    match output::write_results_file("fig11_hurst_vs_multiplex.csv", &csv) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write results file: {e}"),
-    }
-    let gp = lrd_experiments::gnuplot::grid_to_gnuplot(&grid, "fig11_hurst_vs_multiplex", "fig11_hurst_vs_multiplex");
-    match output::write_results_file("fig11_hurst_vs_multiplex.gp", &gp) {
-        Ok(p) => eprintln!("wrote {} (render with gnuplot)", p.display()),
-        Err(e) => eprintln!("could not write gnuplot script: {e}"),
-    }
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("fig11_hurst_vs_multiplex")
 }

@@ -1,25 +1,5 @@
-//! Regenerates Fig. 13: model loss vs (buffer, marginal scaling), Bellcore at utilization 0.4.
+//! Regenerates Fig. 13: loss vs (buffer, marginal scaling), Bellcore, T_c = infinity.
 
-use lrd_experiments::figures::{fig12_13, Profile};
-use lrd_experiments::{output, Corpus};
-
-fn main() {
-    let config = lrd_experiments::cli::run_config();
-    let _telemetry = config.install_telemetry();
-    let quick = config.quick;
-    let profile = if quick { Profile::Quick } else { Profile::Full };
-    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let grid = fig12_13::fig13(&corpus, profile);
-    eprintln!("{}", grid.to_table());
-    let csv = grid.to_csv();
-    print!("{csv}");
-    match output::write_results_file("fig13_bc_buffer_scaling.csv", &csv) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write results file: {e}"),
-    }
-    let gp = lrd_experiments::gnuplot::grid_to_gnuplot(&grid, "fig13_bc_buffer_scaling", "fig13_bc_buffer_scaling");
-    match output::write_results_file("fig13_bc_buffer_scaling.gp", &gp) {
-        Ok(p) => eprintln!("wrote {} (render with gnuplot)", p.display()),
-        Err(e) => eprintln!("could not write gnuplot script: {e}"),
-    }
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("fig13_bc_buffer_scaling")
 }

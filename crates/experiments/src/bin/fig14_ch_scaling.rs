@@ -1,39 +1,5 @@
-//! Regenerates Fig. 14: the correlation horizon scales linearly with
-//! the buffer size.
+//! Regenerates Fig. 14: the correlation horizon scales linearly with the buffer size.
 
-use lrd_experiments::figures::{fig14, Profile};
-use lrd_experiments::{output, Corpus};
-
-fn main() {
-    let config = lrd_experiments::cli::run_config();
-    let _telemetry = config.install_telemetry();
-    let quick = config.quick;
-    let profile = if quick { Profile::Quick } else { Profile::Full };
-    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let fig = fig14::run(&corpus, profile);
-    eprintln!("{}", fig.grid.to_table());
-    let mut csv = fig.grid.to_csv();
-    csv.push_str("\nbuffer_s,empirical_ch_s\n");
-    for &(b, h) in &fig.horizons {
-        csv.push_str(&format!("{b},{h}\n"));
-    }
-    csv.push_str("\nbuffer_s,eq26_tch_s\n");
-    for &(b, t) in &fig.predicted {
-        csv.push_str(&format!("{b},{t}\n"));
-    }
-    print!("{csv}");
-    match output::write_results_file("fig14_ch_scaling.csv", &csv) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write results file: {e}"),
-    }
-    let gp = lrd_experiments::gnuplot::grid_to_gnuplot(&fig.grid, "fig14_ch_scaling", "fig14_ch_scaling");
-    match output::write_results_file("fig14_ch_scaling.gp", &gp) {
-        Ok(p) => eprintln!("wrote {} (render with gnuplot)", p.display()),
-        Err(e) => eprintln!("could not write gnuplot script: {e}"),
-    }
-    eprintln!(
-        "Fig. 14 reproduced: log-log fit of empirical CH vs buffer has slope {:.2} \
-         (r² = {:.2}); Eq. 26 predicts exactly linear scaling.",
-        fig.fit.slope, fig.fit.r_squared
-    );
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("fig14_ch_scaling")
 }

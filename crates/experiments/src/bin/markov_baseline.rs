@@ -1,24 +1,5 @@
-//! Extension experiment: truncated-Pareto (LRD) vs mean-matched
-//! exponential (Markovian) interval model across buffer sizes.
+//! Extension: truncated-Pareto vs mean-matched exponential interval models across buffer sizes.
 
-use lrd_experiments::figures::{markov_baseline, Profile};
-use lrd_experiments::{output, Corpus};
-
-fn main() {
-    let config = lrd_experiments::cli::run_config();
-    let _telemetry = config.install_telemetry();
-    let quick = config.quick;
-    let profile = if quick { Profile::Quick } else { Profile::Full };
-    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let series = markov_baseline::run(&corpus, profile);
-    let csv = output::series_to_csv("buffer_s", &series);
-    print!("{csv}");
-    match output::write_results_file("markov_baseline.csv", &csv) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write results file: {e}"),
-    }
-    eprintln!(
-        "Extension: Markovian and LRD interval models agree for small buffers \
-         (below the correlation horizon) and diverge as the buffer grows."
-    );
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("markov_baseline")
 }

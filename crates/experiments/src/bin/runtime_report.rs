@@ -31,7 +31,7 @@ fn main() {
     let _telemetry = lrd_obs::install_fanout(sinks);
     let quick = config.quick;
     let corpus = if quick { Corpus::quick() } else { Corpus::full() };
-    let opts = lrd_experiments::figures::solver_options();
+    let opts = lrd_fluidq::SolverOptions::sweep_profile();
 
     let mut csv =
         String::from("utilization,buffer_s,cutoff_s,loss,iterations,bins,converged,millis\n");

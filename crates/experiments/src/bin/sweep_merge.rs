@@ -1,0 +1,47 @@
+//! Assembles a figure from a complete set of shard checkpoints.
+//!
+//! ```text
+//! sweep_merge shard0.jsonl shard1.jsonl ... shardN.jsonl
+//! ```
+//!
+//! The manifests are cross-validated (same figure, profile, plan hash
+//! and shard count; every shard present exactly once; every lattice
+//! point present exactly once), the plan is rebuilt from the registry
+//! and its hash checked against the manifests, and the figure is then
+//! emitted exactly as an unsharded run would have emitted it: same
+//! stdout CSV bytes, same files under `results/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweep_merge <shard.jsonl>...\n\
+                     \n\
+                     Merges the checkpoint files of a complete shard set\n\
+                     (produced by a figure binary run with --shard i/n\n\
+                     --checkpoint <path>) and emits the figure exactly as\n\
+                     an unsharded run would: CSV on stdout, table/notes on\n\
+                     stderr, results files under results/."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown argument `{other}` (expected checkpoint paths)");
+                return ExitCode::FAILURE;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    match lrd_experiments::run_merge(&paths) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

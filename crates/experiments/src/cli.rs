@@ -1,15 +1,18 @@
 //! Shared command-line handling for the figure binaries.
 //!
 //! Every binary accepts the same arguments (`--quick`, `--telemetry`,
-//! `--telemetry-summary` and `--help`), so parsing lives here. Invalid
-//! invocations produce a typed [`CliError`] — the binaries print it to
-//! stderr and exit with status 1 instead of silently ignoring unknown
-//! flags (the degradation contract in DESIGN.md: bad configuration is
-//! an error, not a guess).
+//! `--telemetry-summary`, `--threads`, `--shard`, `--checkpoint` and
+//! `--help`), so parsing lives here. Invalid invocations produce a
+//! typed [`CliError`] — the binaries print it to stderr and exit with
+//! status 1 instead of silently ignoring unknown flags (the
+//! degradation contract in DESIGN.md: bad configuration is an error,
+//! not a guess).
 
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+use crate::sweep::ShardSpec;
 
 /// How a figure binary should run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -26,6 +29,12 @@ pub struct RunConfig {
     /// `None` defers to `LRD_THREADS` or the detected parallelism;
     /// `Some(1)` forces the bit-for-bit-identical serial path.
     pub threads: Option<usize>,
+    /// Solve only this slice of the figure's sweep lattice
+    /// (`--shard i/n`). `None` means the full lattice.
+    pub shard: Option<ShardSpec>,
+    /// Stream completed sweep points to this JSONL file and resume
+    /// from it when it already exists (`--checkpoint <path>`).
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl RunConfig {
@@ -51,17 +60,24 @@ impl RunConfig {
 
     /// Installs the configured telemetry sinks for the lifetime of the
     /// returned guard — the one-liner every figure binary calls right
-    /// after parsing. A no-op guard when no telemetry was requested; on
-    /// an unwritable `--telemetry` path the error is printed and the
-    /// process exits with status 1 (same contract as a bad flag).
-    pub fn install_telemetry(&self) -> lrd_obs::InstallGuard {
+    /// after parsing. A no-op guard when no telemetry was requested.
+    ///
+    /// # Errors
+    ///
+    /// An unwritable `--telemetry` path surfaces as [`CliError::Io`];
+    /// deciding what to do with it (the binaries print and exit 1)
+    /// stays with the caller — library code never terminates the
+    /// process.
+    pub fn install_telemetry(&self) -> Result<lrd_obs::InstallGuard, CliError> {
         match self.build_subscribers() {
-            Ok(sinks) => lrd_obs::install_fanout(sinks),
-            Err(e) => {
-                let path = self.telemetry.as_deref().unwrap_or_else(|| "?".as_ref());
-                eprintln!("error: cannot open telemetry file {}: {e}", path.display());
-                std::process::exit(1);
-            }
+            Ok(sinks) => Ok(lrd_obs::install_fanout(sinks)),
+            Err(e) => Err(CliError::Io {
+                path: self
+                    .telemetry
+                    .clone()
+                    .unwrap_or_else(|| PathBuf::from("?")),
+                message: e.to_string(),
+            }),
         }
     }
 }
@@ -75,6 +91,16 @@ pub enum CliError {
     MissingValue(&'static str),
     /// A flag value that does not parse (e.g. `--threads zero`).
     InvalidValue(&'static str, String),
+    /// A `--shard` value that is not of the form `i/n` with
+    /// `0 <= i < n`.
+    InvalidShard(String),
+    /// A file named on the command line could not be opened.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The rendered OS error.
+        message: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -84,7 +110,8 @@ impl fmt::Display for CliError {
                 write!(
                     f,
                     "unknown argument `{arg}` (expected --quick, --threads <n>, \
-                     --telemetry <path>, --telemetry-summary or --help)"
+                     --shard <i/n>, --checkpoint <path>, --telemetry <path>, \
+                     --telemetry-summary or --help)"
                 )
             }
             CliError::MissingValue(flag) => {
@@ -92,6 +119,15 @@ impl fmt::Display for CliError {
             }
             CliError::InvalidValue(flag, value) => {
                 write!(f, "{flag} requires a positive integer, got `{value}`")
+            }
+            CliError::InvalidShard(value) => {
+                write!(
+                    f,
+                    "--shard requires the form i/n with 0 <= i < n (e.g. 0/4), got `{value}`"
+                )
+            }
+            CliError::Io { path, message } => {
+                write!(f, "cannot open telemetry file {}: {message}", path.display())
             }
         }
     }
@@ -115,15 +151,30 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
                 let n = args.next().ok_or(CliError::MissingValue("--threads"))?;
                 config.threads = Some(parse_threads(&n)?);
             }
+            "--shard" => {
+                let s = args.next().ok_or(CliError::MissingValue("--shard"))?;
+                config.shard = Some(parse_shard(&s)?);
+            }
+            "--checkpoint" => {
+                let path = args.next().ok_or(CliError::MissingValue("--checkpoint"))?;
+                config.checkpoint = Some(PathBuf::from(path));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: <figure binary> [--quick] [--threads <n>] \
+                     [--shard <i/n> --checkpoint <path>] \
                      [--telemetry <path.jsonl>] [--telemetry-summary]\n\
                      \n\
                      --quick              reduced grids (seconds instead of minutes)\n\
                      --threads <n>        size the worker pool (default: LRD_THREADS\n\
                      \u{20}                    env var, else detected parallelism;\n\
                      \u{20}                    1 = serial, bit-for-bit reproducible)\n\
+                     --shard <i/n>        solve only shard i of an n-way round-robin\n\
+                     \u{20}                    split of the sweep lattice (sweep\n\
+                     \u{20}                    figures only; requires --checkpoint)\n\
+                     --checkpoint <path>  stream completed points to <path> (JSONL)\n\
+                     \u{20}                    and resume from it if it exists; merge\n\
+                     \u{20}                    shards with the sweep_merge binary\n\
                      --telemetry <path>   write structured JSONL telemetry (solver\n\
                      \u{20}                    spans, per-iteration gaps, refinements,\n\
                      \u{20}                    metrics) to <path>\n\
@@ -150,6 +201,20 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
                 }
                 config.telemetry = Some(PathBuf::from(path));
             }
+            other if other.starts_with("--shard=") => {
+                let s = &other["--shard=".len()..];
+                if s.is_empty() {
+                    return Err(CliError::MissingValue("--shard"));
+                }
+                config.shard = Some(parse_shard(s)?);
+            }
+            other if other.starts_with("--checkpoint=") => {
+                let path = &other["--checkpoint=".len()..];
+                if path.is_empty() {
+                    return Err(CliError::MissingValue("--checkpoint"));
+                }
+                config.checkpoint = Some(PathBuf::from(path));
+            }
             other => return Err(CliError::UnknownArgument(other.to_string())),
         }
     }
@@ -161,6 +226,10 @@ fn parse_threads(value: &str) -> Result<usize, CliError> {
         Ok(n) if n > 0 => Ok(n),
         _ => Err(CliError::InvalidValue("--threads", value.to_string())),
     }
+}
+
+fn parse_shard(value: &str) -> Result<ShardSpec, CliError> {
+    ShardSpec::parse(value).ok_or_else(|| CliError::InvalidShard(value.to_string()))
 }
 
 /// Parses `std::env::args()`, printing a typed error and exiting with
@@ -278,6 +347,63 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("--telemetry"));
+    }
+
+    #[test]
+    fn shard_flag_both_spellings() {
+        let config = parse(strings(&["--shard", "1/4"])).unwrap();
+        assert_eq!(config.shard, Some(ShardSpec::new(1, 4).unwrap()));
+        let config = parse(strings(&["--shard=0/2", "--checkpoint=ck.jsonl"])).unwrap();
+        assert_eq!(config.shard, Some(ShardSpec::new(0, 2).unwrap()));
+        assert_eq!(config.checkpoint, Some(PathBuf::from("ck.jsonl")));
+        let config = parse(strings(&["--checkpoint", "shard.jsonl"])).unwrap();
+        assert_eq!(config.checkpoint, Some(PathBuf::from("shard.jsonl")));
+        assert_eq!(config.shard, None);
+    }
+
+    #[test]
+    fn shard_value_is_validated() {
+        assert_eq!(
+            parse(strings(&["--shard"])),
+            Err(CliError::MissingValue("--shard"))
+        );
+        assert_eq!(
+            parse(strings(&["--shard="])),
+            Err(CliError::MissingValue("--shard"))
+        );
+        assert_eq!(
+            parse(strings(&["--checkpoint"])),
+            Err(CliError::MissingValue("--checkpoint"))
+        );
+        for bad in ["2", "2/2", "3/2", "1/0", "a/b", "-1/2"] {
+            assert_eq!(
+                parse(strings(&["--shard", bad])),
+                Err(CliError::InvalidShard(bad.to_string())),
+                "--shard {bad} should be rejected"
+            );
+        }
+        let e = parse(strings(&["--shard", "9/3"])).unwrap_err();
+        assert!(e.to_string().contains("9/3"));
+        assert!(e.to_string().contains("i/n"));
+    }
+
+    #[test]
+    fn unwritable_telemetry_is_a_typed_error() {
+        let config = RunConfig {
+            telemetry: Some(PathBuf::from("/nonexistent-dir-for-cli-test/t.jsonl")),
+            ..RunConfig::default()
+        };
+        let err = config
+            .install_telemetry()
+            .map(|_guard| ())
+            .expect_err("an unwritable path must fail");
+        match err {
+            CliError::Io { path, message } => {
+                assert_eq!(path, PathBuf::from("/nonexistent-dir-for-cli-test/t.jsonl"));
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected CliError::Io, got {other:?}"),
+        }
     }
 
     #[test]

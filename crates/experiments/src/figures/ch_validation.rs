@@ -5,10 +5,18 @@
 //! Fig. 14 does this with trace shuffling; this experiment does it
 //! with the numerical solver, which is free of Monte-Carlo noise and
 //! therefore gives a cleaner scaling exponent.
+//!
+//! The expensive part — the loss-vs-cutoff curve for every buffer —
+//! is a plain `(buffer, cutoff)` lattice and therefore a
+//! [`SweepPlan`]; the horizon extraction and Eq. 26 comparison are a
+//! cheap [`finish`] pass over the solved surface, so the sweep shards
+//! and resumes like any other figure.
 
 use crate::corpus::{Corpus, MTV_UTILIZATION};
-use crate::figures::{log_space, solver_options, Profile};
-use lrd_fluidq::{empirical_horizon, solve};
+use crate::figures::{log_space, Profile};
+use crate::output::Grid;
+use crate::sweep::{run_grid, Axis, FigureSweep, PointResult, SweepPlan};
+use lrd_fluidq::{empirical_horizon, solve, SolverOptions};
 use lrd_stats::{linear_fit, LinearFit};
 use lrd_traffic::Interarrival;
 
@@ -26,23 +34,46 @@ pub struct ChValidation {
 /// Relative flatness tolerance used for the empirical horizon.
 pub const FLATNESS_TOL: f64 = 0.15;
 
-/// Runs the sweep on the MTV bundle at utilization 0.8.
-pub fn run(corpus: &Corpus, profile: Profile) -> ChValidation {
-    let buffers = profile.pick(log_space(0.02, 0.16, 3), log_space(0.01, 0.64, 7));
-    let cutoffs = profile.pick(log_space(0.02, 20.0, 8), log_space(0.01, 100.0, 13));
-    let opts = solver_options();
+/// The `(buffer, cutoff)` loss sweep the horizons are extracted from
+/// (MTV bundle at utilization 0.8).
+pub fn ch_validation_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
+    let buffers = Axis::new(
+        "buffer_s",
+        profile.pick(log_space(0.02, 0.16, 3), log_space(0.01, 0.64, 7)),
+    );
+    let cutoffs = Axis::new(
+        "cutoff_s",
+        profile.pick(log_space(0.02, 20.0, 8), log_space(0.01, 100.0, 13)),
+    );
+    let plan = SweepPlan::grid_plan(
+        "ch_validation",
+        profile,
+        "loss_rate",
+        buffers,
+        cutoffs,
+        SolverOptions::sweep_profile(),
+    );
+    let opts = plan.solver;
     let bundle = &corpus.mtv;
+    FigureSweep {
+        plan,
+        solve: Box::new(move |spec| {
+            let (b, tc) = (spec.coord(0), spec.coord(1));
+            let model = bundle.model(MTV_UTILIZATION, b, tc);
+            PointResult::from_solution(spec.index, &solve(&model, &opts))
+        }),
+    }
+}
 
+/// Extracts horizons and the Eq. 26 comparison from a solved
+/// loss-vs-cutoff surface (rows = buffers, columns = cutoffs — the
+/// grid [`ch_validation_sweep`] produces).
+pub fn finish(corpus: &Corpus, grid: &Grid) -> ChValidation {
+    let bundle = &corpus.mtv;
     let mut empirical = Vec::new();
     let mut predicted = Vec::new();
-    for &b in &buffers {
-        let curve: Vec<(f64, f64)> = cutoffs
-            .iter()
-            .map(|&tc| {
-                let model = bundle.model(MTV_UTILIZATION, b, tc);
-                (tc, solve(&model, &opts).loss())
-            })
-            .collect();
+    for (&b, row) in grid.ys.iter().zip(&grid.values) {
+        let curve: Vec<(f64, f64)> = grid.xs.iter().copied().zip(row.iter().copied()).collect();
         if curve.iter().all(|&(_, l)| l < 1e-12) {
             continue;
         }
@@ -80,6 +111,11 @@ pub fn run(corpus: &Corpus, profile: Profile) -> ChValidation {
         predicted,
         fit,
     }
+}
+
+/// Runs the sweep on the MTV bundle at utilization 0.8.
+pub fn run(corpus: &Corpus, profile: Profile) -> ChValidation {
+    finish(corpus, &run_grid(&ch_validation_sweep(corpus, profile)))
 }
 
 #[cfg(test)]

@@ -9,58 +9,74 @@
 //! reduces loss).
 
 use crate::corpus::{Corpus, TraceBundle, BC_UTILIZATION, MTV_UTILIZATION};
-use crate::figures::{log_space, solver_options, Profile};
+use crate::figures::Profile;
 use crate::output::Grid;
-use lrd_fluidq::solve;
+use crate::sweep::{run_grid, Axis, FigureSweep, PointResult, SweepPlan};
+use lrd_fluidq::{solve, SolverOptions};
 
-/// Loss-rate grid over `(normalized buffer, cutoff lag)` for one
-/// bundle, solved with the paper's convergence protocol at every
-/// point.
-pub fn loss_grid(bundle: &TraceBundle, utilization: f64, profile: Profile) -> Grid {
-    let buffers = profile.pick(
-        log_space(0.05, 2.0, 3),
-        log_space(0.01, 5.0, 7),
+/// The `(normalized buffer, cutoff lag)` sweep for one bundle. The
+/// axis order (buffers slowest) reproduces the historical nested-loop
+/// surface point for point.
+pub fn loss_sweep<'c>(
+    figure: &str,
+    bundle: &'c TraceBundle,
+    utilization: f64,
+    profile: Profile,
+) -> FigureSweep<'c> {
+    let buffers = Axis::new(
+        "buffer_s",
+        profile.pick(
+            crate::figures::log_space(0.05, 2.0, 3),
+            crate::figures::log_space(0.01, 5.0, 7),
+        ),
     );
-    let mut cutoffs = profile.pick(
-        log_space(0.05, 5.0, 3),
-        log_space(0.01, 100.0, 7),
+    let cutoffs = Axis::new(
+        "cutoff_s",
+        profile.pick(
+            crate::figures::log_space(0.05, 5.0, 3),
+            crate::figures::log_space(0.01, 100.0, 7),
+        ),
+    )
+    .with_value(f64::INFINITY);
+    let plan = SweepPlan::grid_plan(
+        figure,
+        profile,
+        "loss_rate",
+        buffers,
+        cutoffs,
+        SolverOptions::sweep_profile(),
     );
-    cutoffs.push(f64::INFINITY);
-
-    let opts = solver_options();
-    // Every (buffer, cutoff) point is an independent solve, so the
-    // flattened cross product goes through the worker pool; each solve
-    // is internally deterministic, so the surface is identical for any
-    // thread count.
-    let points: Vec<(f64, f64)> = buffers
-        .iter()
-        .flat_map(|&b| cutoffs.iter().map(move |&tc| (b, tc)))
-        .collect();
-    let flat = lrd_pool::par_map(&points, |&(b, tc)| {
-        solve(&bundle.model(utilization, b, tc), &opts).loss()
-    });
-    let values = flat
-        .chunks(cutoffs.len())
-        .map(|row| row.to_vec())
-        .collect();
-    Grid {
-        x_label: "cutoff_s".into(),
-        y_label: "buffer_s".into(),
-        value_label: "loss_rate".into(),
-        xs: cutoffs,
-        ys: buffers,
-        values,
+    let opts = plan.solver;
+    FigureSweep {
+        plan,
+        solve: Box::new(move |spec| {
+            let (b, tc) = (spec.coord(0), spec.coord(1));
+            PointResult::from_solution(
+                spec.index,
+                &solve(&bundle.model(utilization, b, tc), &opts),
+            )
+        }),
     }
+}
+
+/// The Fig. 4 sweep (MTV at utilization 0.8).
+pub fn fig04_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
+    loss_sweep("fig04_mtv_model", &corpus.mtv, MTV_UTILIZATION, profile)
+}
+
+/// The Fig. 5 sweep (Bellcore at utilization 0.4).
+pub fn fig05_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
+    loss_sweep("fig05_bc_model", &corpus.bellcore, BC_UTILIZATION, profile)
 }
 
 /// Fig. 4: the MTV surface at utilization 0.8.
 pub fn fig04(corpus: &Corpus, profile: Profile) -> Grid {
-    loss_grid(&corpus.mtv, MTV_UTILIZATION, profile)
+    run_grid(&fig04_sweep(corpus, profile))
 }
 
 /// Fig. 5: the Bellcore surface at utilization 0.4.
 pub fn fig05(corpus: &Corpus, profile: Profile) -> Grid {
-    loss_grid(&corpus.bellcore, BC_UTILIZATION, profile)
+    run_grid(&fig05_sweep(corpus, profile))
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! interval process is identical.
 
 use crate::corpus::Corpus;
-use crate::figures::{log_space, solver_options, Profile};
+use crate::figures::{log_space, Profile};
 use crate::output::Series;
 use lrd_fluidq::{solve, QueueModel};
 use lrd_traffic::TruncatedPareto;
@@ -28,7 +28,7 @@ pub const BUFFER_S: f64 = 1.0;
 /// Loss vs. `T_c` for both marginals, all else equal.
 pub fn run(corpus: &Corpus, profile: Profile) -> Vec<Series> {
     let cutoffs = profile.pick(log_space(0.1, 10.0, 4), log_space(0.05, 100.0, 9));
-    let opts = solver_options();
+    let opts = lrd_fluidq::SolverOptions::sweep_profile();
     [&corpus.mtv, &corpus.bellcore]
         .into_iter()
         .map(|bundle| {

@@ -15,78 +15,92 @@
 //! the sweep isolates the tail exponent from the short-range structure.
 
 use crate::corpus::{Corpus, MTV_UTILIZATION};
-use crate::figures::{lin_space, solver_options, Profile};
+use crate::figures::{lin_space, Profile};
 use crate::output::Grid;
-use lrd_fluidq::{solve, QueueModel};
+use crate::sweep::{run_grid, Axis, FigureSweep, PointResult, SweepPlan};
+use lrd_fluidq::{solve, QueueModel, SolverOptions};
 
 /// Normalized buffer for both figures (seconds).
 pub const BUFFER_S: f64 = 1.0;
 
+fn hurst_axis(profile: Profile) -> Axis {
+    Axis::new(
+        "hurst",
+        profile.pick(lin_space(0.55, 0.95, 3), lin_space(0.55, 0.95, 5)),
+    )
+}
+
+/// The Fig. 10 sweep: loss over `(H, scaling factor a)`.
+pub fn fig10_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
+    let scales = Axis::new(
+        "scaling_a",
+        profile.pick(lin_space(0.5, 1.5, 3), lin_space(0.5, 1.5, 5)),
+    );
+    let plan = SweepPlan::grid_plan(
+        "fig10_hurst_vs_scaling",
+        profile,
+        "loss_rate",
+        hurst_axis(profile),
+        scales,
+        SolverOptions::sweep_profile(),
+    );
+    let opts = plan.solver;
+    let bundle = &corpus.mtv;
+    FigureSweep {
+        plan,
+        solve: Box::new(move |spec| {
+            let (h, a) = (spec.coord(0), spec.coord(1));
+            let model = QueueModel::from_utilization(
+                bundle.marginal.scaled(a),
+                bundle.intervals_at_hurst(h, f64::INFINITY),
+                MTV_UTILIZATION,
+                BUFFER_S,
+            );
+            PointResult::from_solution(spec.index, &solve(&model, &opts))
+        }),
+    }
+}
+
+/// The Fig. 11 sweep: loss over `(H, number of superposed streams n)`.
+pub fn fig11_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
+    let streams = Axis::new(
+        "streams_n",
+        profile.pick(vec![1.0, 3.0, 10.0], (1..=10).map(f64::from).collect()),
+    );
+    let plan = SweepPlan::grid_plan(
+        "fig11_hurst_vs_multiplex",
+        profile,
+        "loss_rate",
+        hurst_axis(profile),
+        streams,
+        SolverOptions::sweep_profile(),
+    );
+    let opts = plan.solver;
+    let bundle = &corpus.mtv;
+    FigureSweep {
+        plan,
+        solve: Box::new(move |spec| {
+            let (h, n) = (spec.coord(0), spec.coord(1));
+            let marginal = bundle.marginal.superpose(n as usize, 200);
+            let model = QueueModel::from_utilization(
+                marginal,
+                bundle.intervals_at_hurst(h, f64::INFINITY),
+                MTV_UTILIZATION,
+                BUFFER_S,
+            );
+            PointResult::from_solution(spec.index, &solve(&model, &opts))
+        }),
+    }
+}
+
 /// Fig. 10: loss over `(H, scaling factor a)`.
 pub fn fig10(corpus: &Corpus, profile: Profile) -> Grid {
-    let hursts = profile.pick(lin_space(0.55, 0.95, 3), lin_space(0.55, 0.95, 5));
-    let scales = profile.pick(lin_space(0.5, 1.5, 3), lin_space(0.5, 1.5, 5));
-    let opts = solver_options();
-    let bundle = &corpus.mtv;
-    let values = hursts
-        .iter()
-        .map(|&h| {
-            scales
-                .iter()
-                .map(|&a| {
-                    let model = QueueModel::from_utilization(
-                        bundle.marginal.scaled(a),
-                        bundle.intervals_at_hurst(h, f64::INFINITY),
-                        MTV_UTILIZATION,
-                        BUFFER_S,
-                    );
-                    solve(&model, &opts).loss()
-                })
-                .collect()
-        })
-        .collect();
-    Grid {
-        x_label: "scaling_a".into(),
-        y_label: "hurst".into(),
-        value_label: "loss_rate".into(),
-        xs: scales,
-        ys: hursts,
-        values,
-    }
+    run_grid(&fig10_sweep(corpus, profile))
 }
 
 /// Fig. 11: loss over `(H, number of superposed streams n)`.
 pub fn fig11(corpus: &Corpus, profile: Profile) -> Grid {
-    let hursts = profile.pick(lin_space(0.55, 0.95, 3), lin_space(0.55, 0.95, 5));
-    let streams: Vec<f64> = profile.pick(vec![1.0, 3.0, 10.0], (1..=10).map(f64::from).collect());
-    let opts = solver_options();
-    let bundle = &corpus.mtv;
-    let values = hursts
-        .iter()
-        .map(|&h| {
-            streams
-                .iter()
-                .map(|&n| {
-                    let marginal = bundle.marginal.superpose(n as usize, 200);
-                    let model = QueueModel::from_utilization(
-                        marginal,
-                        bundle.intervals_at_hurst(h, f64::INFINITY),
-                        MTV_UTILIZATION,
-                        BUFFER_S,
-                    );
-                    solve(&model, &opts).loss()
-                })
-                .collect()
-        })
-        .collect();
-    Grid {
-        x_label: "streams_n".into(),
-        y_label: "hurst".into(),
-        value_label: "loss_rate".into(),
-        xs: streams,
-        ys: hursts,
-        values,
-    }
+    run_grid(&fig11_sweep(corpus, profile))
 }
 
 #[cfg(test)]

@@ -7,49 +7,75 @@
 //! controlling the loss rate by adjusting the marginal distribution".
 
 use crate::corpus::{Corpus, TraceBundle, BC_UTILIZATION, MTV_UTILIZATION};
-use crate::figures::{lin_space, log_space, solver_options, Profile};
+use crate::figures::Profile;
 use crate::output::Grid;
-use lrd_fluidq::{solve, QueueModel};
+use crate::sweep::{run_grid, Axis, FigureSweep, PointResult, SweepPlan};
+use lrd_fluidq::{solve, QueueModel, SolverOptions};
 
-/// Loss grid over `(normalized buffer, scaling factor)` at `T_c = ∞`.
-pub fn buffer_scaling_grid(bundle: &TraceBundle, utilization: f64, profile: Profile) -> Grid {
-    let buffers = profile.pick(log_space(0.05, 2.0, 3), log_space(0.01, 5.0, 7));
-    let scales = profile.pick(lin_space(0.5, 1.5, 3), lin_space(0.5, 1.5, 5));
-    let opts = solver_options();
-    // Independent solves over the (buffer, scale) cross product — same
-    // pool-backed fan-out as the Fig. 4/5 surfaces.
-    let points: Vec<(f64, f64)> = buffers
-        .iter()
-        .flat_map(|&b| scales.iter().map(move |&a| (b, a)))
-        .collect();
-    let flat = lrd_pool::par_map(&points, |&(b, a)| {
-        let model = QueueModel::from_utilization(
-            bundle.marginal.scaled(a),
-            bundle.intervals(f64::INFINITY),
-            utilization,
-            b,
-        );
-        solve(&model, &opts).loss()
-    });
-    let values = flat.chunks(scales.len()).map(|row| row.to_vec()).collect();
-    Grid {
-        x_label: "scaling_a".into(),
-        y_label: "buffer_s".into(),
-        value_label: "loss_rate".into(),
-        xs: scales,
-        ys: buffers,
-        values,
+/// The `(normalized buffer, scaling factor)` sweep at `T_c = ∞` for
+/// one bundle.
+pub fn buffer_scaling_sweep<'c>(
+    figure: &str,
+    bundle: &'c TraceBundle,
+    utilization: f64,
+    profile: Profile,
+) -> FigureSweep<'c> {
+    let buffers = Axis::new(
+        "buffer_s",
+        profile.pick(
+            crate::figures::log_space(0.05, 2.0, 3),
+            crate::figures::log_space(0.01, 5.0, 7),
+        ),
+    );
+    let scales = Axis::new(
+        "scaling_a",
+        profile.pick(
+            crate::figures::lin_space(0.5, 1.5, 3),
+            crate::figures::lin_space(0.5, 1.5, 5),
+        ),
+    );
+    let plan = SweepPlan::grid_plan(
+        figure,
+        profile,
+        "loss_rate",
+        buffers,
+        scales,
+        SolverOptions::sweep_profile(),
+    );
+    let opts = plan.solver;
+    FigureSweep {
+        plan,
+        solve: Box::new(move |spec| {
+            let (b, a) = (spec.coord(0), spec.coord(1));
+            let model = QueueModel::from_utilization(
+                bundle.marginal.scaled(a),
+                bundle.intervals(f64::INFINITY),
+                utilization,
+                b,
+            );
+            PointResult::from_solution(spec.index, &solve(&model, &opts))
+        }),
     }
+}
+
+/// The Fig. 12 sweep (MTV at utilization 0.8).
+pub fn fig12_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
+    buffer_scaling_sweep("fig12_mtv_buffer_scaling", &corpus.mtv, MTV_UTILIZATION, profile)
+}
+
+/// The Fig. 13 sweep (Bellcore at utilization 0.4).
+pub fn fig13_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
+    buffer_scaling_sweep("fig13_bc_buffer_scaling", &corpus.bellcore, BC_UTILIZATION, profile)
 }
 
 /// Fig. 12: MTV at utilization 0.8.
 pub fn fig12(corpus: &Corpus, profile: Profile) -> Grid {
-    buffer_scaling_grid(&corpus.mtv, MTV_UTILIZATION, profile)
+    run_grid(&fig12_sweep(corpus, profile))
 }
 
 /// Fig. 13: Bellcore at utilization 0.4.
 pub fn fig13(corpus: &Corpus, profile: Profile) -> Grid {
-    buffer_scaling_grid(&corpus.bellcore, BC_UTILIZATION, profile)
+    run_grid(&fig13_sweep(corpus, profile))
 }
 
 #[cfg(test)]

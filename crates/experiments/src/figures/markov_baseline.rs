@@ -12,7 +12,7 @@
 //! "work" for finite buffers and fail for large ones.
 
 use crate::corpus::{Corpus, MTV_UTILIZATION};
-use crate::figures::{log_space, solver_options, Profile};
+use crate::figures::{log_space, Profile};
 use crate::output::Series;
 use lrd_fluidq::{solve, QueueModel};
 use lrd_traffic::{Exponential, Interarrival};
@@ -21,7 +21,7 @@ use lrd_traffic::{Exponential, Interarrival};
 /// (`T_c = ∞`) and the mean-matched exponential model.
 pub fn run(corpus: &Corpus, profile: Profile) -> Vec<Series> {
     let buffers = profile.pick(log_space(0.02, 1.0, 4), log_space(0.01, 5.0, 8));
-    let opts = solver_options();
+    let opts = lrd_fluidq::SolverOptions::sweep_profile();
     let bundle = &corpus.mtv;
 
     let pareto_iv = bundle.intervals(f64::INFINITY);

@@ -5,6 +5,7 @@
 pub mod fig02;
 pub mod fig03;
 pub mod fig04_05;
+pub mod fig06;
 pub mod fig07_08;
 pub mod fig09;
 pub mod fig10_11;
@@ -12,8 +13,6 @@ pub mod fig12_13;
 pub mod fig14;
 pub mod ch_validation;
 pub mod markov_baseline;
-
-use lrd_fluidq::SolverOptions;
 
 /// Grid-size profile: `Quick` keeps every experiment under a couple of
 /// seconds for tests; `Full` reproduces the published resolution.
@@ -33,21 +32,22 @@ impl Profile {
             Profile::Full => full,
         }
     }
-}
 
-/// Solver options shared by all experiments: the paper's convergence
-/// protocol with a refinement ceiling that keeps worst-case points
-/// bounded on a laptop.
-pub fn solver_options() -> SolverOptions {
-    SolverOptions {
-        initial_bins: 128,
-        max_bins: 1 << 14,
-        // Sweeps contain many deep-loss points whose bounds converge
-        // slowly; cap per-point work so a full figure stays in the
-        // minutes range on one core. Capped points still return valid
-        // (just looser) bounds.
-        max_total_cost: 1e7,
-        ..SolverOptions::default()
+    /// The stable string tag stored in checkpoint manifests.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Profile::Quick => "quick",
+            Profile::Full => "full",
+        }
+    }
+
+    /// Parses a manifest/CLI tag back into a profile.
+    pub fn from_tag(tag: &str) -> Option<Profile> {
+        match tag {
+            "quick" => Some(Profile::Quick),
+            "full" => Some(Profile::Full),
+            _ => None,
+        }
     }
 }
 
@@ -91,5 +91,13 @@ mod tests {
     fn profile_pick() {
         assert_eq!(Profile::Quick.pick(1, 2), 1);
         assert_eq!(Profile::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn profile_tags_round_trip() {
+        for p in [Profile::Quick, Profile::Full] {
+            assert_eq!(Profile::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(Profile::from_tag("fast"), None);
     }
 }

@@ -23,7 +23,10 @@ pub mod corpus;
 pub mod figures;
 pub mod gnuplot;
 pub mod output;
+pub mod run;
+pub mod sweep;
 
 pub use cli::RunConfig;
 pub use corpus::Corpus;
 pub use output::{Grid, Series};
+pub use run::{figure_main, find_figure, run_figure, run_merge, FigureSpec, RunError, FIGURES};

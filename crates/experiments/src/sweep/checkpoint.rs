@@ -1,0 +1,352 @@
+//! Append-only JSONL checkpoint files: one manifest line, then one
+//! line per completed point.
+//!
+//! Format (one JSON object per line, written with the bit-exact
+//! writers from [`lrd_obs::json`]):
+//!
+//! ```text
+//! {"kind":"manifest","figure":"fig04_mtv_model","plan_hash":"…",
+//!  "profile":"quick","shard":0,"shard_count":2,"points":12,
+//!  "value_label":"loss_rate","axes":[{"name":"buffer_s","values":[…]}]}
+//! {"kind":"point","index":0,"coords":[0.05,0.01],"value":1.2e-4,
+//!  "iterations":412,"bins":256,"converged":true}
+//! ```
+//!
+//! The manifest records the plan identity ([`SweepPlan::hash_hex`]) so
+//! resume and merge can refuse files from a different plan; the axes
+//! are also embedded verbatim so a checkpoint is self-describing, but
+//! the hash is what validation trusts. Finite `f64`s are written in
+//! the shortest exact representation and non-finite coordinates
+//! (`T_c = ∞`) as the strings `"inf"` / `"-inf"`, so every value
+//! round-trips bit-identically — the property that lets a merged
+//! surface match a single-host run to the last bit.
+//!
+//! A process killed mid-write leaves at most one torn *final* line;
+//! [`read_checkpoint`] tolerates exactly that (reporting it via
+//! [`Checkpoint::truncated_tail`]) and rejects malformation anywhere
+//! else.
+
+use std::path::Path;
+
+use lrd_obs::{parse_json, write_json_f64, write_json_string, Json};
+
+use crate::sweep::{PointResult, ShardSpec, SweepError, SweepPlan};
+
+/// The identity header of a checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Registry name of the figure the shard belongs to.
+    pub figure: String,
+    /// [`SweepPlan::hash_hex`] of the plan the shard was solved under.
+    pub plan_hash: String,
+    /// Profile tag (`"quick"` / `"full"`).
+    pub profile: String,
+    /// Which shard of the partition this file holds.
+    pub shard: ShardSpec,
+    /// Total lattice points in the full plan (not just this shard).
+    pub total_points: usize,
+}
+
+impl Manifest {
+    /// The manifest for `shard` of `plan`.
+    pub fn new(plan: &SweepPlan, shard: ShardSpec) -> Manifest {
+        Manifest {
+            figure: plan.figure.clone(),
+            plan_hash: plan.hash_hex(),
+            profile: plan.profile.tag().to_string(),
+            shard,
+            total_points: plan.len(),
+        }
+    }
+}
+
+/// A parsed checkpoint file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The identity header from the first line.
+    pub manifest: Manifest,
+    /// Every intact point line, in file order.
+    pub points: Vec<PointResult>,
+    /// Whether the final line was torn (process killed mid-append).
+    /// The torn line is discarded; its point will be re-solved on
+    /// resume.
+    pub truncated_tail: bool,
+}
+
+/// Renders the manifest line for `shard` of `plan` (no trailing
+/// newline).
+pub fn manifest_line(plan: &SweepPlan, shard: ShardSpec) -> String {
+    let mut out = String::from("{\"kind\":\"manifest\",\"figure\":");
+    write_json_string(&mut out, &plan.figure);
+    out.push_str(",\"plan_hash\":");
+    write_json_string(&mut out, &plan.hash_hex());
+    out.push_str(",\"profile\":");
+    write_json_string(&mut out, plan.profile.tag());
+    out.push_str(&format!(
+        ",\"shard\":{},\"shard_count\":{},\"points\":{},\"value_label\":",
+        shard.index,
+        shard.count,
+        plan.len()
+    ));
+    write_json_string(&mut out, &plan.value_label);
+    out.push_str(",\"axes\":[");
+    for (i, axis) in plan.axes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        write_json_string(&mut out, &axis.name);
+        out.push_str(",\"values\":[");
+        for (j, &v) in axis.values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write_json_f64(&mut out, v);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders one completed point as a checkpoint line (no trailing
+/// newline). `coords` are the point's lattice coordinates, recorded
+/// for human inspection; resume keys on `index` alone.
+pub fn point_line(coords: &[f64], result: &PointResult) -> String {
+    let mut out = String::from("{\"kind\":\"point\",\"index\":");
+    out.push_str(&result.index.to_string());
+    out.push_str(",\"coords\":[");
+    for (i, &c) in coords.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_f64(&mut out, c);
+    }
+    out.push_str("],\"value\":");
+    write_json_f64(&mut out, result.value);
+    out.push_str(&format!(
+        ",\"iterations\":{},\"bins\":{},\"converged\":{}}}",
+        result.iterations, result.bins, result.converged
+    ));
+    out
+}
+
+fn malformed(path: &Path, line: usize, reason: impl Into<String>) -> SweepError {
+    SweepError::Malformed {
+        path: path.to_path_buf(),
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn parse_manifest(path: &Path, doc: &Json) -> Result<Manifest, SweepError> {
+    let field = |name: &'static str| {
+        doc.get(name)
+            .ok_or_else(|| malformed(path, 1, format!("manifest missing {name:?}")))
+    };
+    let str_field = |name: &'static str| -> Result<String, SweepError> {
+        field(name)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| malformed(path, 1, format!("manifest {name:?} must be a string")))
+    };
+    let int_field = |name: &'static str| -> Result<u64, SweepError> {
+        field(name)?
+            .as_u64()
+            .ok_or_else(|| malformed(path, 1, format!("manifest {name:?} must be an integer")))
+    };
+    let index = int_field("shard")?;
+    let count = int_field("shard_count")?;
+    let shard = u32::try_from(index)
+        .ok()
+        .zip(u32::try_from(count).ok())
+        .and_then(|(i, n)| ShardSpec::new(i, n))
+        .ok_or_else(|| malformed(path, 1, format!("invalid shard {index}/{count}")))?;
+    Ok(Manifest {
+        figure: str_field("figure")?,
+        plan_hash: str_field("plan_hash")?,
+        profile: str_field("profile")?,
+        shard,
+        total_points: int_field("points")? as usize,
+    })
+}
+
+fn parse_point(doc: &Json) -> Option<PointResult> {
+    Some(PointResult {
+        index: doc.get("index")?.as_u64()? as usize,
+        value: doc.get("value")?.as_num()?,
+        iterations: doc.get("iterations")?.as_u64()?,
+        bins: doc.get("bins")?.as_u64()?,
+        converged: doc.get("converged")?.as_bool()?,
+    })
+}
+
+/// Reads and structurally validates one checkpoint file.
+///
+/// The first line must be a manifest; every later line a point. An
+/// unparseable **final** line is tolerated as a torn append (the
+/// producing process was killed mid-write) and reported through
+/// [`Checkpoint::truncated_tail`]; malformation anywhere else is an
+/// error. Cross-file validation (plan hash, shard ownership,
+/// duplicates) lives in the resume and merge layers.
+pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, SweepError> {
+    let text = std::fs::read_to_string(path).map_err(|e| SweepError::io(path, &e))?;
+    let mut lines = text.lines().enumerate();
+
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| malformed(path, 1, "empty checkpoint file"))?;
+    let doc = parse_json(first).map_err(|e| malformed(path, 1, e.to_string()))?;
+    if doc.get("kind").and_then(Json::as_str) != Some("manifest") {
+        return Err(malformed(path, 1, "first line must be a manifest"));
+    }
+    let manifest = parse_manifest(path, &doc)?;
+
+    let mut points = Vec::new();
+    let mut truncated_tail = false;
+    let mut rest = lines.peekable();
+    while let Some((i, line)) = rest.next() {
+        let line_no = i + 1;
+        let is_last = rest.peek().is_none();
+        let parsed = parse_json(line)
+            .ok()
+            .filter(|doc| doc.get("kind").and_then(Json::as_str) == Some("point"))
+            .and_then(|doc| parse_point(&doc));
+        match parsed {
+            Some(point) => points.push(point),
+            None if is_last => truncated_tail = true,
+            None => {
+                return Err(malformed(path, line_no, "unreadable point line"));
+            }
+        }
+    }
+    Ok(Checkpoint {
+        manifest,
+        points,
+        truncated_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Profile;
+    use crate::sweep::Axis;
+    use lrd_fluidq::SolverOptions;
+
+    fn plan() -> SweepPlan {
+        SweepPlan::grid_plan(
+            "demo",
+            Profile::Quick,
+            "loss_rate",
+            Axis::new("b", vec![0.1, 1.0]),
+            Axis::new("tc", vec![0.5, f64::INFINITY]),
+            SolverOptions::sweep_profile(),
+        )
+    }
+
+    fn result(index: usize) -> PointResult {
+        PointResult {
+            index,
+            value: 1.0 / 3.0 * (index as f64 + 1.0),
+            iterations: 10 + index as u64,
+            bins: 256,
+            converged: index.is_multiple_of(2),
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lrd-ckpt-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("shard.jsonl")
+    }
+
+    #[test]
+    fn lines_round_trip_bit_exactly() {
+        let p = plan();
+        let shard = ShardSpec::new(1, 2).unwrap();
+        let path = tmp("roundtrip");
+        let mut text = manifest_line(&p, shard);
+        text.push('\n');
+        for pt in p.points_for(shard) {
+            text.push_str(&point_line(&pt.coords, &result(pt.index)));
+            text.push('\n');
+        }
+        std::fs::write(&path, &text).unwrap();
+
+        let ck = read_checkpoint(&path).unwrap();
+        assert!(!ck.truncated_tail);
+        assert_eq!(ck.manifest, Manifest::new(&p, shard));
+        assert_eq!(ck.points.len(), 2);
+        for pt in &ck.points {
+            let expect = result(pt.index);
+            assert_eq!(pt.value.to_bits(), expect.value.to_bits());
+            assert_eq!(pt, &expect);
+        }
+    }
+
+    #[test]
+    fn tolerates_torn_final_line_only() {
+        let p = plan();
+        let path = tmp("torn");
+        let full = format!(
+            "{}\n{}\n{}\n",
+            manifest_line(&p, ShardSpec::FULL),
+            point_line(&p.point(0).coords, &result(0)),
+            point_line(&p.point(1).coords, &result(1)),
+        );
+        // Cut the file mid-way through the last line.
+        let cut = &full[..full.len() - 9];
+        std::fs::write(&path, cut).unwrap();
+        let ck = read_checkpoint(&path).unwrap();
+        assert!(ck.truncated_tail);
+        assert_eq!(ck.points.len(), 1);
+
+        // The same damage on a *middle* line is an error.
+        let damaged = format!(
+            "{}\n{}\n{}\n",
+            manifest_line(&p, ShardSpec::FULL),
+            &point_line(&p.point(0).coords, &result(0))[..20],
+            point_line(&p.point(1).coords, &result(1)),
+        );
+        std::fs::write(&path, damaged).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(SweepError::Malformed { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_or_bad_manifest() {
+        let path = tmp("badmanifest");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(SweepError::Malformed { line: 1, .. })
+        ));
+        std::fs::write(&path, format!("{}\n", point_line(&[0.1], &result(0)))).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(SweepError::Malformed { line: 1, .. })
+        ));
+        std::fs::write(
+            &path,
+            "{\"kind\":\"manifest\",\"figure\":\"x\",\"plan_hash\":\"h\",\"profile\":\"quick\",\
+             \"shard\":3,\"shard_count\":2,\"points\":4}\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(SweepError::Malformed { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("lrd-ckpt-definitely-missing.jsonl");
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(SweepError::Io { .. })
+        ));
+    }
+}

@@ -1,0 +1,318 @@
+//! Shard execution: fan a plan's points through the worker pool,
+//! streaming completed results to a resumable checkpoint.
+
+use std::collections::BTreeMap;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+
+use crate::output::Grid;
+use crate::sweep::{
+    manifest_line, point_line, read_checkpoint, Checkpoint, Manifest, PointResult, PointSpec,
+    ShardSpec, SweepError, SweepPlan,
+};
+
+/// How many points are solved between checkpoint flushes. Small enough
+/// that a killed run loses at most a few seconds of work on quick
+/// profiles; large enough that the write amortises across a `par_map`
+/// batch.
+pub const CHECKPOINT_CHUNK: usize = 8;
+
+/// A runnable sweep: the declarative [`SweepPlan`] plus the function
+/// that solves one lattice point.
+///
+/// Figure modules expose `*_sweep(corpus, profile)` constructors that
+/// borrow the corpus (hence the lifetime) and capture everything a
+/// point solve needs; the runner never inspects the closure, so every
+/// figure-specific detail stays in its module.
+pub struct FigureSweep<'a> {
+    /// The declarative plan: axes, order, hash.
+    pub plan: SweepPlan,
+    /// Solves one point. Must be deterministic and independent across
+    /// points — the runner fans it through [`lrd_pool::par_map`].
+    pub solve: Box<dyn Fn(&PointSpec) -> PointResult + Sync + 'a>,
+}
+
+impl std::fmt::Debug for FigureSweep<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FigureSweep")
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+fn mismatch(
+    path: &Path,
+    field: &'static str,
+    expected: impl ToString,
+    found: impl ToString,
+) -> SweepError {
+    SweepError::ManifestMismatch {
+        path: path.to_path_buf(),
+        field,
+        expected: expected.to_string(),
+        found: found.to_string(),
+    }
+}
+
+/// Checks a previously-written checkpoint against the plan and shard
+/// this process was asked to run, and against per-shard invariants
+/// (ownership, no duplicates).
+fn validate_resume(
+    path: &Path,
+    ck: &Checkpoint,
+    expected: &Manifest,
+) -> Result<(), SweepError> {
+    let m = &ck.manifest;
+    if m.figure != expected.figure {
+        return Err(mismatch(path, "figure", &expected.figure, &m.figure));
+    }
+    if m.plan_hash != expected.plan_hash {
+        return Err(mismatch(path, "plan_hash", &expected.plan_hash, &m.plan_hash));
+    }
+    if m.profile != expected.profile {
+        return Err(mismatch(path, "profile", &expected.profile, &m.profile));
+    }
+    if m.shard != expected.shard {
+        return Err(mismatch(path, "shard", expected.shard, m.shard));
+    }
+    if m.total_points != expected.total_points {
+        return Err(mismatch(path, "points", expected.total_points, m.total_points));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for point in &ck.points {
+        if point.index >= expected.total_points || !expected.shard.owns(point.index) {
+            return Err(SweepError::ForeignPoint {
+                path: path.to_path_buf(),
+                index: point.index,
+            });
+        }
+        if !seen.insert(point.index) {
+            return Err(SweepError::DuplicatePoint {
+                path: path.to_path_buf(),
+                index: point.index,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs `shard` of the sweep, returning its results in stable-index
+/// order.
+///
+/// Without a checkpoint the shard's points fan through
+/// [`lrd_pool::par_map`] in one batch. With one, completed points are
+/// appended to `checkpoint` in [`CHECKPOINT_CHUNK`]-sized batches as
+/// they finish, and a pre-existing file from an interrupted run is
+/// **resumed**: its manifest is validated against the plan (figure,
+/// plan hash, profile, shard, lattice size — any disagreement is a
+/// typed [`SweepError::ManifestMismatch`]), its intact points are kept
+/// without re-solving, and a torn final line from a mid-write kill is
+/// dropped and re-solved. Results are bit-identical whether a shard
+/// ran straight through, was killed and resumed, or never
+/// checkpointed at all.
+pub fn run_points(
+    sweep: &FigureSweep<'_>,
+    shard: ShardSpec,
+    checkpoint: Option<&Path>,
+) -> Result<Vec<PointResult>, SweepError> {
+    let owned = sweep.plan.points_for(shard);
+
+    let Some(path) = checkpoint else {
+        return Ok(lrd_pool::par_map(&owned, |spec| (sweep.solve)(spec)));
+    };
+
+    let expected = Manifest::new(&sweep.plan, shard);
+    let mut done: BTreeMap<usize, PointResult> = BTreeMap::new();
+    if path.exists() {
+        let ck = read_checkpoint(path)?;
+        validate_resume(path, &ck, &expected)?;
+        if ck.truncated_tail {
+            // Rewrite the file without the torn line so appends start
+            // on a clean boundary.
+            let mut text = manifest_line(&sweep.plan, shard);
+            text.push('\n');
+            for point in &ck.points {
+                text.push_str(&point_line(&sweep.plan.point(point.index).coords, point));
+                text.push('\n');
+            }
+            std::fs::write(path, text).map_err(|e| SweepError::io(path, &e))?;
+        }
+        for point in ck.points {
+            done.insert(point.index, point);
+        }
+    } else {
+        let mut text = manifest_line(&sweep.plan, shard);
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| SweepError::io(path, &e))?;
+    }
+
+    let remaining: Vec<PointSpec> = owned
+        .into_iter()
+        .filter(|spec| !done.contains_key(&spec.index))
+        .collect();
+
+    let mut file = OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| SweepError::io(path, &e))?;
+    for chunk in remaining.chunks(CHECKPOINT_CHUNK) {
+        let results = lrd_pool::par_map(chunk, |spec| (sweep.solve)(spec));
+        let mut text = String::new();
+        for (spec, result) in chunk.iter().zip(&results) {
+            debug_assert_eq!(spec.index, result.index, "solve must preserve the index");
+            text.push_str(&point_line(&spec.coords, result));
+            text.push('\n');
+        }
+        file.write_all(text.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| SweepError::io(path, &e))?;
+        for result in results {
+            done.insert(result.index, result);
+        }
+    }
+    Ok(done.into_values().collect())
+}
+
+/// Runs the full (unsharded, uncheckpointed) sweep and assembles the
+/// surface — the path every in-process figure call takes.
+pub fn run_grid(sweep: &FigureSweep<'_>) -> Grid {
+    let results =
+        run_points(sweep, ShardSpec::FULL, None).expect("uncheckpointed run cannot fail on I/O");
+    sweep.plan.to_grid(&results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Profile;
+    use crate::sweep::Axis;
+    use lrd_fluidq::SolverOptions;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn sweep() -> FigureSweep<'static> {
+        let plan = SweepPlan::grid_plan(
+            "demo",
+            Profile::Quick,
+            "loss_rate",
+            Axis::new("b", vec![0.1, 1.0, 10.0]),
+            Axis::new("tc", vec![0.5, 5.0, f64::INFINITY]),
+            SolverOptions::sweep_profile(),
+        );
+        FigureSweep {
+            plan,
+            solve: Box::new(|spec: &PointSpec| PointResult {
+                index: spec.index,
+                value: spec.coords[0].min(spec.coords[1]) / 3.0,
+                iterations: 5,
+                bins: 128,
+                converged: true,
+            }),
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lrd-runner-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("shard.jsonl")
+    }
+
+    #[test]
+    fn grid_matches_direct_solve() {
+        let s = sweep();
+        let g = run_grid(&s);
+        g.validate();
+        assert_eq!(g.values[2][2], 10.0f64.min(f64::INFINITY) / 3.0);
+    }
+
+    #[test]
+    fn checkpointed_shard_matches_plain_run_bitwise() {
+        let s = sweep();
+        let shard = ShardSpec::new(1, 2).unwrap();
+        let plain = run_points(&s, shard, None).unwrap();
+        let path = tmp("bitwise");
+        let _ = std::fs::remove_file(&path);
+        let checkpointed = run_points(&s, shard, Some(&path)).unwrap();
+        assert_eq!(plain.len(), checkpointed.len());
+        for (a, b) in plain.iter().zip(&checkpointed) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+        // Re-running over the finished checkpoint solves nothing and
+        // returns the identical surface.
+        let again = run_points(&s, shard, Some(&path)).unwrap();
+        assert_eq!(checkpointed, again);
+    }
+
+    #[test]
+    fn resume_skips_solved_points() {
+        let calls = AtomicUsize::new(0);
+        let base = sweep();
+        let counting = FigureSweep {
+            plan: base.plan.clone(),
+            solve: Box::new(|spec: &PointSpec| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                (base.solve)(spec)
+            }),
+        };
+        let path = tmp("resume");
+        let _ = std::fs::remove_file(&path);
+
+        // Simulate an interrupted run: manifest plus the first two
+        // solved points, with the second line torn mid-write.
+        let full = run_points(&base, ShardSpec::FULL, None).unwrap();
+        let mut text = manifest_line(&base.plan, ShardSpec::FULL);
+        text.push('\n');
+        text.push_str(&point_line(&base.plan.point(0).coords, &full[0]));
+        text.push('\n');
+        let torn = point_line(&base.plan.point(1).coords, &full[1]);
+        text.push_str(&torn[..torn.len() - 5]);
+        std::fs::write(&path, text).unwrap();
+
+        let resumed = run_points(&counting, ShardSpec::FULL, Some(&path)).unwrap();
+        // Point 0 was kept; the torn point 1 and the remaining 7 were
+        // re-solved.
+        assert_eq!(calls.load(Ordering::SeqCst), base.plan.len() - 1);
+        assert_eq!(resumed.len(), full.len());
+        for (a, b) in full.iter().zip(&resumed) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn resume_rejects_other_plans_shard_and_points() {
+        let s = sweep();
+        let path = tmp("reject");
+        let _ = std::fs::remove_file(&path);
+        run_points(&s, ShardSpec::FULL, Some(&path)).unwrap();
+
+        // Same file, different declared shard.
+        let err = run_points(&s, ShardSpec::new(0, 2).unwrap(), Some(&path)).unwrap_err();
+        assert!(matches!(
+            err,
+            SweepError::ManifestMismatch { field: "shard", .. }
+        ));
+
+        // Same shard, different plan (axis value changed → new hash).
+        let mut other = sweep();
+        other.plan.axes[0].values[0] = 0.2;
+        let err = run_points(&other, ShardSpec::FULL, Some(&path)).unwrap_err();
+        assert!(matches!(
+            err,
+            SweepError::ManifestMismatch {
+                field: "plan_hash",
+                ..
+            }
+        ));
+
+        // A point the declared shard does not own.
+        let shard = ShardSpec::new(0, 3).unwrap();
+        let mut text = manifest_line(&s.plan, shard);
+        text.push('\n');
+        text.push_str(&point_line(&s.plan.point(1).coords, &(s.solve)(&s.plan.point(1))));
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        let err = run_points(&s, shard, Some(&path)).unwrap_err();
+        assert!(matches!(err, SweepError::ForeignPoint { index: 1, .. }));
+    }
+}

@@ -1,0 +1,85 @@
+//! Round-robin lattice partitioning for multi-host sweeps.
+
+use std::fmt;
+
+/// One shard of an `n`-way sweep partition: `--shard i/n`.
+///
+/// Shard `i` owns every lattice point whose stable index `p` satisfies
+/// `p % n == i`. Round-robin (rather than contiguous blocks) spreads
+/// the expensive deep-loss corner of a surface across all shards, so
+/// wall-clock balances without any cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based shard index, `< count`.
+    pub index: u32,
+    /// Total number of shards, `>= 1`.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// The trivial partition: one shard owning every point.
+    pub const FULL: ShardSpec = ShardSpec { index: 0, count: 1 };
+
+    /// A validated shard; `None` when `count == 0` or
+    /// `index >= count`.
+    pub fn new(index: u32, count: u32) -> Option<ShardSpec> {
+        if count == 0 || index >= count {
+            return None;
+        }
+        Some(ShardSpec { index, count })
+    }
+
+    /// Parses the CLI form `"i/n"` (e.g. `"0/2"`).
+    pub fn parse(s: &str) -> Option<ShardSpec> {
+        let (i, n) = s.split_once('/')?;
+        ShardSpec::new(i.trim().parse().ok()?, n.trim().parse().ok()?)
+    }
+
+    /// Whether this shard owns lattice point `point_index`.
+    pub fn owns(self, point_index: usize) -> bool {
+        point_index % self.count as usize == self.index as usize
+    }
+
+    /// Whether this is the trivial single-shard partition.
+    pub fn is_full(self) -> bool {
+        self.count == 1
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let s = ShardSpec::parse("1/3").unwrap();
+        assert_eq!((s.index, s.count), (1, 3));
+        assert_eq!(s.to_string(), "1/3");
+        assert_eq!(ShardSpec::parse("0/1"), Some(ShardSpec::FULL));
+        for bad in ["", "1", "3/3", "4/3", "1/0", "-1/3", "a/b", "1/3/5"] {
+            assert_eq!(ShardSpec::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_ownership() {
+        let shards: Vec<ShardSpec> = (0..3).map(|i| ShardSpec::new(i, 3).unwrap()).collect();
+        for p in 0..20usize {
+            let owners: Vec<u32> = shards
+                .iter()
+                .filter(|s| s.owns(p))
+                .map(|s| s.index)
+                .collect();
+            assert_eq!(owners, vec![(p % 3) as u32]);
+        }
+        assert!(ShardSpec::FULL.owns(0) && ShardSpec::FULL.owns(17));
+        assert!(ShardSpec::FULL.is_full());
+        assert!(!shards[1].is_full());
+    }
+}

@@ -23,7 +23,7 @@ pub const MASS_TOLERANCE: f64 = 1e-6;
 
 /// Options controlling the convergence protocol. The defaults are the
 /// paper's published settings.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverOptions {
     /// Initial number of quantization bins `M` (the paper starts
     /// around 100).
@@ -64,6 +64,25 @@ impl Default for SolverOptions {
             stall_tolerance: 1e-4,
             stall_window: 5,
             max_total_cost: 5e7,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// The convergence protocol shared by every figure sweep: the
+    /// paper's settings with a lower refinement ceiling and a tighter
+    /// per-point work cap. Sweeps contain many deep-loss points whose
+    /// bounds converge slowly; capping per-point work keeps a full
+    /// surface in the minutes range on one core, and capped points
+    /// still return valid (just looser) bounds. The protocol is the
+    /// same for quick and full profiles — only the lattice resolution
+    /// changes with the profile, never the per-point solve.
+    pub fn sweep_profile() -> SolverOptions {
+        SolverOptions {
+            initial_bins: 128,
+            max_bins: 1 << 14,
+            max_total_cost: 1e7,
+            ..SolverOptions::default()
         }
     }
 }

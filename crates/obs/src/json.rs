@@ -55,6 +55,22 @@ impl Json {
         }
     }
 
+    /// The value as `f64`, also accepting the string spellings
+    /// [`write_json_f64`] uses for non-finite values (`"inf"`,
+    /// `"-inf"`, `"NaN"`) — the inverse of that writer.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::Str(s) => match s.as_str() {
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                "NaN" => Some(f64::NAN),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
     /// The value as `&str` if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -310,8 +326,53 @@ impl Parser<'_> {
     }
 }
 
+/// Serializes `value` back to compact JSON text.
+///
+/// Round-trips with [`parse_json`]: finite numbers use the shortest
+/// exact `f64` representation, so `parse → write → parse` preserves
+/// every bit. Non-finite numbers never occur in a parsed [`Json`]
+/// (they arrive as the strings [`write_json_f64`] spells them as).
+pub fn write_json(out: &mut String, value: &Json) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(v) => write_json_f64(out, *v),
+        Json::Str(s) => write_json_string(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (key, value)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, key);
+                out.push(':');
+                write_json(out, value);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_json(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
 /// Appends `text` to `out` as a JSON string literal (quoted, escaped).
-pub(crate) fn write_json_string(out: &mut String, text: &str) {
+pub fn write_json_string(out: &mut String, text: &str) {
     out.push('"');
     for ch in text.chars() {
         match ch {
@@ -330,8 +391,10 @@ pub(crate) fn write_json_string(out: &mut String, text: &str) {
 }
 
 /// Appends `value` to `out` as a JSON number, spelling non-finite
-/// values as strings (JSON has no literal for them).
-pub(crate) fn write_json_f64(out: &mut String, value: f64) {
+/// values as strings (JSON has no literal for them). Finite values use
+/// the shortest representation that parses back to the identical bits
+/// — the property the sweep checkpoints rely on.
+pub fn write_json_f64(out: &mut String, value: f64) {
     if value.is_finite() {
         // `{:?}` is the shortest round-trip representation and is
         // always a valid JSON number for finite inputs.
@@ -415,6 +478,45 @@ mod tests {
         let mut out = String::new();
         write_json_f64(&mut out, f64::INFINITY);
         assert_eq!(parse_json(&out).unwrap().as_str(), Some("inf"));
+    }
+
+    #[test]
+    fn value_writer_round_trips_bit_exactly() {
+        for text in [
+            "null",
+            "true",
+            r#"{"kind":"point","index":5,"coords":[0.05,"inf"],"value":1.25e-7}"#,
+            r#"[1,-2.5,"x",{"a":[]},{}]"#,
+        ] {
+            let parsed = parse_json(text).unwrap();
+            let mut out = String::new();
+            write_json(&mut out, &parsed);
+            assert_eq!(parse_json(&out).unwrap(), parsed, "{text}");
+            assert_eq!(out, parsed.to_string());
+        }
+        // Finite f64 bits survive a full write → parse → write cycle.
+        for v in [1.0 / 3.0, 6.02e23, 5e-324, -0.0] {
+            let mut out = String::new();
+            write_json_f64(&mut out, v);
+            let back = parse_json(&out).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn as_num_reads_nonfinite_spellings() {
+        assert_eq!(parse_json("1.5").unwrap().as_num(), Some(1.5));
+        assert_eq!(
+            parse_json("\"inf\"").unwrap().as_num(),
+            Some(f64::INFINITY)
+        );
+        assert_eq!(
+            parse_json("\"-inf\"").unwrap().as_num(),
+            Some(f64::NEG_INFINITY)
+        );
+        assert!(parse_json("\"NaN\"").unwrap().as_num().unwrap().is_nan());
+        assert_eq!(parse_json("\"x\"").unwrap().as_num(), None);
+        assert_eq!(parse_json("true").unwrap().as_num(), None);
     }
 
     #[test]

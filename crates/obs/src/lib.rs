@@ -70,7 +70,7 @@ mod json;
 mod metrics;
 mod sinks;
 
-pub use json::{parse_json, Json, JsonError};
+pub use json::{parse_json, write_json, write_json_f64, write_json_string, Json, JsonError};
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use sinks::{
     CollectingSubscriber, Fanout, JsonlSubscriber, NullSubscriber, Record, SummarySubscriber,

@@ -2,25 +2,67 @@
 //! the in-tree JSON parser, and a capture that covers a full solve must
 //! contain the solver's span / gap / refine / mass-drift records.
 //!
+//! With `--figure <name>` (and optionally `--profile quick|full`,
+//! default `quick`) the check also enforces that figure's **telemetry
+//! budget** from the registry: the capture must contain *exactly* the
+//! number of `solver.solve` spans the figure is specified to produce —
+//! a regression gate against both silently duplicated solves (a sweep
+//! accidentally re-solving points) and silently skipped ones (a
+//! checkpoint resume eating work it should have redone).
+//!
 //! Used by `scripts/ci.sh` as the telemetry smoke check:
 //!
 //! ```sh
 //! cargo run --release -p lrd-experiments --bin fig02_bounds -- --quick --telemetry /tmp/t.jsonl
-//! cargo run --release --example telemetry_check -- /tmp/t.jsonl
+//! cargo run --release --example telemetry_check -- /tmp/t.jsonl --figure fig02_bounds
 //! ```
 //!
 //! Exits non-zero (with one line per violated requirement) when the
 //! capture is malformed or incomplete.
 
 use lrd::obs::{parse_json, Json};
+use lrd_experiments::figures::Profile;
 use std::process::ExitCode;
 
+struct Args {
+    path: String,
+    figure: Option<String>,
+    profile: Profile,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut path = None;
+    let mut figure = None;
+    let mut profile = Profile::Quick;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--figure" => figure = Some(args.next()?),
+            "--profile" => profile = Profile::from_tag(&args.next()?)?,
+            other if other.starts_with('-') => return None,
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(Args {
+        path: path?,
+        figure,
+        profile,
+    })
+}
+
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: telemetry_check <capture.jsonl>");
+    let Some(args) = parse_args() else {
+        eprintln!(
+            "usage: telemetry_check <capture.jsonl> [--figure <name>] [--profile quick|full]"
+        );
         return ExitCode::FAILURE;
     };
-    let text = match std::fs::read_to_string(&path) {
+    let path = &args.path;
+    let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
             eprintln!("telemetry_check: cannot read {path}: {e}");
@@ -48,17 +90,53 @@ fn main() -> ExitCode {
             })
             .count()
     };
+
+    // Without --figure the capture must cover at least one full solve;
+    // with --figure, the registry decides whether solves are expected
+    // at all (some figures are pure statistics and must record none).
+    let budget = match &args.figure {
+        None => None,
+        Some(name) => match lrd_experiments::find_figure(name) {
+            Some(spec) => Some(spec.expected_solves(args.profile)),
+            None => {
+                eprintln!("telemetry_check: unknown figure `{name}`");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let expects_solves = budget.is_none_or(|n| n > 0);
+
     let requirements = [
         ("span", "solver.solve", "the solve's root span"),
         ("event", "solver.gap", "per-iteration bound samples"),
-        ("event", "solver.refine", "a grid-refinement record"),
         ("gauge", "solver.mass_drift", "the final conservation check"),
         ("counter", "solver.iterations", "the flushed iteration total"),
     ];
     let mut ok = true;
-    for (kind, name, why) in requirements {
-        if count(kind, name) == 0 {
-            eprintln!("telemetry_check: no {kind} named {name:?} ({why})");
+    if expects_solves {
+        for (kind, name, why) in requirements {
+            if count(kind, name) == 0 {
+                eprintln!("telemetry_check: no {kind} named {name:?} ({why})");
+                ok = false;
+            }
+        }
+    }
+    // Whether a solve refines depends on its parameters, so a
+    // refinement record is only demanded in legacy mode, where the
+    // capture is by convention one that covers the full protocol.
+    if args.figure.is_none() && count("event", "solver.refine") == 0 {
+        eprintln!("telemetry_check: no event named \"solver.refine\" (a grid-refinement record)");
+        ok = false;
+    }
+    if let Some(expected) = budget {
+        let found = count("span", "solver.solve") as u64;
+        if found != expected {
+            eprintln!(
+                "telemetry_check: {} ({}) budget violated: expected exactly {expected} \
+                 solver.solve span(s), found {found}",
+                args.figure.as_deref().unwrap_or("?"),
+                args.profile.tag(),
+            );
             ok = false;
         }
     }
@@ -67,11 +145,16 @@ fn main() -> ExitCode {
     }
     println!(
         "telemetry_check: {} lines ok ({} solve span(s), {} gap event(s), \
-         {} refine event(s))",
+         {} refine event(s)){}",
         records.len(),
         count("span", "solver.solve"),
         count("event", "solver.gap"),
         count("event", "solver.refine"),
+        match (&args.figure, budget) {
+            (Some(name), Some(expected)) =>
+                format!("; {name} {} budget {expected} met", args.profile.tag()),
+            _ => String::new(),
+        },
     );
     ExitCode::SUCCESS
 }

@@ -26,7 +26,8 @@ capture="$smokedir/fig02.jsonl"
 LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
     -p lrd-experiments --bin fig02_bounds -- \
     --quick --telemetry "$capture" > /dev/null
-cargo run -q --release --locked --example telemetry_check -- "$capture"
+cargo run -q --release --locked --example telemetry_check -- "$capture" \
+    --figure fig02_bounds --profile quick
 
 echo "=== parallel smoke (--threads 2 figure run + telemetry check) ==="
 # The same figure surface through the worker pool: two threads must
@@ -36,6 +37,26 @@ par_capture="$smokedir/fig04_threads2.jsonl"
 LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
     -p lrd-experiments --bin fig04_mtv_model -- \
     --quick --threads 2 --telemetry "$par_capture" > /dev/null
-cargo run -q --release --locked --example telemetry_check -- "$par_capture"
+cargo run -q --release --locked --example telemetry_check -- "$par_capture" \
+    --figure fig04_mtv_model --profile quick
+
+echo "=== shard smoke (split / merge reproduces the unsharded surface) ==="
+# Kill any stale checkpoints first: a leftover file from a previous run
+# would be resumed from instead of solved, masking regressions.
+rm -f "$smokedir"/fig04_shard*.jsonl
+LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
+    -p lrd-experiments --bin fig04_mtv_model -- --quick \
+    > "$smokedir/fig04_full.csv"
+LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
+    -p lrd-experiments --bin fig04_mtv_model -- --quick \
+    --shard 0/2 --checkpoint "$smokedir/fig04_shard0.jsonl" > /dev/null
+LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
+    -p lrd-experiments --bin fig04_mtv_model -- --quick \
+    --shard 1/2 --checkpoint "$smokedir/fig04_shard1.jsonl" > /dev/null
+LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
+    -p lrd-experiments --bin sweep_merge -- \
+    "$smokedir/fig04_shard0.jsonl" "$smokedir/fig04_shard1.jsonl" \
+    > "$smokedir/fig04_merged.csv"
+diff -u "$smokedir/fig04_full.csv" "$smokedir/fig04_merged.csv"
 
 echo "ci: all gates passed"

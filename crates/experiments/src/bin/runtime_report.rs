@@ -23,7 +23,7 @@ fn main() {
     let mut sinks = match config.build_subscribers() {
         Ok(sinks) => sinks,
         Err(e) => {
-            eprintln!("error: cannot open telemetry file: {e}");
+            eprintln!("error: {e}");
             std::process::exit(1);
         }
     };

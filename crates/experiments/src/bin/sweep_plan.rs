@@ -1,0 +1,170 @@
+//! Plans a cost-weighted shard re-split from prior checkpoint files.
+//!
+//! ```text
+//! sweep_plan --shards N [--output assignment.json] <checkpoint.jsonl>...
+//! ```
+//!
+//! The checkpoints — a complete sharded run, a single shard, or a
+//! profiling pass that was killed early — supply measured per-point
+//! `solve_us` durations. The plan is rebuilt from the figure registry
+//! and checked against the manifests' plan hash, unmeasured lattice
+//! points are costed by neighbour interpolation, and the points are
+//! LPT-bin-packed into `N` shards. The emitted assignment's predicted
+//! makespan is never worse than the round-robin split's on the same
+//! costs; both are printed so the expected speed-up is visible before
+//! any host commits to the re-split.
+//!
+//! Workers consume the file with
+//! `<figure> --shard i/N --assignment assignment.json --checkpoint …`,
+//! and `sweep_merge` assembles their checkpoints exactly as for a
+//! round-robin run.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lrd_experiments::figures::Profile;
+use lrd_experiments::run::FigureKind;
+use lrd_experiments::sweep::{plan_assignment, CostProfile};
+use lrd_experiments::Corpus;
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{us:.0} µs")
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut shards: Option<u32> = None;
+    let mut output = PathBuf::from("assignment.json");
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweep_plan --shards <n> [--output <path>] <checkpoint.jsonl>...\n\
+                     \n\
+                     Reads the solve_us durations recorded in prior checkpoint\n\
+                     files (complete or partial), rebuilds the figure's sweep\n\
+                     plan from the registry, and bin-packs the lattice into n\n\
+                     shards balanced on measured cost. Writes the assignment\n\
+                     file (default assignment.json) that the figure binaries\n\
+                     accept via --assignment, and prints the predicted\n\
+                     per-shard makespan next to the round-robin baseline."
+                );
+                std::process::exit(0);
+            }
+            "--shards" => {
+                let v = args.next().ok_or("--shards requires a value")?;
+                let n: u32 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--shards requires a positive integer, got `{v}`"))?;
+                shards = Some(n);
+            }
+            "--output" => {
+                let v = args.next().ok_or("--output requires a value")?;
+                output = PathBuf::from(v);
+            }
+            other if other.starts_with("--shards=") => {
+                let v = &other["--shards=".len()..];
+                let n: u32 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--shards requires a positive integer, got `{v}`"))?;
+                shards = Some(n);
+            }
+            other if other.starts_with("--output=") => {
+                output = PathBuf::from(&other["--output=".len()..]);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!(
+                    "unknown argument `{other}` (expected --shards <n>, --output <path> \
+                     and checkpoint paths)"
+                ));
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    let shards = shards.ok_or("--shards <n> is required")?;
+    if paths.is_empty() {
+        return Err("no checkpoint files given".to_string());
+    }
+
+    let profile = CostProfile::from_checkpoints(&paths).map_err(|e| e.to_string())?;
+    let spec = lrd_experiments::find_figure(&profile.figure)
+        .ok_or_else(|| format!("unknown figure `{}`", profile.figure))?;
+    let prof = Profile::from_tag(&profile.profile)
+        .ok_or_else(|| format!("unknown profile tag `{}`", profile.profile))?;
+    let FigureKind::Sweep { build, .. } = &spec.kind else {
+        return Err(format!("{} is not a sweep figure", spec.name));
+    };
+    let corpus = match prof {
+        Profile::Quick => Corpus::quick(),
+        Profile::Full => Corpus::full(),
+    };
+    let sweep = build(&corpus, prof);
+
+    let assignment = plan_assignment(&sweep.plan, &profile, shards).map_err(|e| e.to_string())?;
+    assignment.write(&output).map_err(|e| e.to_string())?;
+
+    let costs = profile.costs(&sweep.plan).map_err(|e| e.to_string())?;
+    let round_robin_makespan = (0..shards as usize)
+        .map(|i| {
+            (i..costs.len())
+                .step_by(shards as usize)
+                .map(|p| costs[p])
+                .sum::<f64>()
+        })
+        .fold(0.0, f64::max);
+
+    eprintln!(
+        "{}: {} of {} lattice points measured across {} checkpoint file(s)",
+        spec.name,
+        profile.measured_points(),
+        profile.total_points,
+        paths.len()
+    );
+    eprintln!("shard  points  predicted");
+    for (i, shard) in assignment.shards.iter().enumerate() {
+        eprintln!(
+            "{i:>5}  {:>6}  {:>9}",
+            shard.points.len(),
+            fmt_us(shard.predicted_us)
+        );
+    }
+    eprintln!(
+        "predicted makespan {} vs round-robin {} ({:.0}% of baseline)",
+        fmt_us(assignment.makespan()),
+        fmt_us(round_robin_makespan),
+        if round_robin_makespan > 0.0 {
+            100.0 * assignment.makespan() / round_robin_makespan
+        } else {
+            100.0
+        }
+    );
+    eprintln!(
+        "wrote {} — run each worker with --shard i/{} --assignment {} --checkpoint <path>",
+        output.display(),
+        shards,
+        output.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,12 +1,12 @@
 //! Shared command-line handling for the figure binaries.
 //!
 //! Every binary accepts the same arguments (`--quick`, `--telemetry`,
-//! `--telemetry-summary`, `--threads`, `--shard`, `--checkpoint` and
-//! `--help`), so parsing lives here. Invalid invocations produce a
-//! typed [`CliError`] — the binaries print it to stderr and exit with
-//! status 1 instead of silently ignoring unknown flags (the
-//! degradation contract in DESIGN.md: bad configuration is an error,
-//! not a guess).
+//! `--telemetry-summary`, `--threads`, `--shard`, `--checkpoint`,
+//! `--assignment` and `--help`), so parsing lives here. Invalid
+//! invocations produce a typed [`CliError`] — the binaries print it to
+//! stderr and exit with status 1 instead of silently ignoring unknown
+//! flags (the degradation contract in DESIGN.md: bad configuration is
+//! an error, not a guess).
 
 use std::fmt;
 use std::path::PathBuf;
@@ -25,6 +25,9 @@ pub struct RunConfig {
     /// Print the aggregated telemetry table to stderr on exit
     /// (`--telemetry-summary`).
     pub telemetry_summary: bool,
+    /// Write the aggregated telemetry table to this file instead
+    /// (`--telemetry-summary=<path>`); composes with the stderr form.
+    pub telemetry_summary_file: Option<PathBuf>,
     /// Size the global worker pool to this many threads (`--threads N`).
     /// `None` defers to `LRD_THREADS` or the detected parallelism;
     /// `Some(1)` forces the bit-for-bit-identical serial path.
@@ -35,22 +38,39 @@ pub struct RunConfig {
     /// Stream completed sweep points to this JSONL file and resume
     /// from it when it already exists (`--checkpoint <path>`).
     pub checkpoint: Option<PathBuf>,
+    /// Take this shard's point set from a planner-produced assignment
+    /// file (`--assignment <path>`, written by `sweep_plan`) instead
+    /// of the round-robin rule. Requires `--shard i/n` to pick the row.
+    pub assignment: Option<PathBuf>,
 }
 
 impl RunConfig {
     /// The telemetry sinks this configuration asks for: a JSONL writer
-    /// when `--telemetry` was given, a stderr summary table when
-    /// `--telemetry-summary` was. Empty (telemetry stays disabled) with
-    /// neither flag. Harnesses that want to observe the run themselves
-    /// can append their own sink before installing.
+    /// when `--telemetry` was given, a summary table (to a file and/or
+    /// stderr) when `--telemetry-summary` was. Empty (telemetry stays
+    /// disabled) with neither flag. Harnesses that want to observe the
+    /// run themselves can append their own sink before installing.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error when the JSONL file cannot be created.
-    pub fn build_subscribers(&self) -> std::io::Result<Vec<Arc<dyn lrd_obs::Subscriber>>> {
+    /// [`CliError::Io`] naming the sink file that could not be created
+    /// — the `--telemetry` JSONL path or the `--telemetry-summary`
+    /// file, whichever actually failed.
+    pub fn build_subscribers(&self) -> Result<Vec<Arc<dyn lrd_obs::Subscriber>>, CliError> {
+        let io_error = |path: &PathBuf, e: std::io::Error| CliError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        };
         let mut sinks: Vec<Arc<dyn lrd_obs::Subscriber>> = Vec::new();
         if let Some(path) = &self.telemetry {
-            sinks.push(Arc::new(lrd_obs::JsonlSubscriber::create(path)?));
+            let sink = lrd_obs::JsonlSubscriber::create(path).map_err(|e| io_error(path, e))?;
+            sinks.push(Arc::new(sink));
+        }
+        if let Some(path) = &self.telemetry_summary_file {
+            let file = std::fs::File::create(path).map_err(|e| io_error(path, e))?;
+            sinks.push(Arc::new(lrd_obs::SummarySubscriber::to_writer(Box::new(
+                file,
+            ))));
         }
         if self.telemetry_summary {
             sinks.push(Arc::new(lrd_obs::SummarySubscriber::stderr()));
@@ -64,21 +84,12 @@ impl RunConfig {
     ///
     /// # Errors
     ///
-    /// An unwritable `--telemetry` path surfaces as [`CliError::Io`];
-    /// deciding what to do with it (the binaries print and exit 1)
-    /// stays with the caller — library code never terminates the
-    /// process.
+    /// An unwritable sink path surfaces as [`CliError::Io`] naming the
+    /// path that failed; deciding what to do with it (the binaries
+    /// print and exit 1) stays with the caller — library code never
+    /// terminates the process.
     pub fn install_telemetry(&self) -> Result<lrd_obs::InstallGuard, CliError> {
-        match self.build_subscribers() {
-            Ok(sinks) => Ok(lrd_obs::install_fanout(sinks)),
-            Err(e) => Err(CliError::Io {
-                path: self
-                    .telemetry
-                    .clone()
-                    .unwrap_or_else(|| PathBuf::from("?")),
-                message: e.to_string(),
-            }),
-        }
+        Ok(lrd_obs::install_fanout(self.build_subscribers()?))
     }
 }
 
@@ -110,8 +121,8 @@ impl fmt::Display for CliError {
                 write!(
                     f,
                     "unknown argument `{arg}` (expected --quick, --threads <n>, \
-                     --shard <i/n>, --checkpoint <path>, --telemetry <path>, \
-                     --telemetry-summary or --help)"
+                     --shard <i/n>, --checkpoint <path>, --assignment <path>, \
+                     --telemetry <path>, --telemetry-summary[=<path>] or --help)"
                 )
             }
             CliError::MissingValue(flag) => {
@@ -127,7 +138,7 @@ impl fmt::Display for CliError {
                 )
             }
             CliError::Io { path, message } => {
-                write!(f, "cannot open telemetry file {}: {message}", path.display())
+                write!(f, "cannot open sink file {}: {message}", path.display())
             }
         }
     }
@@ -159,11 +170,15 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
                 let path = args.next().ok_or(CliError::MissingValue("--checkpoint"))?;
                 config.checkpoint = Some(PathBuf::from(path));
             }
+            "--assignment" => {
+                let path = args.next().ok_or(CliError::MissingValue("--assignment"))?;
+                config.assignment = Some(PathBuf::from(path));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: <figure binary> [--quick] [--threads <n>] \
-                     [--shard <i/n> --checkpoint <path>] \
-                     [--telemetry <path.jsonl>] [--telemetry-summary]\n\
+                     [--shard <i/n> --checkpoint <path> [--assignment <path>]] \
+                     [--telemetry <path.jsonl>] [--telemetry-summary[=<path>]]\n\
                      \n\
                      --quick              reduced grids (seconds instead of minutes)\n\
                      --threads <n>        size the worker pool (default: LRD_THREADS\n\
@@ -175,11 +190,15 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
                      --checkpoint <path>  stream completed points to <path> (JSONL)\n\
                      \u{20}                    and resume from it if it exists; merge\n\
                      \u{20}                    shards with the sweep_merge binary\n\
+                     --assignment <path>  take shard i's point set from this\n\
+                     \u{20}                    sweep_plan-produced assignment file\n\
+                     \u{20}                    instead of the round-robin rule\n\
                      --telemetry <path>   write structured JSONL telemetry (solver\n\
                      \u{20}                    spans, per-iteration gaps, refinements,\n\
                      \u{20}                    metrics) to <path>\n\
-                     --telemetry-summary  print an aggregated timing/metrics table\n\
-                     \u{20}                    to stderr on exit\n\
+                     --telemetry-summary[=<path>]\n\
+                     \u{20}                    print an aggregated timing/metrics table\n\
+                     \u{20}                    to stderr (or write it to <path>) on exit\n\
                      --help               this message\n\
                      \n\
                      Output: CSV on stdout, progress on stderr, results\n\
@@ -201,6 +220,13 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
                 }
                 config.telemetry = Some(PathBuf::from(path));
             }
+            other if other.starts_with("--telemetry-summary=") => {
+                let path = &other["--telemetry-summary=".len()..];
+                if path.is_empty() {
+                    return Err(CliError::MissingValue("--telemetry-summary"));
+                }
+                config.telemetry_summary_file = Some(PathBuf::from(path));
+            }
             other if other.starts_with("--shard=") => {
                 let s = &other["--shard=".len()..];
                 if s.is_empty() {
@@ -214,6 +240,13 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
                     return Err(CliError::MissingValue("--checkpoint"));
                 }
                 config.checkpoint = Some(PathBuf::from(path));
+            }
+            other if other.starts_with("--assignment=") => {
+                let path = &other["--assignment=".len()..];
+                if path.is_empty() {
+                    return Err(CliError::MissingValue("--assignment"));
+                }
+                config.assignment = Some(PathBuf::from(path));
             }
             other => return Err(CliError::UnknownArgument(other.to_string())),
         }
@@ -282,8 +315,18 @@ mod tests {
             parse(strings(&["--telemetry", "out.jsonl", "--telemetry-summary"])).unwrap();
         assert_eq!(config.telemetry, Some(PathBuf::from("out.jsonl")));
         assert!(config.telemetry_summary);
+        assert!(config.telemetry_summary_file.is_none());
         let config = parse(strings(&["--telemetry=t.jsonl"])).unwrap();
         assert_eq!(config.telemetry, Some(PathBuf::from("t.jsonl")));
+        // The `=` form of --telemetry-summary writes the table to a
+        // file and does not imply the stderr table.
+        let config = parse(strings(&["--telemetry-summary=s.txt"])).unwrap();
+        assert_eq!(config.telemetry_summary_file, Some(PathBuf::from("s.txt")));
+        assert!(!config.telemetry_summary);
+        assert_eq!(
+            parse(strings(&["--telemetry-summary="])),
+            Err(CliError::MissingValue("--telemetry-summary"))
+        );
     }
 
     #[test]
@@ -407,6 +450,42 @@ mod tests {
     }
 
     #[test]
+    fn sink_errors_name_the_failing_path_not_the_telemetry_flag() {
+        // Regression: the error used to be attributed to the
+        // --telemetry path unconditionally (or to "?" when none was
+        // given), even when a different sink failed to open.
+        let bad = PathBuf::from("/nonexistent-dir-for-cli-test/summary.txt");
+
+        // No --telemetry at all: the old code reported path "?".
+        let config = RunConfig {
+            telemetry_summary_file: Some(bad.clone()),
+            ..RunConfig::default()
+        };
+        match config.install_telemetry().map(|_g| ()).unwrap_err() {
+            CliError::Io { path, .. } => assert_eq!(path, bad),
+            other => panic!("expected CliError::Io, got {other:?}"),
+        }
+
+        // A perfectly writable --telemetry plus a failing summary
+        // file: the old code blamed the telemetry path.
+        let dir = std::env::temp_dir().join(format!("lrd-cli-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("t.jsonl");
+        let config = RunConfig {
+            telemetry: Some(good.clone()),
+            telemetry_summary_file: Some(bad.clone()),
+            ..RunConfig::default()
+        };
+        match config.install_telemetry().map(|_g| ()).unwrap_err() {
+            CliError::Io { path, .. } => {
+                assert_eq!(path, bad, "must blame the sink that failed");
+                assert_ne!(path, good);
+            }
+            other => panic!("expected CliError::Io, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn no_flags_build_no_subscribers() {
         let sinks = RunConfig::default().build_subscribers().unwrap();
         assert!(sinks.is_empty());
@@ -419,5 +498,21 @@ mod tests {
             ..RunConfig::default()
         };
         assert_eq!(config.build_subscribers().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn assignment_flag_both_spellings() {
+        let config = parse(strings(&["--assignment", "plan.json"])).unwrap();
+        assert_eq!(config.assignment, Some(PathBuf::from("plan.json")));
+        let config = parse(strings(&["--assignment=p.json", "--shard=0/2"])).unwrap();
+        assert_eq!(config.assignment, Some(PathBuf::from("p.json")));
+        assert_eq!(
+            parse(strings(&["--assignment"])),
+            Err(CliError::MissingValue("--assignment"))
+        );
+        assert_eq!(
+            parse(strings(&["--assignment="])),
+            Err(CliError::MissingValue("--assignment"))
+        );
     }
 }

@@ -22,7 +22,7 @@ use crate::corpus::Corpus;
 use crate::figures::{self, Profile};
 use crate::output::{self, Grid};
 use crate::sweep::{
-    merge_checkpoints, run_points, FigureSweep, ShardSpec, SweepError,
+    merge_checkpoints, run_points, FigureSweep, ShardSpec, SweepAssignment, SweepError,
 };
 
 /// Everything a figure run wants to show the user. The emit order and
@@ -448,6 +448,24 @@ pub enum RunError {
     /// only output is its checkpoint file, so running one without a
     /// path would discard the work.
     ShardWithoutCheckpoint,
+    /// `--assignment` without `--shard i/n`: the shard index picks
+    /// which row of the assignment this process solves.
+    AssignmentWithoutShard,
+    /// `--shard i/n` whose `n` disagrees with the number of shards the
+    /// assignment file was planned for.
+    AssignmentShardCount {
+        /// Shards in the assignment file.
+        expected: u32,
+        /// The `n` of the requested `--shard i/n`.
+        found: u32,
+    },
+    /// The assignment file was planned for a different figure.
+    AssignmentFigure {
+        /// The figure being run.
+        expected: String,
+        /// The figure named in the assignment file.
+        found: String,
+    },
     /// The sweep layer failed (I/O, malformed or mismatched
     /// checkpoints).
     Sweep(SweepError),
@@ -465,6 +483,18 @@ impl std::fmt::Display for RunError {
             RunError::ShardWithoutCheckpoint => {
                 write!(f, "--shard requires --checkpoint <path> (the shard's output)")
             }
+            RunError::AssignmentWithoutShard => write!(
+                f,
+                "--assignment requires --shard i/n to pick this process's row"
+            ),
+            RunError::AssignmentShardCount { expected, found } => write!(
+                f,
+                "assignment was planned for {expected} shard(s), but --shard asked for {found}"
+            ),
+            RunError::AssignmentFigure { expected, found } => write!(
+                f,
+                "assignment was planned for figure `{found}`, not `{expected}`"
+            ),
             RunError::Sweep(e) => write!(f, "{e}"),
         }
     }
@@ -499,25 +529,62 @@ fn emit(spec: &FigureSpec, artifacts: &FigureArtifacts) {
     }
 }
 
+/// Resolves the shard this process should run: the round-robin
+/// `--shard i/n` by default, or — with `--assignment` — the explicit
+/// owned-set row the planner assigned to shard `i`, validated against
+/// the figure and the registry-rebuilt plan.
+fn resolve_shard(
+    spec: &FigureSpec,
+    config: &RunConfig,
+    sweep: &FigureSweep<'_>,
+) -> Result<ShardSpec, RunError> {
+    let Some(path) = config.assignment.as_deref() else {
+        return Ok(config.shard.clone().unwrap_or(ShardSpec::FULL));
+    };
+    let Some(requested) = config.shard.clone() else {
+        return Err(RunError::AssignmentWithoutShard);
+    };
+    let assignment = SweepAssignment::read(path)?;
+    if assignment.figure != spec.name {
+        return Err(RunError::AssignmentFigure {
+            expected: spec.name.to_string(),
+            found: assignment.figure,
+        });
+    }
+    assignment.validate_against(&sweep.plan, path)?;
+    if assignment.shards.len() as u32 != requested.count {
+        return Err(RunError::AssignmentShardCount {
+            expected: assignment.shards.len() as u32,
+            found: requested.count,
+        });
+    }
+    Ok(assignment
+        .shard_spec(requested.index)
+        .expect("index < count == shards.len() after validation"))
+}
+
 /// Runs one registered figure under a parsed configuration: the whole
 /// historical binary body behind one call.
 ///
-/// * Plain figures reject `--shard`/`--checkpoint` with a typed error.
-/// * Sweep figures with `--shard i/n` (n > 1) solve only their slice,
-///   stream it to the required `--checkpoint`, print a shard summary
-///   to stderr and emit **no** artifacts — the full figure appears
-///   when `sweep_merge` assembles all shards.
+/// * Plain figures reject `--shard`/`--checkpoint`/`--assignment` with
+///   a typed error.
+/// * Sweep figures with `--shard i/n` (n > 1) solve only their slice —
+///   round-robin, or the planner-assigned point set when
+///   `--assignment` names a `sweep_plan` output — stream it to the
+///   required `--checkpoint`, print a shard summary to stderr and emit
+///   **no** artifacts; the full figure appears when `sweep_merge`
+///   assembles all shards.
 /// * Sweep figures without `--shard` run the full lattice (optionally
 ///   checkpointed/resumed) and emit artifacts identical to the
 ///   pre-sweep implementation.
 pub fn run_figure(spec: &FigureSpec, config: &RunConfig) -> Result<(), RunError> {
     let profile = if config.quick { Profile::Quick } else { Profile::Full };
     let corpus = if config.quick { Corpus::quick() } else { Corpus::full() };
-    let shard = config.shard.unwrap_or(ShardSpec::FULL);
 
     match &spec.kind {
         FigureKind::Plain(runner) => {
-            if config.shard.is_some() || config.checkpoint.is_some() {
+            if config.shard.is_some() || config.checkpoint.is_some() || config.assignment.is_some()
+            {
                 return Err(RunError::ShardUnsupported(spec.name));
             }
             emit(spec, &runner(&corpus, profile));
@@ -525,11 +592,12 @@ pub fn run_figure(spec: &FigureSpec, config: &RunConfig) -> Result<(), RunError>
         }
         FigureKind::Sweep { build, finish } => {
             let sweep = build(&corpus, profile);
+            let shard = resolve_shard(spec, config, &sweep)?;
             if !shard.is_full() {
                 let Some(path) = config.checkpoint.as_deref() else {
                     return Err(RunError::ShardWithoutCheckpoint);
                 };
-                let results = run_points(&sweep, shard, Some(path))?;
+                let results = run_points(&sweep, &shard, Some(path))?;
                 eprintln!(
                     "shard {shard} of {}: {} of {} lattice points solved -> {} \
                      (assemble the figure with sweep_merge)",
@@ -540,7 +608,7 @@ pub fn run_figure(spec: &FigureSpec, config: &RunConfig) -> Result<(), RunError>
                 );
                 Ok(())
             } else {
-                let results = run_points(&sweep, ShardSpec::FULL, config.checkpoint.as_deref())?;
+                let results = run_points(&sweep, &ShardSpec::FULL, config.checkpoint.as_deref())?;
                 let grid = sweep.plan.to_grid(&results);
                 emit(spec, &finish(&corpus, profile, grid));
                 Ok(())
@@ -680,5 +748,89 @@ mod tests {
             run_figure(spec, &config),
             Err(RunError::ShardWithoutCheckpoint)
         );
+    }
+
+    #[test]
+    fn assignment_requires_shard_and_matching_plan() {
+        use crate::sweep::ShardPlan;
+
+        let spec = find_figure("fig04_mtv_model").unwrap();
+        let dir = std::env::temp_dir().join(format!("lrd-run-assign-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("assignment.json");
+        let checkpoint = dir.join("ck.jsonl");
+
+        // --assignment without --shard.
+        let config = RunConfig {
+            quick: true,
+            assignment: Some(path.clone()),
+            ..RunConfig::default()
+        };
+        assert_eq!(
+            run_figure(spec, &config),
+            Err(RunError::AssignmentWithoutShard)
+        );
+
+        // A structurally valid 2-way assignment for the quick plan.
+        let corpus = Corpus::quick();
+        let FigureKind::Sweep { build, .. } = &spec.kind else {
+            unreachable!()
+        };
+        let sweep = build(&corpus, Profile::Quick);
+        let n = sweep.plan.len();
+        let assignment = crate::sweep::SweepAssignment {
+            figure: spec.name.to_string(),
+            plan_hash: sweep.plan.hash_hex(),
+            profile: "quick".to_string(),
+            total_points: n,
+            shards: vec![
+                ShardPlan {
+                    points: (0..n / 2).collect(),
+                    predicted_us: 1.0,
+                },
+                ShardPlan {
+                    points: (n / 2..n).collect(),
+                    predicted_us: 1.0,
+                },
+            ],
+        };
+        assignment.write(&path).unwrap();
+
+        let with_shard = |i, count, assignment_path: &PathBuf| RunConfig {
+            quick: true,
+            shard: Some(ShardSpec::new(i, count).unwrap()),
+            checkpoint: Some(checkpoint.clone()),
+            assignment: Some(assignment_path.clone()),
+            ..RunConfig::default()
+        };
+
+        // --shard n disagrees with the planned shard count.
+        assert_eq!(
+            run_figure(spec, &with_shard(0, 3, &path)),
+            Err(RunError::AssignmentShardCount {
+                expected: 2,
+                found: 3
+            })
+        );
+
+        // An assignment planned for a different figure.
+        let mut foreign = assignment.clone();
+        foreign.figure = "fig05_bc_model".to_string();
+        let foreign_path = dir.join("foreign.json");
+        foreign.write(&foreign_path).unwrap();
+        assert!(matches!(
+            run_figure(spec, &with_shard(0, 2, &foreign_path)),
+            Err(RunError::AssignmentFigure { .. })
+        ));
+
+        // A stale plan hash (e.g. planned under the full profile).
+        let mut stale = assignment;
+        stale.plan_hash = "0000000000000000".to_string();
+        let stale_path = dir.join("stale.json");
+        stale.write(&stale_path).unwrap();
+        assert!(matches!(
+            run_figure(spec, &with_shard(0, 2, &stale_path)),
+            Err(RunError::Sweep(SweepError::PlanHashMismatch { .. }))
+        ));
     }
 }

@@ -9,22 +9,37 @@
 //!  "profile":"quick","shard":0,"shard_count":2,"points":12,
 //!  "value_label":"loss_rate","axes":[{"name":"buffer_s","values":[…]}]}
 //! {"kind":"point","index":0,"coords":[0.05,0.01],"value":1.2e-4,
-//!  "iterations":412,"bins":256,"converged":true}
+//!  "iterations":412,"bins":256,"converged":true,"solve_us":5312.75}
 //! ```
 //!
 //! The manifest records the plan identity ([`SweepPlan::hash_hex`]) so
 //! resume and merge can refuse files from a different plan; the axes
 //! are also embedded verbatim so a checkpoint is self-describing, but
-//! the hash is what validation trusts. Finite `f64`s are written in
-//! the shortest exact representation and non-finite coordinates
-//! (`T_c = ∞`) as the strings `"inf"` / `"-inf"`, so every value
-//! round-trips bit-identically — the property that lets a merged
-//! surface match a single-host run to the last bit.
+//! the hash is what validation trusts. An explicit-assignment shard
+//! ([`ShardSpec::owned`]) additionally records its owned point set as
+//! `"owned":[…]` so resume and merge validate ownership against the
+//! planned assignment rather than the round-robin rule. Finite `f64`s
+//! are written in the shortest exact representation and non-finite
+//! coordinates (`T_c = ∞`) as the strings `"inf"` / `"-inf"`, so
+//! every value round-trips bit-identically — the property that lets a
+//! merged surface match a single-host run to the last bit.
+//!
+//! Point lines carry the measured wall-clock solve duration
+//! (`solve_us`, read from the point's `solver.solve` telemetry span)
+//! when the producing runner captured one. The field feeds the
+//! cost-weighted re-split planner and **nothing else**: it never
+//! enters the plan hash, ownership validation, or the merged surface
+//! values, and checkpoints written before the field existed parse
+//! exactly as they used to ([`PointResult::solve_us`] stays `None`).
 //!
 //! A process killed mid-write leaves at most one torn *final* line;
 //! [`read_checkpoint`] tolerates exactly that (reporting it via
 //! [`Checkpoint::truncated_tail`]) and rejects malformation anywhere
-//! else.
+//! else. The one other kill artifact is a file whose *manifest* line
+//! never finished flushing — no complete first line at all. That is
+//! reported as the typed [`SweepError::TornManifest`] so the runner
+//! can discard the (workless) file and start fresh instead of
+//! refusing to resume.
 
 use std::path::Path;
 
@@ -49,12 +64,12 @@ pub struct Manifest {
 
 impl Manifest {
     /// The manifest for `shard` of `plan`.
-    pub fn new(plan: &SweepPlan, shard: ShardSpec) -> Manifest {
+    pub fn new(plan: &SweepPlan, shard: &ShardSpec) -> Manifest {
         Manifest {
             figure: plan.figure.clone(),
             plan_hash: plan.hash_hex(),
             profile: plan.profile.tag().to_string(),
-            shard,
+            shard: shard.clone(),
             total_points: plan.len(),
         }
     }
@@ -75,7 +90,7 @@ pub struct Checkpoint {
 
 /// Renders the manifest line for `shard` of `plan` (no trailing
 /// newline).
-pub fn manifest_line(plan: &SweepPlan, shard: ShardSpec) -> String {
+pub fn manifest_line(plan: &SweepPlan, shard: &ShardSpec) -> String {
     let mut out = String::from("{\"kind\":\"manifest\",\"figure\":");
     write_json_string(&mut out, &plan.figure);
     out.push_str(",\"plan_hash\":");
@@ -83,11 +98,20 @@ pub fn manifest_line(plan: &SweepPlan, shard: ShardSpec) -> String {
     out.push_str(",\"profile\":");
     write_json_string(&mut out, plan.profile.tag());
     out.push_str(&format!(
-        ",\"shard\":{},\"shard_count\":{},\"points\":{},\"value_label\":",
-        shard.index,
-        shard.count,
-        plan.len()
+        ",\"shard\":{},\"shard_count\":{}",
+        shard.index, shard.count
     ));
+    if let Some(points) = shard.owned_points() {
+        out.push_str(",\"owned\":[");
+        for (i, &p) in points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&p.to_string());
+        }
+        out.push(']');
+    }
+    out.push_str(&format!(",\"points\":{},\"value_label\":", plan.len()));
     write_json_string(&mut out, &plan.value_label);
     out.push_str(",\"axes\":[");
     for (i, axis) in plan.axes.iter().enumerate() {
@@ -125,9 +149,14 @@ pub fn point_line(coords: &[f64], result: &PointResult) -> String {
     out.push_str("],\"value\":");
     write_json_f64(&mut out, result.value);
     out.push_str(&format!(
-        ",\"iterations\":{},\"bins\":{},\"converged\":{}}}",
+        ",\"iterations\":{},\"bins\":{},\"converged\":{}",
         result.iterations, result.bins, result.converged
     ));
+    if let Some(us) = result.solve_us {
+        out.push_str(",\"solve_us\":");
+        write_json_f64(&mut out, us);
+    }
+    out.push('}');
     out
 }
 
@@ -157,10 +186,29 @@ fn parse_manifest(path: &Path, doc: &Json) -> Result<Manifest, SweepError> {
     };
     let index = int_field("shard")?;
     let count = int_field("shard_count")?;
+    let owned: Option<Vec<usize>> = match doc.get("owned") {
+        None => None,
+        Some(field) => Some(
+            field
+                .as_array()
+                .and_then(|items| {
+                    items
+                        .iter()
+                        .map(|v| v.as_u64().map(|p| p as usize))
+                        .collect()
+                })
+                .ok_or_else(|| {
+                    malformed(path, 1, "manifest \"owned\" must be an array of integers")
+                })?,
+        ),
+    };
     let shard = u32::try_from(index)
         .ok()
         .zip(u32::try_from(count).ok())
-        .and_then(|(i, n)| ShardSpec::new(i, n))
+        .and_then(|(i, n)| match owned {
+            Some(points) => ShardSpec::owned(i, n, points),
+            None => ShardSpec::new(i, n),
+        })
         .ok_or_else(|| malformed(path, 1, format!("invalid shard {index}/{count}")))?;
     Ok(Manifest {
         figure: str_field("figure")?,
@@ -172,12 +220,21 @@ fn parse_manifest(path: &Path, doc: &Json) -> Result<Manifest, SweepError> {
 }
 
 fn parse_point(doc: &Json) -> Option<PointResult> {
+    // `solve_us` is optional: checkpoints written before the cost
+    // model existed have no durations, and they must keep resuming
+    // and merging unchanged. A *present but non-numeric* field is
+    // still a parse failure, not a silent `None`.
+    let solve_us = match doc.get("solve_us") {
+        None => None,
+        Some(v) => Some(v.as_num()?),
+    };
     Some(PointResult {
         index: doc.get("index")?.as_u64()? as usize,
         value: doc.get("value")?.as_num()?,
         iterations: doc.get("iterations")?.as_u64()?,
         bins: doc.get("bins")?.as_u64()?,
         converged: doc.get("converged")?.as_bool()?,
+        solve_us,
     })
 }
 
@@ -191,6 +248,19 @@ fn parse_point(doc: &Json) -> Option<PointResult> {
 /// duplicates) lives in the resume and merge layers.
 pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, SweepError> {
     let text = std::fs::read_to_string(path).map_err(|e| SweepError::io(path, &e))?;
+
+    // A process killed before its first checkpoint flush leaves a file
+    // with no complete first line: empty, or a prefix of the manifest
+    // line with no terminating newline. Either way the file records no
+    // solved work, so report it as the recoverable torn-manifest case
+    // (the runner discards it and starts fresh) rather than as
+    // corruption. A complete-but-unparseable first line, by contrast,
+    // cannot come from a torn write and stays a hard error below.
+    if !text.contains('\n') {
+        return Err(SweepError::TornManifest {
+            path: path.to_path_buf(),
+        });
+    }
     let mut lines = text.lines().enumerate();
 
     let (_, first) = lines
@@ -252,6 +322,11 @@ mod tests {
             iterations: 10 + index as u64,
             bins: 256,
             converged: index.is_multiple_of(2),
+            // Mix measured and unmeasured points: both forms must
+            // round-trip.
+            solve_us: index
+                .is_multiple_of(2)
+                .then(|| 1e4 / 3.0 * (index as f64 + 1.0)),
         }
     }
 
@@ -266,9 +341,9 @@ mod tests {
         let p = plan();
         let shard = ShardSpec::new(1, 2).unwrap();
         let path = tmp("roundtrip");
-        let mut text = manifest_line(&p, shard);
+        let mut text = manifest_line(&p, &shard);
         text.push('\n');
-        for pt in p.points_for(shard) {
+        for pt in p.points_for(&shard) {
             text.push_str(&point_line(&pt.coords, &result(pt.index)));
             text.push('\n');
         }
@@ -276,7 +351,7 @@ mod tests {
 
         let ck = read_checkpoint(&path).unwrap();
         assert!(!ck.truncated_tail);
-        assert_eq!(ck.manifest, Manifest::new(&p, shard));
+        assert_eq!(ck.manifest, Manifest::new(&p, &shard));
         assert_eq!(ck.points.len(), 2);
         for pt in &ck.points {
             let expect = result(pt.index);
@@ -286,12 +361,84 @@ mod tests {
     }
 
     #[test]
+    fn solve_us_round_trips_bit_exactly_property() {
+        // Property test over randomized durations: any finite
+        // non-negative f64 written as `solve_us` parses back to the
+        // identical bits, and an absent duration stays `None`.
+        use lrd_rng::rngs::SmallRng;
+        use lrd_rng::{Rng, SeedableRng};
+
+        let mut rng = SmallRng::seed_from_u64(0x5eed_c057);
+        for trial in 0..200 {
+            // Spread durations over many magnitudes, including
+            // subnormal-ish tiny values and huge ones.
+            let exponent: f64 = rng.gen_range(-12.0..12.0);
+            let duration = rng.gen::<f64>() * 10f64.powf(exponent);
+            let solve_us = (trial % 5 != 0).then_some(duration);
+            let point = PointResult {
+                index: trial,
+                value: rng.gen::<f64>(),
+                iterations: rng.gen_range(1u64..1_000_000),
+                bins: 1 << rng.gen_range(5u64..14),
+                converged: rng.gen_bool(0.5),
+                solve_us,
+            };
+            let line = point_line(&[0.5, 2.0], &point);
+            let doc = parse_json(&line).unwrap();
+            let parsed = parse_point(&doc).unwrap();
+            assert_eq!(
+                parsed.solve_us.map(f64::to_bits),
+                point.solve_us.map(f64::to_bits),
+                "trial {trial}: {line}"
+            );
+            assert_eq!(parsed, point, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn owned_set_manifest_round_trips() {
+        let p = plan();
+        let shard = ShardSpec::owned(1, 3, vec![0, 2, 3]).unwrap();
+        let path = tmp("owned");
+        let text = format!("{}\n", manifest_line(&p, &shard));
+        assert!(text.contains("\"owned\":[0,2,3]"), "{text}");
+        std::fs::write(&path, text).unwrap();
+        let ck = read_checkpoint(&path).unwrap();
+        assert_eq!(ck.manifest.shard, shard);
+        assert_eq!(ck.manifest.shard.owned_points(), Some(&[0, 2, 3][..]));
+
+        // A manifest with a malformed owned set is a hard error, not a
+        // silent fallback to round-robin ownership.
+        let bad = manifest_line(&p, &shard).replace("[0,2,3]", "[0,\"x\",3]");
+        std::fs::write(&path, format!("{bad}\n")).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(SweepError::Malformed { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn durationless_point_lines_still_parse() {
+        // The exact line format the pre-cost-model runner wrote: no
+        // solve_us field anywhere.
+        let line = "{\"kind\":\"point\",\"index\":3,\"coords\":[0.1,0.5],\
+                    \"value\":1.25e-4,\"iterations\":412,\"bins\":256,\"converged\":true}";
+        let parsed = parse_point(&parse_json(line).unwrap()).unwrap();
+        assert_eq!(parsed.index, 3);
+        assert_eq!(parsed.solve_us, None);
+        assert_eq!(parsed.value, 1.25e-4);
+        // A present-but-wrong-typed solve_us is rejected.
+        let bad = line.replace(",\"converged\":true", ",\"converged\":true,\"solve_us\":\"fast\"");
+        assert!(parse_point(&parse_json(&bad).unwrap()).is_none());
+    }
+
+    #[test]
     fn tolerates_torn_final_line_only() {
         let p = plan();
         let path = tmp("torn");
         let full = format!(
             "{}\n{}\n{}\n",
-            manifest_line(&p, ShardSpec::FULL),
+            manifest_line(&p, &ShardSpec::FULL),
             point_line(&p.point(0).coords, &result(0)),
             point_line(&p.point(1).coords, &result(1)),
         );
@@ -305,7 +452,7 @@ mod tests {
         // The same damage on a *middle* line is an error.
         let damaged = format!(
             "{}\n{}\n{}\n",
-            manifest_line(&p, ShardSpec::FULL),
+            manifest_line(&p, &ShardSpec::FULL),
             &point_line(&p.point(0).coords, &result(0))[..20],
             point_line(&p.point(1).coords, &result(1)),
         );
@@ -317,13 +464,34 @@ mod tests {
     }
 
     #[test]
-    fn rejects_missing_or_bad_manifest() {
-        let path = tmp("badmanifest");
+    fn torn_manifest_is_typed_not_malformed() {
+        // A kill before the first flush: empty file, or a prefix of
+        // the manifest line with no newline. Both must surface as the
+        // recoverable TornManifest, not as corruption.
+        let p = plan();
+        let path = tmp("tornmanifest");
         std::fs::write(&path, "").unwrap();
         assert!(matches!(
             read_checkpoint(&path),
-            Err(SweepError::Malformed { line: 1, .. })
+            Err(SweepError::TornManifest { .. })
         ));
+        let manifest = manifest_line(&p, &ShardSpec::FULL);
+        for cut in [1, manifest.len() / 2, manifest.len()] {
+            std::fs::write(&path, &manifest[..cut]).unwrap();
+            assert!(
+                matches!(read_checkpoint(&path), Err(SweepError::TornManifest { .. })),
+                "prefix of {cut} bytes"
+            );
+        }
+        // With the terminating newline present the same bytes are a
+        // complete, valid manifest.
+        std::fs::write(&path, format!("{manifest}\n")).unwrap();
+        assert!(read_checkpoint(&path).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_or_bad_manifest() {
+        let path = tmp("badmanifest");
         std::fs::write(&path, format!("{}\n", point_line(&[0.1], &result(0)))).unwrap();
         assert!(matches!(
             read_checkpoint(&path),

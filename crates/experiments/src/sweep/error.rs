@@ -19,6 +19,17 @@ pub enum SweepError {
         /// The rendered `std::io::Error` message.
         message: String,
     },
+    /// The checkpoint's manifest line itself is torn: the file
+    /// contains no complete (newline-terminated) first line, which is
+    /// exactly what a process killed before its first checkpoint flush
+    /// leaves behind. No solved work can be stored in such a file, so
+    /// callers ([`run_points`](crate::sweep::run_points)) discard it
+    /// with a warning and start the shard fresh; only genuinely
+    /// malformed *complete* lines are hard errors.
+    TornManifest {
+        /// The checkpoint path involved.
+        path: PathBuf,
+    },
     /// A checkpoint line failed to parse or had the wrong shape.
     Malformed {
         /// The checkpoint path involved.
@@ -88,6 +99,12 @@ impl fmt::Display for SweepError {
             SweepError::Io { path, message } => {
                 write!(f, "checkpoint I/O error on {}: {message}", path.display())
             }
+            SweepError::TornManifest { path } => write!(
+                f,
+                "{}: manifest line is torn (producing process was killed before \
+                 its first flush); the file holds no solved points",
+                path.display()
+            ),
             SweepError::Malformed { path, line, reason } => {
                 write!(f, "{} line {line}: {reason}", path.display())
             }

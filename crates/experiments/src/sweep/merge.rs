@@ -163,6 +163,7 @@ mod tests {
                 iterations: 3 + spec.index as u64,
                 bins: 128,
                 converged: true,
+                solve_us: None,
             }),
         }
     }
@@ -178,7 +179,7 @@ mod tests {
         (0..count)
             .map(|i| {
                 let path = dir.join(format!("shard-{i}.jsonl"));
-                run_points(s, ShardSpec::new(i, count).unwrap(), Some(&path)).unwrap();
+                run_points(s, &ShardSpec::new(i, count).unwrap(), Some(&path)).unwrap();
                 path
             })
             .collect()
@@ -187,7 +188,7 @@ mod tests {
     #[test]
     fn merge_matches_single_run_bitwise() {
         let s = sweep("demo");
-        let single = run_points(&s, ShardSpec::FULL, None).unwrap();
+        let single = run_points(&s, &ShardSpec::FULL, None).unwrap();
         for count in [1u32, 2, 3] {
             let dir = tmpdir(&format!("ok{count}"));
             let merged = merge_checkpoints(&run_shards(&s, &dir, count)).unwrap();
@@ -201,6 +202,68 @@ mod tests {
                 single.iter().map(|r| r.iterations).sum::<u64>()
             );
         }
+    }
+
+    #[test]
+    fn merge_of_explicit_assignment_matches_single_run_bitwise() {
+        let s = sweep("demo");
+        let single = run_points(&s, &ShardSpec::FULL, None).unwrap();
+        let dir = tmpdir("explicit");
+        // A deliberately lopsided planner-style split of the 9-point
+        // lattice, including ownership that round-robin would never
+        // produce.
+        let sets = [vec![8, 0], vec![1, 2, 3, 4, 5, 6, 7]];
+        let paths: Vec<PathBuf> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, points)| {
+                let shard = ShardSpec::owned(i as u32, sets.len() as u32, points.clone()).unwrap();
+                let path = dir.join(format!("shard-{i}.jsonl"));
+                run_points(&s, &shard, Some(&path)).unwrap();
+                path
+            })
+            .collect();
+        let merged = merge_checkpoints(&paths).unwrap();
+        assert_eq!(merged.results.len(), single.len());
+        for (a, b) in single.iter().zip(&merged.results) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_rejects_overlapping_and_gappy_explicit_assignments() {
+        let s = sweep("demo");
+        let dir = tmpdir("explicit-bad");
+        let run_owned = |name: &str, i: u32, n: u32, points: Vec<usize>| {
+            let shard = ShardSpec::owned(i, n, points).unwrap();
+            let path = dir.join(format!("{name}.jsonl"));
+            run_points(&s, &shard, Some(&path)).unwrap();
+            path
+        };
+
+        // Point 4 owned by both shards.
+        let overlap = [
+            run_owned("ov-0", 0, 2, vec![0, 1, 2, 3, 4]),
+            run_owned("ov-1", 1, 2, vec![4, 5, 6, 7, 8]),
+        ];
+        assert!(matches!(
+            merge_checkpoints(&overlap).unwrap_err(),
+            SweepError::DuplicatePoint { index: 4, .. }
+        ));
+
+        // Point 4 owned by neither.
+        let gappy = [
+            run_owned("gap-0", 0, 2, vec![0, 1, 2, 3]),
+            run_owned("gap-1", 1, 2, vec![5, 6, 7, 8]),
+        ];
+        assert!(matches!(
+            merge_checkpoints(&gappy).unwrap_err(),
+            SweepError::MissingPoints {
+                missing: 1,
+                first: 4
+            }
+        ));
     }
 
     #[test]

@@ -16,16 +16,24 @@
 //!   constructor.
 //! * [`ShardSpec`] — `--shard i/n` partitions the lattice round-robin
 //!   by stable point index, so every shard receives a mix of cheap and
-//!   deep-loss points.
+//!   deep-loss points; the owned-set form ([`ShardSpec::owned`])
+//!   carries an explicit planner-produced point assignment instead.
 //! * [`run_points`] — executes one shard, fanning points through the
 //!   worker pool ([`lrd_pool::par_map`]); with a checkpoint path it
-//!   streams completed [`PointResult`]s to an append-only JSONL file
-//!   and **resumes** an interrupted run by skipping already-solved
-//!   points.
+//!   streams completed [`PointResult`]s — each stamped with its
+//!   measured `solver.solve` span duration — to an append-only JSONL
+//!   file and **resumes** an interrupted run by skipping
+//!   already-solved points.
 //! * [`merge_checkpoints`] — validates the shard manifests (plan hash,
 //!   profile, shard set, point ownership) and reassembles the full
 //!   surface bit-identically to a single-host run, failing with a
 //!   typed [`SweepError`] on any inconsistency.
+//! * [`CostProfile`] / [`plan_assignment`] / [`SweepAssignment`] — the
+//!   cost model: aggregate measured per-point durations from prior
+//!   checkpoints, interpolate the unmeasured lattice, and bin-pack the
+//!   points into an explicit per-shard assignment whose predicted
+//!   makespan is never worse than the round-robin split's. The
+//!   `sweep_plan` binary drives this from the command line.
 //!
 //! The design composes one-host parallelism with many-host sharding:
 //! within a shard, points still fan through `par_map`, so `--shard`
@@ -36,6 +44,7 @@ mod checkpoint;
 mod error;
 mod merge;
 mod plan;
+mod planner;
 mod runner;
 mod shard;
 
@@ -43,5 +52,6 @@ pub use checkpoint::{manifest_line, point_line, read_checkpoint, Checkpoint, Man
 pub use error::SweepError;
 pub use merge::{merge_checkpoints, MergedSurface};
 pub use plan::{Axis, PointResult, PointSpec, SweepPlan};
+pub use planner::{plan_assignment, CostProfile, ShardPlan, SweepAssignment};
 pub use runner::{run_grid, run_points, FigureSweep, CHECKPOINT_CHUNK};
 pub use shard::ShardSpec;

@@ -86,6 +86,13 @@ pub struct PointResult {
     pub bins: u64,
     /// Whether the solver's gap criterion was met.
     pub converged: bool,
+    /// Measured wall-clock solve cost in µs, read from the point's
+    /// `solver.solve` telemetry span by the checkpointing runner.
+    /// `None` when the point was solved without a checkpoint or read
+    /// from a duration-less (pre-cost-model) checkpoint. Never enters
+    /// the plan hash or the solved values — it exists for the
+    /// cost-weighted re-split planner alone.
+    pub solve_us: Option<f64>,
 }
 
 impl PointResult {
@@ -97,6 +104,7 @@ impl PointResult {
             iterations: solution.iterations as u64,
             bins: solution.bins as u64,
             converged: solution.converged,
+            solve_us: None,
         }
     }
 }
@@ -169,7 +177,7 @@ impl SweepPlan {
     }
 
     /// The lattice points owned by `shard`, in stable-index order.
-    pub fn points_for(&self, shard: ShardSpec) -> Vec<PointSpec> {
+    pub fn points_for(&self, shard: &ShardSpec) -> Vec<PointSpec> {
         (0..self.len())
             .filter(|&i| shard.owns(i))
             .map(|i| self.point(i))
@@ -340,7 +348,7 @@ mod tests {
             let mut seen = Vec::new();
             for index in 0..count {
                 let shard = ShardSpec::new(index, count).unwrap();
-                seen.extend(p.points_for(shard).iter().map(|pt| pt.index));
+                seen.extend(p.points_for(&shard).iter().map(|pt| pt.index));
             }
             seen.sort_unstable();
             assert_eq!(seen, all, "count={count}");
@@ -357,6 +365,7 @@ mod tests {
                 iterations: 1,
                 bins: 128,
                 converged: true,
+                solve_us: None,
             })
             .collect();
         let g = p.to_grid(&results);

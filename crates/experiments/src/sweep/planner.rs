@@ -1,0 +1,765 @@
+//! Cost-weighted re-split planning: turn measured per-point solve
+//! durations into an explicit shard assignment that balances predicted
+//! wall-clock instead of point count.
+//!
+//! Round-robin sharding balances *point counts*, which balances time
+//! only when every lattice point costs about the same. Deep-loss
+//! corners of a surface can be orders of magnitude slower than the
+//! rest, so a round-robin split leaves most hosts idle while one
+//! straggler finishes the expensive corner. The pieces here close that
+//! gap:
+//!
+//! * [`CostProfile`] — aggregates the `solve_us` durations recorded in
+//!   one or more prior checkpoint files (complete or partial — a
+//!   profiling pass killed early is fine) into a mean cost per
+//!   measured lattice point.
+//! * [`CostProfile::costs`] — extends the measured points to the full
+//!   lattice by wavefront neighbour interpolation: each unmeasured
+//!   point takes the mean of its already-costed lattice neighbours,
+//!   wave by wave, so cost estimates follow the smooth structure of
+//!   the surface. With no measurements at all, every point costs 1.0
+//!   and the planner degrades to a point-count balance.
+//! * [`plan_assignment`] — LPT (longest-processing-time-first) greedy
+//!   bin-packing of the costed points into `n` shards, compared
+//!   against the round-robin split on the same costs; whichever has
+//!   the smaller predicted makespan wins, so the emitted assignment is
+//!   **never worse than round-robin** on the recorded durations.
+//! * [`SweepAssignment`] — the serialized plan (one JSON object tied
+//!   to the plan hash) that the `sweep_plan` binary writes and the
+//!   figure binaries consume via `--assignment`, turning each shard
+//!   into the explicit owned-set form of [`ShardSpec`].
+//!
+//! Determinism matters as much here as in the solver: ties in the LPT
+//! order and in shard loads break toward the lower index, so the same
+//! checkpoints always produce byte-identical assignment files.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use lrd_obs::{parse_json, write_json_f64, write_json_string, Json};
+
+use crate::sweep::{read_checkpoint, ShardSpec, SweepError, SweepPlan};
+
+/// Mean measured solve cost per lattice point, aggregated from prior
+/// checkpoint files of the same plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostProfile {
+    /// Figure the checkpoints were solved for.
+    pub figure: String,
+    /// Plan hash every checkpoint agreed on.
+    pub plan_hash: String,
+    /// Profile tag every checkpoint agreed on.
+    pub profile: String,
+    /// Total lattice points of the plan (not just the measured ones).
+    pub total_points: usize,
+    /// Mean measured `solve_us` per point index. Sparse: points never
+    /// solved, or solved by a duration-less (pre-cost-model) run, are
+    /// absent and get interpolated by [`CostProfile::costs`].
+    measured: BTreeMap<usize, f64>,
+}
+
+impl CostProfile {
+    /// Builds a profile from checkpoint files.
+    ///
+    /// The files must agree on figure, plan hash, profile and lattice
+    /// size ([`SweepError::ManifestMismatch`] names the first
+    /// disagreeing field), but — unlike
+    /// [`merge_checkpoints`](crate::sweep::merge_checkpoints) — they
+    /// need not form a complete partition: a profiling pass killed
+    /// half-way, a single shard of many, or several repeated runs of
+    /// the same shard are all usable. A point measured more than once
+    /// contributes the mean of its durations.
+    pub fn from_checkpoints(paths: &[PathBuf]) -> Result<CostProfile, SweepError> {
+        let (first_path, rest) = paths.split_first().ok_or(SweepError::NoCheckpoints)?;
+        let first = read_checkpoint(first_path)?;
+        let reference = first.manifest.clone();
+
+        let mut sums: BTreeMap<usize, (f64, u32)> = BTreeMap::new();
+        let mut absorb = |path: &Path, ck: crate::sweep::Checkpoint| -> Result<(), SweepError> {
+            let m = &ck.manifest;
+            let mismatch = |field, expected: &dyn ToString, found: &dyn ToString| {
+                Err(SweepError::ManifestMismatch {
+                    path: path.to_path_buf(),
+                    field,
+                    expected: expected.to_string(),
+                    found: found.to_string(),
+                })
+            };
+            if m.figure != reference.figure {
+                return mismatch("figure", &reference.figure, &m.figure);
+            }
+            if m.plan_hash != reference.plan_hash {
+                return mismatch("plan_hash", &reference.plan_hash, &m.plan_hash);
+            }
+            if m.profile != reference.profile {
+                return mismatch("profile", &reference.profile, &m.profile);
+            }
+            if m.total_points != reference.total_points {
+                return mismatch("points", &reference.total_points, &m.total_points);
+            }
+            for point in &ck.points {
+                if point.index >= m.total_points {
+                    return Err(SweepError::ForeignPoint {
+                        path: path.to_path_buf(),
+                        index: point.index,
+                    });
+                }
+                if let Some(us) = point.solve_us {
+                    let slot = sums.entry(point.index).or_insert((0.0, 0));
+                    slot.0 += us;
+                    slot.1 += 1;
+                }
+            }
+            Ok(())
+        };
+
+        absorb(first_path, first)?;
+        for path in rest {
+            let ck = read_checkpoint(path)?;
+            absorb(path, ck)?;
+        }
+
+        Ok(CostProfile {
+            figure: reference.figure,
+            plan_hash: reference.plan_hash,
+            profile: reference.profile,
+            total_points: reference.total_points,
+            measured: sums
+                .into_iter()
+                .map(|(i, (sum, n))| (i, sum / n as f64))
+                .collect(),
+        })
+    }
+
+    /// How many lattice points carry a measured duration.
+    pub fn measured_points(&self) -> usize {
+        self.measured.len()
+    }
+
+    /// The full per-point cost vector: measured means where available,
+    /// wavefront neighbour interpolation elsewhere.
+    ///
+    /// Interpolation runs in waves over the lattice graph (points are
+    /// neighbours when they differ by one step along one axis): every
+    /// uncosted point adjacent to at least one costed point takes the
+    /// mean of its costed neighbours, then the wave advances. The
+    /// lattice is connected, so a single measured point is enough to
+    /// cost everything; with none, every point costs 1.0 (point-count
+    /// balancing).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::PlanHashMismatch`] when `plan` is not the plan the
+    /// profiled checkpoints were solved under.
+    pub fn costs(&self, plan: &SweepPlan) -> Result<Vec<f64>, SweepError> {
+        if plan.hash_hex() != self.plan_hash {
+            return Err(SweepError::PlanHashMismatch {
+                expected: plan.hash_hex(),
+                found: self.plan_hash.clone(),
+            });
+        }
+        let n = self.total_points;
+        let mut cost = vec![0.0f64; n];
+        let mut known = vec![false; n];
+        for (&i, &c) in &self.measured {
+            cost[i] = c;
+            known[i] = true;
+        }
+        if self.measured.is_empty() {
+            return Ok(vec![1.0; n]);
+        }
+
+        let dims: Vec<usize> = plan.axes.iter().map(|a| a.len()).collect();
+        loop {
+            let mut wave: Vec<(usize, f64)> = Vec::new();
+            for p in 0..n {
+                if known[p] {
+                    continue;
+                }
+                let mut sum = 0.0;
+                let mut count = 0u32;
+                for q in lattice_neighbours(p, &dims) {
+                    if known[q] {
+                        sum += cost[q];
+                        count += 1;
+                    }
+                }
+                if count > 0 {
+                    wave.push((p, sum / count as f64));
+                }
+            }
+            if wave.is_empty() {
+                break;
+            }
+            for (p, c) in wave {
+                cost[p] = c;
+                known[p] = true;
+            }
+        }
+        // The lattice graph is connected so the waves reach every
+        // point; the fallback guards a degenerate axis-less plan.
+        let mean = self.measured.values().sum::<f64>() / self.measured.len() as f64;
+        for p in 0..n {
+            if !known[p] {
+                cost[p] = mean;
+            }
+        }
+        Ok(cost)
+    }
+}
+
+/// Stable-index neighbours of point `p` in the row-major lattice with
+/// axis lengths `dims` (one step along one axis, in bounds).
+fn lattice_neighbours(p: usize, dims: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(2 * dims.len());
+    let mut stride = 1usize;
+    for &len in dims.iter().rev() {
+        let coord = (p / stride) % len;
+        if coord > 0 {
+            out.push(p - stride);
+        }
+        if coord + 1 < len {
+            out.push(p + stride);
+        }
+        stride *= len;
+    }
+    out
+}
+
+/// One shard of a planned assignment: its owned points and the
+/// predicted cost of solving them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// The owned point indices, sorted ascending.
+    pub points: Vec<usize>,
+    /// Predicted shard cost: the sum of the per-point cost estimates,
+    /// in the units of the profile (µs when measured, dimensionless
+    /// 1.0-per-point when unmeasured).
+    pub predicted_us: f64,
+}
+
+/// An explicit per-shard point assignment, tied to one plan.
+///
+/// Serialized as a single JSON object so a planning host can hand the
+/// file to every worker; each worker turns its row into the owned-set
+/// [`ShardSpec`] via [`SweepAssignment::shard_spec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAssignment {
+    /// Figure the assignment was planned for.
+    pub figure: String,
+    /// [`SweepPlan::hash_hex`] the costs were measured under; workers
+    /// and merge refuse an assignment whose hash disagrees with the
+    /// registry-rebuilt plan.
+    pub plan_hash: String,
+    /// Profile tag of the plan.
+    pub profile: String,
+    /// Total lattice points; the shards partition `0..total_points`.
+    pub total_points: usize,
+    /// One entry per shard, indexed by shard number.
+    pub shards: Vec<ShardPlan>,
+}
+
+impl SweepAssignment {
+    /// Predicted makespan: the cost of the most loaded shard.
+    pub fn makespan(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.predicted_us)
+            .fold(0.0, f64::max)
+    }
+
+    /// The owned-set [`ShardSpec`] for shard `index`, or `None` when
+    /// the index is out of range.
+    pub fn shard_spec(&self, index: u32) -> Option<ShardSpec> {
+        let points = self.shards.get(index as usize)?.points.clone();
+        ShardSpec::owned(index, self.shards.len() as u32, points)
+    }
+
+    /// Checks the assignment against the registry-rebuilt `plan`:
+    /// matching hash ([`SweepError::PlanHashMismatch`]) and an exact
+    /// partition of the lattice ([`SweepError::DuplicatePoint`] /
+    /// [`SweepError::MissingPoints`], attributed to `path`).
+    pub fn validate_against(&self, plan: &SweepPlan, path: &Path) -> Result<(), SweepError> {
+        if plan.hash_hex() != self.plan_hash {
+            return Err(SweepError::PlanHashMismatch {
+                expected: plan.hash_hex(),
+                found: self.plan_hash.clone(),
+            });
+        }
+        let mut seen = vec![false; self.total_points];
+        for shard in &self.shards {
+            for &p in &shard.points {
+                if p >= self.total_points {
+                    return Err(SweepError::ForeignPoint {
+                        path: path.to_path_buf(),
+                        index: p,
+                    });
+                }
+                if seen[p] {
+                    return Err(SweepError::DuplicatePoint {
+                        path: path.to_path_buf(),
+                        index: p,
+                    });
+                }
+                seen[p] = true;
+            }
+        }
+        let missing = seen.iter().filter(|&&s| !s).count();
+        if missing > 0 {
+            let first = seen.iter().position(|&s| !s).unwrap_or(0);
+            return Err(SweepError::MissingPoints { missing, first });
+        }
+        Ok(())
+    }
+
+    /// Renders the assignment as its single-line JSON form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"kind\":\"assignment\",\"figure\":");
+        write_json_string(&mut out, &self.figure);
+        out.push_str(",\"plan_hash\":");
+        write_json_string(&mut out, &self.plan_hash);
+        out.push_str(",\"profile\":");
+        write_json_string(&mut out, &self.profile);
+        out.push_str(&format!(",\"points\":{},\"shards\":[", self.total_points));
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"points\":[");
+            for (j, &p) in shard.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&p.to_string());
+            }
+            out.push_str("],\"predicted_us\":");
+            write_json_f64(&mut out, shard.predicted_us);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the JSON form (plus trailing newline) to `path`.
+    pub fn write(&self, path: &Path) -> Result<(), SweepError> {
+        std::fs::write(path, format!("{}\n", self.to_json())).map_err(|e| SweepError::io(path, &e))
+    }
+
+    /// Reads an assignment file written by [`SweepAssignment::write`].
+    pub fn read(path: &Path) -> Result<SweepAssignment, SweepError> {
+        let malformed = |reason: &str| SweepError::Malformed {
+            path: path.to_path_buf(),
+            line: 1,
+            reason: reason.to_string(),
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| SweepError::io(path, &e))?;
+        let doc = parse_json(text.trim_end_matches('\n'))
+            .map_err(|e| malformed(&e.to_string()))?;
+        if doc.get("kind").and_then(Json::as_str) != Some("assignment") {
+            return Err(malformed("not an assignment file"));
+        }
+        let str_field = |name: &str| -> Result<String, SweepError> {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| malformed(&format!("missing string field {name:?}")))
+        };
+        let shards = doc
+            .get("shards")
+            .and_then(Json::as_array)
+            .ok_or_else(|| malformed("missing \"shards\" array"))?
+            .iter()
+            .map(|s| -> Option<ShardPlan> {
+                let points = s
+                    .get("points")?
+                    .as_array()?
+                    .iter()
+                    .map(|v| v.as_u64().map(|p| p as usize))
+                    .collect::<Option<Vec<usize>>>()?;
+                Some(ShardPlan {
+                    points,
+                    predicted_us: s.get("predicted_us")?.as_num()?,
+                })
+            })
+            .collect::<Option<Vec<ShardPlan>>>()
+            .ok_or_else(|| malformed("unreadable shard entry"))?;
+        if shards.is_empty() {
+            return Err(malformed("assignment has no shards"));
+        }
+        Ok(SweepAssignment {
+            figure: str_field("figure")?,
+            plan_hash: str_field("plan_hash")?,
+            profile: str_field("profile")?,
+            total_points: doc
+                .get("points")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| malformed("missing integer field \"points\""))? as usize,
+            shards,
+        })
+    }
+}
+
+/// Greedy LPT bin-packing: points in descending cost order (ties to
+/// the lower index), each onto the currently least-loaded shard (ties
+/// to the lower shard).
+fn lpt_split(costs: &[f64], shard_count: u32) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .expect("costs are finite")
+            .then(a.cmp(&b))
+    });
+    let mut loads = vec![0.0f64; shard_count as usize];
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); shard_count as usize];
+    for &p in &order {
+        let best = (0..loads.len())
+            .min_by(|&i, &j| loads[i].partial_cmp(&loads[j]).unwrap().then(i.cmp(&j)))
+            .expect("shard_count >= 1");
+        sets[best].push(p);
+        loads[best] += costs[p];
+    }
+    for set in &mut sets {
+        set.sort_unstable();
+    }
+    sets
+}
+
+/// The round-robin point sets (`p % n == i`) — the split `--shard i/n`
+/// runs by default.
+fn round_robin_split(total_points: usize, shard_count: u32) -> Vec<Vec<usize>> {
+    (0..shard_count as usize)
+        .map(|i| (i..total_points).step_by(shard_count as usize).collect())
+        .collect()
+}
+
+fn split_makespan(sets: &[Vec<usize>], costs: &[f64]) -> f64 {
+    sets.iter()
+        .map(|set| set.iter().map(|&p| costs[p]).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Plans an explicit `shard_count`-way assignment of `plan`'s lattice
+/// weighted by `profile`'s measured costs.
+///
+/// The LPT packing is compared against the round-robin split on the
+/// same cost vector and the cheaper (smaller predicted makespan) of
+/// the two is emitted, so the result is never worse than what
+/// `--shard i/n` would have done — the planner can only help.
+///
+/// # Panics
+///
+/// Panics when `shard_count` is zero.
+pub fn plan_assignment(
+    plan: &SweepPlan,
+    profile: &CostProfile,
+    shard_count: u32,
+) -> Result<SweepAssignment, SweepError> {
+    assert!(shard_count > 0, "shard_count must be at least 1");
+    let costs = profile.costs(plan)?;
+    let lpt = lpt_split(&costs, shard_count);
+    let rr = round_robin_split(costs.len(), shard_count);
+    let sets = if split_makespan(&lpt, &costs) <= split_makespan(&rr, &costs) {
+        lpt
+    } else {
+        rr
+    };
+    Ok(SweepAssignment {
+        figure: profile.figure.clone(),
+        plan_hash: profile.plan_hash.clone(),
+        profile: profile.profile.clone(),
+        total_points: costs.len(),
+        shards: sets
+            .into_iter()
+            .map(|points| {
+                let predicted_us = points.iter().map(|&p| costs[p]).sum();
+                ShardPlan {
+                    points,
+                    predicted_us,
+                }
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Profile;
+    use crate::sweep::{manifest_line, point_line, Axis, PointResult};
+    use lrd_fluidq::SolverOptions;
+
+    fn plan() -> SweepPlan {
+        SweepPlan::grid_plan(
+            "demo",
+            Profile::Quick,
+            "loss_rate",
+            Axis::new("b", vec![0.1, 1.0]),
+            Axis::new("tc", vec![0.5, 5.0, f64::INFINITY]),
+            SolverOptions::sweep_profile(),
+        )
+    }
+
+    fn profile_with(plan: &SweepPlan, measured: &[(usize, f64)]) -> CostProfile {
+        CostProfile {
+            figure: plan.figure.clone(),
+            plan_hash: plan.hash_hex(),
+            profile: plan.profile.tag().to_string(),
+            total_points: plan.len(),
+            measured: measured.iter().copied().collect(),
+        }
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lrd-planner-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Writes a checkpoint for `shard` whose points carry the given
+    /// durations (`None` = duration-less line).
+    fn write_checkpoint(
+        plan: &SweepPlan,
+        shard: &ShardSpec,
+        durations: &[(usize, Option<f64>)],
+        path: &Path,
+    ) {
+        let mut text = manifest_line(plan, shard);
+        text.push('\n');
+        for &(index, solve_us) in durations {
+            let result = PointResult {
+                index,
+                value: index as f64 * 0.5,
+                iterations: 7,
+                bins: 128,
+                converged: true,
+                solve_us,
+            };
+            text.push_str(&point_line(&plan.point(index).coords, &result));
+            text.push('\n');
+        }
+        std::fs::write(path, text).unwrap();
+    }
+
+    #[test]
+    fn profile_aggregates_means_across_checkpoints() {
+        let p = plan();
+        let dir = tmpdir("aggregate");
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        write_checkpoint(
+            &p,
+            &ShardSpec::new(0, 2).unwrap(),
+            &[(0, Some(100.0)), (2, Some(30.0)), (4, None)],
+            &a,
+        );
+        // A second profiling pass re-measured point 0.
+        write_checkpoint(&p, &ShardSpec::new(0, 2).unwrap(), &[(0, Some(300.0))], &b);
+
+        let profile = CostProfile::from_checkpoints(&[a, b]).unwrap();
+        assert_eq!(profile.total_points, 6);
+        assert_eq!(profile.measured_points(), 2);
+        assert_eq!(profile.measured.get(&0), Some(&200.0));
+        assert_eq!(profile.measured.get(&2), Some(&30.0));
+        // The duration-less point contributes nothing.
+        assert_eq!(profile.measured.get(&4), None);
+    }
+
+    #[test]
+    fn profile_rejects_mixed_plans_but_accepts_partial_coverage() {
+        let p = plan();
+        let dir = tmpdir("mixed");
+        let a = dir.join("a.jsonl");
+        write_checkpoint(&p, &ShardSpec::new(0, 3).unwrap(), &[(0, Some(10.0))], &a);
+
+        // Partial coverage (one shard of three, two points unsolved) is
+        // exactly the profiling-pass use case.
+        assert!(CostProfile::from_checkpoints(std::slice::from_ref(&a)).is_ok());
+
+        let mut other = plan();
+        other.axes[0].values[0] = 0.7;
+        let b = dir.join("b.jsonl");
+        write_checkpoint(&other, &ShardSpec::FULL, &[(1, Some(5.0))], &b);
+        assert!(matches!(
+            CostProfile::from_checkpoints(&[a, b]).unwrap_err(),
+            SweepError::ManifestMismatch {
+                field: "plan_hash",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn interpolation_fills_unmeasured_neighbours_wave_by_wave() {
+        let p = plan(); // 2x3 lattice, indices 0..6
+        let profile = profile_with(&p, &[(0, 90.0)]);
+        let costs = profile.costs(&p).unwrap();
+        // Wave 1: neighbours of 0 (point 1 across, point 3 down).
+        assert_eq!(costs[0], 90.0);
+        assert_eq!(costs[1], 90.0);
+        assert_eq!(costs[3], 90.0);
+        // Later waves inherit through the lattice; everything costed.
+        assert!(costs.iter().all(|&c| c == 90.0));
+
+        // Two measured corners: the middle of the top row averages
+        // them on the first wave.
+        let profile = profile_with(&p, &[(0, 10.0), (2, 30.0)]);
+        let costs = profile.costs(&p).unwrap();
+        assert_eq!(costs[1], 20.0);
+
+        // No measurements at all: uniform unit costs.
+        let profile = profile_with(&p, &[]);
+        assert_eq!(profile.costs(&p).unwrap(), vec![1.0; 6]);
+
+        // Wrong plan: typed hash mismatch.
+        let mut other = plan();
+        other.figure = "other".into();
+        assert!(matches!(
+            profile.costs(&other).unwrap_err(),
+            SweepError::PlanHashMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn lattice_neighbours_respect_bounds() {
+        // 2x3 lattice: index 0 = (0,0), 5 = (1,2).
+        let dims = [2, 3];
+        let sorted = |mut v: Vec<usize>| {
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(lattice_neighbours(0, &dims)), vec![1, 3]);
+        assert_eq!(sorted(lattice_neighbours(1, &dims)), vec![0, 2, 4]);
+        assert_eq!(sorted(lattice_neighbours(5, &dims)), vec![2, 4]);
+    }
+
+    #[test]
+    fn lpt_pins_the_skewed_vector() {
+        // One dominant point: LPT isolates it; round-robin would lump
+        // it with two others.
+        let p = plan();
+        let profile = profile_with(
+            &p,
+            &[
+                (0, 100.0),
+                (1, 10.0),
+                (2, 10.0),
+                (3, 10.0),
+                (4, 10.0),
+                (5, 10.0),
+            ],
+        );
+        let assignment = plan_assignment(&p, &profile, 2).unwrap();
+        assert_eq!(assignment.shards[0].points, vec![0]);
+        assert_eq!(assignment.shards[1].points, vec![1, 2, 3, 4, 5]);
+        assert_eq!(assignment.shards[0].predicted_us, 100.0);
+        assert_eq!(assignment.shards[1].predicted_us, 50.0);
+        assert_eq!(assignment.makespan(), 100.0);
+
+        // Round-robin on the same costs: shard 0 = {0,2,4} = 120.
+        let rr = round_robin_split(6, 2);
+        let costs = profile.costs(&p).unwrap();
+        assert_eq!(split_makespan(&rr, &costs), 120.0);
+    }
+
+    #[test]
+    fn assignment_is_never_worse_than_round_robin() {
+        let p = plan();
+        use lrd_rng::rngs::SmallRng;
+        use lrd_rng::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x10ad_ba1a);
+        for trial in 0..50 {
+            let mut measured: Vec<(usize, f64)> = Vec::new();
+            for i in 0..p.len() {
+                if rng.gen_bool(0.7) {
+                    measured.push((i, rng.gen_range(1.0..1e4)));
+                }
+            }
+            let profile = profile_with(&p, &measured);
+            let costs = profile.costs(&p).unwrap();
+            for shards in [1u32, 2, 3, 4] {
+                let assignment = plan_assignment(&p, &profile, shards).unwrap();
+                let rr = split_makespan(&round_robin_split(p.len(), shards), &costs);
+                assert!(
+                    assignment.makespan() <= rr,
+                    "trial {trial}, {shards} shards: {} > {rr}",
+                    assignment.makespan()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_round_trips_and_validates() {
+        let p = plan();
+        let profile = profile_with(&p, &[(0, 40.0), (5, 4.0)]);
+        let assignment = plan_assignment(&p, &profile, 3).unwrap();
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("assignment.json");
+        assignment.write(&path).unwrap();
+        let back = SweepAssignment::read(&path).unwrap();
+        assert_eq!(back, assignment);
+        back.validate_against(&p, &path).unwrap();
+
+        // Every shard materialises as an owned-set ShardSpec and the
+        // set of specs partitions the lattice.
+        let mut owners = vec![0u32; p.len()];
+        for i in 0..3u32 {
+            let spec = back.shard_spec(i).unwrap();
+            assert!(spec.is_explicit());
+            for (point, count) in owners.iter_mut().enumerate() {
+                if spec.owns(point) {
+                    *count += 1;
+                }
+            }
+        }
+        assert_eq!(owners, vec![1; p.len()]);
+
+        // Tampered partitions are rejected with typed errors.
+        let mut dup = back.clone();
+        dup.shards[0].points = dup.shards[1].points.clone();
+        match dup.validate_against(&p, &path).unwrap_err() {
+            SweepError::DuplicatePoint { .. } | SweepError::MissingPoints { .. } => {}
+            other => panic!("expected partition error, got {other:?}"),
+        }
+        let mut gap = back.clone();
+        let removed = gap.shards.iter_mut().find(|s| !s.points.is_empty()).unwrap();
+        removed.points.pop();
+        assert!(matches!(
+            gap.validate_against(&p, &path).unwrap_err(),
+            SweepError::MissingPoints { missing: 1, .. }
+        ));
+        let mut stale = back;
+        stale.plan_hash = "0000000000000000".into();
+        assert!(matches!(
+            stale.validate_against(&p, &path).unwrap_err(),
+            SweepError::PlanHashMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn end_to_end_from_real_checkpoints() {
+        // Profile a partial round-robin pass, plan a 2-way re-split,
+        // and check the re-split beats round-robin on the recorded
+        // durations (the acceptance criterion of the cost model).
+        let p = plan();
+        let dir = tmpdir("endtoend");
+        let a = dir.join("profiling.jsonl");
+        // Point 2 is the expensive corner; points 0 and 4 are cheap.
+        write_checkpoint(
+            &p,
+            &ShardSpec::new(0, 2).unwrap(),
+            &[(0, Some(5.0)), (2, Some(400.0)), (4, Some(5.0))],
+            &a,
+        );
+        let profile = CostProfile::from_checkpoints(std::slice::from_ref(&a)).unwrap();
+        let assignment = plan_assignment(&p, &profile, 2).unwrap();
+        let costs = profile.costs(&p).unwrap();
+        let rr = split_makespan(&round_robin_split(p.len(), 2), &costs);
+        assert!(assignment.makespan() <= rr);
+        assignment
+            .validate_against(&p, &dir.join("assignment.json"))
+            .unwrap();
+    }
+}

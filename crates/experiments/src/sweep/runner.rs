@@ -74,7 +74,7 @@ fn validate_resume(
         return Err(mismatch(path, "profile", &expected.profile, &m.profile));
     }
     if m.shard != expected.shard {
-        return Err(mismatch(path, "shard", expected.shard, m.shard));
+        return Err(mismatch(path, "shard", &expected.shard, &m.shard));
     }
     if m.total_points != expected.total_points {
         return Err(mismatch(path, "points", expected.total_points, m.total_points));
@@ -97,23 +97,40 @@ fn validate_resume(
     Ok(())
 }
 
+/// Solves one point while watching its `solver.solve` telemetry span,
+/// stamping the summed span duration into the result. No new
+/// stopwatch: the timing is the one the solver's own span already
+/// measures, captured thread-locally (so it composes with `par_map`
+/// workers and any installed telemetry sink). Durations feed the
+/// cost-weighted re-split planner only — they never influence the
+/// solved values.
+fn solve_timed(sweep: &FigureSweep<'_>, spec: &PointSpec) -> PointResult {
+    let (mut result, dur) = lrd_obs::watch_span("solver.solve", || (sweep.solve)(spec));
+    result.solve_us = dur;
+    result
+}
+
 /// Runs `shard` of the sweep, returning its results in stable-index
 /// order.
 ///
 /// Without a checkpoint the shard's points fan through
 /// [`lrd_pool::par_map`] in one batch. With one, completed points are
 /// appended to `checkpoint` in [`CHECKPOINT_CHUNK`]-sized batches as
-/// they finish, and a pre-existing file from an interrupted run is
-/// **resumed**: its manifest is validated against the plan (figure,
-/// plan hash, profile, shard, lattice size — any disagreement is a
-/// typed [`SweepError::ManifestMismatch`]), its intact points are kept
-/// without re-solving, and a torn final line from a mid-write kill is
-/// dropped and re-solved. Results are bit-identical whether a shard
-/// ran straight through, was killed and resumed, or never
-/// checkpointed at all.
+/// they finish — each point line carrying its measured `solver.solve`
+/// duration for the re-split planner — and a pre-existing file from an
+/// interrupted run is **resumed**: its manifest is validated against
+/// the plan (figure, plan hash, profile, shard, lattice size — any
+/// disagreement is a typed [`SweepError::ManifestMismatch`]), its
+/// intact points are kept without re-solving, and a torn final line
+/// from a mid-write kill is dropped and re-solved. A file whose
+/// *manifest* line is torn (the producer was killed before its first
+/// flush, so the file holds no solved work) is discarded with a
+/// warning and the shard starts fresh. Solved values are bit-identical
+/// whether a shard ran straight through, was killed and resumed, or
+/// never checkpointed at all.
 pub fn run_points(
     sweep: &FigureSweep<'_>,
-    shard: ShardSpec,
+    shard: &ShardSpec,
     checkpoint: Option<&Path>,
 ) -> Result<Vec<PointResult>, SweepError> {
     let owned = sweep.plan.points_for(shard);
@@ -124,24 +141,49 @@ pub fn run_points(
 
     let expected = Manifest::new(&sweep.plan, shard);
     let mut done: BTreeMap<usize, PointResult> = BTreeMap::new();
-    if path.exists() {
-        let ck = read_checkpoint(path)?;
-        validate_resume(path, &ck, &expected)?;
-        if ck.truncated_tail {
-            // Rewrite the file without the torn line so appends start
-            // on a clean boundary.
-            let mut text = manifest_line(&sweep.plan, shard);
-            text.push('\n');
-            for point in &ck.points {
-                text.push_str(&point_line(&sweep.plan.point(point.index).coords, point));
-                text.push('\n');
+    let mut fresh = !path.exists();
+    if !fresh {
+        match read_checkpoint(path) {
+            Ok(ck) => {
+                validate_resume(path, &ck, &expected)?;
+                if ck.truncated_tail {
+                    // Rewrite the file without the torn line so appends
+                    // start on a clean boundary.
+                    let mut text = manifest_line(&sweep.plan, shard);
+                    text.push('\n');
+                    for point in &ck.points {
+                        text.push_str(&point_line(
+                            &sweep.plan.point(point.index).coords,
+                            point,
+                        ));
+                        text.push('\n');
+                    }
+                    std::fs::write(path, text).map_err(|e| SweepError::io(path, &e))?;
+                }
+                for point in ck.points {
+                    done.insert(point.index, point);
+                }
             }
-            std::fs::write(path, text).map_err(|e| SweepError::io(path, &e))?;
+            Err(SweepError::TornManifest { .. }) => {
+                // Killed before the first flush: the file records no
+                // solved work, so losing it loses nothing. Warn and
+                // start the shard from scratch.
+                eprintln!(
+                    "warning: {}: checkpoint manifest line is torn (previous run was \
+                     killed before its first flush); discarding and starting fresh",
+                    path.display()
+                );
+                lrd_obs::event!(
+                    "sweep.torn_manifest_discarded",
+                    path = path.display().to_string(),
+                );
+                std::fs::remove_file(path).map_err(|e| SweepError::io(path, &e))?;
+                fresh = true;
+            }
+            Err(e) => return Err(e),
         }
-        for point in ck.points {
-            done.insert(point.index, point);
-        }
-    } else {
+    }
+    if fresh {
         let mut text = manifest_line(&sweep.plan, shard);
         text.push('\n');
         std::fs::write(path, text).map_err(|e| SweepError::io(path, &e))?;
@@ -157,7 +199,7 @@ pub fn run_points(
         .open(path)
         .map_err(|e| SweepError::io(path, &e))?;
     for chunk in remaining.chunks(CHECKPOINT_CHUNK) {
-        let results = lrd_pool::par_map(chunk, |spec| (sweep.solve)(spec));
+        let results = lrd_pool::par_map(chunk, |spec| solve_timed(sweep, spec));
         let mut text = String::new();
         for (spec, result) in chunk.iter().zip(&results) {
             debug_assert_eq!(spec.index, result.index, "solve must preserve the index");
@@ -178,7 +220,7 @@ pub fn run_points(
 /// surface — the path every in-process figure call takes.
 pub fn run_grid(sweep: &FigureSweep<'_>) -> Grid {
     let results =
-        run_points(sweep, ShardSpec::FULL, None).expect("uncheckpointed run cannot fail on I/O");
+        run_points(sweep, &ShardSpec::FULL, None).expect("uncheckpointed run cannot fail on I/O");
     sweep.plan.to_grid(&results)
 }
 
@@ -207,6 +249,7 @@ mod tests {
                 iterations: 5,
                 bins: 128,
                 converged: true,
+                solve_us: None,
             }),
         }
     }
@@ -229,10 +272,10 @@ mod tests {
     fn checkpointed_shard_matches_plain_run_bitwise() {
         let s = sweep();
         let shard = ShardSpec::new(1, 2).unwrap();
-        let plain = run_points(&s, shard, None).unwrap();
+        let plain = run_points(&s, &shard, None).unwrap();
         let path = tmp("bitwise");
         let _ = std::fs::remove_file(&path);
-        let checkpointed = run_points(&s, shard, Some(&path)).unwrap();
+        let checkpointed = run_points(&s, &shard, Some(&path)).unwrap();
         assert_eq!(plain.len(), checkpointed.len());
         for (a, b) in plain.iter().zip(&checkpointed) {
             assert_eq!(a.index, b.index);
@@ -240,8 +283,77 @@ mod tests {
         }
         // Re-running over the finished checkpoint solves nothing and
         // returns the identical surface.
-        let again = run_points(&s, shard, Some(&path)).unwrap();
+        let again = run_points(&s, &shard, Some(&path)).unwrap();
         assert_eq!(checkpointed, again);
+    }
+
+    #[test]
+    fn explicit_shard_solves_exactly_its_owned_points() {
+        let s = sweep();
+        let shard = ShardSpec::owned(0, 2, vec![7, 2, 4]).unwrap();
+        let path = tmp("explicit");
+        let _ = std::fs::remove_file(&path);
+        let results = run_points(&s, &shard, Some(&path)).unwrap();
+        assert_eq!(
+            results.iter().map(|r| r.index).collect::<Vec<_>>(),
+            vec![2, 4, 7]
+        );
+        // The owned set survives the checkpoint round trip, so a
+        // resume validates against the same ownership.
+        let again = run_points(&s, &shard, Some(&path)).unwrap();
+        assert_eq!(results, again);
+    }
+
+    #[test]
+    fn checkpointed_run_records_solver_span_durations() {
+        let plan = sweep().plan;
+        let spanning = FigureSweep {
+            plan: plan.clone(),
+            solve: Box::new(move |spec: &PointSpec| {
+                let _span = lrd_obs::span!("solver.solve");
+                PointResult {
+                    index: spec.index,
+                    value: spec.index as f64,
+                    iterations: 1,
+                    bins: 128,
+                    converged: true,
+                    solve_us: None,
+                }
+            }),
+        };
+        // Uncheckpointed: no watcher, durations stay None.
+        let plain = run_points(&spanning, &ShardSpec::FULL, None).unwrap();
+        assert!(plain.iter().all(|r| r.solve_us.is_none()));
+        // Checkpointed: every point carries its measured span duration.
+        let path = tmp("durations");
+        let _ = std::fs::remove_file(&path);
+        let timed = run_points(&spanning, &ShardSpec::FULL, Some(&path)).unwrap();
+        assert!(timed.iter().all(|r| r.solve_us.is_some_and(|d| d >= 0.0)));
+        // …and the values are unchanged by the timing.
+        for (a, b) in plain.iter().zip(&timed) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn torn_manifest_checkpoint_is_discarded_and_rerun_fresh() {
+        let s = sweep();
+        let path = tmp("torn-manifest");
+        let _ = std::fs::remove_file(&path);
+        // A process killed before its first flush leaves a prefix of
+        // the manifest line with no newline.
+        let manifest = manifest_line(&s.plan, &ShardSpec::FULL);
+        std::fs::write(&path, &manifest[..manifest.len() / 2]).unwrap();
+
+        let recovered = run_points(&s, &ShardSpec::FULL, Some(&path)).unwrap();
+        let reference = run_points(&s, &ShardSpec::FULL, None).unwrap();
+        assert_eq!(recovered.len(), reference.len());
+        for (a, b) in reference.iter().zip(&recovered) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+        // The rewritten file is a valid, complete checkpoint now.
+        let again = run_points(&s, &ShardSpec::FULL, Some(&path)).unwrap();
+        assert_eq!(recovered, again);
     }
 
     #[test]
@@ -260,8 +372,8 @@ mod tests {
 
         // Simulate an interrupted run: manifest plus the first two
         // solved points, with the second line torn mid-write.
-        let full = run_points(&base, ShardSpec::FULL, None).unwrap();
-        let mut text = manifest_line(&base.plan, ShardSpec::FULL);
+        let full = run_points(&base, &ShardSpec::FULL, None).unwrap();
+        let mut text = manifest_line(&base.plan, &ShardSpec::FULL);
         text.push('\n');
         text.push_str(&point_line(&base.plan.point(0).coords, &full[0]));
         text.push('\n');
@@ -269,7 +381,7 @@ mod tests {
         text.push_str(&torn[..torn.len() - 5]);
         std::fs::write(&path, text).unwrap();
 
-        let resumed = run_points(&counting, ShardSpec::FULL, Some(&path)).unwrap();
+        let resumed = run_points(&counting, &ShardSpec::FULL, Some(&path)).unwrap();
         // Point 0 was kept; the torn point 1 and the remaining 7 were
         // re-solved.
         assert_eq!(calls.load(Ordering::SeqCst), base.plan.len() - 1);
@@ -284,10 +396,10 @@ mod tests {
         let s = sweep();
         let path = tmp("reject");
         let _ = std::fs::remove_file(&path);
-        run_points(&s, ShardSpec::FULL, Some(&path)).unwrap();
+        run_points(&s, &ShardSpec::FULL, Some(&path)).unwrap();
 
         // Same file, different declared shard.
-        let err = run_points(&s, ShardSpec::new(0, 2).unwrap(), Some(&path)).unwrap_err();
+        let err = run_points(&s, &ShardSpec::new(0, 2).unwrap(), Some(&path)).unwrap_err();
         assert!(matches!(
             err,
             SweepError::ManifestMismatch { field: "shard", .. }
@@ -296,7 +408,7 @@ mod tests {
         // Same shard, different plan (axis value changed → new hash).
         let mut other = sweep();
         other.plan.axes[0].values[0] = 0.2;
-        let err = run_points(&other, ShardSpec::FULL, Some(&path)).unwrap_err();
+        let err = run_points(&other, &ShardSpec::FULL, Some(&path)).unwrap_err();
         assert!(matches!(
             err,
             SweepError::ManifestMismatch {
@@ -307,12 +419,12 @@ mod tests {
 
         // A point the declared shard does not own.
         let shard = ShardSpec::new(0, 3).unwrap();
-        let mut text = manifest_line(&s.plan, shard);
+        let mut text = manifest_line(&s.plan, &shard);
         text.push('\n');
         text.push_str(&point_line(&s.plan.point(1).coords, &(s.solve)(&s.plan.point(1))));
         text.push('\n');
         std::fs::write(&path, text).unwrap();
-        let err = run_points(&s, shard, Some(&path)).unwrap_err();
+        let err = run_points(&s, &shard, Some(&path)).unwrap_err();
         assert!(matches!(err, SweepError::ForeignPoint { index: 1, .. }));
     }
 }

@@ -1,54 +1,117 @@
-//! Round-robin lattice partitioning for multi-host sweeps.
+//! Lattice partitioning for multi-host sweeps: round-robin by default,
+//! explicit owned-point sets when a cost-weighted re-split planned by
+//! [`sweep_plan`](crate::sweep::planner) is in force.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// One shard of an `n`-way sweep partition: `--shard i/n`.
 ///
-/// Shard `i` owns every lattice point whose stable index `p` satisfies
-/// `p % n == i`. Round-robin (rather than contiguous blocks) spreads
-/// the expensive deep-loss corner of a surface across all shards, so
-/// wall-clock balances without any cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// In the default **round-robin** form, shard `i` owns every lattice
+/// point whose stable index `p` satisfies `p % n == i`. Round-robin
+/// (rather than contiguous blocks) spreads the expensive deep-loss
+/// corner of a surface across all shards, so wall-clock balances
+/// without any cost model — on a *homogeneous* fleet.
+///
+/// The **owned-set** form ([`ShardSpec::owned`]) instead carries an
+/// explicit sorted list of the point indices this shard solves. It is
+/// produced by the cost-weighted planner from measured per-point
+/// durations, so heterogeneous fleets and skewed surfaces balance on
+/// predicted makespan rather than point count.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardSpec {
     /// Zero-based shard index, `< count`.
     pub index: u32,
     /// Total number of shards, `>= 1`.
     pub count: u32,
+    /// Explicit owned point set (sorted, duplicate-free), or `None`
+    /// for round-robin ownership.
+    owned: Option<Arc<[usize]>>,
 }
 
 impl ShardSpec {
-    /// The trivial partition: one shard owning every point.
-    pub const FULL: ShardSpec = ShardSpec { index: 0, count: 1 };
+    /// The trivial partition: one round-robin shard owning every point.
+    pub const FULL: ShardSpec = ShardSpec {
+        index: 0,
+        count: 1,
+        owned: None,
+    };
 
-    /// A validated shard; `None` when `count == 0` or
+    /// A validated round-robin shard; `None` when `count == 0` or
     /// `index >= count`.
     pub fn new(index: u32, count: u32) -> Option<ShardSpec> {
         if count == 0 || index >= count {
             return None;
         }
-        Some(ShardSpec { index, count })
+        Some(ShardSpec {
+            index,
+            count,
+            owned: None,
+        })
+    }
+
+    /// A validated explicit-assignment shard owning exactly `points`
+    /// (any order; deduplicated ownership is required). `None` when the
+    /// index/count pair is invalid or `points` contains a duplicate.
+    pub fn owned(index: u32, count: u32, mut points: Vec<usize>) -> Option<ShardSpec> {
+        if count == 0 || index >= count {
+            return None;
+        }
+        points.sort_unstable();
+        if points.windows(2).any(|w| w[0] == w[1]) {
+            return None;
+        }
+        Some(ShardSpec {
+            index,
+            count,
+            owned: Some(points.into()),
+        })
     }
 
     /// Parses the CLI form `"i/n"` (e.g. `"0/2"`).
+    ///
+    /// Only strings that round-trip through [`Display`](fmt::Display)
+    /// are accepted: `u32::from_str` tolerates a leading `+` (and we
+    /// would otherwise inherit leading zeros and stray whitespace), but
+    /// a shard spec that renders differently from what was typed is a
+    /// recipe for mismatched checkpoint names across hosts.
     pub fn parse(s: &str) -> Option<ShardSpec> {
         let (i, n) = s.split_once('/')?;
-        ShardSpec::new(i.trim().parse().ok()?, n.trim().parse().ok()?)
+        let spec = ShardSpec::new(i.parse().ok()?, n.parse().ok()?)?;
+        (spec.to_string() == s).then_some(spec)
     }
 
     /// Whether this shard owns lattice point `point_index`.
-    pub fn owns(self, point_index: usize) -> bool {
-        point_index % self.count as usize == self.index as usize
+    pub fn owns(&self, point_index: usize) -> bool {
+        match &self.owned {
+            Some(points) => points.binary_search(&point_index).is_ok(),
+            None => point_index % self.count as usize == self.index as usize,
+        }
     }
 
-    /// Whether this is the trivial single-shard partition.
-    pub fn is_full(self) -> bool {
-        self.count == 1
+    /// The explicit owned point set, when this is an owned-set shard.
+    pub fn owned_points(&self) -> Option<&[usize]> {
+        self.owned.as_deref()
+    }
+
+    /// Whether this shard carries an explicit owned-set assignment.
+    pub fn is_explicit(&self) -> bool {
+        self.owned.is_some()
+    }
+
+    /// Whether this is the trivial single-shard round-robin partition.
+    pub fn is_full(&self) -> bool {
+        self.count == 1 && self.owned.is_none()
     }
 }
 
 impl fmt::Display for ShardSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}", self.index, self.count)
+        write!(f, "{}/{}", self.index, self.count)?;
+        if let Some(points) = &self.owned {
+            write!(f, " (explicit, {} points)", points.len())?;
+        }
+        Ok(())
     }
 }
 
@@ -62,7 +125,13 @@ mod tests {
         assert_eq!((s.index, s.count), (1, 3));
         assert_eq!(s.to_string(), "1/3");
         assert_eq!(ShardSpec::parse("0/1"), Some(ShardSpec::FULL));
-        for bad in ["", "1", "3/3", "4/3", "1/0", "-1/3", "a/b", "1/3/5"] {
+        assert_eq!(ShardSpec::parse("10/12").unwrap().to_string(), "10/12");
+        for bad in [
+            "", "1", "3/3", "4/3", "1/0", "-1/3", "a/b", "1/3/5",
+            // Signed and otherwise non-round-tripping forms that
+            // u32::from_str alone would tolerate.
+            "+1/3", "1/+3", "+0/1", "01/3", "1/03", "00/1", " 1/3", "1/3 ", "1 /3", "1/ 3",
+        ] {
             assert_eq!(ShardSpec::parse(bad), None, "{bad:?}");
         }
     }
@@ -81,5 +150,28 @@ mod tests {
         assert!(ShardSpec::FULL.owns(0) && ShardSpec::FULL.owns(17));
         assert!(ShardSpec::FULL.is_full());
         assert!(!shards[1].is_full());
+        assert!(!shards[1].is_explicit());
+    }
+
+    #[test]
+    fn owned_set_ownership() {
+        let s = ShardSpec::owned(1, 2, vec![5, 0, 3]).unwrap();
+        assert!(s.is_explicit());
+        assert!(!s.is_full());
+        assert_eq!(s.owned_points(), Some(&[0, 3, 5][..]));
+        for p in 0..8 {
+            assert_eq!(s.owns(p), [0, 3, 5].contains(&p), "point {p}");
+        }
+        assert_eq!(s.to_string(), "1/2 (explicit, 3 points)");
+
+        // Validation mirrors the round-robin constructor, plus
+        // duplicate rejection.
+        assert_eq!(ShardSpec::owned(2, 2, vec![0]), None);
+        assert_eq!(ShardSpec::owned(0, 0, vec![0]), None);
+        assert_eq!(ShardSpec::owned(0, 2, vec![1, 1]), None);
+        // The empty set is a valid assignment (a host the planner
+        // decided to leave idle).
+        let empty = ShardSpec::owned(0, 2, Vec::new()).unwrap();
+        assert!(!empty.owns(0));
     }
 }

@@ -437,9 +437,59 @@ impl Drop for Span {
                 name: inner.name,
                 fields: inner.fields,
             };
+            feed_span_watch(&record);
             with_subscriber(|s| s.span_end(&record));
         }
     }
+}
+
+// ------------------------------------------------------------ span watch
+
+thread_local! {
+    /// The active [`watch_span`] frame on this thread: the watched span
+    /// name and the accumulated duration of matching spans so far.
+    static SPAN_WATCH: std::cell::Cell<Option<(&'static str, Option<f64>)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Whether a [`watch_span`] frame on this thread wants spans named
+/// `name`. Checked by [`span!`] so watched spans record even when no
+/// global subscriber is installed; a single thread-local read when
+/// telemetry is otherwise off.
+pub fn span_watched(name: &'static str) -> bool {
+    SPAN_WATCH.with(|w| matches!(w.get(), Some((n, _)) if n == name))
+}
+
+fn feed_span_watch(record: &SpanRecord) {
+    SPAN_WATCH.with(|w| {
+        if let Some((name, total)) = w.get() {
+            if name == record.name {
+                w.set(Some((name, Some(total.unwrap_or(0.0) + record.dur_us))));
+            }
+        }
+    });
+}
+
+/// Runs `f` while watching for spans named `name` **on this thread**,
+/// returning `f`'s result and the summed duration (µs) of every
+/// matching span that ended during the call — `None` when no such span
+/// ended.
+///
+/// This is how a caller reads the timing a callee's own telemetry span
+/// already measures, without installing a subscriber and without a
+/// second stopwatch: the sweep runner wraps each point solve in
+/// `watch_span("solver.solve", …)` and records the duration into the
+/// checkpoint. Watching is independent of the global subscriber — a
+/// watched span still dispatches to any installed sink, and when none
+/// is installed the span records for the watcher alone. Frames do not
+/// nest: an inner `watch_span` on the same thread replaces the outer
+/// frame for its duration, and the outer frame resumes (duration
+/// already accumulated) when the inner returns.
+pub fn watch_span<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, Option<f64>) {
+    let previous = SPAN_WATCH.with(|w| w.replace(Some((name, None))));
+    let result = f();
+    let captured = SPAN_WATCH.with(|w| w.replace(previous));
+    (result, captured.and_then(|(_, total)| total))
 }
 
 /// Starts a [`Span`] with typed fields, skipping all work when
@@ -452,13 +502,14 @@ impl Drop for Span {
 /// ```
 #[macro_export]
 macro_rules! span {
-    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
-        if $crate::enabled() {
-            $crate::Span::new($name, vec![$((stringify!($key), $crate::Value::from($val))),*])
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        let name = $name;
+        if $crate::enabled() || $crate::span_watched(name) {
+            $crate::Span::new(name, vec![$((stringify!($key), $crate::Value::from($val))),*])
         } else {
             $crate::Span::disabled()
         }
-    };
+    }};
 }
 
 /// Emits a point-in-time event with typed fields, skipping field
@@ -583,6 +634,48 @@ mod tests {
         assert_eq!(Value::from(String::from("t")).as_str(), Some("t"));
         assert_eq!(Value::from(true).as_bool(), Some(true));
         assert_eq!(Value::from(7u32).as_u64(), Some(7));
+    }
+
+    #[test]
+    fn watch_span_times_without_a_subscriber() {
+        let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        assert!(!enabled());
+        // Watched spans record even though telemetry is globally off…
+        let ((), dur) = watch_span("watched.work", || {
+            let _span = span!("watched.work", size = 1u64);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        assert!(dur.unwrap() >= 1e3, "slept 2 ms but watched {dur:?} µs");
+        // …other spans and a watch-free call record nothing.
+        let ((), dur) = watch_span("watched.work", || {
+            let _span = span!("other.work");
+        });
+        assert_eq!(dur, None);
+        let span = span!("watched.work");
+        assert!(!span.is_recording(), "watch must not outlive its frame");
+    }
+
+    #[test]
+    fn watch_span_sums_matching_spans_and_coexists_with_sinks() {
+        let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let collector = Arc::new(CollectingSubscriber::new());
+        let _guard = install(collector.clone());
+        let ((), dur) = watch_span("w.sum", || {
+            for _ in 0..3 {
+                let _span = span!("w.sum");
+            }
+        });
+        let spans = collector.spans("w.sum");
+        assert_eq!(spans.len(), 3, "watched spans still reach the sink");
+        let total: f64 = spans
+            .iter()
+            .map(|r| match r {
+                Record::Span { dur_us, .. } => *dur_us,
+                _ => 0.0,
+            })
+            .sum();
+        assert_eq!(dur, Some(total), "watch must sum every matching span");
     }
 
     #[test]

@@ -59,4 +59,23 @@ LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
     > "$smokedir/fig04_merged.csv"
 diff -u "$smokedir/fig04_full.csv" "$smokedir/fig04_merged.csv"
 
+echo "=== plan smoke (cost-weighted re-split reproduces the surface) ==="
+# The shard smoke's checkpoints recorded per-point solve_us durations;
+# feed them to the planner, re-run the sweep under the explicit
+# assignment it emits, and the merged figure must still be byte-exact.
+cargo run -q --release --locked -p lrd-experiments --bin sweep_plan -- \
+    --shards 2 --output "$smokedir/assignment.json" \
+    "$smokedir/fig04_shard0.jsonl" "$smokedir/fig04_shard1.jsonl"
+for i in 0 1; do
+    LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
+        -p lrd-experiments --bin fig04_mtv_model -- --quick \
+        --shard "$i/2" --assignment "$smokedir/assignment.json" \
+        --checkpoint "$smokedir/fig04_planned$i.jsonl" > /dev/null
+done
+LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
+    -p lrd-experiments --bin sweep_merge -- \
+    "$smokedir/fig04_planned0.jsonl" "$smokedir/fig04_planned1.jsonl" \
+    > "$smokedir/fig04_planned.csv"
+diff -u "$smokedir/fig04_full.csv" "$smokedir/fig04_planned.csv"
+
 echo "ci: all gates passed"

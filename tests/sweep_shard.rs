@@ -1,12 +1,13 @@
 //! Sharded sweep execution is a pure partition of the unsharded run:
-//! any shard count, any kill-and-resume history, and a final merge must
-//! reproduce the single-process surface bit for bit.
+//! any shard count, any kill-and-resume history, round-robin or
+//! planner-assigned ownership, and a final merge must reproduce the
+//! single-process surface bit for bit.
 
 use std::path::PathBuf;
 
 use lrd_experiments::figures::{fig04_05, Profile};
 use lrd_experiments::sweep::{
-    merge_checkpoints, read_checkpoint, run_points, ShardSpec,
+    merge_checkpoints, plan_assignment, read_checkpoint, run_points, CostProfile, ShardSpec,
 };
 use lrd_experiments::Corpus;
 
@@ -21,7 +22,7 @@ fn round_robin_shards_partition_any_lattice() {
         let mut seen = vec![0u32; total];
         for i in 0..n {
             let shard = ShardSpec::new(i, n).unwrap();
-            for p in sweep.plan.points_for(shard) {
+            for p in sweep.plan.points_for(&shard) {
                 assert!(shard.owns(p.index));
                 seen[p.index] += 1;
             }
@@ -40,7 +41,7 @@ fn solve_sharded(dir: &std::path::Path, count: u32) -> Vec<PathBuf> {
             let sweep = fig04_05::fig04_sweep(&corpus, Profile::Quick);
             let path = dir.join(format!("shard{i}of{count}.jsonl"));
             let shard = ShardSpec::new(i, count).unwrap();
-            run_points(&sweep, shard, Some(&path)).unwrap();
+            run_points(&sweep, &shard, Some(&path)).unwrap();
             path
         })
         .collect()
@@ -50,7 +51,7 @@ fn solve_sharded(dir: &std::path::Path, count: u32) -> Vec<PathBuf> {
 fn sharded_merge_is_bit_identical_to_unsharded() {
     let corpus = Corpus::quick();
     let sweep = fig04_05::fig04_sweep(&corpus, Profile::Quick);
-    let reference = run_points(&sweep, ShardSpec::FULL, None).unwrap();
+    let reference = run_points(&sweep, &ShardSpec::FULL, None).unwrap();
     let ref_grid = sweep.plan.to_grid(&reference);
 
     let dir = std::env::temp_dir().join("lrd-sweep-shard-test");
@@ -90,7 +91,7 @@ fn killed_shard_resumes_without_resolving_or_drifting() {
     let corpus = Corpus::quick();
     let sweep = fig04_05::fig04_sweep(&corpus, Profile::Quick);
     let shard = ShardSpec::new(0, 2).unwrap();
-    let owned = sweep.plan.points_for(shard).len();
+    let owned = sweep.plan.points_for(&shard).len();
     assert!(owned >= 3, "test needs a few points per shard, got {owned}");
 
     let dir = std::env::temp_dir().join("lrd-sweep-resume-test");
@@ -100,7 +101,7 @@ fn killed_shard_resumes_without_resolving_or_drifting() {
 
     // A completed run of the shard, then a simulated mid-write kill:
     // drop the last point line and leave a torn half-line behind.
-    let full = run_points(&sweep, shard, Some(&path)).unwrap();
+    let full = run_points(&sweep, &shard, Some(&path)).unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
     let mut lines: Vec<&str> = text.lines().collect();
     let torn = &lines.pop().unwrap()[..10];
@@ -113,7 +114,7 @@ fn killed_shard_resumes_without_resolving_or_drifting() {
 
     // Resume: only the lost point is re-solved; the stream of results
     // is bit-identical to the uninterrupted run.
-    let resumed = run_points(&sweep, shard, Some(&path)).unwrap();
+    let resumed = run_points(&sweep, &shard, Some(&path)).unwrap();
     assert_eq!(resumed.len(), full.len());
     for (a, b) in resumed.iter().zip(&full) {
         assert_eq!(a.index, b.index);
@@ -128,12 +129,150 @@ fn killed_shard_resumes_without_resolving_or_drifting() {
     // And the resumed shard still merges with its partner into the
     // reference surface.
     let other = dir.join("shard1.jsonl");
-    run_points(&sweep, ShardSpec::new(1, 2).unwrap(), Some(&other)).unwrap();
+    run_points(&sweep, &ShardSpec::new(1, 2).unwrap(), Some(&other)).unwrap();
     let merged = merge_checkpoints(&[path, other]).unwrap();
-    let reference = run_points(&sweep, ShardSpec::FULL, None).unwrap();
+    let reference = run_points(&sweep, &ShardSpec::FULL, None).unwrap();
     for (m, r) in merged.results.iter().zip(&reference) {
         assert_eq!(m.value.to_bits(), r.value.to_bits());
     }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn planned_assignment_partition_merges_bit_identically_with_resume() {
+    // The full cost-model loop: a round-robin profiling run records
+    // durations, sweep_plan's planner re-splits the lattice, workers
+    // run their explicit point sets (one of them killed and resumed),
+    // and the merged surface still matches the unsharded run bit for
+    // bit.
+    let corpus = Corpus::quick();
+    let sweep = fig04_05::fig04_sweep(&corpus, Profile::Quick);
+    let reference = run_points(&sweep, &ShardSpec::FULL, None).unwrap();
+
+    let dir = std::env::temp_dir().join("lrd-sweep-assign-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Profiling pass: an ordinary round-robin sharded run.
+    let profiling = solve_sharded(&dir, 2);
+    let profile = CostProfile::from_checkpoints(&profiling).unwrap();
+    assert_eq!(
+        profile.measured_points(),
+        sweep.plan.len(),
+        "a checkpointed run must record a duration for every point"
+    );
+
+    // Plan the re-split and check the acceptance criterion: never
+    // worse than round-robin on the recorded durations.
+    let assignment = plan_assignment(&sweep.plan, &profile, 2).unwrap();
+    let costs = profile.costs(&sweep.plan).unwrap();
+    let round_robin_makespan = (0..2usize)
+        .map(|i| (i..costs.len()).step_by(2).map(|p| costs[p]).sum::<f64>())
+        .fold(0.0, f64::max);
+    assert!(assignment.makespan() <= round_robin_makespan);
+
+    // Run the planned shards, killing shard 0 mid-write and resuming.
+    let paths: Vec<PathBuf> = (0..2u32)
+        .map(|i| {
+            let shard = assignment.shard_spec(i).unwrap();
+            assert!(shard.is_explicit());
+            let path = dir.join(format!("planned{i}.jsonl"));
+            run_points(&sweep, &shard, Some(&path)).unwrap();
+            path
+        })
+        .collect();
+    let text = std::fs::read_to_string(&paths[0]).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    let tail = lines.pop().unwrap();
+    let truncated = format!("{}\n{}", lines.join("\n"), &tail[..tail.len().min(10)]);
+    std::fs::write(&paths[0], truncated).unwrap();
+    run_points(&sweep, &assignment.shard_spec(0).unwrap(), Some(&paths[0])).unwrap();
+
+    let merged = merge_checkpoints(&paths).unwrap();
+    assert_eq!(merged.results.len(), reference.len());
+    for (m, r) in merged.results.iter().zip(&reference) {
+        assert_eq!(m.index, r.index);
+        assert_eq!(
+            m.value.to_bits(),
+            r.value.to_bits(),
+            "planned-assignment merge drifted at point {}",
+            m.index
+        );
+        assert_eq!(m.iterations, r.iterations);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Strips the `solve_us` field from every point line, producing the
+/// exact byte format checkpoints had before the cost model existed.
+fn strip_durations(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        match line.find(",\"solve_us\":") {
+            Some(cut) => {
+                out.push_str(&line[..cut]);
+                out.push('}');
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn durationless_checkpoints_resume_and_merge_byte_identically() {
+    // Checkpoints written before point lines carried solve_us must
+    // keep working: resume must not re-solve (or rewrite) anything,
+    // and the merged surface must be unchanged.
+    let corpus = Corpus::quick();
+    let sweep = fig04_05::fig04_sweep(&corpus, Profile::Quick);
+    let reference = run_points(&sweep, &ShardSpec::FULL, None).unwrap();
+
+    let dir = std::env::temp_dir().join("lrd-sweep-durationless-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let paths = solve_sharded(&dir, 2);
+    for path in &paths {
+        let text = std::fs::read_to_string(path).unwrap();
+        let stripped = strip_durations(&text);
+        assert!(
+            !stripped.contains("solve_us") && stripped != text,
+            "fixture must exercise the duration-less format"
+        );
+        std::fs::write(path, stripped).unwrap();
+    }
+
+    // Resume over the old-format file: all points are present, so
+    // nothing is solved and the file bytes stay exactly as they were.
+    for (i, path) in paths.iter().enumerate() {
+        let before = std::fs::read(path).unwrap();
+        let shard = ShardSpec::new(i as u32, paths.len() as u32).unwrap();
+        let resumed = run_points(&sweep, &shard, Some(path)).unwrap();
+        assert!(resumed.iter().all(|r| r.solve_us.is_none()));
+        assert_eq!(
+            std::fs::read(path).unwrap(),
+            before,
+            "resume must not rewrite a clean duration-less checkpoint"
+        );
+    }
+
+    let merged = merge_checkpoints(&paths).unwrap();
+    for (m, r) in merged.results.iter().zip(&reference) {
+        assert_eq!(m.index, r.index);
+        assert_eq!(m.value.to_bits(), r.value.to_bits());
+        assert_eq!(m.iterations, r.iterations);
+        assert_eq!(m.solve_us, None);
+    }
+
+    // A duration-less profile still plans (point-count balancing).
+    let profile = CostProfile::from_checkpoints(&paths).unwrap();
+    assert_eq!(profile.measured_points(), 0);
+    let assignment = plan_assignment(&sweep.plan, &profile, 2).unwrap();
+    assert_eq!(assignment.makespan(), (sweep.plan.len() as f64 / 2.0).ceil());
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -161,7 +300,7 @@ fn merge_rejects_mixed_and_incomplete_shard_sets() {
     // Mixed figures: a fig05 shard next to a fig04 shard.
     let foreign = dir.join("foreign.jsonl");
     let sweep5 = fig04_05::fig05_sweep(&corpus, Profile::Quick);
-    run_points(&sweep5, ShardSpec::new(1, 2).unwrap(), Some(&foreign)).unwrap();
+    run_points(&sweep5, &ShardSpec::new(1, 2).unwrap(), Some(&foreign)).unwrap();
     match merge_checkpoints(&[paths[0].clone(), foreign]) {
         Err(SweepError::ManifestMismatch { field, .. }) => {
             assert!(field == "figure" || field == "plan_hash", "field: {field}");

@@ -1,0 +1,476 @@
+//! Process-level fault injector for the work-stealing sweep stack.
+//!
+//! ```text
+//! sweep_chaos --figure fig04_mtv_model [--quick] [--workers <n>] \
+//!     [--kill none|worker:<i>|coordinator|both] [--seed <n>] \
+//!     [--dir <path>] [--tear-tail] [--hb-drop <p>] \
+//!     [--heartbeat-ms <n>] [--lease-ttl-ms <n>] [--batch-points <n>] \
+//!     [--coord-telemetry <path>]
+//! ```
+//!
+//! Spawns a real `sweep_coord` process plus `--workers` real figure
+//! processes in `--steal` mode, then — at a seed-randomized instant —
+//! SIGKILLs the chosen victim(s), optionally tears the tail off the
+//! killed worker's checkpoint, and respawns them. When every process
+//! has exited it merges the worker checkpoints in-process and prints
+//! the figure CSV to stdout, so a byte-diff against an undisturbed run
+//! proves the crash changed nothing.
+//!
+//! The chaos property deliberately tolerates fast sweeps: if a victim
+//! already exited when the kill fires, the kill is a logged no-op and
+//! the merge check still applies.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+use lrd_rng::rngs::SmallRng;
+use lrd_rng::{Rng, SeedableRng};
+
+/// Which process(es) the harness SIGKILLs mid-sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KillMode {
+    /// Run undisturbed (baseline for the byte-diff).
+    None,
+    /// Kill worker `i`, tear its checkpoint tail if asked, respawn it.
+    Worker(usize),
+    /// Kill the coordinator, respawn it on the same endpoint with the
+    /// same lease log.
+    Coordinator,
+    /// Kill worker 0 *and* the coordinator.
+    Both,
+}
+
+struct Args {
+    figure: String,
+    quick: bool,
+    workers: usize,
+    kill: KillMode,
+    seed: u64,
+    dir: PathBuf,
+    tear_tail: bool,
+    hb_drop: f64,
+    heartbeat_ms: u64,
+    lease_ttl_ms: u64,
+    batch_points: Option<u64>,
+    coord_telemetry: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut figure = None;
+    let mut quick = false;
+    let mut workers = 2usize;
+    let mut kill = KillMode::None;
+    let mut seed = 1u64;
+    let mut dir = None;
+    let mut tear_tail = false;
+    let mut hb_drop = 0.0f64;
+    let mut heartbeat_ms = 50u64;
+    let mut lease_ttl_ms = 250u64;
+    let mut batch_points = None;
+    let mut coord_telemetry = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &'static str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweep_chaos --figure <name> [--quick] [--workers <n>]\n\
+                     \u{20}        [--kill none|worker:<i>|coordinator|both] [--seed <n>]\n\
+                     \u{20}        [--dir <path>] [--tear-tail] [--hb-drop <p>]\n\
+                     \u{20}        [--heartbeat-ms <n>] [--lease-ttl-ms <n>]\n\
+                     \u{20}        [--batch-points <n>] [--coord-telemetry <path>]\n\
+                     \n\
+                     Runs a coordinator plus N steal workers as real processes,\n\
+                     SIGKILLs the chosen victim(s) at a random instant, respawns\n\
+                     them, then merges the worker checkpoints and prints the\n\
+                     figure CSV to stdout for byte-diffing against a clean run."
+                );
+                std::process::exit(0);
+            }
+            "--figure" => figure = Some(value("--figure")?),
+            "--quick" => quick = true,
+            "--workers" => {
+                let v = value("--workers")?;
+                workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--workers requires a positive integer, got `{v}`"))?;
+            }
+            "--kill" => {
+                let v = value("--kill")?;
+                kill = match v.as_str() {
+                    "none" => KillMode::None,
+                    "coordinator" => KillMode::Coordinator,
+                    "both" => KillMode::Both,
+                    other => match other.strip_prefix("worker:").and_then(|i| i.parse().ok()) {
+                        Some(i) => KillMode::Worker(i),
+                        None => {
+                            return Err(format!(
+                                "--kill requires none|worker:<i>|coordinator|both, got `{v}`"
+                            ))
+                        }
+                    },
+                };
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed requires an integer, got `{v}`"))?;
+            }
+            "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+            "--tear-tail" => tear_tail = true,
+            "--hb-drop" => {
+                let v = value("--hb-drop")?;
+                hb_drop = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or_else(|| format!("--hb-drop requires a probability in [0,1], got `{v}`"))?;
+            }
+            "--heartbeat-ms" => {
+                let v = value("--heartbeat-ms")?;
+                heartbeat_ms = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--heartbeat-ms requires a positive integer, got `{v}`"))?;
+            }
+            "--lease-ttl-ms" => {
+                let v = value("--lease-ttl-ms")?;
+                lease_ttl_ms = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--lease-ttl-ms requires a positive integer, got `{v}`"))?;
+            }
+            "--batch-points" => {
+                let v = value("--batch-points")?;
+                batch_points = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            format!("--batch-points requires a positive integer, got `{v}`")
+                        })?,
+                );
+            }
+            "--coord-telemetry" => coord_telemetry = Some(PathBuf::from(value("--coord-telemetry")?)),
+            other => return Err(format!("unknown argument `{other}` (see sweep_chaos --help)")),
+        }
+    }
+    let workers_count = workers;
+    if let KillMode::Worker(i) = kill {
+        if i >= workers_count {
+            return Err(format!(
+                "--kill worker:{i} is out of range for --workers {workers_count}"
+            ));
+        }
+    }
+    Ok(Args {
+        figure: figure.ok_or("--figure <name> is required")?,
+        quick,
+        workers,
+        kill,
+        seed,
+        dir: dir.unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("lrd-chaos-{}", std::process::id()))
+        }),
+        tear_tail,
+        hb_drop,
+        heartbeat_ms,
+        lease_ttl_ms,
+        batch_points,
+        coord_telemetry,
+    })
+}
+
+/// The directory holding our sibling binaries (`sweep_coord` and the
+/// figure executables land next to `sweep_chaos` in cargo's target
+/// dir).
+fn bin_dir() -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("locating current executable: {e}"))?;
+    exe.parent()
+        .map(Path::to_path_buf)
+        .ok_or_else(|| "current executable has no parent directory".to_string())
+}
+
+fn spawn_coord(bins: &Path, args: &Args, listen: &str, capture_stdout: bool) -> Result<Child, String> {
+    let mut cmd = Command::new(bins.join("sweep_coord"));
+    cmd.arg("--figure")
+        .arg(&args.figure)
+        .arg("--listen")
+        .arg(listen)
+        .arg("--lease-log")
+        .arg(args.dir.join("coord-lease.jsonl"))
+        .arg("--heartbeat-ms")
+        .arg(args.heartbeat_ms.to_string())
+        .arg("--lease-ttl-ms")
+        .arg(args.lease_ttl_ms.to_string());
+    if args.quick {
+        cmd.arg("--quick");
+    }
+    if let Some(n) = args.batch_points {
+        cmd.arg("--batch-points").arg(n.to_string());
+    }
+    if let Some(path) = &args.coord_telemetry {
+        cmd.arg("--telemetry").arg(path);
+    }
+    cmd.stdout(if capture_stdout { Stdio::piped() } else { Stdio::null() });
+    cmd.spawn()
+        .map_err(|e| format!("spawning sweep_coord: {e}"))
+}
+
+/// Reads the coordinator's `listening <endpoint>` line from its piped
+/// stdout.
+fn read_endpoint(coord: &mut Child) -> Result<String, String> {
+    let stdout = coord
+        .stdout
+        .take()
+        .ok_or_else(|| "coordinator stdout was not piped".to_string())?;
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("reading coordinator endpoint: {e}"))?;
+    line.trim()
+        .strip_prefix("listening ")
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected `listening <endpoint>` from sweep_coord, got `{line}`"))
+}
+
+fn worker_checkpoint(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("worker{index}.jsonl"))
+}
+
+fn spawn_worker(bins: &Path, args: &Args, endpoint: &str, index: usize) -> Result<Child, String> {
+    let mut cmd = Command::new(bins.join(&args.figure));
+    if args.quick {
+        cmd.arg("--quick");
+    }
+    cmd.arg("--steal")
+        .arg(endpoint)
+        .arg("--checkpoint")
+        .arg(worker_checkpoint(&args.dir, index))
+        .env("LRD_CHAOS_SEED", (args.seed + 1 + index as u64).to_string())
+        .stdout(Stdio::null());
+    if args.hb_drop > 0.0 {
+        cmd.env("LRD_CHAOS_HB_DROP", args.hb_drop.to_string());
+    }
+    cmd.spawn()
+        .map_err(|e| format!("spawning worker {index} ({}): {e}", args.figure))
+}
+
+/// SIGKILLs `child` if it is still running; returns true if the kill
+/// actually landed (false = the victim beat us to the exit, which the
+/// chaos contract treats as a logged no-op).
+fn kill_if_running(child: &mut Child, name: &str) -> Result<bool, String> {
+    match child.try_wait().map_err(|e| format!("polling {name}: {e}"))? {
+        Some(status) => {
+            eprintln!("chaos: {name} exited ({status}) before the kill fired; no-op");
+            Ok(false)
+        }
+        None => {
+            child.kill().map_err(|e| format!("killing {name}: {e}"))?;
+            child.wait().map_err(|e| format!("reaping {name}: {e}"))?;
+            eprintln!("chaos: SIGKILLed {name}");
+            Ok(true)
+        }
+    }
+}
+
+/// Whether the last complete point line of `checkpoint` belongs to a
+/// batch the coordinator durably marked done. Tearing such a line
+/// would violate the crash model: a worker only reports completion
+/// after the append returned, and SIGKILL cannot un-write flushed
+/// data — torn tails only ever happen to in-flight batches.
+fn last_point_is_completed(checkpoint: &Path, lease_log: &Path) -> bool {
+    let Ok(log) = std::fs::read_to_string(lease_log) else {
+        return false;
+    };
+    let mut batches: Vec<Vec<u64>> = Vec::new();
+    let mut done = Vec::new();
+    for line in log.lines() {
+        let Ok(j) = lrd_obs::parse_json(line) else {
+            continue;
+        };
+        match j.get("kind").and_then(|k| k.as_str()) {
+            Some("coord_manifest") => {
+                if let Some(arr) = j.get("batches").and_then(|b| b.as_array()) {
+                    batches = arr
+                        .iter()
+                        .map(|b| {
+                            b.as_array()
+                                .map(|pts| pts.iter().filter_map(|p| p.as_u64()).collect())
+                                .unwrap_or_default()
+                        })
+                        .collect();
+                }
+            }
+            Some("done") => {
+                if let Some(b) = j.get("batch").and_then(|b| b.as_u64()) {
+                    done.push(b as usize);
+                }
+            }
+            _ => {}
+        }
+    }
+    let Ok(text) = std::fs::read_to_string(checkpoint) else {
+        return false;
+    };
+    let last_index = text.lines().rev().find_map(|line| {
+        lrd_obs::parse_json(line)
+            .ok()
+            .and_then(|j| j.get("index").and_then(|i| i.as_u64()))
+    });
+    match last_index {
+        Some(index) => done
+            .iter()
+            .any(|&b| batches.get(b).is_some_and(|pts| pts.contains(&index))),
+        None => false,
+    }
+}
+
+/// Truncates the checkpoint mid-line (torn final record), preserving
+/// the manifest: only applied when at least one complete point line
+/// follows the manifest and the line is not part of an already-
+/// completed batch (see [`last_point_is_completed`]).
+fn tear_checkpoint_tail(path: &Path, lease_log: &Path) -> Result<(), String> {
+    let data = match std::fs::read(path) {
+        Ok(data) => data,
+        Err(_) => return Ok(()), // worker died before creating it
+    };
+    let lines = data.iter().filter(|&&b| b == b'\n').count();
+    if lines < 2 {
+        eprintln!(
+            "chaos: {} holds no complete point line yet; leaving it intact",
+            path.display()
+        );
+        return Ok(());
+    }
+    if last_point_is_completed(path, lease_log) {
+        eprintln!(
+            "chaos: the tail of {} was already reported complete; a real crash \
+             cannot tear it, leaving it intact",
+            path.display()
+        );
+        return Ok(());
+    }
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("opening {} to tear: {e}", path.display()))?;
+    file.set_len(data.len() as u64 - 2)
+        .map_err(|e| format!("tearing {}: {e}", path.display()))?;
+    eprintln!("chaos: tore the tail off {}", path.display());
+    Ok(())
+}
+
+/// Waits for `child` with a hard deadline; a hung process is killed
+/// and reported rather than hanging the harness.
+fn wait_success(child: &mut Child, name: &str, deadline: Instant) -> Result<(), String> {
+    loop {
+        match child.try_wait().map_err(|e| format!("polling {name}: {e}"))? {
+            Some(status) if status.success() => return Ok(()),
+            Some(status) => return Err(format!("{name} failed: {status}")),
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("{name} hung past the deadline; killed"));
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let bins = bin_dir()?;
+    std::fs::create_dir_all(&args.dir)
+        .map_err(|e| format!("creating {}: {e}", args.dir.display()))?;
+
+    let mut coord = spawn_coord(&bins, &args, "127.0.0.1:0", true)?;
+    let endpoint = match read_endpoint(&mut coord) {
+        Ok(endpoint) => endpoint,
+        Err(e) => {
+            let _ = coord.kill();
+            let _ = coord.wait();
+            return Err(e);
+        }
+    };
+    eprintln!(
+        "chaos: coordinator on {endpoint}, {} worker(s), kill mode {:?}, seed {}",
+        args.workers, args.kill, args.seed
+    );
+
+    let mut workers = Vec::with_capacity(args.workers);
+    for i in 0..args.workers {
+        workers.push(spawn_worker(&bins, &args, &endpoint, i)?);
+    }
+
+    let mut rng = SmallRng::seed_from_u64(args.seed);
+    if args.kill != KillMode::None {
+        let delay = rng.gen_range(100u64..500);
+        std::thread::sleep(Duration::from_millis(delay));
+        eprintln!("chaos: striking after {delay} ms");
+        let victim_worker = match args.kill {
+            KillMode::Worker(i) => Some(i),
+            KillMode::Both => Some(0),
+            _ => None,
+        };
+        if let Some(i) = victim_worker {
+            if kill_if_running(&mut workers[i], &format!("worker {i}"))? {
+                if args.tear_tail {
+                    tear_checkpoint_tail(
+                        &worker_checkpoint(&args.dir, i),
+                        &args.dir.join("coord-lease.jsonl"),
+                    )?;
+                }
+                workers[i] = spawn_worker(&bins, &args, &endpoint, i)?;
+                eprintln!("chaos: respawned worker {i}");
+            }
+        }
+        if matches!(args.kill, KillMode::Coordinator | KillMode::Both)
+            && kill_if_running(&mut coord, "coordinator")?
+        {
+            // Same resolved endpoint (SO_REUSEADDR permits the rebind)
+            // and same lease log: the restart must resume, not restart,
+            // the sweep.
+            coord = spawn_coord(&bins, &args, &endpoint, false)?;
+            eprintln!("chaos: respawned coordinator on {endpoint}");
+        }
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(600);
+    for (i, worker) in workers.iter_mut().enumerate() {
+        wait_success(worker, &format!("worker {i}"), deadline)?;
+    }
+    wait_success(&mut coord, "coordinator", deadline)?;
+    eprintln!("chaos: all processes exited cleanly; merging");
+
+    // Keep the merge's results files out of the repo tree unless the
+    // caller already redirected them.
+    if std::env::var_os("LRD_RESULTS_DIR").is_none() {
+        std::env::set_var("LRD_RESULTS_DIR", &args.dir);
+    }
+    let checkpoints: Vec<PathBuf> = (0..args.workers)
+        .map(|i| worker_checkpoint(&args.dir, i))
+        .filter(|p| p.exists())
+        .collect();
+    lrd_experiments::run_merge(&checkpoints).map_err(|e| format!("merging checkpoints: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The work-stealing sweep coordinator.
+//!
+//! ```text
+//! sweep_coord --figure fig04_mtv_model [--quick] \
+//!     [--listen 127.0.0.1:7077 | --listen unix:/tmp/coord.sock] \
+//!     [--lease-log coord.jsonl] [--batch-points <n>] \
+//!     [--cost-from <checkpoint.jsonl>]... \
+//!     [--heartbeat-ms <n>] [--lease-ttl-ms <n>] \
+//!     [--telemetry <path>] [--telemetry-summary[=<path>]]
+//! ```
+//!
+//! Rebuilds the named figure's sweep plan from the registry, slices it
+//! into point batches (cost-weighted when `--cost-from` checkpoints
+//! supply measured durations), and serves them to `--steal` workers
+//! under the lease/heartbeat protocol (DESIGN.md §12). The resolved
+//! endpoint is printed to stdout as `listening <endpoint>` so
+//! orchestrators can pass `--listen 127.0.0.1:0` and read the port.
+//!
+//! With `--lease-log`, every grant/reclaim/completion is journaled:
+//! kill this process at any instant and rerun the same command line —
+//! it resumes the log, completed batches stay completed, and live
+//! workers keep their leases across the restart.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lrd_experiments::figures::Profile;
+use lrd_experiments::run::FigureKind;
+use lrd_experiments::sweep::coord::{CoordOptions, CoordServer, Endpoint, LeaseConfig};
+use lrd_experiments::sweep::CostProfile;
+use lrd_experiments::{Corpus, RunConfig};
+
+struct Args {
+    figure: String,
+    quick: bool,
+    listen: Endpoint,
+    lease_log: Option<PathBuf>,
+    batch_points: Option<usize>,
+    cost_from: Vec<PathBuf>,
+    config: LeaseConfig,
+    telemetry: RunConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut figure = None;
+    let mut quick = false;
+    let mut listen = Endpoint::Tcp("127.0.0.1:0".to_string());
+    let mut lease_log = None;
+    let mut batch_points = None;
+    let mut cost_from = Vec::new();
+    let mut config = LeaseConfig::default();
+    let mut telemetry = RunConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    let positive =
+        |flag: &str, v: &str| -> Result<u64, String> {
+            v.parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("{flag} requires a positive integer, got `{v}`"))
+        };
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &'static str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweep_coord --figure <name> [--quick] [--listen <endpoint>]\n\
+                     \u{20}        [--lease-log <path>] [--batch-points <n>]\n\
+                     \u{20}        [--cost-from <checkpoint.jsonl>]... [--heartbeat-ms <n>]\n\
+                     \u{20}        [--lease-ttl-ms <n>] [--telemetry <path>]\n\
+                     \u{20}        [--telemetry-summary[=<path>]]\n\
+                     \n\
+                     Serves the figure's sweep lattice to --steal workers as leased\n\
+                     point batches. Prints `listening <endpoint>` on stdout, then\n\
+                     runs until the sweep drains. With --lease-log the lease table\n\
+                     survives a kill: rerun the same command to resume."
+                );
+                std::process::exit(0);
+            }
+            "--figure" => figure = Some(value("--figure")?),
+            "--quick" => quick = true,
+            "--listen" => {
+                let v = value("--listen")?;
+                listen = Endpoint::parse(&v)
+                    .ok_or_else(|| format!("--listen requires host:port or unix:<path>, got `{v}`"))?;
+            }
+            "--lease-log" => lease_log = Some(PathBuf::from(value("--lease-log")?)),
+            "--batch-points" => {
+                batch_points = Some(positive("--batch-points", &value("--batch-points")?)? as usize);
+            }
+            "--cost-from" => cost_from.push(PathBuf::from(value("--cost-from")?)),
+            "--heartbeat-ms" => {
+                config.heartbeat_ms = positive("--heartbeat-ms", &value("--heartbeat-ms")?)?;
+            }
+            "--lease-ttl-ms" => {
+                config.lease_ttl_ms = positive("--lease-ttl-ms", &value("--lease-ttl-ms")?)?;
+            }
+            "--telemetry" => telemetry.telemetry = Some(PathBuf::from(value("--telemetry")?)),
+            "--telemetry-summary" => telemetry.telemetry_summary = true,
+            other if other.starts_with("--telemetry-summary=") => {
+                telemetry.telemetry_summary_file =
+                    Some(PathBuf::from(&other["--telemetry-summary=".len()..]));
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (see sweep_coord --help)"
+                ))
+            }
+        }
+    }
+    Ok(Args {
+        figure: figure.ok_or("--figure <name> is required")?,
+        quick,
+        listen,
+        lease_log,
+        batch_points,
+        cost_from,
+        config,
+        telemetry,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let _telemetry = args.telemetry.install_telemetry().map_err(|e| e.to_string())?;
+
+    let spec = lrd_experiments::find_figure(&args.figure)
+        .ok_or_else(|| format!("unknown figure `{}`", args.figure))?;
+    let FigureKind::Sweep { build, .. } = &spec.kind else {
+        return Err(format!("{} is not a sweep figure", spec.name));
+    };
+    let profile = if args.quick { Profile::Quick } else { Profile::Full };
+    let corpus = if args.quick { Corpus::quick() } else { Corpus::full() };
+    let plan = build(&corpus, profile).plan;
+
+    let costs = if args.cost_from.is_empty() {
+        None
+    } else {
+        let profile = CostProfile::from_checkpoints(&args.cost_from).map_err(|e| e.to_string())?;
+        Some(profile.costs(&plan).map_err(|e| e.to_string())?)
+    };
+
+    let options = CoordOptions {
+        endpoint: args.listen,
+        lease_log: args.lease_log,
+        config: args.config,
+        batch_points: args
+            .batch_points
+            .unwrap_or(lrd_experiments::sweep::coord::DEFAULT_BATCH_POINTS),
+        costs,
+    };
+    let server = CoordServer::start(&plan, options).map_err(|e| e.to_string())?;
+
+    // The one stdout line: orchestrators read the resolved endpoint
+    // (e.g. after --listen 127.0.0.1:0) to hand to workers.
+    println!("listening {}", server.endpoint());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "sweep_coord: serving {} ({}) — {} points, heartbeat {} ms, lease ttl {} ms",
+        spec.name,
+        profile.tag(),
+        plan.len(),
+        args.config.heartbeat_ms,
+        args.config.lease_ttl_ms,
+    );
+
+    let summary = server.run().map_err(|e| e.to_string())?;
+    eprintln!(
+        "sweep_coord: {} — {} batch(es), {} point(s), {} grant(s), {} reclaim(s)",
+        if summary.drained { "sweep drained" } else { "stopped early" },
+        summary.batches,
+        summary.points,
+        summary.grants,
+        summary.reclaims,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

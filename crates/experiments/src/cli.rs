@@ -2,7 +2,7 @@
 //!
 //! Every binary accepts the same arguments (`--quick`, `--telemetry`,
 //! `--telemetry-summary`, `--threads`, `--shard`, `--checkpoint`,
-//! `--assignment` and `--help`), so parsing lives here. Invalid
+//! `--assignment`, `--steal` and `--help`), so parsing lives here. Invalid
 //! invocations produce a typed [`CliError`] — the binaries print it to
 //! stderr and exit with status 1 instead of silently ignoring unknown
 //! flags (the degradation contract in DESIGN.md: bad configuration is
@@ -42,6 +42,12 @@ pub struct RunConfig {
     /// file (`--assignment <path>`, written by `sweep_plan`) instead
     /// of the round-robin rule. Requires `--shard i/n` to pick the row.
     pub assignment: Option<PathBuf>,
+    /// Run as a work-stealing worker against the `sweep_coord`
+    /// coordinator at this endpoint (`--steal host:port` or
+    /// `--steal unix:<path>`). Requires `--checkpoint`; mutually
+    /// exclusive with `--shard`/`--assignment` (the coordinator, not a
+    /// static split, decides which points this process solves).
+    pub steal: Option<String>,
 }
 
 impl RunConfig {
@@ -105,6 +111,8 @@ pub enum CliError {
     /// A `--shard` value that is not of the form `i/n` with
     /// `0 <= i < n`.
     InvalidShard(String),
+    /// A `--steal` value that is neither `host:port` nor `unix:<path>`.
+    InvalidEndpoint(String),
     /// A file named on the command line could not be opened.
     Io {
         /// The offending path.
@@ -122,7 +130,8 @@ impl fmt::Display for CliError {
                     f,
                     "unknown argument `{arg}` (expected --quick, --threads <n>, \
                      --shard <i/n>, --checkpoint <path>, --assignment <path>, \
-                     --telemetry <path>, --telemetry-summary[=<path>] or --help)"
+                     --steal <endpoint>, --telemetry <path>, \
+                     --telemetry-summary[=<path>] or --help)"
                 )
             }
             CliError::MissingValue(flag) => {
@@ -135,6 +144,13 @@ impl fmt::Display for CliError {
                 write!(
                     f,
                     "--shard requires the form i/n with 0 <= i < n (e.g. 0/4), got `{value}`"
+                )
+            }
+            CliError::InvalidEndpoint(value) => {
+                write!(
+                    f,
+                    "--steal requires host:port or unix:<path> \
+                     (e.g. 127.0.0.1:7077), got `{value}`"
                 )
             }
             CliError::Io { path, message } => {
@@ -174,10 +190,15 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
                 let path = args.next().ok_or(CliError::MissingValue("--assignment"))?;
                 config.assignment = Some(PathBuf::from(path));
             }
+            "--steal" => {
+                let endpoint = args.next().ok_or(CliError::MissingValue("--steal"))?;
+                config.steal = Some(parse_endpoint(&endpoint)?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: <figure binary> [--quick] [--threads <n>] \
                      [--shard <i/n> --checkpoint <path> [--assignment <path>]] \
+                     [--steal <endpoint> --checkpoint <path>] \
                      [--telemetry <path.jsonl>] [--telemetry-summary[=<path>]]\n\
                      \n\
                      --quick              reduced grids (seconds instead of minutes)\n\
@@ -193,6 +214,10 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
                      --assignment <path>  take shard i's point set from this\n\
                      \u{20}                    sweep_plan-produced assignment file\n\
                      \u{20}                    instead of the round-robin rule\n\
+                     --steal <endpoint>   run as a work-stealing worker against the\n\
+                     \u{20}                    sweep_coord coordinator at host:port or\n\
+                     \u{20}                    unix:<path> (sweep figures only; requires\n\
+                     \u{20}                    --checkpoint, excludes --shard)\n\
                      --telemetry <path>   write structured JSONL telemetry (solver\n\
                      \u{20}                    spans, per-iteration gaps, refinements,\n\
                      \u{20}                    metrics) to <path>\n\
@@ -248,6 +273,13 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliEr
                 }
                 config.assignment = Some(PathBuf::from(path));
             }
+            other if other.starts_with("--steal=") => {
+                let endpoint = &other["--steal=".len()..];
+                if endpoint.is_empty() {
+                    return Err(CliError::MissingValue("--steal"));
+                }
+                config.steal = Some(parse_endpoint(endpoint)?);
+            }
             other => return Err(CliError::UnknownArgument(other.to_string())),
         }
     }
@@ -263,6 +295,12 @@ fn parse_threads(value: &str) -> Result<usize, CliError> {
 
 fn parse_shard(value: &str) -> Result<ShardSpec, CliError> {
     ShardSpec::parse(value).ok_or_else(|| CliError::InvalidShard(value.to_string()))
+}
+
+fn parse_endpoint(value: &str) -> Result<String, CliError> {
+    crate::sweep::coord::Endpoint::parse(value)
+        .map(|_| value.to_string())
+        .ok_or_else(|| CliError::InvalidEndpoint(value.to_string()))
 }
 
 /// Parses `std::env::args()`, printing a typed error and exiting with
@@ -498,6 +536,31 @@ mod tests {
             ..RunConfig::default()
         };
         assert_eq!(config.build_subscribers().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn steal_flag_both_spellings_and_validation() {
+        let config = parse(strings(&["--steal", "127.0.0.1:7077"])).unwrap();
+        assert_eq!(config.steal, Some("127.0.0.1:7077".to_string()));
+        let config = parse(strings(&["--steal=unix:/tmp/coord.sock", "--quick"])).unwrap();
+        assert_eq!(config.steal, Some("unix:/tmp/coord.sock".to_string()));
+        assert_eq!(
+            parse(strings(&["--steal"])),
+            Err(CliError::MissingValue("--steal"))
+        );
+        assert_eq!(
+            parse(strings(&["--steal="])),
+            Err(CliError::MissingValue("--steal"))
+        );
+        for bad in ["nocolon", "unix:"] {
+            assert_eq!(
+                parse(strings(&["--steal", bad])),
+                Err(CliError::InvalidEndpoint(bad.to_string())),
+                "--steal {bad} should be rejected"
+            );
+        }
+        let e = parse(strings(&["--steal", "nocolon"])).unwrap_err();
+        assert!(e.to_string().contains("host:port"));
     }
 
     #[test]

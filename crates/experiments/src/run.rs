@@ -21,8 +21,10 @@ use crate::cli::{self, RunConfig};
 use crate::corpus::Corpus;
 use crate::figures::{self, Profile};
 use crate::output::{self, Grid};
+use crate::sweep::coord::{self, CoordError, StealOptions};
 use crate::sweep::{
-    merge_checkpoints, run_points, FigureSweep, ShardSpec, SweepAssignment, SweepError,
+    merge_checkpoints, run_points, CheckpointOrigin, FigureSweep, ShardSpec, SweepAssignment,
+    SweepError,
 };
 
 /// Everything a figure run wants to show the user. The emit order and
@@ -466,6 +468,16 @@ pub enum RunError {
         /// The figure named in the assignment file.
         found: String,
     },
+    /// `--steal` combined with `--shard` or `--assignment`: the
+    /// coordinator decides which points a stealing worker solves, so a
+    /// static split contradicts it.
+    StealWithShard,
+    /// `--steal` without `--checkpoint`: a stealing worker's only
+    /// output is its checkpoint file.
+    StealWithoutCheckpoint,
+    /// The work-stealing protocol failed (unreachable coordinator,
+    /// sweep mismatch, lease-log damage, …).
+    Coord(CoordError),
     /// The sweep layer failed (I/O, malformed or mismatched
     /// checkpoints).
     Sweep(SweepError),
@@ -495,6 +507,16 @@ impl std::fmt::Display for RunError {
                 f,
                 "assignment was planned for figure `{found}`, not `{expected}`"
             ),
+            RunError::StealWithShard => write!(
+                f,
+                "--steal is mutually exclusive with --shard/--assignment \
+                 (the coordinator assigns the points)"
+            ),
+            RunError::StealWithoutCheckpoint => write!(
+                f,
+                "--steal requires --checkpoint <path> (the worker's output)"
+            ),
+            RunError::Coord(e) => write!(f, "{e}"),
             RunError::Sweep(e) => write!(f, "{e}"),
         }
     }
@@ -505,6 +527,12 @@ impl std::error::Error for RunError {}
 impl From<SweepError> for RunError {
     fn from(e: SweepError) -> RunError {
         RunError::Sweep(e)
+    }
+}
+
+impl From<CoordError> for RunError {
+    fn from(e: CoordError) -> RunError {
+        RunError::Coord(e)
     }
 }
 
@@ -574,6 +602,11 @@ fn resolve_shard(
 ///   required `--checkpoint`, print a shard summary to stderr and emit
 ///   **no** artifacts; the full figure appears when `sweep_merge`
 ///   assembles all shards.
+/// * Sweep figures with `--steal <endpoint>` become work-stealing
+///   workers: they lease point batches from the `sweep_coord`
+///   coordinator, heartbeat while solving, stream results to the
+///   required `--checkpoint`, and emit no artifacts (merge the worker
+///   checkpoints with `sweep_merge`).
 /// * Sweep figures without `--shard` run the full lattice (optionally
 ///   checkpointed/resumed) and emit artifacts identical to the
 ///   pre-sweep implementation.
@@ -583,7 +616,10 @@ pub fn run_figure(spec: &FigureSpec, config: &RunConfig) -> Result<(), RunError>
 
     match &spec.kind {
         FigureKind::Plain(runner) => {
-            if config.shard.is_some() || config.checkpoint.is_some() || config.assignment.is_some()
+            if config.shard.is_some()
+                || config.checkpoint.is_some()
+                || config.assignment.is_some()
+                || config.steal.is_some()
             {
                 return Err(RunError::ShardUnsupported(spec.name));
             }
@@ -592,6 +628,38 @@ pub fn run_figure(spec: &FigureSpec, config: &RunConfig) -> Result<(), RunError>
         }
         FigureKind::Sweep { build, finish } => {
             let sweep = build(&corpus, profile);
+            if let Some(endpoint) = config.steal.as_deref() {
+                if config.shard.is_some() || config.assignment.is_some() {
+                    return Err(RunError::StealWithShard);
+                }
+                let Some(path) = config.checkpoint.as_deref() else {
+                    return Err(RunError::StealWithoutCheckpoint);
+                };
+                let endpoint = coord::Endpoint::parse(endpoint).ok_or_else(|| {
+                    RunError::Coord(CoordError::protocol(format!(
+                        "invalid --steal endpoint `{endpoint}`"
+                    )))
+                })?;
+                let options = StealOptions {
+                    endpoint,
+                    chaos: coord::ChaosConfig::from_env(),
+                    ..StealOptions::default()
+                };
+                let summary = coord::run_steal(&sweep, path, &options)?;
+                eprintln!(
+                    "worker {} of {}: {} point(s) solved ({} reused, {} batch(es) \
+                     completed, {} lease(s) expired) -> {} \
+                     (assemble the figure with sweep_merge)",
+                    summary.worker,
+                    spec.name,
+                    summary.solved,
+                    summary.reused,
+                    summary.batches,
+                    summary.expired,
+                    path.display()
+                );
+                return Ok(());
+            }
             let shard = resolve_shard(spec, config, &sweep)?;
             if !shard.is_full() {
                 let Some(path) = config.checkpoint.as_deref() else {
@@ -647,9 +715,14 @@ pub fn run_merge(paths: &[PathBuf]) -> Result<(), RunError> {
         }));
     }
     let grid = sweep.plan.to_grid(&merged.results);
+    let sources = match &merged.manifest.origin {
+        CheckpointOrigin::Shard(s) => format!("{} shards", s.count),
+        CheckpointOrigin::Steal { .. } => {
+            format!("{} worker checkpoint(s)", merged.sources)
+        }
+    };
     eprintln!(
-        "merged {} shards ({} points, {} total solver iterations)",
-        merged.manifest.shard.count,
+        "merged {sources} ({} points, {} total solver iterations)",
         merged.results.len(),
         merged.total_iterations()
     );

@@ -18,11 +18,16 @@
 //! the hash is what validation trusts. An explicit-assignment shard
 //! ([`ShardSpec::owned`]) additionally records its owned point set as
 //! `"owned":[…]` so resume and merge validate ownership against the
-//! planned assignment rather than the round-robin rule. Finite `f64`s
-//! are written in the shortest exact representation and non-finite
-//! coordinates (`T_c = ∞`) as the strings `"inf"` / `"-inf"`, so
-//! every value round-trips bit-identically — the property that lets a
-//! merged surface match a single-host run to the last bit.
+//! planned assignment rather than the round-robin rule. A
+//! work-stealing worker ([`CheckpointOrigin::Steal`]) records
+//! `"mode":"steal","worker":"…"` instead of a shard: its point set is
+//! whatever batches the coordinator leased to it, so ownership is the
+//! whole lattice and completeness is a property of the merged *set* of
+//! worker files, not of any one file. Finite `f64`s are written in the
+//! shortest exact representation and non-finite coordinates
+//! (`T_c = ∞`) as the strings `"inf"` / `"-inf"`, so every value
+//! round-trips bit-identically — the property that lets a merged
+//! surface match a single-host run to the last bit.
 //!
 //! Point lines carry the measured wall-clock solve duration
 //! (`solve_us`, read from the point's `solver.solve` telemetry span)
@@ -39,39 +44,135 @@
 //! never finished flushing — no complete first line at all. That is
 //! reported as the typed [`SweepError::TornManifest`] so the runner
 //! can discard the (workless) file and start fresh instead of
-//! refusing to resume.
+//! refusing to resume. Fresh manifests are written through
+//! [`write_manifest_durable`] — flushed **and fsynced** before any
+//! point line follows — so the torn-manifest window is one syscall
+//! wide, not open until the OS felt like writing back the page cache.
 
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::Write;
 use std::path::Path;
 
 use lrd_obs::{parse_json, write_json_f64, write_json_string, Json};
 
-use crate::sweep::{PointResult, ShardSpec, SweepError, SweepPlan};
+use crate::sweep::{Axis, PointResult, ShardSpec, SweepError, SweepPlan};
+
+/// Who produced a checkpoint file: a statically-assigned shard, or a
+/// work-stealing worker leasing batches from a coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointOrigin {
+    /// A `--shard i/n` run: the file owns a fixed slice of the lattice
+    /// (round-robin or an explicit planner assignment).
+    Shard(ShardSpec),
+    /// A `--steal <endpoint>` run: the file holds whatever point
+    /// batches the named worker leased; any lattice point may appear.
+    Steal {
+        /// The stable worker identity, generated on the worker's first
+        /// run and reused on resume so leases and checkpoints line up.
+        worker: String,
+    },
+}
+
+impl CheckpointOrigin {
+    /// The static shard, when this is a shard-mode origin.
+    pub fn shard(&self) -> Option<&ShardSpec> {
+        match self {
+            CheckpointOrigin::Shard(s) => Some(s),
+            CheckpointOrigin::Steal { .. } => None,
+        }
+    }
+
+    /// Whether this origin is a work-stealing worker.
+    pub fn is_steal(&self) -> bool {
+        matches!(self, CheckpointOrigin::Steal { .. })
+    }
+
+    /// Whether a checkpoint with this origin may record `point_index`.
+    /// A static shard owns its partition slice; a steal worker may be
+    /// leased any point.
+    pub fn owns(&self, point_index: usize) -> bool {
+        match self {
+            CheckpointOrigin::Shard(s) => s.owns(point_index),
+            CheckpointOrigin::Steal { .. } => true,
+        }
+    }
+
+    /// Short mode tag for manifest-mismatch errors.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            CheckpointOrigin::Shard(_) => "shard",
+            CheckpointOrigin::Steal { .. } => "steal",
+        }
+    }
+}
+
+impl fmt::Display for CheckpointOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointOrigin::Shard(s) => write!(f, "shard {s}"),
+            CheckpointOrigin::Steal { worker } => write!(f, "steal worker {worker}"),
+        }
+    }
+}
 
 /// The identity header of a checkpoint file.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
-    /// Registry name of the figure the shard belongs to.
+    /// Registry name of the figure the file belongs to.
     pub figure: String,
-    /// [`SweepPlan::hash_hex`] of the plan the shard was solved under.
+    /// [`SweepPlan::hash_hex`] of the plan the file was solved under.
     pub plan_hash: String,
     /// Profile tag (`"quick"` / `"full"`).
     pub profile: String,
-    /// Which shard of the partition this file holds.
-    pub shard: ShardSpec,
-    /// Total lattice points in the full plan (not just this shard).
+    /// Who produced the file: a static shard or a steal worker.
+    pub origin: CheckpointOrigin,
+    /// Total lattice points in the full plan (not just this file).
     pub total_points: usize,
+    /// The plan axes, embedded verbatim so the checkpoint is
+    /// self-describing: merge errors decode point indices back to
+    /// lattice coordinates from here.
+    pub axes: Vec<Axis>,
 }
 
 impl Manifest {
     /// The manifest for `shard` of `plan`.
     pub fn new(plan: &SweepPlan, shard: &ShardSpec) -> Manifest {
+        Manifest::for_origin(plan, &CheckpointOrigin::Shard(shard.clone()))
+    }
+
+    /// The manifest for any origin of `plan`.
+    pub fn for_origin(plan: &SweepPlan, origin: &CheckpointOrigin) -> Manifest {
         Manifest {
             figure: plan.figure.clone(),
             plan_hash: plan.hash_hex(),
             profile: plan.profile.tag().to_string(),
-            shard: shard.clone(),
+            origin: origin.clone(),
             total_points: plan.len(),
+            axes: plan.axes.clone(),
         }
+    }
+
+    /// The static shard this manifest declares, when it is shard-mode.
+    pub fn shard(&self) -> Option<&ShardSpec> {
+        self.origin.shard()
+    }
+
+    /// Decodes the lattice coordinates of stable point `index` from
+    /// the embedded axes (row-major, matching [`SweepPlan::point`]).
+    /// Empty when the manifest carries no axes (a hand-built file).
+    pub fn point_coords(&self, index: usize) -> Vec<f64> {
+        let mut coords = vec![0.0; self.axes.len()];
+        let mut rest = index;
+        for (slot, axis) in coords.iter_mut().zip(&self.axes).rev() {
+            if axis.values.is_empty() {
+                return Vec::new();
+            }
+            *slot = axis.values[rest % axis.len()];
+            rest /= axis.len();
+        }
+        coords
     }
 }
 
@@ -91,25 +192,41 @@ pub struct Checkpoint {
 /// Renders the manifest line for `shard` of `plan` (no trailing
 /// newline).
 pub fn manifest_line(plan: &SweepPlan, shard: &ShardSpec) -> String {
+    manifest_line_for(plan, &CheckpointOrigin::Shard(shard.clone()))
+}
+
+/// Renders the manifest line for any origin of `plan` (no trailing
+/// newline). Shard-mode lines are byte-identical to what every earlier
+/// runner wrote; steal-mode lines replace the `shard`/`shard_count`
+/// fields with `"mode":"steal","worker":"…"`.
+pub fn manifest_line_for(plan: &SweepPlan, origin: &CheckpointOrigin) -> String {
     let mut out = String::from("{\"kind\":\"manifest\",\"figure\":");
     write_json_string(&mut out, &plan.figure);
     out.push_str(",\"plan_hash\":");
     write_json_string(&mut out, &plan.hash_hex());
     out.push_str(",\"profile\":");
     write_json_string(&mut out, plan.profile.tag());
-    out.push_str(&format!(
-        ",\"shard\":{},\"shard_count\":{}",
-        shard.index, shard.count
-    ));
-    if let Some(points) = shard.owned_points() {
-        out.push_str(",\"owned\":[");
-        for (i, &p) in points.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+    match origin {
+        CheckpointOrigin::Shard(shard) => {
+            out.push_str(&format!(
+                ",\"shard\":{},\"shard_count\":{}",
+                shard.index, shard.count
+            ));
+            if let Some(points) = shard.owned_points() {
+                out.push_str(",\"owned\":[");
+                for (i, &p) in points.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&p.to_string());
+                }
+                out.push(']');
             }
-            out.push_str(&p.to_string());
         }
-        out.push(']');
+        CheckpointOrigin::Steal { worker } => {
+            out.push_str(",\"mode\":\"steal\",\"worker\":");
+            write_json_string(&mut out, worker);
+        }
     }
     out.push_str(&format!(",\"points\":{},\"value_label\":", plan.len()));
     write_json_string(&mut out, &plan.value_label);
@@ -168,6 +285,31 @@ fn malformed(path: &Path, line: usize, reason: impl Into<String>) -> SweepError 
     }
 }
 
+fn parse_axes(path: &Path, doc: &Json) -> Result<Vec<Axis>, SweepError> {
+    // Axes are informational (the plan hash is what validation
+    // trusts), so a manifest without them still parses — but a
+    // *present* axes field must be well-formed.
+    let Some(field) = doc.get("axes") else {
+        return Ok(Vec::new());
+    };
+    let bad = || malformed(path, 1, "manifest \"axes\" must be [{name, values}, …]");
+    let items = field.as_array().ok_or_else(bad)?;
+    let mut axes = Vec::with_capacity(items.len());
+    for item in items {
+        let name = item.get("name").and_then(Json::as_str).ok_or_else(bad)?;
+        let values: Vec<f64> = item
+            .get("values")
+            .and_then(Json::as_array)
+            .and_then(|vs| vs.iter().map(Json::as_num).collect())
+            .ok_or_else(bad)?;
+        if values.is_empty() {
+            return Err(bad());
+        }
+        axes.push(Axis::new(name, values));
+    }
+    Ok(axes)
+}
+
 fn parse_manifest(path: &Path, doc: &Json) -> Result<Manifest, SweepError> {
     let field = |name: &'static str| {
         doc.get(name)
@@ -184,38 +326,51 @@ fn parse_manifest(path: &Path, doc: &Json) -> Result<Manifest, SweepError> {
             .as_u64()
             .ok_or_else(|| malformed(path, 1, format!("manifest {name:?} must be an integer")))
     };
-    let index = int_field("shard")?;
-    let count = int_field("shard_count")?;
-    let owned: Option<Vec<usize>> = match doc.get("owned") {
-        None => None,
-        Some(field) => Some(
-            field
-                .as_array()
-                .and_then(|items| {
-                    items
-                        .iter()
-                        .map(|v| v.as_u64().map(|p| p as usize))
-                        .collect()
+    let origin = match doc.get("mode").and_then(Json::as_str) {
+        Some("steal") => CheckpointOrigin::Steal {
+            worker: str_field("worker")?,
+        },
+        Some(other) => {
+            return Err(malformed(path, 1, format!("unknown manifest mode {other:?}")));
+        }
+        // No mode field: the original static-shard format.
+        None => {
+            let index = int_field("shard")?;
+            let count = int_field("shard_count")?;
+            let owned: Option<Vec<usize>> = match doc.get("owned") {
+                None => None,
+                Some(field) => Some(
+                    field
+                        .as_array()
+                        .and_then(|items| {
+                            items
+                                .iter()
+                                .map(|v| v.as_u64().map(|p| p as usize))
+                                .collect()
+                        })
+                        .ok_or_else(|| {
+                            malformed(path, 1, "manifest \"owned\" must be an array of integers")
+                        })?,
+                ),
+            };
+            let shard = u32::try_from(index)
+                .ok()
+                .zip(u32::try_from(count).ok())
+                .and_then(|(i, n)| match owned {
+                    Some(points) => ShardSpec::owned(i, n, points),
+                    None => ShardSpec::new(i, n),
                 })
-                .ok_or_else(|| {
-                    malformed(path, 1, "manifest \"owned\" must be an array of integers")
-                })?,
-        ),
+                .ok_or_else(|| malformed(path, 1, format!("invalid shard {index}/{count}")))?;
+            CheckpointOrigin::Shard(shard)
+        }
     };
-    let shard = u32::try_from(index)
-        .ok()
-        .zip(u32::try_from(count).ok())
-        .and_then(|(i, n)| match owned {
-            Some(points) => ShardSpec::owned(i, n, points),
-            None => ShardSpec::new(i, n),
-        })
-        .ok_or_else(|| malformed(path, 1, format!("invalid shard {index}/{count}")))?;
     Ok(Manifest {
         figure: str_field("figure")?,
         plan_hash: str_field("plan_hash")?,
         profile: str_field("profile")?,
-        shard,
+        origin,
         total_points: int_field("points")? as usize,
+        axes: parse_axes(path, doc)?,
     })
 }
 
@@ -297,6 +452,174 @@ pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, SweepError> {
     })
 }
 
+/// Checks a previously-written checkpoint against the manifest this
+/// process expects (plan identity and origin) and against per-file
+/// invariants: every point in range and owned by the origin, no point
+/// recorded twice.
+pub fn validate_checkpoint(
+    path: &Path,
+    ck: &Checkpoint,
+    expected: &Manifest,
+) -> Result<(), SweepError> {
+    let mismatch = |field: &'static str, exp: String, found: String| SweepError::ManifestMismatch {
+        path: path.to_path_buf(),
+        field,
+        expected: exp,
+        found,
+    };
+    let m = &ck.manifest;
+    if m.figure != expected.figure {
+        return Err(mismatch("figure", expected.figure.clone(), m.figure.clone()));
+    }
+    if m.plan_hash != expected.plan_hash {
+        return Err(mismatch(
+            "plan_hash",
+            expected.plan_hash.clone(),
+            m.plan_hash.clone(),
+        ));
+    }
+    if m.profile != expected.profile {
+        return Err(mismatch(
+            "profile",
+            expected.profile.clone(),
+            m.profile.clone(),
+        ));
+    }
+    if m.origin.mode() != expected.origin.mode() {
+        return Err(mismatch(
+            "mode",
+            expected.origin.mode().to_string(),
+            m.origin.mode().to_string(),
+        ));
+    }
+    match (&m.origin, &expected.origin) {
+        (CheckpointOrigin::Shard(found), CheckpointOrigin::Shard(want)) if found != want => {
+            return Err(mismatch("shard", want.to_string(), found.to_string()));
+        }
+        (
+            CheckpointOrigin::Steal { worker: found },
+            CheckpointOrigin::Steal { worker: want },
+        ) if found != want => {
+            return Err(mismatch("worker", want.clone(), found.clone()));
+        }
+        _ => {}
+    }
+    if m.total_points != expected.total_points {
+        return Err(mismatch(
+            "points",
+            expected.total_points.to_string(),
+            m.total_points.to_string(),
+        ));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for point in &ck.points {
+        if point.index >= expected.total_points || !expected.origin.owns(point.index) {
+            return Err(SweepError::ForeignPoint {
+                path: path.to_path_buf(),
+                index: point.index,
+            });
+        }
+        if !seen.insert(point.index) {
+            return Err(SweepError::DuplicatePoint {
+                path: path.to_path_buf(),
+                index: point.index,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Writes `text` (a complete checkpoint prefix — manifest line plus
+/// any point lines, each newline-terminated) to `path` **durably**:
+/// the file is flushed and fsynced, and the parent directory synced
+/// best-effort, before this returns. Used for fresh manifests and
+/// torn-tail rewrites so a kill immediately after never re-opens the
+/// torn-manifest window — point appends only ever follow a manifest
+/// the disk has acknowledged.
+pub fn write_manifest_durable(path: &Path, text: &str) -> Result<(), SweepError> {
+    let io = |e: &std::io::Error| SweepError::io(path, e);
+    let mut file = File::create(path).map_err(|e| io(&e))?;
+    file.write_all(text.as_bytes()).map_err(|e| io(&e))?;
+    file.sync_all().map_err(|e| io(&e))?;
+    // Directory sync makes the *name* durable too. Best-effort: some
+    // filesystems refuse to fsync a directory handle, and the file
+    // contents above are already safe.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Opens (or creates, or resumes) the checkpoint at `path` for the
+/// given plan and origin, returning the already-solved points and an
+/// append handle positioned after the last intact line.
+///
+/// Handles the full resume protocol shared by the static runner and
+/// the steal worker: a fresh file gets a durable manifest
+/// ([`write_manifest_durable`]); an existing file is validated against
+/// the expected manifest ([`validate_checkpoint`]); a torn final line
+/// is dropped by rewriting the file durably; a torn *manifest* is
+/// discarded with a warning and the file starts fresh.
+pub(crate) fn open_checkpoint(
+    path: &Path,
+    plan: &SweepPlan,
+    origin: &CheckpointOrigin,
+) -> Result<(BTreeMap<usize, PointResult>, File), SweepError> {
+    let expected = Manifest::for_origin(plan, origin);
+    let mut done: BTreeMap<usize, PointResult> = BTreeMap::new();
+    let mut fresh = !path.exists();
+    if !fresh {
+        match read_checkpoint(path) {
+            Ok(ck) => {
+                validate_checkpoint(path, &ck, &expected)?;
+                if ck.truncated_tail {
+                    // Rewrite the file without the torn line so appends
+                    // start on a clean boundary.
+                    let mut text = manifest_line_for(plan, origin);
+                    text.push('\n');
+                    for point in &ck.points {
+                        text.push_str(&point_line(&plan.point(point.index).coords, point));
+                        text.push('\n');
+                    }
+                    write_manifest_durable(path, &text)?;
+                }
+                for point in ck.points {
+                    done.insert(point.index, point);
+                }
+            }
+            Err(SweepError::TornManifest { .. }) => {
+                // Killed before the first flush: the file records no
+                // solved work, so losing it loses nothing. Warn and
+                // start from scratch.
+                eprintln!(
+                    "warning: {}: checkpoint manifest line is torn (previous run was \
+                     killed before its first flush); discarding and starting fresh",
+                    path.display()
+                );
+                lrd_obs::event!(
+                    "sweep.torn_manifest_discarded",
+                    path = path.display().to_string(),
+                );
+                std::fs::remove_file(path).map_err(|e| SweepError::io(path, &e))?;
+                fresh = true;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if fresh {
+        let mut text = manifest_line_for(plan, origin);
+        text.push('\n');
+        write_manifest_durable(path, &text)?;
+    }
+    let file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| SweepError::io(path, &e))?;
+    Ok((done, file))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +684,59 @@ mod tests {
     }
 
     #[test]
+    fn steal_manifest_round_trips() {
+        let p = plan();
+        let origin = CheckpointOrigin::Steal {
+            worker: "w-deadbeef".to_string(),
+        };
+        let path = tmp("steal");
+        let line = manifest_line_for(&p, &origin);
+        assert!(line.contains("\"mode\":\"steal\""), "{line}");
+        assert!(line.contains("\"worker\":\"w-deadbeef\""), "{line}");
+        assert!(!line.contains("\"shard\""), "{line}");
+        std::fs::write(&path, format!("{line}\n")).unwrap();
+        let ck = read_checkpoint(&path).unwrap();
+        assert_eq!(ck.manifest, Manifest::for_origin(&p, &origin));
+        assert!(ck.manifest.origin.is_steal());
+        assert!(ck.manifest.origin.owns(0) && ck.manifest.origin.owns(3));
+        assert_eq!(ck.manifest.shard(), None);
+
+        // An unknown mode tag is a hard error, not a silent fallback.
+        let bad = line.replace("\"mode\":\"steal\"", "\"mode\":\"quantum\"");
+        std::fs::write(&path, format!("{bad}\n")).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(SweepError::Malformed { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn manifest_axes_decode_point_coords() {
+        let p = plan();
+        let path = tmp("axes");
+        std::fs::write(&path, format!("{}\n", manifest_line(&p, &ShardSpec::FULL))).unwrap();
+        let m = read_checkpoint(&path).unwrap().manifest;
+        assert_eq!(m.axes.len(), 2);
+        for index in 0..p.len() {
+            let want = p.point(index).coords;
+            let got = m.point_coords(index);
+            assert_eq!(want.len(), got.len());
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.to_bits(), b.to_bits(), "point {index}");
+            }
+        }
+        // Axes are informational: a manifest without them parses, and
+        // coord decoding degrades to empty.
+        let stripped = manifest_line(&p, &ShardSpec::FULL)
+            .replace(",\"axes\":[{\"name\":\"b\",\"values\":[0.1,1.0]},{\"name\":\"tc\",\"values\":[0.5,\"inf\"]}]", "");
+        assert!(!stripped.contains("axes"), "{stripped}");
+        std::fs::write(&path, format!("{stripped}\n")).unwrap();
+        let m = read_checkpoint(&path).unwrap().manifest;
+        assert!(m.axes.is_empty());
+        assert!(m.point_coords(1).is_empty());
+    }
+
+    #[test]
     fn solve_us_round_trips_bit_exactly_property() {
         // Property test over randomized durations: any finite
         // non-negative f64 written as `solve_us` parses back to the
@@ -404,8 +780,11 @@ mod tests {
         assert!(text.contains("\"owned\":[0,2,3]"), "{text}");
         std::fs::write(&path, text).unwrap();
         let ck = read_checkpoint(&path).unwrap();
-        assert_eq!(ck.manifest.shard, shard);
-        assert_eq!(ck.manifest.shard.owned_points(), Some(&[0, 2, 3][..]));
+        assert_eq!(ck.manifest.shard(), Some(&shard));
+        assert_eq!(
+            ck.manifest.shard().unwrap().owned_points(),
+            Some(&[0, 2, 3][..])
+        );
 
         // A manifest with a malformed owned set is a hard error, not a
         // silent fallback to round-robin ownership.
@@ -487,6 +866,56 @@ mod tests {
         // complete, valid manifest.
         std::fs::write(&path, format!("{manifest}\n")).unwrap();
         assert!(read_checkpoint(&path).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_mode_and_worker_mismatches() {
+        let p = plan();
+        let path = tmp("validate-mode");
+        let steal = |worker: &str| CheckpointOrigin::Steal {
+            worker: worker.to_string(),
+        };
+
+        // A shard file resumed in steal mode (and vice versa) is a
+        // typed "mode" mismatch.
+        std::fs::write(&path, format!("{}\n", manifest_line(&p, &ShardSpec::FULL))).unwrap();
+        let ck = read_checkpoint(&path).unwrap();
+        let err =
+            validate_checkpoint(&path, &ck, &Manifest::for_origin(&p, &steal("w1"))).unwrap_err();
+        assert!(matches!(
+            err,
+            SweepError::ManifestMismatch { field: "mode", .. }
+        ));
+
+        // A steal file resumed under a different worker identity.
+        std::fs::write(
+            &path,
+            format!("{}\n", manifest_line_for(&p, &steal("w1"))),
+        )
+        .unwrap();
+        let ck = read_checkpoint(&path).unwrap();
+        let err =
+            validate_checkpoint(&path, &ck, &Manifest::for_origin(&p, &steal("w2"))).unwrap_err();
+        assert!(matches!(
+            err,
+            SweepError::ManifestMismatch { field: "worker", .. }
+        ));
+        // The same worker validates, and any lattice point is owned.
+        validate_checkpoint(&path, &ck, &Manifest::for_origin(&p, &steal("w1"))).unwrap();
+    }
+
+    #[test]
+    fn durable_manifest_write_is_complete_and_reopenable() {
+        let p = plan();
+        let path = tmp("durable");
+        let text = format!("{}\n", manifest_line(&p, &ShardSpec::FULL));
+        write_manifest_durable(&path, &text).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        assert!(read_checkpoint(&path).is_ok());
+        // Overwrite semantics: a second durable write replaces.
+        let longer = format!("{}{}\n", text, point_line(&p.point(0).coords, &result(0)));
+        write_manifest_durable(&path, &longer).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap().points.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! The worker side of work-stealing: lease a batch, heartbeat while
+//! solving, stream results to this worker's own checkpoint, complete,
+//! repeat until the queue drains.
+//!
+//! The worker's checkpoint is the only place its solved values live —
+//! the coordinator never sees a result, only batch lifecycle messages.
+//! That keeps the crash story simple: whatever the worker durably
+//! appended before dying is merged; whatever it did not is re-solved by
+//! whoever takes over the reclaimed lease, and the overlap (if the
+//! original worker had appended points the coordinator re-issued)
+//! resolves first-writer-wins at merge with bit-equality asserted.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lrd_rng::rngs::SmallRng;
+use lrd_rng::{Rng, SeedableRng};
+
+use super::error::CoordError;
+use super::proto::{connect, recv_line, send_line, Endpoint, Request, Response};
+use crate::sweep::checkpoint::{open_checkpoint, CheckpointOrigin};
+use crate::sweep::runner::{append_with_retry, solve_timed, FigureSweep};
+use crate::sweep::{point_line, PointSpec, CHECKPOINT_CHUNK};
+
+/// Fault injection for the chaos harness: deliberately mistreat the
+/// heartbeat channel. Zeroed in production ([`ChaosConfig::none`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability that any given heartbeat is silently dropped.
+    pub heartbeat_drop: f64,
+    /// Extra delay injected before each heartbeat is sent.
+    pub heartbeat_delay_ms: u64,
+    /// Seed for the injection RNG (deterministic chaos).
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// No fault injection.
+    pub fn none() -> ChaosConfig {
+        ChaosConfig {
+            heartbeat_drop: 0.0,
+            heartbeat_delay_ms: 0,
+            seed: 0,
+        }
+    }
+
+    /// Reads injection knobs from `LRD_CHAOS_HB_DROP`,
+    /// `LRD_CHAOS_HB_DELAY_MS`, and `LRD_CHAOS_SEED` — how the chaos
+    /// harness configures spawned worker processes without widening
+    /// their CLI.
+    pub fn from_env() -> ChaosConfig {
+        let var = |name: &str| std::env::var(name).ok();
+        ChaosConfig {
+            heartbeat_drop: var("LRD_CHAOS_HB_DROP")
+                .and_then(|v| v.parse::<f64>().ok())
+                .map(|p| p.clamp(0.0, 1.0))
+                .unwrap_or(0.0),
+            heartbeat_delay_ms: var("LRD_CHAOS_HB_DELAY_MS")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            seed: var("LRD_CHAOS_SEED")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Configuration for [`run_steal`].
+#[derive(Debug, Clone)]
+pub struct StealOptions {
+    /// Where the coordinator listens.
+    pub endpoint: Endpoint,
+    /// Connection attempts per request before giving up with
+    /// [`CoordError::Unreachable`]. Covers coordinator restarts: a
+    /// worker retries across the gap and never notices the new
+    /// process.
+    pub max_attempts: u32,
+    /// Base backoff between connection attempts (doubled each retry,
+    /// with jitter).
+    pub base_backoff_ms: u64,
+    /// Test hook: abandon the run — heartbeats and all, *without*
+    /// completing the current lease — after durably appending this
+    /// many new points. Simulates a worker crash at an exact point
+    /// count.
+    pub stop_after_points: Option<usize>,
+    /// Heartbeat fault injection.
+    pub chaos: ChaosConfig,
+}
+
+impl Default for StealOptions {
+    fn default() -> Self {
+        StealOptions {
+            endpoint: Endpoint::Tcp("127.0.0.1:0".to_string()),
+            max_attempts: 10,
+            base_backoff_ms: 20,
+            stop_after_points: None,
+            chaos: ChaosConfig::none(),
+        }
+    }
+}
+
+/// What a worker did before exiting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StealSummary {
+    /// The worker's stable identity.
+    pub worker: String,
+    /// Points newly solved this run.
+    pub solved: usize,
+    /// Points reused from a previous run's checkpoint.
+    pub reused: usize,
+    /// Batches completed (acknowledged by the coordinator).
+    pub batches: usize,
+    /// Leases that expired under this worker (chaos or genuine
+    /// slowness) — their points still merge from the checkpoint.
+    pub expired: usize,
+    /// Whether the worker exited because the queue drained (false =
+    /// the `stop_after_points` crash hook fired).
+    pub drained: bool,
+}
+
+/// A stable worker identity: adopted from an existing steal checkpoint
+/// (so a restarted worker keeps its name and its solved points), else
+/// derived from the process id and wall clock.
+fn worker_identity(checkpoint: &Path) -> String {
+    if let Ok(ck) = crate::sweep::read_checkpoint(checkpoint) {
+        if let CheckpointOrigin::Steal { worker } = &ck.manifest.origin {
+            return worker.clone();
+        }
+    }
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    format!("w-{:x}-{:x}", std::process::id(), nanos)
+}
+
+/// One request/response exchange with bounded, jittered reconnect
+/// retries — the only place the client touches the socket, so every
+/// path (including across a coordinator kill-and-restart) shares the
+/// same backoff discipline.
+fn exchange(
+    endpoint: &Endpoint,
+    request: &Request,
+    max_attempts: u32,
+    base_backoff_ms: u64,
+    rng: &mut SmallRng,
+) -> Result<Response, CoordError> {
+    let mut last_error = String::new();
+    for attempt in 0..max_attempts.max(1) {
+        if attempt > 0 {
+            // Exponential backoff with full jitter, capped so a worker
+            // probes a restarting coordinator at least every second.
+            let cap = (base_backoff_ms.max(1) << attempt.min(6)).min(1000);
+            std::thread::sleep(Duration::from_millis(rng.gen_range(0..cap.max(1))));
+        }
+        let result = connect(endpoint).and_then(|mut conn| {
+            send_line(conn.as_mut(), &request.to_line())?;
+            recv_line(conn.as_mut())
+        });
+        match result {
+            Ok(line) => return Response::parse(&line),
+            Err(e) => last_error = e.to_string(),
+        }
+    }
+    Err(CoordError::Unreachable {
+        endpoint: endpoint.to_string(),
+        attempts: max_attempts.max(1),
+        last_error,
+    })
+}
+
+/// The heartbeat pump for one lease: beats at half the advertised
+/// interval (so one lost packet cannot expire a healthy lease) until
+/// told to stop or told its lease is gone.
+struct HeartbeatPump {
+    stop: Arc<AtomicBool>,
+    expired: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatPump {
+    fn start(
+        endpoint: Endpoint,
+        worker: String,
+        batch: usize,
+        epoch: u64,
+        heartbeat_ms: u64,
+        chaos: ChaosConfig,
+    ) -> HeartbeatPump {
+        let stop = Arc::new(AtomicBool::new(false));
+        let expired = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let expired = Arc::clone(&expired);
+            std::thread::spawn(move || {
+                let mut rng =
+                    SmallRng::seed_from_u64(chaos.seed ^ ((batch as u64) << 32) ^ epoch);
+                let beat_every = Duration::from_millis((heartbeat_ms / 2).max(1));
+                let request = Request::Heartbeat {
+                    worker,
+                    batch,
+                    epoch,
+                };
+                loop {
+                    // Sleep in small slices so stop is honoured fast.
+                    let mut slept = Duration::ZERO;
+                    while slept < beat_every {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let slice = Duration::from_millis(2).min(beat_every - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    if chaos.heartbeat_drop > 0.0 && rng.gen_bool(chaos.heartbeat_drop) {
+                        continue;
+                    }
+                    if chaos.heartbeat_delay_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(chaos.heartbeat_delay_ms));
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let sent = connect(&endpoint).and_then(|mut conn| {
+                        send_line(conn.as_mut(), &request.to_line())?;
+                        recv_line(conn.as_mut())
+                    });
+                    // Transport failures are tolerated — the next beat
+                    // retries, and the ttl absorbs several misses.
+                    if let Ok(line) = sent {
+                        if let Ok(Response::Expired) = Response::parse(&line) {
+                            expired.store(true, Ordering::SeqCst);
+                            return;
+                        }
+                    }
+                }
+            })
+        };
+        HeartbeatPump {
+            stop,
+            expired,
+            handle: Some(handle),
+        }
+    }
+
+    fn lease_expired(&self) -> bool {
+        self.expired.load(Ordering::SeqCst)
+    }
+
+    fn stop(mut self) -> bool {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.expired.load(Ordering::SeqCst)
+    }
+}
+
+/// Runs `sweep` as a work-stealing worker against the coordinator at
+/// `options.endpoint`, streaming solved points to `checkpoint` (a
+/// steal-origin file owned by this worker alone — never shared).
+///
+/// The loop: lease a batch → heartbeat while solving its points in
+/// [`CHECKPOINT_CHUNK`]-sized appends → complete → repeat, until the
+/// coordinator says the queue is drained. Points already in the
+/// checkpoint (from a previous run of this worker) are not re-solved.
+/// If the lease expires mid-batch (the coordinator reclaimed it), the
+/// worker abandons the rest of the batch — whatever it already
+/// appended stays, and merge-time dedup keeps the first writer.
+pub fn run_steal(
+    sweep: &FigureSweep<'_>,
+    checkpoint: &Path,
+    options: &StealOptions,
+) -> Result<StealSummary, CoordError> {
+    let worker = worker_identity(checkpoint);
+    let origin = CheckpointOrigin::Steal {
+        worker: worker.clone(),
+    };
+    let (mut done, mut file) = open_checkpoint(checkpoint, &sweep.plan, &origin)?;
+    let reused = done.len();
+
+    let mut rng = SmallRng::seed_from_u64(
+        options.chaos.seed ^ u64::from(std::process::id()).rotate_left(17),
+    );
+    let mut summary = StealSummary {
+        worker: worker.clone(),
+        solved: 0,
+        reused,
+        batches: 0,
+        expired: 0,
+        drained: false,
+    };
+
+    loop {
+        let lease = Request::Lease {
+            figure: sweep.plan.figure.clone(),
+            plan_hash: sweep.plan.hash_hex(),
+            profile: sweep.plan.profile.tag().to_string(),
+            worker: worker.clone(),
+        };
+        let response = exchange(
+            &options.endpoint,
+            &lease,
+            options.max_attempts,
+            options.base_backoff_ms,
+            &mut rng,
+        )?;
+        match response {
+            Response::Grant {
+                batch,
+                epoch,
+                heartbeat_ms,
+                points,
+            } => {
+                let pump = HeartbeatPump::start(
+                    options.endpoint.clone(),
+                    worker.clone(),
+                    batch,
+                    epoch,
+                    heartbeat_ms,
+                    options.chaos,
+                );
+                let todo: Vec<PointSpec> = points
+                    .iter()
+                    .filter(|&&p| !done.contains_key(&p))
+                    .map(|&p| sweep.plan.point(p))
+                    .collect();
+                let mut abandoned = false;
+                let mut crashed = false;
+                for chunk in todo.chunks(CHECKPOINT_CHUNK) {
+                    if pump.lease_expired() {
+                        // Reclaimed under us: stop burning time on a
+                        // batch someone else now owns.
+                        abandoned = true;
+                        break;
+                    }
+                    let results = lrd_pool::par_map(chunk, |spec| solve_timed(sweep, spec));
+                    let mut text = String::new();
+                    for (spec, result) in chunk.iter().zip(&results) {
+                        text.push_str(&point_line(&spec.coords, result));
+                        text.push('\n');
+                    }
+                    append_with_retry(&mut file, checkpoint, &text)?;
+                    summary.solved += results.len();
+                    for result in results {
+                        done.insert(result.index, result);
+                    }
+                    if options
+                        .stop_after_points
+                        .is_some_and(|limit| summary.solved >= limit)
+                    {
+                        crashed = true;
+                        break;
+                    }
+                }
+                if crashed {
+                    // Simulated crash: vanish without completing, like
+                    // SIGKILL would. The lease expires and is reclaimed.
+                    pump.stop();
+                    return Ok(summary);
+                }
+                let expired = pump.stop();
+                if expired || abandoned {
+                    summary.expired += 1;
+                    continue;
+                }
+                let complete = Request::Complete {
+                    worker: worker.clone(),
+                    batch,
+                    epoch,
+                };
+                match exchange(
+                    &options.endpoint,
+                    &complete,
+                    options.max_attempts,
+                    options.base_backoff_ms,
+                    &mut rng,
+                )? {
+                    Response::Ack => summary.batches += 1,
+                    Response::Expired => summary.expired += 1,
+                    other => {
+                        return Err(CoordError::protocol(format!(
+                            "unexpected completion response {other:?}"
+                        )))
+                    }
+                }
+            }
+            Response::Wait { backoff_ms } => {
+                // Jitter so parked workers do not thunder back in sync.
+                let ms = backoff_ms.max(1);
+                std::thread::sleep(Duration::from_millis(rng.gen_range(ms..ms * 2 + 1)));
+            }
+            Response::Drained => {
+                summary.drained = true;
+                return Ok(summary);
+            }
+            Response::Mismatch {
+                field,
+                expected,
+                found,
+            } => {
+                return Err(CoordError::Mismatch {
+                    field,
+                    expected,
+                    found,
+                })
+            }
+            other => {
+                return Err(CoordError::protocol(format!(
+                    "unexpected lease response {other:?}"
+                )))
+            }
+        }
+    }
+}

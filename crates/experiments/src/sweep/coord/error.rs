@@ -1,0 +1,103 @@
+//! Typed failures for the work-stealing coordinator and its clients.
+
+use std::fmt;
+
+use crate::sweep::SweepError;
+
+/// A failure in the lease/heartbeat protocol or its transport.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordError {
+    /// A socket-level failure (bind, connect, read, write, timeout).
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The rendered `std::io::Error` message.
+        message: String,
+    },
+    /// The peer sent a line that is not a valid protocol message.
+    Protocol {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The coordinator is serving a different sweep than the worker
+    /// was asked to run (figure, plan hash, or profile disagree).
+    Mismatch {
+        /// The disagreeing field.
+        field: String,
+        /// What the responding side serves.
+        expected: String,
+        /// What the requesting side asked for.
+        found: String,
+    },
+    /// The coordinator could not be reached after bounded retries with
+    /// backoff.
+    Unreachable {
+        /// The endpoint that was tried.
+        endpoint: String,
+        /// How many connection attempts were made.
+        attempts: u32,
+        /// The last connection error seen.
+        last_error: String,
+    },
+    /// A checkpoint-layer failure while the worker streamed results.
+    Sweep(SweepError),
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::Io { context, message } => {
+                write!(f, "coordinator I/O error while {context}: {message}")
+            }
+            CoordError::Protocol { reason } => {
+                write!(f, "coordinator protocol violation: {reason}")
+            }
+            CoordError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "coordinator sweep mismatch on {field}: coordinator serves \
+                 {expected}, worker was asked to run {found}"
+            ),
+            CoordError::Unreachable {
+                endpoint,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "coordinator at {endpoint} unreachable after {attempts} attempts \
+                 (last error: {last_error})"
+            ),
+            CoordError::Sweep(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+impl From<SweepError> for CoordError {
+    fn from(e: SweepError) -> Self {
+        CoordError::Sweep(e)
+    }
+}
+
+impl CoordError {
+    /// Wraps an OS error with a short description of the attempted
+    /// operation (renders the message eagerly so the variant stays
+    /// comparable).
+    pub fn io(context: impl Into<String>, err: &std::io::Error) -> CoordError {
+        CoordError::Io {
+            context: context.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// A protocol violation with the given reason.
+    pub fn protocol(reason: impl Into<String>) -> CoordError {
+        CoordError::Protocol {
+            reason: reason.into(),
+        }
+    }
+}

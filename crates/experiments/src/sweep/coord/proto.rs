@@ -1,0 +1,686 @@
+//! The wire protocol: one JSON line per request, one per response,
+//! one request per connection.
+//!
+//! The framing is deliberately primitive — connection-per-request over
+//! localhost TCP or a Unix socket, each side writing a single
+//! newline-terminated JSON object built with the in-tree JSON layer.
+//! There is no pipelining, no session state on the wire, and no
+//! partial-read protocol to get wrong: every piece of durable state
+//! lives in the coordinator's lease log and the workers' checkpoints,
+//! so a connection dying at ANY byte loses nothing (the worker retries
+//! with backoff; an unacknowledged `complete` is re-sent or resolved
+//! as a duplicate at merge time).
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use lrd_obs::{parse_json, write_json_string, Json};
+
+use super::error::CoordError;
+
+/// Per-connection read/write timeout. Requests are tiny and local;
+/// anything slower than this is a dead peer.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Hard cap on a protocol line. The largest legitimate message is a
+/// grant carrying a batch's point indices — kilobytes, not megabytes.
+const LINE_CAP: usize = 1 << 20;
+
+/// Where the coordinator listens: `host:port` TCP or `unix:<path>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7077` (or `:0` to let the OS
+    /// pick; [`Listener::local_endpoint`] reports the resolved port).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `unix:<path>` or `host:port`.
+    pub fn parse(s: &str) -> Option<Endpoint> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            (!path.is_empty()).then(|| Endpoint::Unix(PathBuf::from(path)))
+        } else {
+            s.contains(':').then(|| Endpoint::Tcp(s.to_string()))
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A duplex protocol connection (TCP or Unix stream).
+pub trait Conn: Read + Write + Send {}
+impl Conn for TcpStream {}
+#[cfg(unix)]
+impl Conn for UnixStream {}
+
+/// The coordinator's listening socket, in nonblocking accept mode so
+/// the single-threaded serve loop can interleave accepts with lease
+/// reclaim scans.
+pub enum Listener {
+    /// TCP on localhost.
+    Tcp(TcpListener),
+    /// Unix-domain socket; the path is removed again on drop.
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Binds the endpoint. A stale Unix socket file from a killed
+    /// coordinator is removed first — the lease log, not the socket,
+    /// is the durable state. TCP rebinds the same port after a kill
+    /// thanks to `SO_REUSEADDR` (set by the standard library on Unix).
+    pub fn bind(endpoint: &Endpoint) -> Result<Listener, CoordError> {
+        let ctx = || format!("binding {endpoint}");
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr).map_err(|e| CoordError::io(ctx(), &e))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| CoordError::io(ctx(), &e))?;
+                Ok(Listener::Tcp(listener))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    let _ = std::fs::remove_file(path);
+                }
+                let listener = UnixListener::bind(path).map_err(|e| CoordError::io(ctx(), &e))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| CoordError::io(ctx(), &e))?;
+                Ok(Listener::Unix(listener, path.clone()))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(CoordError::protocol(
+                "unix-socket endpoints require a unix platform",
+            )),
+        }
+    }
+
+    /// The endpoint actually bound — resolves `:0` to the assigned
+    /// port so orchestrators can advertise it to workers.
+    pub fn local_endpoint(&self) -> Endpoint {
+        match self {
+            Listener::Tcp(l) => Endpoint::Tcp(
+                l.local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "127.0.0.1:0".to_string()),
+            ),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Endpoint::Unix(path.clone()),
+        }
+    }
+
+    /// Accepts one pending connection, configured blocking with
+    /// [`IO_TIMEOUT`] read/write deadlines. `WouldBlock` means no
+    /// client is waiting — the serve loop sleeps briefly and rescans
+    /// leases.
+    pub fn accept(&self) -> io::Result<Box<dyn Conn>> {
+        fn configure<S>(stream: S) -> io::Result<S>
+        where
+            S: Conn + SetTimeouts,
+        {
+            stream.set_nonblocking(false)?;
+            stream.set_read_timeout(Some(IO_TIMEOUT))?;
+            stream.set_write_timeout(Some(IO_TIMEOUT))?;
+            Ok(stream)
+        }
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Box::new(configure(stream)?))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, _) => {
+                let (stream, _) = l.accept()?;
+                Ok(Box::new(configure(stream)?))
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// The socket-option subset shared by TCP and Unix streams.
+pub trait SetTimeouts {
+    /// See [`TcpStream::set_nonblocking`].
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()>;
+    /// See [`TcpStream::set_read_timeout`].
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+    /// See [`TcpStream::set_write_timeout`].
+    fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+}
+
+macro_rules! impl_set_timeouts {
+    ($ty:ty) => {
+        impl SetTimeouts for $ty {
+            fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+                <$ty>::set_nonblocking(self, nonblocking)
+            }
+            fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+                <$ty>::set_read_timeout(self, dur)
+            }
+            fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+                <$ty>::set_write_timeout(self, dur)
+            }
+        }
+    };
+}
+impl_set_timeouts!(TcpStream);
+#[cfg(unix)]
+impl_set_timeouts!(UnixStream);
+
+/// Connects to the coordinator with [`IO_TIMEOUT`] deadlines on
+/// connect, read, and write.
+pub fn connect(endpoint: &Endpoint) -> io::Result<Box<dyn Conn>> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("cannot resolve {addr}"))
+            })?;
+            let stream = TcpStream::connect_timeout(&resolved, IO_TIMEOUT)?;
+            stream.set_read_timeout(Some(IO_TIMEOUT))?;
+            stream.set_write_timeout(Some(IO_TIMEOUT))?;
+            Ok(Box::new(stream))
+        }
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            let stream = UnixStream::connect(path)?;
+            stream.set_read_timeout(Some(IO_TIMEOUT))?;
+            stream.set_write_timeout(Some(IO_TIMEOUT))?;
+            Ok(Box::new(stream))
+        }
+        #[cfg(not(unix))]
+        Endpoint::Unix(_) => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "unix-socket endpoints require a unix platform",
+        )),
+    }
+}
+
+/// Writes one newline-terminated protocol line.
+pub fn send_line(conn: &mut dyn Conn, line: &str) -> io::Result<()> {
+    conn.write_all(line.as_bytes())?;
+    conn.write_all(b"\n")?;
+    conn.flush()
+}
+
+/// Reads one newline-terminated protocol line, capped at [`LINE_CAP`].
+pub fn recv_line(conn: &mut dyn Conn) -> io::Result<String> {
+    let mut reader = BufReader::new(conn).take(LINE_CAP as u64 + 1);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.len() > LINE_CAP {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "protocol line exceeds cap",
+        ));
+    }
+    if line.ends_with('\n') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// A worker-to-coordinator message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Ask for a batch to solve. Carries the worker's sweep identity
+    /// so a worker pointed at the wrong coordinator fails typed.
+    Lease {
+        /// Figure registry name the worker was asked to run.
+        figure: String,
+        /// [`SweepPlan::hash_hex`](crate::sweep::SweepPlan::hash_hex)
+        /// of the worker's plan.
+        plan_hash: String,
+        /// Profile tag of the worker's plan.
+        profile: String,
+        /// The worker's stable identity.
+        worker: String,
+    },
+    /// Prove the worker holding `(batch, epoch)` is still alive.
+    Heartbeat {
+        /// The worker's stable identity.
+        worker: String,
+        /// The leased batch id.
+        batch: usize,
+        /// The lease epoch the worker holds.
+        epoch: u64,
+    },
+    /// Report that every point of `(batch, epoch)` is solved and
+    /// durably appended to the worker's checkpoint.
+    Complete {
+        /// The worker's stable identity.
+        worker: String,
+        /// The leased batch id.
+        batch: usize,
+        /// The lease epoch the worker holds.
+        epoch: u64,
+    },
+    /// Ask for queue counters (operator tooling; carries no identity).
+    Status,
+}
+
+impl Request {
+    /// Renders the request as one protocol line.
+    pub fn to_line(&self) -> String {
+        let mut out = String::from("{\"kind\":");
+        match self {
+            Request::Lease {
+                figure,
+                plan_hash,
+                profile,
+                worker,
+            } => {
+                out.push_str("\"lease\",\"figure\":");
+                write_json_string(&mut out, figure);
+                out.push_str(",\"plan_hash\":");
+                write_json_string(&mut out, plan_hash);
+                out.push_str(",\"profile\":");
+                write_json_string(&mut out, profile);
+                out.push_str(",\"worker\":");
+                write_json_string(&mut out, worker);
+            }
+            Request::Heartbeat {
+                worker,
+                batch,
+                epoch,
+            } => {
+                out.push_str("\"heartbeat\",\"worker\":");
+                write_json_string(&mut out, worker);
+                out.push_str(&format!(",\"batch\":{batch},\"epoch\":{epoch}"));
+            }
+            Request::Complete {
+                worker,
+                batch,
+                epoch,
+            } => {
+                out.push_str("\"complete\",\"worker\":");
+                write_json_string(&mut out, worker);
+                out.push_str(&format!(",\"batch\":{batch},\"epoch\":{epoch}"));
+            }
+            Request::Status => out.push_str("\"status\""),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one protocol line into a request.
+    pub fn parse(line: &str) -> Result<Request, CoordError> {
+        let doc =
+            parse_json(line).map_err(|e| CoordError::protocol(format!("bad request: {e}")))?;
+        let str_field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| CoordError::protocol(format!("request missing {name:?}")))
+        };
+        let int_field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CoordError::protocol(format!("request missing {name:?}")))
+        };
+        match doc.get("kind").and_then(Json::as_str) {
+            Some("lease") => Ok(Request::Lease {
+                figure: str_field("figure")?,
+                plan_hash: str_field("plan_hash")?,
+                profile: str_field("profile")?,
+                worker: str_field("worker")?,
+            }),
+            Some("heartbeat") => Ok(Request::Heartbeat {
+                worker: str_field("worker")?,
+                batch: int_field("batch")? as usize,
+                epoch: int_field("epoch")?,
+            }),
+            Some("complete") => Ok(Request::Complete {
+                worker: str_field("worker")?,
+                batch: int_field("batch")? as usize,
+                epoch: int_field("epoch")?,
+            }),
+            Some("status") => Ok(Request::Status),
+            other => Err(CoordError::protocol(format!(
+                "unknown request kind {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Queue counters returned for a [`Request::Status`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatusReport {
+    /// Total batches in the sweep.
+    pub batches: usize,
+    /// Batches completed and acknowledged.
+    pub done: usize,
+    /// Batches currently under a live lease.
+    pub leased: usize,
+    /// Leases reclaimed from expired workers so far.
+    pub reclaims: u64,
+}
+
+/// A coordinator-to-worker message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A lease: solve these points, heartbeat at least every
+    /// `heartbeat_ms`, then send [`Request::Complete`].
+    Grant {
+        /// The leased batch id.
+        batch: usize,
+        /// The monotonic lease epoch (increments every re-issue).
+        epoch: u64,
+        /// The heartbeat interval the coordinator expects.
+        heartbeat_ms: u64,
+        /// Stable lattice indices of the batch's points.
+        points: Vec<usize>,
+    },
+    /// Nothing available right now (all remaining batches are leased);
+    /// retry after roughly `backoff_ms`.
+    Wait {
+        /// Suggested retry delay.
+        backoff_ms: u64,
+    },
+    /// Every batch is done: the worker may exit.
+    Drained,
+    /// Heartbeat/complete acknowledged.
+    Ack,
+    /// The lease named in a heartbeat/complete is no longer held by
+    /// this worker (it expired and was reclaimed, possibly re-issued).
+    Expired,
+    /// The worker's sweep identity does not match the one served.
+    Mismatch {
+        /// The disagreeing field.
+        field: String,
+        /// What the coordinator serves.
+        expected: String,
+        /// What the worker asked for.
+        found: String,
+    },
+    /// Queue counters.
+    Status(StatusReport),
+}
+
+impl Response {
+    /// Renders the response as one protocol line.
+    pub fn to_line(&self) -> String {
+        let mut out = String::from("{\"kind\":");
+        match self {
+            Response::Grant {
+                batch,
+                epoch,
+                heartbeat_ms,
+                points,
+            } => {
+                out.push_str(&format!(
+                    "\"grant\",\"batch\":{batch},\"epoch\":{epoch},\
+                     \"heartbeat_ms\":{heartbeat_ms},\"points\":["
+                ));
+                for (i, p) in points.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&p.to_string());
+                }
+                out.push(']');
+            }
+            Response::Wait { backoff_ms } => {
+                out.push_str(&format!("\"wait\",\"backoff_ms\":{backoff_ms}"));
+            }
+            Response::Drained => out.push_str("\"drained\""),
+            Response::Ack => out.push_str("\"ack\""),
+            Response::Expired => out.push_str("\"expired\""),
+            Response::Mismatch {
+                field,
+                expected,
+                found,
+            } => {
+                out.push_str("\"mismatch\",\"field\":");
+                write_json_string(&mut out, field);
+                out.push_str(",\"expected\":");
+                write_json_string(&mut out, expected);
+                out.push_str(",\"found\":");
+                write_json_string(&mut out, found);
+            }
+            Response::Status(s) => {
+                out.push_str(&format!(
+                    "\"status\",\"batches\":{},\"done\":{},\"leased\":{},\"reclaims\":{}",
+                    s.batches, s.done, s.leased, s.reclaims
+                ));
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one protocol line into a response.
+    pub fn parse(line: &str) -> Result<Response, CoordError> {
+        let doc =
+            parse_json(line).map_err(|e| CoordError::protocol(format!("bad response: {e}")))?;
+        let int_field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CoordError::protocol(format!("response missing {name:?}")))
+        };
+        let str_field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| CoordError::protocol(format!("response missing {name:?}")))
+        };
+        match doc.get("kind").and_then(Json::as_str) {
+            Some("grant") => {
+                let points = doc
+                    .get("points")
+                    .and_then(Json::as_array)
+                    .and_then(|items| {
+                        items
+                            .iter()
+                            .map(|v| v.as_u64().map(|p| p as usize))
+                            .collect::<Option<Vec<usize>>>()
+                    })
+                    .ok_or_else(|| CoordError::protocol("grant missing point list"))?;
+                Ok(Response::Grant {
+                    batch: int_field("batch")? as usize,
+                    epoch: int_field("epoch")?,
+                    heartbeat_ms: int_field("heartbeat_ms")?,
+                    points,
+                })
+            }
+            Some("wait") => Ok(Response::Wait {
+                backoff_ms: int_field("backoff_ms")?,
+            }),
+            Some("drained") => Ok(Response::Drained),
+            Some("ack") => Ok(Response::Ack),
+            Some("expired") => Ok(Response::Expired),
+            Some("mismatch") => Ok(Response::Mismatch {
+                field: str_field("field")?,
+                expected: str_field("expected")?,
+                found: str_field("found")?,
+            }),
+            Some("status") => Ok(Response::Status(StatusReport {
+                batches: int_field("batches")? as usize,
+                done: int_field("done")? as usize,
+                leased: int_field("leased")? as usize,
+                reclaims: int_field("reclaims")?,
+            })),
+            other => Err(CoordError::protocol(format!(
+                "unknown response kind {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_round_trips() {
+        let tcp = Endpoint::parse("127.0.0.1:7077").unwrap();
+        assert_eq!(tcp, Endpoint::Tcp("127.0.0.1:7077".to_string()));
+        assert_eq!(Endpoint::parse(&tcp.to_string()), Some(tcp));
+        let unix = Endpoint::parse("unix:/tmp/coord.sock").unwrap();
+        assert_eq!(unix, Endpoint::Unix(PathBuf::from("/tmp/coord.sock")));
+        assert_eq!(Endpoint::parse(&unix.to_string()), Some(unix));
+        assert_eq!(Endpoint::parse("no-port-here"), None);
+        assert_eq!(Endpoint::parse("unix:"), None);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Lease {
+                figure: "fig04_mtv_model".to_string(),
+                plan_hash: "0123456789abcdef".to_string(),
+                profile: "quick".to_string(),
+                worker: "w-1a2b".to_string(),
+            },
+            Request::Heartbeat {
+                worker: "w \"quoted\"".to_string(),
+                batch: 3,
+                epoch: 17,
+            },
+            Request::Complete {
+                worker: "w-1a2b".to_string(),
+                batch: 0,
+                epoch: 1,
+            },
+            Request::Status,
+        ];
+        for req in cases {
+            let line = req.to_line();
+            assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
+        }
+        assert!(Request::parse("{\"kind\":\"gimme\"}").is_err());
+        assert!(Request::parse("not json").is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Grant {
+                batch: 2,
+                epoch: 5,
+                heartbeat_ms: 500,
+                points: vec![0, 7, 12],
+            },
+            Response::Grant {
+                batch: 0,
+                epoch: 1,
+                heartbeat_ms: 50,
+                points: vec![],
+            },
+            Response::Wait { backoff_ms: 40 },
+            Response::Drained,
+            Response::Ack,
+            Response::Expired,
+            Response::Mismatch {
+                field: "plan_hash".to_string(),
+                expected: "aaaa".to_string(),
+                found: "bbbb".to_string(),
+            },
+            Response::Status(StatusReport {
+                batches: 7,
+                done: 3,
+                leased: 2,
+                reclaims: 1,
+            }),
+        ];
+        for resp in cases {
+            let line = resp.to_line();
+            assert_eq!(Response::parse(&line).unwrap(), resp, "{line}");
+        }
+        assert!(Response::parse("{\"kind\":\"grant\"}").is_err());
+    }
+
+    #[test]
+    fn lines_cross_a_real_socket() {
+        // One request-response exchange over loopback TCP, the framing
+        // the coordinator actually uses.
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".to_string())).unwrap();
+        let endpoint = listener.local_endpoint();
+        let req = Request::Status;
+        let resp = Response::Status(StatusReport::default());
+
+        let server = std::thread::spawn({
+            let resp = resp.clone();
+            move || {
+                // Nonblocking accept: poll until the client connects.
+                let mut conn = loop {
+                    match listener.accept() {
+                        Ok(conn) => break conn,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(e) => panic!("accept: {e}"),
+                    }
+                };
+                let line = recv_line(conn.as_mut()).unwrap();
+                let got = Request::parse(&line).unwrap();
+                send_line(conn.as_mut(), &resp.to_line()).unwrap();
+                got
+            }
+        });
+
+        let mut conn = connect(&endpoint).unwrap();
+        send_line(conn.as_mut(), &req.to_line()).unwrap();
+        let got_resp = Response::parse(&recv_line(conn.as_mut()).unwrap()).unwrap();
+        assert_eq!(got_resp, resp);
+        assert_eq!(server.join().unwrap(), req);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_endpoint_works_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("lrd-proto-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("coord.sock");
+        let endpoint = Endpoint::Unix(sock.clone());
+        // Leave a stale socket file: bind must clear it.
+        std::fs::write(&sock, b"").unwrap();
+        let listener = Listener::bind(&endpoint).unwrap();
+        let server = std::thread::spawn(move || {
+            let mut conn = loop {
+                match listener.accept() {
+                    Ok(conn) => break conn,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => panic!("accept: {e}"),
+                }
+            };
+            let line = recv_line(conn.as_mut()).unwrap();
+            send_line(conn.as_mut(), &Response::Drained.to_line()).unwrap();
+            line
+            // Listener dropped here: socket file removed.
+        });
+        let mut conn = connect(&endpoint).unwrap();
+        send_line(conn.as_mut(), &Request::Status.to_line()).unwrap();
+        assert_eq!(
+            Response::parse(&recv_line(conn.as_mut()).unwrap()).unwrap(),
+            Response::Drained
+        );
+        server.join().unwrap();
+        assert!(!sock.exists(), "socket file must be removed on drop");
+    }
+}

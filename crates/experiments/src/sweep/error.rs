@@ -10,7 +10,9 @@ use std::fmt;
 use std::path::PathBuf;
 
 /// A failure while running, checkpointing, or merging a sweep.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// Not `Eq`: the duplicate variants carry the point's `f64` lattice
+// coordinates so merge errors name *where* the conflict is.
+#[derive(Debug, Clone, PartialEq)]
 pub enum SweepError {
     /// Reading or writing a checkpoint file failed at the OS level.
     Io {
@@ -64,6 +66,43 @@ pub enum SweepError {
         path: PathBuf,
         /// The stable index of the duplicated point.
         index: usize,
+    },
+    /// Two static-shard checkpoints both solved the same point — the
+    /// shard ownership sets overlap. Unlike [`DuplicatePoint`] (a
+    /// within-file defect), this names both conflicting files and the
+    /// point's lattice coordinates so the offending assignment rows
+    /// can be found without decoding indices by hand.
+    ///
+    /// [`DuplicatePoint`]: SweepError::DuplicatePoint
+    DuplicateAcrossShards {
+        /// The stable index of the duplicated point.
+        index: usize,
+        /// The point's lattice coordinates (one per plan axis),
+        /// decoded from the manifest's embedded axes.
+        coords: Vec<f64>,
+        /// The checkpoint that recorded the point first.
+        first: PathBuf,
+        /// The checkpoint that recorded it again.
+        second: PathBuf,
+    },
+    /// Two steal-mode worker checkpoints solved the same point — which
+    /// is expected after a lease reclaim — but their values are not
+    /// bit-identical, so first-writer-wins resolution would silently
+    /// pick one of two *different* answers. This can only mean the
+    /// workers ran different binaries or a nondeterministic solve.
+    DuplicateMismatch {
+        /// The stable index of the conflicting point.
+        index: usize,
+        /// The point's lattice coordinates (one per plan axis).
+        coords: Vec<f64>,
+        /// The checkpoint whose value was kept (first writer).
+        first: PathBuf,
+        /// The checkpoint whose value disagrees.
+        second: PathBuf,
+        /// The first writer's value.
+        first_value: f64,
+        /// The disagreeing value.
+        second_value: f64,
     },
     /// The merged shard files do not form the full partition
     /// `{0, …, n-1}`.
@@ -126,6 +165,35 @@ impl fmt::Display for SweepError {
             SweepError::DuplicatePoint { path, index } => {
                 write!(f, "{}: point {index} recorded twice", path.display())
             }
+            SweepError::DuplicateAcrossShards {
+                index,
+                coords,
+                first,
+                second,
+            } => write!(
+                f,
+                "point {index} at {} solved by both {} and {} — the shard \
+                 ownership sets overlap",
+                fmt_coords(coords),
+                first.display(),
+                second.display()
+            ),
+            SweepError::DuplicateMismatch {
+                index,
+                coords,
+                first,
+                second,
+                first_value,
+                second_value,
+            } => write!(
+                f,
+                "point {index} at {} solved twice with different values: {} \
+                 recorded {first_value:e}, {} recorded {second_value:e} — \
+                 duplicate solves after a lease reclaim must be bit-identical",
+                fmt_coords(coords),
+                first.display(),
+                second.display()
+            ),
             SweepError::IncompleteShardSet { expected, found } => write!(
                 f,
                 "incomplete shard set: need all of 0..{expected}, found {found:?}"
@@ -146,6 +214,19 @@ impl fmt::Display for SweepError {
 }
 
 impl std::error::Error for SweepError {}
+
+/// Renders lattice coordinates as `(0.05, inf)` for error messages.
+fn fmt_coords(coords: &[f64]) -> String {
+    let mut out = String::from("(");
+    for (i, &c) in coords.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&c.to_string());
+    }
+    out.push(')');
+    out
+}
 
 impl SweepError {
     /// Wraps an OS error for `path` (renders the message eagerly so

@@ -35,12 +35,21 @@
 //!   makespan is never worse than the round-robin split's. The
 //!   `sweep_plan` binary drives this from the command line.
 //!
+//! * [`coord`] — dynamic work-stealing as an alternative to static
+//!   sharding: a `sweep_coord` process serves cost-priced point
+//!   batches under a lease/heartbeat protocol, `--steal` workers
+//!   solve whatever they can lease, and expired leases (crashed or
+//!   wedged workers) are reclaimed and re-issued. Duplicate solves
+//!   from reclaims resolve first-writer-wins at merge, asserted
+//!   bit-identical.
+//!
 //! The design composes one-host parallelism with many-host sharding:
 //! within a shard, points still fan through `par_map`, so `--shard`
 //! and `--threads` multiply. See DESIGN.md §11 for the format and
-//! validation rules.
+//! validation rules, and §12 for the work-stealing protocol.
 
 mod checkpoint;
+pub mod coord;
 mod error;
 mod merge;
 mod plan;
@@ -48,7 +57,10 @@ mod planner;
 mod runner;
 mod shard;
 
-pub use checkpoint::{manifest_line, point_line, read_checkpoint, Checkpoint, Manifest};
+pub use checkpoint::{
+    manifest_line, manifest_line_for, point_line, read_checkpoint, validate_checkpoint,
+    write_manifest_durable, Checkpoint, CheckpointOrigin, Manifest,
+};
 pub use error::SweepError;
 pub use merge::{merge_checkpoints, MergedSurface};
 pub use plan::{Axis, PointResult, PointSpec, SweepPlan};

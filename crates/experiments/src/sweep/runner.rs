@@ -1,22 +1,23 @@
 //! Shard execution: fan a plan's points through the worker pool,
 //! streaming completed results to a resumable checkpoint.
 
-use std::collections::BTreeMap;
-use std::fs::OpenOptions;
+use std::fs::File;
 use std::io::Write;
 use std::path::Path;
 
 use crate::output::Grid;
-use crate::sweep::{
-    manifest_line, point_line, read_checkpoint, Checkpoint, Manifest, PointResult, PointSpec,
-    ShardSpec, SweepError, SweepPlan,
-};
+use crate::sweep::checkpoint::{open_checkpoint, CheckpointOrigin};
+use crate::sweep::{point_line, PointResult, PointSpec, ShardSpec, SweepError, SweepPlan};
 
 /// How many points are solved between checkpoint flushes. Small enough
 /// that a killed run loses at most a few seconds of work on quick
 /// profiles; large enough that the write amortises across a `par_map`
 /// batch.
 pub const CHECKPOINT_CHUNK: usize = 8;
+
+/// How many times a transient checkpoint-append failure is attempted
+/// before the shard aborts with [`SweepError::Io`].
+const APPEND_ATTEMPTS: u32 = 5;
 
 /// A runnable sweep: the declarative [`SweepPlan`] plus the function
 /// that solves one lattice point.
@@ -41,62 +42,6 @@ impl std::fmt::Debug for FigureSweep<'_> {
     }
 }
 
-fn mismatch(
-    path: &Path,
-    field: &'static str,
-    expected: impl ToString,
-    found: impl ToString,
-) -> SweepError {
-    SweepError::ManifestMismatch {
-        path: path.to_path_buf(),
-        field,
-        expected: expected.to_string(),
-        found: found.to_string(),
-    }
-}
-
-/// Checks a previously-written checkpoint against the plan and shard
-/// this process was asked to run, and against per-shard invariants
-/// (ownership, no duplicates).
-fn validate_resume(
-    path: &Path,
-    ck: &Checkpoint,
-    expected: &Manifest,
-) -> Result<(), SweepError> {
-    let m = &ck.manifest;
-    if m.figure != expected.figure {
-        return Err(mismatch(path, "figure", &expected.figure, &m.figure));
-    }
-    if m.plan_hash != expected.plan_hash {
-        return Err(mismatch(path, "plan_hash", &expected.plan_hash, &m.plan_hash));
-    }
-    if m.profile != expected.profile {
-        return Err(mismatch(path, "profile", &expected.profile, &m.profile));
-    }
-    if m.shard != expected.shard {
-        return Err(mismatch(path, "shard", &expected.shard, &m.shard));
-    }
-    if m.total_points != expected.total_points {
-        return Err(mismatch(path, "points", expected.total_points, m.total_points));
-    }
-    let mut seen = std::collections::BTreeSet::new();
-    for point in &ck.points {
-        if point.index >= expected.total_points || !expected.shard.owns(point.index) {
-            return Err(SweepError::ForeignPoint {
-                path: path.to_path_buf(),
-                index: point.index,
-            });
-        }
-        if !seen.insert(point.index) {
-            return Err(SweepError::DuplicatePoint {
-                path: path.to_path_buf(),
-                index: point.index,
-            });
-        }
-    }
-    Ok(())
-}
-
 /// Solves one point while watching its `solver.solve` telemetry span,
 /// stamping the summed span duration into the result. No new
 /// stopwatch: the timing is the one the solver's own span already
@@ -104,10 +49,82 @@ fn validate_resume(
 /// workers and any installed telemetry sink). Durations feed the
 /// cost-weighted re-split planner only — they never influence the
 /// solved values.
-fn solve_timed(sweep: &FigureSweep<'_>, spec: &PointSpec) -> PointResult {
+pub(crate) fn solve_timed(sweep: &FigureSweep<'_>, spec: &PointSpec) -> PointResult {
     let (mut result, dur) = lrd_obs::watch_span("solver.solve", || (sweep.solve)(spec));
     result.solve_us = dur;
     result
+}
+
+/// Whether an I/O failure is worth retrying: the kernel interrupted or
+/// back-pressured the write, or the disk is (possibly momentarily)
+/// full. Anything else — permissions, a vanished file, a read-only
+/// mount — will not get better by waiting.
+fn is_transient(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        kind,
+        ErrorKind::Interrupted
+            | ErrorKind::WouldBlock
+            | ErrorKind::StorageFull
+            | ErrorKind::QuotaExceeded
+            | ErrorKind::ResourceBusy
+    )
+}
+
+/// Runs `op` up to [`APPEND_ATTEMPTS`] times, sleeping an
+/// exponentially-growing backoff between attempts and emitting a
+/// `sweep.checkpoint_retry` warning event per retry. Only transient
+/// failures ([`is_transient`]) are retried; hard failures and an
+/// exhausted budget surface as [`SweepError::Io`].
+pub(crate) fn retry_transient(
+    path: &Path,
+    what: &str,
+    mut op: impl FnMut() -> std::io::Result<()>,
+) -> Result<(), SweepError> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(()) => return Ok(()),
+            Err(e) if attempt + 1 < APPEND_ATTEMPTS && is_transient(e.kind()) => {
+                attempt += 1;
+                eprintln!(
+                    "warning: {}: transient {what} failure ({e}); retrying \
+                     (attempt {attempt} of {})",
+                    path.display(),
+                    APPEND_ATTEMPTS - 1,
+                );
+                lrd_obs::event!(
+                    "sweep.checkpoint_retry",
+                    path = path.display().to_string(),
+                    what = what.to_string(),
+                    attempt = u64::from(attempt),
+                    error = e.to_string(),
+                );
+                std::thread::sleep(std::time::Duration::from_millis(1u64 << attempt));
+            }
+            Err(e) => return Err(SweepError::io(path, &e)),
+        }
+    }
+}
+
+/// Appends `text` to an open checkpoint handle with bounded retries.
+/// A failed attempt may have written a partial line; each retry first
+/// truncates back to the pre-append length so the file never
+/// accumulates torn middles — the retried append starts on the same
+/// clean boundary.
+pub(crate) fn append_with_retry(
+    file: &mut File,
+    path: &Path,
+    text: &str,
+) -> Result<(), SweepError> {
+    let start = file.metadata().map_err(|e| SweepError::io(path, &e))?.len();
+    retry_transient(path, "checkpoint append", || {
+        if file.metadata()?.len() != start {
+            file.set_len(start)?;
+        }
+        file.write_all(text.as_bytes())?;
+        file.flush()
+    })
 }
 
 /// Runs `shard` of the sweep, returning its results in stable-index
@@ -125,9 +142,11 @@ fn solve_timed(sweep: &FigureSweep<'_>, spec: &PointSpec) -> PointResult {
 /// from a mid-write kill is dropped and re-solved. A file whose
 /// *manifest* line is torn (the producer was killed before its first
 /// flush, so the file holds no solved work) is discarded with a
-/// warning and the shard starts fresh. Solved values are bit-identical
-/// whether a shard ran straight through, was killed and resumed, or
-/// never checkpointed at all.
+/// warning and the shard starts fresh. Fresh manifests are fsynced
+/// before the first point append, and appends themselves retry
+/// transient I/O failures with backoff before giving up. Solved values
+/// are bit-identical whether a shard ran straight through, was killed
+/// and resumed, or never checkpointed at all.
 pub fn run_points(
     sweep: &FigureSweep<'_>,
     shard: &ShardSpec,
@@ -139,65 +158,14 @@ pub fn run_points(
         return Ok(lrd_pool::par_map(&owned, |spec| (sweep.solve)(spec)));
     };
 
-    let expected = Manifest::new(&sweep.plan, shard);
-    let mut done: BTreeMap<usize, PointResult> = BTreeMap::new();
-    let mut fresh = !path.exists();
-    if !fresh {
-        match read_checkpoint(path) {
-            Ok(ck) => {
-                validate_resume(path, &ck, &expected)?;
-                if ck.truncated_tail {
-                    // Rewrite the file without the torn line so appends
-                    // start on a clean boundary.
-                    let mut text = manifest_line(&sweep.plan, shard);
-                    text.push('\n');
-                    for point in &ck.points {
-                        text.push_str(&point_line(
-                            &sweep.plan.point(point.index).coords,
-                            point,
-                        ));
-                        text.push('\n');
-                    }
-                    std::fs::write(path, text).map_err(|e| SweepError::io(path, &e))?;
-                }
-                for point in ck.points {
-                    done.insert(point.index, point);
-                }
-            }
-            Err(SweepError::TornManifest { .. }) => {
-                // Killed before the first flush: the file records no
-                // solved work, so losing it loses nothing. Warn and
-                // start the shard from scratch.
-                eprintln!(
-                    "warning: {}: checkpoint manifest line is torn (previous run was \
-                     killed before its first flush); discarding and starting fresh",
-                    path.display()
-                );
-                lrd_obs::event!(
-                    "sweep.torn_manifest_discarded",
-                    path = path.display().to_string(),
-                );
-                std::fs::remove_file(path).map_err(|e| SweepError::io(path, &e))?;
-                fresh = true;
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    if fresh {
-        let mut text = manifest_line(&sweep.plan, shard);
-        text.push('\n');
-        std::fs::write(path, text).map_err(|e| SweepError::io(path, &e))?;
-    }
+    let origin = CheckpointOrigin::Shard(shard.clone());
+    let (mut done, mut file) = open_checkpoint(path, &sweep.plan, &origin)?;
 
     let remaining: Vec<PointSpec> = owned
         .into_iter()
         .filter(|spec| !done.contains_key(&spec.index))
         .collect();
 
-    let mut file = OpenOptions::new()
-        .append(true)
-        .open(path)
-        .map_err(|e| SweepError::io(path, &e))?;
     for chunk in remaining.chunks(CHECKPOINT_CHUNK) {
         let results = lrd_pool::par_map(chunk, |spec| solve_timed(sweep, spec));
         let mut text = String::new();
@@ -206,9 +174,7 @@ pub fn run_points(
             text.push_str(&point_line(&spec.coords, result));
             text.push('\n');
         }
-        file.write_all(text.as_bytes())
-            .and_then(|()| file.flush())
-            .map_err(|e| SweepError::io(path, &e))?;
+        append_with_retry(&mut file, path, &text)?;
         for result in results {
             done.insert(result.index, result);
         }
@@ -228,7 +194,7 @@ pub fn run_grid(sweep: &FigureSweep<'_>) -> Grid {
 mod tests {
     use super::*;
     use crate::figures::Profile;
-    use crate::sweep::Axis;
+    use crate::sweep::{manifest_line, Axis};
     use lrd_fluidq::SolverOptions;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -341,7 +307,8 @@ mod tests {
         let path = tmp("torn-manifest");
         let _ = std::fs::remove_file(&path);
         // A process killed before its first flush leaves a prefix of
-        // the manifest line with no newline.
+        // the manifest line with no newline — the exact artifact of a
+        // kill between the manifest write and its flush/fsync.
         let manifest = manifest_line(&s.plan, &ShardSpec::FULL);
         std::fs::write(&path, &manifest[..manifest.len() / 2]).unwrap();
 
@@ -354,6 +321,97 @@ mod tests {
         // The rewritten file is a valid, complete checkpoint now.
         let again = run_points(&s, &ShardSpec::FULL, Some(&path)).unwrap();
         assert_eq!(recovered, again);
+    }
+
+    #[test]
+    fn fresh_manifest_is_complete_on_disk_before_any_append() {
+        // Satellite regression: open_checkpoint must leave a complete,
+        // newline-terminated, fsynced manifest on disk *before* the
+        // append handle is handed out — so a kill between manifest
+        // write and first point line leaves a resumable file, not a
+        // torn one.
+        let s = sweep();
+        let path = tmp("durable-manifest");
+        let _ = std::fs::remove_file(&path);
+        let origin = CheckpointOrigin::Shard(ShardSpec::FULL);
+        let (done, file) = open_checkpoint(&path, &s.plan, &origin).unwrap();
+        assert!(done.is_empty());
+        // Simulate the kill: drop the handle without appending.
+        drop(file);
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        let mut want = manifest_line(&s.plan, &ShardSpec::FULL);
+        want.push('\n');
+        assert_eq!(on_disk, want);
+        // And the survivor resumes cleanly, solving everything.
+        let resumed = run_points(&s, &ShardSpec::FULL, Some(&path)).unwrap();
+        assert_eq!(resumed.len(), s.plan.len());
+    }
+
+    #[test]
+    fn transient_append_failures_are_retried() {
+        use std::io::{Error, ErrorKind};
+        let path = tmp("retry");
+        // Two WouldBlocks then success: op runs three times, Ok.
+        let calls = AtomicUsize::new(0);
+        retry_transient(&path, "test append", || {
+            match calls.fetch_add(1, Ordering::SeqCst) {
+                0 => Err(Error::new(ErrorKind::WouldBlock, "busy")),
+                1 => Err(Error::from(ErrorKind::StorageFull)),
+                _ => Ok(()),
+            }
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+
+        // A hard failure is not retried at all.
+        let calls = AtomicUsize::new(0);
+        let err = retry_transient(&path, "test append", || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(Error::new(ErrorKind::PermissionDenied, "nope"))
+        })
+        .unwrap_err();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert!(matches!(err, SweepError::Io { .. }));
+
+        // A persistent transient failure exhausts the budget.
+        let calls = AtomicUsize::new(0);
+        let err = retry_transient(&path, "test append", || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(Error::new(ErrorKind::Interrupted, "eintr"))
+        })
+        .unwrap_err();
+        assert_eq!(calls.load(Ordering::SeqCst), APPEND_ATTEMPTS as usize);
+        assert!(matches!(err, SweepError::Io { .. }));
+    }
+
+    #[test]
+    fn retried_append_truncates_partial_writes() {
+        // A partial line left by a failed attempt must be cut back
+        // before the retry, so the checkpoint never holds a torn
+        // middle. Simulate by writing garbage through a second handle
+        // between "attempts".
+        let s = sweep();
+        let path = tmp("truncate");
+        let _ = std::fs::remove_file(&path);
+        let origin = CheckpointOrigin::Shard(ShardSpec::FULL);
+        let (_, mut file) = open_checkpoint(&path, &s.plan, &origin).unwrap();
+        let start = file.metadata().unwrap().len();
+        // The "failed attempt": half a point line, no newline.
+        let full = run_points(&s, &ShardSpec::FULL, None).unwrap();
+        let line = point_line(&s.plan.point(0).coords, &full[0]);
+        file.write_all(&line.as_bytes()[..line.len() / 2]).unwrap();
+        file.flush().unwrap();
+        assert!(file.metadata().unwrap().len() > start);
+        // The retry path: append_with_retry on a fresh handle sees the
+        // same pre-append length only if the caller recorded it — here
+        // we exercise the truncation branch directly.
+        file.set_len(start).unwrap();
+        append_with_retry(&mut file, &path, &format!("{line}\n")).unwrap();
+        let again = run_points(&s, &ShardSpec::FULL, Some(&path)).unwrap();
+        assert_eq!(again.len(), s.plan.len());
+        for (a, b) in full.iter().zip(&again) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Process-level chaos: real coordinator and worker processes are
+//! SIGKILLed mid-sweep (with checkpoint tails torn and heartbeats
+//! dropped for good measure), and the merged figure must still be
+//! byte-identical to an undisturbed single-process run.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs a command to completion, asserting success and returning its
+/// stdout bytes; stderr is replayed on failure.
+fn run_ok(cmd: &mut Command, what: &str) -> Vec<u8> {
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("{what}: failed to spawn: {e}"));
+    assert!(
+        out.status.success(),
+        "{what} failed ({}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn chaos(dir: &Path, scenario: &str, extra: &[&str]) -> Vec<u8> {
+    let sdir = dir.join(scenario);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sweep_chaos"));
+    cmd.arg("--figure")
+        .arg("fig04_mtv_model")
+        .arg("--quick")
+        .arg("--workers")
+        .arg("2")
+        .arg("--heartbeat-ms")
+        .arg("50")
+        .arg("--lease-ttl-ms")
+        .arg("250")
+        .arg("--batch-points")
+        .arg("3")
+        .arg("--dir")
+        .arg(&sdir)
+        .args(extra)
+        .env("LRD_RESULTS_DIR", &sdir);
+    run_ok(&mut cmd, &format!("sweep_chaos ({scenario})"))
+}
+
+#[test]
+fn chaos_matrix_always_completes_and_merges_byte_exact() {
+    let dir = std::env::temp_dir().join("lrd-chaos-sweep-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The undisturbed single-process figure: the byte-exactness oracle.
+    let reference = run_ok(
+        Command::new(env!("CARGO_BIN_EXE_fig04_mtv_model"))
+            .arg("--quick")
+            .env("LRD_RESULTS_DIR", &dir),
+        "fig04_mtv_model --quick (reference)",
+    );
+    assert!(!reference.is_empty(), "reference CSV must not be empty");
+
+    for (scenario, extra) in [
+        // A worker is SIGKILLed mid-lease and its checkpoint tail torn;
+        // the respawned worker and the reclaim path pick up the pieces.
+        (
+            "worker-kill",
+            &["--kill", "worker:0", "--tear-tail", "--seed", "7"][..],
+        ),
+        // Worker 0 *and* the coordinator die; the coordinator restart
+        // resumes its lease log on the same endpoint.
+        ("both-kill", &["--kill", "both", "--seed", "11"][..]),
+        // No kills, but most heartbeats never arrive: leases expire,
+        // batches are reclaimed and re-solved, duplicates resolved at
+        // merge.
+        ("hb-drop", &["--kill", "none", "--hb-drop", "0.7", "--seed", "13"][..]),
+    ] {
+        let csv = chaos(&dir, scenario, extra);
+        assert_eq!(
+            csv,
+            reference,
+            "{scenario}: merged CSV differs from the undisturbed run"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

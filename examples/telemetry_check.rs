@@ -10,6 +10,14 @@
 //! accidentally re-solving points) and silently skipped ones (a
 //! checkpoint resume eating work it should have redone).
 //!
+//! With `--coord` the capture is a **coordinator** telemetry file (from
+//! `sweep_coord --telemetry`) instead of a solver one: the check then
+//! verifies the lease ledger — every completed batch was granted, the
+//! reclaim counter agrees with the reclaim events, and (with
+//! `--figure`) the points of the completed batches sum to exactly the
+//! figure's solve budget. Only valid for a capture from a single
+//! coordinator process that was not killed mid-sweep.
+//!
 //! Used by `scripts/ci.sh` as the telemetry smoke check:
 //!
 //! ```sh
@@ -28,17 +36,20 @@ struct Args {
     path: String,
     figure: Option<String>,
     profile: Profile,
+    coord: bool,
 }
 
 fn parse_args() -> Option<Args> {
     let mut path = None;
     let mut figure = None;
     let mut profile = Profile::Quick;
+    let mut coord = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--figure" => figure = Some(args.next()?),
             "--profile" => profile = Profile::from_tag(&args.next()?)?,
+            "--coord" => coord = true,
             other if other.starts_with('-') => return None,
             other => {
                 if path.replace(other.to_string()).is_some() {
@@ -51,13 +62,102 @@ fn parse_args() -> Option<Args> {
         path: path?,
         figure,
         profile,
+        coord,
     })
+}
+
+/// The `--coord` requirements: the lease ledger of a coordinator that
+/// served a sweep to completion must balance.
+fn check_coord(args: &Args, records: &[Json]) -> ExitCode {
+    let events = |name: &str| -> Vec<&Json> {
+        records
+            .iter()
+            .filter(|j| {
+                j.get("kind").and_then(Json::as_str) == Some("event")
+                    && j.get("name").and_then(Json::as_str) == Some(name)
+            })
+            .collect()
+    };
+    let granted = events("coord.lease_granted").len();
+    let done = events("coord.batch_done");
+    let reclaim_events = events("coord.lease_reclaimed").len() as u64;
+    // The counter record is only flushed when at least one reclaim
+    // happened; absent means zero.
+    let reclaim_counter = records
+        .iter()
+        .find(|j| {
+            j.get("kind").and_then(Json::as_str) == Some("counter")
+                && j.get("name").and_then(Json::as_str) == Some("coord.reclaims")
+        })
+        .and_then(|j| j.get("value").and_then(Json::as_u64))
+        .unwrap_or(0);
+
+    let mut ok = true;
+    if done.is_empty() {
+        eprintln!("telemetry_check: no coord.batch_done events (did the sweep run?)");
+        ok = false;
+    }
+    if granted < done.len() {
+        eprintln!(
+            "telemetry_check: {} batch(es) completed but only {granted} lease(s) granted",
+            done.len()
+        );
+        ok = false;
+    }
+    if reclaim_counter != reclaim_events {
+        eprintln!(
+            "telemetry_check: coord.reclaims counter ({reclaim_counter}) disagrees with \
+             {reclaim_events} coord.lease_reclaimed event(s)"
+        );
+        ok = false;
+    }
+    // Every completed batch reports its point count; for an unkilled
+    // coordinator the total must be exactly the figure's solve budget
+    // — points can be re-solved by reclaimed leases, but each batch
+    // completes exactly once.
+    let points: u64 = done
+        .iter()
+        .filter_map(|j| {
+            j.get("fields")
+                .and_then(|f| f.get("points"))
+                .and_then(Json::as_u64)
+        })
+        .sum();
+    if let Some(name) = &args.figure {
+        match lrd_experiments::find_figure(name) {
+            None => {
+                eprintln!("telemetry_check: unknown figure `{name}`");
+                ok = false;
+            }
+            Some(spec) => {
+                let expected = spec.expected_solves(args.profile);
+                if points != expected {
+                    eprintln!(
+                        "telemetry_check: {name} ({}) coordinator budget violated: completed \
+                         batches cover {points} point(s), expected exactly {expected}",
+                        args.profile.tag(),
+                    );
+                    ok = false;
+                }
+            }
+        }
+    }
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "telemetry_check: coordinator ledger ok ({granted} grant(s), {} batch(es) done \
+         covering {points} point(s), {reclaim_events} reclaim(s))",
+        done.len(),
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         eprintln!(
-            "usage: telemetry_check <capture.jsonl> [--figure <name>] [--profile quick|full]"
+            "usage: telemetry_check <capture.jsonl> [--figure <name>] [--profile quick|full] \
+             [--coord]"
         );
         return ExitCode::FAILURE;
     };
@@ -90,6 +190,10 @@ fn main() -> ExitCode {
             })
             .count()
     };
+
+    if args.coord {
+        return check_coord(&args, &records);
+    }
 
     // Without --figure the capture must cover at least one full solve;
     // with --figure, the registry decides whether solves are expected

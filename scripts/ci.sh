@@ -78,4 +78,19 @@ LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
     > "$smokedir/fig04_planned.csv"
 diff -u "$smokedir/fig04_full.csv" "$smokedir/fig04_planned.csv"
 
+echo "=== chaos smoke (work-stealing sweep survives a worker SIGKILL) ==="
+# A coordinator plus two stealing workers, one SIGKILLed mid-lease and
+# respawned: the merged figure must be byte-identical to the unsharded
+# run, and the coordinator's telemetry ledger must balance exactly.
+LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
+    -p lrd-experiments --bin sweep_chaos -- \
+    --figure fig04_mtv_model --quick --workers 2 --kill worker:0 \
+    --tear-tail --seed 42 --heartbeat-ms 50 --lease-ttl-ms 250 \
+    --batch-points 3 --dir "$smokedir/chaos" \
+    --coord-telemetry "$smokedir/coord.jsonl" \
+    > "$smokedir/fig04_chaos.csv"
+diff -u "$smokedir/fig04_full.csv" "$smokedir/fig04_chaos.csv"
+cargo run -q --release --locked --example telemetry_check -- \
+    "$smokedir/coord.jsonl" --coord --figure fig04_mtv_model --profile quick
+
 echo "ci: all gates passed"

@@ -61,7 +61,7 @@ fn sharded_merge_is_bit_identical_to_unsharded() {
     for count in [1u32, 2, 3] {
         let paths = solve_sharded(&dir, count);
         let merged = merge_checkpoints(&paths).unwrap();
-        assert_eq!(merged.manifest.shard.count, count);
+        assert_eq!(merged.manifest.shard().unwrap().count, count);
         assert_eq!(merged.results.len(), reference.len());
         for (m, r) in merged.results.iter().zip(&reference) {
             assert_eq!(m.index, r.index);
@@ -273,6 +273,222 @@ fn durationless_checkpoints_resume_and_merge_byte_identically() {
     assert_eq!(profile.measured_points(), 0);
     let assignment = plan_assignment(&sweep.plan, &profile, 2).unwrap();
     assert_eq!(assignment.makespan(), (sweep.plan.len() as f64 / 2.0).ceil());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The work-stealing kill-and-resume matrix: crash a worker mid-lease,
+/// crash the coordinator under a live worker, or crash both, resume
+/// everything, and the merged surface must still be bit-identical to
+/// the unsharded run — including when the reclaimed batch is re-solved
+/// by a different worker (duplicate points, resolved at merge).
+#[test]
+fn steal_kill_and_resume_matrix_merges_bit_identically() {
+    use lrd_experiments::sweep::coord::proto::{connect, recv_line, send_line};
+    use lrd_experiments::sweep::coord::{
+        run_steal, CoordOptions, CoordServer, Endpoint, LeaseConfig, Request, Response,
+        StealOptions, StealSummary,
+    };
+    use std::sync::atomic::Ordering;
+
+    let corpus = Corpus::quick();
+    let sweep = fig04_05::fig04_sweep(&corpus, Profile::Quick);
+    let reference = run_points(&sweep, &ShardSpec::FULL, None).unwrap();
+    let total = reference.len();
+
+    let dir = std::env::temp_dir().join("lrd-steal-matrix-test");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Tight timing so a crashed lease expires and is reclaimed within
+    // the test, and small batches so both workers see work.
+    let config = LeaseConfig {
+        heartbeat_ms: 25,
+        lease_ttl_ms: 150,
+    };
+    let start = |endpoint: Endpoint, lease_log: &PathBuf| {
+        CoordServer::start(
+            &sweep.plan,
+            CoordOptions {
+                endpoint,
+                lease_log: Some(lease_log.clone()),
+                config,
+                batch_points: 3,
+                costs: None,
+            },
+        )
+        .unwrap()
+    };
+    let fresh = || Endpoint::Tcp("127.0.0.1:0".to_string());
+    let steal = |endpoint: &Endpoint| StealOptions {
+        endpoint: endpoint.clone(),
+        ..StealOptions::default()
+    };
+    // Best-effort queue probe; None once the coordinator is gone.
+    let probe = |endpoint: &Endpoint| -> Option<(usize, usize)> {
+        let mut conn = connect(endpoint).ok()?;
+        send_line(conn.as_mut(), &Request::Status.to_line()).ok()?;
+        let line = recv_line(conn.as_mut()).ok()?;
+        match Response::parse(&line).ok()? {
+            Response::Status(s) => Some((s.leased, s.done)),
+            _ => None,
+        }
+    };
+    let check_merge = |scenario: &str, paths: &[PathBuf]| {
+        let existing: Vec<PathBuf> = paths.iter().filter(|p| p.exists()).cloned().collect();
+        let merged = merge_checkpoints(&existing).unwrap();
+        assert!(merged.manifest.origin.is_steal());
+        assert_eq!(merged.results.len(), total);
+        for (m, r) in merged.results.iter().zip(&reference) {
+            assert_eq!(m.index, r.index);
+            assert_eq!(
+                m.value.to_bits(),
+                r.value.to_bits(),
+                "{scenario}: merge drifted at point {}",
+                m.index
+            );
+            assert_eq!(m.iterations, r.iterations);
+        }
+    };
+    // A worker crash: lease a batch, durably append its points, vanish
+    // without completing — the lease stays outstanding until reclaim.
+    let crash_worker = |endpoint: &Endpoint, checkpoint: &PathBuf| -> StealSummary {
+        let crash = run_steal(
+            &sweep,
+            checkpoint,
+            &StealOptions {
+                stop_after_points: Some(1),
+                ..steal(endpoint)
+            },
+        )
+        .unwrap();
+        assert!(crash.solved >= 1, "crash run must solve at least a chunk");
+        assert_eq!(crash.batches, 0, "crashed lease must not complete");
+        crash
+    };
+
+    // --- kill worker: the coordinator reclaims the expired lease and
+    // re-issues the batch to the *other* worker, which re-solves the
+    // crashed points into its own checkpoint (duplicates at merge).
+    {
+        let sdir = dir.join("worker");
+        std::fs::create_dir_all(&sdir).unwrap();
+        let (lease_log, w0, w1) = (
+            sdir.join("coord-lease.jsonl"),
+            sdir.join("worker0.jsonl"),
+            sdir.join("worker1.jsonl"),
+        );
+        let server = start(fresh(), &lease_log);
+        let endpoint = server.endpoint();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let crash = crash_worker(&endpoint, &w0);
+        let s1 = run_steal(&sweep, &w1, &steal(&endpoint)).unwrap();
+        let s0 = run_steal(&sweep, &w0, &steal(&endpoint)).unwrap();
+        let summary = handle.join().unwrap();
+
+        assert!(summary.drained && s0.drained && s1.drained);
+        assert!(summary.reclaims >= 1, "expected the crashed lease reclaimed");
+        assert_eq!(s1.solved, total, "worker 1 must re-solve the crashed batch");
+        assert_eq!(s0.solved, 0);
+        assert_eq!(s0.reused, crash.solved);
+        check_merge("worker", &[w0, w1]);
+    }
+
+    // --- kill coordinator: a live mid-sweep worker rides out the
+    // restart (same endpoint, same lease log) without losing its lease.
+    {
+        let sdir = dir.join("coordinator");
+        std::fs::create_dir_all(&sdir).unwrap();
+        let (lease_log, w0, w1) = (
+            sdir.join("coord-lease.jsonl"),
+            sdir.join("worker0.jsonl"),
+            sdir.join("worker1.jsonl"),
+        );
+        let server = start(fresh(), &lease_log);
+        let endpoint = server.endpoint();
+        let stop = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        std::thread::scope(|scope| {
+            let t0 = scope.spawn(|| run_steal(&sweep, &w0, &steal(&endpoint)).unwrap());
+            // Wait until the worker actually holds a lease, then kill.
+            for _ in 0..1000 {
+                match probe(&endpoint) {
+                    Some((leased, done)) if leased > 0 || done > 0 => break,
+                    Some(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                    None => break,
+                }
+            }
+            stop.store(true, Ordering::SeqCst);
+            let partial = handle.join().unwrap();
+
+            if partial.drained {
+                // The sweep outran the kill; nothing left to serve.
+                let s0 = t0.join().unwrap();
+                assert!(s0.drained);
+                check_merge("coordinator", &[w0.clone(), w1.clone()]);
+            } else {
+                // Rebind the *same* endpoint so the in-flight worker's
+                // retries find the restarted coordinator.
+                let server = start(endpoint.clone(), &lease_log);
+                let handle = std::thread::spawn(move || server.run().unwrap());
+                let t1 = scope.spawn(|| run_steal(&sweep, &w1, &steal(&endpoint)).unwrap());
+                let s0 = t0.join().unwrap();
+                let s1 = t1.join().unwrap();
+                let summary = handle.join().unwrap();
+                assert!(summary.drained && s0.drained && s1.drained);
+                assert!(
+                    s0.solved + s1.solved >= total,
+                    "both workers together must cover the lattice"
+                );
+                check_merge("coordinator", &[w0.clone(), w1.clone()]);
+            }
+        });
+    }
+
+    // --- kill both: the worker crashes mid-lease, the coordinator is
+    // killed with that lease outstanding, and the restarted coordinator
+    // must restore the lease from the log, expire it, and re-issue it.
+    {
+        let sdir = dir.join("both");
+        std::fs::create_dir_all(&sdir).unwrap();
+        let (lease_log, w0, w1) = (
+            sdir.join("coord-lease.jsonl"),
+            sdir.join("worker0.jsonl"),
+            sdir.join("worker1.jsonl"),
+        );
+        let server = start(fresh(), &lease_log);
+        let endpoint = server.endpoint();
+        let stop = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let crash = crash_worker(&endpoint, &w0);
+        stop.store(true, Ordering::SeqCst);
+        let partial = handle.join().unwrap();
+        assert!(!partial.drained, "the first coordinator must die mid-sweep");
+
+        let server = start(fresh(), &lease_log);
+        let endpoint = server.endpoint();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        // Both workers resume concurrently: the fresh coordinator only
+        // lingers for workers it has seen, so worker 0 must introduce
+        // itself before the queue drains.
+        let (s0, s1) = std::thread::scope(|scope| {
+            let t0 = scope.spawn(|| run_steal(&sweep, &w0, &steal(&endpoint)).unwrap());
+            let t1 = scope.spawn(|| run_steal(&sweep, &w1, &steal(&endpoint)).unwrap());
+            (t0.join().unwrap(), t1.join().unwrap())
+        });
+        let summary = handle.join().unwrap();
+
+        assert!(summary.drained && s0.drained && s1.drained);
+        assert!(summary.reclaims >= 1, "the restored lease must be reclaimed");
+        assert_eq!(s0.reused, crash.solved);
+        assert!(
+            crash.solved + s0.solved + s1.solved >= total,
+            "the resumed workers must cover the rest of the lattice"
+        );
+        check_merge("both", &[w0, w1]);
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,371 @@
+//! Cross-process trace export: joins a coordinator lease log with
+//! per-worker telemetry captures into one Chrome trace-event timeline.
+//!
+//! ```text
+//! sweep_trace --lease-log coord_lease.jsonl [--out trace.json] \
+//!     <worker1.jsonl> [<worker2.jsonl>...]
+//! ```
+//!
+//! The output (`trace.json`, Chrome trace-event format — load it in
+//! `chrome://tracing` or Perfetto) has one track per worker showing:
+//!
+//! * **lease-held slices** from the coordinator's lease log (grant →
+//!   done/reclaim), labelled with the lease's trace id
+//!   (`t<batch>.<epoch>`) and its outcome;
+//! * **batch and solve spans** from that worker's own `--telemetry`
+//!   capture, placed on the same wall-clock axis via the capture's
+//!   `meta` anchor line (`unix_us - t_us`);
+//! * **instant markers** for reclaims and lease abandonments.
+//!
+//! The join needs no shared state: grants carry a deterministic trace
+//! id that workers stamp on their batch spans, worker captures carry
+//! the worker identity on every line, and both sides stamp wall-clock
+//! microseconds. A worker capture whose identity never appears in the
+//! lease log still gets a track (its solve spans are real work), and a
+//! lease whose worker capture is missing still gets its slice — the
+//! timeline degrades, never lies.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lrd_obs::{parse_json, write_json_string, Json};
+
+struct Args {
+    lease_log: PathBuf,
+    out: PathBuf,
+    workers: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut lease_log = None;
+    let mut out = PathBuf::from("trace.json");
+    let mut workers = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &'static str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweep_trace --lease-log <coord_lease.jsonl> [--out trace.json]\n\
+                     \u{20}        <worker.jsonl>...\n\
+                     \n\
+                     Joins a sweep_coord lease log with worker --telemetry captures\n\
+                     into a Chrome trace-event timeline (one track per worker)."
+                );
+                std::process::exit(0);
+            }
+            "--lease-log" => lease_log = Some(PathBuf::from(value("--lease-log")?)),
+            "--out" => out = PathBuf::from(value("--out")?),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown argument `{other}` (see sweep_trace --help)"))
+            }
+            other => workers.push(PathBuf::from(other)),
+        }
+    }
+    Ok(Args {
+        lease_log: lease_log.ok_or("--lease-log <path> is required")?,
+        out,
+        workers,
+    })
+}
+
+/// One event for the output timeline, in wall-clock microseconds.
+struct TraceEvent {
+    name: String,
+    worker: String,
+    ts_us: f64,
+    /// `Some(dur)` renders a complete slice (`ph:"X"`), `None` an
+    /// instant marker (`ph:"i"`).
+    dur_us: Option<f64>,
+    args: Vec<(&'static str, String)>,
+}
+
+/// A lease grant awaiting its closing event.
+struct OpenLease {
+    worker: String,
+    us: u64,
+}
+
+/// Parses the coordinator lease log into lease slices and reclaim
+/// markers. Returns the events plus every granted `(batch, epoch)` —
+/// the coverage set `telemetry_check --fleet` verifies against.
+fn read_lease_log(
+    path: &PathBuf,
+    events: &mut Vec<TraceEvent>,
+) -> Result<Vec<(usize, u64)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read lease log {}: {e}", path.display()))?;
+    let mut batch_sizes: Vec<usize> = Vec::new();
+    let mut open: BTreeMap<(usize, u64), OpenLease> = BTreeMap::new();
+    let mut granted = Vec::new();
+    let mut last_us = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let Ok(doc) = parse_json(line) else {
+            // A torn tail from a killed coordinator is expected; any
+            // earlier unreadable line would have broken resume too.
+            break;
+        };
+        let kind = doc.get("kind").and_then(Json::as_str).unwrap_or_default();
+        if i == 0 {
+            if kind != "coord_manifest" {
+                return Err(format!(
+                    "{}: first line is not a coord_manifest",
+                    path.display()
+                ));
+            }
+            if let Some(batches) = doc.get("batches").and_then(Json::as_array) {
+                batch_sizes = batches
+                    .iter()
+                    .map(|b| b.as_array().map_or(0, <[Json]>::len))
+                    .collect();
+            }
+            continue;
+        }
+        let field = |name: &str| doc.get(name).and_then(Json::as_u64);
+        let (Some(batch), Some(epoch)) = (field("batch"), field("epoch")) else {
+            continue;
+        };
+        let batch = batch as usize;
+        let worker = doc
+            .get("worker")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        // Pre-PR-7 logs carry no wall clock; fall back to a synthetic
+        // monotone axis so old logs still render (with bogus spacing).
+        let us = field("us").unwrap_or(last_us + 1);
+        last_us = last_us.max(us);
+        match kind {
+            "grant" => {
+                granted.push((batch, epoch));
+                open.insert((batch, epoch), OpenLease { worker, us });
+            }
+            "done" | "reclaim" => {
+                if kind == "reclaim" {
+                    events.push(TraceEvent {
+                        name: format!("reclaim t{batch}.{epoch}"),
+                        worker: worker.clone(),
+                        ts_us: us as f64,
+                        dur_us: None,
+                        args: vec![("trace", format!("t{batch}.{epoch}"))],
+                    });
+                }
+                if let Some(lease) = open.remove(&(batch, epoch)) {
+                    events.push(lease_slice(lease, batch, epoch, us, kind, &batch_sizes));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Leases still open at the end of the log (coordinator killed, or
+    // log copied mid-flight): close them at the last stamp seen.
+    for ((batch, epoch), lease) in open {
+        let end = last_us.max(lease.us);
+        events.push(lease_slice(lease, batch, epoch, end, "open", &batch_sizes));
+    }
+    Ok(granted)
+}
+
+fn lease_slice(
+    lease: OpenLease,
+    batch: usize,
+    epoch: u64,
+    end_us: u64,
+    outcome: &str,
+    batch_sizes: &[usize],
+) -> TraceEvent {
+    TraceEvent {
+        name: format!("lease t{batch}.{epoch}"),
+        worker: lease.worker,
+        ts_us: lease.us as f64,
+        dur_us: Some(end_us.saturating_sub(lease.us) as f64),
+        args: vec![
+            ("trace", format!("t{batch}.{epoch}")),
+            ("outcome", outcome.to_string()),
+            (
+                "points",
+                batch_sizes.get(batch).copied().unwrap_or(0).to_string(),
+            ),
+        ],
+    }
+}
+
+/// Reads one worker `--telemetry` capture, anchoring its process clock
+/// to wall time via the leading `meta` line.
+fn read_worker_capture(path: &PathBuf, events: &mut Vec<TraceEvent>) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read worker capture {}: {e}", path.display()))?;
+    let mut who = String::new();
+    let mut offset_us = 0i64;
+    let mut anchored = false;
+    for line in text.lines() {
+        let Ok(doc) = parse_json(line) else {
+            break; // torn tail from a killed worker
+        };
+        let kind = doc.get("kind").and_then(Json::as_str).unwrap_or_default();
+        let t_us = doc.get("t_us").and_then(Json::as_num).unwrap_or(0.0);
+        if kind == "meta" {
+            who = doc
+                .get("who")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            if let Some(unix) = doc.get("unix_us").and_then(Json::as_num) {
+                offset_us = (unix - t_us) as i64;
+                anchored = true;
+            }
+            continue;
+        }
+        if !anchored {
+            // No anchor line (pre-PR-7 capture): nothing can be placed
+            // on the shared axis.
+            continue;
+        }
+        let name = doc.get("name").and_then(Json::as_str).unwrap_or_default();
+        let ts_us = t_us + offset_us as f64;
+        let fields = doc.get("fields");
+        let field_str = |key: &str| -> Option<String> {
+            let f = fields?.get(key)?;
+            f.as_str()
+                .map(str::to_string)
+                .or_else(|| f.as_num().map(|n| n.to_string()))
+        };
+        match (kind, name) {
+            ("span", "sweep.batch") | ("span", "solver.solve") => {
+                let dur = doc.get("dur_us").and_then(Json::as_num).unwrap_or(0.0);
+                let mut args = Vec::new();
+                if let Some(trace) = field_str("trace") {
+                    args.push(("trace", trace));
+                }
+                events.push(TraceEvent {
+                    name: match field_str("trace") {
+                        Some(trace) if name == "sweep.batch" => format!("batch {trace}"),
+                        _ => name.to_string(),
+                    },
+                    worker: who.clone(),
+                    // Span records stamp their *start*; dur follows.
+                    ts_us,
+                    dur_us: Some(dur),
+                    args,
+                })
+            }
+            ("event", "sweep.lease") | ("event", "sweep.lease_abandoned") => {
+                let mut args = Vec::new();
+                if let Some(trace) = field_str("trace") {
+                    args.push(("trace", trace));
+                }
+                events.push(TraceEvent {
+                    name: name.to_string(),
+                    worker: who.clone(),
+                    ts_us,
+                    dur_us: None,
+                    args,
+                })
+            }
+            _ => {}
+        }
+    }
+    if who.is_empty() {
+        return Err(format!(
+            "{}: no meta line with a worker identity (not a --telemetry capture?)",
+            path.display()
+        ));
+    }
+    Ok(who)
+}
+
+/// Renders the Chrome trace-event JSON: thread-name metadata first,
+/// then every event, all on pid 1 with one tid per worker.
+fn render_trace(events: &[TraceEvent]) -> String {
+    let mut tids: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in events {
+        let next = tids.len() + 1;
+        tids.entry(&e.worker).or_insert(next);
+    }
+    // Normalize so timestamps start near zero (viewers cope badly
+    // with 52-bit microsecond offsets).
+    let t0 = events.iter().map(|e| e.ts_us).fold(f64::INFINITY, f64::min);
+    let t0 = if t0.is_finite() { t0 } else { 0.0 };
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, body: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&body);
+    };
+    for (worker, tid) in &tids {
+        let mut line = String::from(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":",
+        );
+        line.push_str(&tid.to_string());
+        line.push_str(",\"args\":{\"name\":");
+        write_json_string(&mut line, worker);
+        line.push_str("}}");
+        push(&mut out, &mut first, line);
+    }
+    for e in events {
+        let tid = tids[e.worker.as_str()];
+        let mut line = String::from("{\"name\":");
+        write_json_string(&mut line, &e.name);
+        match e.dur_us {
+            Some(dur) => line.push_str(&format!(
+                ",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{dur:.3}",
+                e.ts_us - t0
+            )),
+            None => line.push_str(&format!(
+                ",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3}",
+                e.ts_us - t0
+            )),
+        }
+        line.push_str(&format!(",\"pid\":1,\"tid\":{tid},\"args\":{{"));
+        for (i, (key, value)) in e.args.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            write_json_string(&mut line, key);
+            line.push(':');
+            write_json_string(&mut line, value);
+        }
+        line.push_str("}}");
+        push(&mut out, &mut first, line);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut events = Vec::new();
+    let granted = read_lease_log(&args.lease_log, &mut events)?;
+    let mut workers = Vec::new();
+    for path in &args.workers {
+        workers.push(read_worker_capture(path, &mut events)?);
+    }
+    events.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+    let trace = render_trace(&events);
+    std::fs::write(&args.out, &trace)
+        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    eprintln!(
+        "sweep_trace: {} event(s) from {} lease grant(s) and {} worker capture(s) -> {}",
+        events.len(),
+        granted.len(),
+        workers.len(),
+        args.out.display(),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

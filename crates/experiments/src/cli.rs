@@ -69,7 +69,18 @@ impl RunConfig {
         };
         let mut sinks: Vec<Arc<dyn lrd_obs::Subscriber>> = Vec::new();
         if let Some(path) = &self.telemetry {
-            let sink = lrd_obs::JsonlSubscriber::create(path).map_err(|e| io_error(path, e))?;
+            let mut sink =
+                lrd_obs::JsonlSubscriber::create(path).map_err(|e| io_error(path, e))?;
+            // In steal mode, stamp records with the same worker
+            // identity the coordinator sees (adopted from the
+            // checkpoint, cached for the process) instead of the pid
+            // default — `sweep_trace` joins the two by this name.
+            if self.steal.is_some() {
+                if let Some(checkpoint) = &self.checkpoint {
+                    sink = sink
+                        .with_identity(&crate::sweep::coord::worker_identity(checkpoint));
+                }
+            }
             sinks.push(Arc::new(sink));
         }
         if let Some(path) = &self.telemetry_summary_file {

@@ -10,16 +10,19 @@
 //! original worker had appended points the coordinator re-issued)
 //! resolves first-writer-wins at merge with bit-equality asserted.
 
-use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
+use lrd_obs::{HistogramSnapshot, LogHistogram, MetricsSnapshot};
 use lrd_rng::rngs::SmallRng;
 use lrd_rng::{Rng, SeedableRng};
 
 use super::error::CoordError;
-use super::proto::{connect, recv_line, send_line, Endpoint, Request, Response};
+use super::fleet::{POINTS_COUNTER, SOLVE_US_HISTOGRAM};
+use super::proto::{connect, recv_line, send_line, Endpoint, Request, Response, WorkerReport};
 use crate::sweep::checkpoint::{open_checkpoint, CheckpointOrigin};
 use crate::sweep::runner::{append_with_retry, solve_timed, FigureSweep};
 use crate::sweep::{point_line, PointSpec, CHECKPOINT_CHUNK};
@@ -123,17 +126,117 @@ pub struct StealSummary {
 /// A stable worker identity: adopted from an existing steal checkpoint
 /// (so a restarted worker keeps its name and its solved points), else
 /// derived from the process id and wall clock.
-fn worker_identity(checkpoint: &Path) -> String {
-    if let Ok(ck) = crate::sweep::read_checkpoint(checkpoint) {
-        if let CheckpointOrigin::Steal { worker } = &ck.manifest.origin {
-            return worker.clone();
+///
+/// Cached per checkpoint path for the life of the process, because the
+/// wall-clock fallback is not a pure function: the telemetry installer
+/// stamps JSONL records with this identity *before* [`run_steal`]
+/// creates the checkpoint, and both must agree or `sweep_trace` cannot
+/// join a worker's spans with its leases.
+pub fn worker_identity(checkpoint: &Path) -> String {
+    static CACHE: OnceLock<Mutex<HashMap<PathBuf, String>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(id) = cache.get(checkpoint) {
+        return id.clone();
+    }
+    let id = (|| {
+        if let Ok(ck) = crate::sweep::read_checkpoint(checkpoint) {
+            if let CheckpointOrigin::Steal { worker } = &ck.manifest.origin {
+                return worker.clone();
+            }
+        }
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        format!("w-{:x}-{:x}", std::process::id(), nanos)
+    })();
+    cache.insert(checkpoint.to_path_buf(), id.clone());
+    id
+}
+
+/// The worker-side metrics shared between the solve loop and the
+/// heartbeat pump. Every heartbeat and completion carries a cumulative
+/// snapshot of it as a [`WorkerReport`]; the coordinator's fold keys on
+/// `(incarnation, seq)`, so redelivered or reordered reports are
+/// harmless (see [`fleet`](super::fleet)).
+#[derive(Debug)]
+struct WorkerTelemetry {
+    /// Fresh per process: lets the coordinator separate a respawned
+    /// worker's counters from its predecessor's.
+    incarnation: String,
+    seq: AtomicU64,
+    points: AtomicU64,
+    points_reused: AtomicU64,
+    batches: AtomicU64,
+    expired: AtomicU64,
+    hb_sent: AtomicU64,
+    hb_miss: AtomicU64,
+    reconnect: AtomicU64,
+    solve_us: Mutex<LogHistogram>,
+}
+
+impl WorkerTelemetry {
+    fn new(reused: usize) -> Arc<WorkerTelemetry> {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Arc::new(WorkerTelemetry {
+            incarnation: format!("i-{:x}-{nanos:x}", std::process::id()),
+            seq: AtomicU64::new(0),
+            points: AtomicU64::new(0),
+            points_reused: AtomicU64::new(reused as u64),
+            batches: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            hb_sent: AtomicU64::new(0),
+            hb_miss: AtomicU64::new(0),
+            reconnect: AtomicU64::new(0),
+            solve_us: Mutex::new(LogHistogram::new()),
+        })
+    }
+
+    /// Records one solved point (duration in µs, when the span watch
+    /// captured one) into the cumulative stream behind the
+    /// coordinator's live cost model.
+    fn record_solve(&self, us: Option<f64>) {
+        self.points.fetch_add(1, Ordering::Relaxed);
+        if let Some(us) = us {
+            self.solve_us
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(us);
         }
     }
-    let nanos = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.subsec_nanos())
-        .unwrap_or(0);
-    format!("w-{:x}-{:x}", std::process::id(), nanos)
+
+    /// The next cumulative report (bumps `seq`).
+    fn report(&self) -> WorkerReport {
+        let mut snapshot = MetricsSnapshot::new();
+        for (name, value) in [
+            (POINTS_COUNTER, &self.points),
+            ("sweep.points_reused", &self.points_reused),
+            ("sweep.batches", &self.batches),
+            ("sweep.expired", &self.expired),
+            ("sweep.hb_sent", &self.hb_sent),
+            ("sweep.hb_miss", &self.hb_miss),
+            ("sweep.reconnect", &self.reconnect),
+        ] {
+            let value = value.load(Ordering::Relaxed);
+            if value > 0 {
+                snapshot.add_counter(name, value);
+            }
+        }
+        let solve_us = self.solve_us.lock().unwrap_or_else(|e| e.into_inner());
+        if solve_us.count() > 0 {
+            snapshot.set_histogram(SOLVE_US_HISTOGRAM, HistogramSnapshot::from(&*solve_us));
+        }
+        drop(solve_us);
+        WorkerReport {
+            incarnation: self.incarnation.clone(),
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            snapshot,
+        }
+    }
 }
 
 /// One request/response exchange with bounded, jittered reconnect
@@ -146,6 +249,7 @@ fn exchange(
     max_attempts: u32,
     base_backoff_ms: u64,
     rng: &mut SmallRng,
+    telemetry: Option<&WorkerTelemetry>,
 ) -> Result<Response, CoordError> {
     let mut last_error = String::new();
     for attempt in 0..max_attempts.max(1) {
@@ -154,6 +258,10 @@ fn exchange(
             // probes a restarting coordinator at least every second.
             let cap = (base_backoff_ms.max(1) << attempt.min(6)).min(1000);
             std::thread::sleep(Duration::from_millis(rng.gen_range(0..cap.max(1))));
+            if let Some(telemetry) = telemetry {
+                telemetry.reconnect.fetch_add(1, Ordering::Relaxed);
+            }
+            lrd_obs::counter("sweep.reconnect", 1);
         }
         let result = connect(endpoint).and_then(|mut conn| {
             send_line(conn.as_mut(), &request.to_line())?;
@@ -188,6 +296,7 @@ impl HeartbeatPump {
         epoch: u64,
         heartbeat_ms: u64,
         chaos: ChaosConfig,
+        telemetry: Arc<WorkerTelemetry>,
     ) -> HeartbeatPump {
         let stop = Arc::new(AtomicBool::new(false));
         let expired = Arc::new(AtomicBool::new(false));
@@ -198,11 +307,6 @@ impl HeartbeatPump {
                 let mut rng =
                     SmallRng::seed_from_u64(chaos.seed ^ ((batch as u64) << 32) ^ epoch);
                 let beat_every = Duration::from_millis((heartbeat_ms / 2).max(1));
-                let request = Request::Heartbeat {
-                    worker,
-                    batch,
-                    epoch,
-                };
                 loop {
                     // Sleep in small slices so stop is honoured fast.
                     let mut slept = Duration::ZERO;
@@ -215,6 +319,11 @@ impl HeartbeatPump {
                         slept += slice;
                     }
                     if chaos.heartbeat_drop > 0.0 && rng.gen_bool(chaos.heartbeat_drop) {
+                        // An injected loss is indistinguishable from a
+                        // transport miss to the operator; count it so
+                        // the chaos shows up in the fleet status.
+                        telemetry.hb_miss.fetch_add(1, Ordering::Relaxed);
+                        lrd_obs::counter("sweep.hb_miss", 1);
                         continue;
                     }
                     if chaos.heartbeat_delay_ms > 0 {
@@ -223,16 +332,32 @@ impl HeartbeatPump {
                     if stop.load(Ordering::SeqCst) {
                         return;
                     }
+                    // Rebuilt per beat: each heartbeat piggybacks the
+                    // current cumulative metrics snapshot upstream.
+                    let request = Request::Heartbeat {
+                        worker: worker.clone(),
+                        batch,
+                        epoch,
+                        report: Some(telemetry.report()),
+                    };
                     let sent = connect(&endpoint).and_then(|mut conn| {
                         send_line(conn.as_mut(), &request.to_line())?;
                         recv_line(conn.as_mut())
                     });
                     // Transport failures are tolerated — the next beat
                     // retries, and the ttl absorbs several misses.
-                    if let Ok(line) = sent {
-                        if let Ok(Response::Expired) = Response::parse(&line) {
-                            expired.store(true, Ordering::SeqCst);
-                            return;
+                    match sent {
+                        Ok(line) => {
+                            telemetry.hb_sent.fetch_add(1, Ordering::Relaxed);
+                            lrd_obs::counter("sweep.hb_sent", 1);
+                            if let Ok(Response::Expired) = Response::parse(&line) {
+                                expired.store(true, Ordering::SeqCst);
+                                return;
+                            }
+                        }
+                        Err(_) => {
+                            telemetry.hb_miss.fetch_add(1, Ordering::Relaxed);
+                            lrd_obs::counter("sweep.hb_miss", 1);
                         }
                     }
                 }
@@ -280,6 +405,10 @@ pub fn run_steal(
     };
     let (mut done, mut file) = open_checkpoint(checkpoint, &sweep.plan, &origin)?;
     let reused = done.len();
+    let telemetry = WorkerTelemetry::new(reused);
+    if reused > 0 {
+        lrd_obs::counter("sweep.points_reused", reused as u64);
+    }
 
     let mut rng = SmallRng::seed_from_u64(
         options.chaos.seed ^ u64::from(std::process::id()).rotate_left(17),
@@ -299,6 +428,10 @@ pub fn run_steal(
             plan_hash: sweep.plan.hash_hex(),
             profile: sweep.plan.profile.tag().to_string(),
             worker: worker.clone(),
+            // A lease request follows every finished or abandoned
+            // batch and precedes the drain ack, so the coordinator's
+            // fleet view converges even when heartbeats were lost.
+            report: Some(telemetry.report()),
         };
         let response = exchange(
             &options.endpoint,
@@ -306,6 +439,7 @@ pub fn run_steal(
             options.max_attempts,
             options.base_backoff_ms,
             &mut rng,
+            Some(&*telemetry),
         )?;
         match response {
             Response::Grant {
@@ -313,7 +447,15 @@ pub fn run_steal(
                 epoch,
                 heartbeat_ms,
                 points,
+                trace,
             } => {
+                lrd_obs::event!(
+                    "sweep.lease",
+                    trace = trace.clone(),
+                    batch = batch,
+                    epoch = epoch,
+                    points = points.len(),
+                );
                 let pump = HeartbeatPump::start(
                     options.endpoint.clone(),
                     worker.clone(),
@@ -321,12 +463,23 @@ pub fn run_steal(
                     epoch,
                     heartbeat_ms,
                     options.chaos,
+                    Arc::clone(&telemetry),
                 );
                 let todo: Vec<PointSpec> = points
                     .iter()
                     .filter(|&&p| !done.contains_key(&p))
                     .map(|&p| sweep.plan.point(p))
                     .collect();
+                // The whole lease is one span carrying the grant's
+                // trace id — `sweep_trace` joins it with the
+                // coordinator's lease log by that id.
+                let mut lease_span = lrd_obs::span!(
+                    "sweep.batch",
+                    trace = trace.clone(),
+                    batch = batch,
+                    epoch = epoch,
+                    points = todo.len(),
+                );
                 let mut abandoned = false;
                 let mut crashed = false;
                 for chunk in todo.chunks(CHECKPOINT_CHUNK) {
@@ -344,7 +497,9 @@ pub fn run_steal(
                     }
                     append_with_retry(&mut file, checkpoint, &text)?;
                     summary.solved += results.len();
+                    lrd_obs::counter("sweep.points", results.len() as u64);
                     for result in results {
+                        telemetry.record_solve(result.solve_us);
                         done.insert(result.index, result);
                     }
                     if options
@@ -355,6 +510,7 @@ pub fn run_steal(
                         break;
                     }
                 }
+                lease_span.record("abandoned", abandoned);
                 if crashed {
                     // Simulated crash: vanish without completing, like
                     // SIGKILL would. The lease expires and is reclaimed.
@@ -364,12 +520,25 @@ pub fn run_steal(
                 let expired = pump.stop();
                 if expired || abandoned {
                     summary.expired += 1;
+                    telemetry.expired.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "worker {worker}: warning: abandoning batch {batch} (epoch {epoch}): \
+                         lease expired and was reclaimed by the coordinator"
+                    );
+                    lrd_obs::event!(
+                        "sweep.lease_abandoned",
+                        trace = trace,
+                        batch = batch,
+                        epoch = epoch,
+                        level = "warn",
+                    );
                     continue;
                 }
                 let complete = Request::Complete {
                     worker: worker.clone(),
                     batch,
                     epoch,
+                    report: Some(telemetry.report()),
                 };
                 match exchange(
                     &options.endpoint,
@@ -377,9 +546,17 @@ pub fn run_steal(
                     options.max_attempts,
                     options.base_backoff_ms,
                     &mut rng,
+                    Some(&*telemetry),
                 )? {
-                    Response::Ack => summary.batches += 1,
-                    Response::Expired => summary.expired += 1,
+                    Response::Ack => {
+                        summary.batches += 1;
+                        telemetry.batches.fetch_add(1, Ordering::Relaxed);
+                        lrd_obs::counter("sweep.batches", 1);
+                    }
+                    Response::Expired => {
+                        summary.expired += 1;
+                        telemetry.expired.fetch_add(1, Ordering::Relaxed);
+                    }
                     other => {
                         return Err(CoordError::protocol(format!(
                             "unexpected completion response {other:?}"

@@ -377,6 +377,10 @@ impl LeaseTable {
         write_json_string(&mut line, kind);
         line.push_str(&format!(",\"batch\":{batch},\"epoch\":{epoch},\"worker\":"));
         write_json_string(&mut line, worker);
+        // Wall-clock stamp so `sweep_trace` can place lease events on
+        // the same timeline as worker telemetry (whose meta line
+        // anchors its process clock to unix time). Resume ignores it.
+        line.push_str(&format!(",\"us\":{}", unix_us()));
         line.push_str("}\n");
         file.write_all(line.as_bytes())
             .and_then(|()| file.flush())
@@ -523,7 +527,10 @@ impl LeaseTable {
         self.state.iter().all(|s| matches!(s, BatchState::Done { .. }))
     }
 
-    /// Queue counters for status responses and the final summary.
+    /// Queue counters for status responses and the final summary. The
+    /// roster and fleet fold live in the server's
+    /// [`FleetRegistry`](super::fleet::FleetRegistry), not here — the
+    /// table only knows batches.
     pub fn status(&self) -> super::proto::StatusReport {
         super::proto::StatusReport {
             batches: self.state.len(),
@@ -538,7 +545,20 @@ impl LeaseTable {
                 .filter(|s| matches!(s, BatchState::Leased { .. }))
                 .count(),
             reclaims: self.reclaims,
+            total_points: self.total_points,
+            done_points: self.done_points(),
+            ..super::proto::StatusReport::default()
         }
+    }
+
+    /// Points covered by completed batches.
+    pub fn done_points(&self) -> usize {
+        self.state
+            .iter()
+            .zip(&self.batches)
+            .filter(|(s, _)| matches!(s, BatchState::Done { .. }))
+            .map(|(_, b)| b.len())
+            .sum()
     }
 
     /// Total lease grants issued (including re-issues after reclaims).
@@ -555,6 +575,37 @@ impl LeaseTable {
     pub fn batch_len(&self, batch: usize) -> usize {
         self.batches.get(batch).map_or(0, Vec::len)
     }
+
+    /// Every worker identity the table currently knows of — lease
+    /// holders, completers, and the most recent reclaimees. After a
+    /// resume this is the log's worker population: identities that may
+    /// still be alive, mid-reconnect-backoff, and owed a drain notice.
+    pub fn workers(&self) -> BTreeSet<String> {
+        let mut workers = BTreeSet::new();
+        for state in &self.state {
+            match state {
+                BatchState::Available {
+                    reclaimed_from: Some((worker, _)),
+                } => workers.insert(worker.clone()),
+                BatchState::Leased { worker, .. } | BatchState::Done { worker } => {
+                    workers.insert(worker.clone())
+                }
+                BatchState::Available {
+                    reclaimed_from: None,
+                } => false,
+            };
+        }
+        workers
+    }
+}
+
+/// Wall-clock microseconds since the unix epoch (0 if the clock is
+/// before it, which only a badly skewed VM clock produces).
+pub(crate) fn unix_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
 }
 
 /// Every point `0..total` appears in exactly one batch, and no batch

@@ -27,15 +27,19 @@
 pub mod batch;
 pub mod client;
 pub mod error;
+pub mod fleet;
 pub mod lease;
 pub mod proto;
 pub mod server;
 
 pub use batch::{plan_batches, simulate_steal_makespan, static_makespan, DEFAULT_BATCH_POINTS};
-pub use client::{run_steal, ChaosConfig, StealOptions, StealSummary};
+pub use client::{run_steal, worker_identity, ChaosConfig, StealOptions, StealSummary};
 pub use error::CoordError;
+pub use fleet::FleetRegistry;
 pub use lease::{
     default_batches, CompleteDecision, HeartbeatDecision, LeaseConfig, LeaseDecision, LeaseTable,
 };
-pub use proto::{Endpoint, Listener, Request, Response, StatusReport};
+pub use proto::{
+    trace_id, Endpoint, Listener, Request, Response, StatusReport, WorkerReport, WorkerStatus,
+};
 pub use server::{CoordOptions, CoordServer, CoordSummary};

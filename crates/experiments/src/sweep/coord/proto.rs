@@ -19,7 +19,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::Duration;
 
-use lrd_obs::{parse_json, write_json_string, Json};
+use lrd_obs::{parse_json, write_json_string, Json, MetricsSnapshot};
 
 use super::error::CoordError;
 
@@ -243,8 +243,47 @@ pub fn recv_line(conn: &mut dyn Conn) -> io::Result<String> {
     Ok(line)
 }
 
+/// A compact metrics report a worker piggybacks on heartbeats and
+/// completions: the worker's **cumulative** [`MetricsSnapshot`] for
+/// its current incarnation, sequence-numbered so redelivery (a re-sent
+/// heartbeat after a lost ack) is idempotent at the coordinator.
+///
+/// Cumulative-per-incarnation beats raw deltas on an unreliable wire:
+/// a lost or duplicated report never under- or over-counts, because
+/// the coordinator replaces (not adds) the incarnation's live snapshot
+/// and only *settles* it into the worker's total when a new
+/// incarnation (a respawned worker process) appears.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkerReport {
+    /// The reporting process incarnation (changes on respawn).
+    pub incarnation: String,
+    /// Monotonic per-incarnation sequence number; the coordinator
+    /// keeps the highest seen and drops stale or duplicate deliveries.
+    pub seq: u64,
+    /// Cumulative metrics since this incarnation started.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl WorkerReport {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"incarnation\":");
+        write_json_string(out, &self.incarnation);
+        out.push_str(&format!(",\"seq\":{},\"snapshot\":", self.seq));
+        self.snapshot.write_json(out);
+        out.push('}');
+    }
+
+    fn from_json(json: &Json) -> Option<WorkerReport> {
+        Some(WorkerReport {
+            incarnation: json.get("incarnation")?.as_str()?.to_string(),
+            seq: json.get("seq")?.as_u64()?,
+            snapshot: MetricsSnapshot::from_json(json.get("snapshot")?)?,
+        })
+    }
+}
+
 /// A worker-to-coordinator message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Ask for a batch to solve. Carries the worker's sweep identity
     /// so a worker pointed at the wrong coordinator fails typed.
@@ -258,6 +297,11 @@ pub enum Request {
         profile: String,
         /// The worker's stable identity.
         worker: String,
+        /// Piggybacked metrics (absent from pre-report workers). A
+        /// lease request follows every finished or abandoned batch and
+        /// precedes the drain ack, so this carries the worker's final
+        /// cumulative snapshot even when its last heartbeat was lost.
+        report: Option<WorkerReport>,
     },
     /// Prove the worker holding `(batch, epoch)` is still alive.
     Heartbeat {
@@ -267,6 +311,8 @@ pub enum Request {
         batch: usize,
         /// The lease epoch the worker holds.
         epoch: u64,
+        /// Piggybacked metrics (absent from pre-report workers).
+        report: Option<WorkerReport>,
     },
     /// Report that every point of `(batch, epoch)` is solved and
     /// durably appended to the worker's checkpoint.
@@ -277,8 +323,11 @@ pub enum Request {
         batch: usize,
         /// The lease epoch the worker holds.
         epoch: u64,
+        /// Piggybacked metrics (absent from pre-report workers).
+        report: Option<WorkerReport>,
     },
-    /// Ask for queue counters (operator tooling; carries no identity).
+    /// Ask for queue counters and the fleet roster (operator tooling;
+    /// carries no identity and never affects drain bookkeeping).
     Status,
 }
 
@@ -292,6 +341,7 @@ impl Request {
                 plan_hash,
                 profile,
                 worker,
+                report,
             } => {
                 out.push_str("\"lease\",\"figure\":");
                 write_json_string(&mut out, figure);
@@ -301,24 +351,38 @@ impl Request {
                 write_json_string(&mut out, profile);
                 out.push_str(",\"worker\":");
                 write_json_string(&mut out, worker);
+                if let Some(report) = report {
+                    out.push_str(",\"report\":");
+                    report.write_json(&mut out);
+                }
             }
             Request::Heartbeat {
                 worker,
                 batch,
                 epoch,
+                report,
             } => {
                 out.push_str("\"heartbeat\",\"worker\":");
                 write_json_string(&mut out, worker);
                 out.push_str(&format!(",\"batch\":{batch},\"epoch\":{epoch}"));
+                if let Some(report) = report {
+                    out.push_str(",\"report\":");
+                    report.write_json(&mut out);
+                }
             }
             Request::Complete {
                 worker,
                 batch,
                 epoch,
+                report,
             } => {
                 out.push_str("\"complete\",\"worker\":");
                 write_json_string(&mut out, worker);
                 out.push_str(&format!(",\"batch\":{batch},\"epoch\":{epoch}"));
+                if let Some(report) = report {
+                    out.push_str(",\"report\":");
+                    report.write_json(&mut out);
+                }
             }
             Request::Status => out.push_str("\"status\""),
         }
@@ -347,16 +411,19 @@ impl Request {
                 plan_hash: str_field("plan_hash")?,
                 profile: str_field("profile")?,
                 worker: str_field("worker")?,
+                report: doc.get("report").and_then(WorkerReport::from_json),
             }),
             Some("heartbeat") => Ok(Request::Heartbeat {
                 worker: str_field("worker")?,
                 batch: int_field("batch")? as usize,
                 epoch: int_field("epoch")?,
+                report: doc.get("report").and_then(WorkerReport::from_json),
             }),
             Some("complete") => Ok(Request::Complete {
                 worker: str_field("worker")?,
                 batch: int_field("batch")? as usize,
                 epoch: int_field("epoch")?,
+                report: doc.get("report").and_then(WorkerReport::from_json),
             }),
             Some("status") => Ok(Request::Status),
             other => Err(CoordError::protocol(format!(
@@ -366,8 +433,31 @@ impl Request {
     }
 }
 
-/// Queue counters returned for a [`Request::Status`].
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// One roster row in a [`StatusReport`]: the coordinator's live view
+/// of a worker, folded from its piggybacked [`WorkerReport`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkerStatus {
+    /// The worker's stable identity.
+    pub worker: String,
+    /// Microseconds since the worker last contacted the coordinator.
+    pub last_seen_us: u64,
+    /// Points the worker reports solved (its `sweep.points` counter).
+    pub points: u64,
+    /// Observed throughput in points per second (0 before the first
+    /// two contacts).
+    pub points_per_sec: f64,
+    /// The batch the worker currently holds a lease on, if any.
+    pub lease: Option<usize>,
+    /// Predicted microseconds to finish the outstanding lease, from
+    /// the live `sweep.solve_us` stream (0 without a lease or before
+    /// any solve has been reported).
+    pub lease_remaining_us: f64,
+    /// Reports folded from this worker so far.
+    pub reports: u64,
+}
+
+/// Queue counters and fleet roster returned for a [`Request::Status`].
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatusReport {
     /// Total batches in the sweep.
     pub batches: usize,
@@ -377,10 +467,18 @@ pub struct StatusReport {
     pub leased: usize,
     /// Leases reclaimed from expired workers so far.
     pub reclaims: u64,
+    /// Total points in the sweep lattice.
+    pub total_points: usize,
+    /// Points covered by completed batches.
+    pub done_points: usize,
+    /// Per-worker roster (empty from pre-report coordinators).
+    pub workers: Vec<WorkerStatus>,
+    /// The fleet-wide metrics fold (all workers' reports merged).
+    pub fleet: MetricsSnapshot,
 }
 
 /// A coordinator-to-worker message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// A lease: solve these points, heartbeat at least every
     /// `heartbeat_ms`, then send [`Request::Complete`].
@@ -393,6 +491,11 @@ pub enum Response {
         heartbeat_ms: u64,
         /// Stable lattice indices of the batch's points.
         points: Vec<usize>,
+        /// The trace id for this lease epoch
+        /// ([`trace_id`]` (batch, epoch)`): workers stamp it on their
+        /// batch spans so `sweep_trace` can join worker telemetry with
+        /// the coordinator's lease ledger.
+        trace: String,
     },
     /// Nothing available right now (all remaining batches are leased);
     /// retry after roughly `backoff_ms`.
@@ -420,6 +523,13 @@ pub enum Response {
     Status(StatusReport),
 }
 
+/// The canonical trace id of lease epoch `epoch` on `batch` —
+/// `t<batch>.<epoch>`. Deterministic on both sides of the wire, so the
+/// lease ledger and worker telemetry join on it without storing it.
+pub fn trace_id(batch: usize, epoch: u64) -> String {
+    format!("t{batch}.{epoch}")
+}
+
 impl Response {
     /// Renders the response as one protocol line.
     pub fn to_line(&self) -> String {
@@ -430,11 +540,14 @@ impl Response {
                 epoch,
                 heartbeat_ms,
                 points,
+                trace,
             } => {
                 out.push_str(&format!(
                     "\"grant\",\"batch\":{batch},\"epoch\":{epoch},\
-                     \"heartbeat_ms\":{heartbeat_ms},\"points\":["
+                     \"heartbeat_ms\":{heartbeat_ms},\"trace\":"
                 ));
+                write_json_string(&mut out, trace);
+                out.push_str(",\"points\":[");
                 for (i, p) in points.iter().enumerate() {
                     if i > 0 {
                         out.push(',');
@@ -463,9 +576,31 @@ impl Response {
             }
             Response::Status(s) => {
                 out.push_str(&format!(
-                    "\"status\",\"batches\":{},\"done\":{},\"leased\":{},\"reclaims\":{}",
-                    s.batches, s.done, s.leased, s.reclaims
+                    "\"status\",\"batches\":{},\"done\":{},\"leased\":{},\"reclaims\":{},\
+                     \"total_points\":{},\"done_points\":{},\"workers\":[",
+                    s.batches, s.done, s.leased, s.reclaims, s.total_points, s.done_points
                 ));
+                for (i, w) in s.workers.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"worker\":");
+                    write_json_string(&mut out, &w.worker);
+                    out.push_str(&format!(
+                        ",\"last_seen_us\":{},\"points\":{},\"points_per_sec\":",
+                        w.last_seen_us, w.points
+                    ));
+                    lrd_obs::write_json_f64(&mut out, w.points_per_sec);
+                    match w.lease {
+                        Some(batch) => out.push_str(&format!(",\"lease\":{batch}")),
+                        None => out.push_str(",\"lease\":null"),
+                    }
+                    out.push_str(",\"lease_remaining_us\":");
+                    lrd_obs::write_json_f64(&mut out, w.lease_remaining_us);
+                    out.push_str(&format!(",\"reports\":{}}}", w.reports));
+                }
+                out.push_str("],\"fleet\":");
+                s.fleet.write_json(&mut out);
             }
         }
         out.push('}');
@@ -499,11 +634,21 @@ impl Response {
                             .collect::<Option<Vec<usize>>>()
                     })
                     .ok_or_else(|| CoordError::protocol("grant missing point list"))?;
+                let batch = int_field("batch")? as usize;
+                let epoch = int_field("epoch")?;
                 Ok(Response::Grant {
-                    batch: int_field("batch")? as usize,
-                    epoch: int_field("epoch")?,
+                    batch,
+                    epoch,
                     heartbeat_ms: int_field("heartbeat_ms")?,
                     points,
+                    // Absent from pre-trace coordinators: reconstruct
+                    // the canonical id (it is a pure function of the
+                    // lease).
+                    trace: doc
+                        .get("trace")
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .unwrap_or_else(|| trace_id(batch, epoch)),
                 })
             }
             Some("wait") => Ok(Response::Wait {
@@ -517,12 +662,51 @@ impl Response {
                 expected: str_field("expected")?,
                 found: str_field("found")?,
             }),
-            Some("status") => Ok(Response::Status(StatusReport {
-                batches: int_field("batches")? as usize,
-                done: int_field("done")? as usize,
-                leased: int_field("leased")? as usize,
-                reclaims: int_field("reclaims")?,
-            })),
+            Some("status") => {
+                // The roster and fleet fold are optional so a status
+                // line from a pre-report coordinator still parses.
+                let opt_int =
+                    |name: &str| doc.get(name).and_then(Json::as_u64).unwrap_or(0) as usize;
+                let mut workers = Vec::new();
+                for w in doc
+                    .get("workers")
+                    .and_then(Json::as_array)
+                    .unwrap_or(&[])
+                {
+                    workers.push(WorkerStatus {
+                        worker: w
+                            .get("worker")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| CoordError::protocol("roster row missing worker"))?
+                            .to_string(),
+                        last_seen_us: w.get("last_seen_us").and_then(Json::as_u64).unwrap_or(0),
+                        points: w.get("points").and_then(Json::as_u64).unwrap_or(0),
+                        points_per_sec: w
+                            .get("points_per_sec")
+                            .and_then(Json::as_num)
+                            .unwrap_or(0.0),
+                        lease: w.get("lease").and_then(Json::as_u64).map(|b| b as usize),
+                        lease_remaining_us: w
+                            .get("lease_remaining_us")
+                            .and_then(Json::as_num)
+                            .unwrap_or(0.0),
+                        reports: w.get("reports").and_then(Json::as_u64).unwrap_or(0),
+                    });
+                }
+                Ok(Response::Status(StatusReport {
+                    batches: int_field("batches")? as usize,
+                    done: int_field("done")? as usize,
+                    leased: int_field("leased")? as usize,
+                    reclaims: int_field("reclaims")?,
+                    total_points: opt_int("total_points"),
+                    done_points: opt_int("done_points"),
+                    workers,
+                    fleet: doc
+                        .get("fleet")
+                        .and_then(MetricsSnapshot::from_json)
+                        .unwrap_or_default(),
+                }))
+            }
             other => Err(CoordError::protocol(format!(
                 "unknown response kind {other:?}"
             ))),
@@ -554,16 +738,31 @@ mod tests {
                 plan_hash: "0123456789abcdef".to_string(),
                 profile: "quick".to_string(),
                 worker: "w-1a2b".to_string(),
+                report: None,
             },
             Request::Heartbeat {
                 worker: "w \"quoted\"".to_string(),
                 batch: 3,
                 epoch: 17,
+                report: None,
+            },
+            Request::Heartbeat {
+                worker: "w-1a2b".to_string(),
+                batch: 3,
+                epoch: 17,
+                report: Some(sample_report()),
             },
             Request::Complete {
                 worker: "w-1a2b".to_string(),
                 batch: 0,
                 epoch: 1,
+                report: None,
+            },
+            Request::Complete {
+                worker: "w-1a2b".to_string(),
+                batch: 0,
+                epoch: 1,
+                report: Some(sample_report()),
             },
             Request::Status,
         ];
@@ -573,6 +772,32 @@ mod tests {
         }
         assert!(Request::parse("{\"kind\":\"gimme\"}").is_err());
         assert!(Request::parse("not json").is_err());
+
+        // A pre-report heartbeat line (no "report" member) still
+        // parses — rolling fleet upgrades must not wedge.
+        let legacy = "{\"kind\":\"heartbeat\",\"worker\":\"w\",\"batch\":1,\"epoch\":2}";
+        assert_eq!(
+            Request::parse(legacy).unwrap(),
+            Request::Heartbeat {
+                worker: "w".to_string(),
+                batch: 1,
+                epoch: 2,
+                report: None,
+            }
+        );
+    }
+
+    fn sample_report() -> WorkerReport {
+        let mut snapshot = MetricsSnapshot::new();
+        snapshot.add_counter("sweep.points", 12);
+        snapshot.add_counter("sweep.hb_sent", 40);
+        snapshot.record_histogram("sweep.solve_us", 1500.0);
+        snapshot.record_histogram("sweep.solve_us", 96000.0);
+        WorkerReport {
+            incarnation: "i-77-abc".to_string(),
+            seq: 9,
+            snapshot,
+        }
     }
 
     #[test]
@@ -583,12 +808,14 @@ mod tests {
                 epoch: 5,
                 heartbeat_ms: 500,
                 points: vec![0, 7, 12],
+                trace: trace_id(2, 5),
             },
             Response::Grant {
                 batch: 0,
                 epoch: 1,
                 heartbeat_ms: 50,
                 points: vec![],
+                trace: trace_id(0, 1),
             },
             Response::Wait { backoff_ms: 40 },
             Response::Drained,
@@ -604,6 +831,32 @@ mod tests {
                 done: 3,
                 leased: 2,
                 reclaims: 1,
+                ..StatusReport::default()
+            }),
+            Response::Status(StatusReport {
+                batches: 7,
+                done: 3,
+                leased: 2,
+                reclaims: 1,
+                total_points: 56,
+                done_points: 24,
+                workers: vec![
+                    WorkerStatus {
+                        worker: "w-1".to_string(),
+                        last_seen_us: 120,
+                        points: 24,
+                        points_per_sec: 3.5,
+                        lease: Some(4),
+                        lease_remaining_us: 2.5e6,
+                        reports: 11,
+                    },
+                    WorkerStatus {
+                        worker: "w-2".to_string(),
+                        lease: None,
+                        ..WorkerStatus::default()
+                    },
+                ],
+                fleet: sample_report().snapshot,
             }),
         ];
         for resp in cases {
@@ -611,6 +864,25 @@ mod tests {
             assert_eq!(Response::parse(&line).unwrap(), resp, "{line}");
         }
         assert!(Response::parse("{\"kind\":\"grant\"}").is_err());
+
+        // Pre-trace / pre-roster lines still parse: the trace id is
+        // reconstructed and the roster defaults empty.
+        let legacy_grant =
+            "{\"kind\":\"grant\",\"batch\":3,\"epoch\":2,\"heartbeat_ms\":500,\"points\":[1,2]}";
+        match Response::parse(legacy_grant).unwrap() {
+            Response::Grant { trace, .. } => assert_eq!(trace, "t3.2"),
+            other => panic!("expected grant, got {other:?}"),
+        }
+        let legacy_status =
+            "{\"kind\":\"status\",\"batches\":7,\"done\":3,\"leased\":2,\"reclaims\":1}";
+        match Response::parse(legacy_status).unwrap() {
+            Response::Status(s) => {
+                assert_eq!(s.batches, 7);
+                assert!(s.workers.is_empty());
+                assert!(s.fleet.is_empty());
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
     }
 
     #[test]

@@ -14,8 +14,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use super::error::CoordError;
+use super::fleet::FleetRegistry;
 use super::lease::{CompleteDecision, HeartbeatDecision, LeaseConfig, LeaseDecision, LeaseTable};
-use super::proto::{recv_line, send_line, Endpoint, Listener, Request, Response};
+use super::proto::{recv_line, send_line, trace_id, Endpoint, Listener, Request, Response};
 use crate::sweep::{SweepError, SweepPlan};
 
 /// How long the accept loop sleeps when no client is waiting.
@@ -147,9 +148,18 @@ impl CoordServer {
         // more time and be told to exit; workers that died permanently
         // must not hold the coordinator open forever.
         let linger_us = (10 * lease_ttl_ms * 1000).max(5_000_000);
-        let mut workers_seen: BTreeSet<String> = BTreeSet::new();
+        // Seeded with the lease log's worker population (empty for a
+        // fresh table): a worker named in a resumed log may be alive in
+        // reconnect backoff, and exiting before it is told the queue
+        // drained would strand it against a closed port. Workers that
+        // are truly gone cost at most the linger cap, which exceeds the
+        // client's worst-case retry span.
+        let mut workers_seen: BTreeSet<String> = self.table.workers();
         let mut drain_acked: BTreeSet<String> = BTreeSet::new();
         let mut drained_at: Option<u64> = None;
+        // The fleet fold behind `status` responses: piggybacked worker
+        // reports, the roster, and the live cost model.
+        let mut fleet = FleetRegistry::new();
 
         loop {
             if self.stop.load(Ordering::SeqCst) {
@@ -168,18 +178,27 @@ impl CoordServer {
                     "coord: reclaimed batch {batch} (epoch {epoch}) from unresponsive \
                      worker {worker}"
                 );
+                fleet.set_lease(&worker, None);
                 lrd_obs::event!(
                     "coord.lease_reclaimed",
                     batch = batch,
                     epoch = epoch,
                     worker = worker,
+                    trace = trace_id(batch, epoch),
                 );
                 lrd_obs::counter("coord.reclaims", 1);
             }
 
             if self.table.drained() {
                 let at = *drained_at.get_or_insert(now);
-                let all_acked = workers_seen.iter().all(|w| drain_acked.contains(w));
+                // A coordinator resumed from an already-complete log
+                // has seen no workers yet, which would make `all_acked`
+                // vacuously true and close the port while the fleet is
+                // still mid-reconnect-backoff — linger until at least
+                // one straggler has been told the queue is drained (or
+                // the cap passes; workers give up well after it).
+                let all_acked = !workers_seen.is_empty()
+                    && workers_seen.iter().all(|w| drain_acked.contains(w));
                 if all_acked || now.saturating_sub(at) > linger_us {
                     let s = self.table.status();
                     return Ok(CoordSummary {
@@ -228,6 +247,7 @@ impl CoordServer {
                     plan_hash,
                     profile,
                     worker,
+                    report,
                 } => {
                     let (want_figure, want_hash, want_profile) = self.table.identity();
                     let mismatch = [
@@ -245,24 +265,35 @@ impl CoordServer {
                         }
                     } else {
                         workers_seen.insert(worker.clone());
+                        if let Some(report) = &report {
+                            if fleet.fold(&worker, report, now) {
+                                lrd_obs::counter("coord.reports", 1);
+                            }
+                        } else {
+                            fleet.observe(&worker, now);
+                        }
                         match self.table.lease(&worker, now)? {
                             LeaseDecision::Grant {
                                 batch,
                                 epoch,
                                 points,
                             } => {
+                                let trace = trace_id(batch, epoch);
+                                fleet.set_lease(&worker, Some(batch));
                                 lrd_obs::event!(
                                     "coord.lease_granted",
                                     batch = batch,
                                     epoch = epoch,
                                     worker = worker,
                                     points = points.len(),
+                                    trace = trace.clone(),
                                 );
                                 Response::Grant {
                                     batch,
                                     epoch,
                                     heartbeat_ms,
                                     points,
+                                    trace,
                                 }
                             }
                             LeaseDecision::Wait => Response::Wait {
@@ -279,32 +310,59 @@ impl CoordServer {
                     worker,
                     batch,
                     epoch,
-                } => match self.table.heartbeat(&worker, batch, epoch, now) {
-                    HeartbeatDecision::Alive { interval_us } => {
-                        lrd_obs::histogram("coord.heartbeat_us", interval_us as f64);
-                        Response::Ack
+                    report,
+                } => {
+                    if let Some(report) = &report {
+                        if fleet.fold(&worker, report, now) {
+                            lrd_obs::counter("coord.reports", 1);
+                        }
+                    } else {
+                        fleet.observe(&worker, now);
                     }
-                    HeartbeatDecision::Expired => Response::Expired,
-                },
+                    match self.table.heartbeat(&worker, batch, epoch, now) {
+                        HeartbeatDecision::Alive { interval_us } => {
+                            lrd_obs::histogram("coord.heartbeat_us", interval_us as f64);
+                            Response::Ack
+                        }
+                        HeartbeatDecision::Expired => Response::Expired,
+                    }
+                }
                 Request::Complete {
                     worker,
                     batch,
                     epoch,
-                } => match self.table.complete(&worker, batch, epoch)? {
-                    CompleteDecision::Accepted | CompleteDecision::AcceptedStale => {
-                        lrd_obs::event!(
-                            "coord.batch_done",
-                            batch = batch,
-                            epoch = epoch,
-                            worker = worker,
-                            points = self.table.batch_len(batch),
-                        );
-                        Response::Ack
+                    report,
+                } => {
+                    if let Some(report) = &report {
+                        if fleet.fold(&worker, report, now) {
+                            lrd_obs::counter("coord.reports", 1);
+                        }
+                    } else {
+                        fleet.observe(&worker, now);
                     }
-                    CompleteDecision::AlreadyDone => Response::Ack,
-                    CompleteDecision::Stale => Response::Expired,
-                },
-                Request::Status => Response::Status(self.table.status()),
+                    match self.table.complete(&worker, batch, epoch)? {
+                        CompleteDecision::Accepted | CompleteDecision::AcceptedStale => {
+                            fleet.set_lease(&worker, None);
+                            lrd_obs::event!(
+                                "coord.batch_done",
+                                batch = batch,
+                                epoch = epoch,
+                                worker = worker,
+                                points = self.table.batch_len(batch),
+                                trace = trace_id(batch, epoch),
+                            );
+                            Response::Ack
+                        }
+                        CompleteDecision::AlreadyDone => Response::Ack,
+                        CompleteDecision::Stale => Response::Expired,
+                    }
+                }
+                Request::Status => {
+                    let mut status = self.table.status();
+                    status.workers = fleet.roster(now, |batch| self.table.batch_len(batch));
+                    status.fleet = fleet.fleet_total();
+                    Response::Status(status)
+                }
             };
             let _ = send_line(conn.as_mut(), &response.to_line());
         }

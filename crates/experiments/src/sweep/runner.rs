@@ -52,6 +52,11 @@ impl std::fmt::Debug for FigureSweep<'_> {
 pub(crate) fn solve_timed(sweep: &FigureSweep<'_>, spec: &PointSpec) -> PointResult {
     let (mut result, dur) = lrd_obs::watch_span("solver.solve", || (sweep.solve)(spec));
     result.solve_us = dur;
+    if let Some(us) = dur {
+        // The per-point duration stream: quantiles in the summary
+        // sink, and (in steal mode) the coordinator's live cost model.
+        lrd_obs::histogram("sweep.solve_us", us);
+    }
     result
 }
 

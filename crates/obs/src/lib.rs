@@ -71,7 +71,7 @@ mod metrics;
 mod sinks;
 
 pub use json::{parse_json, write_json, write_json_f64, write_json_string, Json, JsonError};
-pub use metrics::{LogHistogram, MetricsRegistry};
+pub use metrics::{HistogramSnapshot, LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use sinks::{
     CollectingSubscriber, Fanout, JsonlSubscriber, NullSubscriber, Record, SummarySubscriber,
 };

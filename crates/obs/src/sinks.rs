@@ -40,9 +40,9 @@ impl Subscriber for NullSubscriber {
 /// Inline lines (as they happen):
 ///
 /// ```text
-/// {"kind":"event","t_us":412,"name":"solver.gap","fields":{"iteration":7,"lower":0.01,"upper":0.03}}
-/// {"kind":"span","t_us":2,"dur_us":409.5,"name":"solver.level","fields":{"bins":128}}
-/// {"kind":"gauge","t_us":413,"name":"solver.mass_drift","value":2.2e-16}
+/// {"kind":"event","t_us":412,"name":"solver.gap","fields":{"iteration":7,"lower":0.01,"upper":0.03},"who":"pid-811"}
+/// {"kind":"span","t_us":2,"dur_us":409.5,"name":"solver.level","fields":{"bins":128},"who":"pid-811"}
+/// {"kind":"gauge","t_us":413,"name":"solver.mass_drift","value":2.2e-16,"who":"pid-811"}
 /// ```
 ///
 /// Counters and histograms are high-frequency, so they are aggregated
@@ -50,24 +50,42 @@ impl Subscriber for NullSubscriber {
 /// [`flush`](Subscriber::flush) (and therefore on uninstall/drop):
 ///
 /// ```text
-/// {"kind":"counter","name":"solver.iterations","value":412}
-/// {"kind":"histogram","name":"fft.conv_us","count":824,"sum":1.1e4,"min":9.1,"max":44.0,"buckets":[[8.0,16.0,700],[16.0,32.0,120],[32.0,64.0,4]]}
+/// {"kind":"counter","name":"solver.iterations","value":412,"who":"pid-811"}
+/// {"kind":"histogram","name":"fft.conv_us","count":824,"sum":1.1e4,"min":9.1,"max":44.0,"buckets":[[8.0,16.0,700],[16.0,32.0,120],[32.0,64.0,4]],"who":"pid-811"}
 /// ```
 ///
 /// Draining clears the aggregates, so repeated flushes never duplicate
 /// totals; aggregation after a flush restarts from zero.
+///
+/// Every record carries a `"who"` identity field (a worker id in
+/// steal-mode sweeps, `pid-<n>` otherwise — see
+/// [`with_identity`](Self::with_identity)), and the first line of the
+/// stream is a `meta` record anchoring the process-relative `t_us`
+/// clock to wall time:
+///
+/// ```text
+/// {"kind":"meta","t_us":3,"unix_us":1754650000000000,"who":"w-1a2b-3c4d"}
+/// ```
+///
+/// so cross-process tools (`sweep_trace`) can place records from
+/// several captures on one absolute timeline without filename
+/// heuristics.
 pub struct JsonlSubscriber {
     out: Mutex<Box<dyn Write + Send>>,
     aggregates: Mutex<MetricsRegistry>,
+    identity: String,
+    meta_written: AtomicBool,
 }
 
 impl JsonlSubscriber {
     /// Writes to an arbitrary sink (a file, a pipe, an in-memory
-    /// buffer in tests).
+    /// buffer in tests), stamped with the default `pid-<n>` identity.
     pub fn new(writer: Box<dyn Write + Send>) -> Self {
         JsonlSubscriber {
             out: Mutex::new(writer),
             aggregates: Mutex::new(MetricsRegistry::new()),
+            identity: format!("pid-{}", std::process::id()),
+            meta_written: AtomicBool::new(false),
         }
     }
 
@@ -77,11 +95,47 @@ impl JsonlSubscriber {
         Ok(Self::new(Box::new(BufWriter::new(file))))
     }
 
+    /// Replaces the identity stamped on every record. Call before
+    /// installing (the meta line is emitted lazily with the first
+    /// record, so an identity set here is the one anchored).
+    pub fn with_identity(mut self, identity: &str) -> Self {
+        identity.clone_into(&mut self.identity);
+        self
+    }
+
+    /// The identity stamped on this stream's records.
+    pub fn identity(&self) -> &str {
+        &self.identity
+    }
+
     fn write_line(&self, line: &str) {
         let mut out = lock(&self.out);
+        if !self.meta_written.swap(true, Ordering::SeqCst) {
+            // Anchor the process-relative clock: `unix_us` and `t_us`
+            // are sampled at the same instant, so readers recover the
+            // offset as `unix_us - t_us`.
+            let unix_us = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0);
+            let mut meta = String::with_capacity(96);
+            meta.push_str("{\"kind\":\"meta\",\"t_us\":");
+            meta.push_str(&crate::now_us().to_string());
+            meta.push_str(",\"unix_us\":");
+            meta.push_str(&unix_us.to_string());
+            meta.push_str(",\"who\":");
+            write_json_string(&mut meta, &self.identity);
+            meta.push('}');
+            let _ = writeln!(out, "{meta}");
+        }
         // Telemetry must never take the instrumented program down; a
         // full disk simply truncates the stream.
         let _ = writeln!(out, "{line}");
+    }
+
+    fn push_who(&self, line: &mut String) {
+        line.push_str(",\"who\":");
+        write_json_string(line, &self.identity);
     }
 }
 
@@ -125,6 +179,7 @@ impl Subscriber for JsonlSubscriber {
         write_json_string(&mut line, record.name);
         line.push_str(",\"fields\":");
         push_fields(&mut line, &record.fields);
+        self.push_who(&mut line);
         line.push('}');
         self.write_line(&line);
     }
@@ -139,6 +194,7 @@ impl Subscriber for JsonlSubscriber {
         write_json_string(&mut line, record.name);
         line.push_str(",\"fields\":");
         push_fields(&mut line, &record.fields);
+        self.push_who(&mut line);
         line.push('}');
         self.write_line(&line);
     }
@@ -156,6 +212,7 @@ impl Subscriber for JsonlSubscriber {
         write_json_string(&mut line, name);
         line.push_str(",\"value\":");
         write_json_f64(&mut line, value);
+        self.push_who(&mut line);
         line.push('}');
         self.write_line(&line);
     }
@@ -177,6 +234,7 @@ impl Subscriber for JsonlSubscriber {
             write_json_string(&mut line, name);
             line.push_str(",\"value\":");
             line.push_str(&value.to_string());
+            self.push_who(&mut line);
             line.push('}');
             self.write_line(&line);
         }
@@ -203,7 +261,9 @@ impl Subscriber for JsonlSubscriber {
                 write_json_f64(&mut line, hi);
                 let _ = write!(line, ",{count}]");
             }
-            line.push_str("]}");
+            line.push(']');
+            self.push_who(&mut line);
+            line.push('}');
             self.write_line(&line);
         }
         let _ = lock(&self.out).flush();
@@ -309,17 +369,20 @@ impl SummarySubscriber {
             if !any {
                 let _ = writeln!(
                     t,
-                    "{:<34} {:>8} {:>12} {:>12}",
-                    "histogram", "count", "mean", "max"
+                    "{:<34} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    "histogram", "count", "mean", "p50", "p95", "p99", "max"
                 );
                 any = true;
             }
             let _ = writeln!(
                 t,
-                "  {:<32} {:>8} {:>12} {:>12}",
+                "  {:<32} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 name,
                 h.count(),
                 fmt_us(h.mean()),
+                fmt_us(h.quantile(0.50)),
+                fmt_us(h.quantile(0.95)),
+                fmt_us(h.quantile(0.99)),
                 fmt_us(h.max())
             );
         }
@@ -568,7 +631,7 @@ impl Subscriber for Fanout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parse_json;
+    use crate::{parse_json, Json};
     use std::sync::Arc;
 
     /// A writer handing each byte to a shared buffer, so tests can
@@ -625,14 +688,18 @@ mod tests {
 
         let text = buf.contents();
         let lines: Vec<&str> = text.lines().collect();
-        // event + span + gauge inline, counter + histogram drained on
-        // flush.
-        assert_eq!(lines.len(), 5, "{text}");
+        // meta anchor first, then event + span + gauge inline, counter
+        // + histogram drained on flush.
+        assert_eq!(lines.len(), 6, "{text}");
         for line in &lines {
             parse_json(line).unwrap_or_else(|e| panic!("{e} in {line}"));
         }
 
-        let event = parse_json(lines[0]).unwrap();
+        let meta = parse_json(lines[0]).unwrap();
+        assert_eq!(meta.get("kind").unwrap().as_str(), Some("meta"));
+        assert!(meta.get("unix_us").unwrap().as_u64().unwrap() > 0);
+
+        let event = parse_json(lines[1]).unwrap();
         assert_eq!(event.get("kind").unwrap().as_str(), Some("event"));
         assert_eq!(event.get("name").unwrap().as_str(), Some("solver.gap"));
         let fields = event.get("fields").unwrap();
@@ -641,7 +708,7 @@ mod tests {
         assert_eq!(fields.get("kind").unwrap().as_str(), Some("te\"st"));
         assert_eq!(fields.get("ok").unwrap().as_bool(), Some(true));
 
-        let span = parse_json(lines[1]).unwrap();
+        let span = parse_json(lines[2]).unwrap();
         assert_eq!(span.get("kind").unwrap().as_str(), Some("span"));
         assert_eq!(span.get("dur_us").unwrap().as_f64(), Some(123.5));
         assert_eq!(
@@ -649,19 +716,51 @@ mod tests {
             Some(128)
         );
 
-        let gauge = parse_json(lines[2]).unwrap();
+        let gauge = parse_json(lines[3]).unwrap();
         assert_eq!(gauge.get("kind").unwrap().as_str(), Some("gauge"));
         assert_eq!(gauge.get("value").unwrap().as_f64(), Some(2.5e-16));
 
-        let counter = parse_json(lines[3]).unwrap();
+        let counter = parse_json(lines[4]).unwrap();
         assert_eq!(counter.get("kind").unwrap().as_str(), Some("counter"));
         assert_eq!(counter.get("value").unwrap().as_u64(), Some(412));
 
-        let hist = parse_json(lines[4]).unwrap();
+        let hist = parse_json(lines[5]).unwrap();
         assert_eq!(hist.get("kind").unwrap().as_str(), Some("histogram"));
         assert_eq!(hist.get("count").unwrap().as_u64(), Some(2));
         assert_eq!(hist.get("sum").unwrap().as_f64(), Some(30.0));
         assert!(!hist.get("buckets").unwrap().as_array().unwrap().is_empty());
+
+        // Every record (meta included) carries the same identity.
+        let default_id = format!("pid-{}", std::process::id());
+        for line in &lines {
+            let who = parse_json(line).unwrap();
+            assert_eq!(
+                who.get("who").and_then(Json::as_str).map(String::from),
+                Some(default_id.clone()),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn jsonl_identity_is_stamped_and_anchored() {
+        let buf = SharedBuf::default();
+        let sub =
+            JsonlSubscriber::new(Box::new(buf.clone())).with_identity("w-dead-beef");
+        assert_eq!(sub.identity(), "w-dead-beef");
+        sub.event(&sample_event());
+        drop(sub);
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        let meta = parse_json(lines[0]).unwrap();
+        assert_eq!(meta.get("kind").unwrap().as_str(), Some("meta"));
+        assert_eq!(meta.get("who").unwrap().as_str(), Some("w-dead-beef"));
+        // The anchor pair samples both clocks at one instant.
+        assert!(meta.get("t_us").unwrap().as_u64().is_some());
+        assert!(meta.get("unix_us").unwrap().as_u64().unwrap() > 1_000_000_000_000_000);
+        let event = parse_json(lines[1]).unwrap();
+        assert_eq!(event.get("who").unwrap().as_str(), Some("w-dead-beef"));
     }
 
     #[test]
@@ -673,7 +772,8 @@ mod tests {
         sub.flush(); // nothing new → no extra line
         drop(sub); // drop flushes again → still nothing new
         let text = buf.contents();
-        assert_eq!(text.lines().count(), 1, "{text}");
+        // The meta anchor plus the one drained counter.
+        assert_eq!(text.lines().count(), 2, "{text}");
     }
 
     #[test]

@@ -49,12 +49,34 @@ fn solve_once() -> LossSolution {
     try_solve(&model, &opts).expect("valid options")
 }
 
-fn allocations_during(f: impl Fn() -> LossSolution) -> usize {
+fn allocations_while(f: impl FnOnce()) -> usize {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    let sol = f();
+    f();
     let after = ALLOCATIONS.load(Ordering::Relaxed);
-    assert!(!sol.converged, "sanity: the probe solve must run its full budget");
     after - before
+}
+
+fn allocations_during(f: impl Fn() -> LossSolution) -> usize {
+    allocations_while(|| {
+        let sol = f();
+        assert!(!sol.converged, "sanity: the probe solve must run its full budget");
+    })
+}
+
+/// Mirrors the steal-mode streaming hot loop: one counter increment
+/// and one `solve_us` histogram sample per point (the feed for the
+/// coordinator's live cost model), plus the per-batch lease event and
+/// span. Building a `MetricsSnapshot` report allocates by design, but
+/// it only happens on the heartbeat/complete wire path — the per-point
+/// instrumentation here must be free when nothing is listening.
+fn stream_probe() {
+    let mut span = obs::span!("sweep.batch", batch = 3u64, epoch = 1u64, points = 64u64);
+    for i in 0..64u64 {
+        obs::counter("sweep.points", 1);
+        obs::histogram("sweep.solve_us", 12.5 + i as f64);
+    }
+    obs::event!("sweep.lease_abandoned", batch = 3u64, epoch = 1u64);
+    span.record("abandoned", false);
 }
 
 #[test]
@@ -80,5 +102,22 @@ fn disabled_telemetry_allocates_nothing_extra() {
         with_null, bare,
         "NullSubscriber added {} allocations per solve",
         with_null.abs_diff(bare)
+    );
+
+    // The fleet-streaming instrumentation must be exactly free when
+    // disabled — zero allocations, not merely "no more than before".
+    stream_probe(); // warm thread-local span-watch state
+    assert_eq!(
+        allocations_while(stream_probe),
+        0,
+        "disabled streaming instrumentation allocated"
+    );
+    let streaming_null = {
+        let _guard = obs::install(Arc::new(obs::NullSubscriber));
+        allocations_while(stream_probe)
+    };
+    assert_eq!(
+        streaming_null, 0,
+        "NullSubscriber made the streaming path allocate"
     );
 }

@@ -40,11 +40,23 @@
 //!
 //! which merges the observed counts for the benchmarks that ran into
 //! the baseline file (benchmarks filtered out keep their old entries).
+//!
+//! # Machine-readable perf trajectory
+//!
+//! Independently of the gate, every run writes (merging per-target)
+//! `results/BENCH_<rev>.json` — `rev` from `git rev-parse --short
+//! HEAD`, `unknown` outside a work tree — mapping each benchmark to
+//! its wall-clock stats (`median_s`/`min_s`/`max_s`) and the telemetry
+//! the benchmarked code emitted: every counter (`solver.iterations`,
+//! …) and the mean/p99 of every histogram (`fft.conv_us`, …). One file
+//! per commit makes the perf trajectory diffable across PRs.
 
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+use lrd_obs::Json;
 
 /// Counter names pinned by the baseline. Order is the order they are
 /// written in `bench_baseline.json`.
@@ -64,6 +76,9 @@ pub struct Harness {
     baseline_path: PathBuf,
     /// `benchmark name -> counter name -> value` observed this run.
     observed: BTreeMap<String, BTreeMap<String, u64>>,
+    export_path: PathBuf,
+    /// Machine-readable per-benchmark summaries for `BENCH_<rev>.json`.
+    exported: BTreeMap<String, Json>,
 }
 
 impl Harness {
@@ -83,6 +98,8 @@ impl Harness {
             bless,
             baseline_path: default_baseline_path(),
             observed: BTreeMap::new(),
+            export_path: default_export_path(),
+            exported: BTreeMap::new(),
         }
     }
 
@@ -100,6 +117,21 @@ impl Harness {
     /// `main`; exits with status 1 if any benchmark regressed.
     pub fn finish(&self) {
         println!("{} benchmark(s) run", self.ran);
+        // Always export the machine-readable summary first, so the
+        // perf trajectory is recorded even when the baseline gate
+        // fails below.
+        if !self.exported.is_empty() {
+            match export_summary(&self.export_path, &self.exported) {
+                Ok(n) => println!(
+                    "exported {n} benchmark summarie(s) to {}",
+                    self.export_path.display()
+                ),
+                Err(e) => eprintln!(
+                    "warning: cannot write {}: {e}",
+                    self.export_path.display()
+                ),
+            }
+        }
         if self.bless {
             match bless_baseline(&self.baseline_path, &self.observed) {
                 Ok(n) => println!(
@@ -171,6 +203,56 @@ fn default_baseline_path() -> PathBuf {
         env!("CARGO_MANIFEST_DIR"),
         "/../../results/bench_baseline.json"
     ))
+}
+
+/// `results/BENCH_<rev>.json` at the workspace root — the
+/// machine-readable perf trajectory, one file per commit.
+fn default_export_path() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/")).join(format!(
+        "BENCH_{}.json",
+        git_short_rev().as_deref().unwrap_or("unknown")
+    ))
+}
+
+/// `git rev-parse --short HEAD`, or `None` outside a work tree (or
+/// without git on PATH).
+fn git_short_rev() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!rev.is_empty()).then_some(rev)
+}
+
+/// Writes (or merges into) the `BENCH_<rev>.json` summary: a JSON
+/// object mapping each benchmark that ran to its wall-clock stats and
+/// the telemetry it emitted (every counter, and mean/p99 of every
+/// histogram — notably `fft.conv_us`). Benchmarks already in the file
+/// from another bench target of the same revision are kept, so the
+/// four targets accumulate into one per-commit record.
+fn export_summary(path: &PathBuf, exported: &BTreeMap<String, Json>) -> std::io::Result<usize> {
+    let mut merged: BTreeMap<String, Json> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| lrd_obs::parse_json(&text).ok())
+        .and_then(|doc| match doc {
+            Json::Obj(members) => Some(members.into_iter().collect()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    for (name, entry) in exported {
+        merged.insert(name.clone(), entry.clone());
+    }
+    let doc = Json::Obj(merged.into_iter().collect());
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, format!("{doc}\n"))?;
+    Ok(exported.len())
 }
 
 fn load_baseline(path: &PathBuf) -> Option<BTreeMap<String, BTreeMap<String, u64>>> {
@@ -252,6 +334,9 @@ impl Group<'_> {
         };
         f(&mut b);
         b.report(&full);
+        if let Some(entry) = b.summary_json() {
+            self.harness.exported.insert(full.clone(), entry);
+        }
         if let Some(metrics) = &b.metrics {
             let counters: BTreeMap<String, u64> = BASELINE_COUNTERS
                 .iter()
@@ -325,6 +410,52 @@ impl Bencher {
         self.metrics = (!snapshot.is_empty()).then_some(snapshot);
     }
 
+    /// The machine-readable summary for `BENCH_<rev>.json`: wall-clock
+    /// stats plus everything the telemetry iteration recorded.
+    fn summary_json(&self) -> Option<Json> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let obj = |members: Vec<(&str, Json)>| {
+            Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let wall = obj(vec![
+            ("median_s", Json::Num(s[s.len() / 2])),
+            ("min_s", Json::Num(s[0])),
+            ("max_s", Json::Num(s[s.len() - 1])),
+            ("samples", Json::Num(s.len() as f64)),
+        ]);
+        let mut members = vec![("wall".to_string(), wall)];
+        if let Some(m) = &self.metrics {
+            let counters: Vec<(String, Json)> = m
+                .counters()
+                .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
+                .collect();
+            if !counters.is_empty() {
+                members.push(("counters".to_string(), Json::Obj(counters)));
+            }
+            let histograms: Vec<(String, Json)> = m
+                .histograms()
+                .map(|(k, h)| {
+                    (
+                        k.to_string(),
+                        obj(vec![
+                            ("count", Json::Num(h.count() as f64)),
+                            ("mean", Json::Num(h.mean())),
+                            ("p99", Json::Num(h.quantile(0.99))),
+                        ]),
+                    )
+                })
+                .collect();
+            if !histograms.is_empty() {
+                members.push(("histograms".to_string(), Json::Obj(histograms)));
+            }
+        }
+        Some(Json::Obj(members))
+    }
+
     fn report(&self, name: &str) {
         if self.samples.is_empty() {
             println!("{name:<48} (no measurement — closure never called iter)");
@@ -385,6 +516,8 @@ mod tests {
             bless: false,
             baseline_path: default_baseline_path(),
             observed: BTreeMap::new(),
+            export_path: default_export_path(),
+            exported: BTreeMap::new(),
         };
         let mut g = h.group("g");
         let mut hits = 0;
@@ -427,6 +560,41 @@ mod tests {
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded["g/a"]["solver.refines"], 3);
         assert_eq!(loaded["g/b"]["solver.iterations"], 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn export_summary_merges_across_targets() {
+        let path = std::env::temp_dir().join(format!(
+            "lrd_bench_export_test_{}.json",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let entry = |v: f64| {
+            Json::Obj(vec![(
+                "wall".to_string(),
+                Json::Obj(vec![("median_s".to_string(), Json::Num(v))]),
+            )])
+        };
+        let first = BTreeMap::from([("fft/a".to_string(), entry(1.0))]);
+        export_summary(&path, &first).unwrap();
+        // A second target's export keeps the first target's entries
+        // and overwrites re-run ones.
+        let second = BTreeMap::from([
+            ("solver/b".to_string(), entry(2.0)),
+            ("fft/a".to_string(), entry(3.0)),
+        ]);
+        export_summary(&path, &second).unwrap();
+        let doc = lrd_obs::parse_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let median = |bench: &str| {
+            doc.get(bench)
+                .and_then(|e| e.get("wall"))
+                .and_then(|w| w.get("median_s"))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        assert_eq!(median("fft/a"), 3.0);
+        assert_eq!(median("solver/b"), 2.0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -16,7 +16,7 @@ use crate::corpus::{Corpus, MTV_UTILIZATION};
 use crate::figures::{log_space, Profile};
 use crate::output::Grid;
 use crate::sweep::{run_grid, Axis, FigureSweep, PointResult, SweepPlan};
-use lrd_fluidq::{empirical_horizon, solve, SolverOptions};
+use lrd_fluidq::{empirical_horizon, solve_warm, SolverOptions};
 use lrd_stats::{linear_fit, LinearFit};
 use lrd_traffic::Interarrival;
 
@@ -45,6 +45,7 @@ pub fn ch_validation_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_>
         "cutoff_s",
         profile.pick(log_space(0.02, 20.0, 8), log_space(0.01, 100.0, 13)),
     );
+    // Buffer-only variation along axis 0 ⇒ warm starts are sound.
     let plan = SweepPlan::grid_plan(
         "ch_validation",
         profile,
@@ -52,15 +53,20 @@ pub fn ch_validation_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_>
         buffers,
         cutoffs,
         SolverOptions::sweep_profile(),
-    );
+    )
+    .with_warm_axis(0);
     let opts = plan.solver;
     let bundle = &corpus.mtv;
     FigureSweep {
         plan,
-        solve: Box::new(move |spec| {
+        solve: Box::new(move |spec, donor| {
             let (b, tc) = (spec.coord(0), spec.coord(1));
             let model = bundle.model(MTV_UTILIZATION, b, tc);
-            PointResult::from_solution(spec.index, &solve(&model, &opts))
+            let (solution, state) = solve_warm(&model, &opts, donor);
+            (
+                PointResult::from_solution(spec.index, &solution),
+                Some(state),
+            )
         }),
     }
 }

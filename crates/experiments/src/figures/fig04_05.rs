@@ -12,7 +12,7 @@ use crate::corpus::{Corpus, TraceBundle, BC_UTILIZATION, MTV_UTILIZATION};
 use crate::figures::Profile;
 use crate::output::Grid;
 use crate::sweep::{run_grid, Axis, FigureSweep, PointResult, SweepPlan};
-use lrd_fluidq::{solve, SolverOptions};
+use lrd_fluidq::{solve_warm, SolverOptions};
 
 /// The `(normalized buffer, cutoff lag)` sweep for one bundle. The
 /// axis order (buffers slowest) reproduces the historical nested-loop
@@ -38,6 +38,9 @@ pub fn loss_sweep<'c>(
         ),
     )
     .with_value(f64::INFINITY);
+    // Along the buffer axis the model differs only in buffer size, so
+    // a point may warm-start from its smaller-buffer predecessor —
+    // the donor precondition of `try_solve_warm`.
     let plan = SweepPlan::grid_plan(
         figure,
         profile,
@@ -45,15 +48,18 @@ pub fn loss_sweep<'c>(
         buffers,
         cutoffs,
         SolverOptions::sweep_profile(),
-    );
+    )
+    .with_warm_axis(0);
     let opts = plan.solver;
     FigureSweep {
         plan,
-        solve: Box::new(move |spec| {
+        solve: Box::new(move |spec, donor| {
             let (b, tc) = (spec.coord(0), spec.coord(1));
-            PointResult::from_solution(
-                spec.index,
-                &solve(&bundle.model(utilization, b, tc), &opts),
+            let (solution, state) =
+                solve_warm(&bundle.model(utilization, b, tc), &opts, donor);
+            (
+                PointResult::from_solution(spec.index, &solution),
+                Some(state),
             )
         }),
     }

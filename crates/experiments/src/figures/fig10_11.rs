@@ -46,9 +46,12 @@ pub fn fig10_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
     );
     let opts = plan.solver;
     let bundle = &corpus.mtv;
+    // No warm axis: both axes change the model beyond the buffer size
+    // (Hurst alters the interval process, `a` the marginal), so no
+    // lattice neighbour satisfies the warm-start donor precondition.
     FigureSweep {
         plan,
-        solve: Box::new(move |spec| {
+        solve: Box::new(move |spec, _donor| {
             let (h, a) = (spec.coord(0), spec.coord(1));
             let model = QueueModel::from_utilization(
                 bundle.marginal.scaled(a),
@@ -56,7 +59,10 @@ pub fn fig10_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
                 MTV_UTILIZATION,
                 BUFFER_S,
             );
-            PointResult::from_solution(spec.index, &solve(&model, &opts))
+            (
+                PointResult::from_solution(spec.index, &solve(&model, &opts)),
+                None,
+            )
         }),
     }
 }
@@ -77,9 +83,11 @@ pub fn fig11_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
     );
     let opts = plan.solver;
     let bundle = &corpus.mtv;
+    // No warm axis, for the same reason as Fig. 10 (Hurst and stream
+    // count both reshape the model, not just the buffer).
     FigureSweep {
         plan,
-        solve: Box::new(move |spec| {
+        solve: Box::new(move |spec, _donor| {
             let (h, n) = (spec.coord(0), spec.coord(1));
             let marginal = bundle.marginal.superpose(n as usize, 200);
             let model = QueueModel::from_utilization(
@@ -88,7 +96,10 @@ pub fn fig11_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
                 MTV_UTILIZATION,
                 BUFFER_S,
             );
-            PointResult::from_solution(spec.index, &solve(&model, &opts))
+            (
+                PointResult::from_solution(spec.index, &solve(&model, &opts)),
+                None,
+            )
         }),
     }
 }

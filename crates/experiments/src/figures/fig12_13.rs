@@ -10,7 +10,7 @@ use crate::corpus::{Corpus, TraceBundle, BC_UTILIZATION, MTV_UTILIZATION};
 use crate::figures::Profile;
 use crate::output::Grid;
 use crate::sweep::{run_grid, Axis, FigureSweep, PointResult, SweepPlan};
-use lrd_fluidq::{solve, QueueModel, SolverOptions};
+use lrd_fluidq::{solve_warm, QueueModel, SolverOptions};
 
 /// The `(normalized buffer, scaling factor)` sweep at `T_c = ∞` for
 /// one bundle.
@@ -34,6 +34,9 @@ pub fn buffer_scaling_sweep<'c>(
             crate::figures::lin_space(0.5, 1.5, 5),
         ),
     );
+    // The scaling factor is fixed within a buffer column, so the
+    // buffer axis satisfies `try_solve_warm`'s buffer-only donor
+    // precondition and may carry warm starts.
     let plan = SweepPlan::grid_plan(
         figure,
         profile,
@@ -41,11 +44,12 @@ pub fn buffer_scaling_sweep<'c>(
         buffers,
         scales,
         SolverOptions::sweep_profile(),
-    );
+    )
+    .with_warm_axis(0);
     let opts = plan.solver;
     FigureSweep {
         plan,
-        solve: Box::new(move |spec| {
+        solve: Box::new(move |spec, donor| {
             let (b, a) = (spec.coord(0), spec.coord(1));
             let model = QueueModel::from_utilization(
                 bundle.marginal.scaled(a),
@@ -53,7 +57,11 @@ pub fn buffer_scaling_sweep<'c>(
                 utilization,
                 b,
             );
-            PointResult::from_solution(spec.index, &solve(&model, &opts))
+            let (solution, state) = solve_warm(&model, &opts, donor);
+            (
+                PointResult::from_solution(spec.index, &solution),
+                Some(state),
+            )
         }),
     }
 }

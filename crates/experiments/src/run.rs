@@ -90,6 +90,16 @@ pub struct FigureSpec {
     pub quick_solves: u64,
     /// Exact `solver.solve` span count of an unsharded full run.
     pub full_solves: u64,
+    /// Of [`FigureSpec::quick_solves`], how many points *have a lattice
+    /// donor* under the plan's warm axis — the ceiling on spans that
+    /// may legitimately carry `warm: true`. Whether an eligible point
+    /// actually warm-certifies depends on the solved values (the donor
+    /// must have certified zero loss), so this is an upper bound, not
+    /// an exact count; sharded/resumed runs only ever fall below it.
+    /// Zero for plain figures and sweeps with no warm axis.
+    pub quick_warm_eligible: u64,
+    /// Warm-eligible point count of an unsharded full run.
+    pub full_warm_eligible: u64,
 }
 
 impl FigureSpec {
@@ -98,7 +108,110 @@ impl FigureSpec {
     pub fn expected_solves(&self, profile: Profile) -> u64 {
         profile.pick(self.quick_solves, self.full_solves)
     }
+
+    /// The warm-span ceiling (points with a lattice donor) for one
+    /// profile.
+    pub fn warm_eligible(&self, profile: Profile) -> u64 {
+        profile.pick(self.quick_warm_eligible, self.full_warm_eligible)
+    }
+
+    /// Checks one capture's `solver.solve` span counts against this
+    /// figure's budget: `solves` spans total, of which `warm` carried
+    /// `warm: true`. The total must match exactly (duplicated or
+    /// skipped solves are both regressions); the warm count may fall
+    /// anywhere below the lattice-donor ceiling (shards, resumes and
+    /// steal batches run donor-less points cold) but can never exceed
+    /// it.
+    pub fn check_solve_budget(
+        &self,
+        profile: Profile,
+        solves: u64,
+        warm: u64,
+    ) -> Result<(), BudgetError> {
+        let expected = self.expected_solves(profile);
+        if solves != expected {
+            return Err(BudgetError::Solves {
+                figure: self.name,
+                profile,
+                expected,
+                found: solves,
+            });
+        }
+        let max_warm = self.warm_eligible(profile);
+        if warm > max_warm {
+            return Err(BudgetError::WarmSolves {
+                figure: self.name,
+                profile,
+                max_warm,
+                found: warm,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// A telemetry-budget violation, naming the offending figure and
+/// profile (consumed by `examples/telemetry_check.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetError {
+    /// The capture's `solver.solve` span count differs from the
+    /// registry budget.
+    Solves {
+        /// The figure whose budget was violated.
+        figure: &'static str,
+        /// The profile the budget was checked against.
+        profile: Profile,
+        /// The exact span count the registry demands.
+        expected: u64,
+        /// The span count the capture actually contains.
+        found: u64,
+    },
+    /// More spans carried `warm: true` than the plan has donor-bearing
+    /// points — warm starts appeared where the lattice provides no
+    /// donor.
+    WarmSolves {
+        /// The figure whose budget was violated.
+        figure: &'static str,
+        /// The profile the budget was checked against.
+        profile: Profile,
+        /// The lattice-donor ceiling for this figure and profile.
+        max_warm: u64,
+        /// The warm span count the capture actually contains.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::Solves {
+                figure,
+                profile,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{figure} ({}) budget violated: expected exactly {expected} \
+                 solver.solve span(s), found {found}",
+                profile.tag()
+            ),
+            BudgetError::WarmSolves {
+                figure,
+                profile,
+                max_warm,
+                found,
+            } => write!(
+                f,
+                "{figure} ({}) warm budget violated: {found} solver.solve span(s) \
+                 carry warm: true but the plan has only {max_warm} donor-bearing \
+                 point(s)",
+                profile.tag()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
 
 fn grid_finish(_corpus: &Corpus, _profile: Profile, grid: Grid) -> FigureArtifacts {
     FigureArtifacts::from_grid(grid)
@@ -286,6 +399,8 @@ pub static FIGURES: &[FigureSpec] = &[
         kind: FigureKind::Plain(fig02_artifacts),
         quick_solves: 1,
         full_solves: 1,
+        quick_warm_eligible: 0,
+        full_warm_eligible: 0,
     },
     FigureSpec {
         name: "fig03_marginals",
@@ -294,6 +409,8 @@ pub static FIGURES: &[FigureSpec] = &[
         kind: FigureKind::Plain(fig03_artifacts),
         quick_solves: 0,
         full_solves: 0,
+        quick_warm_eligible: 0,
+        full_warm_eligible: 0,
     },
     FigureSpec {
         name: "fig04_mtv_model",
@@ -305,6 +422,8 @@ pub static FIGURES: &[FigureSpec] = &[
         },
         quick_solves: 12,
         full_solves: 56,
+        quick_warm_eligible: 8,
+        full_warm_eligible: 48,
     },
     FigureSpec {
         name: "fig05_bc_model",
@@ -316,6 +435,8 @@ pub static FIGURES: &[FigureSpec] = &[
         },
         quick_solves: 12,
         full_solves: 56,
+        quick_warm_eligible: 8,
+        full_warm_eligible: 48,
     },
     FigureSpec {
         name: "fig06_shuffle_demo",
@@ -324,6 +445,8 @@ pub static FIGURES: &[FigureSpec] = &[
         kind: FigureKind::Plain(fig06_artifacts),
         quick_solves: 0,
         full_solves: 0,
+        quick_warm_eligible: 0,
+        full_warm_eligible: 0,
     },
     FigureSpec {
         name: "fig07_mtv_shuffle",
@@ -332,6 +455,8 @@ pub static FIGURES: &[FigureSpec] = &[
         kind: FigureKind::Plain(fig07_artifacts),
         quick_solves: 0,
         full_solves: 0,
+        quick_warm_eligible: 0,
+        full_warm_eligible: 0,
     },
     FigureSpec {
         name: "fig08_bc_shuffle",
@@ -340,6 +465,8 @@ pub static FIGURES: &[FigureSpec] = &[
         kind: FigureKind::Plain(fig08_artifacts),
         quick_solves: 0,
         full_solves: 0,
+        quick_warm_eligible: 0,
+        full_warm_eligible: 0,
     },
     FigureSpec {
         name: "fig09_marginal_compare",
@@ -348,6 +475,8 @@ pub static FIGURES: &[FigureSpec] = &[
         kind: FigureKind::Plain(fig09_artifacts),
         quick_solves: 8,
         full_solves: 18,
+        quick_warm_eligible: 0,
+        full_warm_eligible: 0,
     },
     FigureSpec {
         name: "fig10_hurst_vs_scaling",
@@ -359,6 +488,8 @@ pub static FIGURES: &[FigureSpec] = &[
         },
         quick_solves: 9,
         full_solves: 25,
+        quick_warm_eligible: 0,
+        full_warm_eligible: 0,
     },
     FigureSpec {
         name: "fig11_hurst_vs_multiplex",
@@ -370,6 +501,8 @@ pub static FIGURES: &[FigureSpec] = &[
         },
         quick_solves: 9,
         full_solves: 50,
+        quick_warm_eligible: 0,
+        full_warm_eligible: 0,
     },
     FigureSpec {
         name: "fig12_mtv_buffer_scaling",
@@ -381,6 +514,8 @@ pub static FIGURES: &[FigureSpec] = &[
         },
         quick_solves: 9,
         full_solves: 35,
+        quick_warm_eligible: 6,
+        full_warm_eligible: 30,
     },
     FigureSpec {
         name: "fig13_bc_buffer_scaling",
@@ -392,6 +527,8 @@ pub static FIGURES: &[FigureSpec] = &[
         },
         quick_solves: 9,
         full_solves: 35,
+        quick_warm_eligible: 6,
+        full_warm_eligible: 30,
     },
     FigureSpec {
         name: "fig14_ch_scaling",
@@ -400,6 +537,8 @@ pub static FIGURES: &[FigureSpec] = &[
         kind: FigureKind::Plain(fig14_artifacts),
         quick_solves: 0,
         full_solves: 0,
+        quick_warm_eligible: 0,
+        full_warm_eligible: 0,
     },
     FigureSpec {
         name: "ch_validation",
@@ -411,6 +550,8 @@ pub static FIGURES: &[FigureSpec] = &[
         },
         quick_solves: 24,
         full_solves: 91,
+        quick_warm_eligible: 16,
+        full_warm_eligible: 78,
     },
     FigureSpec {
         name: "markov_baseline",
@@ -419,6 +560,8 @@ pub static FIGURES: &[FigureSpec] = &[
         kind: FigureKind::Plain(markov_baseline_artifacts),
         quick_solves: 8,
         full_solves: 16,
+        quick_warm_eligible: 0,
+        full_warm_eligible: 0,
     },
     FigureSpec {
         name: "corpus_report",
@@ -427,6 +570,8 @@ pub static FIGURES: &[FigureSpec] = &[
         kind: FigureKind::Plain(corpus_report_artifacts),
         quick_solves: 0,
         full_solves: 0,
+        quick_warm_eligible: 0,
+        full_warm_eligible: 0,
     },
 ];
 
@@ -789,6 +934,18 @@ mod tests {
                     );
                     assert_eq!(sweep.plan.figure, spec.name, "plan/registry name drift");
                     assert_eq!(sweep.plan.profile, profile);
+                    // The warm ceiling must equal the number of
+                    // donor-bearing lattice points.
+                    let donors = (0..sweep.plan.len())
+                        .filter(|&i| sweep.plan.donor(i).is_some())
+                        .count() as u64;
+                    assert_eq!(
+                        donors,
+                        spec.warm_eligible(profile),
+                        "{} {:?} warm ceiling",
+                        spec.name,
+                        profile
+                    );
                 }
             }
         }

@@ -24,7 +24,7 @@ use super::error::CoordError;
 use super::fleet::{POINTS_COUNTER, SOLVE_US_HISTOGRAM};
 use super::proto::{connect, recv_line, send_line, Endpoint, Request, Response, WorkerReport};
 use crate::sweep::checkpoint::{open_checkpoint, CheckpointOrigin};
-use crate::sweep::runner::{append_with_retry, solve_timed, FigureSweep};
+use crate::sweep::runner::{append_with_retry, wave_chunks, FigureSweep, WarmPool};
 use crate::sweep::{point_line, PointSpec, CHECKPOINT_CHUNK};
 
 /// Fault injection for the chaos harness: deliberately mistreat the
@@ -482,14 +482,21 @@ pub fn run_steal(
                 );
                 let mut abandoned = false;
                 let mut crashed = false;
-                for chunk in todo.chunks(CHECKPOINT_CHUNK) {
+                // Warm states live for this lease only: a donor in an
+                // earlier wave of the same batch seeds its acceptor,
+                // one in another batch (or a previous run's
+                // checkpoint) does not — so a reclaimed lease's
+                // duplicate solves differ at most in iteration count,
+                // and merge's first-writer-wins value assertion holds.
+                let mut pool = WarmPool::new();
+                for chunk in wave_chunks(&sweep.plan, &todo, CHECKPOINT_CHUNK) {
                     if pump.lease_expired() {
                         // Reclaimed under us: stop burning time on a
                         // batch someone else now owns.
                         abandoned = true;
                         break;
                     }
-                    let results = lrd_pool::par_map(chunk, |spec| solve_timed(sweep, spec));
+                    let results = pool.solve_chunk(sweep, chunk, true);
                     let mut text = String::new();
                     for (spec, result) in chunk.iter().zip(&results) {
                         text.push_str(&point_line(&spec.coords, result));

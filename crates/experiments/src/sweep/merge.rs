@@ -211,13 +211,18 @@ mod tests {
         );
         FigureSweep {
             plan,
-            solve: Box::new(|spec: &PointSpec| crate::sweep::PointResult {
-                index: spec.index,
-                value: (spec.coords[0] * 7.0 + spec.coords[1].min(1e6)) / 3.0,
-                iterations: 3 + spec.index as u64,
-                bins: 128,
-                converged: true,
-                solve_us: None,
+            solve: Box::new(|spec: &PointSpec, _donor| {
+                (
+                    crate::sweep::PointResult {
+                        index: spec.index,
+                        value: (spec.coords[0] * 7.0 + spec.coords[1].min(1e6)) / 3.0,
+                        iterations: 3 + spec.index as u64,
+                        bins: 128,
+                        converged: true,
+                        solve_us: None,
+                    },
+                    None,
+                )
             }),
         }
     }
@@ -256,7 +261,7 @@ mod tests {
         text.push('\n');
         for &i in indices {
             let spec = s.plan.point(i);
-            let mut result = (s.solve)(&spec);
+            let mut result = (s.solve)(&spec, None).0;
             result.value += perturb;
             text.push_str(&point_line(&spec.coords, &result));
             text.push('\n');

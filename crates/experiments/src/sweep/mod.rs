@@ -11,9 +11,13 @@
 //!   ([`SweepPlan::hash_hex`]) covering the axes, profile and solver
 //!   options. Two plans with the same hash produce bit-identical
 //!   surfaces.
-//! * [`FigureSweep`] — a plan plus the `PointSpec -> PointResult`
-//!   solve function. Each figure module exposes a `*_sweep`
-//!   constructor.
+//! * [`FigureSweep`] — a plan plus the point solve function, which
+//!   may accept a warm state donated by its fixed lattice predecessor
+//!   ([`SweepPlan::donor`]) and export its own. Each figure module
+//!   exposes a `*_sweep` constructor. Buffer-axis figures declare a
+//!   warm axis and run as a deterministic wavefront: donors are fixed
+//!   by the plan, so iteration savings never depend on thread count,
+//!   and solved values are bit-identical warm or cold.
 //! * [`ShardSpec`] — `--shard i/n` partitions the lattice round-robin
 //!   by stable point index, so every shard receives a mix of cheap and
 //!   deep-loss points; the owned-set form ([`ShardSpec::owned`])

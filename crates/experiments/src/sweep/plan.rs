@@ -129,6 +129,22 @@ pub struct SweepPlan {
     /// Solver options applied at every point; hashed into the plan
     /// identity so shards solved under different protocols never merge.
     pub solver: SolverOptions,
+    /// The axis along which neighbouring points may donate solver
+    /// [`WarmState`](lrd_fluidq::WarmState)s (the buffer axis, for
+    /// every current figure). `None` disables warm starts.
+    ///
+    /// Declaring a warm axis asserts the figure's point models differ
+    /// **only in the buffer size** along that axis — the donor
+    /// precondition of
+    /// [`try_solve_warm`](lrd_fluidq::try_solve_warm). Figures whose
+    /// axes change anything else about the model (Hurst, marginal
+    /// scaling, stream count) must leave it `None`.
+    ///
+    /// Deliberately **excluded from [`hash`](SweepPlan::hash)**: a
+    /// warm start never changes solved values (only iteration counts),
+    /// so surfaces solved with and without it merge bit-identically —
+    /// and old checkpoints stay resumable.
+    pub warm_axis: Option<usize>,
 }
 
 impl SweepPlan {
@@ -147,6 +163,55 @@ impl SweepPlan {
             value_label: value_label.into(),
             axes: vec![y, x],
             solver,
+            warm_axis: None,
+        }
+    }
+
+    /// Declares `axis` as the warm-start (buffer) axis. See
+    /// [`SweepPlan::warm_axis`] for the contract this asserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis` is out of range.
+    pub fn with_warm_axis(mut self, axis: usize) -> SweepPlan {
+        assert!(axis < self.axes.len(), "warm axis {axis} out of range");
+        self.warm_axis = Some(axis);
+        self
+    }
+
+    /// Row-major stride of `axis`: the index distance between two
+    /// points that differ by one step along it.
+    fn stride(&self, axis: usize) -> usize {
+        self.axes[axis + 1..].iter().map(Axis::len).product()
+    }
+
+    /// The fixed lattice predecessor that donates a warm state to
+    /// `index`: the same point one step earlier along the warm axis.
+    /// `None` when the plan has no warm axis or `index` sits on the
+    /// axis's first value (those points always run cold).
+    ///
+    /// The donor is a pure function of the plan — independent of
+    /// execution order, shard split, batch composition, or thread
+    /// count — which is what keeps the wavefront schedule
+    /// deterministic: whether a donor's state is *available* at solve
+    /// time depends only on the deterministic chunk partition, never
+    /// on which worker thread finished first.
+    pub fn donor(&self, index: usize) -> Option<usize> {
+        let axis = self.warm_axis?;
+        let stride = self.stride(axis);
+        let pos = (index / stride) % self.axes[axis].len();
+        (pos > 0).then(|| index - stride)
+    }
+
+    /// The wavefront a point belongs to: its position along the warm
+    /// axis (0 for every point when no warm axis is declared). A
+    /// point's donor always lives in the previous wave, so executing
+    /// wave-by-wave guarantees every in-partition donor has been
+    /// solved before its acceptor starts.
+    pub fn wave_of(&self, index: usize) -> usize {
+        match self.warm_axis {
+            Some(axis) => (index / self.stride(axis)) % self.axes[axis].len(),
+            None => 0,
         }
     }
 
@@ -338,6 +403,32 @@ mod tests {
         let mut other = plan();
         other.figure = "demo2".into();
         assert_ne!(p.hash_hex(), other.hash_hex(), "figure must matter");
+    }
+
+    #[test]
+    fn donor_is_the_previous_point_along_the_warm_axis() {
+        let p = plan().with_warm_axis(0); // 2 buffers × 3 cutoffs
+        // First buffer row: no predecessor, always cold.
+        assert_eq!(p.donor(0), None);
+        assert_eq!(p.donor(2), None);
+        // Second row: donor is the same cutoff one buffer earlier.
+        assert_eq!(p.donor(3), Some(0));
+        assert_eq!(p.donor(5), Some(2));
+        assert_eq!(p.wave_of(2), 0);
+        assert_eq!(p.wave_of(3), 1);
+
+        // Without a warm axis nothing donates and all points share
+        // wave 0 (one unsynchronised batch).
+        let cold = plan();
+        assert!((0..cold.len()).all(|i| cold.donor(i).is_none()));
+        assert!((0..cold.len()).all(|i| cold.wave_of(i) == 0));
+    }
+
+    #[test]
+    fn warm_axis_never_enters_the_plan_hash() {
+        // Warm starts change iteration counts, not values, so surfaces
+        // solved either way must keep merging against each other.
+        assert_eq!(plan().hash_hex(), plan().with_warm_axis(0).hash_hex());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Shard execution: fan a plan's points through the worker pool,
 //! streaming completed results to a resumable checkpoint.
 
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::Write;
 use std::path::Path;
@@ -8,6 +9,7 @@ use std::path::Path;
 use crate::output::Grid;
 use crate::sweep::checkpoint::{open_checkpoint, CheckpointOrigin};
 use crate::sweep::{point_line, PointResult, PointSpec, ShardSpec, SweepError, SweepPlan};
+use lrd_fluidq::WarmState;
 
 /// How many points are solved between checkpoint flushes. Small enough
 /// that a killed run loses at most a few seconds of work on quick
@@ -29,9 +31,17 @@ const APPEND_ATTEMPTS: u32 = 5;
 pub struct FigureSweep<'a> {
     /// The declarative plan: axes, order, hash.
     pub plan: SweepPlan,
-    /// Solves one point. Must be deterministic and independent across
-    /// points — the runner fans it through [`lrd_pool::par_map`].
-    pub solve: Box<dyn Fn(&PointSpec) -> PointResult + Sync + 'a>,
+    /// Solves one point, optionally seeded by the warm state of its
+    /// lattice donor ([`SweepPlan::donor`]), and exports this point's
+    /// own warm state for downstream neighbours (`None` when the
+    /// figure does not participate in warm starts). Must be
+    /// deterministic and — given the same donor — independent across
+    /// points; the runner fans it through [`lrd_pool::par_map`]. The
+    /// solved **values** must not depend on the donor at all: the
+    /// solver's warm path guarantees bit-identical bounds, and the
+    /// merge layer asserts it.
+    #[allow(clippy::type_complexity)]
+    pub solve: Box<dyn Fn(&PointSpec, Option<&WarmState>) -> (PointResult, Option<WarmState>) + Sync + 'a>,
 }
 
 impl std::fmt::Debug for FigureSweep<'_> {
@@ -49,15 +59,124 @@ impl std::fmt::Debug for FigureSweep<'_> {
 /// workers and any installed telemetry sink). Durations feed the
 /// cost-weighted re-split planner only — they never influence the
 /// solved values.
-pub(crate) fn solve_timed(sweep: &FigureSweep<'_>, spec: &PointSpec) -> PointResult {
-    let (mut result, dur) = lrd_obs::watch_span("solver.solve", || (sweep.solve)(spec));
+pub(crate) fn solve_timed(
+    sweep: &FigureSweep<'_>,
+    spec: &PointSpec,
+    donor: Option<&WarmState>,
+) -> (PointResult, Option<WarmState>) {
+    let ((mut result, state), dur) =
+        lrd_obs::watch_span("solver.solve", || (sweep.solve)(spec, donor));
     result.solve_us = dur;
     if let Some(us) = dur {
         // The per-point duration stream: quantiles in the summary
         // sink, and (in steal mode) the coordinator's live cost model.
         lrd_obs::histogram("sweep.solve_us", us);
     }
-    result
+    (result, state)
+}
+
+/// Whether lattice warm-starting is enabled (the default).
+/// `LRD_WARM=off|0|none|cold` forces every point to solve cold — the
+/// lever behind the pinned cold-baseline telemetry in
+/// `results/telemetry/` and quick A/B comparisons. Values are
+/// bit-identical either way (the solver's warm-path contract), so the
+/// knob only moves iteration counts. Read once; mirrors `LRD_SIMD`.
+fn warm_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("LRD_WARM").as_deref(),
+            Ok("off" | "0" | "none" | "cold")
+        )
+    })
+}
+
+/// The warm states harvested so far within one execution partition (a
+/// shard run, or one leased batch in steal mode), keyed by point
+/// index. Feeding a chunk through [`WarmPool::solve_chunk`] looks up
+/// each point's plan-fixed donor among the already-harvested states —
+/// a donor not in the pool (first wave, resumed from a checkpoint,
+/// owned by another shard/batch, or sharing the current chunk) simply
+/// seeds nothing and the point runs cold.
+///
+/// Determinism: the pool's contents at each chunk boundary are a pure
+/// function of the chunk partition, which the callers derive from the
+/// plan and the resume state alone — never from thread scheduling. The
+/// solver guarantees warm and cold solves agree bitwise on values, so
+/// even partitions that disagree (different shard splits, reclaimed
+/// steal leases) merge bit-identically; only iteration counts differ.
+pub(crate) struct WarmPool {
+    states: HashMap<usize, WarmState>,
+}
+
+impl WarmPool {
+    /// An empty pool — every first point of a partition runs cold.
+    pub(crate) fn new() -> WarmPool {
+        WarmPool {
+            states: HashMap::new(),
+        }
+    }
+
+    /// Solves one chunk through the worker pool, seeding each point
+    /// from its donor when already harvested, then harvests the
+    /// chunk's own exported states.
+    pub(crate) fn solve_chunk(
+        &mut self,
+        sweep: &FigureSweep<'_>,
+        chunk: &[PointSpec],
+        timed: bool,
+    ) -> Vec<PointResult> {
+        let states = &self.states;
+        let warm = warm_enabled();
+        let solved = lrd_pool::par_map(chunk, |spec| {
+            let donor = if warm {
+                sweep.plan.donor(spec.index).and_then(|d| states.get(&d))
+            } else {
+                None
+            };
+            if timed {
+                solve_timed(sweep, spec, donor)
+            } else {
+                (sweep.solve)(spec, donor)
+            }
+        });
+        let mut results = Vec::with_capacity(solved.len());
+        for (result, state) in solved {
+            if let Some(state) = state {
+                self.states.insert(result.index, state);
+            }
+            results.push(result);
+        }
+        results
+    }
+}
+
+/// Splits `specs` (stable-index order) into execution chunks of at
+/// most `cap` points that never straddle a wavefront boundary
+/// ([`SweepPlan::wave_of`]) — so by the time a chunk starts, every
+/// in-partition donor of its points has been solved and harvested.
+/// Plans without a warm axis form a single wave and this degenerates
+/// to plain `chunks(cap)`.
+pub(crate) fn wave_chunks<'p>(
+    plan: &SweepPlan,
+    specs: &'p [PointSpec],
+    cap: usize,
+) -> Vec<&'p [PointSpec]> {
+    let mut chunks = Vec::new();
+    let mut rest = specs;
+    while let Some(first) = rest.first() {
+        let wave = plan.wave_of(first.index);
+        let len = rest
+            .iter()
+            .position(|s| plan.wave_of(s.index) != wave)
+            .unwrap_or(rest.len());
+        let (head, tail) = rest.split_at(len);
+        for chunk in head.chunks(cap.max(1)) {
+            chunks.push(chunk);
+        }
+        rest = tail;
+    }
+    chunks
 }
 
 /// Whether an I/O failure is worth retrying: the kernel interrupted or
@@ -135,9 +254,16 @@ pub(crate) fn append_with_retry(
 /// Runs `shard` of the sweep, returning its results in stable-index
 /// order.
 ///
-/// Without a checkpoint the shard's points fan through
-/// [`lrd_pool::par_map`] in one batch. With one, completed points are
-/// appended to `checkpoint` in [`CHECKPOINT_CHUNK`]-sized batches as
+/// Execution follows the plan's deterministic wavefront schedule: the
+/// shard's points run in stable-index order, chunked so no chunk
+/// straddles a warm-axis wave boundary, and each point is seeded by
+/// its plan-fixed donor's [`WarmState`] when that donor was solved
+/// earlier in this run ([`SweepPlan::donor`]; donors outside the
+/// shard, inside the current chunk, or resumed from a checkpoint seed
+/// nothing and the point runs cold). For plans without a warm axis
+/// this is exactly the old behaviour: without a checkpoint the points
+/// fan through [`lrd_pool::par_map`] in one batch. With a checkpoint,
+/// completed points are appended in [`CHECKPOINT_CHUNK`]-sized batches as
 /// they finish — each point line carrying its measured `solver.solve`
 /// duration for the re-split planner — and a pre-existing file from an
 /// interrupted run is **resumed**: its manifest is validated against
@@ -160,7 +286,14 @@ pub fn run_points(
     let owned = sweep.plan.points_for(shard);
 
     let Some(path) = checkpoint else {
-        return Ok(lrd_pool::par_map(&owned, |spec| (sweep.solve)(spec)));
+        // No checkpoint: one `par_map` batch per wavefront (a single
+        // batch for cold plans), threading warm states between waves.
+        let mut pool = WarmPool::new();
+        let mut results = Vec::with_capacity(owned.len());
+        for chunk in wave_chunks(&sweep.plan, &owned, usize::MAX) {
+            results.extend(pool.solve_chunk(sweep, chunk, false));
+        }
+        return Ok(results);
     };
 
     let origin = CheckpointOrigin::Shard(shard.clone());
@@ -171,8 +304,13 @@ pub fn run_points(
         .filter(|spec| !done.contains_key(&spec.index))
         .collect();
 
-    for chunk in remaining.chunks(CHECKPOINT_CHUNK) {
-        let results = lrd_pool::par_map(chunk, |spec| solve_timed(sweep, spec));
+    // Points resumed from the checkpoint carry no warm state (only
+    // their values were persisted), so their lattice dependents run
+    // cold — deterministically, because the resume set is fixed before
+    // any solving starts.
+    let mut pool = WarmPool::new();
+    for chunk in wave_chunks(&sweep.plan, &remaining, CHECKPOINT_CHUNK) {
+        let results = pool.solve_chunk(sweep, chunk, true);
         let mut text = String::new();
         for (spec, result) in chunk.iter().zip(&results) {
             debug_assert_eq!(spec.index, result.index, "solve must preserve the index");
@@ -214,13 +352,18 @@ mod tests {
         );
         FigureSweep {
             plan,
-            solve: Box::new(|spec: &PointSpec| PointResult {
-                index: spec.index,
-                value: spec.coords[0].min(spec.coords[1]) / 3.0,
-                iterations: 5,
-                bins: 128,
-                converged: true,
-                solve_us: None,
+            solve: Box::new(|spec: &PointSpec, _donor| {
+                (
+                    PointResult {
+                        index: spec.index,
+                        value: spec.coords[0].min(spec.coords[1]) / 3.0,
+                        iterations: 5,
+                        bins: 128,
+                        converged: true,
+                        solve_us: None,
+                    },
+                    None,
+                )
             }),
         }
     }
@@ -280,16 +423,19 @@ mod tests {
         let plan = sweep().plan;
         let spanning = FigureSweep {
             plan: plan.clone(),
-            solve: Box::new(move |spec: &PointSpec| {
+            solve: Box::new(move |spec: &PointSpec, _donor| {
                 let _span = lrd_obs::span!("solver.solve");
-                PointResult {
-                    index: spec.index,
-                    value: spec.index as f64,
-                    iterations: 1,
-                    bins: 128,
-                    converged: true,
-                    solve_us: None,
-                }
+                (
+                    PointResult {
+                        index: spec.index,
+                        value: spec.index as f64,
+                        iterations: 1,
+                        bins: 128,
+                        converged: true,
+                        solve_us: None,
+                    },
+                    None,
+                )
             }),
         };
         // Uncheckpointed: no watcher, durations stay None.
@@ -304,6 +450,133 @@ mod tests {
         for (a, b) in plain.iter().zip(&timed) {
             assert_eq!(a.value.to_bits(), b.value.to_bits());
         }
+    }
+
+    /// A warm sweep whose stub closure exports a (cloned, real) solver
+    /// state for every point and records which points received a
+    /// donor, so the tests below can pin the wavefront wiring without
+    /// re-proving the solver's warm/cold bit-identity (the fluidq
+    /// suite owns that).
+    fn warm_sweep(warmed: &std::sync::Mutex<Vec<usize>>) -> FigureSweep<'_> {
+        use crate::corpus::{Corpus, MTV_UTILIZATION};
+        let corpus = Corpus::quick();
+        let opts = SolverOptions::sweep_profile();
+        let (_, state) =
+            lrd_fluidq::solve_warm(&corpus.mtv.model(MTV_UTILIZATION, 0.1, 0.05), &opts, None);
+        let plan = SweepPlan::grid_plan(
+            "warmdemo",
+            Profile::Quick,
+            "v",
+            Axis::new("b", vec![1.0, 2.0, 3.0]),
+            Axis::new("tc", vec![0.5, 5.0]),
+            opts,
+        )
+        .with_warm_axis(0);
+        FigureSweep {
+            plan,
+            solve: Box::new(move |spec: &PointSpec, donor| {
+                if donor.is_some() {
+                    warmed.lock().unwrap().push(spec.index);
+                }
+                (
+                    PointResult {
+                        index: spec.index,
+                        value: spec.index as f64,
+                        iterations: 1,
+                        bins: 128,
+                        converged: true,
+                        solve_us: None,
+                    },
+                    Some(state.clone()),
+                )
+            }),
+        }
+    }
+
+    fn drain_sorted(warmed: &std::sync::Mutex<Vec<usize>>) -> Vec<usize> {
+        let mut seen: Vec<usize> = std::mem::take(&mut *warmed.lock().unwrap());
+        seen.sort_unstable();
+        seen
+    }
+
+    #[test]
+    fn wavefront_threads_donors_between_waves() {
+        let warmed = std::sync::Mutex::new(Vec::new());
+        let s = warm_sweep(&warmed);
+
+        // Full run: only the first buffer wave (indices 0, 1) is cold.
+        run_points(&s, &ShardSpec::FULL, None).unwrap();
+        assert_eq!(drain_sorted(&warmed), vec![2, 3, 4, 5]);
+
+        // An explicit shard: donors outside the owned set seed nothing.
+        // Owned {0, 2, 3, 5}: donor(2)=0 and donor(5)=3 are in-shard,
+        // donor(3)=1 is not — deterministically cold.
+        let shard = ShardSpec::owned(0, 1, vec![0, 2, 3, 5]).unwrap();
+        run_points(&s, &shard, None).unwrap();
+        assert_eq!(drain_sorted(&warmed), vec![2, 5]);
+    }
+
+    #[test]
+    fn resumed_points_donate_nothing() {
+        let warmed = std::sync::Mutex::new(Vec::new());
+        let s = warm_sweep(&warmed);
+        let path = tmp("warm-resume");
+        let _ = std::fs::remove_file(&path);
+
+        // Simulate an interrupted run that had solved point 0 only.
+        let full = run_points(&s, &ShardSpec::FULL, None).unwrap();
+        drain_sorted(&warmed);
+        let mut text = manifest_line(&s.plan, &ShardSpec::FULL);
+        text.push('\n');
+        text.push_str(&point_line(&s.plan.point(0).coords, &full[0]));
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+
+        // On resume, point 2's donor (0) came from the checkpoint and
+        // carries no state — it runs cold; everything downstream of
+        // this run's own solves still warms.
+        let resumed = run_points(&s, &ShardSpec::FULL, Some(&path)).unwrap();
+        assert_eq!(drain_sorted(&warmed), vec![3, 4, 5]);
+        assert_eq!(resumed.len(), full.len());
+        for (a, b) in full.iter().zip(&resumed) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn wave_chunks_never_straddle_wave_boundaries() {
+        let plan = SweepPlan::grid_plan(
+            "demo",
+            Profile::Quick,
+            "v",
+            Axis::new("b", vec![1.0, 2.0, 3.0]),
+            Axis::new("tc", (0..5).map(f64::from).collect()),
+            SolverOptions::sweep_profile(),
+        )
+        .with_warm_axis(0);
+        let specs = plan.points_for(&ShardSpec::FULL);
+        // cap 4 < wave size 5: each 5-point wave splits 4 + 1.
+        let chunks = wave_chunks(&plan, &specs, 4);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![4, 1, 4, 1, 4, 1]);
+        for chunk in &chunks {
+            let wave = plan.wave_of(chunk[0].index);
+            assert!(chunk.iter().all(|s| plan.wave_of(s.index) == wave));
+        }
+        // Chunking covers every point exactly once, in order.
+        let flat: Vec<usize> = chunks.iter().flat_map(|c| c.iter().map(|s| s.index)).collect();
+        assert_eq!(flat, (0..plan.len()).collect::<Vec<_>>());
+
+        // A cold plan is one wave: the unbounded cap yields one batch.
+        let cold = SweepPlan::grid_plan(
+            "demo",
+            Profile::Quick,
+            "v",
+            Axis::new("b", vec![1.0, 2.0, 3.0]),
+            Axis::new("tc", (0..5).map(f64::from).collect()),
+            SolverOptions::sweep_profile(),
+        );
+        assert_eq!(wave_chunks(&cold, &specs, usize::MAX).len(), 1);
     }
 
     #[test]
@@ -425,9 +698,9 @@ mod tests {
         let base = sweep();
         let counting = FigureSweep {
             plan: base.plan.clone(),
-            solve: Box::new(|spec: &PointSpec| {
+            solve: Box::new(|spec: &PointSpec, donor| {
                 calls.fetch_add(1, Ordering::SeqCst);
-                (base.solve)(spec)
+                (base.solve)(spec, donor)
             }),
         };
         let path = tmp("resume");
@@ -484,7 +757,10 @@ mod tests {
         let shard = ShardSpec::new(0, 3).unwrap();
         let mut text = manifest_line(&s.plan, &shard);
         text.push('\n');
-        text.push_str(&point_line(&s.plan.point(1).coords, &(s.solve)(&s.plan.point(1))));
+        text.push_str(&point_line(
+            &s.plan.point(1).coords,
+            &(s.solve)(&s.plan.point(1), None).0,
+        ));
         text.push('\n');
         std::fs::write(&path, text).unwrap();
         let err = run_points(&s, &shard, Some(&path)).unwrap_err();

@@ -47,16 +47,19 @@ fn plan() -> SweepPlan {
 fn sweep() -> FigureSweep<'static> {
     FigureSweep {
         plan: plan(),
-        solve: Box::new(|spec: &PointSpec| {
+        solve: Box::new(|spec: &PointSpec, _donor| {
             std::thread::sleep(Duration::from_millis(2));
-            PointResult {
-                index: spec.index,
-                value: (spec.coords[0] * 7.0 + spec.coords[1].min(1e6)) / 3.0,
-                iterations: 3 + spec.index as u64,
-                bins: 128,
-                converged: true,
-                solve_us: None,
-            }
+            (
+                PointResult {
+                    index: spec.index,
+                    value: (spec.coords[0] * 7.0 + spec.coords[1].min(1e6)) / 3.0,
+                    iterations: 3 + spec.index as u64,
+                    bins: 128,
+                    converged: true,
+                    solve_us: None,
+                },
+                None,
+            )
         }),
     }
 }

@@ -6,7 +6,12 @@
 use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number with `f64` components.
+///
+/// `repr(C)` so a `[Complex]` slice is a well-defined
+/// `[re, im, re, im, ...]` double sequence — the SIMD kernels in
+/// [`crate::simd`] reinterpret buffers this way.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,

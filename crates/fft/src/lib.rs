@@ -18,10 +18,14 @@
 
 mod complex;
 mod convolve;
+pub mod simd;
 mod transform;
 
 pub use complex::Complex;
-pub use convolve::{convolve, convolve_direct, convolve_fft, Convolver};
+pub use convolve::{
+    convolve, convolve_direct, convolve_fft, shared_complex_plan, shared_real_plan, Convolver,
+};
+pub use simd::SimdLevel;
 pub use transform::{fft, ifft, next_pow2, Fft, RealFft};
 
 #[cfg(test)]

@@ -95,22 +95,7 @@ impl Fft {
     }
 
     fn butterflies(&self, data: &mut [Complex]) {
-        let n = self.n;
-        let mut len = 2;
-        while len <= n {
-            let half = len / 2;
-            let step = n / len;
-            for start in (0..n).step_by(len) {
-                for k in 0..half {
-                    let w = self.twiddles[k * step];
-                    let a = data[start + k];
-                    let b = data[start + k + half] * w;
-                    data[start + k] = a + b;
-                    data[start + k + half] = a - b;
-                }
-            }
-            len <<= 1;
-        }
+        crate::simd::butterflies(data, &self.twiddles);
     }
 }
 

@@ -59,5 +59,8 @@ pub use horizon::{correlation_horizon, empirical_horizon};
 pub use kernel::LossKernel;
 pub use model::QueueModel;
 pub use occupancy::Bracket;
-pub use solver::{solve, try_solve, BoundSolver, LossSolution, SolverOptions, MASS_TOLERANCE};
+pub use solver::{
+    solve, solve_warm, try_solve, try_solve_warm, BoundSolver, LossSolution, SolverOptions,
+    WarmState, MASS_TOLERANCE,
+};
 pub use wdist::WorkDistribution;

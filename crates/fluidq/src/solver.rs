@@ -7,6 +7,17 @@
 //! report zero when the upper bound drops below `1e-10`, and when the
 //! bounds stall at a discretization-limited gap, double `M` and
 //! warm-restart from the re-binned coarse solution (footnote 3).
+//!
+//! [`solve_warm`] extends footnote 3 *across lattice points*: a
+//! converged solve exports a [`WarmState`] (the re-binnable bound
+//! distributions plus the final bracket), and a neighbouring point can
+//! consult it to certify zero loss in a handful of iterations instead
+//! of running the cold protocol. The warm path is sound by
+//! construction (a runtime stochastic-dominance check makes every
+//! probe iterate a provable upper bound) and never changes solved
+//! values: it only ever returns the exact same `(0.0, 0.0)` constant
+//! the cold floor rule produces, and on any doubt it falls back to a
+//! from-scratch cold solve.
 
 use crate::error::{DegradationReason, SolverError};
 use crate::history::{GapHistory, GapSample};
@@ -20,6 +31,35 @@ use lrd_traffic::Interarrival;
 /// per-step renormalization) is reported as
 /// [`DegradationReason::MassLeak`].
 pub const MASS_TOLERANCE: f64 = 1e-6;
+
+/// Iteration cap on the warm zero-certification probe, across all its
+/// grid levels. The probe drains the donor's re-binned tail mass at
+/// the chain's physical mixing rate (typically 0.85–0.95 per step),
+/// so dropping the two-to-three decades from the re-binning transient
+/// to the zero floor takes some tens of steps, plus a level change or
+/// two. Deliberately a constant rather than a [`SolverOptions`]
+/// field: the probe never changes solved values (it either certifies
+/// the cold protocol's exact zero constant or is discarded), so it
+/// does not belong in the options that parameterize the answer — and
+/// keeping it out of `SolverOptions` keeps every sweep plan hash, and
+/// with it every existing checkpoint, stable.
+const PROBE_ITERATIONS: usize = 192;
+
+/// The probe refines to the next grid level when this many
+/// consecutive dominated steps each shrank the upper bound by less
+/// than [`PROBE_PLATEAU_RATIO`]: the remaining loss is discretization
+/// error of the current grid, which iteration cannot remove.
+const PROBE_PLATEAU_STEPS: usize = 3;
+
+/// Per-step shrink ratio above which a probe step counts as slow (see
+/// [`PROBE_PLATEAU_STEPS`]). Productive drain runs well below this;
+/// a grid-limited orbit trends toward 1.
+const PROBE_PLATEAU_RATIO: f64 = 0.97;
+
+/// Round-off allowance for the probe's stochastic-dominance check:
+/// the per-step clamp/renormalize perturbs the CDF by at most a few
+/// ulps of accumulated mass, far below any real dominance violation.
+const DOMINANCE_TOLERANCE: f64 = 1e-12;
 
 /// Options controlling the convergence protocol. The defaults are the
 /// paper's published settings.
@@ -134,6 +174,85 @@ impl LossSolution {
     }
 }
 
+/// A converged point's exportable state: the re-binnable occupancy
+/// distributions of both bounding chains plus the final loss-bound
+/// bracket. Produced by every [`solve_warm`] / [`try_solve_warm`]
+/// call and consumable as the donor seed for a neighbouring lattice
+/// point's solve.
+///
+/// The state is tied to the buffer size it was solved under (the grid
+/// covers `[0, B]`); [`WarmState::rebin_upper`] transplants the
+/// upper-chain distribution onto any other `(buffer, bins)` grid
+/// conservatively, i.e. the re-binned distribution stochastically
+/// dominates the original.
+#[derive(Debug, Clone)]
+pub struct WarmState {
+    /// Buffer size `B` the distributions were solved under.
+    buffer: f64,
+    /// Grid resolution `M` of the exporting solve.
+    bins: usize,
+    /// Final upper-chain occupancy `Pr{Q_H = j·d}`, `j = 0..=M`.
+    upper: Vec<f64>,
+    /// Final lower-chain occupancy `Pr{Q_L = j·d}`.
+    lower: Vec<f64>,
+    /// Final loss-bound bracket `(lower, upper)`.
+    bracket: (f64, f64),
+    /// Whether the exporting solve certified zero loss (the floor
+    /// rule). Only zero states are usable as probe donors.
+    zero: bool,
+}
+
+impl WarmState {
+    /// Whether the exporting solve certified zero loss.
+    pub fn is_zero(&self) -> bool {
+        self.zero
+    }
+
+    /// The exporting solve's final loss-bound bracket.
+    pub fn bracket(&self) -> (f64, f64) {
+        self.bracket
+    }
+
+    /// Grid resolution of the exporting solve.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// The exported occupancy distribution of one bounding chain on
+    /// the donor grid (`upper = true` for `Q_H`).
+    pub fn occupancy(&self, upper: bool) -> &[f64] {
+        if upper {
+            &self.upper
+        } else {
+            &self.lower
+        }
+    }
+
+    /// Conservatively re-bins the upper-chain occupancy onto a grid of
+    /// `bins` bins over `[0, buffer]`: every donor atom moves to the
+    /// smallest target grid point at or above its position, with
+    /// out-of-range mass folded onto the top atom (a smaller buffer
+    /// cannot hold more). Rounding *up* means the result
+    /// stochastically dominates the donor distribution whenever
+    /// `buffer` covers the donor's range; either way the re-binned
+    /// seed is only a heuristic — the warm probe's runtime
+    /// super-invariance check is what carries the soundness proof.
+    pub fn rebin_upper(&self, buffer: f64, bins: usize) -> Vec<f64> {
+        let d_new = buffer / bins as f64;
+        let d_old = self.buffer / self.bins as f64;
+        let mut out = vec![0.0; bins + 1];
+        for (j, &p) in self.upper.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let x = j as f64 * d_old;
+            let idx = ((x / d_new).ceil().max(0.0) as usize).min(bins);
+            out[idx] += p;
+        }
+        out
+    }
+}
+
 /// The pair of discretized bounding chains at a fixed grid resolution,
 /// steppable one arrival at a time.
 ///
@@ -244,21 +363,38 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
     /// Advances both chains by one arrival epoch: convolve with the
     /// respective work-increment discretization, then fold the
     /// out-of-range mass onto the boundary atoms at `0` and `B`
-    /// (Eq. 19–20). The two chains run concurrently on the current
-    /// pool; with one thread the lower chain steps first, exactly as
-    /// the historical serial path did.
+    /// (Eq. 19–20). Both chains' convolutions — same signal and kernel
+    /// lengths every iteration — run through one batched transform
+    /// ([`Convolver::conv_pair`]), so the per-step cost is a single
+    /// full-length FFT pass instead of two independent half-size
+    /// pipelines. The path depends only on the grid size, never on
+    /// thread count, so results stay bit-identical across pools.
     pub fn step(&mut self) {
         let bins = self.bins;
-        let (q_lower, conv_lower, scratch_lower) =
-            (&mut self.q_lower, &mut self.conv_lower, &mut self.scratch_lower);
-        let (q_upper, conv_upper, scratch_upper) =
-            (&mut self.q_upper, &mut self.conv_upper, &mut self.scratch_upper);
-        let (drift_lower, drift_upper) = lrd_pool::current().join(
-            || Self::step_chain(q_lower, conv_lower, bins, scratch_lower),
-            || Self::step_chain(q_upper, conv_upper, bins, scratch_upper),
+        let (u_lower, u_upper) = Convolver::conv_pair(
+            &mut self.conv_lower,
+            &mut self.conv_upper,
+            &self.q_lower,
+            &self.q_upper,
         );
+        let drift_lower = Self::fold_chain(&mut self.q_lower, u_lower, bins, &mut self.scratch_lower);
+        let drift_upper = Self::fold_chain(&mut self.q_upper, u_upper, bins, &mut self.scratch_upper);
         self.worst_mass_drift = self.worst_mass_drift.max(drift_lower).max(drift_upper);
         self.iterations += 1;
+    }
+
+    /// Advances only the upper chain — the warm probe's working chain —
+    /// returning that step's pre-renormalization mass deviation.
+    fn step_upper(&mut self) -> f64 {
+        let drift = Self::step_chain(
+            &mut self.q_upper,
+            &mut self.conv_upper,
+            self.bins,
+            &mut self.scratch_upper,
+        );
+        self.worst_mass_drift = self.worst_mass_drift.max(drift);
+        self.iterations += 1;
+        drift
     }
 
     /// Worst observed `|Σq − 1|` across all steps so far, measured
@@ -274,9 +410,15 @@ impl<D: Interarrival + Clone> BoundSolver<D> {
     /// persistent scratch: the new distribution is built there and
     /// swapped into `q`, so warm steps allocate nothing.
     fn step_chain(q: &mut Vec<f64>, conv: &mut Convolver, bins: usize, next: &mut Vec<f64>) -> f64 {
-        // u has length 3M+1; output index k corresponds to occupancy
-        // index i = k − M in −M..=2M.
         let u = conv.conv(q);
+        Self::fold_chain(q, u, bins, next)
+    }
+
+    /// Folds one chain's convolution output back onto the `[0, B]`
+    /// grid (the boundary-atom step of Eq. 19–20), renormalizes, and
+    /// swaps the result into `q`. `u` has length `3M+1`; output index
+    /// `k` corresponds to occupancy index `i = k − M` in `−M..=2M`.
+    fn fold_chain(q: &mut Vec<f64>, u: &[f64], bins: usize, next: &mut Vec<f64>) -> f64 {
         debug_assert_eq!(u.len(), 3 * bins + 1);
         next.clear();
         next.resize(bins + 1, 0.0);
@@ -441,15 +583,247 @@ pub fn try_solve<D: Interarrival + Clone>(
     model: &QueueModel<D>,
     opts: &SolverOptions,
 ) -> Result<LossSolution, SolverError> {
+    Ok(try_solve_warm(model, opts, None)?.0)
+}
+
+/// [`solve`] with an optional lattice-neighbour warm start, also
+/// returning this point's own exportable [`WarmState`].
+///
+/// # Panics
+///
+/// Panics on options [`try_solve_warm`] rejects.
+pub fn solve_warm<D: Interarrival + Clone>(
+    model: &QueueModel<D>,
+    opts: &SolverOptions,
+    donor: Option<&WarmState>,
+) -> (LossSolution, WarmState) {
+    try_solve_warm(model, opts, donor).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs the full convergence protocol, optionally seeded by a
+/// neighbouring point's [`WarmState`], and returns the verdict plus
+/// this point's own exportable warm state.
+///
+/// # Donor precondition
+///
+/// Passing `Some(donor)` asserts the donor was solved on a model
+/// **identical to `model` except possibly the buffer size**. Sweep
+/// closures whose lattice axes change anything else (Hurst, scaling,
+/// stream count, …) must pass `None` for donors across those axes.
+///
+/// # How the warm path certifies
+///
+/// The warm path never changes solved values: it only ever produces
+/// the exact `(0.0, 0.0)` constant the cold floor rule returns, and
+/// on any doubt it runs the cold protocol on a fresh solver,
+/// bit-identical to a never-warmed solve. A donor is consulted only
+/// when it certified **zero** loss, via one of two mechanisms:
+///
+/// * **Monotone certificate** (donor buffer ≤ this buffer): losing
+///   work is pathwise monotone in the buffer — for the same input, a
+///   larger buffer never loses more — so the donor's certified
+///   below-floor upper bound transfers directly:
+///   `true_loss(B) <= true_loss(B_donor) < zero_floor`. Zero
+///   iterations; the donor state is passed through for further
+///   chaining.
+/// * **Dominance probe** (donor buffer > this buffer): the donor's
+///   upper-chain occupancy is re-binned conservatively onto this
+///   point's grid and iterated for at most `PROBE_ITERATIONS` steps,
+///   looking for a step that is both *stochastically dominated by its
+///   predecessor* and below the zero floor (see [`probe_zero`]'s
+///   soundness argument; the check is self-validating, so a bad seed
+///   can waste the probe but never corrupt the verdict).
+pub fn try_solve_warm<D: Interarrival + Clone>(
+    model: &QueueModel<D>,
+    opts: &SolverOptions,
+    donor: Option<&WarmState>,
+) -> Result<(LossSolution, WarmState), SolverError> {
     validate_options(opts)?;
+    let donor = donor.filter(|w| w.zero);
     let mut solve_span = lrd_obs::span!(
         "solver.solve",
         initial_bins = opts.initial_bins.min(opts.max_bins),
         max_bins = opts.max_bins,
         rel_gap = opts.rel_gap,
     );
+    solve_span.record("warm", donor.is_some());
+    let mut probe_spent = 0usize;
+    if let Some(state) = donor {
+        if state.buffer <= model.buffer() {
+            // Monotone certificate: the donor's zero transfers to any
+            // larger buffer with no iteration at all. The donor state
+            // is passed through unchanged — the certificate chain
+            // stays anchored at the distributions that were actually
+            // solved.
+            let sol = LossSolution {
+                lower: 0.0,
+                upper: 0.0,
+                iterations: 0,
+                bins: state.bins,
+                converged: true,
+                degradation: None,
+                gap_history: GapHistory::new(),
+                refinement_epochs: Vec::new(),
+            };
+            return Ok((seal(sol, 0.0, &mut solve_span), state.clone()));
+        }
+        if let Some(certified) = probe_zero(model, opts, state, &mut solve_span, &mut probe_spent)
+        {
+            return Ok(certified);
+        }
+    }
+    run_protocol(model, opts, &mut solve_span, probe_spent)
+}
+
+/// The warm zero-certification probe. Returns the certified solution
+/// and exportable state when the donor's re-binned upper chain proves
+/// the zero floor within `PROBE_ITERATIONS` steps; `None` (with
+/// `spent` holding the probe iterations consumed, for honest
+/// accounting in the fallback's iteration totals) when the caller
+/// must run the cold protocol instead.
+///
+/// The probe starts at the **donor's** grid resolution — the donor
+/// certified below the floor there, and the stationary upper bound is
+/// decreasing in `M`, so the cold `initial_bins` grid would flatten
+/// out above the floor and never certify — and escalates through
+/// finer levels with the footnote-3 transplant whenever dominated
+/// steps plateau (a point closer to the loss boundary may need a
+/// finer grid than its donor to prove the same floor).
+///
+/// Soundness: let `s_k = F^k(seed)` where `F` is the upper-chain map.
+/// If at any step `s_k ⪯st s_(k-1)` (checked pointwise on the CDFs),
+/// then `s_(k-1)` is super-invariant; `F` is stochastically monotone,
+/// so the orbit from `s_(k-1)` decreases to the stationary law `Q*` —
+/// in particular `s_k ⪰st Q*`, making `l(s_k)` a provable upper bound
+/// on `l(Q*) = inf_n l(Q_H(n))`, itself an upper bound on the true
+/// loss (Prop. II.1 holds at every `n`). A certification therefore
+/// requires single-step dominance *at the certifying step only*; the
+/// re-binning transient of the first step or two is allowed to
+/// violate it.
+fn probe_zero<D: Interarrival + Clone>(
+    model: &QueueModel<D>,
+    opts: &SolverOptions,
+    donor: &WarmState,
+    span: &mut lrd_obs::Span,
+    spent: &mut usize,
+) -> Option<(LossSolution, WarmState)> {
+    let bins = donor.bins.clamp(2, opts.max_bins);
+    let mut solver = BoundSolver::try_new(model.clone(), bins).ok()?;
+    solver.q_upper = donor.rebin_upper(model.buffer(), bins);
+    let mut prev = solver.q_upper.clone();
+    let mut prev_upper = f64::INFINITY;
+    let mut slow_steps = 0usize;
+    let mut gap_history = GapHistory::new();
+    let mut refinement_epochs: Vec<(usize, usize)> = Vec::new();
+    for n in 1..=PROBE_ITERATIONS {
+        let drift = solver.step_upper();
+        lrd_obs::counter("solver.iterations", 1);
+        *spent = n;
+        let dominated = stochastically_dominated(&solver.q_upper, &prev);
+        let upper = solver.kernel.loss_rate(&solver.q_upper);
+        lrd_obs::event!(
+            "solver.gap",
+            iteration = n,
+            lower = 0.0,
+            upper = upper,
+            bins = solver.bins(),
+        );
+        if !upper.is_finite() || drift > MASS_TOLERANCE {
+            // Numerical trouble inside the probe: the cheap path is
+            // never worth a degraded verdict — run cold instead.
+            return None;
+        }
+        gap_history.push(GapSample {
+            iteration: n,
+            lower: 0.0,
+            upper,
+        });
+        if dominated && upper < opts.zero_floor {
+            // Certified: the same constant the cold floor rule emits.
+            let sol = LossSolution {
+                lower: 0.0,
+                upper: 0.0,
+                iterations: n,
+                bins: solver.bins(),
+                converged: true,
+                degradation: None,
+                gap_history,
+                refinement_epochs,
+            };
+            let state = export_state(model, &solver, &sol);
+            return Some((seal(sol, solver.mass_drift(), span), state));
+        }
+        // Grid escalation: when dominated steps stop making progress,
+        // the residual loss is discretization error — double the grid
+        // exactly as the cold protocol would. The transplant moves
+        // mass to coincident fine-grid points, so the next step's
+        // dominance check compares fine-grid iterates only (the
+        // anchor argument restarts cleanly at the new level).
+        if dominated && upper > PROBE_PLATEAU_RATIO * prev_upper {
+            slow_steps += 1;
+            if slow_steps >= PROBE_PLATEAU_STEPS {
+                if solver.bins() * 2 > opts.max_bins {
+                    return None;
+                }
+                solver.refine();
+                refinement_epochs.push((n, solver.bins()));
+                lrd_obs::counter("solver.refines", 1);
+                prev = solver.q_upper.clone();
+                prev_upper = f64::INFINITY;
+                slow_steps = 0;
+                continue;
+            }
+        } else {
+            slow_steps = 0;
+        }
+        prev_upper = upper;
+        prev.copy_from_slice(&solver.q_upper);
+    }
+    None
+}
+
+/// Whether `smaller ⪯_st larger`: the CDF of `smaller` lies pointwise
+/// at or above the CDF of `larger`, within round-off allowance.
+fn stochastically_dominated(smaller: &[f64], larger: &[f64]) -> bool {
+    debug_assert_eq!(smaller.len(), larger.len());
+    let mut cdf_s = 0.0f64;
+    let mut cdf_l = 0.0f64;
+    smaller.iter().zip(larger).all(|(&s, &l)| {
+        cdf_s += s;
+        cdf_l += l;
+        cdf_s >= cdf_l - DOMINANCE_TOLERANCE
+    })
+}
+
+/// Snapshots a finished solver as the point's exportable [`WarmState`].
+fn export_state<D: Interarrival + Clone>(
+    model: &QueueModel<D>,
+    solver: &BoundSolver<D>,
+    sol: &LossSolution,
+) -> WarmState {
+    WarmState {
+        buffer: model.buffer(),
+        bins: solver.bins,
+        upper: solver.q_upper.clone(),
+        lower: solver.q_lower.clone(),
+        bracket: (sol.lower, sol.upper),
+        zero: sol.is_zero(),
+    }
+}
+
+/// The cold convergence protocol, always run on a fresh solver so a
+/// discarded warm probe cannot perturb it: values are bit-identical to
+/// a never-warmed solve. `base_iterations` carries any probe steps
+/// already spent into the reported iteration totals (the *work*
+/// accounting); the protocol's own control flow never depends on it.
+fn run_protocol<D: Interarrival + Clone>(
+    model: &QueueModel<D>,
+    opts: &SolverOptions,
+    solve_span: &mut lrd_obs::Span,
+    base_iterations: usize,
+) -> Result<(LossSolution, WarmState), SolverError> {
     let mut solver = BoundSolver::try_new(model.clone(), opts.initial_bins.min(opts.max_bins))?;
-    let mut total_iterations = 0usize;
+    let mut total_iterations = base_iterations;
     let mut total_cost = 0.0f64;
     let mut gap_history = GapHistory::new();
     let mut refinement_epochs: Vec<(usize, usize)> = Vec::new();
@@ -493,39 +867,35 @@ pub fn try_solve<D: Interarrival + Clone>(
             if upper < opts.zero_floor {
                 // The paper's floor rule: below practical importance.
                 level_span.record("iterations", total_iterations - level_start);
-                return Ok(seal(
-                    LossSolution {
-                        lower: 0.0,
-                        upper: 0.0,
-                        iterations: total_iterations,
-                        bins: solver.bins(),
-                        converged: true,
-                        degradation: None,
-                        gap_history,
-                        refinement_epochs,
-                    },
-                    solver.mass_drift(),
-                    &mut solve_span,
-                ));
+                let sol = LossSolution {
+                    lower: 0.0,
+                    upper: 0.0,
+                    iterations: total_iterations,
+                    bins: solver.bins(),
+                    converged: true,
+                    degradation: None,
+                    gap_history,
+                    refinement_epochs,
+                };
+                let state = export_state(model, &solver, &sol);
+                return Ok((seal(sol, solver.mass_drift(), solve_span), state));
             }
             let gap = upper - lower;
             let mid = 0.5 * (upper + lower);
             if gap <= opts.rel_gap * mid {
                 level_span.record("iterations", total_iterations - level_start);
-                return Ok(seal(
-                    LossSolution {
-                        lower,
-                        upper,
-                        iterations: total_iterations,
-                        bins: solver.bins(),
-                        converged: true,
-                        degradation: None,
-                        gap_history,
-                        refinement_epochs,
-                    },
-                    solver.mass_drift(),
-                    &mut solve_span,
-                ));
+                let sol = LossSolution {
+                    lower,
+                    upper,
+                    iterations: total_iterations,
+                    bins: solver.bins(),
+                    converged: true,
+                    degradation: None,
+                    gap_history,
+                    refinement_epochs,
+                };
+                let state = export_state(model, &solver, &sol);
+                return Ok((seal(sol, solver.mass_drift(), solve_span), state));
             }
             // Stall detection: the gap is monotone non-increasing; if
             // it stops shrinking the remaining gap is discretization
@@ -556,20 +926,18 @@ pub fn try_solve<D: Interarrival + Clone>(
             } else {
                 (0.0, 1.0)
             };
-            return Ok(seal(
-                LossSolution {
-                    lower,
-                    upper,
-                    iterations: total_iterations,
-                    bins: solver.bins(),
-                    converged: false,
-                    degradation: Some(DegradationReason::NumericalBreakdown),
-                    gap_history,
-                    refinement_epochs,
-                },
-                solver.mass_drift(),
-                &mut solve_span,
-            ));
+            let sol = LossSolution {
+                lower,
+                upper,
+                iterations: total_iterations,
+                bins: solver.bins(),
+                converged: false,
+                degradation: Some(DegradationReason::NumericalBreakdown),
+                gap_history,
+                refinement_epochs,
+            };
+            let state = export_state(model, &solver, &sol);
+            return Ok((seal(sol, solver.mass_drift(), solve_span), state));
         }
         if out_of_budget || solver.bins() * 2 > opts.max_bins {
             let (lower, upper) = solver.loss_bounds();
@@ -583,20 +951,18 @@ pub fn try_solve<D: Interarrival + Clone>(
                     max_bins: opts.max_bins,
                 }
             };
-            return Ok(seal(
-                LossSolution {
-                    lower,
-                    upper,
-                    iterations: total_iterations,
-                    bins: solver.bins(),
-                    converged: false,
-                    degradation: Some(reason),
-                    gap_history,
-                    refinement_epochs,
-                },
-                solver.mass_drift(),
-                &mut solve_span,
-            ));
+            let sol = LossSolution {
+                lower,
+                upper,
+                iterations: total_iterations,
+                bins: solver.bins(),
+                converged: false,
+                degradation: Some(reason),
+                gap_history,
+                refinement_epochs,
+            };
+            let state = export_state(model, &solver, &sol);
+            return Ok((seal(sol, solver.mass_drift(), solve_span), state));
         }
         let old_bins = solver.bins();
         solver.refine();
@@ -777,6 +1143,160 @@ mod tests {
         let sol = solve(&model, &SolverOptions::default());
         let cap = 0.5 * (14.0 - 10.0) / 8.0;
         assert!(sol.upper <= cap + 1e-9, "upper {} vs cap {cap}", sol.upper);
+    }
+
+    /// An underloaded model (zero loss) at the given buffer.
+    fn underload_model(buffer: f64) -> QueueModel<TruncatedPareto> {
+        QueueModel::new(
+            Marginal::new(&[2.0, 6.0], &[0.5, 0.5]),
+            TruncatedPareto::new(0.05, 1.4, 1.0),
+            10.0,
+            buffer,
+        )
+    }
+
+    #[test]
+    fn warm_monotone_certificate_matches_cold() {
+        // A zero donor at a smaller buffer certifies a larger-buffer
+        // point of the same model with zero iterations, returning the
+        // exact cold constant and passing the donor state through for
+        // further chaining.
+        let opts = SolverOptions::default();
+        let (donor_sol, donor_state) = solve_warm(&underload_model(1.0), &opts, None);
+        assert!(donor_sol.is_zero());
+        assert!(donor_state.is_zero());
+
+        let cold = solve(&underload_model(1.5), &opts);
+        let (warm, state) = solve_warm(&underload_model(1.5), &opts, Some(&donor_state));
+        assert!(cold.is_zero());
+        assert_eq!(warm.lower.to_bits(), cold.lower.to_bits());
+        assert_eq!(warm.upper.to_bits(), cold.upper.to_bits());
+        assert_eq!(warm.iterations, 0, "monotone certificate must be free");
+        assert!(warm.converged);
+        assert!(state.is_zero());
+        assert_eq!(state.bins(), donor_state.bins(), "state must pass through");
+
+        // The pass-through state keeps certifying down the chain.
+        let cold2 = solve(&underload_model(2.0), &opts);
+        let (warm2, _) = solve_warm(&underload_model(2.0), &opts, Some(&state));
+        assert!(cold2.is_zero());
+        assert_eq!(warm2.upper.to_bits(), cold2.upper.to_bits());
+        assert_eq!(warm2.iterations, 0);
+    }
+
+    #[test]
+    fn warm_descending_probe_certifies() {
+        // A donor at a *larger* buffer cannot use the monotone
+        // certificate; its occupancy seeds the dominance probe, which
+        // must certify this hard zero point (cold takes >1000
+        // iterations) in at most PROBE_ITERATIONS steps and return
+        // the exact cold constant.
+        let opts = SolverOptions::sweep_profile();
+        let (donor_sol, donor_state) = solve_warm(&two_rate_model(0.01, 3.0), &opts, None);
+        assert!(donor_sol.is_zero(), "donor not zero: {donor_sol:?}");
+
+        let (warm, state) = solve_warm(&two_rate_model(0.01, 2.0), &opts, Some(&donor_state));
+        assert!(
+            warm.iterations <= PROBE_ITERATIONS,
+            "probe did not certify: {} iterations",
+            warm.iterations
+        );
+        assert_eq!(warm.lower.to_bits(), 0.0f64.to_bits());
+        assert_eq!(warm.upper.to_bits(), 0.0f64.to_bits());
+        assert!(warm.converged);
+        assert!(state.is_zero());
+    }
+
+    #[test]
+    fn warm_fallback_matches_cold_bitwise() {
+        // A lossy point warmed from a (handcrafted) zero donor at a
+        // larger buffer must fail the dominance probe — its loss never
+        // approaches the floor — and fall back to a solve bit-identical
+        // to cold.
+        let opts = SolverOptions::default();
+        let bins = 64;
+        let donor_state = WarmState {
+            buffer: 5.0,
+            bins,
+            upper: vec![1.0 / (bins + 1) as f64; bins + 1],
+            lower: vec![1.0 / (bins + 1) as f64; bins + 1],
+            bracket: (0.0, 0.0),
+            zero: true,
+        };
+        let model = two_rate_model(1.0, 2.0);
+        let cold = solve(&model, &opts);
+        let (warm, _) = solve_warm(&model, &opts, Some(&donor_state));
+        assert!(!cold.is_zero());
+        assert_eq!(warm.lower.to_bits(), cold.lower.to_bits());
+        assert_eq!(warm.upper.to_bits(), cold.upper.to_bits());
+        assert_eq!(warm.bins, cold.bins);
+        assert_eq!(warm.converged, cold.converged);
+    }
+
+    #[test]
+    fn nonzero_donor_is_ignored() {
+        // Donors that did not certify zero must not be consulted: the
+        // solve is plain cold, bit for bit.
+        let opts = SolverOptions::default();
+        let (donor_sol, donor_state) = solve_warm(&two_rate_model(1.0, 2.0), &opts, None);
+        assert!(!donor_sol.is_zero());
+        let model = two_rate_model(1.0, 3.0);
+        let cold = solve(&model, &opts);
+        let (warm, _) = solve_warm(&model, &opts, Some(&donor_state));
+        assert_eq!(warm.lower.to_bits(), cold.lower.to_bits());
+        assert_eq!(warm.upper.to_bits(), cold.upper.to_bits());
+        assert_eq!(warm.iterations, cold.iterations);
+    }
+
+    #[test]
+    fn rebin_upper_is_conservative() {
+        // The re-binned distribution must stochastically dominate the
+        // original: mass only ever moves up.
+        let opts = SolverOptions::default();
+        let (_, state) = solve_warm(&underload_model(1.0), &opts, None);
+        for &(buffer, bins) in &[(1.0, 64), (1.5, 128), (0.8, 200), (2.0, 37)] {
+            let rebinned = state.rebin_upper(buffer, bins);
+            let total: f64 = rebinned.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "mass lost: {total}");
+            assert!(rebinned.iter().all(|&p| p >= 0.0));
+            if buffer < 1.0 {
+                // Donor range exceeds the target grid: out-of-range
+                // mass folds to the top atom, so dominance over the
+                // original need not hold (the probe's runtime check
+                // carries soundness there).
+                continue;
+            }
+            // CDF comparison on the common value axis: at every value
+            // x, Pr{rebinned <= x} <= Pr{original <= x}.
+            let d_old = 1.0 / state.bins() as f64;
+            let d_new = buffer / bins as f64;
+            let orig = state.occupancy(true);
+            for j in 0..=bins {
+                let x = j as f64 * d_new;
+                let cdf_new: f64 = rebinned[..=j].iter().sum();
+                let cdf_old: f64 = orig
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i as f64 * d_old <= x)
+                    .map(|(_, &p)| p)
+                    .sum();
+                assert!(
+                    cdf_new <= cdf_old + 1e-9,
+                    "dominance violated at x={x}: {cdf_new} > {cdf_old}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_dominance_check() {
+        let a = [0.2, 0.3, 0.5];
+        let b = [0.5, 0.3, 0.2];
+        // b has more mass low, so b ⪯st a.
+        assert!(stochastically_dominated(&b, &a));
+        assert!(!stochastically_dominated(&a, &b));
+        let c = [0.2, 0.3, 0.5];
+        assert!(stochastically_dominated(&a, &c));
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //! number of `solver.solve` spans the figure is specified to produce —
 //! a regression gate against both silently duplicated solves (a sweep
 //! accidentally re-solving points) and silently skipped ones (a
-//! checkpoint resume eating work it should have redone).
+//! checkpoint resume eating work it should have redone). The budgets
+//! are warm-aware: spans carrying `warm: true` (lattice warm starts)
+//! are counted against the plan's donor-bearing point ceiling for the
+//! requested profile, and a violation is reported through the
+//! registry's typed [`lrd_experiments::run::BudgetError`], which names
+//! the offending figure.
 //!
 //! With `--coord` the capture is a **coordinator** telemetry file (from
 //! `sweep_coord --telemetry`) instead of a solver one: the check then
@@ -440,16 +445,17 @@ fn main() -> ExitCode {
     // Without --figure the capture must cover at least one full solve;
     // with --figure, the registry decides whether solves are expected
     // at all (some figures are pure statistics and must record none).
-    let budget = match &args.figure {
+    let spec = match &args.figure {
         None => None,
         Some(name) => match lrd_experiments::find_figure(name) {
-            Some(spec) => Some(spec.expected_solves(args.profile)),
+            Some(spec) => Some(spec),
             None => {
                 eprintln!("telemetry_check: unknown figure `{name}`");
                 return ExitCode::FAILURE;
             }
         },
     };
+    let budget = spec.map(|s| s.expected_solves(args.profile));
     let expects_solves = budget.is_none_or(|n| n > 0);
 
     let requirements = [
@@ -474,15 +480,27 @@ fn main() -> ExitCode {
         eprintln!("telemetry_check: no event named \"solver.refine\" (a grid-refinement record)");
         ok = false;
     }
-    if let Some(expected) = budget {
+    // Budget check via the registry's typed error: the solve-span
+    // total must match exactly, and no more spans may carry
+    // `warm: true` than the figure's plan has donor-bearing points —
+    // warm-started solves are profile-aware (quick and full lattices
+    // have different donor counts), and a cold capture (shard, resume,
+    // forced-cold run) is always within budget.
+    let warm_solves = records
+        .iter()
+        .filter(|j| {
+            j.get("kind").and_then(Json::as_str) == Some("span")
+                && j.get("name").and_then(Json::as_str) == Some("solver.solve")
+                && j.get("fields")
+                    .and_then(|f| f.get("warm"))
+                    .and_then(Json::as_bool)
+                    == Some(true)
+        })
+        .count() as u64;
+    if let Some(spec) = spec {
         let found = count("span", "solver.solve") as u64;
-        if found != expected {
-            eprintln!(
-                "telemetry_check: {} ({}) budget violated: expected exactly {expected} \
-                 solver.solve span(s), found {found}",
-                args.figure.as_deref().unwrap_or("?"),
-                args.profile.tag(),
-            );
+        if let Err(e) = spec.check_solve_budget(args.profile, found, warm_solves) {
+            eprintln!("telemetry_check: {e}");
             ok = false;
         }
     }
@@ -497,8 +515,10 @@ fn main() -> ExitCode {
         count("event", "solver.gap"),
         count("event", "solver.refine"),
         match (&args.figure, budget) {
-            (Some(name), Some(expected)) =>
-                format!("; {name} {} budget {expected} met", args.profile.tag()),
+            (Some(name), Some(expected)) => format!(
+                "; {name} {} budget {expected} met ({warm_solves} warm)",
+                args.profile.tag()
+            ),
             _ => String::new(),
         },
     );

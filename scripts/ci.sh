@@ -59,6 +59,15 @@ LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
     > "$smokedir/fig04_merged.csv"
 diff -u "$smokedir/fig04_full.csv" "$smokedir/fig04_merged.csv"
 
+echo "=== scalar smoke (LRD_SIMD=off reproduces the SIMD surface) ==="
+# The SIMD dispatch contract (DESIGN.md §14): vectorized and forced-
+# scalar butterflies compute bit-identical transforms, so the figure
+# CSV must be byte-identical to the default-dispatch run above.
+LRD_RESULTS_DIR="$smokedir" LRD_SIMD=off cargo run -q --release --locked \
+    -p lrd-experiments --bin fig04_mtv_model -- --quick \
+    > "$smokedir/fig04_scalar.csv"
+diff -u "$smokedir/fig04_full.csv" "$smokedir/fig04_scalar.csv"
+
 echo "=== plan smoke (cost-weighted re-split reproduces the surface) ==="
 # The shard smoke's checkpoints recorded per-point solve_us durations;
 # feed them to the planner, re-run the sweep under the explicit

@@ -73,14 +73,29 @@ fn sharded_merge_is_bit_identical_to_unsharded() {
                 m.value,
                 r.value
             );
-            assert_eq!(m.iterations, r.iterations);
-            assert_eq!(m.bins, r.bins);
+            // Iteration counts (and the grid resolution a warm
+            // certificate inherits from its donor) are the one thing
+            // sharding may change: a shard that does not own a
+            // point's lattice donor runs it cold. The full reference
+            // run always has every donor, so a shard can only *lose*
+            // warm starts — a discrepancy is legal only where the
+            // reference certified the point warm in zero iterations.
+            assert!(
+                m.iterations == r.iterations || r.iterations == 0,
+                "count={count}, point {}: iterations {} vs reference {}",
+                m.index,
+                m.iterations,
+                r.iterations
+            );
+            if m.iterations == r.iterations {
+                assert_eq!(m.bins, r.bins);
+            }
             assert_eq!(m.converged, r.converged);
         }
         let grid = sweep.plan.to_grid(&merged.results);
         assert_eq!(grid.values, ref_grid.values);
         let total: u64 = reference.iter().map(|r| r.iterations).sum();
-        assert_eq!(merged.total_iterations(), total);
+        assert!(merged.total_iterations() >= total);
     }
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -199,7 +214,9 @@ fn planned_assignment_partition_merges_bit_identically_with_resume() {
             "planned-assignment merge drifted at point {}",
             m.index
         );
-        assert_eq!(m.iterations, r.iterations);
+        // The planner's split may separate a point from its lattice
+        // donor, costing only iterations (see the sharded-merge test).
+        assert!(m.iterations == r.iterations || r.iterations == 0);
     }
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -346,7 +363,17 @@ fn steal_kill_and_resume_matrix_merges_bit_identically() {
                 "{scenario}: merge drifted at point {}",
                 m.index
             );
-            assert_eq!(m.iterations, r.iterations);
+            // Steal batches are their own warm partitions: a point
+            // whose donor sat in another batch (or in the crashed
+            // prefix of a reclaimed lease) ran cold. Only warm
+            // certificates (zero reference iterations) may differ.
+            assert!(
+                m.iterations == r.iterations || r.iterations == 0,
+                "{scenario}: point {} iterations {} vs reference {}",
+                m.index,
+                m.iterations,
+                r.iterations
+            );
         }
     };
     // A worker crash: lease a batch, durably append its points, vanish

@@ -1,0 +1,64 @@
+//! Warm-start is a pure performance optimisation: for every sweep
+//! figure in the registry, the wavefront-scheduled warm run must
+//! reproduce the cold-solved surface bit for bit. Iteration counts may
+//! (and should) drop — values never move.
+
+use lrd_experiments::figures::Profile;
+use lrd_experiments::run::FigureKind;
+use lrd_experiments::sweep::{run_points, ShardSpec};
+use lrd_experiments::{Corpus, FIGURES};
+
+#[test]
+fn warm_and_cold_surfaces_are_bit_identical_on_every_registry_figure() {
+    let corpus = Corpus::quick();
+    let mut warm_figures = 0usize;
+    let mut certified_points = 0u64;
+    for spec in FIGURES {
+        let FigureKind::Sweep { build, .. } = &spec.kind else {
+            continue;
+        };
+        let sweep = build(&corpus, Profile::Quick);
+        if sweep.plan.warm_axis.is_some() {
+            warm_figures += 1;
+        }
+
+        // The production path: wavefront schedule, donors along the
+        // warm axis (a no-op donor-wise for cold plans).
+        let warm = run_points(&sweep, &ShardSpec::FULL, None).unwrap();
+        assert_eq!(warm.len(), sweep.plan.len());
+
+        for point in &warm {
+            // The cold reference: the same point solved with no donor.
+            let (cold, _state) = (sweep.solve)(&sweep.plan.point(point.index), None);
+            assert_eq!(
+                point.value.to_bits(),
+                cold.value.to_bits(),
+                "{}: point {} value moved under warm start",
+                spec.name,
+                point.index
+            );
+            assert_eq!(point.converged, cold.converged, "{}", spec.name);
+            // The warm path either certifies (0 iterations, and then
+            // bins reflect the certificate, not a refinement ladder)
+            // or runs the identical cold protocol.
+            if point.iterations == 0 && cold.iterations != 0 {
+                certified_points += 1;
+            } else {
+                assert_eq!(
+                    point.iterations, cold.iterations,
+                    "{}: point {} took a third path",
+                    spec.name, point.index
+                );
+                assert_eq!(point.bins, cold.bins, "{}", spec.name);
+            }
+        }
+    }
+    // fig04/05, fig12/13 and ch_validation declare warm axes; the
+    // quick corpus must exercise at least one actual certificate or
+    // this test proves nothing about the warm path.
+    assert!(warm_figures >= 5, "only {warm_figures} warm figures");
+    assert!(
+        certified_points > 0,
+        "no quick-profile point was warm-certified"
+    );
+}

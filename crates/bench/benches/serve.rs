@@ -1,0 +1,93 @@
+//! Benches of the online loss-bound service: steady-state query cost
+//! in-process and over the wire.
+//!
+//! The exported `BENCH_<rev>.json` entry carries both halves of the
+//! service-level story: sustained queries/sec (the reciprocal of the
+//! round-trip median) and the p99 query latency (the daemon's own
+//! `serve.query_us` histogram, captured by the harness's telemetry
+//! iteration).
+
+use std::hint::black_box;
+
+use lrd_bench::Harness;
+use lrd_net::{connect, recv_line, send_line, Endpoint, Listener};
+use lrd_serve::engine::{Engine, EngineOptions};
+use lrd_serve::flow::FlowSpec;
+use lrd_serve::proto::{Request, Response};
+
+/// A warmed single-flow engine whose cached session for `buffer` 1.0
+/// has already converged — each query measures the steady-state path
+/// (cache hit, staleness check, bracket read), not solver progress.
+fn warmed_engine() -> Engine {
+    let spec = FlowSpec::parse("m,family=markov,mean=0.05,low=2.0,high=14.0,service=10.0")
+        .expect("reference flow spec");
+    let mut engine = Engine::new(
+        EngineOptions {
+            window: 256,
+            refresh_every: 64,
+            // Large enough that the benched queries never refit.
+            max_staleness: u64::MAX,
+            ..EngineOptions::default()
+        },
+        vec![spec],
+        11,
+    );
+    for _ in 0..1024 {
+        engine.tick();
+    }
+    while !engine.loss_bound("m", 1.0).expect("warmed flow").converged {}
+    engine
+}
+
+fn bench_engine_query(c: &mut Harness) {
+    let mut g = c.group("serve_engine");
+    let mut engine = warmed_engine();
+    g.bench_function("loss_bound_steady_state", |b| {
+        b.iter(|| black_box(engine.loss_bound("m", 1.0).unwrap()))
+    });
+    g.bench_function("batch_solve", |b| {
+        b.iter(|| black_box(engine.batch_solve("m", 1.0).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_wire_query(c: &mut Harness) {
+    let socket = std::env::temp_dir().join(format!("lrd-serve-bench-{}.sock", std::process::id()));
+    let endpoint = Endpoint::parse(&format!("unix:{}", socket.display())).unwrap();
+    let listener = Listener::bind(&endpoint).expect("bind bench socket");
+    let endpoint = listener.local_endpoint();
+    let server = std::thread::spawn(move || {
+        let mut engine = warmed_engine();
+        lrd_serve::serve(&listener, &mut engine, None).expect("serve")
+    });
+    let ask = |request: &Request| {
+        let mut conn = connect(&endpoint).unwrap();
+        send_line(conn.as_mut(), &request.to_line()).unwrap();
+        Response::parse(&recv_line(conn.as_mut()).unwrap()).unwrap()
+    };
+    let query = Request::LossBound {
+        flow: "m".to_string(),
+        buffer: 1.0,
+    };
+
+    let mut g = c.group("serve_wire");
+    g.bench_function("loss_bound_round_trip", |b| {
+        b.iter(|| black_box(ask(&query)))
+    });
+    g.bench_function("status_round_trip", |b| {
+        b.iter(|| black_box(ask(&Request::Status)))
+    });
+    g.finish();
+
+    assert!(matches!(ask(&Request::Shutdown), Response::Bye));
+    server.join().expect("server thread");
+    lrd_serve::signal::clear_for_tests();
+    std::fs::remove_file(&socket).ok();
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    bench_engine_query(&mut h);
+    bench_wire_query(&mut h);
+    h.finish();
+}

@@ -7,7 +7,7 @@
 //! that claim.
 
 use lrd_bench::{reference_model, Harness};
-use lrd_fluidq::{solve, BoundSolver, LossKernel, SolverOptions, WorkDistribution};
+use lrd_fluidq::{BoundSolver, LossKernel, SolveSession, SolverOptions, WorkDistribution};
 use std::hint::black_box;
 
 fn bench_step_cost(c: &mut Harness) {
@@ -29,12 +29,24 @@ fn bench_full_solve(c: &mut Harness) {
     g.sample_size(10);
     let model = reference_model();
     g.bench_function("paper_protocol", |b| {
-        b.iter(|| black_box(solve(&model, &SolverOptions::default())))
+        b.iter(|| {
+            black_box(
+                SolveSession::builder(&model)
+                    .options(&SolverOptions::default())
+                    .solve(),
+            )
+        })
     });
     // Deep-loss configuration (forces refinement).
     let deep = model.with_buffer(model.service_rate() * 1.0);
     g.bench_function("deep_loss_with_refinement", |b| {
-        b.iter(|| black_box(solve(&deep, &SolverOptions::default())))
+        b.iter(|| {
+            black_box(
+                SolveSession::builder(&deep)
+                    .options(&SolverOptions::default())
+                    .solve(),
+            )
+        })
     });
     g.finish();
 }

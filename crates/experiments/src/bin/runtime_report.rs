@@ -12,7 +12,7 @@
 //! call.
 
 use lrd_experiments::{output, Corpus};
-use lrd_fluidq::solve;
+use lrd_fluidq::SolveSession;
 use std::sync::Arc;
 
 fn main() {
@@ -42,7 +42,7 @@ fn main() {
         for &b in &buffers {
             for &tc in &cutoffs {
                 let model = corpus.mtv.model(u, b, tc);
-                let sol = solve(&model, &opts);
+                let sol = SolveSession::builder(&model).options(&opts).solve();
                 let ms = collector
                     .spans("solver.solve")
                     .last()

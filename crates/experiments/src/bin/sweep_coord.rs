@@ -20,51 +20,48 @@
 //! kill this process at any instant and rerun the same command line —
 //! it resumes the log, completed batches stay completed, and live
 //! workers keep their leases across the restart.
+//!
+//! The shared flags (`--quick`, `--telemetry`,
+//! `--telemetry-summary[=<path>]`) come from [`lrd_cli::CommonArgs`];
+//! only the coordinator-specific flags are parsed here.
 
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use lrd_cli::{require_value, CommonArgs};
 use lrd_experiments::figures::Profile;
 use lrd_experiments::run::FigureKind;
 use lrd_experiments::sweep::coord::{CoordOptions, CoordServer, Endpoint, LeaseConfig};
 use lrd_experiments::sweep::CostProfile;
-use lrd_experiments::{Corpus, RunConfig};
+use lrd_experiments::Corpus;
 
 struct Args {
     figure: String,
-    quick: bool,
     listen: Endpoint,
     lease_log: Option<PathBuf>,
     batch_points: Option<usize>,
     cost_from: Vec<PathBuf>,
     config: LeaseConfig,
-    telemetry: RunConfig,
+    common: CommonArgs,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut figure = None;
-    let mut quick = false;
     let mut listen = Endpoint::Tcp("127.0.0.1:0".to_string());
     let mut lease_log = None;
     let mut batch_points = None;
     let mut cost_from = Vec::new();
     let mut config = LeaseConfig::default();
-    let mut telemetry = RunConfig::default();
 
-    let mut args = std::env::args().skip(1);
-    let positive =
-        |flag: &str, v: &str| -> Result<u64, String> {
-            v.parse::<u64>()
-                .ok()
-                .filter(|&n| n > 0)
-                .ok_or_else(|| format!("{flag} requires a positive integer, got `{v}`"))
-        };
-    while let Some(arg) = args.next() {
-        let mut value = |flag: &'static str| -> Result<String, String> {
-            args.next().ok_or_else(|| format!("{flag} requires a value"))
-        };
-        match arg.as_str() {
+    let positive = |flag: &str, v: &str| -> Result<u64, String> {
+        v.parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("{flag} requires a positive integer, got `{v}`"))
+    };
+    let common = CommonArgs::parse_with(std::env::args().skip(1), |arg, args| {
+        match arg {
             "--help" | "-h" => {
                 println!(
                     "usage: sweep_coord --figure <name> [--quick] [--listen <endpoint>]\n\
@@ -80,60 +77,79 @@ fn parse_args() -> Result<Args, String> {
                 );
                 std::process::exit(0);
             }
-            "--figure" => figure = Some(value("--figure")?),
-            "--quick" => quick = true,
+            "--figure" => figure = Some(require_value("--figure", args)?),
             "--listen" => {
-                let v = value("--listen")?;
-                listen = Endpoint::parse(&v)
-                    .ok_or_else(|| format!("--listen requires host:port or unix:<path>, got `{v}`"))?;
+                let v = require_value("--listen", args)?;
+                listen = Endpoint::parse(&lrd_cli::parse_endpoint(&v)?)
+                    .expect("parse_endpoint validated the grammar");
             }
-            "--lease-log" => lease_log = Some(PathBuf::from(value("--lease-log")?)),
+            "--lease-log" => {
+                lease_log = Some(PathBuf::from(require_value("--lease-log", args)?));
+            }
             "--batch-points" => {
-                batch_points = Some(positive("--batch-points", &value("--batch-points")?)? as usize);
+                let v = require_value("--batch-points", args)?;
+                batch_points = Some(positive("--batch-points", &v).map_err(invalid)? as usize);
             }
-            "--cost-from" => cost_from.push(PathBuf::from(value("--cost-from")?)),
+            "--cost-from" => {
+                cost_from.push(PathBuf::from(require_value("--cost-from", args)?));
+            }
             "--heartbeat-ms" => {
-                config.heartbeat_ms = positive("--heartbeat-ms", &value("--heartbeat-ms")?)?;
+                let v = require_value("--heartbeat-ms", args)?;
+                config.heartbeat_ms = positive("--heartbeat-ms", &v).map_err(invalid)?;
             }
             "--lease-ttl-ms" => {
-                config.lease_ttl_ms = positive("--lease-ttl-ms", &value("--lease-ttl-ms")?)?;
+                let v = require_value("--lease-ttl-ms", args)?;
+                config.lease_ttl_ms = positive("--lease-ttl-ms", &v).map_err(invalid)?;
             }
-            "--telemetry" => telemetry.telemetry = Some(PathBuf::from(value("--telemetry")?)),
-            "--telemetry-summary" => telemetry.telemetry_summary = true,
-            other if other.starts_with("--telemetry-summary=") => {
-                telemetry.telemetry_summary_file =
-                    Some(PathBuf::from(&other["--telemetry-summary=".len()..]));
-            }
-            other => {
-                return Err(format!(
-                    "unknown argument `{other}` (see sweep_coord --help)"
-                ))
-            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })
+    .map_err(|e| e.to_string())?;
+
+    // Worker-side flags are part of the shared surface but make no
+    // sense on the coordinator: reject instead of silently ignoring.
+    for (set, flag) in [
+        (common.shard.is_some(), "--shard"),
+        (common.checkpoint.is_some(), "--checkpoint"),
+        (common.assignment.is_some(), "--assignment"),
+        (common.steal.is_some(), "--steal"),
+    ] {
+        if set {
+            return Err(format!("{flag} is a worker flag; sweep_coord does not accept it"));
         }
     }
+
     Ok(Args {
         figure: figure.ok_or("--figure <name> is required")?,
-        quick,
         listen,
         lease_log,
         batch_points,
         cost_from,
         config,
-        telemetry,
+        common,
     })
+}
+
+/// Adapts a free-form validation message to the extension hook's
+/// [`lrd_cli::CliError`] by reusing the unknown-argument shape (the
+/// message already names the flag and value).
+fn invalid(message: String) -> lrd_cli::CliError {
+    lrd_cli::CliError::UnknownArgument(message)
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let _telemetry = args.telemetry.install_telemetry().map_err(|e| e.to_string())?;
+    let _telemetry = args.common.install_telemetry().map_err(|e| e.to_string())?;
 
     let spec = lrd_experiments::find_figure(&args.figure)
         .ok_or_else(|| format!("unknown figure `{}`", args.figure))?;
     let FigureKind::Sweep { build, .. } = &spec.kind else {
         return Err(format!("{} is not a sweep figure", spec.name));
     };
-    let profile = if args.quick { Profile::Quick } else { Profile::Full };
-    let corpus = if args.quick { Corpus::quick() } else { Corpus::full() };
+    let quick = args.common.quick;
+    let profile = if quick { Profile::Quick } else { Profile::Full };
+    let corpus = if quick { Corpus::quick() } else { Corpus::full() };
     let plan = build(&corpus, profile).plan;
 
     let costs = if args.cost_from.is_empty() {

@@ -23,6 +23,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use lrd_cli::require_value;
 use lrd_experiments::sweep::coord::proto::{connect, recv_line, send_line};
 use lrd_experiments::sweep::coord::{Endpoint, Request, Response, StatusReport};
 
@@ -42,9 +43,6 @@ fn parse_args() -> Result<Args, String> {
     let mut straggler_k = 4.0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |flag: &'static str| -> Result<String, String> {
-            args.next().ok_or_else(|| format!("{flag} requires a value"))
-        };
         match arg.as_str() {
             "--help" | "-h" => {
                 println!(
@@ -59,13 +57,12 @@ fn parse_args() -> Result<Args, String> {
                 std::process::exit(0);
             }
             "--coord" => {
-                let v = value("--coord")?;
-                coord = Some(Endpoint::parse(&v).ok_or_else(|| {
-                    format!("--coord requires host:port or unix:<path>, got `{v}`")
-                })?);
+                let v = require_value("--coord", &mut args).map_err(|e| e.to_string())?;
+                let v = lrd_cli::parse_endpoint(&v).map_err(|e| e.to_string())?;
+                coord = Some(Endpoint::parse(&v).expect("parse_endpoint validated the grammar"));
             }
             "--interval-ms" => {
-                let v = value("--interval-ms")?;
+                let v = require_value("--interval-ms", &mut args).map_err(|e| e.to_string())?;
                 let ms = v
                     .parse::<u64>()
                     .ok()
@@ -76,7 +73,7 @@ fn parse_args() -> Result<Args, String> {
             "--once" => once = true,
             "--json" => json = true,
             "--straggler-k" => {
-                let v = value("--straggler-k")?;
+                let v = require_value("--straggler-k", &mut args).map_err(|e| e.to_string())?;
                 straggler_k = v
                     .parse::<f64>()
                     .ok()

@@ -1,331 +1,80 @@
-//! Shared command-line handling for the figure binaries.
+//! Command-line handling for the figure binaries, layered over the
+//! workspace-shared parser in [`lrd_cli`].
 //!
-//! Every binary accepts the same arguments (`--quick`, `--telemetry`,
-//! `--telemetry-summary`, `--threads`, `--shard`, `--checkpoint`,
-//! `--assignment`, `--steal` and `--help`), so parsing lives here. Invalid
-//! invocations produce a typed [`CliError`] — the binaries print it to
-//! stderr and exit with status 1 instead of silently ignoring unknown
-//! flags (the degradation contract in DESIGN.md: bad configuration is
-//! an error, not a guess).
+//! Every figure binary accepts exactly the shared flag set (`--quick`,
+//! `--telemetry`, `--telemetry-summary`, `--threads`, `--shard`,
+//! `--checkpoint`, `--assignment`, `--steal` and `--help`), so the
+//! only figure-specific pieces left here are the `--help` text and the
+//! steal-mode worker-identity stamping. Invalid invocations produce a
+//! typed [`CliError`] — the binaries print it to stderr and exit with
+//! status 1 instead of silently ignoring unknown flags (the
+//! degradation contract in DESIGN.md: bad configuration is an error,
+//! not a guess).
 
-use std::fmt;
-use std::path::PathBuf;
-use std::sync::Arc;
+pub use lrd_cli::{CliError, CommonArgs, ShardArg};
 
-use crate::sweep::ShardSpec;
-
-/// How a figure binary should run.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct RunConfig {
-    /// Use the reduced quick-profile grids (`--quick`).
-    pub quick: bool,
-    /// Write structured JSONL telemetry to this path
-    /// (`--telemetry <path>`).
-    pub telemetry: Option<PathBuf>,
-    /// Print the aggregated telemetry table to stderr on exit
-    /// (`--telemetry-summary`).
-    pub telemetry_summary: bool,
-    /// Write the aggregated telemetry table to this file instead
-    /// (`--telemetry-summary=<path>`); composes with the stderr form.
-    pub telemetry_summary_file: Option<PathBuf>,
-    /// Size the global worker pool to this many threads (`--threads N`).
-    /// `None` defers to `LRD_THREADS` or the detected parallelism;
-    /// `Some(1)` forces the bit-for-bit-identical serial path.
-    pub threads: Option<usize>,
-    /// Solve only this slice of the figure's sweep lattice
-    /// (`--shard i/n`). `None` means the full lattice.
-    pub shard: Option<ShardSpec>,
-    /// Stream completed sweep points to this JSONL file and resume
-    /// from it when it already exists (`--checkpoint <path>`).
-    pub checkpoint: Option<PathBuf>,
-    /// Take this shard's point set from a planner-produced assignment
-    /// file (`--assignment <path>`, written by `sweep_plan`) instead
-    /// of the round-robin rule. Requires `--shard i/n` to pick the row.
-    pub assignment: Option<PathBuf>,
-    /// Run as a work-stealing worker against the `sweep_coord`
-    /// coordinator at this endpoint (`--steal host:port` or
-    /// `--steal unix:<path>`). Requires `--checkpoint`; mutually
-    /// exclusive with `--shard`/`--assignment` (the coordinator, not a
-    /// static split, decides which points this process solves).
-    pub steal: Option<String>,
-}
-
-impl RunConfig {
-    /// The telemetry sinks this configuration asks for: a JSONL writer
-    /// when `--telemetry` was given, a summary table (to a file and/or
-    /// stderr) when `--telemetry-summary` was. Empty (telemetry stays
-    /// disabled) with neither flag. Harnesses that want to observe the
-    /// run themselves can append their own sink before installing.
-    ///
-    /// # Errors
-    ///
-    /// [`CliError::Io`] naming the sink file that could not be created
-    /// — the `--telemetry` JSONL path or the `--telemetry-summary`
-    /// file, whichever actually failed.
-    pub fn build_subscribers(&self) -> Result<Vec<Arc<dyn lrd_obs::Subscriber>>, CliError> {
-        let io_error = |path: &PathBuf, e: std::io::Error| CliError::Io {
-            path: path.clone(),
-            message: e.to_string(),
-        };
-        let mut sinks: Vec<Arc<dyn lrd_obs::Subscriber>> = Vec::new();
-        if let Some(path) = &self.telemetry {
-            let mut sink =
-                lrd_obs::JsonlSubscriber::create(path).map_err(|e| io_error(path, e))?;
-            // In steal mode, stamp records with the same worker
-            // identity the coordinator sees (adopted from the
-            // checkpoint, cached for the process) instead of the pid
-            // default — `sweep_trace` joins the two by this name.
-            if self.steal.is_some() {
-                if let Some(checkpoint) = &self.checkpoint {
-                    sink = sink
-                        .with_identity(&crate::sweep::coord::worker_identity(checkpoint));
-                }
-            }
-            sinks.push(Arc::new(sink));
-        }
-        if let Some(path) = &self.telemetry_summary_file {
-            let file = std::fs::File::create(path).map_err(|e| io_error(path, e))?;
-            sinks.push(Arc::new(lrd_obs::SummarySubscriber::to_writer(Box::new(
-                file,
-            ))));
-        }
-        if self.telemetry_summary {
-            sinks.push(Arc::new(lrd_obs::SummarySubscriber::stderr()));
-        }
-        Ok(sinks)
-    }
-
-    /// Installs the configured telemetry sinks for the lifetime of the
-    /// returned guard — the one-liner every figure binary calls right
-    /// after parsing. A no-op guard when no telemetry was requested.
-    ///
-    /// # Errors
-    ///
-    /// An unwritable sink path surfaces as [`CliError::Io`] naming the
-    /// path that failed; deciding what to do with it (the binaries
-    /// print and exit 1) stays with the caller — library code never
-    /// terminates the process.
-    pub fn install_telemetry(&self) -> Result<lrd_obs::InstallGuard, CliError> {
-        Ok(lrd_obs::install_fanout(self.build_subscribers()?))
-    }
-}
-
-/// Why the command line was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CliError {
-    /// An argument no figure binary understands.
-    UnknownArgument(String),
-    /// A flag that needs a value was given without one.
-    MissingValue(&'static str),
-    /// A flag value that does not parse (e.g. `--threads zero`).
-    InvalidValue(&'static str, String),
-    /// A `--shard` value that is not of the form `i/n` with
-    /// `0 <= i < n`.
-    InvalidShard(String),
-    /// A `--steal` value that is neither `host:port` nor `unix:<path>`.
-    InvalidEndpoint(String),
-    /// A file named on the command line could not be opened.
-    Io {
-        /// The offending path.
-        path: PathBuf,
-        /// The rendered OS error.
-        message: String,
-    },
-}
-
-impl fmt::Display for CliError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CliError::UnknownArgument(arg) => {
-                write!(
-                    f,
-                    "unknown argument `{arg}` (expected --quick, --threads <n>, \
-                     --shard <i/n>, --checkpoint <path>, --assignment <path>, \
-                     --steal <endpoint>, --telemetry <path>, \
-                     --telemetry-summary[=<path>] or --help)"
-                )
-            }
-            CliError::MissingValue(flag) => {
-                write!(f, "{flag} requires a value")
-            }
-            CliError::InvalidValue(flag, value) => {
-                write!(f, "{flag} requires a positive integer, got `{value}`")
-            }
-            CliError::InvalidShard(value) => {
-                write!(
-                    f,
-                    "--shard requires the form i/n with 0 <= i < n (e.g. 0/4), got `{value}`"
-                )
-            }
-            CliError::InvalidEndpoint(value) => {
-                write!(
-                    f,
-                    "--steal requires host:port or unix:<path> \
-                     (e.g. 127.0.0.1:7077), got `{value}`"
-                )
-            }
-            CliError::Io { path, message } => {
-                write!(f, "cannot open sink file {}: {message}", path.display())
-            }
-        }
-    }
-}
-
-impl std::error::Error for CliError {}
+/// How a figure binary should run — the workspace-shared flag set.
+pub type RunConfig = lrd_cli::CommonArgs;
 
 /// Parses an argument list (without the program name).
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, CliError> {
-    let mut config = RunConfig::default();
-    let mut args = args.into_iter();
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => config.quick = true,
-            "--telemetry" => {
-                let path = args.next().ok_or(CliError::MissingValue("--telemetry"))?;
-                config.telemetry = Some(PathBuf::from(path));
-            }
-            "--telemetry-summary" => config.telemetry_summary = true,
-            "--threads" => {
-                let n = args.next().ok_or(CliError::MissingValue("--threads"))?;
-                config.threads = Some(parse_threads(&n)?);
-            }
-            "--shard" => {
-                let s = args.next().ok_or(CliError::MissingValue("--shard"))?;
-                config.shard = Some(parse_shard(&s)?);
-            }
-            "--checkpoint" => {
-                let path = args.next().ok_or(CliError::MissingValue("--checkpoint"))?;
-                config.checkpoint = Some(PathBuf::from(path));
-            }
-            "--assignment" => {
-                let path = args.next().ok_or(CliError::MissingValue("--assignment"))?;
-                config.assignment = Some(PathBuf::from(path));
-            }
-            "--steal" => {
-                let endpoint = args.next().ok_or(CliError::MissingValue("--steal"))?;
-                config.steal = Some(parse_endpoint(&endpoint)?);
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: <figure binary> [--quick] [--threads <n>] \
-                     [--shard <i/n> --checkpoint <path> [--assignment <path>]] \
-                     [--steal <endpoint> --checkpoint <path>] \
-                     [--telemetry <path.jsonl>] [--telemetry-summary[=<path>]]\n\
-                     \n\
-                     --quick              reduced grids (seconds instead of minutes)\n\
-                     --threads <n>        size the worker pool (default: LRD_THREADS\n\
-                     \u{20}                    env var, else detected parallelism;\n\
-                     \u{20}                    1 = serial, bit-for-bit reproducible)\n\
-                     --shard <i/n>        solve only shard i of an n-way round-robin\n\
-                     \u{20}                    split of the sweep lattice (sweep\n\
-                     \u{20}                    figures only; requires --checkpoint)\n\
-                     --checkpoint <path>  stream completed points to <path> (JSONL)\n\
-                     \u{20}                    and resume from it if it exists; merge\n\
-                     \u{20}                    shards with the sweep_merge binary\n\
-                     --assignment <path>  take shard i's point set from this\n\
-                     \u{20}                    sweep_plan-produced assignment file\n\
-                     \u{20}                    instead of the round-robin rule\n\
-                     --steal <endpoint>   run as a work-stealing worker against the\n\
-                     \u{20}                    sweep_coord coordinator at host:port or\n\
-                     \u{20}                    unix:<path> (sweep figures only; requires\n\
-                     \u{20}                    --checkpoint, excludes --shard)\n\
-                     --telemetry <path>   write structured JSONL telemetry (solver\n\
-                     \u{20}                    spans, per-iteration gaps, refinements,\n\
-                     \u{20}                    metrics) to <path>\n\
-                     --telemetry-summary[=<path>]\n\
-                     \u{20}                    print an aggregated timing/metrics table\n\
-                     \u{20}                    to stderr (or write it to <path>) on exit\n\
-                     --help               this message\n\
-                     \n\
-                     Output: CSV on stdout, progress on stderr, results\n\
-                     file under results/."
-                );
-                std::process::exit(0);
-            }
-            other if other.starts_with("--threads=") => {
-                let n = &other["--threads=".len()..];
-                if n.is_empty() {
-                    return Err(CliError::MissingValue("--threads"));
-                }
-                config.threads = Some(parse_threads(n)?);
-            }
-            other if other.starts_with("--telemetry=") => {
-                let path = &other["--telemetry=".len()..];
-                if path.is_empty() {
-                    return Err(CliError::MissingValue("--telemetry"));
-                }
-                config.telemetry = Some(PathBuf::from(path));
-            }
-            other if other.starts_with("--telemetry-summary=") => {
-                let path = &other["--telemetry-summary=".len()..];
-                if path.is_empty() {
-                    return Err(CliError::MissingValue("--telemetry-summary"));
-                }
-                config.telemetry_summary_file = Some(PathBuf::from(path));
-            }
-            other if other.starts_with("--shard=") => {
-                let s = &other["--shard=".len()..];
-                if s.is_empty() {
-                    return Err(CliError::MissingValue("--shard"));
-                }
-                config.shard = Some(parse_shard(s)?);
-            }
-            other if other.starts_with("--checkpoint=") => {
-                let path = &other["--checkpoint=".len()..];
-                if path.is_empty() {
-                    return Err(CliError::MissingValue("--checkpoint"));
-                }
-                config.checkpoint = Some(PathBuf::from(path));
-            }
-            other if other.starts_with("--assignment=") => {
-                let path = &other["--assignment=".len()..];
-                if path.is_empty() {
-                    return Err(CliError::MissingValue("--assignment"));
-                }
-                config.assignment = Some(PathBuf::from(path));
-            }
-            other if other.starts_with("--steal=") => {
-                let endpoint = &other["--steal=".len()..];
-                if endpoint.is_empty() {
-                    return Err(CliError::MissingValue("--steal"));
-                }
-                config.steal = Some(parse_endpoint(endpoint)?);
-            }
-            other => return Err(CliError::UnknownArgument(other.to_string())),
+    CommonArgs::parse_with(args, |arg, _args| match arg {
+        "--help" | "-h" => {
+            println!("{FIGURE_USAGE}");
+            std::process::exit(0);
         }
-    }
-    Ok(config)
+        _ => Ok(false),
+    })
 }
 
-fn parse_threads(value: &str) -> Result<usize, CliError> {
-    match value.parse::<usize>() {
-        Ok(n) if n > 0 => Ok(n),
-        _ => Err(CliError::InvalidValue("--threads", value.to_string())),
-    }
-}
-
-fn parse_shard(value: &str) -> Result<ShardSpec, CliError> {
-    ShardSpec::parse(value).ok_or_else(|| CliError::InvalidShard(value.to_string()))
-}
-
-fn parse_endpoint(value: &str) -> Result<String, CliError> {
-    crate::sweep::coord::Endpoint::parse(value)
-        .map(|_| value.to_string())
-        .ok_or_else(|| CliError::InvalidEndpoint(value.to_string()))
-}
+const FIGURE_USAGE: &str = "usage: <figure binary> [--quick] [--threads <n>] \
+     [--shard <i/n> --checkpoint <path> [--assignment <path>]] \
+     [--steal <endpoint> --checkpoint <path>] \
+     [--telemetry <path.jsonl>] [--telemetry-summary[=<path>]]\n\
+     \n\
+     --quick              reduced grids (seconds instead of minutes)\n\
+     --threads <n>        size the worker pool (default: LRD_THREADS\n\
+     \u{20}                    env var, else detected parallelism;\n\
+     \u{20}                    1 = serial, bit-for-bit reproducible)\n\
+     --shard <i/n>        solve only shard i of an n-way round-robin\n\
+     \u{20}                    split of the sweep lattice (sweep\n\
+     \u{20}                    figures only; requires --checkpoint)\n\
+     --checkpoint <path>  stream completed points to <path> (JSONL)\n\
+     \u{20}                    and resume from it if it exists; merge\n\
+     \u{20}                    shards with the sweep_merge binary\n\
+     --assignment <path>  take shard i's point set from this\n\
+     \u{20}                    sweep_plan-produced assignment file\n\
+     \u{20}                    instead of the round-robin rule\n\
+     --steal <endpoint>   run as a work-stealing worker against the\n\
+     \u{20}                    sweep_coord coordinator at host:port or\n\
+     \u{20}                    unix:<path> (sweep figures only; requires\n\
+     \u{20}                    --checkpoint, excludes --shard)\n\
+     --telemetry <path>   write structured JSONL telemetry (solver\n\
+     \u{20}                    spans, per-iteration gaps, refinements,\n\
+     \u{20}                    metrics) to <path>\n\
+     --telemetry-summary[=<path>]\n\
+     \u{20}                    print an aggregated timing/metrics table\n\
+     \u{20}                    to stderr (or write it to <path>) on exit\n\
+     --help               this message\n\
+     \n\
+     Output: CSV on stdout, progress on stderr, results\n\
+     file under results/.";
 
 /// Parses `std::env::args()`, printing a typed error and exiting with
 /// status 1 on an invalid command line — the shared entry point of all
 /// figure binaries. A `--threads` request is applied to the global
-/// worker pool here, before any solver work can touch it.
+/// worker pool here, before any solver work can touch it; in steal
+/// mode the worker identity the coordinator will see (adopted from the
+/// checkpoint) is stamped on the configuration so the JSONL telemetry
+/// sink records under the same name — `sweep_trace` joins the two
+/// ledgers by it.
 pub fn run_config() -> RunConfig {
     match parse(std::env::args().skip(1)) {
-        Ok(config) => {
-            if let Some(n) = config.threads {
-                if !lrd_pool::set_global_threads(n) {
-                    eprintln!(
-                        "warning: worker pool already started; --threads {n} ignored"
-                    );
+        Ok(mut config) => {
+            config.apply_threads();
+            if config.steal.is_some() {
+                if let Some(checkpoint) = &config.checkpoint {
+                    config.identity = Some(crate::sweep::coord::worker_identity(checkpoint));
                 }
             }
             config
@@ -346,247 +95,27 @@ mod tests {
     }
 
     #[test]
-    fn empty_is_full_profile() {
-        assert_eq!(parse(strings(&[])), Ok(RunConfig::default()));
-    }
-
-    #[test]
-    fn quick_flag() {
-        let config = parse(strings(&["--quick"])).unwrap();
+    fn figure_parse_is_the_shared_surface() {
+        let config = parse(strings(&[
+            "--quick",
+            "--threads",
+            "2",
+            "--shard",
+            "0/2",
+            "--checkpoint",
+            "ck.jsonl",
+        ]))
+        .unwrap();
         assert!(config.quick);
-        assert!(config.telemetry.is_none());
-        assert!(!config.telemetry_summary);
-    }
-
-    #[test]
-    fn telemetry_flags() {
-        let config =
-            parse(strings(&["--telemetry", "out.jsonl", "--telemetry-summary"])).unwrap();
-        assert_eq!(config.telemetry, Some(PathBuf::from("out.jsonl")));
-        assert!(config.telemetry_summary);
-        assert!(config.telemetry_summary_file.is_none());
-        let config = parse(strings(&["--telemetry=t.jsonl"])).unwrap();
-        assert_eq!(config.telemetry, Some(PathBuf::from("t.jsonl")));
-        // The `=` form of --telemetry-summary writes the table to a
-        // file and does not imply the stderr table.
-        let config = parse(strings(&["--telemetry-summary=s.txt"])).unwrap();
-        assert_eq!(config.telemetry_summary_file, Some(PathBuf::from("s.txt")));
-        assert!(!config.telemetry_summary);
-        assert_eq!(
-            parse(strings(&["--telemetry-summary="])),
-            Err(CliError::MissingValue("--telemetry-summary"))
-        );
-    }
-
-    #[test]
-    fn telemetry_without_path_is_a_typed_error() {
-        assert_eq!(
-            parse(strings(&["--telemetry"])),
-            Err(CliError::MissingValue("--telemetry"))
-        );
-        assert_eq!(
-            parse(strings(&["--telemetry="])),
-            Err(CliError::MissingValue("--telemetry"))
-        );
-    }
-
-    #[test]
-    fn threads_flag_both_spellings() {
-        let config = parse(strings(&["--threads", "4"])).unwrap();
-        assert_eq!(config.threads, Some(4));
-        let config = parse(strings(&["--threads=2", "--quick"])).unwrap();
         assert_eq!(config.threads, Some(2));
-        assert!(config.quick);
-    }
-
-    #[test]
-    fn threads_value_is_validated() {
+        assert_eq!(config.shard, ShardArg::new(0, 2));
         assert_eq!(
-            parse(strings(&["--threads"])),
-            Err(CliError::MissingValue("--threads"))
+            config.checkpoint,
+            Some(std::path::PathBuf::from("ck.jsonl"))
         );
         assert_eq!(
-            parse(strings(&["--threads="])),
-            Err(CliError::MissingValue("--threads"))
-        );
-        for bad in ["0", "-1", "two", "1.5"] {
-            assert_eq!(
-                parse(strings(&["--threads", bad])),
-                Err(CliError::InvalidValue("--threads", bad.to_string())),
-                "--threads {bad} should be rejected"
-            );
-        }
-        let e = parse(strings(&["--threads", "0"])).unwrap_err();
-        assert!(e.to_string().contains("--threads"));
-        assert!(e.to_string().contains('0'));
-    }
-
-    #[test]
-    fn unknown_arguments_are_typed_errors() {
-        for bad in ["--fast", "quick", "-q", "--buffer=2", "extra"] {
-            match parse(strings(&[bad])) {
-                Err(CliError::UnknownArgument(a)) => assert_eq!(a, bad),
-                other => panic!("expected UnknownArgument for {bad}, got {other:?}"),
-            }
-        }
-    }
-
-    #[test]
-    fn error_message_names_the_argument() {
-        let e = parse(strings(&["--bogus"])).unwrap_err();
-        assert!(e.to_string().contains("--bogus"));
-        assert!(parse(strings(&["--telemetry"]))
-            .unwrap_err()
-            .to_string()
-            .contains("--telemetry"));
-    }
-
-    #[test]
-    fn shard_flag_both_spellings() {
-        let config = parse(strings(&["--shard", "1/4"])).unwrap();
-        assert_eq!(config.shard, Some(ShardSpec::new(1, 4).unwrap()));
-        let config = parse(strings(&["--shard=0/2", "--checkpoint=ck.jsonl"])).unwrap();
-        assert_eq!(config.shard, Some(ShardSpec::new(0, 2).unwrap()));
-        assert_eq!(config.checkpoint, Some(PathBuf::from("ck.jsonl")));
-        let config = parse(strings(&["--checkpoint", "shard.jsonl"])).unwrap();
-        assert_eq!(config.checkpoint, Some(PathBuf::from("shard.jsonl")));
-        assert_eq!(config.shard, None);
-    }
-
-    #[test]
-    fn shard_value_is_validated() {
-        assert_eq!(
-            parse(strings(&["--shard"])),
-            Err(CliError::MissingValue("--shard"))
-        );
-        assert_eq!(
-            parse(strings(&["--shard="])),
-            Err(CliError::MissingValue("--shard"))
-        );
-        assert_eq!(
-            parse(strings(&["--checkpoint"])),
-            Err(CliError::MissingValue("--checkpoint"))
-        );
-        for bad in ["2", "2/2", "3/2", "1/0", "a/b", "-1/2"] {
-            assert_eq!(
-                parse(strings(&["--shard", bad])),
-                Err(CliError::InvalidShard(bad.to_string())),
-                "--shard {bad} should be rejected"
-            );
-        }
-        let e = parse(strings(&["--shard", "9/3"])).unwrap_err();
-        assert!(e.to_string().contains("9/3"));
-        assert!(e.to_string().contains("i/n"));
-    }
-
-    #[test]
-    fn unwritable_telemetry_is_a_typed_error() {
-        let config = RunConfig {
-            telemetry: Some(PathBuf::from("/nonexistent-dir-for-cli-test/t.jsonl")),
-            ..RunConfig::default()
-        };
-        let err = config
-            .install_telemetry()
-            .map(|_guard| ())
-            .expect_err("an unwritable path must fail");
-        match err {
-            CliError::Io { path, message } => {
-                assert_eq!(path, PathBuf::from("/nonexistent-dir-for-cli-test/t.jsonl"));
-                assert!(!message.is_empty());
-            }
-            other => panic!("expected CliError::Io, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn sink_errors_name_the_failing_path_not_the_telemetry_flag() {
-        // Regression: the error used to be attributed to the
-        // --telemetry path unconditionally (or to "?" when none was
-        // given), even when a different sink failed to open.
-        let bad = PathBuf::from("/nonexistent-dir-for-cli-test/summary.txt");
-
-        // No --telemetry at all: the old code reported path "?".
-        let config = RunConfig {
-            telemetry_summary_file: Some(bad.clone()),
-            ..RunConfig::default()
-        };
-        match config.install_telemetry().map(|_g| ()).unwrap_err() {
-            CliError::Io { path, .. } => assert_eq!(path, bad),
-            other => panic!("expected CliError::Io, got {other:?}"),
-        }
-
-        // A perfectly writable --telemetry plus a failing summary
-        // file: the old code blamed the telemetry path.
-        let dir = std::env::temp_dir().join(format!("lrd-cli-sink-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let good = dir.join("t.jsonl");
-        let config = RunConfig {
-            telemetry: Some(good.clone()),
-            telemetry_summary_file: Some(bad.clone()),
-            ..RunConfig::default()
-        };
-        match config.install_telemetry().map(|_g| ()).unwrap_err() {
-            CliError::Io { path, .. } => {
-                assert_eq!(path, bad, "must blame the sink that failed");
-                assert_ne!(path, good);
-            }
-            other => panic!("expected CliError::Io, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn no_flags_build_no_subscribers() {
-        let sinks = RunConfig::default().build_subscribers().unwrap();
-        assert!(sinks.is_empty());
-    }
-
-    #[test]
-    fn summary_flag_builds_one_subscriber() {
-        let config = RunConfig {
-            telemetry_summary: true,
-            ..RunConfig::default()
-        };
-        assert_eq!(config.build_subscribers().unwrap().len(), 1);
-    }
-
-    #[test]
-    fn steal_flag_both_spellings_and_validation() {
-        let config = parse(strings(&["--steal", "127.0.0.1:7077"])).unwrap();
-        assert_eq!(config.steal, Some("127.0.0.1:7077".to_string()));
-        let config = parse(strings(&["--steal=unix:/tmp/coord.sock", "--quick"])).unwrap();
-        assert_eq!(config.steal, Some("unix:/tmp/coord.sock".to_string()));
-        assert_eq!(
-            parse(strings(&["--steal"])),
-            Err(CliError::MissingValue("--steal"))
-        );
-        assert_eq!(
-            parse(strings(&["--steal="])),
-            Err(CliError::MissingValue("--steal"))
-        );
-        for bad in ["nocolon", "unix:"] {
-            assert_eq!(
-                parse(strings(&["--steal", bad])),
-                Err(CliError::InvalidEndpoint(bad.to_string())),
-                "--steal {bad} should be rejected"
-            );
-        }
-        let e = parse(strings(&["--steal", "nocolon"])).unwrap_err();
-        assert!(e.to_string().contains("host:port"));
-    }
-
-    #[test]
-    fn assignment_flag_both_spellings() {
-        let config = parse(strings(&["--assignment", "plan.json"])).unwrap();
-        assert_eq!(config.assignment, Some(PathBuf::from("plan.json")));
-        let config = parse(strings(&["--assignment=p.json", "--shard=0/2"])).unwrap();
-        assert_eq!(config.assignment, Some(PathBuf::from("p.json")));
-        assert_eq!(
-            parse(strings(&["--assignment"])),
-            Err(CliError::MissingValue("--assignment"))
-        );
-        assert_eq!(
-            parse(strings(&["--assignment="])),
-            Err(CliError::MissingValue("--assignment"))
+            parse(strings(&["--bogus"])),
+            Err(CliError::UnknownArgument("--bogus".to_string()))
         );
     }
 }

@@ -16,7 +16,7 @@ use crate::corpus::{Corpus, MTV_UTILIZATION};
 use crate::figures::{log_space, Profile};
 use crate::output::Grid;
 use crate::sweep::{run_grid, Axis, FigureSweep, PointResult, SweepPlan};
-use lrd_fluidq::{empirical_horizon, solve_warm, SolverOptions};
+use lrd_fluidq::{empirical_horizon, SolveSession, SolverOptions};
 use lrd_stats::{linear_fit, LinearFit};
 use lrd_traffic::Interarrival;
 
@@ -62,7 +62,10 @@ pub fn ch_validation_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_>
         solve: Box::new(move |spec, donor| {
             let (b, tc) = (spec.coord(0), spec.coord(1));
             let model = bundle.model(MTV_UTILIZATION, b, tc);
-            let (solution, state) = solve_warm(&model, &opts, donor);
+            let (solution, state) = SolveSession::builder(&model)
+                .options(&opts)
+                .donor(donor)
+                .solve_warm();
             (
                 PointResult::from_solution(spec.index, &solution),
                 Some(state),

@@ -7,7 +7,7 @@
 
 use crate::corpus::Corpus;
 use crate::figures::Profile;
-use lrd_fluidq::{solve, BoundSolver, LossSolution, SolverOptions};
+use lrd_fluidq::{BoundSolver, LossSolution, SolveSession, SolverOptions};
 
 /// The bound distributions after a given iteration count.
 #[derive(Debug, Clone)]
@@ -70,7 +70,7 @@ pub fn stationary_bounds(corpus: &Corpus) -> LossSolution {
         rel_gap: 0.05,
         ..SolverOptions::default()
     };
-    solve(&model, &opts)
+    SolveSession::builder(&model).options(&opts).solve()
 }
 
 /// CSV rendering: columns `q, qL5, qH5, qL10, qH10, qL30, qH30` of

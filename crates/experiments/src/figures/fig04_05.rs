@@ -12,7 +12,7 @@ use crate::corpus::{Corpus, TraceBundle, BC_UTILIZATION, MTV_UTILIZATION};
 use crate::figures::Profile;
 use crate::output::Grid;
 use crate::sweep::{run_grid, Axis, FigureSweep, PointResult, SweepPlan};
-use lrd_fluidq::{solve_warm, SolverOptions};
+use lrd_fluidq::{SolveSession, SolverOptions};
 
 /// The `(normalized buffer, cutoff lag)` sweep for one bundle. The
 /// axis order (buffers slowest) reproduces the historical nested-loop
@@ -55,8 +55,10 @@ pub fn loss_sweep<'c>(
         plan,
         solve: Box::new(move |spec, donor| {
             let (b, tc) = (spec.coord(0), spec.coord(1));
-            let (solution, state) =
-                solve_warm(&bundle.model(utilization, b, tc), &opts, donor);
+            let (solution, state) = SolveSession::builder(&bundle.model(utilization, b, tc))
+                .options(&opts)
+                .donor(donor)
+                .solve_warm();
             (
                 PointResult::from_solution(spec.index, &solution),
                 Some(state),

@@ -10,7 +10,7 @@
 use crate::corpus::Corpus;
 use crate::figures::{log_space, Profile};
 use crate::output::Series;
-use lrd_fluidq::{solve, QueueModel};
+use lrd_fluidq::{QueueModel, SolveSession};
 use lrd_traffic::TruncatedPareto;
 
 /// The paper's fixed parameters for this experiment. θ is quoted as
@@ -42,7 +42,8 @@ pub fn run(corpus: &Corpus, profile: Profile) -> Vec<Series> {
                         UTILIZATION,
                         BUFFER_S,
                     );
-                    (tc, solve(&model, &opts).loss())
+                    let sol = SolveSession::builder(&model).options(&opts).solve();
+                    (tc, sol.loss())
                 })
                 .collect();
             Series::new(bundle.name, points)

@@ -18,7 +18,7 @@ use crate::corpus::{Corpus, MTV_UTILIZATION};
 use crate::figures::{lin_space, Profile};
 use crate::output::Grid;
 use crate::sweep::{run_grid, Axis, FigureSweep, PointResult, SweepPlan};
-use lrd_fluidq::{solve, QueueModel, SolverOptions};
+use lrd_fluidq::{QueueModel, SolveSession, SolverOptions};
 
 /// Normalized buffer for both figures (seconds).
 pub const BUFFER_S: f64 = 1.0;
@@ -59,10 +59,8 @@ pub fn fig10_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
                 MTV_UTILIZATION,
                 BUFFER_S,
             );
-            (
-                PointResult::from_solution(spec.index, &solve(&model, &opts)),
-                None,
-            )
+            let solution = SolveSession::builder(&model).options(&opts).solve();
+            (PointResult::from_solution(spec.index, &solution), None)
         }),
     }
 }
@@ -96,10 +94,8 @@ pub fn fig11_sweep(corpus: &Corpus, profile: Profile) -> FigureSweep<'_> {
                 MTV_UTILIZATION,
                 BUFFER_S,
             );
-            (
-                PointResult::from_solution(spec.index, &solve(&model, &opts)),
-                None,
-            )
+            let solution = SolveSession::builder(&model).options(&opts).solve();
+            (PointResult::from_solution(spec.index, &solution), None)
         }),
     }
 }

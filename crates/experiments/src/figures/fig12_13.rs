@@ -10,7 +10,7 @@ use crate::corpus::{Corpus, TraceBundle, BC_UTILIZATION, MTV_UTILIZATION};
 use crate::figures::Profile;
 use crate::output::Grid;
 use crate::sweep::{run_grid, Axis, FigureSweep, PointResult, SweepPlan};
-use lrd_fluidq::{solve_warm, QueueModel, SolverOptions};
+use lrd_fluidq::{QueueModel, SolveSession, SolverOptions};
 
 /// The `(normalized buffer, scaling factor)` sweep at `T_c = ∞` for
 /// one bundle.
@@ -57,7 +57,10 @@ pub fn buffer_scaling_sweep<'c>(
                 utilization,
                 b,
             );
-            let (solution, state) = solve_warm(&model, &opts, donor);
+            let (solution, state) = SolveSession::builder(&model)
+                .options(&opts)
+                .donor(donor)
+                .solve_warm();
             (
                 PointResult::from_solution(spec.index, &solution),
                 Some(state),

@@ -14,7 +14,7 @@
 use crate::corpus::{Corpus, MTV_UTILIZATION};
 use crate::figures::{log_space, Profile};
 use crate::output::Series;
-use lrd_fluidq::{solve, QueueModel};
+use lrd_fluidq::{QueueModel, SolveSession};
 use lrd_traffic::{Exponential, Interarrival};
 
 /// Loss vs. normalized buffer size for the truncated-Pareto model
@@ -42,8 +42,8 @@ pub fn run(corpus: &Corpus, profile: Profile) -> Vec<Series> {
             MTV_UTILIZATION,
             b,
         );
-        pareto_pts.push((b, solve(&pm, &opts).loss()));
-        expo_pts.push((b, solve(&em, &opts).loss()));
+        pareto_pts.push((b, SolveSession::builder(&pm).options(&opts).solve().loss()));
+        expo_pts.push((b, SolveSession::builder(&em).options(&opts).solve().loss()));
     }
     vec![
         Series::new("truncated_pareto", pareto_pts),

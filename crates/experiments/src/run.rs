@@ -712,9 +712,9 @@ fn resolve_shard(
     sweep: &FigureSweep<'_>,
 ) -> Result<ShardSpec, RunError> {
     let Some(path) = config.assignment.as_deref() else {
-        return Ok(config.shard.clone().unwrap_or(ShardSpec::FULL));
+        return Ok(config.shard.map(ShardSpec::from).unwrap_or(ShardSpec::FULL));
     };
-    let Some(requested) = config.shard.clone() else {
+    let Some(requested) = config.shard else {
         return Err(RunError::AssignmentWithoutShard);
     };
     let assignment = SweepAssignment::read(path)?;
@@ -956,7 +956,7 @@ mod tests {
         let spec = find_figure("fig03_marginals").unwrap();
         let config = RunConfig {
             quick: true,
-            shard: Some(ShardSpec::new(0, 2).unwrap()),
+            shard: lrd_cli::ShardArg::new(0, 2),
             checkpoint: Some(PathBuf::from("unused.jsonl")),
             ..RunConfig::default()
         };
@@ -971,7 +971,7 @@ mod tests {
         let spec = find_figure("fig04_mtv_model").unwrap();
         let config = RunConfig {
             quick: true,
-            shard: Some(ShardSpec::new(0, 2).unwrap()),
+            shard: lrd_cli::ShardArg::new(0, 2),
             ..RunConfig::default()
         };
         assert_eq!(
@@ -1028,7 +1028,7 @@ mod tests {
 
         let with_shard = |i, count, assignment_path: &PathBuf| RunConfig {
             quick: true,
-            shard: Some(ShardSpec::new(i, count).unwrap()),
+            shard: lrd_cli::ShardArg::new(i, count),
             checkpoint: Some(checkpoint.clone()),
             assignment: Some(assignment_path.clone()),
             ..RunConfig::default()

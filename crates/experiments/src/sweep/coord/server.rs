@@ -118,7 +118,8 @@ impl CoordServer {
                 LeaseTable::new(plan, batches, options.config, options.lease_log.as_deref())?
             }
         };
-        let listener = Listener::bind(&options.endpoint)?;
+        let listener = Listener::bind(&options.endpoint)
+            .map_err(|e| CoordError::io(format!("binding {}", options.endpoint), &e))?;
         Ok(CoordServer {
             listener,
             table,

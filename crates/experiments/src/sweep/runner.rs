@@ -462,7 +462,9 @@ mod tests {
         let corpus = Corpus::quick();
         let opts = SolverOptions::sweep_profile();
         let (_, state) =
-            lrd_fluidq::solve_warm(&corpus.mtv.model(MTV_UTILIZATION, 0.1, 0.05), &opts, None);
+            lrd_fluidq::SolveSession::builder(&corpus.mtv.model(MTV_UTILIZATION, 0.1, 0.05))
+                .options(&opts)
+                .solve_warm();
         let plan = SweepPlan::grid_plan(
             "warmdemo",
             Profile::Quick,

@@ -68,17 +68,14 @@ impl ShardSpec {
         })
     }
 
-    /// Parses the CLI form `"i/n"` (e.g. `"0/2"`).
-    ///
-    /// Only strings that round-trip through [`Display`](fmt::Display)
-    /// are accepted: `u32::from_str` tolerates a leading `+` (and we
-    /// would otherwise inherit leading zeros and stray whitespace), but
+    /// Parses the CLI form `"i/n"` (e.g. `"0/2"`), delegating to the
+    /// canonical round-trip grammar in [`lrd_cli::ShardArg`] so every
+    /// binary in the workspace accepts exactly the same spellings
+    /// (leading `+`, leading zeros and stray whitespace are rejected —
     /// a shard spec that renders differently from what was typed is a
-    /// recipe for mismatched checkpoint names across hosts.
+    /// recipe for mismatched checkpoint names across hosts).
     pub fn parse(s: &str) -> Option<ShardSpec> {
-        let (i, n) = s.split_once('/')?;
-        let spec = ShardSpec::new(i.parse().ok()?, n.parse().ok()?)?;
-        (spec.to_string() == s).then_some(spec)
+        lrd_cli::ShardArg::parse(s).map(ShardSpec::from)
     }
 
     /// Whether this shard owns lattice point `point_index`.
@@ -102,6 +99,15 @@ impl ShardSpec {
     /// Whether this is the trivial single-shard round-robin partition.
     pub fn is_full(&self) -> bool {
         self.count == 1 && self.owned.is_none()
+    }
+}
+
+impl From<lrd_cli::ShardArg> for ShardSpec {
+    /// A command-line `--shard i/n` is always the round-robin form;
+    /// explicit owned sets only ever come from a planner assignment.
+    fn from(arg: lrd_cli::ShardArg) -> ShardSpec {
+        ShardSpec::new(arg.index, arg.count)
+            .expect("ShardArg enforces index < count at construction")
     }
 }
 

@@ -10,7 +10,7 @@
 //! cargo run --release -p lrd-fluidq --example budget_probe
 //! ```
 
-use lrd_fluidq::{solve, QueueModel, SolverOptions};
+use lrd_fluidq::{QueueModel, SolveSession, SolverOptions};
 use lrd_traffic::{Marginal, TruncatedPareto};
 use std::sync::Arc;
 
@@ -27,7 +27,9 @@ fn main() {
         ("narrow", base.with_marginal(marginal.scaled(0.6))),
         ("muxed4", base.with_marginal(marginal.superpose(4, 200))),
     ] {
-        let sol = solve(&m, &SolverOptions::default());
+        let sol = SolveSession::builder(&m)
+            .options(&SolverOptions::default())
+            .solve();
         let t = collector
             .spans("solver.solve")
             .last()

@@ -3,7 +3,7 @@
 //! The paper's practical conclusions — buffers are ineffective against
 //! LRD, marginal shaping and multiplexing are effective — translate
 //! into three dimensioning questions a network operator actually asks.
-//! Each is answered by a monotone search over [`solve`]:
+//! Each is answered by a monotone search over [`SolveSession`] solves:
 //!
 //! * [`min_buffer_for_loss`] — smallest buffer meeting a loss target,
 //! * [`max_utilization_for_loss`] — highest load a fixed buffer can
@@ -16,7 +16,7 @@
 //! validity, never merely "midpoint below target".
 
 use crate::model::QueueModel;
-use crate::solver::{solve, SolverOptions};
+use crate::solver::{SolveSession, SolverOptions};
 use lrd_traffic::{Interarrival, Marginal};
 
 /// Outcome of a dimensioning search.
@@ -48,7 +48,12 @@ pub fn min_buffer_for_loss<D: Interarrival + Clone>(
     assert!(max_buffer > 0.0, "max_buffer must be positive");
     assert!(rel_tol > 0.0 && rel_tol < 1.0, "rel_tol must be in (0, 1)");
 
-    let upper_at = |b: f64| solve(&model.with_buffer(b), opts).upper;
+    let upper_at = |b: f64| {
+        SolveSession::builder(&model.with_buffer(b))
+            .options(opts)
+            .solve()
+            .upper
+    };
 
     let mut hi = max_buffer;
     let hi_loss = upper_at(hi);
@@ -116,7 +121,7 @@ pub fn max_utilization_for_loss<D: Interarrival + Clone>(
             u,
             buffer_seconds,
         );
-        solve(&model, opts).upper
+        SolveSession::builder(&model).options(opts).solve().upper
     };
 
     if upper_at(min_u) > target {
@@ -167,7 +172,9 @@ pub fn min_streams_for_loss<D: Interarrival + Clone>(
     // counts that matter in practice.
     for n in 1..=max_streams {
         let muxed = avoid_service_rate(model.marginal().superpose(n, rebin), model.service_rate());
-        let sol = solve(&model.with_marginal(muxed), opts);
+        let sol = SolveSession::builder(&model.with_marginal(muxed))
+            .options(opts)
+            .solve();
         if sol.upper <= target {
             return Some(Design {
                 value: n as f64,
@@ -224,7 +231,9 @@ mod tests {
         assert!(d.loss_upper_bound <= target);
         // And a ~halved buffer must violate the target (minimality up
         // to the bracket tolerance).
-        let smaller = solve(&m.with_buffer(d.value / 2.0), &opts());
+        let smaller = SolveSession::builder(&m.with_buffer(d.value / 2.0))
+            .options(&opts())
+            .solve();
         assert!(
             smaller.upper > target,
             "buffer {} not minimal: half still gives {:.2e}",
@@ -263,7 +272,7 @@ mod tests {
     #[test]
     fn stream_search_finds_small_counts() {
         let m = model();
-        let single = solve(&m, &opts());
+        let single = SolveSession::builder(&m).options(&opts()).solve();
         let target = single.upper / 20.0;
         if let Some(d) = min_streams_for_loss(&m, target, 12, 200, &opts()) {
             assert!(d.loss_upper_bound <= target);

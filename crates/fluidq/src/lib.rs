@@ -30,7 +30,10 @@
 //! # Entry points
 //!
 //! * [`QueueModel`] — the queue + traffic description,
-//! * [`solve`] / [`SolverOptions`] — one-call loss computation,
+//! * [`SolveSession`] / [`SolverOptions`] — the builder-based solve
+//!   API: one-shot via [`SessionBuilder::solve`], resumable
+//!   budget-bounded refinement via [`SolveSession::step_budget`]
+//!   (what the `lrd-serve` daemon's bounded-staleness queries run on),
 //! * [`BoundSolver`] — step-by-step iteration with access to the bound
 //!   occupancy distributions (reproduces the paper's Fig. 2),
 //! * [`horizon`] — the correlation-horizon estimate of Eq. 26 and the
@@ -59,8 +62,13 @@ pub use horizon::{correlation_horizon, empirical_horizon};
 pub use kernel::LossKernel;
 pub use model::QueueModel;
 pub use occupancy::Bracket;
+#[allow(deprecated)] // the legacy free functions remain exported as shims
 pub use solver::{
     solve, solve_warm, try_solve, try_solve_warm, BoundSolver, LossSolution, SolverOptions,
     WarmState, MASS_TOLERANCE,
+};
+pub use solver::{
+    session_run_chunk, set_session_run_chunk, SessionBuilder, SessionPhase, SolveSession,
+    DEFAULT_RUN_CHUNK,
 };
 pub use wdist::WorkDistribution;

@@ -1,0 +1,882 @@
+//! Resumable solve sessions: the incremental engine behind the whole
+//! solver API.
+//!
+//! [`SolveSession`] is the paper's convergence protocol (solver.rs
+//! module docs) re-expressed as an explicit state machine that can be
+//! advanced a bounded number of iterations at a time via
+//! [`SolveSession::step_budget`]. A session moves through the phases
+//!
+//! ```text
+//! Cold ──────────────────────────► Converged
+//! Seeded ──(probe certifies)─────► Converged
+//!    └─────(probe falls back)───► Cold ────► Converged
+//! ```
+//!
+//! * **Seeded** — a zero-loss donor [`WarmState`] at a larger buffer
+//!   seeds the stochastic-dominance probe (`probe_zero` in the legacy
+//!   API); each budget unit is one upper-chain step.
+//! * **Cold** — the from-scratch bounding protocol; each budget unit
+//!   is one two-chain step, with grid refinement and level bookkeeping
+//!   amortized into the step that triggers them.
+//! * **Converged** — the verdict is sealed; [`SolveSession::solution`]
+//!   and [`SolveSession::warm_state`] are available. (A donor at a
+//!   *smaller* buffer short-circuits here at build time through the
+//!   monotone certificate, with zero iterations.)
+//!
+//! The state machine performs, in order, **exactly** the operations of
+//! the one-shot protocol: driving a session to completion produces
+//! bit-identical solutions and an identical telemetry stream
+//! (`solver.solve`/`solver.level` spans, per-iteration `solver.gap`
+//! events, `solver.iterations`/`solver.refines` counters) to what
+//! [`solve_warm`](super::solve_warm) historically emitted — the legacy
+//! free functions are now thin wrappers over a session driven to
+//! completion, and `tests/session_equivalence.rs` pins the equivalence
+//! bit-for-bit across the figure registry.
+//!
+//! Incremental refinement is what the `lrd-serve` daemon builds its
+//! bounded-staleness loss-bound queries on: the engine interleaves
+//! `step_budget` calls across flows between arrival ticks, reading
+//! [`SolveSession::bounds`] for the freshest provable bracket (every
+//! iterate of the cold protocol is a valid bound pair by
+//! Proposition II.1 — only probe iterates prove nothing until they
+//! certify).
+
+use std::mem;
+
+use super::{
+    cold_solver_bins, export_state, seal, stochastically_dominated, validate_options, BoundSolver,
+    LossSolution, SolverOptions, WarmState, MASS_TOLERANCE, PROBE_ITERATIONS, PROBE_PLATEAU_RATIO,
+    PROBE_PLATEAU_STEPS,
+};
+use crate::error::{DegradationReason, SolverError};
+use crate::history::{GapHistory, GapSample};
+use crate::model::QueueModel;
+use lrd_traffic::Interarrival;
+
+/// The per-call iteration budget [`SolveSession::run`] (and therefore
+/// the one-shot [`SessionBuilder::solve`] family and the legacy shims)
+/// uses between completion checks.
+pub const DEFAULT_RUN_CHUNK: usize = 4096;
+
+static RUN_CHUNK: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(DEFAULT_RUN_CHUNK);
+
+/// Overrides, process-wide, the per-call budget [`SolveSession::run`]
+/// hands to [`SolveSession::step_budget`] (clamped to at least 1).
+///
+/// The solved results are bit-identical for every chunk size — that is
+/// the session contract — so this knob exists for equivalence suites
+/// that want to force heavily chunked stepping through call sites
+/// using the one-shot entry points, and for latency experiments.
+/// Restore [`DEFAULT_RUN_CHUNK`] when done; concurrent solves observe
+/// the override immediately.
+pub fn set_session_run_chunk(chunk: usize) {
+    RUN_CHUNK.store(chunk.max(1), std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current [`SolveSession::run`] per-call budget.
+pub fn session_run_chunk() -> usize {
+    RUN_CHUNK.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Where a [`SolveSession`] stands in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// The from-scratch bounding protocol is running (no usable donor,
+    /// or the seeded probe fell back).
+    Cold,
+    /// A donor-seeded zero-certification probe is running.
+    Seeded,
+    /// The session is finished; the solution and exportable warm state
+    /// are available.
+    Converged,
+}
+
+/// Builder for a [`SolveSession`] — the single construction surface
+/// for every solve in the workspace.
+///
+/// ```
+/// use lrd_fluidq::{QueueModel, SolveSession, SolverOptions};
+/// use lrd_traffic::{Marginal, TruncatedPareto};
+///
+/// let model = QueueModel::new(
+///     Marginal::new(&[2.0, 14.0], &[0.5, 0.5]),
+///     TruncatedPareto::new(0.05, 1.4, 1.0),
+///     10.0,
+///     2.0,
+/// );
+/// let solution = SolveSession::builder(&model)
+///     .options(&SolverOptions::default())
+///     .solve();
+/// assert!(solution.converged);
+/// ```
+#[derive(Debug)]
+pub struct SessionBuilder<'a, D: Interarrival + Clone> {
+    model: &'a QueueModel<D>,
+    opts: SolverOptions,
+    donor: Option<&'a WarmState>,
+}
+
+impl<'a, D: Interarrival + Clone> SessionBuilder<'a, D> {
+    /// Sets the convergence-protocol options (defaults to
+    /// [`SolverOptions::default`]).
+    pub fn options(mut self, opts: &SolverOptions) -> Self {
+        self.opts = *opts;
+        self
+    }
+
+    /// Offers a neighbouring point's [`WarmState`] as a warm-start
+    /// donor. Passing `Some` asserts the donor was solved on a model
+    /// identical to this one except possibly the buffer size (see
+    /// [`solve_warm`](super::solve_warm) for the full contract); the
+    /// warm path never changes solved values, so an unusable donor
+    /// costs at most the discarded probe iterations.
+    pub fn donor(mut self, donor: Option<&'a WarmState>) -> Self {
+        self.donor = donor;
+        self
+    }
+
+    /// Validates the options and constructs the session. A usable
+    /// zero donor at a smaller-or-equal buffer resolves immediately
+    /// (the monotone certificate): the returned session is already
+    /// [`SessionPhase::Converged`] with zero iterations.
+    ///
+    /// `Err` is returned **only** for malformed [`SolverOptions`];
+    /// every outcome of the iteration itself, including degradation,
+    /// is an `Ok` session that runs to completion.
+    pub fn build(self) -> Result<SolveSession<D>, SolverError> {
+        validate_options(&self.opts)?;
+        let donor = self.donor.filter(|w| w.zero);
+        let mut solve_span = lrd_obs::span!(
+            "solver.solve",
+            initial_bins = self.opts.initial_bins.min(self.opts.max_bins),
+            max_bins = self.opts.max_bins,
+            rel_gap = self.opts.rel_gap,
+        );
+        solve_span.record("warm", donor.is_some());
+        let inner = match donor {
+            Some(state) if state.buffer <= self.model.buffer() => {
+                // Monotone certificate: the donor's zero transfers to
+                // any larger buffer with no iteration at all; the donor
+                // state passes through unchanged so the certificate
+                // chain stays anchored at distributions that were
+                // actually solved.
+                let sol = LossSolution {
+                    lower: 0.0,
+                    upper: 0.0,
+                    iterations: 0,
+                    bins: state.bins,
+                    converged: true,
+                    degradation: None,
+                    gap_history: GapHistory::new(),
+                    refinement_epochs: Vec::new(),
+                };
+                let sealed = seal(sol, 0.0, &mut solve_span);
+                solve_span = lrd_obs::Span::disabled();
+                Inner::Done(Box::new(Finished {
+                    solution: sealed,
+                    state: state.clone(),
+                }))
+            }
+            Some(state) => {
+                // Seed the dominance probe at the donor's resolution
+                // (clamped into the option envelope): the donor
+                // certified below the floor there, and the stationary
+                // upper bound only tightens with resolution.
+                let bins = state.bins.clamp(2, self.opts.max_bins);
+                match BoundSolver::try_new(self.model.clone(), bins) {
+                    Ok(mut solver) => {
+                        solver.q_upper = state.rebin_upper(self.model.buffer(), bins);
+                        let prev = solver.q_upper.clone();
+                        Inner::Probe(Box::new(ProbeState {
+                            solver,
+                            prev,
+                            prev_upper: f64::INFINITY,
+                            slow_steps: 0,
+                            gap_history: GapHistory::new(),
+                            refinement_epochs: Vec::new(),
+                            n: 0,
+                        }))
+                    }
+                    Err(_) => cold_inner(self.model, &self.opts, 0),
+                }
+            }
+            None => cold_inner(self.model, &self.opts, 0),
+        };
+        Ok(SolveSession {
+            model: self.model.clone(),
+            opts: self.opts,
+            solve_span,
+            inner: Some(inner),
+        })
+    }
+
+    /// Builds the session and drives it to completion — the fallible
+    /// one-shot form, equivalent to the historical
+    /// [`try_solve_warm`](super::try_solve_warm).
+    pub fn run(self) -> Result<(LossSolution, WarmState), SolverError> {
+        Ok(self.build()?.run())
+    }
+
+    /// Builds, runs, and returns the solution alone, panicking on
+    /// malformed options — the historical [`solve`](super::solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics on options [`SessionBuilder::build`] rejects.
+    pub fn solve(self) -> LossSolution {
+        self.run().unwrap_or_else(|e| panic!("{e}")).0
+    }
+
+    /// Builds, runs, and returns the solution plus this point's own
+    /// exportable warm state, panicking on malformed options — the
+    /// historical [`solve_warm`](super::solve_warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics on options [`SessionBuilder::build`] rejects.
+    pub fn solve_warm(self) -> (LossSolution, WarmState) {
+        self.run().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// A resumable solve: the bounding-chain convergence protocol as an
+/// explicit state machine. See the module docs for the phase diagram
+/// and the equivalence contract with the one-shot API.
+#[derive(Debug)]
+pub struct SolveSession<D: Interarrival + Clone> {
+    model: QueueModel<D>,
+    opts: SolverOptions,
+    /// The `solver.solve` span, open from build until the verdict is
+    /// sealed (replaced by a disabled shell afterwards so drop-order
+    /// matches the one-shot protocol exactly).
+    solve_span: lrd_obs::Span,
+    /// `None` only transiently while a step function owns the state.
+    inner: Option<Inner<D>>,
+}
+
+#[derive(Debug)]
+enum Inner<D: Interarrival + Clone> {
+    Probe(Box<ProbeState<D>>),
+    Protocol(Box<ProtocolState<D>>),
+    Done(Box<Finished>),
+}
+
+#[derive(Debug)]
+struct Finished {
+    solution: LossSolution,
+    state: WarmState,
+}
+
+/// The dominance probe (legacy `probe_zero`) between steps.
+#[derive(Debug)]
+struct ProbeState<D: Interarrival + Clone> {
+    solver: BoundSolver<D>,
+    /// Previous iterate, for the stochastic-dominance check.
+    prev: Vec<f64>,
+    prev_upper: f64,
+    slow_steps: usize,
+    gap_history: GapHistory,
+    refinement_epochs: Vec<(usize, usize)>,
+    /// Probe iterations performed so far (`spent` in the legacy API).
+    n: usize,
+}
+
+/// The cold protocol (legacy `run_protocol`) between steps.
+#[derive(Debug)]
+struct ProtocolState<D: Interarrival + Clone> {
+    solver: BoundSolver<D>,
+    total_iterations: usize,
+    total_cost: f64,
+    gap_history: GapHistory,
+    refinement_epochs: Vec<(usize, usize)>,
+    /// The freshest provable `(lower, upper)` pair, for
+    /// [`SolveSession::bounds`]; survives level changes.
+    last_bounds: Option<(f64, f64)>,
+    /// The open grid level, or `None` right after a refinement (the
+    /// next step opens the finer level).
+    level: Option<LevelState>,
+}
+
+/// Per-grid-level loop state of the cold protocol.
+#[derive(Debug)]
+struct LevelState {
+    span: lrd_obs::Span,
+    /// `total_iterations` when this level opened.
+    start: usize,
+    /// Steps performed at this level (the legacy per-level `for`
+    /// counter, bounded by `max_iterations_per_level`).
+    steps: usize,
+    prev_gap: f64,
+    slow_iters: usize,
+    /// The last finite bounds seen at this level (initialized to the
+    /// level-entry bounds), the fallback bracket on numerical
+    /// breakdown.
+    last_finite: (f64, f64),
+}
+
+/// A fresh cold-protocol state starting from `base_iterations`
+/// already-spent probe steps (honest work accounting; the protocol's
+/// control flow never depends on it).
+fn cold_inner<D: Interarrival + Clone>(
+    model: &QueueModel<D>,
+    opts: &SolverOptions,
+    base_iterations: usize,
+) -> Inner<D> {
+    let solver = BoundSolver::try_new(model.clone(), cold_solver_bins(opts))
+        .expect("validate_options guarantees initial_bins.min(max_bins) >= 2");
+    Inner::Protocol(Box::new(ProtocolState {
+        solver,
+        total_iterations: base_iterations,
+        total_cost: 0.0,
+        gap_history: GapHistory::new(),
+        refinement_epochs: Vec::new(),
+        last_bounds: None,
+        level: None,
+    }))
+}
+
+impl<D: Interarrival + Clone> SolveSession<D> {
+    /// Starts building a session for `model`.
+    pub fn builder(model: &QueueModel<D>) -> SessionBuilder<'_, D> {
+        SessionBuilder {
+            model,
+            opts: SolverOptions::default(),
+            donor: None,
+        }
+    }
+
+    /// The current lifecycle phase.
+    pub fn phase(&self) -> SessionPhase {
+        match self.inner() {
+            Inner::Probe(_) => SessionPhase::Seeded,
+            Inner::Protocol(_) => SessionPhase::Cold,
+            Inner::Done(_) => SessionPhase::Converged,
+        }
+    }
+
+    /// Whether the session has reached [`SessionPhase::Converged`].
+    pub fn is_done(&self) -> bool {
+        matches!(self.inner(), Inner::Done(_))
+    }
+
+    /// Iterations performed so far (probe steps included, exactly as
+    /// the one-shot API accounts them).
+    pub fn iterations(&self) -> usize {
+        match self.inner() {
+            Inner::Probe(p) => p.n,
+            Inner::Protocol(p) => p.total_iterations,
+            Inner::Done(f) => f.solution.iterations,
+        }
+    }
+
+    /// The current grid resolution `M`.
+    pub fn bins(&self) -> usize {
+        match self.inner() {
+            Inner::Probe(p) => p.solver.bins(),
+            Inner::Protocol(p) => p.solver.bins(),
+            Inner::Done(f) => f.solution.bins,
+        }
+    }
+
+    /// The freshest **provable** loss-rate bracket `(lower, upper)`.
+    ///
+    /// In the cold phase every iterate is a valid bound pair
+    /// (Proposition II.1 holds at every `n`), so this tightens as the
+    /// session is stepped — the `lrd-serve` daemon answers loss-bound
+    /// queries from exactly this value between refinement budgets.
+    /// `None` while a seeded probe runs (probe iterates prove nothing
+    /// until one certifies) and before the first cold step.
+    pub fn bounds(&self) -> Option<(f64, f64)> {
+        match self.inner() {
+            Inner::Probe(_) => None,
+            Inner::Protocol(p) => p.last_bounds,
+            Inner::Done(f) => Some((f.solution.lower, f.solution.upper)),
+        }
+    }
+
+    /// The sealed solution, once [`SessionPhase::Converged`].
+    pub fn solution(&self) -> Option<&LossSolution> {
+        match self.inner() {
+            Inner::Done(f) => Some(&f.solution),
+            _ => None,
+        }
+    }
+
+    /// This point's exportable warm state, once
+    /// [`SessionPhase::Converged`].
+    pub fn warm_state(&self) -> Option<&WarmState> {
+        match self.inner() {
+            Inner::Done(f) => Some(&f.state),
+            _ => None,
+        }
+    }
+
+    /// Consumes the session, returning the verdict when finished.
+    pub fn into_result(self) -> Option<(LossSolution, WarmState)> {
+        match self.inner.expect("session state present") {
+            Inner::Done(f) => Some((f.solution, f.state)),
+            _ => None,
+        }
+    }
+
+    /// Advances the session by at most `budget` iterations, returning
+    /// whether it is now finished. Level bookkeeping, grid refinement
+    /// and the probe→cold fallback are amortized into the step that
+    /// triggers them, so one budget unit is one chain iteration — the
+    /// unit `SolverOptions::max_total_cost` is denominated in, times
+    /// the current `bins`.
+    pub fn step_budget(&mut self, budget: usize) -> bool {
+        for _ in 0..budget {
+            if self.is_done() {
+                return true;
+            }
+            let inner = self.inner.take().expect("session state present");
+            let next = match inner {
+                Inner::Probe(p) => self.probe_step(p),
+                Inner::Protocol(p) => self.protocol_step(p),
+                done => done,
+            };
+            self.inner = Some(next);
+        }
+        self.is_done()
+    }
+
+    /// Drives the session to completion and returns the verdict.
+    pub fn run(mut self) -> (LossSolution, WarmState) {
+        let chunk = session_run_chunk();
+        while !self.step_budget(chunk) {}
+        self.into_result().expect("session just finished")
+    }
+
+    fn inner(&self) -> &Inner<D> {
+        self.inner.as_ref().expect("session state present")
+    }
+
+    /// Seals the verdict into the `solver.solve` span and dispatches
+    /// the span's end record — the session-side equivalent of the
+    /// one-shot path returning through `seal` and dropping its span.
+    fn close(&mut self, sealed: LossSolution, state: WarmState) -> Inner<D> {
+        self.solve_span = lrd_obs::Span::disabled();
+        Inner::Done(Box::new(Finished {
+            solution: sealed,
+            state,
+        }))
+    }
+
+    /// One iteration of the dominance probe — the body of the legacy
+    /// `probe_zero` loop, operation for operation.
+    fn probe_step(&mut self, mut p: Box<ProbeState<D>>) -> Inner<D> {
+        let n = p.n + 1;
+        let drift = p.solver.step_upper();
+        lrd_obs::counter("solver.iterations", 1);
+        p.n = n;
+        let dominated = stochastically_dominated(&p.solver.q_upper, &p.prev);
+        let upper = p.solver.kernel.loss_rate(&p.solver.q_upper);
+        lrd_obs::event!(
+            "solver.gap",
+            iteration = n,
+            lower = 0.0,
+            upper = upper,
+            bins = p.solver.bins(),
+        );
+        if !upper.is_finite() || drift > MASS_TOLERANCE {
+            // Numerical trouble inside the probe: the cheap path is
+            // never worth a degraded verdict — fall back to cold.
+            return cold_inner(&self.model, &self.opts, n);
+        }
+        p.gap_history.push(GapSample {
+            iteration: n,
+            lower: 0.0,
+            upper,
+        });
+        if dominated && upper < self.opts.zero_floor {
+            // Certified: the same constant the cold floor rule emits.
+            let sol = LossSolution {
+                lower: 0.0,
+                upper: 0.0,
+                iterations: n,
+                bins: p.solver.bins(),
+                converged: true,
+                degradation: None,
+                gap_history: mem::replace(&mut p.gap_history, GapHistory::new()),
+                refinement_epochs: mem::take(&mut p.refinement_epochs),
+            };
+            let state = export_state(&self.model, &p.solver, &sol);
+            let mass_drift = p.solver.mass_drift();
+            let sealed = seal(sol, mass_drift, &mut self.solve_span);
+            return self.close(sealed, state);
+        }
+        if dominated && upper > PROBE_PLATEAU_RATIO * p.prev_upper {
+            p.slow_steps += 1;
+            if p.slow_steps >= PROBE_PLATEAU_STEPS {
+                // Dominated steps plateaued: the residual is
+                // discretization error — escalate the grid, or give
+                // the point to the cold protocol at the ceiling.
+                if p.solver.bins() * 2 > self.opts.max_bins {
+                    return cold_inner(&self.model, &self.opts, n);
+                }
+                p.solver.refine();
+                p.refinement_epochs.push((n, p.solver.bins()));
+                lrd_obs::counter("solver.refines", 1);
+                p.prev = p.solver.q_upper.clone();
+                p.prev_upper = f64::INFINITY;
+                p.slow_steps = 0;
+                return if n == PROBE_ITERATIONS {
+                    cold_inner(&self.model, &self.opts, n)
+                } else {
+                    Inner::Probe(p)
+                };
+            }
+        } else {
+            p.slow_steps = 0;
+        }
+        p.prev_upper = upper;
+        p.prev.copy_from_slice(&p.solver.q_upper);
+        if n == PROBE_ITERATIONS {
+            return cold_inner(&self.model, &self.opts, n);
+        }
+        Inner::Probe(p)
+    }
+
+    /// One iteration of the cold protocol — the body of the legacy
+    /// `run_protocol` loop, operation for operation, with the level
+    /// `for` loop flattened into [`LevelState`].
+    fn protocol_step(&mut self, mut p: Box<ProtocolState<D>>) -> Inner<D> {
+        if p.level.is_none() {
+            let entry = p.solver.loss_bounds();
+            p.level = Some(LevelState {
+                span: lrd_obs::span!("solver.level", bins = p.solver.bins()),
+                start: p.total_iterations,
+                steps: 0,
+                prev_gap: f64::INFINITY,
+                slow_iters: 0,
+                last_finite: entry,
+            });
+        }
+
+        p.solver.step();
+        p.total_iterations += 1;
+        p.total_cost += p.solver.bins() as f64;
+        lrd_obs::counter("solver.iterations", 1);
+        let (lower, upper) = p.solver.loss_bounds();
+        lrd_obs::event!(
+            "solver.gap",
+            iteration = p.total_iterations,
+            lower = lower,
+            upper = upper,
+            bins = p.solver.bins(),
+        );
+
+        let level = p.level.as_mut().expect("level opened above");
+        level.steps += 1;
+
+        if !(lower.is_finite() && upper.is_finite()) {
+            // Numerical breakdown: close the level, then fall back to
+            // the last bounds that were still finite.
+            let mut level = p.level.take().expect("level opened above");
+            level.span.record("iterations", p.total_iterations - level.start);
+            let last_finite = level.last_finite;
+            drop(level);
+            let (lower, upper) = if last_finite.0.is_finite() && last_finite.1.is_finite() {
+                last_finite
+            } else {
+                // Loss rates live in [0, 1], so (0, 1) is always a
+                // valid (if vacuous) bound pair.
+                (0.0, 1.0)
+            };
+            let sol = LossSolution {
+                lower,
+                upper,
+                iterations: p.total_iterations,
+                bins: p.solver.bins(),
+                converged: false,
+                degradation: Some(DegradationReason::NumericalBreakdown),
+                gap_history: mem::replace(&mut p.gap_history, GapHistory::new()),
+                refinement_epochs: mem::take(&mut p.refinement_epochs),
+            };
+            let state = export_state(&self.model, &p.solver, &sol);
+            let mass_drift = p.solver.mass_drift();
+            let sealed = seal(sol, mass_drift, &mut self.solve_span);
+            drop(p);
+            return self.close(sealed, state);
+        }
+        level.last_finite = (lower, upper);
+        p.last_bounds = Some((lower, upper));
+        p.gap_history.push(GapSample {
+            iteration: p.total_iterations,
+            lower,
+            upper,
+        });
+
+        if upper < self.opts.zero_floor {
+            // The paper's floor rule: below practical importance.
+            level.span.record("iterations", p.total_iterations - level.start);
+            let sol = LossSolution {
+                lower: 0.0,
+                upper: 0.0,
+                iterations: p.total_iterations,
+                bins: p.solver.bins(),
+                converged: true,
+                degradation: None,
+                gap_history: mem::replace(&mut p.gap_history, GapHistory::new()),
+                refinement_epochs: mem::take(&mut p.refinement_epochs),
+            };
+            let state = export_state(&self.model, &p.solver, &sol);
+            let mass_drift = p.solver.mass_drift();
+            let sealed = seal(sol, mass_drift, &mut self.solve_span);
+            // Drop order replicates the one-shot return: seal, then
+            // the level span, then the solve span.
+            drop(p);
+            return self.close(sealed, state);
+        }
+        let gap = upper - lower;
+        let mid = 0.5 * (upper + lower);
+        if gap <= self.opts.rel_gap * mid {
+            level.span.record("iterations", p.total_iterations - level.start);
+            let sol = LossSolution {
+                lower,
+                upper,
+                iterations: p.total_iterations,
+                bins: p.solver.bins(),
+                converged: true,
+                degradation: None,
+                gap_history: mem::replace(&mut p.gap_history, GapHistory::new()),
+                refinement_epochs: mem::take(&mut p.refinement_epochs),
+            };
+            let state = export_state(&self.model, &p.solver, &sol);
+            let mass_drift = p.solver.mass_drift();
+            let sealed = seal(sol, mass_drift, &mut self.solve_span);
+            drop(p);
+            return self.close(sealed, state);
+        }
+
+        // Stall detection: the gap is monotone non-increasing; if it
+        // stops shrinking the remaining gap is discretization error
+        // and only refinement can help.
+        let mut stall_break = false;
+        if gap > level.prev_gap * (1.0 - self.opts.stall_tolerance) {
+            level.slow_iters += 1;
+            if level.slow_iters >= self.opts.stall_window {
+                stall_break = true;
+            }
+        } else {
+            level.slow_iters = 0;
+        }
+        let mut out_of_budget = false;
+        if !stall_break {
+            level.prev_gap = gap;
+            out_of_budget = p.total_cost > self.opts.max_total_cost;
+        }
+        let exhausted = level.steps == self.opts.max_iterations_per_level;
+        if !stall_break && !out_of_budget && !exhausted {
+            return Inner::Protocol(p);
+        }
+
+        // The level is over: close its span, then either degrade out
+        // or refine into the next level.
+        let mut level = p.level.take().expect("level opened above");
+        level.span.record("iterations", p.total_iterations - level.start);
+        drop(level);
+
+        if out_of_budget || p.solver.bins() * 2 > self.opts.max_bins {
+            let (lower, upper) = p.solver.loss_bounds();
+            let reason = if out_of_budget {
+                DegradationReason::BudgetExhausted {
+                    spent: p.total_cost,
+                    budget: self.opts.max_total_cost,
+                }
+            } else {
+                DegradationReason::GridCeiling {
+                    max_bins: self.opts.max_bins,
+                }
+            };
+            let sol = LossSolution {
+                lower,
+                upper,
+                iterations: p.total_iterations,
+                bins: p.solver.bins(),
+                converged: false,
+                degradation: Some(reason),
+                gap_history: mem::replace(&mut p.gap_history, GapHistory::new()),
+                refinement_epochs: mem::take(&mut p.refinement_epochs),
+            };
+            let state = export_state(&self.model, &p.solver, &sol);
+            let mass_drift = p.solver.mass_drift();
+            let sealed = seal(sol, mass_drift, &mut self.solve_span);
+            drop(p);
+            return self.close(sealed, state);
+        }
+        let old_bins = p.solver.bins();
+        p.solver.refine();
+        p.refinement_epochs.push((p.total_iterations, p.solver.bins()));
+        lrd_obs::event!(
+            "solver.refine",
+            iteration = p.total_iterations,
+            old_bins = old_bins,
+            new_bins = p.solver.bins(),
+        );
+        lrd_obs::counter("solver.refines", 1);
+        Inner::Protocol(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_traffic::{Marginal, TruncatedPareto};
+
+    fn two_rate_model(cutoff: f64, buffer: f64) -> QueueModel<TruncatedPareto> {
+        QueueModel::new(
+            Marginal::new(&[2.0, 14.0], &[0.5, 0.5]),
+            TruncatedPareto::new(0.05, 1.4, cutoff),
+            10.0,
+            buffer,
+        )
+    }
+
+    fn underload_model(buffer: f64) -> QueueModel<TruncatedPareto> {
+        QueueModel::new(
+            Marginal::new(&[2.0, 6.0], &[0.5, 0.5]),
+            TruncatedPareto::new(0.05, 1.4, 1.0),
+            10.0,
+            buffer,
+        )
+    }
+
+    fn assert_bitwise_equal(a: &LossSolution, b: &LossSolution) {
+        assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+        assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.bins, b.bins);
+        assert_eq!(a.converged, b.converged);
+    }
+
+    #[test]
+    fn chunked_stepping_matches_one_shot_bitwise() {
+        let model = two_rate_model(1.0, 2.0);
+        let opts = SolverOptions::default();
+        let one_shot = SolveSession::builder(&model)
+            .options(&opts)
+            .solve();
+        for budget in [1usize, 7, 64, 100_000] {
+            let mut session = SolveSession::builder(&model)
+                .options(&opts)
+                .build()
+                .unwrap();
+            assert_eq!(session.phase(), SessionPhase::Cold);
+            while !session.step_budget(budget) {}
+            let (chunked, _) = session.into_result().unwrap();
+            assert_bitwise_equal(&chunked, &one_shot);
+        }
+    }
+
+    #[test]
+    fn step_budget_bounds_iterations_per_call() {
+        let model = two_rate_model(1.0, 2.0);
+        let mut session = SolveSession::builder(&model).build().unwrap();
+        let mut prev = 0;
+        while !session.step_budget(5) {
+            let done = session.iterations();
+            assert!(
+                done - prev <= 5,
+                "budget 5 ran {} iterations",
+                done - prev
+            );
+            prev = done;
+            let (lower, upper) = session.bounds().expect("cold steps yield bounds");
+            assert!(lower <= upper, "bounds inverted: {lower} > {upper}");
+        }
+    }
+
+    #[test]
+    fn monotone_certificate_resolves_at_build() {
+        let opts = SolverOptions::default();
+        let (donor_sol, donor_state) = SolveSession::builder(&underload_model(1.0))
+            .options(&opts)
+            .solve_warm();
+        assert!(donor_sol.is_zero());
+        let session = SolveSession::builder(&underload_model(1.5))
+            .options(&opts)
+            .donor(Some(&donor_state))
+            .build()
+            .unwrap();
+        assert_eq!(session.phase(), SessionPhase::Converged);
+        assert!(session.is_done());
+        let sol = session.solution().unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.is_zero());
+    }
+
+    #[test]
+    fn seeded_probe_runs_and_falls_back_to_cold() {
+        // A handcrafted zero donor at a larger buffer seeds the probe,
+        // but the lossy target can never certify: the session must
+        // pass through Seeded into Cold and still match the cold
+        // verdict bit for bit.
+        let opts = SolverOptions::default();
+        let bins = 64;
+        let donor = WarmState {
+            buffer: 5.0,
+            bins,
+            upper: vec![1.0 / (bins + 1) as f64; bins + 1],
+            lower: vec![1.0 / (bins + 1) as f64; bins + 1],
+            bracket: (0.0, 0.0),
+            zero: true,
+        };
+        let model = two_rate_model(1.0, 2.0);
+        let cold = SolveSession::builder(&model).options(&opts).solve();
+        let mut session = SolveSession::builder(&model)
+            .options(&opts)
+            .donor(Some(&donor))
+            .build()
+            .unwrap();
+        assert_eq!(session.phase(), SessionPhase::Seeded);
+        assert!(session.bounds().is_none(), "probe iterates prove nothing");
+        let mut saw_cold = false;
+        while !session.step_budget(1) {
+            saw_cold |= session.phase() == SessionPhase::Cold;
+        }
+        assert!(saw_cold, "probe must have fallen back to the cold protocol");
+        let (warm, _) = session.into_result().unwrap();
+        assert_eq!(warm.lower.to_bits(), cold.lower.to_bits());
+        assert_eq!(warm.upper.to_bits(), cold.upper.to_bits());
+        assert_eq!(warm.bins, cold.bins);
+    }
+
+    #[test]
+    fn seeded_probe_certifies_chunked() {
+        // The descending-buffer probe certificate must also hold when
+        // the session is driven one iteration at a time.
+        let opts = SolverOptions::sweep_profile();
+        let (donor_sol, donor_state) = SolveSession::builder(&two_rate_model(0.01, 3.0))
+            .options(&opts)
+            .solve_warm();
+        assert!(donor_sol.is_zero(), "donor not zero: {donor_sol:?}");
+        let mut session = SolveSession::builder(&two_rate_model(0.01, 2.0))
+            .options(&opts)
+            .donor(Some(&donor_state))
+            .build()
+            .unwrap();
+        assert_eq!(session.phase(), SessionPhase::Seeded);
+        while !session.step_budget(1) {}
+        let (sol, state) = session.into_result().unwrap();
+        assert!(sol.iterations <= PROBE_ITERATIONS);
+        assert!(sol.converged && sol.is_zero());
+        assert!(state.is_zero());
+    }
+
+    #[test]
+    fn invalid_options_fail_at_build() {
+        let model = two_rate_model(1.0, 2.0);
+        let bad = SolverOptions {
+            rel_gap: -1.0,
+            ..SolverOptions::default()
+        };
+        let err = SolveSession::builder(&model).options(&bad).build();
+        assert!(matches!(
+            err,
+            Err(SolverError::InvalidOption { option: "rel_gap", .. })
+        ));
+    }
+}

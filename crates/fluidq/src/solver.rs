@@ -20,7 +20,7 @@
 //! from-scratch cold solve.
 
 use crate::error::{DegradationReason, SolverError};
-use crate::history::{GapHistory, GapSample};
+use crate::history::GapHistory;
 use crate::kernel::LossKernel;
 use crate::model::QueueModel;
 use crate::wdist::WorkDistribution;
@@ -60,6 +60,17 @@ const PROBE_PLATEAU_RATIO: f64 = 0.97;
 /// the per-step clamp/renormalize perturbs the CDF by at most a few
 /// ulps of accumulated mass, far below any real dominance violation.
 const DOMINANCE_TOLERANCE: f64 = 1e-12;
+
+/// The resumable session API ([`SolveSession`] and friends) — the
+/// single implementation every entry point above drives. A child
+/// module so the probe machinery can reach the solver internals.
+#[path = "session.rs"]
+pub mod session;
+
+pub use session::{
+    session_run_chunk, set_session_run_chunk, SessionBuilder, SessionPhase, SolveSession,
+    DEFAULT_RUN_CHUNK,
+};
 
 /// Options controlling the convergence protocol. The defaults are the
 /// paper's published settings.
@@ -560,6 +571,12 @@ fn validate_options(opts: &SolverOptions) -> Result<(), SolverError> {
     Ok(())
 }
 
+/// The cold protocol's starting resolution: `initial_bins` clamped to
+/// the refinement ceiling.
+fn cold_solver_bins(opts: &SolverOptions) -> usize {
+    opts.initial_bins.min(opts.max_bins)
+}
+
 /// Runs the full convergence protocol and returns the loss bounds.
 ///
 /// # Panics
@@ -567,8 +584,9 @@ fn validate_options(opts: &SolverOptions) -> Result<(), SolverError> {
 /// Panics on options [`try_solve`] rejects; degraded-but-valid
 /// outcomes (budget or grid exhaustion, mass leak, numerical
 /// breakdown) never panic in either variant.
+#[deprecated(note = "use `SolveSession::builder(model).options(opts).solve()`")]
 pub fn solve<D: Interarrival + Clone>(model: &QueueModel<D>, opts: &SolverOptions) -> LossSolution {
-    try_solve(model, opts).unwrap_or_else(|e| panic!("{e}"))
+    SolveSession::builder(model).options(opts).solve()
 }
 
 /// Fallible variant of [`solve`].
@@ -579,11 +597,12 @@ pub fn solve<D: Interarrival + Clone>(model: &QueueModel<D>, opts: &SolverOption
 /// resolution, yields `Ok` with the best provable bounds reached and a
 /// [`DegradationReason`] explaining what was given up; such solutions
 /// always satisfy `0 <= lower <= upper < ∞`.
+#[deprecated(note = "use `SolveSession::builder(model).options(opts).run()`")]
 pub fn try_solve<D: Interarrival + Clone>(
     model: &QueueModel<D>,
     opts: &SolverOptions,
 ) -> Result<LossSolution, SolverError> {
-    Ok(try_solve_warm(model, opts, None)?.0)
+    Ok(SolveSession::builder(model).options(opts).run()?.0)
 }
 
 /// [`solve`] with an optional lattice-neighbour warm start, also
@@ -592,12 +611,13 @@ pub fn try_solve<D: Interarrival + Clone>(
 /// # Panics
 ///
 /// Panics on options [`try_solve_warm`] rejects.
+#[deprecated(note = "use `SolveSession::builder(model).options(opts).donor(donor).solve_warm()`")]
 pub fn solve_warm<D: Interarrival + Clone>(
     model: &QueueModel<D>,
     opts: &SolverOptions,
     donor: Option<&WarmState>,
 ) -> (LossSolution, WarmState) {
-    try_solve_warm(model, opts, donor).unwrap_or_else(|e| panic!("{e}"))
+    SolveSession::builder(model).options(opts).donor(donor).solve_warm()
 }
 
 /// Runs the full convergence protocol, optionally seeded by a
@@ -630,156 +650,16 @@ pub fn solve_warm<D: Interarrival + Clone>(
 ///   upper-chain occupancy is re-binned conservatively onto this
 ///   point's grid and iterated for at most `PROBE_ITERATIONS` steps,
 ///   looking for a step that is both *stochastically dominated by its
-///   predecessor* and below the zero floor (see [`probe_zero`]'s
+///   predecessor* and below the zero floor (see the [`session`]'s
 ///   soundness argument; the check is self-validating, so a bad seed
 ///   can waste the probe but never corrupt the verdict).
+#[deprecated(note = "use `SolveSession::builder(model).options(opts).donor(donor).run()`")]
 pub fn try_solve_warm<D: Interarrival + Clone>(
     model: &QueueModel<D>,
     opts: &SolverOptions,
     donor: Option<&WarmState>,
 ) -> Result<(LossSolution, WarmState), SolverError> {
-    validate_options(opts)?;
-    let donor = donor.filter(|w| w.zero);
-    let mut solve_span = lrd_obs::span!(
-        "solver.solve",
-        initial_bins = opts.initial_bins.min(opts.max_bins),
-        max_bins = opts.max_bins,
-        rel_gap = opts.rel_gap,
-    );
-    solve_span.record("warm", donor.is_some());
-    let mut probe_spent = 0usize;
-    if let Some(state) = donor {
-        if state.buffer <= model.buffer() {
-            // Monotone certificate: the donor's zero transfers to any
-            // larger buffer with no iteration at all. The donor state
-            // is passed through unchanged — the certificate chain
-            // stays anchored at the distributions that were actually
-            // solved.
-            let sol = LossSolution {
-                lower: 0.0,
-                upper: 0.0,
-                iterations: 0,
-                bins: state.bins,
-                converged: true,
-                degradation: None,
-                gap_history: GapHistory::new(),
-                refinement_epochs: Vec::new(),
-            };
-            return Ok((seal(sol, 0.0, &mut solve_span), state.clone()));
-        }
-        if let Some(certified) = probe_zero(model, opts, state, &mut solve_span, &mut probe_spent)
-        {
-            return Ok(certified);
-        }
-    }
-    run_protocol(model, opts, &mut solve_span, probe_spent)
-}
-
-/// The warm zero-certification probe. Returns the certified solution
-/// and exportable state when the donor's re-binned upper chain proves
-/// the zero floor within `PROBE_ITERATIONS` steps; `None` (with
-/// `spent` holding the probe iterations consumed, for honest
-/// accounting in the fallback's iteration totals) when the caller
-/// must run the cold protocol instead.
-///
-/// The probe starts at the **donor's** grid resolution — the donor
-/// certified below the floor there, and the stationary upper bound is
-/// decreasing in `M`, so the cold `initial_bins` grid would flatten
-/// out above the floor and never certify — and escalates through
-/// finer levels with the footnote-3 transplant whenever dominated
-/// steps plateau (a point closer to the loss boundary may need a
-/// finer grid than its donor to prove the same floor).
-///
-/// Soundness: let `s_k = F^k(seed)` where `F` is the upper-chain map.
-/// If at any step `s_k ⪯st s_(k-1)` (checked pointwise on the CDFs),
-/// then `s_(k-1)` is super-invariant; `F` is stochastically monotone,
-/// so the orbit from `s_(k-1)` decreases to the stationary law `Q*` —
-/// in particular `s_k ⪰st Q*`, making `l(s_k)` a provable upper bound
-/// on `l(Q*) = inf_n l(Q_H(n))`, itself an upper bound on the true
-/// loss (Prop. II.1 holds at every `n`). A certification therefore
-/// requires single-step dominance *at the certifying step only*; the
-/// re-binning transient of the first step or two is allowed to
-/// violate it.
-fn probe_zero<D: Interarrival + Clone>(
-    model: &QueueModel<D>,
-    opts: &SolverOptions,
-    donor: &WarmState,
-    span: &mut lrd_obs::Span,
-    spent: &mut usize,
-) -> Option<(LossSolution, WarmState)> {
-    let bins = donor.bins.clamp(2, opts.max_bins);
-    let mut solver = BoundSolver::try_new(model.clone(), bins).ok()?;
-    solver.q_upper = donor.rebin_upper(model.buffer(), bins);
-    let mut prev = solver.q_upper.clone();
-    let mut prev_upper = f64::INFINITY;
-    let mut slow_steps = 0usize;
-    let mut gap_history = GapHistory::new();
-    let mut refinement_epochs: Vec<(usize, usize)> = Vec::new();
-    for n in 1..=PROBE_ITERATIONS {
-        let drift = solver.step_upper();
-        lrd_obs::counter("solver.iterations", 1);
-        *spent = n;
-        let dominated = stochastically_dominated(&solver.q_upper, &prev);
-        let upper = solver.kernel.loss_rate(&solver.q_upper);
-        lrd_obs::event!(
-            "solver.gap",
-            iteration = n,
-            lower = 0.0,
-            upper = upper,
-            bins = solver.bins(),
-        );
-        if !upper.is_finite() || drift > MASS_TOLERANCE {
-            // Numerical trouble inside the probe: the cheap path is
-            // never worth a degraded verdict — run cold instead.
-            return None;
-        }
-        gap_history.push(GapSample {
-            iteration: n,
-            lower: 0.0,
-            upper,
-        });
-        if dominated && upper < opts.zero_floor {
-            // Certified: the same constant the cold floor rule emits.
-            let sol = LossSolution {
-                lower: 0.0,
-                upper: 0.0,
-                iterations: n,
-                bins: solver.bins(),
-                converged: true,
-                degradation: None,
-                gap_history,
-                refinement_epochs,
-            };
-            let state = export_state(model, &solver, &sol);
-            return Some((seal(sol, solver.mass_drift(), span), state));
-        }
-        // Grid escalation: when dominated steps stop making progress,
-        // the residual loss is discretization error — double the grid
-        // exactly as the cold protocol would. The transplant moves
-        // mass to coincident fine-grid points, so the next step's
-        // dominance check compares fine-grid iterates only (the
-        // anchor argument restarts cleanly at the new level).
-        if dominated && upper > PROBE_PLATEAU_RATIO * prev_upper {
-            slow_steps += 1;
-            if slow_steps >= PROBE_PLATEAU_STEPS {
-                if solver.bins() * 2 > opts.max_bins {
-                    return None;
-                }
-                solver.refine();
-                refinement_epochs.push((n, solver.bins()));
-                lrd_obs::counter("solver.refines", 1);
-                prev = solver.q_upper.clone();
-                prev_upper = f64::INFINITY;
-                slow_steps = 0;
-                continue;
-            }
-        } else {
-            slow_steps = 0;
-        }
-        prev_upper = upper;
-        prev.copy_from_slice(&solver.q_upper);
-    }
-    None
+    SolveSession::builder(model).options(opts).donor(donor).run()
 }
 
 /// Whether `smaller ⪯_st larger`: the CDF of `smaller` lies pointwise
@@ -811,172 +691,6 @@ fn export_state<D: Interarrival + Clone>(
     }
 }
 
-/// The cold convergence protocol, always run on a fresh solver so a
-/// discarded warm probe cannot perturb it: values are bit-identical to
-/// a never-warmed solve. `base_iterations` carries any probe steps
-/// already spent into the reported iteration totals (the *work*
-/// accounting); the protocol's own control flow never depends on it.
-fn run_protocol<D: Interarrival + Clone>(
-    model: &QueueModel<D>,
-    opts: &SolverOptions,
-    solve_span: &mut lrd_obs::Span,
-    base_iterations: usize,
-) -> Result<(LossSolution, WarmState), SolverError> {
-    let mut solver = BoundSolver::try_new(model.clone(), opts.initial_bins.min(opts.max_bins))?;
-    let mut total_iterations = base_iterations;
-    let mut total_cost = 0.0f64;
-    let mut gap_history = GapHistory::new();
-    let mut refinement_epochs: Vec<(usize, usize)> = Vec::new();
-
-    loop {
-        let mut prev_gap = f64::INFINITY;
-        let mut slow_iters = 0usize;
-        let mut level_span = lrd_obs::span!("solver.level", bins = solver.bins());
-        let level_start = total_iterations;
-
-        let mut out_of_budget = false;
-        let mut last_finite = solver.loss_bounds();
-        let mut breakdown = false;
-        for _ in 0..opts.max_iterations_per_level {
-            solver.step();
-            total_iterations += 1;
-            total_cost += solver.bins() as f64;
-            lrd_obs::counter("solver.iterations", 1);
-            let (lower, upper) = solver.loss_bounds();
-            lrd_obs::event!(
-                "solver.gap",
-                iteration = total_iterations,
-                lower = lower,
-                upper = upper,
-                bins = solver.bins(),
-            );
-
-            if !(lower.is_finite() && upper.is_finite()) {
-                // Numerical breakdown: stop immediately and fall back
-                // to the last bounds that were still finite.
-                breakdown = true;
-                break;
-            }
-            last_finite = (lower, upper);
-            gap_history.push(GapSample {
-                iteration: total_iterations,
-                lower,
-                upper,
-            });
-
-            if upper < opts.zero_floor {
-                // The paper's floor rule: below practical importance.
-                level_span.record("iterations", total_iterations - level_start);
-                let sol = LossSolution {
-                    lower: 0.0,
-                    upper: 0.0,
-                    iterations: total_iterations,
-                    bins: solver.bins(),
-                    converged: true,
-                    degradation: None,
-                    gap_history,
-                    refinement_epochs,
-                };
-                let state = export_state(model, &solver, &sol);
-                return Ok((seal(sol, solver.mass_drift(), solve_span), state));
-            }
-            let gap = upper - lower;
-            let mid = 0.5 * (upper + lower);
-            if gap <= opts.rel_gap * mid {
-                level_span.record("iterations", total_iterations - level_start);
-                let sol = LossSolution {
-                    lower,
-                    upper,
-                    iterations: total_iterations,
-                    bins: solver.bins(),
-                    converged: true,
-                    degradation: None,
-                    gap_history,
-                    refinement_epochs,
-                };
-                let state = export_state(model, &solver, &sol);
-                return Ok((seal(sol, solver.mass_drift(), solve_span), state));
-            }
-            // Stall detection: the gap is monotone non-increasing; if
-            // it stops shrinking the remaining gap is discretization
-            // error and only refinement can help.
-            if gap > prev_gap * (1.0 - opts.stall_tolerance) {
-                slow_iters += 1;
-                if slow_iters >= opts.stall_window {
-                    break;
-                }
-            } else {
-                slow_iters = 0;
-            }
-            prev_gap = gap;
-            if total_cost > opts.max_total_cost {
-                out_of_budget = true;
-                break;
-            }
-        }
-        level_span.record("iterations", total_iterations - level_start);
-        drop(level_span);
-
-        if breakdown {
-            // Loss rates live in [0, 1], so (0, 1) is always a valid
-            // (if vacuous) bound pair should even the initial bounds
-            // have been non-finite.
-            let (lower, upper) = if last_finite.0.is_finite() && last_finite.1.is_finite() {
-                last_finite
-            } else {
-                (0.0, 1.0)
-            };
-            let sol = LossSolution {
-                lower,
-                upper,
-                iterations: total_iterations,
-                bins: solver.bins(),
-                converged: false,
-                degradation: Some(DegradationReason::NumericalBreakdown),
-                gap_history,
-                refinement_epochs,
-            };
-            let state = export_state(model, &solver, &sol);
-            return Ok((seal(sol, solver.mass_drift(), solve_span), state));
-        }
-        if out_of_budget || solver.bins() * 2 > opts.max_bins {
-            let (lower, upper) = solver.loss_bounds();
-            let reason = if out_of_budget {
-                DegradationReason::BudgetExhausted {
-                    spent: total_cost,
-                    budget: opts.max_total_cost,
-                }
-            } else {
-                DegradationReason::GridCeiling {
-                    max_bins: opts.max_bins,
-                }
-            };
-            let sol = LossSolution {
-                lower,
-                upper,
-                iterations: total_iterations,
-                bins: solver.bins(),
-                converged: false,
-                degradation: Some(reason),
-                gap_history,
-                refinement_epochs,
-            };
-            let state = export_state(model, &solver, &sol);
-            return Ok((seal(sol, solver.mass_drift(), solve_span), state));
-        }
-        let old_bins = solver.bins();
-        solver.refine();
-        refinement_epochs.push((total_iterations, solver.bins()));
-        lrd_obs::event!(
-            "solver.refine",
-            iteration = total_iterations,
-            old_bins = old_bins,
-            new_bins = solver.bins(),
-        );
-        lrd_obs::counter("solver.refines", 1);
-    }
-}
-
 /// Closes out a solution: attaches the mass-conservation diagnostic
 /// (unless a more fundamental reason is already recorded), publishes
 /// the mass-drift gauge and any degradation event, and stamps the
@@ -997,6 +711,7 @@ fn seal(mut sol: LossSolution, drift: f64, span: &mut lrd_obs::Span) -> LossSolu
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay covered against the session path
 mod tests {
     use super::*;
     use lrd_traffic::{Exponential, Marginal, TruncatedPareto};

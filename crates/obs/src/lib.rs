@@ -299,6 +299,17 @@ pub fn install_fanout(mut sinks: Vec<Arc<dyn Subscriber>>) -> InstallGuard {
     }
 }
 
+/// Flushes the installed subscriber in place without uninstalling it.
+///
+/// Long-running processes (the `lrd-serve` daemon) call this
+/// periodically so that buffered sinks — notably the `BufWriter` inside
+/// a file-backed [`JsonlSubscriber`] — have durable output even if the
+/// process is later killed without unwinding (SIGKILL). No-op when no
+/// subscriber is installed.
+pub fn flush_current() {
+    with_subscriber(|s| s.flush());
+}
+
 /// Removes the installed subscriber (if any), flushing it first.
 pub fn uninstall() {
     let mut slot = SUBSCRIBER.write().unwrap_or_else(|e| e.into_inner());
@@ -676,6 +687,38 @@ mod tests {
             })
             .sum();
         assert_eq!(dur, Some(total), "watch must sum every matching span");
+    }
+
+    #[test]
+    fn flush_current_drains_buffered_sinks_in_place() {
+        let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf::default();
+        let _guard = install(Arc::new(JsonlSubscriber::new(Box::new(buf.clone()))));
+        counter("flush.test", 3);
+        // Counters are aggregated, not written inline: the snapshot
+        // line only appears after an explicit in-place flush.
+        let before = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(!before.contains("flush.test"));
+        flush_current();
+        let after = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(after.contains("flush.test"), "flush must drain aggregates");
+        // Telemetry keeps flowing afterwards — the subscriber was
+        // flushed, not uninstalled.
+        assert!(enabled());
+        // No subscriber installed at all: a bare flush is a no-op.
+        uninstall();
+        flush_current();
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! The poll loop: connections, arrival ticks, idle refinement.
+//!
+//! [`serve`] multiplexes three duties on one thread over a
+//! non-blocking [`Listener`]:
+//!
+//! 1. **queries** — each accepted connection carries one JSON-line
+//!    request and gets one JSON-line response (the `lrd-net`
+//!    connection-per-request discipline);
+//! 2. **ticks** — while the accept queue is empty, due arrival ticks
+//!    are drained against the wall clock (or never, when the clock is
+//!    frozen for deterministic runs);
+//! 3. **refinement** — leftover idle time advances the stalest cached
+//!    solve session, so bounds keep tightening between queries.
+//!
+//! The loop exits on a `Shutdown` request or a termination signal
+//! (see [`crate::signal`]), flushing telemetry on the way out — and
+//! roughly once a second while idle, so even a `SIGKILL` loses at most
+//! a second of buffered events.
+
+use std::io::{self, ErrorKind};
+use std::time::{Duration, Instant};
+
+use lrd_net::{recv_line, send_line, Conn, Listener};
+
+use crate::engine::Engine;
+use crate::proto::{Request, Response};
+use crate::signal;
+
+/// How long the loop naps when there is nothing to accept, tick or
+/// refine.
+const IDLE_NAP: Duration = Duration::from_millis(1);
+
+/// How long after the last query the loop keeps polling hot instead
+/// of napping. A client streaming queries connection-per-request
+/// would otherwise eat one nap of latency per query; ten quiet
+/// milliseconds mean the burst is over and the nap is free.
+const BUSY_SPIN: Duration = Duration::from_millis(10);
+
+/// Cadence of the idle telemetry flush.
+const FLUSH_EVERY: Duration = Duration::from_secs(1);
+
+/// Upper bound on ticks drained per loop pass, so a long stall ends in
+/// a burst of bounded size instead of an unbounded catch-up spiral.
+const MAX_TICK_DRAIN: u32 = 256;
+
+/// What the loop did before it exited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Arrival ticks absorbed.
+    pub ticks: u64,
+    /// Queries answered.
+    pub queries: u64,
+}
+
+/// Runs the daemon loop until shutdown. `tick` is the arrival-tick
+/// period; `None` freezes the clock (no ticks ever fire — the
+/// deterministic mode `--tick-ms 0` selects).
+pub fn serve(
+    listener: &Listener,
+    engine: &mut Engine,
+    tick: Option<Duration>,
+) -> io::Result<ServeStats> {
+    let mut next_tick = tick.map(|period| Instant::now() + period);
+    let mut next_flush = Instant::now() + FLUSH_EVERY;
+    let mut last_query = Instant::now();
+    loop {
+        if signal::shutdown_requested() {
+            break;
+        }
+        match listener.accept() {
+            Ok(mut conn) => {
+                let shutdown = answer(conn.as_mut(), engine);
+                last_query = Instant::now();
+                if shutdown {
+                    signal::request_shutdown();
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                let mut worked = false;
+                if let (Some(period), Some(due)) = (tick, next_tick.as_mut()) {
+                    let mut drained = 0;
+                    while Instant::now() >= *due && drained < MAX_TICK_DRAIN {
+                        engine.tick();
+                        *due += period;
+                        drained += 1;
+                    }
+                    // A stall longer than the drain cap resynchronizes
+                    // instead of replaying the backlog forever.
+                    if drained == MAX_TICK_DRAIN {
+                        *due = Instant::now() + period;
+                    }
+                    worked |= drained > 0;
+                }
+                worked |= engine.idle_refine();
+                if Instant::now() >= next_flush {
+                    lrd_obs::flush_current();
+                    next_flush = Instant::now() + FLUSH_EVERY;
+                }
+                if !worked && last_query.elapsed() > BUSY_SPIN {
+                    std::thread::sleep(IDLE_NAP);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    lrd_obs::flush_current();
+    Ok(ServeStats {
+        ticks: engine.tick_count(),
+        queries: engine.query_count(),
+    })
+}
+
+/// Answers one connection. Returns whether the request asked the
+/// daemon to shut down. Transport errors (timeout, oversized or
+/// unparseable line) are answered with an `Error` response when the
+/// connection is still writable, and otherwise dropped — one bad
+/// client must never take the loop down.
+fn answer(conn: &mut dyn Conn, engine: &mut Engine) -> bool {
+    let started = Instant::now();
+    let line = match recv_line(conn) {
+        Ok(line) => line,
+        Err(_) => return false,
+    };
+    let (response, shutdown) = match Request::parse(&line) {
+        Ok(request) => {
+            let span = lrd_obs::span!("serve.query", kind = request.kind());
+            let response = engine.handle(&request);
+            drop(span);
+            (response, matches!(request, Request::Shutdown))
+        }
+        Err(message) => (Response::Error { message }, false),
+    };
+    let _ = send_line(conn, &response.to_line());
+    lrd_obs::counter("serve.queries", 1);
+    lrd_obs::histogram(
+        "serve.query_us",
+        started.elapsed().as_secs_f64() * 1e6,
+    );
+    shutdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use crate::flow::FlowSpec;
+    use lrd_net::{connect, Endpoint};
+
+    fn engine() -> Engine {
+        let spec = FlowSpec::parse("m,family=markov,mean=0.05,service=10.0").unwrap();
+        let mut engine = Engine::new(
+            EngineOptions {
+                window: 64,
+                refresh_every: 16,
+                ..EngineOptions::default()
+            },
+            vec![spec],
+            5,
+        );
+        for _ in 0..128 {
+            engine.tick();
+        }
+        engine
+    }
+
+    #[test]
+    fn serves_queries_then_stops_on_shutdown_request() {
+        let endpoint = Endpoint::parse("127.0.0.1:0").unwrap();
+        let listener = Listener::bind(&endpoint).unwrap();
+        let endpoint = listener.local_endpoint();
+        let server = std::thread::spawn(move || {
+            let mut engine = engine();
+            serve(&listener, &mut engine, None).unwrap()
+        });
+        let ask = |request: &Request| {
+            let mut conn = connect(&endpoint).unwrap();
+            send_line(conn.as_mut(), &request.to_line()).unwrap();
+            Response::parse(&recv_line(conn.as_mut()).unwrap()).unwrap()
+        };
+        match ask(&Request::Status) {
+            Response::Status { tick, flows } => {
+                assert_eq!(tick, 128);
+                assert_eq!(flows.len(), 1);
+                assert!(flows[0].warmed);
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+        match ask(&Request::LossBound {
+            flow: "m".to_string(),
+            buffer: 1.0,
+        }) {
+            Response::Bound { lower, upper, .. } => assert!(lower <= upper),
+            other => panic!("expected bound, got {other:?}"),
+        }
+        // A garbage line gets an error response, not a dropped loop.
+        let mut conn = connect(&endpoint).unwrap();
+        send_line(conn.as_mut(), "{\"kind\":\"nope\"}").unwrap();
+        match Response::parse(&recv_line(conn.as_mut()).unwrap()).unwrap() {
+            Response::Error { .. } => {}
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert!(matches!(ask(&Request::Shutdown), Response::Bye));
+        let stats = server.join().unwrap();
+        assert!(stats.queries >= 3);
+        // The shutdown flag is process-global: clear it so other tests
+        // in this binary can run servers of their own.
+        crate::signal::clear_for_tests();
+    }
+}

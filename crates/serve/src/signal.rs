@@ -1,0 +1,65 @@
+//! Minimal async-signal-safe shutdown flag.
+//!
+//! The daemon must flush buffered telemetry on `SIGTERM`/`SIGINT`
+//! rather than dying mid-line, but the workspace takes no external
+//! dependencies — so this module installs a raw `signal(2)` handler
+//! via the libc symbol `std` already links. The handler only stores an
+//! [`AtomicBool`] (the one action that is async-signal-safe); the
+//! server loop polls [`shutdown_requested`] between connections and
+//! performs the actual teardown on its own thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has arrived (or [`request_shutdown`]
+/// was called).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Raises the shutdown flag from ordinary code (tests, the server's
+/// own `Shutdown` request path).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the process-global flag between in-process server tests.
+#[doc(hidden)]
+pub fn clear_for_tests() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn handle(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes `SIGINT` and `SIGTERM` to the shutdown flag.
+    pub fn install() {
+        let handler = handle as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal routing off Unix; `Shutdown` requests still work.
+    pub fn install() {}
+}
+
+pub use imp::install;

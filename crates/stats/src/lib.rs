@@ -25,6 +25,7 @@ pub mod histogram;
 pub mod hurst;
 pub mod regression;
 pub mod runs;
+pub mod streaming;
 
 pub use descriptive::{autocorrelation, autocovariance, mean, std_dev, variance, Summary};
 pub use histogram::Histogram;
@@ -34,3 +35,4 @@ pub use hurst::{
 };
 pub use regression::{linear_fit, LinearFit};
 pub use runs::mean_run_length;
+pub use streaming::{HurstPair, SlidingWindow, StreamingHurst, MIN_HURST_WINDOW};

@@ -1,0 +1,265 @@
+//! Sliding-window statistics for live traffic: a fixed-capacity ring
+//! of recent rate samples and block-aligned streaming Hurst estimates
+//! over it.
+//!
+//! The online loss-bound service (`lrd-serve`) watches each flow
+//! through these types: the window supplies the recent marginal, and
+//! the streaming estimator keeps a Hurst estimate that is refreshed at
+//! a configurable cadence rather than on every sample — `O(W log W)`
+//! estimator work is amortized over `refresh_every` pushes, and the
+//! staleness of the cached estimate is bounded by construction (the
+//! property the daemon's bounded-staleness contract leans on).
+//!
+//! The estimators themselves are the batch [`rs_estimate`] and
+//! [`variance_time_estimate`] applied to an ordered snapshot of the
+//! window, so a streaming estimate over a full window equals the batch
+//! estimate of the same `W` samples exactly — no separate numerical
+//! path to validate.
+
+use crate::descriptive::variance;
+use crate::hurst::{rs_estimate, variance_time_estimate, HurstEstimate};
+
+/// Fixed-capacity ring buffer over the most recent `capacity` samples.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    buf: Vec<f64>,
+    /// Index the *next* push writes to.
+    head: usize,
+    len: usize,
+}
+
+impl SlidingWindow {
+    /// An empty window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self {
+            buf: vec![0.0; capacity],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest once full.
+    pub fn push(&mut self, v: f64) {
+        self.buf[self.head] = v;
+        self.head = (self.head + 1) % self.buf.len();
+        self.len = (self.len + 1).min(self.buf.len());
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window holds no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window has wrapped at least once.
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// The held samples, oldest first.
+    pub fn snapshot(&self) -> Vec<f64> {
+        let cap = self.buf.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(|i| self.buf[(start + i) % cap]).collect()
+    }
+
+    /// Mean of the held samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.iter().sum::<f64>() / self.len as f64
+    }
+
+    /// Iterates the held samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        let cap = self.buf.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(move |i| self.buf[(start + i) % cap])
+    }
+}
+
+/// Both window Hurst estimates from one refresh.
+#[derive(Debug, Clone)]
+pub struct HurstPair {
+    /// Rescaled-range (R/S) estimate of the window.
+    pub rs: HurstEstimate,
+    /// Variance–time estimate of the window.
+    pub vt: HurstEstimate,
+}
+
+impl HurstPair {
+    /// The two clamped point estimates averaged — the robust summary
+    /// a consumer that wants one number should read.
+    pub fn pooled(&self) -> f64 {
+        0.5 * (self.rs.clamped() + self.vt.clamped())
+    }
+}
+
+/// Minimum window the batch estimators accept.
+pub const MIN_HURST_WINDOW: usize = 64;
+
+/// A sliding-window Hurst estimator with bounded estimate staleness.
+///
+/// Samples stream in through [`push`](Self::push); once the window has
+/// filled, the R/S and variance–time estimates are recomputed at most
+/// every `refresh_every` pushes and served from cache in between. The
+/// invariant tests pin: after any push sequence,
+/// [`staleness`](Self::staleness) < `refresh_every` whenever an
+/// estimate exists.
+#[derive(Debug, Clone)]
+pub struct StreamingHurst {
+    window: SlidingWindow,
+    refresh_every: usize,
+    /// Pushes since the cached estimate was computed.
+    since: usize,
+    cached: Option<HurstPair>,
+}
+
+impl StreamingHurst {
+    /// A streaming estimator over the last `window` samples,
+    /// refreshing at most every `refresh_every` pushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < `[`MIN_HURST_WINDOW`] or `refresh_every`
+    /// is zero.
+    pub fn new(window: usize, refresh_every: usize) -> Self {
+        assert!(
+            window >= MIN_HURST_WINDOW,
+            "Hurst window must hold at least {MIN_HURST_WINDOW} samples"
+        );
+        assert!(refresh_every > 0, "refresh cadence must be positive");
+        Self {
+            window: SlidingWindow::new(window),
+            refresh_every,
+            since: 0,
+            cached: None,
+        }
+    }
+
+    /// Feeds one sample and refreshes the cached estimate if due.
+    pub fn push(&mut self, v: f64) {
+        self.window.push(v);
+        self.since += 1;
+        if self.window.is_full() && (self.cached.is_none() || self.since >= self.refresh_every) {
+            let snap = self.window.snapshot();
+            // A constant window has no scaling behaviour to estimate;
+            // keep the previous estimate (and its staleness clock
+            // running) until variability returns.
+            if variance(&snap) > 0.0 {
+                self.cached = Some(HurstPair {
+                    rs: rs_estimate(&snap),
+                    vt: variance_time_estimate(&snap),
+                });
+                self.since = 0;
+            }
+        }
+    }
+
+    /// The most recent estimate pair; `None` until the window first
+    /// fills with non-constant data.
+    pub fn current(&self) -> Option<&HurstPair> {
+        self.cached.as_ref()
+    }
+
+    /// Pushes absorbed since the cached estimate was computed.
+    pub fn staleness(&self) -> usize {
+        self.since
+    }
+
+    /// The configured refresh cadence — the staleness bound.
+    pub fn refresh_every(&self) -> usize {
+        self.refresh_every
+    }
+
+    /// The underlying sample window.
+    pub fn window(&self) -> &SlidingWindow {
+        &self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_evicts_oldest_first() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.is_empty());
+        for v in [1.0, 2.0] {
+            w.push(v);
+        }
+        assert_eq!(w.snapshot(), vec![1.0, 2.0]);
+        assert!(!w.is_full());
+        for v in [3.0, 4.0, 5.0] {
+            w.push(v);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.snapshot(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![3.0, 4.0, 5.0]);
+        assert!((w.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_equals_batch_on_the_same_window() {
+        // Deterministic non-constant series: the streaming estimate
+        // after the window fills must equal the batch estimate of the
+        // identical snapshot bit for bit.
+        let mut s = StreamingHurst::new(128, 1_000_000);
+        let series: Vec<f64> = (0..128).map(|i| ((i * 37 + 11) % 97) as f64).collect();
+        for &v in &series {
+            s.push(v);
+        }
+        let pair = s.current().expect("full window yields an estimate");
+        assert_eq!(pair.rs.h.to_bits(), rs_estimate(&series).h.to_bits());
+        assert_eq!(
+            pair.vt.h.to_bits(),
+            variance_time_estimate(&series).h.to_bits()
+        );
+    }
+
+    #[test]
+    fn staleness_stays_below_the_cadence() {
+        let mut s = StreamingHurst::new(64, 7);
+        for i in 0..1000 {
+            s.push(((i * 13 + 5) % 31) as f64);
+            if s.current().is_some() {
+                assert!(
+                    s.staleness() < s.refresh_every(),
+                    "staleness {} at push {i} breached cadence {}",
+                    s.staleness(),
+                    s.refresh_every()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_stream_never_panics_and_yields_nothing() {
+        let mut s = StreamingHurst::new(64, 4);
+        for _ in 0..300 {
+            s.push(2.5);
+        }
+        assert!(s.current().is_none());
+        // Variability arriving later unlocks the estimate.
+        for i in 0..64 {
+            s.push((i % 9) as f64);
+        }
+        assert!(s.current().is_some());
+    }
+}

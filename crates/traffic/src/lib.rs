@@ -36,6 +36,7 @@ pub mod interarrival;
 pub mod marginal;
 pub mod markov;
 pub mod mginf;
+pub mod model;
 pub mod onoff;
 pub mod pareto;
 pub mod shuffle;
@@ -49,6 +50,8 @@ pub use error::ModelError;
 pub use interarrival::Interarrival;
 pub use marginal::Marginal;
 pub use markov::{fit_to_pareto, HyperExponential};
+pub use model::{TrafficModel, TrafficStream};
+pub use onoff::OnOffSource;
 pub use pareto::{Exponential, TruncatedPareto};
-pub use source::FluidSource;
+pub use source::{FluidSource, Segment};
 pub use trace::Trace;

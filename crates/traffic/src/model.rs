@@ -1,0 +1,184 @@
+//! A uniform facade over the workspace's synthetic source families.
+//!
+//! Every generator in this crate ultimately emits a piecewise-constant
+//! rate path; [`TrafficModel`] names the families behind one type and
+//! [`TrafficStream`] drives any of them segment by segment, which is
+//! the shape an open-loop driver (the `lrd-serve` arrival ticker, a
+//! simulator, a trace synthesizer) wants: ask for the next
+//! `(duration, rate)` segment, advance its own clock, repeat.
+//!
+//! Families:
+//!
+//! * [`TrafficModel::Pareto`] — the paper's renewal-fluid source with
+//!   truncated-Pareto intervals (LRD up to the cutoff lag),
+//! * [`TrafficModel::Markov`] — the same fluid construction with
+//!   exponential (memoryless, SRD) intervals,
+//! * [`TrafficModel::OnOff`] — a heavy-tailed on/off source, the
+//!   Willinger-style physical explanation of LRD.
+
+use crate::onoff::OnOffSource;
+use crate::pareto::{Exponential, TruncatedPareto};
+use crate::source::{FluidSource, Segment};
+use lrd_rng::Rng;
+
+/// One synthetic traffic source, abstracted over its family.
+#[derive(Debug, Clone)]
+pub enum TrafficModel {
+    /// Renewal-fluid with truncated-Pareto intervals (paper Sec. II).
+    Pareto(FluidSource<TruncatedPareto>),
+    /// Renewal-fluid with exponential intervals — the memoryless
+    /// contrast model of Sec. IV.
+    Markov(FluidSource<Exponential>),
+    /// A single heavy-tailed on/off source alternating between its
+    /// peak rate and silence.
+    OnOff(OnOffSource),
+}
+
+impl TrafficModel {
+    /// Long-run mean rate of the source (Mb/s).
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            TrafficModel::Pareto(s) => s.mean_rate(),
+            TrafficModel::Markov(s) => s.mean_rate(),
+            TrafficModel::OnOff(s) => s.mean_rate(),
+        }
+    }
+
+    /// The nominal Hurst parameter of the family: `(3 − α)/2` below
+    /// the cutoff for the Pareto intervals, the Willinger aggregate
+    /// value for on/off sojourns, and `0.5` for the memoryless model.
+    pub fn nominal_hurst(&self) -> f64 {
+        match self {
+            TrafficModel::Pareto(s) => s.intervals().hurst(),
+            TrafficModel::Markov(_) => 0.5,
+            TrafficModel::OnOff(s) => s.aggregate_hurst(),
+        }
+    }
+
+    /// A short family tag for logs and wire protocols.
+    pub fn family(&self) -> &'static str {
+        match self {
+            TrafficModel::Pareto(_) => "pareto",
+            TrafficModel::Markov(_) => "markov",
+            TrafficModel::OnOff(_) => "onoff",
+        }
+    }
+
+    /// Begins streaming segments; the on/off phase is seeded from the
+    /// stationary law so the stream starts in equilibrium.
+    pub fn stream<R: Rng + ?Sized>(&self, rng: &mut R) -> TrafficStream {
+        let on = match self {
+            TrafficModel::OnOff(s) => rng.gen_bool(s.on_probability()),
+            _ => false,
+        };
+        TrafficStream {
+            model: self.clone(),
+            on,
+        }
+    }
+}
+
+/// Stateful segment generator over a [`TrafficModel`].
+///
+/// The renewal families are memoryless across segments; the on/off
+/// family carries its phase between calls, so a stream must be kept
+/// per flow (not re-created per segment) for the sojourn alternation
+/// to be faithful.
+#[derive(Debug, Clone)]
+pub struct TrafficStream {
+    model: TrafficModel,
+    /// Current on/off phase; unused by the renewal families.
+    on: bool,
+}
+
+impl TrafficStream {
+    /// Draws the next `(duration, rate)` segment.
+    pub fn next_segment<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Segment {
+        match &self.model {
+            TrafficModel::Pareto(s) => s.sample_segment(rng),
+            TrafficModel::Markov(s) => s.sample_segment(rng),
+            TrafficModel::OnOff(s) => {
+                let phase = self.on;
+                self.on = !phase;
+                Segment {
+                    duration: s.sample_sojourn(rng, phase),
+                    rate: if phase { s.peak_rate } else { 0.0 },
+                }
+            }
+        }
+    }
+
+    /// The model this stream draws from.
+    pub fn model(&self) -> &TrafficModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marginal::Marginal;
+    use lrd_rng::{rngs::SmallRng, SeedableRng};
+
+    fn two_rate() -> Marginal {
+        Marginal::new(&[2.0, 14.0], &[0.5, 0.5])
+    }
+
+    #[test]
+    fn renewal_streams_match_their_sources_statistically() {
+        let model = TrafficModel::Pareto(FluidSource::new(
+            two_rate(),
+            TruncatedPareto::from_hurst(0.8, 0.05, 1.0),
+        ));
+        assert_eq!(model.family(), "pareto");
+        assert!((model.nominal_hurst() - 0.8).abs() < 1e-12);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut stream = model.stream(&mut rng);
+        let (mut time, mut work) = (0.0, 0.0);
+        for _ in 0..20_000 {
+            let seg = stream.next_segment(&mut rng);
+            assert!(seg.duration > 0.0);
+            assert!(seg.rate == 2.0 || seg.rate == 14.0);
+            time += seg.duration;
+            work += seg.duration * seg.rate;
+        }
+        let mean = work / time;
+        assert!(
+            (mean - model.mean_rate()).abs() < 0.5,
+            "empirical mean rate {mean} vs {}",
+            model.mean_rate()
+        );
+    }
+
+    #[test]
+    fn onoff_stream_alternates_phases_and_holds_its_mean() {
+        let model = TrafficModel::OnOff(OnOffSource::new(1.0, 1.4, 0.05, 1.4, 0.15));
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut stream = model.stream(&mut rng);
+        let first_on = stream.next_segment(&mut rng).rate > 0.0;
+        let (mut time, mut work) = (0.0, 0.0);
+        for i in 0..200_001 {
+            let seg = stream.next_segment(&mut rng);
+            // Strict alternation from whatever phase the stream
+            // started in.
+            assert_eq!(seg.rate > 0.0, (i % 2 == 0) != first_on);
+            time += seg.duration;
+            work += seg.duration * seg.rate;
+        }
+        let mean = work / time;
+        assert!(
+            (mean - model.mean_rate()).abs() < 0.1,
+            "empirical mean rate {mean} vs {}",
+            model.mean_rate()
+        );
+        assert!((model.nominal_hurst() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn markov_family_reports_srd() {
+        let model =
+            TrafficModel::Markov(FluidSource::new(two_rate(), Exponential::new(0.1)));
+        assert_eq!(model.family(), "markov");
+        assert_eq!(model.nominal_hurst(), 0.5);
+    }
+}

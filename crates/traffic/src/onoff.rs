@@ -82,13 +82,28 @@ impl OnOffSource {
         min * u.powf(-1.0 / alpha)
     }
 
+    /// Draws one sojourn duration for the given phase (`on = true` for
+    /// an emission period).
+    pub fn sample_sojourn<R: Rng + ?Sized>(&self, rng: &mut R, on: bool) -> f64 {
+        if on {
+            Self::sample_pareto(rng, self.on_alpha, self.on_min)
+        } else {
+            Self::sample_pareto(rng, self.off_alpha, self.off_min)
+        }
+    }
+
+    /// Stationary probability of finding the source in an on-period.
+    pub fn on_probability(&self) -> f64 {
+        self.mean_on() / (self.mean_on() + self.mean_off())
+    }
+
     /// Adds this source's contribution over `[0, dt·bins.len())` to a
     /// rate accumulator (used by [`aggregate_trace`]). The source
     /// starts in a uniformly random phase of a fresh sojourn.
     fn add_to<R: Rng + ?Sized>(&self, rng: &mut R, dt: f64, bins: &mut [f64]) {
         let total = dt * bins.len() as f64;
         let mut t = 0.0;
-        let mut on = rng.gen_bool(self.mean_on() / (self.mean_on() + self.mean_off()));
+        let mut on = rng.gen_bool(self.on_probability());
         while t < total {
             let dur = if on {
                 Self::sample_pareto(rng, self.on_alpha, self.on_min)

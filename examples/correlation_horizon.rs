@@ -29,7 +29,8 @@ fn main() {
             let iv = TruncatedPareto::from_hurst(hurst, theta, tc);
             let model =
                 QueueModel::from_utilization(marginal.clone(), iv, utilization, buffer_s);
-            curve.push((tc, solve(&model, &opts).loss()));
+            let sol = SolveSession::builder(&model).options(&opts).solve();
+            curve.push((tc, sol.loss()));
         }
         let ch = empirical_horizon(&curve, 0.1).unwrap();
 
@@ -61,8 +62,8 @@ fn main() {
     let lrd_model =
         QueueModel::from_utilization(marginal.clone(), pareto, utilization, buffer_s);
     let srd_model = QueueModel::from_utilization(marginal.clone(), expo, utilization, buffer_s);
-    let l_lrd = solve(&lrd_model, &opts).loss();
-    let l_srd = solve(&srd_model, &opts).loss();
+    let l_lrd = SolveSession::builder(&lrd_model).options(&opts).solve().loss();
+    let l_srd = SolveSession::builder(&srd_model).options(&opts).solve().loss();
     println!("  LRD (truncated-Pareto, T_c = ∞): {l_lrd:.3e}");
     println!("  SRD (exponential, same mean):    {l_srd:.3e}");
     println!(

@@ -27,7 +27,7 @@ fn main() {
         rel_gap: -1.0,
         ..SolverOptions::default()
     };
-    match try_solve(&model, &bad) {
+    match SolveSession::builder(&model).options(&bad).run() {
         Ok(_) => unreachable!(),
         Err(e) => println!("typed error      : {e}"),
     }
@@ -39,7 +39,10 @@ fn main() {
         max_total_cost: 300.0,
         ..SolverOptions::default()
     };
-    let sol = try_solve(&model, &starved).expect("options are valid");
+    let (sol, _) = SolveSession::builder(&model)
+        .options(&starved)
+        .run()
+        .expect("options are valid");
     println!(
         "degraded bracket : [{:.3e}, {:.3e}] converged={}",
         sol.lower, sol.upper, sol.converged
@@ -58,7 +61,10 @@ fn main() {
         max_bins: 8,
         ..SolverOptions::default()
     };
-    let sol = try_solve(&model, &capped).expect("options are valid");
+    let (sol, _) = SolveSession::builder(&model)
+        .options(&capped)
+        .run()
+        .expect("options are valid");
     println!(
         "degraded bracket : [{:.3e}, {:.3e}] converged={}",
         sol.lower, sol.upper, sol.converged

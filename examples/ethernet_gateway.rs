@@ -47,7 +47,7 @@ fn main() {
             c,
             b,
         );
-        let predicted = solve(&model, &opts).loss();
+        let predicted = SolveSession::builder(&model).options(&opts).solve().loss();
         let shuffled = external_shuffle_seconds(&trace, 1.0, &mut rng);
         let sim_shuffled = simulate_trace(&shuffled, c, b).loss_rate;
         let sim_raw = simulate_trace(&trace, c, b).loss_rate;

@@ -27,10 +27,14 @@ fn main() {
     let buffer_s = 0.1;
     let horizon = 2.0; // comfortably above this queue's CH
 
-    let reference = solve(
-        &QueueModel::from_utilization(marginal.clone(), pareto, utilization, buffer_s),
-        &opts,
-    );
+    let reference = SolveSession::builder(&QueueModel::from_utilization(
+        marginal.clone(),
+        pareto,
+        utilization,
+        buffer_s,
+    ))
+    .options(&opts)
+    .solve();
     println!(
         "reference (truncated-Pareto, T_c = ∞): loss ∈ [{:.3e}, {:.3e}]",
         reference.lower, reference.upper
@@ -41,10 +45,14 @@ fn main() {
     println!("{}", "-".repeat(66));
     for states in [2usize, 4, 8, 16] {
         let mix: HyperExponential = fit_to_pareto(&pareto, horizon, states);
-        let sol = solve(
-            &QueueModel::from_utilization(marginal.clone(), mix.clone(), utilization, buffer_s),
-            &opts,
-        );
+        let sol = SolveSession::builder(&QueueModel::from_utilization(
+            marginal.clone(),
+            mix.clone(),
+            utilization,
+            buffer_s,
+        ))
+        .options(&opts)
+        .solve();
         // Largest ccdf deviation over the fitted range.
         let mut max_err: f64 = 0.0;
         for i in 0..100 {

@@ -36,7 +36,9 @@ fn main() {
             utilization,
             buffer_seconds,
         );
-        let sol = solve(&model, &SolverOptions::default());
+        let sol = SolveSession::builder(&model)
+            .options(&SolverOptions::default())
+            .solve();
         assert!(sol.converged, "solver failed to converge");
         println!(
             "{:>13} | {:>11.4e} | {:>11.4e} | {:>10} | {:>6}",
@@ -63,7 +65,9 @@ fn main() {
     use lrd_rng::SeedableRng;
     let intervals = TruncatedPareto::from_hurst(0.8, 0.05, 2.0);
     let model = QueueModel::from_utilization(marginal.clone(), intervals, utilization, buffer_seconds);
-    let sol = solve(&model, &SolverOptions::default());
+    let sol = SolveSession::builder(&model)
+        .options(&SolverOptions::default())
+        .solve();
     let source = FluidSource::new(marginal, intervals);
     let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(7);
     let (report, _) = simulate_source(

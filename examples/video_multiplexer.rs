@@ -44,7 +44,7 @@ fn main() {
             utilization,
             buffer_s,
         );
-        let sol = solve(&model, &opts);
+        let sol = SolveSession::builder(&model).options(&opts).solve();
         println!("  {:>10.1} | {}", buffer_s, fmt_loss(sol.loss()));
     }
 
@@ -55,7 +55,7 @@ fn main() {
     for n in [1usize, 2, 4, 6, 10] {
         let muxed = marginal.superpose(n, 200);
         let model = QueueModel::from_utilization(muxed, intervals, utilization, 0.5);
-        let sol = solve(&model, &opts);
+        let sol = SolveSession::builder(&model).options(&opts).solve();
         println!("  {:>9} | {}", n, fmt_loss(sol.loss()));
     }
 

@@ -152,4 +152,48 @@ cargo run -q --release --locked --example telemetry_check -- --fleet \
     --figure fig04_mtv_model --profile quick \
     "$fleetdir/w0-telemetry.jsonl" "$fleetdir/w1-telemetry.jsonl"
 
+echo "=== service smoke (lrd-serve: status, session/batch equivalence, shutdown) ==="
+# A frozen-clock daemon (state is a pure function of the flags), two
+# flows, queried through the bundled client: the roster must be fully
+# warmed, a converged incremental loss_bound must match the one-shot
+# solve of the same fitted model *textually* (write_json_f64 renders
+# exact shortest decimals, so bit-equality is string equality), and a
+# shutdown request must end the process cleanly with flushed telemetry.
+servedir="$smokedir/serve"
+mkdir -p "$servedir"
+cargo run -q --release --locked -p lrd-serve --bin lrd-serve -- \
+    --listen "unix:$servedir/daemon.sock" \
+    --flow mtv,family=pareto,service=10.0 \
+    --flow bc,family=markov,mean=0.05,service=10.0 \
+    --tick-ms 0 --warmup-ticks 2048 --window 256 --refresh-every 64 \
+    --seed 7 --telemetry "$servedir/serve-telemetry.jsonl" \
+    > "$servedir/serve.out" 2> /dev/null &
+serve_pid=$!
+for _ in $(seq 100); do
+    grep -q '^listening ' "$servedir/serve.out" 2>/dev/null && break
+    sleep 0.1
+done
+serve_endpoint="$(awk '/^listening /{print $2}' "$servedir/serve.out")"
+ask() {
+    cargo run -q --release --locked -p lrd-serve --bin lrd-serve -- \
+        --ask "$serve_endpoint" --request "$1"
+}
+serve_status="$(ask '{"kind":"status"}')"
+grep -q '"tick":2048' <<<"$serve_status"
+[ "$(grep -o '"warmed":true' <<<"$serve_status" | wc -l)" -eq 2 ]
+serve_bound=""
+for _ in $(seq 200); do
+    serve_bound="$(ask '{"kind":"loss_bound","flow":"bc","buffer":1.0}')"
+    grep -q '"converged":true' <<<"$serve_bound" && break
+done
+grep -q '"converged":true' <<<"$serve_bound"
+serve_solve="$(ask '{"kind":"solve","flow":"bc","buffer":1.0}')"
+extract_bracket() { sed -E 's/.*"lower":([^,]*),"upper":([^,]*),.*/\1 \2/' <<<"$1"; }
+[ "$(extract_bracket "$serve_bound")" = "$(extract_bracket "$serve_solve")" ]
+ask '{"kind":"provision","flow":"bc","target_loss":0.01}' \
+    | grep -q '"kind":"provision"'
+ask '{"kind":"shutdown"}' | grep -q '"kind":"bye"'
+wait "$serve_pid"
+grep -q '"name":"serve.queries"' "$servedir/serve-telemetry.jsonl"
+
 echo "ci: all gates passed"

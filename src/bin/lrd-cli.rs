@@ -214,7 +214,9 @@ fn cmd_solve(opts: &Flags) -> Result<(), String> {
     let c = service_rate(opts, &marginal)?;
     let b = buffer_mb(opts, c)?;
     let model = QueueModel::try_new(marginal, intervals, c, b).map_err(|e| e.to_string())?;
-    let sol = solve(&model, &SolverOptions::default());
+    let sol = SolveSession::builder(&model)
+        .options(&SolverOptions::default())
+        .solve();
     println!("service rate : {c:.4} Mb/s");
     println!("buffer       : {b:.4} Mb ({:.4} s)", model.normalized_buffer());
     println!("utilization  : {:.4}", model.utilization());

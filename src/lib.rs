@@ -36,7 +36,9 @@
 //! let model = QueueModel::from_utilization(marginal, intervals, 0.8, 0.2);
 //!
 //! // Provable loss-rate bounds.
-//! let solution = solve(&model, &SolverOptions::default());
+//! let solution = SolveSession::builder(&model)
+//!     .options(&SolverOptions::default())
+//!     .solve();
 //! assert!(solution.converged);
 //! assert!(solution.lower <= solution.upper);
 //! println!("loss rate in [{:.3e}, {:.3e}]", solution.lower, solution.upper);
@@ -56,9 +58,12 @@ pub use lrd_traffic as traffic;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    #[allow(deprecated)] // the legacy free functions remain in the prelude as shims
+    pub use lrd_fluidq::{solve, try_solve};
     pub use lrd_fluidq::{
-        correlation_horizon, empirical_horizon, solve, try_solve, BoundSolver, DegradationReason,
-        GapHistory, GapSample, LossKernel, LossSolution, QueueModel, SolverError, SolverOptions,
+        correlation_horizon, empirical_horizon, BoundSolver, DegradationReason, GapHistory,
+        GapSample, LossKernel, LossSolution, QueueModel, SessionBuilder, SessionPhase,
+        SolveSession, SolverError, SolverOptions,
     };
     pub use lrd_sim::{
         simulate_source, simulate_trace, try_simulate_source, try_simulate_trace, FluidQueue,

@@ -306,6 +306,15 @@ fn lossy_model() -> QueueModel<TruncatedPareto> {
     )
 }
 
+/// Fallible solve through the session API — the typed-error surface
+/// under test.
+fn session_solve(
+    model: &QueueModel<TruncatedPareto>,
+    opts: &SolverOptions,
+) -> Result<LossSolution, SolverError> {
+    Ok(SolveSession::builder(model).options(opts).run()?.0)
+}
+
 #[test]
 fn invalid_solver_options_are_typed_errors() {
     let bad: Vec<SolverOptions> = vec![
@@ -326,7 +335,7 @@ fn invalid_solver_options_are_typed_errors() {
     ];
     let model = lossy_model();
     for opts in &bad {
-        match try_solve(&model, opts) {
+        match session_solve(&model, opts) {
             Err(SolverError::InvalidOption { .. }) => {}
             other => panic!("expected InvalidOption for {opts:?}, got {other:?}"),
         }
@@ -340,7 +349,7 @@ fn budget_starved_solver_degrades_instead_of_failing() {
         rel_gap: 1e-9, // unreachable: forces the budget path
         ..SolverOptions::default()
     };
-    let sol = try_solve(&lossy_model(), &opts).expect("valid options");
+    let sol = session_solve(&lossy_model(), &opts).expect("valid options");
     assert!(!sol.converged);
     assert!(sol.is_degraded());
     assert!(matches!(
@@ -360,7 +369,7 @@ fn grid_ceiling_degrades_instead_of_failing() {
         rel_gap: 1e-9,
         ..SolverOptions::default()
     };
-    let sol = try_solve(&lossy_model(), &opts).expect("valid options");
+    let sol = session_solve(&lossy_model(), &opts).expect("valid options");
     assert!(!sol.converged);
     assert_eq!(sol.bins, 8);
     assert!(matches!(
@@ -382,7 +391,7 @@ fn stall_triggers_refinement_before_hitting_the_ceiling() {
         rel_gap: 1e-9,
         ..SolverOptions::default()
     };
-    let sol = try_solve(&lossy_model(), &opts).expect("valid options");
+    let sol = session_solve(&lossy_model(), &opts).expect("valid options");
     assert!(!sol.converged);
     assert_eq!(sol.bins, 16, "stall did not trigger refinement");
     assert!(matches!(
@@ -402,7 +411,7 @@ fn bound_solver_rejects_degenerate_grids() {
 
 #[test]
 fn clean_solve_reports_no_degradation() {
-    let sol = try_solve(&lossy_model(), &SolverOptions::default()).expect("valid options");
+    let sol = session_solve(&lossy_model(), &SolverOptions::default()).expect("valid options");
     assert!(sol.converged);
     assert!(!sol.is_degraded());
     assert_eq!(sol.degradation, None);
@@ -416,7 +425,7 @@ fn error_messages_are_informative() {
     let msg = e.to_string();
     assert!(msg.contains("alpha") && msg.contains("(1, 2)") && msg.contains("2.5"), "{msg}");
 
-    let e = try_solve(
+    let e = session_solve(
         &lossy_model(),
         &SolverOptions { rel_gap: -1.0, ..SolverOptions::default() },
     )
@@ -449,7 +458,7 @@ fn degraded_solves_emit_typed_telemetry_events() {
             rel_gap: 1e-9,
             ..SolverOptions::default()
         };
-        let sol = try_solve(&lossy_model(), &budget_starved).expect("valid options");
+        let sol = session_solve(&lossy_model(), &budget_starved).expect("valid options");
         assert!(matches!(sol.degradation, Some(DegradationReason::BudgetExhausted { .. })));
 
         let ceiling_bound = SolverOptions {
@@ -457,7 +466,7 @@ fn degraded_solves_emit_typed_telemetry_events() {
             rel_gap: 1e-9,
             ..SolverOptions::default()
         };
-        let sol = try_solve(&lossy_model(), &ceiling_bound).expect("valid options");
+        let sol = session_solve(&lossy_model(), &ceiling_bound).expect("valid options");
         assert!(matches!(sol.degradation, Some(DegradationReason::GridCeiling { max_bins: 4 })));
     }
     let degraded = collector.events("solver.degraded");

@@ -16,13 +16,13 @@ fn fitted_markov_model_matches_lrd_loss_below_horizon() {
     let buffer_s = 0.1;
     let lrd_model =
         QueueModel::from_utilization(marginal.clone(), pareto, 0.8, buffer_s);
-    let reference = solve(&lrd_model, &opts);
+    let reference = SolveSession::builder(&lrd_model).options(&opts).solve();
     assert!(reference.converged);
 
     // Fit up to a horizon comfortably above this queue's CH.
     let mix = fit_to_pareto(&pareto, 2.0, 8);
     let markov_model = QueueModel::from_utilization(marginal, mix, 0.8, buffer_s);
-    let fitted = solve(&markov_model, &opts);
+    let fitted = SolveSession::builder(&markov_model).options(&opts).solve();
     assert!(fitted.converged);
 
     let ratio = (fitted.loss() / reference.loss()).max(reference.loss() / fitted.loss());
@@ -42,18 +42,22 @@ fn fit_quality_improves_loss_agreement() {
     let pareto = TruncatedPareto::from_hurst(0.8, 0.05, f64::INFINITY);
     let opts = SolverOptions::default();
     let buffer_s = 0.1;
-    let reference = solve(
-        &QueueModel::from_utilization(marginal.clone(), pareto, 0.8, buffer_s),
-        &opts,
-    )
-    .loss();
+    let reference =
+        SolveSession::builder(&QueueModel::from_utilization(marginal.clone(), pareto, 0.8, buffer_s))
+            .options(&opts)
+            .solve()
+            .loss();
 
     let loss_error = |states: usize| {
         let mix = fit_to_pareto(&pareto, 2.0, states);
-        let l = solve(
-            &QueueModel::from_utilization(marginal.clone(), mix, 0.8, buffer_s),
-            &opts,
-        )
+        let l = SolveSession::builder(&QueueModel::from_utilization(
+            marginal.clone(),
+            mix,
+            0.8,
+            buffer_s,
+        ))
+        .options(&opts)
+        .solve()
         .loss();
         (l / reference).max(reference / l)
     };
@@ -76,27 +80,26 @@ fn unfitted_exponential_is_the_contrast() {
     let opts = SolverOptions::default();
     let buffer_s = 0.4;
 
-    let reference = solve(
-        &QueueModel::from_utilization(marginal.clone(), pareto, 0.8, buffer_s),
-        &opts,
-    )
-    .loss();
-    let expo = solve(
-        &QueueModel::from_utilization(
-            marginal.clone(),
-            Exponential::new(pareto.mean()),
-            0.8,
-            buffer_s,
-        ),
-        &opts,
-    )
+    let reference =
+        SolveSession::builder(&QueueModel::from_utilization(marginal.clone(), pareto, 0.8, buffer_s))
+            .options(&opts)
+            .solve()
+            .loss();
+    let expo = SolveSession::builder(&QueueModel::from_utilization(
+        marginal.clone(),
+        Exponential::new(pareto.mean()),
+        0.8,
+        buffer_s,
+    ))
+    .options(&opts)
+    .solve()
     .loss();
     let mix = fit_to_pareto(&pareto, 8.0, 10);
-    let fitted = solve(
-        &QueueModel::from_utilization(marginal, mix, 0.8, buffer_s),
-        &opts,
-    )
-    .loss();
+    let fitted =
+        SolveSession::builder(&QueueModel::from_utilization(marginal, mix, 0.8, buffer_s))
+            .options(&opts)
+            .solve()
+            .loss();
 
     let err = |l: f64| (l / reference).max(reference / l);
     assert!(

@@ -123,11 +123,14 @@ fn marginal_transformations_compose_with_queueing() {
     let iv = TruncatedPareto::new(0.05, 1.4, 2.0);
     let opts = SolverOptions::default();
     let base = QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.3);
-    let l_base = solve(&base, &opts).loss();
+    let loss_of = |m: &QueueModel<TruncatedPareto>| {
+        SolveSession::builder(m).options(&opts).solve().loss()
+    };
+    let l_base = loss_of(&base);
 
-    let l_narrow = solve(&base.with_marginal(marginal.scaled(0.6)), &opts).loss();
-    let l_wide = solve(&base.with_marginal(marginal.scaled(1.4)), &opts).loss();
-    let l_muxed = solve(&base.with_marginal(marginal.superpose(4, 200)), &opts).loss();
+    let l_narrow = loss_of(&base.with_marginal(marginal.scaled(0.6)));
+    let l_wide = loss_of(&base.with_marginal(marginal.scaled(1.4)));
+    let l_muxed = loss_of(&base.with_marginal(marginal.superpose(4, 200)));
 
     assert!(l_narrow < l_base, "narrowing must reduce loss: {l_narrow} vs {l_base}");
     assert!(l_wide > l_base, "widening must raise loss: {l_wide} vs {l_base}");

@@ -32,7 +32,7 @@ fn finding_1_correlation_horizon_exists() {
                 0.8,
                 buffer_s,
             );
-            (tc, solve(&model, &opts).loss())
+            (tc, SolveSession::builder(&model).options(&opts).solve().loss())
         })
         .collect();
     let horizon = empirical_horizon(&losses, 0.15).expect("horizon");
@@ -61,7 +61,7 @@ fn finding_2_buffers_ineffective_for_lrd() {
             0.8,
             b,
         );
-        solve(&model, &opts).loss()
+        SolveSession::builder(&model).options(&opts).solve().loss()
     };
     // SRD (short cutoff): buffer growth is very effective.
     let srd_gain = loss_at(0.05, 0.02) / loss_at(0.05, 0.5).max(1e-12);
@@ -85,7 +85,7 @@ fn finding_3_marginal_scaling_has_considerable_impact() {
             0.8,
             1.0,
         );
-        solve(&model, &opts).loss()
+        SolveSession::builder(&model).options(&opts).solve().loss()
     };
     let wide = loss_for(1.5);
     let narrow = loss_for(0.5);
@@ -102,24 +102,16 @@ fn finding_4_multiplexing_beats_buffering() {
     let opts = SolverOptions::default();
     let iv = TruncatedPareto::new(theta, alpha, f64::INFINITY);
 
+    let loss_of = |m: &QueueModel<TruncatedPareto>| {
+        SolveSession::builder(m).options(&opts).solve().loss()
+    };
     // Baseline: one stream, 0.2 s buffer.
-    let one = solve(
-        &QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.2),
-        &opts,
-    )
-    .loss();
+    let one = loss_of(&QueueModel::from_utilization(marginal.clone(), iv, 0.8, 0.2));
     // Buffering: same stream, 10× the buffer.
-    let big_buffer = solve(
-        &QueueModel::from_utilization(marginal.clone(), iv, 0.8, 2.0),
-        &opts,
-    )
-    .loss();
+    let big_buffer = loss_of(&QueueModel::from_utilization(marginal.clone(), iv, 0.8, 2.0));
     // Multiplexing: five streams, same per-stream buffer.
-    let muxed = solve(
-        &QueueModel::from_utilization(marginal.superpose(5, 200), iv, 0.8, 0.2),
-        &opts,
-    )
-    .loss();
+    let muxed =
+        loss_of(&QueueModel::from_utilization(marginal.superpose(5, 200), iv, 0.8, 0.2));
 
     assert!(muxed < one, "multiplexing failed to help: {muxed:.2e} vs {one:.2e}");
     assert!(

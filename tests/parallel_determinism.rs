@@ -17,7 +17,13 @@ fn solve_with<D: Interarrival + Clone>(
     opts: &SolverOptions,
     threads: usize,
 ) -> LossSolution {
-    with_threads(threads, || try_solve(model, opts).expect("solve failed"))
+    with_threads(threads, || {
+        SolveSession::builder(model)
+            .options(opts)
+            .run()
+            .expect("solve failed")
+            .0
+    })
 }
 
 /// Asserts two solutions are byte-identical, comparing floats through
@@ -109,7 +115,10 @@ fn figure_grid_fanout_is_thread_count_invariant() {
             let intervals = TruncatedPareto::from_hurst(0.8, 0.05, tc);
             let model =
                 QueueModel::from_utilization(marginal.clone(), intervals, 0.8, b);
-            solve(&model, &SolverOptions::default()).loss()
+            SolveSession::builder(&model)
+                .options(&SolverOptions::default())
+                .solve()
+                .loss()
         })
     };
     let serial: Vec<u64> = with_threads(1, solve_grid).iter().map(|v| v.to_bits()).collect();

@@ -139,7 +139,7 @@ fn solve_midpoint_within_bounds() {
             max_bins: 1 << 12,
             ..SolverOptions::default()
         };
-        let sol = solve(&model, &opts);
+        let sol = SolveSession::builder(&model).options(&opts).solve();
         assert!(sol.lower >= 0.0, "case {case}");
         assert!(sol.upper <= 1.0 + 1e-9, "case {case}: loss rate above 1: {}", sol.upper);
         assert!(

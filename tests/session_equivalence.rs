@@ -1,0 +1,106 @@
+//! The resumable [`SolveSession`] is a pure control-flow refactor of
+//! the historical one-shot protocol: chopping a solve into arbitrarily
+//! small `step_budget` chunks must change *when* work happens, never
+//! *what* is computed. This suite drives every sweep figure in the
+//! registry through heavily chunked sessions and demands the surfaces
+//! match the one-shot path bit for bit; it also pins the deprecated
+//! free functions to the session they now delegate to.
+
+use lrd::prelude::*;
+use lrd_experiments::figures::Profile;
+use lrd_experiments::run::FigureKind;
+use lrd_experiments::sweep::{run_points, ShardSpec};
+use lrd_experiments::{Corpus, FIGURES};
+use lrd_fluidq::{set_session_run_chunk, DEFAULT_RUN_CHUNK};
+
+/// Restores the default run chunk even if an assertion unwinds, so a
+/// failure here cannot poison unrelated solves in this binary.
+struct ChunkGuard;
+
+impl Drop for ChunkGuard {
+    fn drop(&mut self) {
+        set_session_run_chunk(DEFAULT_RUN_CHUNK);
+    }
+}
+
+#[test]
+fn chunked_sessions_reproduce_every_registry_figure_bitwise() {
+    let corpus = Corpus::quick();
+    let _restore = ChunkGuard;
+    let mut figures = 0usize;
+    for spec in FIGURES {
+        let FigureKind::Sweep { build, .. } = &spec.kind else {
+            continue;
+        };
+        let sweep = build(&corpus, Profile::Quick);
+
+        // Reference surface: the production one-shot path (the same
+        // code the legacy shims run).
+        set_session_run_chunk(DEFAULT_RUN_CHUNK);
+        let reference = run_points(&sweep, &ShardSpec::FULL, None).unwrap();
+
+        // Chunked surface: every solve inside the figure closures now
+        // advances its session three iterations per `step_budget`
+        // call, crossing probe fallbacks, refinement epochs and level
+        // boundaries mid-chunk.
+        set_session_run_chunk(3);
+        let chunked = run_points(&sweep, &ShardSpec::FULL, None).unwrap();
+        set_session_run_chunk(DEFAULT_RUN_CHUNK);
+
+        assert_eq!(reference.len(), chunked.len(), "{}", spec.name);
+        for (r, c) in reference.iter().zip(&chunked) {
+            assert_eq!(r.index, c.index, "{}", spec.name);
+            assert_eq!(
+                r.value.to_bits(),
+                c.value.to_bits(),
+                "{}: point {} value moved under chunked stepping",
+                spec.name,
+                r.index
+            );
+            assert_eq!(r.converged, c.converged, "{}: point {}", spec.name, r.index);
+            assert_eq!(r.iterations, c.iterations, "{}: point {}", spec.name, r.index);
+            assert_eq!(r.bins, c.bins, "{}: point {}", spec.name, r.index);
+        }
+        figures += 1;
+    }
+    // fig04/05, fig10/11, fig12/13 and ch_validation are all sweeps;
+    // anything less means the registry walk silently skipped figures.
+    assert!(figures >= 7, "only {figures} sweep figures compared");
+}
+
+#[test]
+fn deprecated_free_functions_delegate_to_the_session_bitwise() {
+    let corpus = Corpus::quick();
+    let model = corpus.mtv.model(0.8, 0.1, 0.5);
+    let opts = SolverOptions::sweep_profile();
+
+    #[allow(deprecated)]
+    let legacy = lrd::fluidq::solve(&model, &opts);
+    let session = SolveSession::builder(&model).options(&opts).solve();
+    assert_eq!(legacy.lower.to_bits(), session.lower.to_bits());
+    assert_eq!(legacy.upper.to_bits(), session.upper.to_bits());
+    assert_eq!(legacy.iterations, session.iterations);
+    assert_eq!(legacy.bins, session.bins);
+    assert_eq!(legacy.converged, session.converged);
+
+    // The warm pair: the shim and the builder must export identical
+    // donor state and certify identically from it.
+    #[allow(deprecated)]
+    let (l_sol, l_state) = lrd_fluidq::solve_warm(&model, &opts, None);
+    let (s_sol, s_state) = SolveSession::builder(&model).options(&opts).solve_warm();
+    assert_eq!(l_sol.upper.to_bits(), s_sol.upper.to_bits());
+    assert_eq!(l_state.bins(), s_state.bins());
+    assert_eq!(l_state.is_zero(), s_state.is_zero());
+
+    let bigger = corpus.mtv.model(0.8, 0.2, 0.5);
+    #[allow(deprecated)]
+    let l_warm = lrd_fluidq::solve_warm(&bigger, &opts, Some(&l_state)).0;
+    let s_warm = SolveSession::builder(&bigger)
+        .options(&opts)
+        .donor(Some(&s_state))
+        .solve_warm()
+        .0;
+    assert_eq!(l_warm.lower.to_bits(), s_warm.lower.to_bits());
+    assert_eq!(l_warm.upper.to_bits(), s_warm.upper.to_bits());
+    assert_eq!(l_warm.iterations, s_warm.iterations);
+}

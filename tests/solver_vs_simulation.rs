@@ -9,7 +9,9 @@ use lrd_rng::SeedableRng;
 /// Asserts that the simulated loss rate falls inside (a slightly
 /// widened copy of) the solver's provable bounds.
 fn check(model: &QueueModel<TruncatedPareto>, seed: u64, intervals: usize) {
-    let sol = solve(model, &SolverOptions::default());
+    let sol = SolveSession::builder(model)
+        .options(&SolverOptions::default())
+        .solve();
     assert!(sol.converged, "solver did not converge for {model:?}");
     let source = FluidSource::new(model.marginal().clone(), *model.intervals());
     let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(seed);
@@ -81,7 +83,9 @@ fn multi_rate_marginal_and_low_utilization() {
 fn exponential_intervals_agree_too() {
     let marginal = Marginal::new(&[2.0, 14.0], &[0.5, 0.5]);
     let model = QueueModel::from_utilization(marginal.clone(), Exponential::new(0.08), 0.8, 0.2);
-    let sol = solve(&model, &SolverOptions::default());
+    let sol = SolveSession::builder(&model)
+        .options(&SolverOptions::default())
+        .solve();
     assert!(sol.converged);
     let source = FluidSource::new(marginal, Exponential::new(0.08));
     let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(42);

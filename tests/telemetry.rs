@@ -70,7 +70,11 @@ fn jsonl_stream_round_trips_through_the_in_tree_parser() {
     let buf = SharedBuf::default();
     let sol = {
         let _guard = obs::install(Arc::new(obs::JsonlSubscriber::new(Box::new(buf.clone()))));
-        try_solve(&bursty_model(), &refining_options()).expect("valid options")
+        SolveSession::builder(&bursty_model())
+            .options(&refining_options())
+            .run()
+            .expect("valid options")
+            .0
     };
     // Dropping the guard flushed the sink, draining aggregated
     // counters; every line must now parse with the in-tree parser.
@@ -132,7 +136,11 @@ fn gap_series_narrows_across_refinement_epochs() {
     // The solver still emits telemetry while another test's sink is
     // installed, so hold the lock even though none is installed here.
     let _serial = telemetry_lock();
-    let sol = try_solve(&bursty_model(), &refining_options()).expect("valid options");
+    let sol = SolveSession::builder(&bursty_model())
+        .options(&refining_options())
+        .run()
+        .expect("valid options")
+        .0;
 
     assert_eq!(sol.refinement_epochs.len(), 2);
     assert_eq!(sol.refinement_epochs[0], (16, 16), "(iteration, new bins)");
@@ -174,7 +182,11 @@ fn gap_series_narrows_across_refinement_epochs() {
 #[test]
 fn converged_solve_records_history_without_refining() {
     let _serial = telemetry_lock();
-    let sol = try_solve(&bursty_model(), &SolverOptions::default()).expect("valid options");
+    let sol = SolveSession::builder(&bursty_model())
+        .options(&SolverOptions::default())
+        .run()
+        .expect("valid options")
+        .0;
     assert!(sol.converged);
     assert!(sol.refinement_epochs.is_empty(), "default solve converges on one grid");
     let last = sol.gap_history.latest().expect("history recorded");

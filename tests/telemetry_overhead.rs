@@ -46,7 +46,11 @@ fn solve_once() -> LossSolution {
         rel_gap: 1e-9,
         ..SolverOptions::default()
     };
-    try_solve(&model, &opts).expect("valid options")
+    SolveSession::builder(&model)
+        .options(&opts)
+        .run()
+        .expect("valid options")
+        .0
 }
 
 fn allocations_while(f: impl FnOnce()) -> usize {

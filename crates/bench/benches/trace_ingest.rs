@@ -1,0 +1,94 @@
+//! Benches of the out-of-core trace pipeline: corpus generation
+//! (write side) and the two-pass bounded-memory ingestion (read side).
+//!
+//! The exported `BENCH_<rev>.json` entry is the acceptance evidence
+//! for the pipeline's scaling claim: the `trace.packets_per_s`
+//! histogram records sustained ingestion throughput and
+//! `trace.peak_rss_kb` the process's high-water memory mark, which
+//! must stay flat however large the corpus. The corpus size is an
+//! environment knob so CI stays small while the multi-GiB acceptance
+//! run uses the same binary:
+//!
+//! ```text
+//! cargo bench -p lrd-bench --bench trace_ingest                  # ~9 MiB corpus
+//! LRD_TRACE_BENCH_BINS=2097152 cargo bench -p lrd-bench \
+//!     --bench trace_ingest                                       # ~1.2 GiB corpus
+//! ```
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use lrd_bench::Harness;
+use lrd_trace::{ingest_file, peak_rss_kb, reset_peak_rss, write_corpus, CorpusKind, CorpusSpec};
+
+/// Rate bins to packetize. The default (2^14 ≈ 590k packets, ~9 MiB)
+/// keeps CI fast; `LRD_TRACE_BENCH_BINS=2097152` produces the ≥ 1 GiB
+/// corpus of the acceptance run (~75M packets).
+fn corpus_bins() -> usize {
+    std::env::var("LRD_TRACE_BENCH_BINS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 14)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lrd_bench_{name}_{}.lrdpkt", std::process::id()))
+}
+
+fn bench_trace_pipeline(c: &mut Harness) {
+    let bins = corpus_bins();
+    let spec = CorpusSpec::new(CorpusKind::Mtv, bins);
+    let mut g = c.group("trace_ingest");
+    // Each sample is a full file pass; batching beyond that only
+    // multiplies minutes at the GiB scale.
+    g.sample_size(3);
+
+    let gen_path = scratch("gen");
+    g.bench_function(format!("gen/{bins}_bins"), |b| {
+        b.iter(|| {
+            let t0 = Instant::now();
+            let info = write_corpus(&gen_path, &spec).expect("corpus write");
+            lrd_obs::histogram(
+                "trace.gen_packets_per_s",
+                info.packets as f64 / t0.elapsed().as_secs_f64(),
+            );
+            black_box(info)
+        })
+    });
+    std::fs::remove_file(&gen_path).ok();
+
+    // The read side streams a corpus written once up front.
+    let ingest_path = scratch("ingest");
+    let info = write_corpus(&ingest_path, &spec).expect("corpus write");
+    println!(
+        "trace_ingest: corpus is {} packets, {:.1} MiB on disk",
+        info.packets,
+        info.file_bytes as f64 / (1u64 << 20) as f64
+    );
+    g.bench_function(format!("two_pass/{bins}_bins"), |b| {
+        b.iter(|| {
+            // Drop the generation stage's high-water mark so the RSS
+            // histogram records the ingestion passes alone.
+            reset_peak_rss();
+            let t0 = Instant::now();
+            let report = ingest_file(&ingest_path, info.dt, 50).expect("ingestion");
+            lrd_obs::histogram(
+                "trace.packets_per_s",
+                report.packets as f64 / t0.elapsed().as_secs_f64(),
+            );
+            if let Some(kb) = peak_rss_kb() {
+                lrd_obs::histogram("trace.peak_rss_kb", kb as f64);
+            }
+            black_box(report)
+        })
+    });
+    std::fs::remove_file(&ingest_path).ok();
+    g.finish();
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    bench_trace_pipeline(&mut h);
+    h.finish();
+}

@@ -1,0 +1,6 @@
+//! Extension: loss vs (buffer, cutoff) with every model input estimated
+//! from an on-disk packet corpus by the out-of-core ingestion pipeline.
+
+fn main() -> std::process::ExitCode {
+    lrd_experiments::figure_main("trace_loss")
+}

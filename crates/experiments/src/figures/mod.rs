@@ -13,6 +13,7 @@ pub mod fig12_13;
 pub mod fig14;
 pub mod ch_validation;
 pub mod markov_baseline;
+pub mod trace_loss;
 
 /// Grid-size profile: `Quick` keeps every experiment under a couple of
 /// seconds for tests; `Full` reproduces the published resolution.

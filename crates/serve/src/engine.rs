@@ -272,6 +272,7 @@ impl Engine {
                     samples: window.len() as u64,
                     mean_rate: window.mean(),
                     hurst: flow.hurst().current().map(|pair| pair.pooled()),
+                    hurst_staleness: flow.hurst().staleness() as u64,
                     warmed: flow.warmed(),
                 }
             })
@@ -547,6 +548,84 @@ mod tests {
         assert_eq!(tick, 0);
         assert_eq!(flows.len(), 1);
         assert!(!flows[0].warmed);
+    }
+
+    #[test]
+    fn degenerate_flow_window_never_panics_the_daemon() {
+        // The bugfix contract end to end: a window whose every dyadic
+        // block is constant used to panic inside the estimators (and
+        // take the daemon down mid-`tick`). Now the failed refresh is
+        // swallowed, the flow simply stays cold, and every protocol
+        // request still gets an answer line.
+        let mut engine = markov_engine();
+        let flow = engine.flows.get_mut("m").unwrap();
+        for _ in 0..32 {
+            flow.inject_sample(1.0);
+        }
+        for _ in 0..32 {
+            flow.inject_sample(2.0);
+        }
+        // The window is full (64 samples) but no estimate exists, so
+        // queries degrade to the typed cold-flow error, never a panic.
+        assert!(matches!(
+            engine.loss_bound("m", 1.0),
+            Err(EngineError::NotWarmed { .. })
+        ));
+        let response = engine.handle(&Request::LossBound {
+            flow: "m".to_string(),
+            buffer: 1.0,
+        });
+        assert!(matches!(response, Response::Error { .. }));
+        // The roster still answers and reports the failure honestly:
+        // unwarmed, no estimate, and a staleness clock that has been
+        // running since the first push.
+        let Response::Status { flows, .. } = engine.status() else {
+            panic!("expected status");
+        };
+        assert_eq!(flows[0].samples, 64);
+        assert!(!flows[0].warmed);
+        assert!(flows[0].hurst.is_none());
+        assert_eq!(flows[0].hurst_staleness, 64);
+        // Once varied samples displace the degenerate window the flow
+        // warms up and answers for real.
+        let flow = engine.flows.get_mut("m").unwrap();
+        for i in 0..128 {
+            flow.inject_sample(2.0 + (i % 7) as f64 * 0.5);
+        }
+        assert!(engine.loss_bound("m", 1.0).is_ok(), "flow never recovered");
+    }
+
+    #[test]
+    fn constant_flood_keeps_the_stale_estimate_serving() {
+        // A warmed flow whose source degenerates to a constant keeps
+        // serving the last good estimate; the roster exposes the rising
+        // staleness so operators can see the estimate is frozen.
+        let mut engine = warmed_markov_engine();
+        let flow = engine.flows.get_mut("m").unwrap();
+        for _ in 0..256 {
+            flow.inject_sample(5.0);
+        }
+        let Response::Status { flows, .. } = engine.status() else {
+            panic!("expected status");
+        };
+        assert!(flows[0].warmed, "stale estimate must keep the flow warm");
+        assert!(flows[0].hurst.is_some());
+        let cadence = quick_options().refresh_every as u64;
+        assert!(
+            flows[0].hurst_staleness > cadence,
+            "staleness {} should have breached the cadence {cadence}",
+            flows[0].hurst_staleness
+        );
+        // Queries still answer over the wire — possibly from a stale
+        // model, never via a panic.
+        let response = engine.handle(&Request::LossBound {
+            flow: "m".to_string(),
+            buffer: 1.0,
+        });
+        assert!(
+            !matches!(response, Response::Error { .. }),
+            "stale-but-warm flow should still answer: {response:?}"
+        );
     }
 
     #[test]

@@ -226,6 +226,15 @@ impl Flow {
         }
         self.hurst.push(work / dt);
     }
+
+    /// Pushes one rate sample straight into the window, bypassing the
+    /// segment stream. Test seam: lets the engine tests drive a flow's
+    /// window into exact degenerate shapes (constant, every-block-
+    /// constant) that the synthetic sources never emit on their own.
+    #[cfg(test)]
+    pub(crate) fn inject_sample(&mut self, v: f64) {
+        self.hurst.push(v);
+    }
 }
 
 #[cfg(test)]

@@ -139,6 +139,11 @@ pub struct FlowStatus {
     /// The pooled streaming Hurst estimate, once the window has filled
     /// with non-constant data.
     pub hurst: Option<f64>,
+    /// Pushes absorbed since the Hurst estimate was last refreshed.
+    /// Grows past the refresh cadence when the window degenerates (for
+    /// example every block constant) and the daemon keeps serving the
+    /// stale cached estimate instead of panicking.
+    pub hurst_staleness: u64,
     /// Whether the flow can answer model queries yet (window full and
     /// an estimate cached).
     pub warmed: bool,
@@ -210,7 +215,10 @@ impl Response {
                         Some(h) => write_json_f64(&mut out, h),
                         None => out.push_str("null"),
                     }
-                    out.push_str(&format!(",\"warmed\":{}}}", f.warmed));
+                    out.push_str(&format!(
+                        ",\"hurst_staleness\":{},\"warmed\":{}}}",
+                        f.hurst_staleness, f.warmed
+                    ));
                 }
                 out.push(']');
             }
@@ -287,6 +295,10 @@ impl Response {
                         samples: f.get("samples").and_then(Json::as_u64).unwrap_or(0),
                         mean_rate: f.get("mean_rate").and_then(Json::as_num).unwrap_or(0.0),
                         hurst: f.get("hurst").and_then(Json::as_num),
+                        hurst_staleness: f
+                            .get("hurst_staleness")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0),
                         warmed: f.get("warmed").and_then(Json::as_bool).unwrap_or(false),
                     });
                 }
@@ -367,6 +379,7 @@ mod tests {
                         samples: 1024,
                         mean_rate: 8.125,
                         hurst: Some(0.8125),
+                        hurst_staleness: 3,
                         warmed: true,
                     },
                     FlowStatus {
@@ -375,6 +388,7 @@ mod tests {
                         samples: 12,
                         mean_rate: 0.25,
                         hurst: None,
+                        hurst_staleness: 0,
                         warmed: false,
                     },
                 ],

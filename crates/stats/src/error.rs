@@ -1,0 +1,193 @@
+//! Typed errors for the estimators and histograms.
+//!
+//! Mirrors the workspace error policy (DESIGN.md §8): every panicking
+//! entry point has a fallible `try_*` sibling returning a typed error
+//! whose `Display` form *is* the panic message, so matching on the
+//! variant and printing the error are equally informative and the
+//! legacy `#[should_panic]` tests keep working against the shims.
+//!
+//! The estimator errors exist because a Hurst estimator can fail on
+//! inputs that pass every cheap precondition: a window whose overall
+//! variance is positive but whose every analysis block is constant
+//! leaves rescaled-range analysis with fewer than two regression
+//! points. Before these types existed that window silently produced
+//! `H = NaN` (or panicked inside the regression), and the streaming
+//! path could take down the `lrd-serve` daemon; see
+//! `crates/stats/src/streaming.rs` for how the service now degrades.
+
+use std::fmt;
+
+/// Why a Hurst estimator could not produce an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorError {
+    /// The series is shorter than the estimator's minimum.
+    TooFewSamples {
+        /// Which estimator rejected the series.
+        estimator: &'static str,
+        /// The minimum sample count.
+        needed: usize,
+        /// The offered sample count.
+        got: usize,
+    },
+    /// The series is constant: there is no scaling behaviour to
+    /// estimate.
+    ZeroVariance {
+        /// Which estimator rejected the series.
+        estimator: &'static str,
+    },
+    /// After filtering degenerate blocks/levels, fewer than two
+    /// regression points survived — the log-log slope is undefined.
+    /// This is the "overall variance positive but every block
+    /// constant" window.
+    TooFewPoints {
+        /// Which estimator ran out of points.
+        estimator: &'static str,
+        /// Surviving regression points.
+        got: usize,
+    },
+    /// No admissible block sizes / octaves for this series length and
+    /// configuration.
+    NoUsableScales {
+        /// Which estimator had no scales to regress over.
+        estimator: &'static str,
+    },
+    /// The wavelet pyramid was too shallow to regress an energy slope.
+    TooFewOctaves {
+        /// Which estimator rejected the pyramid.
+        estimator: &'static str,
+        /// The minimum usable octave count.
+        needed: usize,
+        /// The achieved octave count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EstimatorError::TooFewSamples {
+                estimator,
+                needed,
+                got,
+            } => write!(
+                f,
+                "{estimator} needs at least {needed} samples, got {got}"
+            ),
+            EstimatorError::ZeroVariance { estimator } => {
+                write!(f, "{estimator} is undefined for a constant series")
+            }
+            EstimatorError::TooFewPoints { estimator, got } => write!(
+                f,
+                "{estimator} has {got} usable regression point(s); \
+                 at least 2 are needed for a slope"
+            ),
+            EstimatorError::NoUsableScales { estimator } => {
+                write!(f, "{estimator} has no usable block sizes for this series")
+            }
+            EstimatorError::TooFewOctaves {
+                estimator,
+                needed,
+                got,
+            } => write!(
+                f,
+                "{estimator} needs at least {needed} usable octaves, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {}
+
+/// Why a histogram constructor rejected its input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistogramError {
+    /// `bins == 0`.
+    NoBins,
+    /// A range bound was NaN or infinite.
+    NonFiniteBound {
+        /// The offending lower bound.
+        min: f64,
+        /// The offending upper bound.
+        max: f64,
+    },
+    /// `max <= min`: the range is empty, every bin would have zero
+    /// width and `bin_index` would divide by zero.
+    EmptyRange {
+        /// The offered lower bound.
+        min: f64,
+        /// The offered upper bound.
+        max: f64,
+    },
+    /// `from_data` was called with no data.
+    NoData,
+    /// `from_data` saw a NaN or infinite observation.
+    NonFiniteDatum {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            HistogramError::NoBins => write!(f, "histogram needs at least one bin"),
+            HistogramError::NonFiniteBound { min, max } => {
+                write!(f, "bounds must be finite, got [{min}, {max}]")
+            }
+            HistogramError::EmptyRange { min, max } => {
+                write!(f, "histogram range must be non-empty: [{min}, {max}]")
+            }
+            HistogramError::NoData => write!(f, "cannot build a histogram from no data"),
+            HistogramError::NonFiniteDatum { value } => {
+                write!(f, "histogram data must be finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_display_names_the_estimator() {
+        let e = EstimatorError::TooFewSamples {
+            estimator: "R/S analysis",
+            needed: 64,
+            got: 10,
+        };
+        assert_eq!(e.to_string(), "R/S analysis needs at least 64 samples, got 10");
+        let e = EstimatorError::TooFewPoints {
+            estimator: "R/S analysis",
+            got: 0,
+        };
+        assert!(e.to_string().contains("0 usable regression point(s)"));
+        let e = EstimatorError::ZeroVariance {
+            estimator: "variance-time",
+        };
+        assert!(e.to_string().contains("constant series"));
+    }
+
+    #[test]
+    fn histogram_display_matches_legacy_panics() {
+        // The shims panic with these exact strings; the legacy
+        // `#[should_panic(expected = ...)]` tests depend on them.
+        assert_eq!(
+            HistogramError::NoBins.to_string(),
+            "histogram needs at least one bin"
+        );
+        assert_eq!(
+            HistogramError::EmptyRange { min: 1.0, max: 1.0 }.to_string(),
+            "histogram range must be non-empty: [1, 1]"
+        );
+        assert_eq!(
+            HistogramError::NoData.to_string(),
+            "cannot build a histogram from no data"
+        );
+        assert!(HistogramError::NonFiniteDatum { value: f64::NAN }
+            .to_string()
+            .contains("must be finite"));
+    }
+}

@@ -5,6 +5,14 @@
 //! traces", with the number of bins "set to 50 in all experiments"
 //! (Sec. III). [`Histogram`] is that object: fixed equal-width bins over
 //! `[min, max]`, counts, normalized probabilities, and bin centers.
+//!
+//! Construction validates the range: a degenerate `min == max` range
+//! would give zero-width bins, and `bin_index` would then compute
+//! `(x − min) / 0 = NaN`, cast it to bin 0 and silently tally every
+//! observation there. [`Histogram::try_new`] rejects that with a typed
+//! [`HistogramError`]; the panicking constructors are shims over it.
+
+use crate::error::HistogramError;
 
 /// A fixed-range, equal-width histogram.
 #[derive(Debug, Clone)]
@@ -25,17 +33,31 @@ impl Histogram {
     /// Panics if `bins == 0`, if the range is empty, or if either bound
     /// is not finite.
     pub fn new(min: f64, max: f64, bins: usize) -> Self {
-        assert!(bins > 0, "histogram needs at least one bin");
-        assert!(min.is_finite() && max.is_finite(), "bounds must be finite");
-        assert!(max > min, "histogram range must be non-empty: [{min}, {max}]");
-        Histogram {
+        Histogram::try_new(min, max, bins).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Histogram::new`]: rejects `bins == 0`, non-finite
+    /// bounds, and the degenerate `max <= min` range (whose zero-width
+    /// bins would make `bin_index` compute `NaN` and silently tally
+    /// everything into bin 0).
+    pub fn try_new(min: f64, max: f64, bins: usize) -> Result<Self, HistogramError> {
+        if bins == 0 {
+            return Err(HistogramError::NoBins);
+        }
+        if !(min.is_finite() && max.is_finite()) {
+            return Err(HistogramError::NonFiniteBound { min, max });
+        }
+        if max <= min {
+            return Err(HistogramError::EmptyRange { min, max });
+        }
+        Ok(Histogram {
             min,
             max,
             counts: vec![0; bins],
             total: 0,
             below: 0,
             above: 0,
-        }
+        })
     }
 
     /// Builds a histogram spanning exactly the data range of `data`.
@@ -45,11 +67,23 @@ impl Histogram {
     /// Panics if `data` is empty or contains non-finite values, or if
     /// all values are identical (the range would be empty).
     pub fn from_data(data: &[f64], bins: usize) -> Self {
-        assert!(!data.is_empty(), "cannot build a histogram from no data");
+        Histogram::try_from_data(data, bins).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Histogram::from_data`]. Constant data still succeeds:
+    /// the range is widened symmetrically by a relative epsilon so the
+    /// single value lands mid-range rather than tripping the
+    /// empty-range check.
+    pub fn try_from_data(data: &[f64], bins: usize) -> Result<Self, HistogramError> {
+        if data.is_empty() {
+            return Err(HistogramError::NoData);
+        }
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for &v in data {
-            assert!(v.is_finite(), "histogram data must be finite, got {v}");
+            if !v.is_finite() {
+                return Err(HistogramError::NonFiniteDatum { value: v });
+            }
             lo = lo.min(v);
             hi = hi.max(v);
         }
@@ -60,11 +94,11 @@ impl Histogram {
             lo -= pad;
             hi += pad;
         }
-        let mut h = Histogram::new(lo, hi, bins);
+        let mut h = Histogram::try_new(lo, hi, bins)?;
         for &v in data {
             h.add(v);
         }
-        h
+        Ok(h)
     }
 
     /// Number of bins.
@@ -256,5 +290,42 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_range_rejected() {
         Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn degenerate_ranges_are_typed_errors() {
+        assert_eq!(
+            Histogram::try_new(1.0, 1.0, 3).err(),
+            Some(HistogramError::EmptyRange { min: 1.0, max: 1.0 })
+        );
+        assert_eq!(
+            Histogram::try_new(2.0, 1.0, 3).err(),
+            Some(HistogramError::EmptyRange { min: 2.0, max: 1.0 })
+        );
+        assert_eq!(Histogram::try_new(0.0, 1.0, 0).err(), Some(HistogramError::NoBins));
+        assert!(matches!(
+            Histogram::try_new(0.0, f64::INFINITY, 3),
+            Err(HistogramError::NonFiniteBound { .. })
+        ));
+        assert_eq!(
+            Histogram::try_from_data(&[], 3).err(),
+            Some(HistogramError::NoData)
+        );
+        assert!(matches!(
+            Histogram::try_from_data(&[1.0, f64::NAN], 3),
+            Err(HistogramError::NonFiniteDatum { .. })
+        ));
+        assert!(Histogram::try_new(0.0, 1.0, 3).is_ok());
+    }
+
+    #[test]
+    fn top_edge_lands_in_the_last_bin() {
+        // x == max must not fall out of range or spill past the last
+        // bin: the half-open bins close at the top edge.
+        let h = Histogram::try_new(0.0, 10.0, 10).unwrap();
+        assert_eq!(h.bin_index(10.0), Some(9));
+        assert_eq!(h.bin_index(0.0), Some(0));
+        assert_eq!(h.bin_index(10.0 + 1e-9), None);
+        assert_eq!(h.bin_index(f64::NAN), None);
     }
 }

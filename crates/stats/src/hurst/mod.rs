@@ -27,10 +27,17 @@ mod whittle;
 mod vt;
 mod wavelet;
 
+pub(crate) use rs::{fit_points as rs_fit_points, rescaled_range};
+pub(crate) use vt::fit_points as vt_fit_points;
+pub(crate) use wavelet::try_wavelet_estimate_from_energies;
+
 pub use periodogram::gph_estimate;
-pub use rs::rs_estimate;
-pub use vt::{aggregate, variance_time_estimate};
-pub use wavelet::wavelet_estimate;
+pub use rs::{rs_estimate, try_rs_estimate, try_rs_estimate_with_sizes};
+pub use vt::{
+    aggregate, try_variance_time_estimate, try_variance_time_estimate_with_sizes,
+    variance_time_estimate,
+};
+pub use wavelet::{haar_energies, try_wavelet_estimate, wavelet_estimate};
 pub use whittle::{whittle_estimate, whittle_estimate_with_bandwidth};
 
 use crate::regression::LinearFit;
@@ -70,6 +77,27 @@ pub fn whittle_std_error(bandwidth: usize) -> f64 {
     0.5 / (bandwidth as f64).sqrt()
 }
 
+/// Powers of two in `[lo, hi]`, ascending. Both bounds should
+/// themselves be powers of two; `lo` is rounded up and `hi` down to
+/// the nearest power otherwise.
+///
+/// The streaming and one-pass estimators regress over dyadic scales:
+/// dyadic blocks nest (every size-`2n` block is two size-`n` blocks),
+/// which is what lets a hierarchical aggregator maintain every scale
+/// in one pass, and lets the sliding-window backend reuse block state
+/// across refreshes. The batch `*_with_sizes` estimators accept these
+/// sizes directly, so the two paths stay bit-comparable.
+pub fn dyadic_sizes(lo: usize, hi: usize) -> Vec<usize> {
+    assert!(lo >= 1 && hi >= lo, "need 1 <= lo <= hi");
+    let mut n = lo.next_power_of_two();
+    let mut out = Vec::new();
+    while n <= hi {
+        out.push(n);
+        n *= 2;
+    }
+    out
+}
+
 /// Logarithmically spaced block sizes in `[lo, hi]`, deduplicated.
 pub(crate) fn log_spaced_sizes(lo: usize, hi: usize, count: usize) -> Vec<usize> {
     assert!(lo >= 1 && hi >= lo && count >= 2);
@@ -87,6 +115,15 @@ pub(crate) fn log_spaced_sizes(lo: usize, hi: usize, count: usize) -> Vec<usize>
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dyadic_sizes_are_powers_of_two() {
+        assert_eq!(dyadic_sizes(8, 64), vec![8, 16, 32, 64]);
+        assert_eq!(dyadic_sizes(1, 4), vec![1, 2, 4]);
+        // Non-power bounds round inward.
+        assert_eq!(dyadic_sizes(5, 40), vec![8, 16, 32]);
+        assert!(dyadic_sizes(9, 15).is_empty());
+    }
 
     #[test]
     fn log_spacing_covers_range() {

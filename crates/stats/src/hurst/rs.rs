@@ -9,7 +9,10 @@
 
 use super::{log_spaced_sizes, HurstEstimate};
 use crate::descriptive::{mean, std_dev};
+use crate::error::EstimatorError;
 use crate::regression::linear_fit;
+
+const ESTIMATOR: &str = "R/S analysis";
 
 /// Estimates the Hurst parameter of `x` by R/S analysis.
 ///
@@ -18,12 +21,42 @@ use crate::regression::linear_fit;
 ///
 /// # Panics
 ///
-/// Panics if the series has fewer than 64 samples.
+/// Panics on any [`EstimatorError`]; see [`try_rs_estimate`] for the
+/// fallible form.
 pub fn rs_estimate(x: &[f64]) -> HurstEstimate {
-    assert!(x.len() >= 64, "R/S analysis needs at least 64 samples");
-    let sizes = log_spaced_sizes(8, x.len() / 4, 16);
+    try_rs_estimate(x).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`rs_estimate`]: rejects series shorter than 64 samples and
+/// windows where fewer than two block sizes yield a usable (non-constant
+/// block) R/S average — including the "overall variance positive but
+/// every block constant" window that used to panic deep inside the
+/// regression.
+pub fn try_rs_estimate(x: &[f64]) -> Result<HurstEstimate, EstimatorError> {
+    if x.len() < 64 {
+        return Err(EstimatorError::TooFewSamples {
+            estimator: ESTIMATOR,
+            needed: 64,
+            got: x.len(),
+        });
+    }
+    try_rs_estimate_with_sizes(x, &log_spaced_sizes(8, x.len() / 4, 16))
+}
+
+/// [`try_rs_estimate`] over caller-chosen block sizes (strictly
+/// increasing, each ≥ 2). The streaming backend uses this with dyadic
+/// sizes so its tiled block state can be pinned bit-equal to the batch
+/// path; sizes exceeding `x.len()` contribute no blocks and drop out,
+/// exactly as in the log-spaced path.
+pub fn try_rs_estimate_with_sizes(
+    x: &[f64],
+    sizes: &[usize],
+) -> Result<HurstEstimate, EstimatorError> {
+    if sizes.is_empty() {
+        return Err(EstimatorError::NoUsableScales { estimator: ESTIMATOR });
+    }
     let mut points = Vec::with_capacity(sizes.len());
-    for &n in &sizes {
+    for &n in sizes {
         let mut acc = 0.0;
         let mut blocks = 0usize;
         for chunk in x.chunks_exact(n) {
@@ -36,18 +69,31 @@ pub fn rs_estimate(x: &[f64]) -> HurstEstimate {
             points.push(((n as f64).ln(), (acc / blocks as f64).ln()));
         }
     }
+    fit_points(points)
+}
+
+/// Regresses pre-accumulated `(ln n, ln avg R/S)` points. Exposed to
+/// the streaming backend so its incrementally maintained per-size block
+/// averages go through the identical final fit.
+pub(crate) fn fit_points(points: Vec<(f64, f64)>) -> Result<HurstEstimate, EstimatorError> {
+    if points.len() < 2 {
+        return Err(EstimatorError::TooFewPoints {
+            estimator: ESTIMATOR,
+            got: points.len(),
+        });
+    }
     let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
     let fit = linear_fit(&xs, &ys);
-    HurstEstimate {
+    Ok(HurstEstimate {
         h: fit.slope,
         fit,
         points,
-    }
+    })
 }
 
 /// R/S statistic of one block; `None` if the block is constant.
-fn rescaled_range(block: &[f64]) -> Option<f64> {
+pub(crate) fn rescaled_range(block: &[f64]) -> Option<f64> {
     let m = mean(block);
     let s = std_dev(block);
     if s == 0.0 {
@@ -99,5 +145,58 @@ mod tests {
     #[should_panic(expected = "64 samples")]
     fn short_series_rejected() {
         rs_estimate(&[1.0; 10]);
+    }
+
+    #[test]
+    fn with_sizes_default_spacing_matches_the_legacy_path() {
+        use lrd_rng::{Rng, SeedableRng};
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(9);
+        let x: Vec<f64> = (0..4096).map(|_| rng.gen::<f64>()).collect();
+        let sizes = log_spaced_sizes(8, x.len() / 4, 16);
+        let a = rs_estimate(&x);
+        let b = try_rs_estimate_with_sizes(&x, &sizes).unwrap();
+        assert_eq!(a.h.to_bits(), b.h.to_bits());
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn every_block_constant_is_a_typed_error_not_a_panic() {
+        // Overall variance is positive (one deviant sample at the end)
+        // but among the log-spaced sizes 8..=16 only 11 divides 66, so
+        // every other size truncates the deviant away and sees only
+        // constant blocks — a single regression point survives. The
+        // legacy path panicked inside `linear_fit` on this window.
+        let mut w = vec![1.0; 65];
+        w.push(2.0);
+        assert!(crate::descriptive::variance(&w) > 0.0);
+        match try_rs_estimate(&w) {
+            Err(EstimatorError::TooFewPoints { got, .. }) => assert_eq!(got, 1),
+            other => panic!("expected TooFewPoints, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dyadic_all_blocks_constant_is_a_typed_error() {
+        // Two constant halves: every dyadic block of size 8..=16 sits
+        // entirely inside one half, so zero points survive. This is the
+        // window the streaming (dyadic-size) backend must survive.
+        let mut w = vec![1.0; 32];
+        w.extend_from_slice(&[2.0; 32]);
+        match try_rs_estimate_with_sizes(&w, &[8, 16]) {
+            Err(EstimatorError::TooFewPoints { got: 0, .. }) => {}
+            other => panic!("expected TooFewPoints, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_series_is_a_typed_error() {
+        match try_rs_estimate(&[1.0; 10]) {
+            Err(EstimatorError::TooFewSamples { needed: 64, got: 10, .. }) => {}
+            other => panic!("expected TooFewSamples, got {other:?}"),
+        }
+        assert!(matches!(
+            try_rs_estimate_with_sizes(&[1.0; 128], &[]),
+            Err(EstimatorError::NoUsableScales { .. })
+        ));
     }
 }

@@ -9,25 +9,57 @@
 
 use super::{log_spaced_sizes, HurstEstimate};
 use crate::descriptive::variance;
+use crate::error::EstimatorError;
 use crate::regression::linear_fit;
+
+const ESTIMATOR: &str = "variance-time";
 
 /// Estimates the Hurst parameter from the variance of aggregated
 /// series at log-spaced aggregation levels.
 ///
 /// # Panics
 ///
-/// Panics if the series has fewer than 64 samples or zero variance.
+/// Panics on any [`EstimatorError`]; see [`try_variance_time_estimate`]
+/// for the fallible form.
 pub fn variance_time_estimate(x: &[f64]) -> HurstEstimate {
-    assert!(x.len() >= 64, "variance-time needs at least 64 samples");
-    assert!(
-        variance(x) > 0.0,
-        "variance-time is undefined for a constant series"
-    );
+    try_variance_time_estimate(x).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`variance_time_estimate`]: rejects series shorter than 64
+/// samples, constant series, and windows where fewer than two
+/// aggregation levels retain positive variance — reachable even when
+/// the overall variance is positive (e.g. a prime-length window whose
+/// only deviant sample is truncated away at every level `m ≥ 2`).
+pub fn try_variance_time_estimate(x: &[f64]) -> Result<HurstEstimate, EstimatorError> {
+    if x.len() < 64 {
+        return Err(EstimatorError::TooFewSamples {
+            estimator: ESTIMATOR,
+            needed: 64,
+            got: x.len(),
+        });
+    }
+    if variance(x) <= 0.0 {
+        return Err(EstimatorError::ZeroVariance { estimator: ESTIMATOR });
+    }
     // Keep at least ~8 aggregated points per level so the variance
     // estimate is meaningful.
-    let sizes = log_spaced_sizes(1, x.len() / 8, 16);
+    try_variance_time_estimate_with_sizes(x, &log_spaced_sizes(1, x.len() / 8, 16))
+}
+
+/// [`try_variance_time_estimate`] over caller-chosen aggregation levels
+/// (strictly increasing, each ≥ 1). The streaming backend uses this
+/// with dyadic levels so its hierarchical block aggregators can be
+/// pinned bit-equal to the batch path; levels leaving fewer than two
+/// aggregated blocks drop out, exactly as in the log-spaced path.
+pub fn try_variance_time_estimate_with_sizes(
+    x: &[f64],
+    sizes: &[usize],
+) -> Result<HurstEstimate, EstimatorError> {
+    if sizes.is_empty() {
+        return Err(EstimatorError::NoUsableScales { estimator: ESTIMATOR });
+    }
     let mut points = Vec::with_capacity(sizes.len());
-    for &m in &sizes {
+    for &m in sizes {
         let agg = aggregate(x, m);
         if agg.len() < 2 {
             continue;
@@ -37,14 +69,27 @@ pub fn variance_time_estimate(x: &[f64]) -> HurstEstimate {
             points.push(((m as f64).ln(), v.ln()));
         }
     }
+    fit_points(points)
+}
+
+/// Regresses pre-accumulated `(ln m, ln Var[X^{(m)}])` points. Exposed
+/// to the streaming backend so its incrementally maintained per-level
+/// variances go through the identical final fit.
+pub(crate) fn fit_points(points: Vec<(f64, f64)>) -> Result<HurstEstimate, EstimatorError> {
+    if points.len() < 2 {
+        return Err(EstimatorError::TooFewPoints {
+            estimator: ESTIMATOR,
+            got: points.len(),
+        });
+    }
     let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
     let fit = linear_fit(&xs, &ys);
-    HurstEstimate {
+    Ok(HurstEstimate {
         h: 1.0 + fit.slope / 2.0,
         fit,
         points,
-    }
+    })
 }
 
 /// Non-overlapping block means at aggregation level `m`.
@@ -100,5 +145,49 @@ mod tests {
     #[should_panic(expected = "constant series")]
     fn constant_rejected() {
         variance_time_estimate(&[1.0; 128]);
+    }
+
+    #[test]
+    fn with_sizes_default_spacing_matches_the_legacy_path() {
+        use lrd_rng::{Rng, SeedableRng};
+        let mut rng = lrd_rng::rngs::SmallRng::seed_from_u64(11);
+        let x: Vec<f64> = (0..4096).map(|_| rng.gen::<f64>()).collect();
+        let sizes = log_spaced_sizes(1, x.len() / 8, 16);
+        let a = variance_time_estimate(&x);
+        let b = try_variance_time_estimate_with_sizes(&x, &sizes).unwrap();
+        assert_eq!(a.h.to_bits(), b.h.to_bits());
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn positive_variance_with_one_surviving_level_is_a_typed_error() {
+        // A 127-sample (prime length) window whose only deviant value
+        // sits at the last index: every level m ≥ 2 truncates it away,
+        // leaving constant aggregates with zero variance, so only the
+        // m = 1 point survives. The legacy path panicked inside
+        // `linear_fit` despite variance(x) > 0.
+        let mut w = vec![1.0; 126];
+        w.push(2.0);
+        assert!(variance(&w) > 0.0);
+        match try_variance_time_estimate(&w) {
+            Err(EstimatorError::TooFewPoints { got: 1, .. }) => {}
+            other => panic!("expected TooFewPoints, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_errors_cover_the_cheap_preconditions() {
+        assert!(matches!(
+            try_variance_time_estimate(&[1.0; 10]),
+            Err(EstimatorError::TooFewSamples { needed: 64, got: 10, .. })
+        ));
+        assert!(matches!(
+            try_variance_time_estimate(&[1.0; 128]),
+            Err(EstimatorError::ZeroVariance { .. })
+        ));
+        assert!(matches!(
+            try_variance_time_estimate_with_sizes(&[1.0; 128], &[]),
+            Err(EstimatorError::NoUsableScales { .. })
+        ));
     }
 }

@@ -9,7 +9,10 @@
 //! which is exact enough for cross-checking synthetic traces.
 
 use super::HurstEstimate;
+use crate::error::EstimatorError;
 use crate::regression::linear_fit;
+
+const ESTIMATOR: &str = "wavelet estimator";
 
 /// Per-octave Haar detail energies `μ_j` for `j = 1..=octaves`,
 /// starting from the finest scale.
@@ -45,29 +48,59 @@ pub fn haar_energies(x: &[f64], max_octaves: usize, min_coeffs: usize) -> Vec<(u
 ///
 /// # Panics
 ///
-/// Panics if the series is shorter than 128 samples or if fewer than
-/// three octaves are usable.
+/// Panics on any [`EstimatorError`]; see [`try_wavelet_estimate`] for
+/// the fallible form.
 pub fn wavelet_estimate(x: &[f64]) -> HurstEstimate {
-    assert!(x.len() >= 128, "wavelet estimator needs at least 128 samples");
-    let energies = haar_energies(x, 24, 8);
-    assert!(
-        energies.len() >= 3,
-        "need at least three usable octaves, got {}",
-        energies.len()
-    );
+    try_wavelet_estimate(x).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`wavelet_estimate`]: rejects series shorter than 128
+/// samples, pyramids with fewer than three usable octaves, and inputs
+/// where fewer than two octaves retain positive detail energy (a
+/// constant series has zero energy at every octave).
+pub fn try_wavelet_estimate(x: &[f64]) -> Result<HurstEstimate, EstimatorError> {
+    if x.len() < 128 {
+        return Err(EstimatorError::TooFewSamples {
+            estimator: ESTIMATOR,
+            needed: 128,
+            got: x.len(),
+        });
+    }
+    try_wavelet_estimate_from_energies(&haar_energies(x, 24, 8))
+}
+
+/// The regression stage of [`try_wavelet_estimate`], taking precomputed
+/// per-octave energies. Exposed so the one-pass streaming pyramid can
+/// go through the identical final fit.
+pub(crate) fn try_wavelet_estimate_from_energies(
+    energies: &[(usize, f64)],
+) -> Result<HurstEstimate, EstimatorError> {
+    if energies.len() < 3 {
+        return Err(EstimatorError::TooFewOctaves {
+            estimator: ESTIMATOR,
+            needed: 3,
+            got: energies.len(),
+        });
+    }
     let points: Vec<(f64, f64)> = energies
         .iter()
         .filter(|(_, e)| *e > 0.0)
         .map(|&(j, e)| (j as f64, e.log2()))
         .collect();
+    if points.len() < 2 {
+        return Err(EstimatorError::TooFewPoints {
+            estimator: ESTIMATOR,
+            got: points.len(),
+        });
+    }
     let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
     let fit = linear_fit(&xs, &ys);
-    HurstEstimate {
+    Ok(HurstEstimate {
         h: (fit.slope + 1.0) / 2.0,
         fit,
         points,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -119,5 +152,20 @@ mod tests {
     #[should_panic(expected = "128 samples")]
     fn short_series_rejected() {
         wavelet_estimate(&[0.0; 64]);
+    }
+
+    #[test]
+    fn constant_series_is_a_typed_error_not_a_panic() {
+        // Zero detail energy at every octave: three octaves are usable
+        // but no point survives the e > 0 filter; the legacy path
+        // panicked inside `linear_fit`.
+        match try_wavelet_estimate(&[1.0; 1024]) {
+            Err(EstimatorError::TooFewPoints { got: 0, .. }) => {}
+            other => panic!("expected TooFewPoints, got {other:?}"),
+        }
+        assert!(matches!(
+            try_wavelet_estimate(&[0.0; 64]),
+            Err(EstimatorError::TooFewSamples { needed: 128, .. })
+        ));
     }
 }

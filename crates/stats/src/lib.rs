@@ -21,18 +21,24 @@
 #![warn(missing_docs)]
 
 pub mod descriptive;
+pub mod error;
 pub mod histogram;
 pub mod hurst;
+pub mod onepass;
 pub mod regression;
 pub mod runs;
 pub mod streaming;
 
 pub use descriptive::{autocorrelation, autocovariance, mean, std_dev, variance, Summary};
+pub use error::{EstimatorError, HistogramError};
 pub use histogram::Histogram;
 pub use hurst::{
-    gph_estimate, gph_std_error, rs_estimate, variance_time_estimate, wavelet_estimate,
-    whittle_estimate, whittle_std_error, HurstEstimate,
+    dyadic_sizes, gph_estimate, gph_std_error, haar_energies, rs_estimate, try_rs_estimate,
+    try_rs_estimate_with_sizes, try_variance_time_estimate, try_variance_time_estimate_with_sizes,
+    try_wavelet_estimate, variance_time_estimate, wavelet_estimate, whittle_estimate,
+    whittle_std_error, HurstEstimate,
 };
+pub use onepass::{OnePassHurst, OnePassRs, OnePassVt, OnePassWavelet};
 pub use regression::{linear_fit, LinearFit};
-pub use runs::mean_run_length;
+pub use runs::{mean_run_length, RunLengths};
 pub use streaming::{HurstPair, SlidingWindow, StreamingHurst, MIN_HURST_WINDOW};

@@ -23,6 +23,46 @@ pub fn mean_run_length(labels: &[usize]) -> f64 {
     labels.len() as f64 / runs as f64
 }
 
+/// One-pass counterpart of [`mean_run_length`]: O(1) state, so
+/// out-of-core ingestion can measure epoch durations while streaming a
+/// quantized series it never materializes.
+#[derive(Debug, Clone, Default)]
+pub struct RunLengths {
+    samples: u64,
+    runs: u64,
+    prev: Option<usize>,
+}
+
+impl RunLengths {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunLengths::default()
+    }
+
+    /// Absorbs the next quantized sample.
+    pub fn push(&mut self, label: usize) {
+        if self.prev != Some(label) {
+            self.runs += 1;
+        }
+        self.prev = Some(label);
+        self.samples += 1;
+    }
+
+    /// Samples absorbed so far.
+    pub fn count(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean run length so far; `NaN` before the first sample —
+    /// identical to [`mean_run_length`] over the same sequence.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            return f64::NAN;
+        }
+        self.samples as f64 / self.runs as f64
+    }
+}
+
 /// The lengths of every maximal run, in order of appearance.
 pub fn run_lengths(labels: &[usize]) -> Vec<usize> {
     let mut out = Vec::new();
@@ -73,6 +113,18 @@ mod tests {
     fn empty_input() {
         assert!(mean_run_length(&[]).is_nan());
         assert!(run_lengths(&[]).is_empty());
+    }
+
+    #[test]
+    fn online_accumulator_matches_the_batch_function() {
+        let labels: Vec<usize> = (0..1000).map(|i| (i * i / 13) % 7).collect();
+        let mut online = RunLengths::new();
+        for &l in &labels {
+            online.push(l);
+        }
+        assert_eq!(online.count(), labels.len() as u64);
+        assert_eq!(online.mean().to_bits(), mean_run_length(&labels).to_bits());
+        assert!(RunLengths::new().mean().is_nan());
     }
 
     #[test]

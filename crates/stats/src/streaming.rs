@@ -1,23 +1,43 @@
 //! Sliding-window statistics for live traffic: a fixed-capacity ring
-//! of recent rate samples and block-aligned streaming Hurst estimates
-//! over it.
+//! of recent rate samples and incrementally maintained streaming Hurst
+//! estimates over it.
 //!
 //! The online loss-bound service (`lrd-serve`) watches each flow
 //! through these types: the window supplies the recent marginal, and
 //! the streaming estimator keeps a Hurst estimate that is refreshed at
-//! a configurable cadence rather than on every sample — `O(W log W)`
-//! estimator work is amortized over `refresh_every` pushes, and the
-//! staleness of the cached estimate is bounded by construction (the
-//! property the daemon's bounded-staleness contract leans on).
+//! a configurable cadence rather than on every sample, so the staleness
+//! of the cached estimate is bounded by construction (the property the
+//! daemon's bounded-staleness contract leans on).
 //!
-//! The estimators themselves are the batch [`rs_estimate`] and
-//! [`variance_time_estimate`] applied to an ordered snapshot of the
-//! window, so a streaming estimate over a full window equals the batch
-//! estimate of the same `W` samples exactly — no separate numerical
-//! path to validate.
+//! # The incremental backend
+//!
+//! Estimates regress over **dyadic** block sizes (`8..=W/4` for R/S,
+//! `1..=W/8` for variance–time) and are pinned bit-equal to the batch
+//! [`try_rs_estimate_with_sizes`] / [`try_variance_time_estimate_with_sizes`]
+//! of the same full window. Each size keeps a deque of per-block
+//! statistics tiled from the window start; when the window has advanced
+//! by a multiple of a block size since the last refresh, that size
+//! drops the evicted blocks from the front and scores only the newly
+//! arrived blocks — no `snapshot()` allocation and, at an aligned
+//! cadence, no `O(W log W)` recompute. Sizes the advance doesn't align
+//! with fall back to retiling that size from the ring.
+//!
+//! # Failure policy
+//!
+//! A refresh can fail with a typed [`EstimatorError`] — a constant
+//! window, or the nastier "overall variance positive but every block
+//! constant" window. [`StreamingHurst::push`] never panics on these:
+//! it keeps the previous cached estimate (staleness clock still
+//! running) and retries no sooner than one cadence later, which is what
+//! lets a long-running daemon survive a pathological flow.
+
+use std::collections::VecDeque;
 
 use crate::descriptive::variance;
-use crate::hurst::{rs_estimate, variance_time_estimate, HurstEstimate};
+use crate::error::EstimatorError;
+use crate::hurst::{
+    dyadic_sizes, rescaled_range, rs_fit_points, vt_fit_points, HurstEstimate,
+};
 
 /// Fixed-capacity ring buffer over the most recent `capacity` samples.
 #[derive(Debug, Clone)]
@@ -70,11 +90,21 @@ impl SlidingWindow {
         self.len == self.buf.len()
     }
 
-    /// The held samples, oldest first.
-    pub fn snapshot(&self) -> Vec<f64> {
+    /// The held sample at logical position `i` (0 = oldest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> f64 {
+        assert!(i < self.len, "window index {i} out of range {}", self.len);
         let cap = self.buf.len();
         let start = (self.head + cap - self.len) % cap;
-        (0..self.len).map(|i| self.buf[(start + i) % cap]).collect()
+        self.buf[(start + i) % cap]
+    }
+
+    /// The held samples, oldest first.
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.iter().collect()
     }
 
     /// Mean of the held samples (0 when empty).
@@ -110,8 +140,19 @@ impl HurstPair {
     }
 }
 
-/// Minimum window the batch estimators accept.
+/// Minimum window the estimators accept.
 pub const MIN_HURST_WINDOW: usize = 64;
+
+/// Per-block-size tile row: block statistics for the current window,
+/// tiled from the window start, oldest block first.
+#[derive(Debug, Clone)]
+struct TileRow {
+    size: usize,
+    /// R/S rows: `Some(rs)` per non-constant block, `None` sentinel for
+    /// constant blocks (matching the batch path's skipped blocks).
+    /// VT rows: block means wrapped in `Some` (never `None`).
+    blocks: VecDeque<Option<f64>>,
+}
 
 /// A sliding-window Hurst estimator with bounded estimate staleness.
 ///
@@ -120,7 +161,8 @@ pub const MIN_HURST_WINDOW: usize = 64;
 /// every `refresh_every` pushes and served from cache in between. The
 /// invariant tests pin: after any push sequence,
 /// [`staleness`](Self::staleness) < `refresh_every` whenever an
-/// estimate exists.
+/// estimate exists, and a refreshed estimate is bit-equal to the batch
+/// dyadic-size estimators applied to a snapshot of the same window.
 #[derive(Debug, Clone)]
 pub struct StreamingHurst {
     window: SlidingWindow,
@@ -128,6 +170,18 @@ pub struct StreamingHurst {
     /// Pushes since the cached estimate was computed.
     since: usize,
     cached: Option<HurstPair>,
+    /// Total pushes ever absorbed (the absolute index clock the tiling
+    /// is anchored to).
+    total: u64,
+    /// Don't attempt another refresh before this push count — bounds
+    /// the cost of repeated estimator failures on pathological streams.
+    skip_until: u64,
+    /// Absolute index of the window start the tiles describe, if they
+    /// have been built.
+    tiles_at: Option<u64>,
+    rs_rows: Vec<TileRow>,
+    vt_rows: Vec<TileRow>,
+    scratch: Vec<f64>,
 }
 
 impl StreamingHurst {
@@ -144,35 +198,123 @@ impl StreamingHurst {
             "Hurst window must hold at least {MIN_HURST_WINDOW} samples"
         );
         assert!(refresh_every > 0, "refresh cadence must be positive");
+        let row = |size: usize| TileRow {
+            size,
+            blocks: VecDeque::with_capacity(window / size),
+        };
         Self {
             window: SlidingWindow::new(window),
             refresh_every,
             since: 0,
             cached: None,
+            total: 0,
+            skip_until: 0,
+            tiles_at: None,
+            rs_rows: dyadic_sizes(8, window / 4).into_iter().map(row).collect(),
+            vt_rows: dyadic_sizes(1, window / 8).into_iter().map(row).collect(),
+            scratch: Vec::with_capacity(window / 4),
         }
     }
 
     /// Feeds one sample and refreshes the cached estimate if due.
+    ///
+    /// Never panics: estimator failures on degenerate windows keep the
+    /// previous cached estimate (its staleness clock still running) and
+    /// back off one cadence before retrying.
     pub fn push(&mut self, v: f64) {
         self.window.push(v);
+        self.total += 1;
         self.since += 1;
-        if self.window.is_full() && (self.cached.is_none() || self.since >= self.refresh_every) {
-            let snap = self.window.snapshot();
-            // A constant window has no scaling behaviour to estimate;
-            // keep the previous estimate (and its staleness clock
-            // running) until variability returns.
-            if variance(&snap) > 0.0 {
-                self.cached = Some(HurstPair {
-                    rs: rs_estimate(&snap),
-                    vt: variance_time_estimate(&snap),
-                });
-                self.since = 0;
+        let due = self.cached.is_none() || self.since >= self.refresh_every;
+        if self.window.is_full() && due && self.total >= self.skip_until {
+            match self.try_refresh() {
+                Ok(pair) => {
+                    self.cached = Some(pair);
+                    self.since = 0;
+                }
+                Err(_) => {
+                    self.skip_until = self.total + self.refresh_every as u64;
+                }
             }
         }
     }
 
+    /// Recomputes both estimates over the (full) window, maintaining
+    /// the per-size tile rows incrementally.
+    fn try_refresh(&mut self) -> Result<HurstPair, EstimatorError> {
+        // A constant window has no scaling behaviour to estimate; the
+        // gate is O(W) and mirrors the batch variance-time precondition
+        // (left-to-right two-pass, same op order as `variance`).
+        let w = self.window.capacity();
+        let mean = self.window.iter().sum::<f64>() / w as f64;
+        let var = self.window.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / w as f64;
+        if var <= 0.0 {
+            return Err(EstimatorError::ZeroVariance {
+                estimator: "variance-time",
+            });
+        }
+
+        let start = self.total - w as u64;
+        let advance = self.tiles_at.map(|prev| start - prev);
+        let StreamingHurst {
+            window,
+            rs_rows,
+            vt_rows,
+            scratch,
+            ..
+        } = self;
+        for row in rs_rows.iter_mut() {
+            let score = |off: usize, n: usize| {
+                scratch.clear();
+                scratch.extend((off..off + n).map(|i| window.get(i)));
+                rescaled_range(scratch)
+            };
+            retile(row, w, advance, score);
+        }
+        for row in vt_rows.iter_mut() {
+            let score = |off: usize, n: usize| {
+                Some((off..off + n).map(|i| window.get(i)).sum::<f64>() / n as f64)
+            };
+            retile(row, w, advance, score);
+        }
+        self.tiles_at = Some(start);
+
+        let mut rs_points = Vec::with_capacity(self.rs_rows.len());
+        for row in &self.rs_rows {
+            let mut acc = 0.0;
+            let mut blocks = 0usize;
+            for &rs in row.blocks.iter().flatten() {
+                acc += rs;
+                blocks += 1;
+            }
+            if blocks > 0 {
+                rs_points.push(((row.size as f64).ln(), (acc / blocks as f64).ln()));
+            }
+        }
+        let rs = rs_fit_points(rs_points)?;
+
+        let mut vt_points = Vec::with_capacity(self.vt_rows.len());
+        for row in self.vt_rows.iter() {
+            if row.blocks.len() < 2 {
+                continue;
+            }
+            // The deque holds plain means; unwrap into the contiguous
+            // scratch so `variance` sees the exact slice the batch path
+            // aggregates.
+            self.scratch.clear();
+            self.scratch.extend(row.blocks.iter().map(|m| m.unwrap()));
+            let v = variance(&self.scratch);
+            if v > 0.0 {
+                vt_points.push(((row.size as f64).ln(), v.ln()));
+            }
+        }
+        let vt = vt_fit_points(vt_points)?;
+
+        Ok(HurstPair { rs, vt })
+    }
+
     /// The most recent estimate pair; `None` until the window first
-    /// fills with non-constant data.
+    /// fills with non-degenerate data.
     pub fn current(&self) -> Option<&HurstPair> {
         self.cached.as_ref()
     }
@@ -193,9 +335,37 @@ impl StreamingHurst {
     }
 }
 
+/// Brings one tile row up to date with a window that advanced by
+/// `advance` pushes since the row was last built (`None` = never
+/// built). If the advance is a whole number of this row's blocks, the
+/// evicted blocks are popped and only the new tail blocks are scored;
+/// otherwise the row is retiled from scratch. `score(off, n)` scores
+/// the block at logical window offset `off`.
+fn retile(
+    row: &mut TileRow,
+    window_len: usize,
+    advance: Option<u64>,
+    mut score: impl FnMut(usize, usize) -> Option<f64>,
+) {
+    let n = row.size;
+    let total_blocks = window_len / n;
+    match advance {
+        Some(d) if d % n as u64 == 0 && (d / n as u64) as usize <= row.blocks.len() => {
+            for _ in 0..(d / n as u64) as usize {
+                row.blocks.pop_front();
+            }
+        }
+        _ => row.blocks.clear(),
+    }
+    for k in row.blocks.len()..total_blocks {
+        row.blocks.push_back(score(k * n, n));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hurst::{try_rs_estimate_with_sizes, try_variance_time_estimate_with_sizes};
 
     #[test]
     fn window_evicts_oldest_first() {
@@ -212,25 +382,69 @@ mod tests {
         assert!(w.is_full());
         assert_eq!(w.snapshot(), vec![3.0, 4.0, 5.0]);
         assert_eq!(w.iter().collect::<Vec<_>>(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(w.get(0), 3.0);
+        assert_eq!(w.get(2), 5.0);
         assert!((w.mean() - 4.0).abs() < 1e-12);
+    }
+
+    /// The batch reference the streaming backend is pinned to.
+    fn batch_pair(window: &[f64]) -> HurstPair {
+        let w = window.len();
+        HurstPair {
+            rs: try_rs_estimate_with_sizes(window, &dyadic_sizes(8, w / 4)).unwrap(),
+            vt: try_variance_time_estimate_with_sizes(window, &dyadic_sizes(1, w / 8)).unwrap(),
+        }
     }
 
     #[test]
     fn streaming_equals_batch_on_the_same_window() {
         // Deterministic non-constant series: the streaming estimate
-        // after the window fills must equal the batch estimate of the
-        // identical snapshot bit for bit.
+        // after the window fills must equal the batch dyadic-size
+        // estimate of the identical snapshot bit for bit.
         let mut s = StreamingHurst::new(128, 1_000_000);
         let series: Vec<f64> = (0..128).map(|i| ((i * 37 + 11) % 97) as f64).collect();
         for &v in &series {
             s.push(v);
         }
         let pair = s.current().expect("full window yields an estimate");
-        assert_eq!(pair.rs.h.to_bits(), rs_estimate(&series).h.to_bits());
-        assert_eq!(
-            pair.vt.h.to_bits(),
-            variance_time_estimate(&series).h.to_bits()
-        );
+        let want = batch_pair(&series);
+        assert_eq!(pair.rs.h.to_bits(), want.rs.h.to_bits());
+        assert_eq!(pair.vt.h.to_bits(), want.vt.h.to_bits());
+    }
+
+    #[test]
+    fn aligned_and_unaligned_cadences_both_match_batch() {
+        // Cadence 32 divides every dyadic block size (pure pop/append
+        // path); 24 divides only the small ones (mixed); 17 divides
+        // none (full retile path). All must reproduce the batch
+        // estimate of the trailing window at every refresh.
+        let series: Vec<f64> = (0..2048).map(|i| ((i * 193 + 71) % 509) as f64).collect();
+        for cadence in [32usize, 24, 17] {
+            let mut s = StreamingHurst::new(128, cadence);
+            let mut last_seen = 0;
+            for (i, &v) in series.iter().enumerate() {
+                s.push(v);
+                if s.staleness() == 0 && i + 1 >= 128 {
+                    last_seen = i + 1;
+                    let tail = &series[i + 1 - 128..=i];
+                    let want = batch_pair(tail);
+                    let got = s.current().unwrap();
+                    assert_eq!(
+                        got.rs.h.to_bits(),
+                        want.rs.h.to_bits(),
+                        "R/S split at push {} cadence {cadence}",
+                        i + 1
+                    );
+                    assert_eq!(
+                        got.vt.h.to_bits(),
+                        want.vt.h.to_bits(),
+                        "VT split at push {} cadence {cadence}",
+                        i + 1
+                    );
+                }
+            }
+            assert!(last_seen > 1024, "refreshes kept happening");
+        }
     }
 
     #[test]
@@ -261,5 +475,46 @@ mod tests {
             s.push((i % 9) as f64);
         }
         assert!(s.current().is_some());
+    }
+
+    #[test]
+    fn every_block_constant_window_degrades_instead_of_panicking() {
+        // Two constant half-windows: overall variance is positive but
+        // every dyadic R/S block is constant, so the R/S regression has
+        // zero points. The legacy backend panicked here; the estimator
+        // must stay up with no estimate, then recover.
+        let mut s = StreamingHurst::new(64, 4);
+        for i in 0..64 {
+            s.push(if i < 32 { 1.0 } else { 2.0 });
+        }
+        assert!(s.current().is_none(), "degenerate window produced an estimate");
+        for i in 0..64 {
+            s.push(((i * 13 + 5) % 31) as f64);
+        }
+        assert!(s.current().is_some(), "estimator did not recover");
+    }
+
+    #[test]
+    fn failures_keep_the_stale_estimate_and_its_clock_running() {
+        let mut s = StreamingHurst::new(64, 8);
+        for i in 0..64 {
+            s.push(((i * 13 + 5) % 31) as f64);
+        }
+        assert!(s.current().is_some());
+        // Flood with a constant: once the window is fully constant,
+        // every refresh attempt fails, the last good estimate survives,
+        // and staleness keeps growing past the cadence (the daemon
+        // reads this as "stale").
+        for _ in 0..100 {
+            s.push(2.5);
+        }
+        let frozen = s.current().expect("stale estimate retained").pooled();
+        let stale = s.staleness();
+        assert!(stale > s.refresh_every(), "staleness {stale} not past cadence");
+        for _ in 0..50 {
+            s.push(2.5);
+        }
+        assert_eq!(s.current().unwrap().pooled().to_bits(), frozen.to_bits());
+        assert_eq!(s.staleness(), stale + 50);
     }
 }

@@ -1,0 +1,137 @@
+//! Typed errors for the packet-trace toolkit.
+//!
+//! Real trace files arrive truncated, version-skewed, or corrupted;
+//! every failure mode the reader can detect gets its own variant so
+//! callers (the CLI, the ingestion benches, the figure pipeline) can
+//! report exactly what is wrong with a multi-gigabyte file without
+//! re-reading it.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong reading, writing, or ingesting a
+/// packet trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the `LRDPKT01` magic.
+    BadMagic {
+        /// The eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The header's format version is newer than this reader.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// The file ends in the middle of a record.
+    TornRecord {
+        /// Byte offset of the start of the torn record.
+        offset: u64,
+    },
+    /// A record's timestamp runs backwards.
+    NonMonotonicTimestamp {
+        /// Zero-based index of the offending record.
+        index: u64,
+        /// The previous record's timestamp (ns).
+        prev_ns: u64,
+        /// The offending timestamp (ns).
+        now_ns: u64,
+    },
+    /// The header's record count disagrees with the records present.
+    CountMismatch {
+        /// Count declared in the header.
+        expected: u64,
+        /// Records actually read.
+        found: u64,
+    },
+    /// The trace holds no packets at all.
+    EmptyTrace,
+    /// A corpus/ingestion parameter is out of domain.
+    BadSpec(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic { found } => write!(
+                f,
+                "not a packet trace: expected magic \"LRDPKT01\", found {:?}",
+                String::from_utf8_lossy(found)
+            ),
+            TraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace format version {found}")
+            }
+            TraceError::TornRecord { offset } => write!(
+                f,
+                "torn record: file ends mid-record at byte offset {offset}"
+            ),
+            TraceError::NonMonotonicTimestamp {
+                index,
+                prev_ns,
+                now_ns,
+            } => write!(
+                f,
+                "record {index} runs backwards in time: {now_ns} ns after {prev_ns} ns"
+            ),
+            TraceError::CountMismatch { expected, found } => write!(
+                f,
+                "header declares {expected} record(s) but the file holds {found}"
+            ),
+            TraceError::EmptyTrace => write!(f, "trace holds no packets"),
+            TraceError::BadSpec(why) => write!(f, "bad trace spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings_identify_the_failure() {
+        let cases: Vec<(TraceError, &str)> = vec![
+            (TraceError::BadMagic { found: *b"GARBAGE!" }, "magic"),
+            (TraceError::UnsupportedVersion { found: 9 }, "version 9"),
+            (TraceError::TornRecord { offset: 24 }, "offset 24"),
+            (
+                TraceError::NonMonotonicTimestamp {
+                    index: 3,
+                    prev_ns: 10,
+                    now_ns: 5,
+                },
+                "backwards",
+            ),
+            (
+                TraceError::CountMismatch {
+                    expected: 10,
+                    found: 9,
+                },
+                "declares 10",
+            ),
+            (TraceError::EmptyTrace, "no packets"),
+            (TraceError::BadSpec("x".into()), "bad trace spec"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} should mention {needle:?}");
+        }
+    }
+}

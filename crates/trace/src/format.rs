@@ -1,0 +1,457 @@
+//! The on-disk packet-trace format and its chunked writer/reader.
+//!
+//! Real packet captures (the paper's Bellcore Ethernet trace is the
+//! canonical example) are far too large to hold in memory, so the
+//! format is built for streaming: a fixed 24-byte header followed by
+//! fixed-width 16-byte records, read back through a bounded reusable
+//! chunk buffer — the reader's memory footprint is [`CHUNK_BYTES`]
+//! regardless of file size.
+//!
+//! # Layout (all integers little-endian)
+//!
+//! ```text
+//! header:  magic "LRDPKT01" (8) | version u32 (4) | reserved u32 (4)
+//!          | record count u64 (8)
+//! record:  timestamp_ns u64 (8) | size_bytes u32 (4) | reserved u32 (4)
+//! ```
+//!
+//! Timestamps are nanoseconds from an arbitrary capture origin and
+//! must be non-decreasing; the record count in the header is
+//! back-patched by [`TraceWriter::finish`], so a crashed writer leaves
+//! a detectable [`TraceError::CountMismatch`] rather than a silently
+//! short trace.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::TraceError;
+
+/// File magic: format name + 2-digit generation.
+pub const MAGIC: [u8; 8] = *b"LRDPKT01";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Header size in bytes.
+pub const HEADER_BYTES: usize = 24;
+/// Record size in bytes.
+pub const RECORD_BYTES: usize = 16;
+/// Reader chunk-buffer size: the whole out-of-core memory budget.
+pub const CHUNK_BYTES: usize = 1 << 20;
+
+/// Byte offset of the record count within the header.
+const COUNT_OFFSET: u64 = 16;
+
+/// One captured packet: arrival time and wire size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Arrival time in nanoseconds from the capture origin.
+    pub timestamp_ns: u64,
+    /// Packet size in bytes.
+    pub size_bytes: u32,
+}
+
+impl PacketRecord {
+    /// Serializes the record into its 16-byte wire form.
+    pub fn encode(&self) -> [u8; RECORD_BYTES] {
+        let mut out = [0u8; RECORD_BYTES];
+        out[..8].copy_from_slice(&self.timestamp_ns.to_le_bytes());
+        out[8..12].copy_from_slice(&self.size_bytes.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a record from its 16-byte wire form.
+    pub fn decode(bytes: &[u8; RECORD_BYTES]) -> PacketRecord {
+        PacketRecord {
+            timestamp_ns: u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            size_bytes: u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        }
+    }
+}
+
+/// Streaming trace writer: header up front, records appended through a
+/// buffered writer, count back-patched on [`TraceWriter::finish`].
+#[derive(Debug)]
+pub struct TraceWriter {
+    out: BufWriter<File>,
+    count: u64,
+    last_ts: Option<u64>,
+}
+
+impl TraceWriter {
+    /// Creates (truncating) a trace file and writes its header with a
+    /// zero record count.
+    pub fn create(path: &Path) -> Result<TraceWriter, TraceError> {
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(&MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&0u32.to_le_bytes())?;
+        out.write_all(&0u64.to_le_bytes())?;
+        Ok(TraceWriter {
+            out,
+            count: 0,
+            last_ts: None,
+        })
+    }
+
+    /// Appends one record; timestamps must be non-decreasing.
+    pub fn write(&mut self, record: PacketRecord) -> Result<(), TraceError> {
+        if let Some(prev) = self.last_ts {
+            if record.timestamp_ns < prev {
+                return Err(TraceError::NonMonotonicTimestamp {
+                    index: self.count,
+                    prev_ns: prev,
+                    now_ns: record.timestamp_ns,
+                });
+            }
+        }
+        self.out.write_all(&record.encode())?;
+        self.last_ts = Some(record.timestamp_ns);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Back-patches the header's record count and flushes. Returns the
+    /// final record count.
+    pub fn finish(mut self) -> Result<u64, TraceError> {
+        self.out.flush()?;
+        let file = self.out.get_mut();
+        file.seek(SeekFrom::Start(COUNT_OFFSET))?;
+        file.write_all(&self.count.to_le_bytes())?;
+        file.flush()?;
+        Ok(self.count)
+    }
+}
+
+/// Chunk-buffered trace reader: validates the header eagerly and the
+/// record stream (alignment, monotonicity, declared count) as it goes.
+/// Memory use is one [`CHUNK_BYTES`] buffer, independent of file size.
+#[derive(Debug)]
+pub struct TraceReader {
+    file: File,
+    declared: u64,
+    buf: Vec<u8>,
+    /// Valid bytes in `buf`.
+    filled: usize,
+    /// Read cursor within `buf`.
+    pos: usize,
+    /// Records handed out so far.
+    read: u64,
+    last_ts: Option<u64>,
+    /// Set once EOF has been validated (count check done).
+    done: bool,
+}
+
+impl TraceReader {
+    /// Opens a trace file and validates its header.
+    pub fn open(path: &Path) -> Result<TraceReader, TraceError> {
+        let mut file = File::open(path)?;
+        let mut header = [0u8; HEADER_BYTES];
+        file.read_exact(&mut header).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceError::TornRecord { offset: 0 }
+            } else {
+                TraceError::Io(e)
+            }
+        })?;
+        if header[..8] != MAGIC {
+            return Err(TraceError::BadMagic {
+                found: header[..8].try_into().unwrap(),
+            });
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion { found: version });
+        }
+        let declared = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        Ok(TraceReader {
+            file,
+            declared,
+            buf: vec![0u8; CHUNK_BYTES],
+            filled: 0,
+            pos: 0,
+            read: 0,
+            last_ts: None,
+            done: false,
+        })
+    }
+
+    /// Record count declared in the header.
+    pub fn declared_count(&self) -> u64 {
+        self.declared
+    }
+
+    /// Records handed out so far.
+    pub fn records_read(&self) -> u64 {
+        self.read
+    }
+
+    /// Byte offset (from file start) of the next unread record.
+    fn offset(&self) -> u64 {
+        HEADER_BYTES as u64 + self.read * RECORD_BYTES as u64
+    }
+
+    /// Refills the chunk buffer, keeping any partial-record tail.
+    fn refill(&mut self) -> Result<(), TraceError> {
+        let leftover = self.filled - self.pos;
+        self.buf.copy_within(self.pos..self.filled, 0);
+        self.filled = leftover;
+        self.pos = 0;
+        loop {
+            let n = self.file.read(&mut self.buf[self.filled..])?;
+            if n == 0 {
+                return Ok(());
+            }
+            self.filled += n;
+            if self.filled == self.buf.len() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Reads the next record, or `Ok(None)` at a clean end of trace.
+    pub fn next_record(&mut self) -> Result<Option<PacketRecord>, TraceError> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.filled - self.pos < RECORD_BYTES {
+            self.refill()?;
+        }
+        let available = self.filled - self.pos;
+        if available == 0 {
+            self.done = true;
+            if self.read != self.declared {
+                return Err(TraceError::CountMismatch {
+                    expected: self.declared,
+                    found: self.read,
+                });
+            }
+            return Ok(None);
+        }
+        if available < RECORD_BYTES {
+            self.done = true;
+            return Err(TraceError::TornRecord {
+                offset: self.offset(),
+            });
+        }
+        let bytes: [u8; RECORD_BYTES] =
+            self.buf[self.pos..self.pos + RECORD_BYTES].try_into().unwrap();
+        let record = PacketRecord::decode(&bytes);
+        if let Some(prev) = self.last_ts {
+            if record.timestamp_ns < prev {
+                self.done = true;
+                return Err(TraceError::NonMonotonicTimestamp {
+                    index: self.read,
+                    prev_ns: prev,
+                    now_ns: record.timestamp_ns,
+                });
+            }
+        }
+        self.pos += RECORD_BYTES;
+        self.read += 1;
+        self.last_ts = Some(record.timestamp_ns);
+        Ok(Some(record))
+    }
+}
+
+impl Iterator for TraceReader {
+    type Item = Result<PacketRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lrd_trace_{}_{name}.lrdpkt", std::process::id()))
+    }
+
+    fn toy_records(n: u64) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| PacketRecord {
+                timestamp_ns: i * 1_000,
+                size_bytes: 64 + (i % 1400) as u32,
+            })
+            .collect()
+    }
+
+    fn write_file(path: &Path, records: &[PacketRecord]) {
+        let mut w = TraceWriter::create(path).unwrap();
+        for &r in records {
+            w.write(r).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), records.len() as u64);
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        let r = PacketRecord {
+            timestamp_ns: u64::MAX - 7,
+            size_bytes: 1514,
+        };
+        assert_eq!(PacketRecord::decode(&r.encode()), r);
+    }
+
+    #[test]
+    fn write_then_read_spanning_many_chunks() {
+        // More records than fit one chunk buffer, so refill() runs and
+        // must stitch records across chunk boundaries correctly
+        // (RECORD_BYTES divides CHUNK_BYTES, but the header offsets the
+        // first chunk, exercising the partial-tail path).
+        let path = temp("roundtrip");
+        let records = toy_records(3 * (CHUNK_BYTES / RECORD_BYTES) as u64 / 2);
+        write_file(&path, &records);
+        let mut reader = TraceReader::open(&path).unwrap();
+        assert_eq!(reader.declared_count(), records.len() as u64);
+        for (i, want) in records.iter().enumerate() {
+            let got = reader.next_record().unwrap().unwrap();
+            assert_eq!(got, *want, "record {i}");
+        }
+        assert!(reader.next_record().unwrap().is_none());
+        // Idempotent at EOF.
+        assert!(reader.next_record().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let path = temp("magic");
+        std::fs::write(&path, b"NOTAPKT0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0").unwrap();
+        assert!(matches!(
+            TraceReader::open(&path),
+            Err(TraceError::BadMagic { .. })
+        ));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            TraceReader::open(&path),
+            Err(TraceError::UnsupportedVersion { found: 99 })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_record_is_detected_with_its_offset() {
+        let path = temp("torn");
+        let records = toy_records(10);
+        write_file(&path, &records);
+        // Chop 5 bytes off the tail: record 9 is torn.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+        let mut reader = TraceReader::open(&path).unwrap();
+        let mut seen = 0;
+        let err = loop {
+            match reader.next_record() {
+                Ok(Some(_)) => seen += 1,
+                Ok(None) => panic!("truncated file read cleanly"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(seen, 9);
+        match err {
+            TraceError::TornRecord { offset } => {
+                assert_eq!(offset, HEADER_BYTES as u64 + 9 * RECORD_BYTES as u64)
+            }
+            other => panic!("expected torn record, got {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_a_count_mismatch() {
+        // Simulating a writer crash: records on disk, header count
+        // still zero (finish() never ran).
+        let path = temp("crash");
+        let mut w = TraceWriter::create(&path).unwrap();
+        for r in toy_records(4) {
+            w.write(r).unwrap();
+        }
+        drop(w); // BufWriter flushes on drop; header stays unpatched
+        let mut reader = TraceReader::open(&path).unwrap();
+        let mut last = None;
+        for _ in 0..4 {
+            last = Some(reader.next_record());
+        }
+        assert!(matches!(last, Some(Ok(Some(_)))));
+        assert!(matches!(
+            reader.next_record(),
+            Err(TraceError::CountMismatch {
+                expected: 0,
+                found: 4
+            })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn backwards_timestamps_are_rejected_on_both_sides() {
+        let path = temp("mono");
+        let mut w = TraceWriter::create(&path).unwrap();
+        w.write(PacketRecord {
+            timestamp_ns: 100,
+            size_bytes: 60,
+        })
+        .unwrap();
+        assert!(matches!(
+            w.write(PacketRecord {
+                timestamp_ns: 99,
+                size_bytes: 60
+            }),
+            Err(TraceError::NonMonotonicTimestamp { index: 1, .. })
+        ));
+        drop(w);
+        // Hand-craft a non-monotonic file to exercise the reader side.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(
+            &PacketRecord {
+                timestamp_ns: 50,
+                size_bytes: 60,
+            }
+            .encode(),
+        );
+        bytes.extend_from_slice(
+            &PacketRecord {
+                timestamp_ns: 49,
+                size_bytes: 60,
+            }
+            .encode(),
+        );
+        std::fs::write(&path, bytes).unwrap();
+        let mut reader = TraceReader::open(&path).unwrap();
+        assert!(reader.next_record().unwrap().is_some());
+        assert!(matches!(
+            reader.next_record(),
+            Err(TraceError::NonMonotonicTimestamp { index: 1, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_reads_cleanly() {
+        let path = temp("empty");
+        write_file(&path, &[]);
+        let mut reader = TraceReader::open(&path).unwrap();
+        assert_eq!(reader.declared_count(), 0);
+        assert!(reader.next_record().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,245 @@
+//! Out-of-core trace ingestion: packet file → everything the solver
+//! needs, in bounded memory.
+//!
+//! The solver consumes exactly three statistics of a trace (Sec. III
+//! of the paper): the 50-bin marginal histogram, the Hurst parameter,
+//! and the mean epoch duration that calibrates `θ`. This module
+//! computes all three from an on-disk packet trace of any size without
+//! materializing the rate series:
+//!
+//! * **Pass 1** streams packets through the [`RateBinner`] into the
+//!   one-pass estimators ([`OnePassHurst`]) and a running
+//!   [`Summary`](lrd_stats::Summary) — O(log n) state.
+//! * **Pass 2** re-streams to fill the [`Histogram`] (whose range
+//!   needs pass 1's min/max) and to measure same-bin run lengths
+//!   online — O(bins) state.
+//!
+//! Two sequential scans of a file the OS can read at disk bandwidth
+//! beat any scheme that buffers the rate series, and keep the memory
+//! ceiling at the reader's chunk buffer plus the estimator state.
+
+use std::path::Path;
+
+use lrd_stats::{Histogram, OnePassHurst, RunLengths};
+use lrd_traffic::Marginal;
+
+use crate::binner::RateBinner;
+use crate::error::TraceError;
+use crate::format::TraceReader;
+
+/// Everything the model-fitting recipe needs, computed out-of-core.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Packets read from the trace.
+    pub packets: u64,
+    /// Rate bins the packets reduced to.
+    pub bins: u64,
+    /// Bin interval (seconds).
+    pub dt: f64,
+    /// Trace duration covered by the bins (seconds).
+    pub duration: f64,
+    /// Mean rate over all bins (Mb/s).
+    pub mean_rate: f64,
+    /// R/S Hurst estimate (clamped into `(0, 1)`), if estimable.
+    pub hurst_rs: Option<f64>,
+    /// Variance–time Hurst estimate (clamped), if estimable.
+    pub hurst_vt: Option<f64>,
+    /// Wavelet Hurst estimate (clamped), if estimable.
+    pub hurst_wavelet: Option<f64>,
+    /// Mean of the available clamped estimates.
+    pub hurst: Option<f64>,
+    /// The constant-bin-size histogram of bin rates.
+    pub histogram: Histogram,
+    /// Mean same-histogram-bin run duration (seconds) — the paper's
+    /// epoch statistic for calibrating `θ`.
+    pub mean_epoch: f64,
+}
+
+impl IngestReport {
+    /// The paper's marginal extraction: histogram → `(Π, Λ)`.
+    pub fn marginal(&self) -> Marginal {
+        Marginal::from_histogram(&self.histogram)
+    }
+}
+
+/// Streams the trace at `path` twice and reduces it to an
+/// [`IngestReport`] with `dt`-second bins and a `bins`-bin histogram.
+/// Memory use is bounded by the reader chunk buffer and the one-pass
+/// estimator state regardless of the file size.
+pub fn ingest_file(path: &Path, dt: f64, bins: usize) -> Result<IngestReport, TraceError> {
+    if bins == 0 {
+        return Err(TraceError::BadSpec(
+            "histogram needs at least one bin".to_string(),
+        ));
+    }
+    let _span = lrd_obs::span!("trace.ingest", bins = bins as f64);
+
+    // Pass 1: packets → rate bins → one-pass estimators + running
+    // min/max/mean.
+    let mut reader = TraceReader::open(path)?;
+    let mut binner = RateBinner::new(dt)?;
+    let mut onepass = OnePassHurst::new();
+    while let Some(record) = reader.next_record()? {
+        binner.push(&record, |rate| onepass.push(rate));
+    }
+    let packets = reader.records_read();
+    binner.finish(|rate| onepass.push(rate));
+    if packets == 0 {
+        return Err(TraceError::EmptyTrace);
+    }
+    lrd_obs::counter("trace.packets", packets);
+    lrd_obs::counter("trace.bins", onepass.count());
+
+    // Pass 2: the histogram needs the range from pass 1; runs of
+    // same-bin samples are measured online with O(1) state.
+    let summary = onepass.summary();
+    let (mut lo, mut hi) = (summary.min(), summary.max());
+    if hi <= lo {
+        // Constant-rate trace: widen symmetrically like
+        // `Histogram::try_from_data` so ingestion still succeeds.
+        let pad = lo.abs().max(1.0) * 1e-9;
+        lo -= pad;
+        hi += pad;
+    }
+    let mut histogram = Histogram::try_new(lo, hi, bins)
+        .map_err(|e| TraceError::BadSpec(e.to_string()))?;
+    let mut runs = RunLengths::new();
+    let mut reader = TraceReader::open(path)?;
+    let mut binner = RateBinner::new(dt)?;
+    {
+        let mut absorb = |rate: f64| {
+            histogram.add(rate);
+            // Out-of-range cannot happen (the range came from pass 1),
+            // but clamp like `Histogram::quantize` for robustness.
+            let idx = match histogram.bin_index(rate) {
+                Some(i) => i,
+                None if rate < histogram.min() => 0,
+                None => histogram.bins() - 1,
+            };
+            runs.push(idx);
+        };
+        while let Some(record) = reader.next_record()? {
+            binner.push(&record, &mut absorb);
+        }
+        binner.finish(&mut absorb);
+    }
+
+    let count = onepass.count();
+    let clamp = |r: Result<lrd_stats::HurstEstimate, _>| r.ok().map(|e| e.clamped());
+    Ok(IngestReport {
+        packets,
+        bins: count,
+        dt: binner_dt(dt),
+        duration: binner_dt(dt) * count as f64,
+        mean_rate: summary.mean(),
+        hurst_rs: clamp(onepass.rs_estimate()),
+        hurst_vt: clamp(onepass.variance_time_estimate()),
+        hurst_wavelet: clamp(onepass.wavelet_estimate()),
+        hurst: onepass.pooled(),
+        histogram,
+        mean_epoch: runs.mean() * binner_dt(dt),
+    })
+}
+
+/// The ns-quantized bin interval actually used (matches
+/// [`RateBinner::dt`]).
+fn binner_dt(dt: f64) -> f64 {
+    (dt * 1e9).round() / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{write_corpus, CorpusKind, CorpusSpec};
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lrd_ingest_{}_{name}.lrdpkt", std::process::id()))
+    }
+
+    #[test]
+    fn ingestion_recovers_the_corpus_statistics() {
+        let path = temp("mtv");
+        let spec = CorpusSpec {
+            kind: CorpusKind::Mtv,
+            bins: 1 << 14,
+            seed: 42,
+            mean_packet_bytes: 1250,
+        };
+        let info = write_corpus(&path, &spec).unwrap();
+        let report = ingest_file(&path, info.dt, 50).unwrap();
+        assert_eq!(report.packets, info.packets);
+        // The binner may lose trailing idle bins (no packet closes
+        // them), never gain any.
+        assert!(report.bins <= info.bins as u64);
+        assert!(report.bins >= info.bins as u64 - 2);
+        // Packetization quantizes each bin to whole bytes; the mean
+        // must survive almost exactly …
+        assert!(
+            (report.mean_rate - info.mean_rate).abs() / info.mean_rate < 1e-3,
+            "mean {} vs corpus {}",
+            report.mean_rate,
+            info.mean_rate
+        );
+        // … and the Hurst parameter within estimator tolerance.
+        let h = report.hurst.expect("pooled estimate");
+        assert!(
+            (h - info.hurst).abs() < 0.15,
+            "pooled H {h} vs nominal {}",
+            info.hurst
+        );
+        let p: f64 = report.histogram.probabilities().iter().sum();
+        assert!((p - 1.0).abs() < 1e-12);
+        assert!(report.mean_epoch > 0.0);
+        // The marginal keeps only occupied bins, so its support is at
+        // most the bin count.
+        let marginal = report.marginal();
+        assert!(marginal.probs().len() >= 2 && marginal.probs().len() <= 50);
+        assert!((marginal.mean() - report.histogram.binned_mean()).abs() < 1e-9);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        let path = temp("bad");
+        // Empty trace file (valid header, no records).
+        let w = crate::format::TraceWriter::create(&path).unwrap();
+        w.finish().unwrap();
+        assert!(matches!(
+            ingest_file(&path, 0.01, 50),
+            Err(TraceError::EmptyTrace)
+        ));
+        assert!(matches!(
+            ingest_file(&path, 0.0, 50),
+            Err(TraceError::BadSpec(_))
+        ));
+        assert!(matches!(
+            ingest_file(&path, 0.01, 0),
+            Err(TraceError::BadSpec(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn constant_rate_trace_still_ingests() {
+        // One packet of the same size per bin: every rate identical.
+        // The histogram pads its range instead of erroring; the Hurst
+        // estimates are typed failures surfaced as None.
+        let path = temp("const");
+        let mut w = crate::format::TraceWriter::create(&path).unwrap();
+        for i in 0..256u64 {
+            w.write(crate::format::PacketRecord {
+                timestamp_ns: i * 10_000_000,
+                size_bytes: 1250,
+            })
+            .unwrap();
+        }
+        w.finish().unwrap();
+        let report = ingest_file(&path, 0.01, 50).unwrap();
+        assert_eq!(report.packets, 256);
+        assert!((report.mean_rate - 1.0).abs() < 1e-9);
+        assert!(report.hurst.is_none(), "constant series has no H");
+        assert_eq!(report.histogram.total(), report.bins);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,257 @@
+//! Synthetic multi-gigabyte packet corpora.
+//!
+//! The paper's recordings are proprietary, so the out-of-core pipeline
+//! is exercised against packetized versions of the workspace's
+//! published-statistics stand-ins (`lrd_traffic::synth`): the binned
+//! rate trace is generated once (a few MiB for millions of bins — the
+//! fGn stage is the only in-memory state), then expanded bin by bin
+//! into packet records streamed straight to disk. A corpus far larger
+//! than memory therefore never exists as an in-memory object, on
+//! either the write or the read side.
+//!
+//! Packetization inverts what [`RateBinner`](crate::binner::RateBinner)
+//! does: each bin's byte budget `rate·dt/8` is split into MTU-bounded
+//! packets spread evenly across the bin, so re-binning at the same
+//! `dt` recovers the rate trace to within byte quantization — that
+//! round-trip is what the ingestion tests and benches pin.
+
+use std::path::Path;
+
+use lrd_traffic::synth;
+
+use crate::error::TraceError;
+use crate::format::{PacketRecord, TraceWriter, HEADER_BYTES, RECORD_BYTES};
+
+/// Which published-statistics trace family to packetize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusKind {
+    /// JPEG-video-like: 33 ms frames, `H ≈ 0.83`, Gamma marginal.
+    Mtv,
+    /// Ethernet-like: 10 ms bins, `H ≈ 0.9`, lognormal marginal.
+    Bellcore,
+}
+
+impl CorpusKind {
+    /// Parses the CLI name (`mtv` | `bellcore`).
+    pub fn parse(s: &str) -> Result<CorpusKind, TraceError> {
+        match s {
+            "mtv" => Ok(CorpusKind::Mtv),
+            "bellcore" => Ok(CorpusKind::Bellcore),
+            other => Err(TraceError::BadSpec(format!(
+                "unknown corpus kind {other:?} (mtv|bellcore)"
+            ))),
+        }
+    }
+}
+
+/// A deterministic corpus recipe.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusSpec {
+    /// The trace family.
+    pub kind: CorpusKind,
+    /// Number of rate bins to packetize (sets the corpus size).
+    pub bins: usize,
+    /// RNG seed; the corpus is a pure function of the spec.
+    pub seed: u64,
+    /// Target mean packet size in bytes (packets are MTU-shaped, not
+    /// all equal: the last packets of a bin absorb the remainder).
+    pub mean_packet_bytes: u32,
+}
+
+impl CorpusSpec {
+    /// The default recipe for a family: default seed, 1250-byte
+    /// packets (a 10^4-bit packet keeps the arithmetic legible).
+    pub fn new(kind: CorpusKind, bins: usize) -> CorpusSpec {
+        CorpusSpec {
+            kind,
+            bins,
+            seed: synth::DEFAULT_SEED,
+            mean_packet_bytes: 1250,
+        }
+    }
+}
+
+/// What a corpus write produced.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusInfo {
+    /// Packet records written.
+    pub packets: u64,
+    /// Total file size in bytes (header + records).
+    pub file_bytes: u64,
+    /// Rate bins packetized.
+    pub bins: usize,
+    /// Bin interval (seconds).
+    pub dt: f64,
+    /// Mean rate of the generated trace (Mb/s).
+    pub mean_rate: f64,
+    /// Nominal Hurst parameter of the family.
+    pub hurst: f64,
+}
+
+/// Generates the rate trace for `spec` and streams its packetization
+/// to `path`. Memory use is O(bins), independent of the packet count.
+pub fn write_corpus(path: &Path, spec: &CorpusSpec) -> Result<CorpusInfo, TraceError> {
+    if spec.bins == 0 {
+        return Err(TraceError::BadSpec("corpus needs at least one bin".into()));
+    }
+    if spec.mean_packet_bytes < 40 {
+        return Err(TraceError::BadSpec(format!(
+            "mean packet size {} B is below any plausible header",
+            spec.mean_packet_bytes
+        )));
+    }
+    let _span = lrd_obs::span!("trace.synth_corpus", bins = spec.bins as f64);
+    let (trace, hurst) = match spec.kind {
+        CorpusKind::Mtv => (
+            synth::mtv_like_with_len(spec.seed, spec.bins),
+            synth::MTV_HURST,
+        ),
+        CorpusKind::Bellcore => (
+            synth::bellcore_like_with_len(spec.seed, spec.bins),
+            synth::BELLCORE_HURST,
+        ),
+    };
+    let dt_ns = (trace.dt() * 1e9).round() as u64;
+    let mut writer = TraceWriter::create(path)?;
+    for (i, &rate) in trace.rates().iter().enumerate() {
+        let bin_start = i as u64 * dt_ns;
+        // Whole-byte budget for this bin; byte quantization is the
+        // only loss the read-side round trip sees.
+        let bytes = (rate * 1e6 * trace.dt() / 8.0).round() as u64;
+        if bytes == 0 {
+            continue;
+        }
+        let packets = bytes.div_ceil(spec.mean_packet_bytes as u64);
+        let base = bytes / packets;
+        let extra = bytes % packets; // first `extra` packets get +1
+        let gap = dt_ns / packets;
+        for k in 0..packets {
+            writer.write(PacketRecord {
+                timestamp_ns: bin_start + k * gap,
+                size_bytes: (base + u64::from(k < extra)) as u32,
+            })?;
+        }
+    }
+    let packets = writer.finish()?;
+    Ok(CorpusInfo {
+        packets,
+        file_bytes: HEADER_BYTES as u64 + packets * RECORD_BYTES as u64,
+        bins: spec.bins,
+        dt: trace.dt(),
+        mean_rate: trace.mean_rate(),
+        hurst,
+    })
+}
+
+/// Reads `VmHWM` (peak resident set size, KiB) from
+/// `/proc/self/status`. `None` off Linux or if the field is missing —
+/// callers treat RSS reporting as best-effort.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Resets `VmHWM` to the *current* RSS by writing `5` to
+/// `/proc/self/clear_refs`, so a subsequent [`peak_rss_kb`] reflects
+/// only allocations made after the reset. The benches use this to
+/// measure the ingestion passes' own memory ceiling rather than
+/// whatever the in-process corpus generation peaked at. Returns
+/// `false` (and changes nothing) where the kernel interface is
+/// unavailable.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceReader;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lrd_synth_{}_{name}.lrdpkt", std::process::id()))
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_sized_as_reported() {
+        let path_a = temp("det_a");
+        let path_b = temp("det_b");
+        let spec = CorpusSpec::new(CorpusKind::Bellcore, 512);
+        let a = write_corpus(&path_a, &spec).unwrap();
+        let b = write_corpus(&path_b, &spec).unwrap();
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(
+            std::fs::read(&path_a).unwrap(),
+            std::fs::read(&path_b).unwrap(),
+            "same spec must produce identical bytes"
+        );
+        assert_eq!(std::fs::metadata(&path_a).unwrap().len(), a.file_bytes);
+        // Reads back cleanly end to end.
+        let reader = TraceReader::open(&path_a).unwrap();
+        assert_eq!(reader.declared_count(), a.packets);
+        let mut read_back = 0u64;
+        for record in reader {
+            record.unwrap();
+            read_back += 1;
+        }
+        assert_eq!(read_back, a.packets);
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
+    }
+
+    #[test]
+    fn packet_budget_matches_the_rate_trace() {
+        // Summing packet bytes per bin must reproduce each bin's byte
+        // budget exactly (the generator distributes remainders).
+        let path = temp("budget");
+        let spec = CorpusSpec {
+            kind: CorpusKind::Mtv,
+            bins: 64,
+            seed: 5,
+            mean_packet_bytes: 300,
+        };
+        let info = write_corpus(&path, &spec).unwrap();
+        let trace = synth::mtv_like_with_len(5, 64);
+        let dt_ns = (trace.dt() * 1e9).round() as u64;
+        let mut per_bin = vec![0u64; 64];
+        for record in TraceReader::open(&path).unwrap() {
+            let r = record.unwrap();
+            per_bin[(r.timestamp_ns / dt_ns) as usize] += r.size_bytes as u64;
+            assert!(r.size_bytes <= 301, "packet above MTU+1: {}", r.size_bytes);
+        }
+        for (i, &rate) in trace.rates().iter().enumerate() {
+            let want = (rate * 1e6 * trace.dt() / 8.0).round() as u64;
+            assert_eq!(per_bin[i], want, "bin {i}");
+        }
+        assert_eq!(info.bins, 64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        let path = temp("badspec");
+        assert!(matches!(
+            write_corpus(&path, &CorpusSpec::new(CorpusKind::Mtv, 0)),
+            Err(TraceError::BadSpec(_))
+        ));
+        let mut spec = CorpusSpec::new(CorpusKind::Mtv, 8);
+        spec.mean_packet_bytes = 10;
+        assert!(matches!(
+            write_corpus(&path, &spec),
+            Err(TraceError::BadSpec(_))
+        ));
+        assert!(CorpusKind::parse("mtv").is_ok());
+        assert!(CorpusKind::parse("bellcore").is_ok());
+        assert!(CorpusKind::parse("zipf").is_err());
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        // The bench records this; on Linux it must parse.
+        if std::path::Path::new("/proc/self/status").exists() {
+            let kb = peak_rss_kb().expect("VmHWM parse");
+            assert!(kb > 0);
+        }
+    }
+}

@@ -196,4 +196,28 @@ ask '{"kind":"shutdown"}' | grep -q '"kind":"bye"'
 wait "$serve_pid"
 grep -q '"name":"serve.queries"' "$servedir/serve-telemetry.jsonl"
 
+echo "=== trace smoke (out-of-core corpus: gen, validate, ingest, figure) ==="
+# A small synthetic packet corpus through the whole out-of-core path:
+# byte-level validation (`info` streams and checks every record), the
+# two-pass one-pass-estimator ingestion (`hurst`), and the
+# trace-driven figure whose solver telemetry must meet the registry
+# budget like every other figure.
+tracedir="$smokedir/trace"
+mkdir -p "$tracedir"
+cargo run -q --release --locked -p lrd-trace --bin lrd-trace -- \
+    gen --out "$tracedir/bc.lrdpkt" --kind bellcore --bins 4096 --seed 42 \
+    > /dev/null
+trace_info="$(cargo run -q --release --locked -p lrd-trace --bin lrd-trace -- \
+    info --trace "$tracedir/bc.lrdpkt")"
+grep -q '^validated' <<<"$trace_info"
+trace_hurst="$(cargo run -q --release --locked -p lrd-trace --bin lrd-trace -- \
+    hurst --trace "$tracedir/bc.lrdpkt" --dt 0.01)"
+grep -q '^pooled       : H = 0\.' <<<"$trace_hurst"
+trace_capture="$smokedir/trace_loss.jsonl"
+LRD_RESULTS_DIR="$smokedir" cargo run -q --release --locked \
+    -p lrd-experiments --bin trace_loss -- \
+    --quick --telemetry "$trace_capture" > /dev/null
+cargo run -q --release --locked --example telemetry_check -- "$trace_capture" \
+    --figure trace_loss --profile quick
+
 echo "ci: all gates passed"

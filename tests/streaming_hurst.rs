@@ -1,10 +1,13 @@
 //! The streaming (sliding-window) Hurst estimators against their batch
 //! counterparts on exact fractional Gaussian noise: feeding an fGn
-//! series through the window must reproduce the batch estimate of the
-//! same samples, land near the true `H`, and never let the cached
-//! estimate go staler than the configured cadence.
+//! series through the window must reproduce the batch dyadic-size
+//! estimate of the same samples, land near the true `H`, and never let
+//! the cached estimate go staler than the configured cadence.
 
-use lrd::stats::{rs_estimate, variance_time_estimate, StreamingHurst};
+use lrd::stats::{
+    dyadic_sizes, try_rs_estimate_with_sizes, try_variance_time_estimate_with_sizes,
+    StreamingHurst,
+};
 use lrd::traffic::fgn;
 use lrd_rng::SeedableRng;
 
@@ -25,18 +28,21 @@ fn streaming_matches_batch_on_the_trailing_window() {
             s.push(v);
         }
         // Cadence 1 ⇒ the cache was refreshed on the final push, so it
-        // must equal the batch estimators on the trailing window
-        // exactly.
+        // must equal the batch estimators on the trailing window over
+        // the backend's dyadic block sizes exactly.
         let tail = &series[N - WINDOW..];
         let pair = s.current().expect("window filled");
+        let rs = try_rs_estimate_with_sizes(tail, &dyadic_sizes(8, WINDOW / 4)).unwrap();
+        let vt = try_variance_time_estimate_with_sizes(tail, &dyadic_sizes(1, WINDOW / 8))
+            .unwrap();
         assert_eq!(
             pair.rs.h.to_bits(),
-            rs_estimate(tail).h.to_bits(),
+            rs.h.to_bits(),
             "R/S streaming/batch split at H={h}"
         );
         assert_eq!(
             pair.vt.h.to_bits(),
-            variance_time_estimate(tail).h.to_bits(),
+            vt.h.to_bits(),
             "variance-time streaming/batch split at H={h}"
         );
     }
